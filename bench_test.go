@@ -1,0 +1,216 @@
+// Benchmarks that regenerate every paper artifact (one per table/figure —
+// the experiment index lives in DESIGN.md) plus micro-benchmarks for the
+// estimation hot path. The figure benches run at QuickScale so the whole
+// suite completes in minutes; run cmd/experiments -scale paper for the
+// full-size numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/experiment"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// benchWL shares one quick-scale workload cache across all benches in a run.
+var benchWL = experiment.NewWorkloads(experiment.QuickScale())
+
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiment.Run(id, benchWL, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06MSEVsQueryCost(b *testing.B)     { benchArtifact(b, "fig6") }
+func BenchmarkFig07RelativeError(b *testing.B)      { benchArtifact(b, "fig7") }
+func BenchmarkFig08ErrorBars(b *testing.B)          { benchArtifact(b, "fig8") }
+func BenchmarkFig09SumRelativeError(b *testing.B)   { benchArtifact(b, "fig9") }
+func BenchmarkFig10SumErrorBars(b *testing.B)       { benchArtifact(b, "fig10") }
+func BenchmarkFig11MSEVsM(b *testing.B)             { benchArtifact(b, "fig11") }
+func BenchmarkFig12QueryCostVsM(b *testing.B)       { benchArtifact(b, "fig12") }
+func BenchmarkFig13EffectOfK(b *testing.B)          { benchArtifact(b, "fig13") }
+func BenchmarkFig14IndividualEffects(b *testing.B)  { benchArtifact(b, "fig14") }
+func BenchmarkFig15AutoErrorBars(b *testing.B)      { benchArtifact(b, "fig15") }
+func BenchmarkFig16EffectOfR(b *testing.B)          { benchArtifact(b, "fig16") }
+func BenchmarkFig17EffectOfDUB(b *testing.B)        { benchArtifact(b, "fig17") }
+func BenchmarkFig18OnlineCorollaCount(b *testing.B) { benchArtifact(b, "fig18") }
+func BenchmarkFig19OnlineSumPrice(b *testing.B)     { benchArtifact(b, "fig19") }
+func BenchmarkTableRTradeoff(b *testing.B)          { benchArtifact(b, "table-r") }
+
+// BenchmarkEnginePointQuery measures the hidden-database engine's top-k
+// evaluation latency on a paper-sized Boolean table.
+func BenchmarkEnginePointQuery(b *testing.B) {
+	d, err := datagen.BoolIID(200000, 40, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := hdb.Query{}.And(0, 1).And(1, 0).And(2, 1).And(3, 0).And(4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatePassBool measures one full BOOL-UNBIASED-SIZE pass
+// (walk + probability bookkeeping) on a paper-sized table.
+func BenchmarkEstimatePassBool(b *testing.B) {
+	d, err := datagen.BoolIID(200000, 40, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewBoolUnbiasedSize(tbl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatePassHD measures one full HD-UNBIASED-SIZE pass (weight
+// adjustment + divide-&-conquer recursion) on the Auto dataset.
+func BenchmarkEstimatePassHD(b *testing.B) {
+	d, err := datagen.Auto(50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewHDUnbiasedSize(tbl, 5, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatagenAuto measures synthesising the Auto dataset.
+func BenchmarkDatagenAuto(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := datagen.Auto(20000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Design-ablation benches for the choices DESIGN.md calls out. (Named
+// "Design..." so -bench=Fig and -bench=Design select disjoint sets.)
+
+// BenchmarkDesignAttributeOrder reports the per-pass query cost of the
+// Section 5.1 decreasing-fanout order against the exact anti-heuristic
+// (increasing-fanout) order. The metric of interest is queries/op.
+func BenchmarkDesignAttributeOrder(b *testing.B) {
+	d, err := datagen.Auto(30000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, order := range []struct {
+		name string
+		opts querytree.Options
+	}{
+		{"decreasing-fanout", querytree.Options{}},
+		{"increasing-fanout", querytree.Options{IncreasingFanout: true}},
+	} {
+		b.Run(order.name, func(b *testing.B) {
+			plan, err := querytree.New(tbl.Schema(), hdb.Query{}, order.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var queries int64
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(tbl, plan, []core.Measure{core.CountMeasure()}, core.Config{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Estimate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries += res.Cost
+			}
+			b.ReportMetric(float64(queries)/float64(b.N), "queries/op")
+		})
+	}
+}
+
+// BenchmarkDesignWorstCaseDC shows divide-&-conquer taming the Figure 4
+// worst-case database. Each op is one budgeted trial (fresh estimator,
+// 150-query budget); the reported mare/op is the mean absolute relative
+// error of the trial estimates — it collapses when D&C is enabled, which is
+// the Section 4.2 motivation measured. (Estimating the raw variance here
+// would need ~2^n samples; the paper's Corollary 1 bound is verified
+// exactly in internal/theory instead.)
+func BenchmarkDesignWorstCaseDC(b *testing.B) {
+	d, err := datagen.WorstCase(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := float64(tbl.Size())
+	for _, cfg := range []struct {
+		name string
+		r    int
+		dub  int
+	}{{"plain", 1, 0}, {"dc-r4-dub16", 4, 16}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: cfg.dub})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var absErr float64
+			for i := 0; i < b.N; i++ {
+				e, err := core.New(tbl, plan, []core.Measure{core.CountMeasure()}, core.Config{R: cfg.r, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.RunBudget(e, 150, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				diff := res.Means[0] - truth
+				if diff < 0 {
+					diff = -diff
+				}
+				absErr += diff / truth
+			}
+			b.ReportMetric(absErr/float64(b.N), "mare/op")
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index). Each artifact prints as an ASCII
+// table of the same series the paper plots.
+//
+// Usage:
+//
+//	experiments -scale quick            # everything, miniature workloads
+//	experiments -scale paper -fig 6     # Figure 6 at the paper's scale
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hdunbiased/internal/experiment"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "quick", "workload scale: quick or paper")
+		fig      = flag.String("fig", "", "artifact to regenerate (e.g. 6, fig6, table-r); empty = all")
+		list     = flag.Bool("list", false, "list artifact ids and exit")
+		markdown = flag.Bool("md", false, "emit markdown tables (for EXPERIMENTS.md)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var s experiment.Scale
+	switch *scale {
+	case "quick":
+		s = experiment.QuickScale()
+	case "paper":
+		s = experiment.DefaultScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	s.Workers = *workers
+	wl := experiment.NewWorkloads(s)
+
+	run := experiment.Run
+	if *markdown {
+		run = experiment.RunMarkdown
+	}
+	ids := experiment.IDs()
+	if *fig != "" {
+		id := *fig
+		if !strings.HasPrefix(id, "fig") && !strings.HasPrefix(id, "table") {
+			id = "fig" + id
+		}
+		ids = []string{id}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		stepStart := time.Now()
+		if err := run(id, wl, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, time.Since(stepStart).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "done in %s (scale=%s)\n", time.Since(start).Round(time.Millisecond), *scale)
+}

@@ -1,0 +1,202 @@
+// Command hdestimate runs the paper's estimators against a hidden database —
+// either a live webform HTTP endpoint (see cmd/hdserver) or an offline
+// synthetic dataset.
+//
+// Examples:
+//
+//	# Estimate the size of a live hidden database.
+//	hdestimate -url http://127.0.0.1:8080 -algo hd -r 4 -dub 32 -budget 1000
+//
+//	# Estimate SUM(price) of Toyota Corollas over HTTP.
+//	hdestimate -url http://127.0.0.1:8080 -where make=0,model=0 -sum price
+//
+//	# Offline sanity run with known ground truth.
+//	hdestimate -dataset bool-mixed -m 200000 -budget 500
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	var (
+		urlFlag = flag.String("url", "", "webform base URL (empty = offline dataset)")
+		dataset = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
+		m       = flag.Int("m", 100000, "offline dataset size")
+		n       = flag.Int("n", 40, "offline Boolean attribute count")
+		k       = flag.Int("k", 100, "offline top-k")
+		algo    = flag.String("algo", "hd", "estimator: hd (WA+D&C) or bool (plain)")
+		r       = flag.Int("r", 4, "drill-downs per subtree")
+		dub     = flag.Int("dub", 32, "max subdomain size per subtree (0 = no D&C)")
+		budget  = flag.Int64("budget", 1000, "query budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		where   = flag.String("where", "", "selection condition, e.g. make=0,model=3")
+		sum     = flag.String("sum", "", "also estimate SUM of this measure (e.g. price)")
+	)
+	flag.Parse()
+
+	backend, truthf, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cond, err := parseWhere(backend.Schema(), *where)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measures := []core.Measure{core.CountMeasure()}
+	labels := []string{"COUNT"}
+	if *sum != "" {
+		mi := backend.Schema().MeasureIndex(*sum)
+		if mi < 0 {
+			log.Fatalf("unknown measure %q (schema has %v)", *sum, backend.Schema().Measures)
+		}
+		measures = append(measures, core.NumMeasure(mi))
+		labels = append(labels, "SUM("+*sum+")")
+	}
+
+	est, err := build(backend, cond, measures, *algo, *r, *dub, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runs := make([]stats.Running, len(measures))
+	passes := 0
+	// Bounded by passes as well as cost: on a small database the client
+	// cache eventually answers whole passes for free and cost stops growing.
+	const maxPasses = 500
+	for passes < maxPasses {
+		res, err := est.Estimate()
+		if err != nil {
+			if errors.Is(err, hdb.ErrQueryLimit) {
+				fmt.Println("server query limit reached; reporting partial results")
+				break
+			}
+			log.Fatal(err)
+		}
+		passes++
+		for i, v := range res.Values {
+			runs[i].Add(v)
+		}
+		if res.Exact {
+			fmt.Println("base query is valid: results are exact")
+			break
+		}
+		if est.Cost() >= *budget {
+			break
+		}
+	}
+
+	fmt.Printf("passes=%d queries=%d\n", passes, est.Cost())
+	for i, label := range labels {
+		fmt.Printf("%-12s estimate=%.4g  (±%.3g stderr over passes)\n", label, runs[i].Mean(), runs[i].StdErr())
+	}
+	if truthf != nil {
+		for i, label := range labels {
+			truth, err := truthf(i, cond)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s truth   =%.4g  relative error %.3f%%\n",
+				label, truth, 100*stats.RelativeError(truth, runs[i].Mean()))
+		}
+	}
+}
+
+// connect returns the hidden-database interface plus, for offline runs, a
+// ground-truth oracle (nil over HTTP: a real hidden database discloses
+// nothing).
+func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(mi int, cond hdb.Query) (float64, error), error) {
+	if url != "" {
+		c, err := webform.Dial(url)
+		return c, nil, err
+	}
+	var (
+		d   *datagen.Dataset
+		err error
+	)
+	switch dataset {
+	case "auto":
+		d, err = datagen.Auto(m, seed)
+	case "bool-iid":
+		d, err = datagen.BoolIID(m, n, 0.5, seed)
+	case "bool-mixed":
+		d, err = datagen.BoolMixed(m, n, seed)
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := d.Table(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	truth := func(mi int, cond hdb.Query) (float64, error) {
+		if mi == 0 {
+			c, err := tbl.SelCount(cond)
+			return float64(c), err
+		}
+		return tbl.SumMeasure(tbl.Schema().Measures[0], cond)
+	}
+	return tbl, truth, nil
+}
+
+func build(backend hdb.Interface, cond hdb.Query, measures []core.Measure, algo string, r, dub int, seed int64) (*core.Estimator, error) {
+	switch algo {
+	case "hd":
+		return core.NewHDUnbiasedAgg(backend, cond, measures, r, dub, seed)
+	case "bool":
+		plan, err := querytree.New(backend.Schema(), cond, querytree.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return core.New(backend, plan, measures, core.Config{R: 1, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want hd or bool)", algo)
+	}
+}
+
+// parseWhere parses "attr=code,attr=code" into a query.
+func parseWhere(schema hdb.Schema, s string) (hdb.Query, error) {
+	var q hdb.Query
+	if s == "" {
+		return q, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return q, fmt.Errorf("bad -where clause %q", part)
+		}
+		ai := schema.AttrIndex(name)
+		if ai < 0 {
+			return q, fmt.Errorf("unknown attribute %q", name)
+		}
+		code, err := strconv.Atoi(val)
+		if err != nil || code < 0 || code >= schema.Attrs[ai].Dom {
+			return q, fmt.Errorf("value %q out of domain for %q", val, name)
+		}
+		q = q.And(ai, uint16(code))
+	}
+	return q, nil
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "hdestimate: unbiased aggregate estimation over hidden databases\n\n")
+		flag.PrintDefaults()
+	}
+}

@@ -1,0 +1,78 @@
+// Command hdserver serves a synthetic hidden database over HTTP — the
+// stand-in for a real hidden-web site like autos.yahoo.com. The served
+// interface is exactly the paper's model: top-k results with an overflow
+// flag, optional per-IP query limits, and an optional required-attribute
+// rule.
+//
+// Usage:
+//
+//	hdserver -dataset auto -m 188790 -k 100 -addr :8080 \
+//	         -limit 1000 -require make,model
+//
+// Datasets: auto (default), bool-iid, bool-mixed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "auto", "dataset: auto, bool-iid, bool-mixed")
+		m       = flag.Int("m", datagen.AutoSize, "number of tuples")
+		n       = flag.Int("n", 40, "Boolean attribute count (bool datasets)")
+		k       = flag.Int("k", 100, "top-k interface constant")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		limit   = flag.Int64("limit", 0, "per-client query limit (0 = unlimited)")
+		require = flag.String("require", "", "comma-separated attributes, one of which every query must specify")
+	)
+	flag.Parse()
+
+	var (
+		d   *datagen.Dataset
+		err error
+	)
+	switch *dataset {
+	case "auto":
+		d, err = datagen.Auto(*m, *seed)
+	case "bool-iid":
+		d, err = datagen.BoolIID(*m, *n, 0.5, *seed)
+	case "bool-mixed":
+		d, err = datagen.BoolMixed(*m, *n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	tbl, err := d.Table(*k)
+	if err != nil {
+		log.Fatalf("build table: %v", err)
+	}
+
+	opts := webform.ServerOptions{LimitPerClient: *limit}
+	if *require != "" {
+		opts.RequireOneOf = strings.Split(*require, ",")
+	}
+	srv, err := webform.NewServer(tbl, opts)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+
+	log.Printf("serving %s (%d tuples, k=%d) on http://%s  limit=%d require=%v",
+		d.Name, tbl.Size(), *k, *addr, *limit, opts.RequireOneOf)
+	log.Printf("true size (not disclosed by the interface): %d", tbl.Size())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Size-claim audit: the paper's opening motivation. A hidden-database
+// operator advertises its (large) size to attract customers, but the claim
+// is not verifiable through the search form — unless you estimate the size
+// yourself without bias.
+//
+// The example serves a database whose operator claims 2x its true size,
+// audits the claim through the restrictive interface alone, and reports a
+// verdict with an uncertainty interval.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	// The operator's side: a 30,000-row database... advertised as 60,000.
+	const trueSize = 30000
+	const claimed = 60000
+	data, err := datagen.Auto(trueSize, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := data.Table(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := webform.NewServer(db, webform.ServerOptions{
+		LimitPerClient: 2000, // the per-IP daily limit auditors must live with
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv) //nolint:errcheck
+
+	fmt.Printf("operator claims:   %d rows\n", claimed)
+	fmt.Printf("per-IP limit:      2000 queries/day\n\n")
+
+	// The auditor's side: only the URL and the form.
+	client, err := webform.Dial("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := core.NewHDUnbiasedSize(client, 4, 32, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := core.RunBudget(est, 1500, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean := res.Means[0]
+	// ±2 standard errors ≈ 95% interval around the unbiased estimate.
+	lo, hi := mean-2*res.StdErrs[0], mean+2*res.StdErrs[0]
+	fmt.Printf("audit estimate:    %.0f rows  (95%% interval %.0f .. %.0f)\n", mean, lo, hi)
+	fmt.Printf("queries spent:     %d of 2000\n\n", res.Cost)
+
+	switch {
+	case float64(claimed) < lo || float64(claimed) > hi:
+		ratio := float64(claimed) / mean
+		fmt.Printf("VERDICT: claim not supported — advertised size is %.1fx the estimate,\n", ratio)
+		fmt.Printf("and %d lies outside the estimate's 95%% interval.\n", claimed)
+	default:
+		fmt.Println("VERDICT: claim consistent with the unbiased estimate.")
+	}
+	fmt.Printf("(true size, known only to the operator: %d)\n", db.Size())
+	if math.Abs(mean-trueSize)/trueSize > 0.2 {
+		fmt.Println("warning: estimate drifted >20% from truth; increase the budget")
+	}
+}

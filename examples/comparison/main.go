@@ -1,0 +1,108 @@
+// Estimator shoot-out: every size estimator in the repository against the
+// same skewed hidden database with the same query budget — the paper's
+// Figure 6 story in miniature.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"hdunbiased/internal/baseline"
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+const (
+	budget = 500 // queries per estimator per trial
+	trials = 15  // independent trials for the error statistics
+)
+
+func main() {
+	data, err := datagen.BoolMixed(50000, 30, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := data.Table(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := float64(db.Size())
+	fmt.Printf("hidden database: %s, true size %d (skewed Boolean)\n", data.Name, db.Size())
+	fmt.Printf("budget: %d queries x %d trials per estimator\n\n", budget, trials)
+
+	type contender struct {
+		name string
+		run  func(seed int64) (float64, error)
+	}
+	contenders := []contender{
+		{"BRUTE-FORCE-SAMPLER", func(seed int64) (float64, error) {
+			bf := baseline.NewBruteForce(db, seed)
+			for i := 0; i < budget; i++ {
+				if err := bf.Step(); err != nil {
+					return 0, err
+				}
+			}
+			return bf.Estimate(), nil
+		}},
+		{"CAPTURE-&-RECAPTURE", func(seed int64) (float64, error) {
+			lim := hdb.NewLimiter(db, budget)
+			cr := baseline.NewCaptureRecapture(
+				baseline.NewHiddenDBSampler(lim, math.MaxFloat64, seed))
+			for {
+				if err := cr.Grow(); err != nil {
+					if errors.Is(err, hdb.ErrQueryLimit) {
+						return cr.Estimate(), nil
+					}
+					return 0, err
+				}
+			}
+		}},
+		{"BOOL-UNBIASED-SIZE", func(seed int64) (float64, error) {
+			return budgeted(func() (*core.Estimator, error) {
+				return core.NewBoolUnbiasedSize(db, seed)
+			})
+		}},
+		{"HD-UNBIASED-SIZE", func(seed int64) (float64, error) {
+			return budgeted(func() (*core.Estimator, error) {
+				return core.NewHDUnbiasedSize(db, 4, 32, seed)
+			})
+		}},
+	}
+
+	fmt.Println("estimator             mean-estimate   rel-error      MSE")
+	for _, c := range contenders {
+		ests := make([]float64, 0, trials)
+		for tr := 0; tr < trials; tr++ {
+			v, err := c.run(int64(tr + 1))
+			if err != nil {
+				log.Fatalf("%s: %v", c.name, err)
+			}
+			ests = append(ests, v)
+		}
+		s := stats.Summarize(truth, ests)
+		fmt.Printf("%-22s %12.0f  %9.2f%%  %.3e\n", c.name, s.Mean, s.RelErr*100, s.MSE)
+	}
+	fmt.Println("\nBRUTE-FORCE finds nothing at this budget (success rate m/|Dom| ~ 5e-5),")
+	fmt.Println("C&R is biased by its sampler, BOOL/HD are unbiased — HD with the")
+	fmt.Println("smallest variance thanks to weight adjustment and divide-&-conquer.")
+}
+
+// budgeted repeats Estimate passes until the budget is spent and returns the
+// mean estimate.
+func budgeted(mk func() (*core.Estimator, error)) (float64, error) {
+	e, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	res, err := core.RunBudget(e, budget, 200)
+	if err != nil {
+		return 0, err
+	}
+	return res.Means[0], nil
+}

@@ -1,0 +1,85 @@
+// Yahoo!-Auto-style end-to-end run: the Figure 18 scenario over HTTP.
+//
+// The example starts a hidden-database website (a webform server over the
+// synthetic Auto inventory) with the same interface restrictions the paper
+// faced on autos.yahoo.com — top-k results, MAKE/MODEL required in every
+// query — then estimates the number of Toyota Corollas purely through the
+// web interface, reporting the running mean after each of 10 executions.
+//
+//	go run ./examples/yahooauto
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	// The "website": 40k used cars behind a top-100 advanced-search form
+	// that insists on MAKE or MODEL being specified.
+	inventory, err := datagen.Auto(40000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := inventory.Table(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := webform.NewServer(db, webform.ServerOptions{
+		RequireOneOf: []string{"make", "model"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv) //nolint:errcheck
+	fmt.Printf("hidden database serving on http://%s\n\n", ln.Addr())
+
+	// The client side knows only the URL.
+	client, err := webform.Dial("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// COUNT of Toyota Corollas: condition on make & model, drill the rest.
+	makeCode := datagen.AutoMakeCode("toyota")
+	modelCode := datagen.AutoModelCode(makeCode, "corolla")
+	cond := hdb.Query{}.
+		And(datagen.AutoMake, uint16(makeCode)).
+		And(datagen.AutoModel, uint16(modelCode))
+
+	est, err := core.NewHDUnbiasedAgg(client, cond,
+		[]core.Measure{core.CountMeasure()}, 30, 126, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("run  estimate  running-mean  queries-so-far")
+	var running stats.Running
+	for run := 1; run <= 10; run++ {
+		res, err := est.Estimate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		running.Add(res.Values[0])
+		fmt.Printf("%3d  %8.0f  %12.0f  %14d\n", run, res.Values[0], running.Mean(), est.Cost())
+	}
+
+	truth, err := db.SelCount(cond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrue Corolla count: %d (relative error of final mean: %.2f%%)\n",
+		truth, 100*stats.RelativeError(float64(truth), running.Mean()))
+}

@@ -1,0 +1,249 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+// smallTable builds a small Boolean database where brute force is feasible:
+// 6 attributes (|Dom| = 64) and m tuples.
+func smallTable(t testing.TB, m, k int, seed int64) *hdb.Table {
+	t.Helper()
+	attrs := make([]hdb.Attribute, 6)
+	for i := range attrs {
+		attrs[i] = hdb.Attribute{Name: string(rune('a' + i)), Dom: 2}
+	}
+	schema := hdb.Schema{Attrs: attrs}
+	rnd := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var tuples []hdb.Tuple
+	for len(tuples) < m {
+		tp := hdb.Tuple{Cats: make([]uint16, 6)}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(2))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+	}
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBruteForceUnbiased(t *testing.T) {
+	tbl := smallTable(t, 20, 1, 1)
+	bf := NewBruteForce(tbl, 7)
+	if bf.Estimate() != 0 {
+		t.Error("estimate before steps should be 0")
+	}
+	var run stats.Running
+	const rounds = 200
+	const stepsPer = 50
+	for r := 0; r < rounds; r++ {
+		b := NewBruteForce(tbl, int64(r))
+		for i := 0; i < stepsPer; i++ {
+			if err := b.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run.Add(b.Estimate())
+	}
+	if math.Abs(run.Mean()-20) > 5*run.StdErr()+0.5 {
+		t.Errorf("brute force mean %v vs truth 20", run.Mean())
+	}
+	if bf.Issued() != 0 {
+		t.Errorf("unused sampler issued %d", bf.Issued())
+	}
+}
+
+func TestBruteForceCountsIssued(t *testing.T) {
+	tbl := smallTable(t, 5, 1, 2)
+	ctr := hdb.NewCounter(tbl)
+	bf := NewBruteForce(ctr, 1)
+	for i := 0; i < 10; i++ {
+		if err := bf.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bf.Issued() != 10 || ctr.Count() != 10 {
+		t.Errorf("issued=%d counter=%d, want 10", bf.Issued(), ctr.Count())
+	}
+}
+
+func TestBruteForceDuplicateOverflow(t *testing.T) {
+	schema := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 2}}}
+	dup := []hdb.Tuple{{Cats: []uint16{1}}, {Cats: []uint16{1}}}
+	tbl, err := hdb.NewTable(schema, 1, dup, hdb.WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := NewBruteForce(tbl, 3)
+	var sawErr bool
+	for i := 0; i < 20; i++ {
+		if err := bf.Step(); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("no error despite overflowing fully specified query")
+	}
+}
+
+func TestHiddenDBSamplerUniformWithExactRejection(t *testing.T) {
+	// With CScale=1 the accepted sample is uniform over tuples: per-tuple
+	// capture frequencies must be statistically indistinguishable.
+	tbl := smallTable(t, 8, 1, 3)
+	s := NewHiddenDBSampler(tbl, 1, 5)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		tp, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tp.CatKey()]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("captured %d distinct tuples, want 8", len(counts))
+	}
+	want := float64(n) / 8
+	for key, c := range counts {
+		// 5σ binomial tolerance.
+		tol := 5 * math.Sqrt(want*(1-1.0/8))
+		if math.Abs(float64(c)-want) > tol {
+			t.Errorf("tuple %q captured %d times, want ~%.0f (tol %.0f)", key, c, want, tol)
+		}
+	}
+}
+
+func TestHiddenDBSamplerRespectsLimiter(t *testing.T) {
+	tbl := smallTable(t, 10, 1, 4)
+	lim := hdb.NewLimiter(tbl, 25)
+	s := NewHiddenDBSampler(lim, 1, 6)
+	_, err := s.SampleN(1000)
+	if !errors.Is(err, hdb.ErrQueryLimit) {
+		t.Errorf("err = %v, want ErrQueryLimit", err)
+	}
+}
+
+func TestHiddenDBSamplerCScaleDefault(t *testing.T) {
+	tbl := smallTable(t, 10, 1, 4)
+	s := NewHiddenDBSampler(tbl, 0, 1) // <=0 defaults to 1
+	if s.cscale != 1 {
+		t.Errorf("cscale = %v, want default 1", s.cscale)
+	}
+}
+
+func TestHiddenDBSamplerBoostedCScaleCheaper(t *testing.T) {
+	// Boosting CScale must reduce queries per accepted tuple (the
+	// bias-for-efficiency trade the paper describes).
+	tbl := smallTable(t, 10, 1, 8)
+	cost := func(cscale float64) int64 {
+		ctr := hdb.NewCounter(tbl)
+		s := NewHiddenDBSampler(ctr, cscale, 9)
+		if _, err := s.SampleN(50); err != nil {
+			t.Fatal(err)
+		}
+		return ctr.Count()
+	}
+	exact := cost(1)
+	boosted := cost(1 << 10)
+	if boosted >= exact {
+		t.Errorf("boosted cost %d >= exact cost %d", boosted, exact)
+	}
+}
+
+func TestSampleNPartialOnError(t *testing.T) {
+	tbl := smallTable(t, 10, 1, 4)
+	lim := hdb.NewLimiter(tbl, 200)
+	s := NewHiddenDBSampler(lim, 1<<10, 6)
+	got, err := s.SampleN(100000)
+	if !errors.Is(err, hdb.ErrQueryLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) == 0 {
+		t.Error("no tuples collected before the limit")
+	}
+}
+
+func TestLincolnPetersenAndChapman(t *testing.T) {
+	if got := LincolnPetersen(10, 10, 2); got != 50 {
+		t.Errorf("LP = %v, want 50", got)
+	}
+	if got := LincolnPetersen(0, 10, 0); got != 0 {
+		t.Errorf("LP with empty sample = %v", got)
+	}
+	// Zero overlap falls back to Chapman (finite).
+	if got := LincolnPetersen(10, 10, 0); math.IsInf(got, 0) || got != Chapman(10, 10, 0) {
+		t.Errorf("LP zero-overlap = %v", got)
+	}
+	if got := Chapman(9, 9, 4); got != 19 {
+		t.Errorf("Chapman = %v, want 19", got)
+	}
+}
+
+func TestOverlapAndDistinct(t *testing.T) {
+	mk := func(vals ...uint16) hdb.Tuple {
+		return hdb.Tuple{Cats: vals}
+	}
+	c1 := []hdb.Tuple{mk(1, 0), mk(0, 1), mk(1, 1), mk(1, 1)}
+	c2 := []hdb.Tuple{mk(1, 1), mk(1, 1), mk(0, 0), mk(0, 1)}
+	if got := Distinct(c1); got != 3 {
+		t.Errorf("Distinct = %d, want 3", got)
+	}
+	if got := Overlap(c1, c2); got != 2 { // (1,1) and (0,1)
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+	if got := Overlap(nil, c2); got != 0 {
+		t.Errorf("Overlap with empty = %d", got)
+	}
+}
+
+func TestCaptureRecaptureConvergesOnSmallDB(t *testing.T) {
+	// On a tiny database with exact rejection sampling, capture-recapture
+	// should land in the right ballpark (it is biased, so allow slack).
+	tbl := smallTable(t, 16, 1, 6)
+	cr := NewCaptureRecapture(NewHiddenDBSampler(tbl, 1, 11))
+	for i := 0; i < 60; i++ {
+		if err := cr.Grow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n1, n2 := cr.SampleSizes()
+	if n1 != 60 || n2 != 60 {
+		t.Fatalf("sample sizes %d,%d", n1, n2)
+	}
+	est := cr.Estimate()
+	if est < 8 || est > 32 {
+		t.Errorf("capture-recapture estimate %v wildly off truth 16", est)
+	}
+}
+
+func TestCaptureRecaptureStopsAtLimit(t *testing.T) {
+	tbl := smallTable(t, 16, 1, 6)
+	lim := hdb.NewLimiter(tbl, 50)
+	cr := NewCaptureRecapture(NewHiddenDBSampler(lim, 1<<10, 3))
+	var err error
+	for i := 0; i < 10000; i++ {
+		if err = cr.Grow(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, hdb.ErrQueryLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	// Partial samples still produce a finite estimate.
+	if est := cr.Estimate(); math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Errorf("estimate = %v", est)
+	}
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"hdunbiased/internal/hdb"
+)
+
+// LincolnPetersen is the classic two-sample capture-recapture size estimate
+// m̂ = |C1|·|C2| / |C1 ∩ C2| (Section 2.3). It returns 0 when either sample
+// is empty and +Inf-avoiding fallback via Chapman when the overlap is zero.
+// As the paper notes, the estimator is positively biased — even before the
+// sampling bias of the underlying tuple sampler is added on top.
+func LincolnPetersen(n1, n2, overlap int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	if overlap == 0 {
+		return Chapman(n1, n2, 0)
+	}
+	return float64(n1) * float64(n2) / float64(overlap)
+}
+
+// Chapman is the bias-corrected capture-recapture estimate
+// m̂ = (|C1|+1)(|C2|+1)/(overlap+1) − 1, finite even with zero overlap.
+func Chapman(n1, n2, overlap int) float64 {
+	return float64(n1+1)*float64(n2+1)/float64(overlap+1) - 1
+}
+
+// Overlap counts tuples (by categorical identity) present in both samples.
+// Duplicate captures within one sample are counted once, matching the
+// closed-population model's "marked individuals" semantics.
+func Overlap(c1, c2 []hdb.Tuple) int {
+	seen := make(map[string]bool, len(c1))
+	for _, t := range c1 {
+		seen[t.CatKey()] = true
+	}
+	matched := make(map[string]bool)
+	for _, t := range c2 {
+		k := t.CatKey()
+		if seen[k] && !matched[k] {
+			matched[k] = true
+		}
+	}
+	return len(matched)
+}
+
+// Distinct counts distinct tuples in a sample by categorical identity.
+func Distinct(c []hdb.Tuple) int {
+	seen := make(map[string]bool, len(c))
+	for _, t := range c {
+		seen[t.CatKey()] = true
+	}
+	return len(seen)
+}
+
+// CaptureRecapture drives the paper's baseline end to end: draw two samples
+// with a HiddenDBSampler and apply Lincoln–Petersen (with Chapman fallback).
+type CaptureRecapture struct {
+	sampler *HiddenDBSampler
+	c1, c2  []hdb.Tuple
+}
+
+// NewCaptureRecapture builds the baseline over a sampler.
+func NewCaptureRecapture(sampler *HiddenDBSampler) *CaptureRecapture {
+	return &CaptureRecapture{sampler: sampler}
+}
+
+// Grow adds one captured tuple to each sample (two Sample calls). On error
+// (typically hdb.ErrQueryLimit) the samples collected so far remain usable.
+func (cr *CaptureRecapture) Grow() error {
+	t1, err := cr.sampler.Sample()
+	if err != nil {
+		return err
+	}
+	cr.c1 = append(cr.c1, t1)
+	t2, err := cr.sampler.Sample()
+	if err != nil {
+		return err
+	}
+	cr.c2 = append(cr.c2, t2)
+	return nil
+}
+
+// Estimate returns the current Lincoln–Petersen/Chapman size estimate using
+// distinct captures per sample.
+func (cr *CaptureRecapture) Estimate() float64 {
+	return LincolnPetersen(Distinct(cr.c1), Distinct(cr.c2), Overlap(cr.c1, cr.c2))
+}
+
+// SampleSizes returns the raw sizes of the two samples.
+func (cr *CaptureRecapture) SampleSizes() (int, int) { return len(cr.c1), len(cr.c2) }

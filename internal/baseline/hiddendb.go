@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdunbiased/internal/hdb"
+)
+
+// HiddenDBSampler is the random-walk tuple sampler of [13] (Dasgupta, Das,
+// Mannila, SIGMOD 2007), generalised to categorical attributes: drill down
+// from the root choosing a uniformly random branch per level; restart from
+// the root on underflow ("early termination"); on reaching a valid query,
+// pick one returned tuple uniformly and accept it with probability
+//
+//	a(t) = min(1, CScale · |q| / |Dom(A_{h+1},…,A_n)|)
+//
+// where h is the depth of the valid query. With CScale = 1 the acceptance
+// exactly cancels the walk's preference for shallow tuples and the accepted
+// sample is uniform conditioned on acceptance (the Boolean k=1 case reduces
+// to the classic accept-with-C/2^{n-h}). Larger CScale trades sampling bias
+// for efficiency, which is how the original algorithm is used in practice —
+// and precisely why the paper calls samples from it "biased with the bias
+// unknown".
+//
+// The sampler cannot estimate database size by itself: the restart
+// probability p_E in equation (3) of the paper is unknown, so p(q) is
+// unknowable without crawling. It exists here as the substrate for
+// CAPTURE-&-RECAPTURE.
+type HiddenDBSampler struct {
+	iface  hdb.Interface
+	rnd    *rand.Rand
+	cscale float64
+}
+
+// NewHiddenDBSampler builds the sampler. cscale <= 0 defaults to 1 (exact
+// rejection sampling).
+func NewHiddenDBSampler(iface hdb.Interface, cscale float64, seed int64) *HiddenDBSampler {
+	if cscale <= 0 {
+		cscale = 1
+	}
+	return &HiddenDBSampler{iface: iface, rnd: rand.New(rand.NewSource(seed)), cscale: cscale}
+}
+
+// Sample runs random walks until one tuple is accepted and returns it.
+// Queries are issued through the wrapped interface; bound the cost by
+// wrapping it in an hdb.Limiter, whose ErrQueryLimit surfaces here.
+func (s *HiddenDBSampler) Sample() (hdb.Tuple, error) {
+	schema := s.iface.Schema()
+	n := len(schema.Attrs)
+	for {
+		q := hdb.Query{}
+		restart := false
+		for lvl := 0; lvl < n; lvl++ {
+			attr := lvl // the 2007 sampler uses a fixed attribute order
+			child := q.And(attr, uint16(s.rnd.Intn(schema.Attrs[attr].Dom)))
+			res, err := s.iface.Query(child)
+			if err != nil {
+				return hdb.Tuple{}, err
+			}
+			if res.Underflow() {
+				restart = true
+				break
+			}
+			q = child
+			if res.Valid() {
+				// Uniformly pick one of the returned tuples, then reject to
+				// undo the walk's depth bias.
+				t := res.Tuples[s.rnd.Intn(len(res.Tuples))]
+				rest := 1.0
+				for a := lvl + 1; a < n; a++ {
+					rest *= float64(schema.Attrs[a].Dom)
+				}
+				accept := s.cscale * float64(len(res.Tuples)) / rest
+				if accept > 1 {
+					accept = 1
+				}
+				if s.rnd.Float64() < accept {
+					return t, nil
+				}
+				restart = true
+				break
+			}
+			// Overflow: keep drilling.
+		}
+		if !restart {
+			// Walked all n levels ending in overflow: a fully specified
+			// query overflowed.
+			return hdb.Tuple{}, fmt.Errorf("baseline: fully specified query overflowed — duplicate tuples beyond k")
+		}
+	}
+}
+
+// SampleN collects n accepted tuples, stopping early with the error (and the
+// tuples collected so far) if the interface fails — typically
+// hdb.ErrQueryLimit from a Limiter.
+func (s *HiddenDBSampler) SampleN(n int) ([]hdb.Tuple, error) {
+	out := make([]hdb.Tuple, 0, n)
+	for len(out) < n {
+		t, err := s.Sample()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

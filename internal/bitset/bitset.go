@@ -1,0 +1,267 @@
+// Package bitset provides a dense, word-packed bitset used as the storage
+// primitive for the hidden-database query evaluator. Bit i corresponds to the
+// tuple at rank i in the table's ranking order, so iterating set bits in
+// ascending order enumerates matching tuples in ranked (top-k) order.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset. The zero value is unusable; construct with
+// New. Methods that combine two sets require equal capacity and panic
+// otherwise, because mixing sets from different tables is always a bug.
+type Set struct {
+	n     int // capacity in bits
+	words []uint64
+}
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewFull returns a set with capacity n and all n bits set.
+func NewFull(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears any bits beyond the capacity in the final word.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. Capacities must match.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameCap(o)
+	copy(s.words, o.words)
+}
+
+// And intersects s with o in place. Capacities must match.
+func (s *Set) And(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// AndCount returns |s ∩ o| without allocating. Capacities must match.
+func (s *Set) AndCount(o *Set) int {
+	s.sameCap(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// AndCountUpTo returns min(|s ∩ o|, limit+1): it counts intersection bits but
+// stops as soon as the count exceeds limit. This is the top-k fast path — the
+// evaluator only needs to know whether a query overflows, i.e. whether the
+// intersection has more than k members.
+func (s *Set) AndCountUpTo(o *Set, limit int) int {
+	s.sameCap(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+		if c > limit {
+			return c
+		}
+	}
+	return c
+}
+
+// Or unions s with o in place. Capacities must match.
+func (s *Set) Or(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// AndNot removes o's bits from s in place. Capacities must match.
+func (s *Set) AndNot(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Clear clears all bits, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyAnd reports whether s ∩ o is non-empty without materialising it.
+func (s *Set) AnyAnd(o *Set) bool {
+	s.sameCap(o)
+	for i, w := range s.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o have identical capacity and contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order until fn returns
+// false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// FirstN appends the indices of the first n set bits (in ascending order) to
+// dst and returns it. Fewer than n are appended if the set has fewer bits.
+func (s *Set) FirstN(dst []int, n int) []int {
+	if n <= 0 {
+		return dst
+	}
+	s.ForEach(func(i int) bool {
+		dst = append(dst, i)
+		n--
+		return n > 0
+	})
+	return dst
+}
+
+// Indices returns all set bit indices in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// String renders the set as a brace-delimited index list, for tests and
+// debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) sameCap(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}

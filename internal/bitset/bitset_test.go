@@ -1,0 +1,382 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := New(n)
+		if s.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, s.Len())
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, s.Count())
+		}
+		if s.Any() {
+			t.Errorf("New(%d).Any() = true", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestNewFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := NewFull(n)
+		if got := s.Count(); got != n {
+			t.Errorf("NewFull(%d).Count() = %d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Errorf("NewFull(%d) missing bit %d", n, i)
+			}
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		s.Add(i)
+	}
+	if got := s.Count(); got != len(idx) {
+		t.Fatalf("Count = %d, want %d", got, len(idx))
+	}
+	for _, i := range idx {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Contains(2) || s.Contains(62) || s.Contains(66) {
+		t.Error("Contains reports unset bits as set")
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != len(idx)-1 {
+		t.Errorf("Count after Remove = %d", got)
+	}
+	// Add is idempotent.
+	s.Add(0)
+	s.Add(0)
+	if got := s.Count(); got != len(idx)-1 {
+		t.Errorf("Count after double Add = %d", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, fn := range map[string]func(){
+		"Add(10)":       func() { s.Add(10) },
+		"Add(-1)":       func() { s.Add(-1) },
+		"Contains(10)":  func() { s.Contains(10) },
+		"Remove(10)":    func() { s.Remove(10) },
+		"And mismatch":  func() { s.And(New(11)) },
+		"Or mismatch":   func() { s.Or(New(9)) },
+		"AndCount miss": func() { s.AndCount(New(11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i) // evens
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i) // multiples of 3
+	}
+	inter := a.Clone()
+	inter.And(b)
+	for i := 0; i < 100; i++ {
+		want := i%6 == 0
+		if inter.Contains(i) != want {
+			t.Errorf("And: bit %d = %v, want %v", i, inter.Contains(i), want)
+		}
+	}
+	if inter.Count() != a.AndCount(b) {
+		t.Errorf("AndCount = %d, materialised = %d", a.AndCount(b), inter.Count())
+	}
+
+	union := a.Clone()
+	union.Or(b)
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if union.Contains(i) != want {
+			t.Errorf("Or: bit %d = %v, want %v", i, union.Contains(i), want)
+		}
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if diff.Contains(i) != want {
+			t.Errorf("AndNot: bit %d = %v, want %v", i, diff.Contains(i), want)
+		}
+	}
+}
+
+func TestAndCountUpTo(t *testing.T) {
+	a := NewFull(1000)
+	b := NewFull(1000)
+	if got := a.AndCountUpTo(b, 10); got <= 10 {
+		t.Errorf("AndCountUpTo(10) = %d, want > 10", got)
+	}
+	if got := a.AndCountUpTo(b, 2000); got != 1000 {
+		t.Errorf("AndCountUpTo(2000) = %d, want exact 1000", got)
+	}
+	empty := New(1000)
+	if got := a.AndCountUpTo(empty, 0); got != 0 {
+		t.Errorf("AndCountUpTo with empty = %d", got)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{5, 64, 130, 199} {
+		s.Add(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, 199}, {199, 199},
+		{-5, 5}, {200, -1}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(64).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 128, 255, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Indices = %v, want %v", got, want)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return len(got) < 3
+	})
+	if !reflect.DeepEqual(got, want[:3]) {
+		t.Errorf("early-stop ForEach = %v, want %v", got, want[:3])
+	}
+}
+
+func TestFirstN(t *testing.T) {
+	s := New(100)
+	for i := 10; i < 20; i++ {
+		s.Add(i)
+	}
+	if got := s.FirstN(nil, 3); !reflect.DeepEqual(got, []int{10, 11, 12}) {
+		t.Errorf("FirstN(3) = %v", got)
+	}
+	if got := s.FirstN(nil, 100); len(got) != 10 {
+		t.Errorf("FirstN(100) returned %d indices, want 10", len(got))
+	}
+	if got := s.FirstN(nil, 0); len(got) != 0 {
+		t.Errorf("FirstN(0) = %v", got)
+	}
+	// Appends to dst.
+	dst := []int{-1}
+	if got := s.FirstN(dst, 1); !reflect.DeepEqual(got, []int{-1, 10}) {
+		t.Errorf("FirstN append = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(70)
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Contains(2) {
+		t.Error("mutating clone affected original")
+	}
+	a.Add(3)
+	if c.Contains(3) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestCopyFromEqualClear(t *testing.T) {
+	a := New(129)
+	for i := 0; i < 129; i += 7 {
+		a.Add(i)
+	}
+	b := New(129)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Error("CopyFrom: not Equal")
+	}
+	b.Clear()
+	if b.Any() || b.Count() != 0 {
+		t.Error("Clear left bits set")
+	}
+	if a.Equal(New(128)) {
+		t.Error("Equal across capacities should be false")
+	}
+}
+
+func TestAnyAnd(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(50)
+	b.Add(51)
+	if a.AnyAnd(b) {
+		t.Error("AnyAnd true for disjoint sets")
+	}
+	b.Add(50)
+	if !a.AnyAnd(b) {
+		t.Error("AnyAnd false for overlapping sets")
+	}
+}
+
+// randomSet builds a set plus a reference bool-slice model from rnd.
+func randomSet(n int, rnd *rand.Rand) (*Set, []bool) {
+	s := New(n)
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rnd.Intn(2) == 0 {
+			s.Add(i)
+			ref[i] = true
+		}
+	}
+	return s, ref
+}
+
+// TestQuickAgainstModel cross-checks the bitset against a []bool reference
+// model under random And/Or/AndNot compositions.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(300)
+		a, ra := randomSet(n, rnd)
+		b, rb := randomSet(n, rnd)
+		switch rnd.Intn(3) {
+		case 0:
+			a.And(b)
+			for i := range ra {
+				ra[i] = ra[i] && rb[i]
+			}
+		case 1:
+			a.Or(b)
+			for i := range ra {
+				ra[i] = ra[i] || rb[i]
+			}
+		case 2:
+			a.AndNot(b)
+			for i := range ra {
+				ra[i] = ra[i] && !rb[i]
+			}
+		}
+		count := 0
+		for i, v := range ra {
+			if v != a.Contains(i) {
+				return false
+			}
+			if v {
+				count++
+			}
+		}
+		return count == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeMorgan checks |a∩b| + |a∖b| == |a| and commutativity of AndCount.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(500)
+		a, _ := randomSet(n, rnd)
+		b, _ := randomSet(n, rnd)
+		diff := a.Clone()
+		diff.AndNot(b)
+		if a.AndCount(b)+diff.Count() != a.Count() {
+			return false
+		}
+		return a.AndCount(b) == b.AndCount(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNextSetMatchesForEach verifies the two iteration primitives agree.
+func TestQuickNextSetMatchesForEach(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(400)
+		s, _ := randomSet(n, rnd)
+		var viaNext []int
+		for i := s.NextSet(0); i != -1; i = s.NextSet(i + 1) {
+			viaNext = append(viaNext, i)
+		}
+		return reflect.DeepEqual(viaNext, s.Indices()) ||
+			(len(viaNext) == 0 && len(s.Indices()) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(9)
+	if got := s.String(); got != "{1 9}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x := NewFull(200000)
+	y := NewFull(200000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}
+
+func BenchmarkAndCountUpToOverflow(b *testing.B) {
+	x := NewFull(200000)
+	y := NewFull(200000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCountUpTo(y, 100)
+	}
+}

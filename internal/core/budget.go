@@ -1,0 +1,60 @@
+package core
+
+import (
+	"hdunbiased/internal/stats"
+)
+
+// BudgetResult reports a RunBudget execution.
+type BudgetResult struct {
+	// Means holds the mean estimate per measure over all passes — unbiased,
+	// since every pass is.
+	Means []float64
+	// StdErrs holds the standard error of each mean (0 after one pass);
+	// ±2 standard errors is the usual ~95% uncertainty interval.
+	StdErrs []float64
+	// Passes is the number of Estimate calls performed.
+	Passes int
+	// Cost is the number of backend queries consumed by this run.
+	Cost int64
+	// Exact reports that the base query answered the aggregate exactly.
+	Exact bool
+}
+
+// RunBudget drives an estimator until roughly budget backend queries have
+// been spent, or maxPasses Estimate calls have been made, whichever comes
+// first (maxPasses <= 0 means 1000). Bounding by passes matters: the client
+// cache makes repeat queries free, so on a small database the cost can stop
+// growing and a cost-only loop would never terminate.
+func RunBudget(e *Estimator, budget int64, maxPasses int) (BudgetResult, error) {
+	if maxPasses <= 0 {
+		maxPasses = 1000
+	}
+	startCost := e.Cost()
+	runs := make([]stats.Running, len(e.measures))
+	var res BudgetResult
+	for res.Passes < maxPasses {
+		est, err := e.Estimate()
+		if err != nil {
+			return BudgetResult{}, err
+		}
+		res.Passes++
+		for i, v := range est.Values {
+			runs[i].Add(v)
+		}
+		if est.Exact {
+			res.Exact = true
+			break
+		}
+		if e.Cost()-startCost >= budget {
+			break
+		}
+	}
+	res.Cost = e.Cost() - startCost
+	res.Means = make([]float64, len(runs))
+	res.StdErrs = make([]float64, len(runs))
+	for i := range runs {
+		res.Means[i] = runs[i].Mean()
+		res.StdErrs[i] = runs[i].StdErr()
+	}
+	return res, nil
+}

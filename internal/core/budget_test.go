@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+func TestRunBudgetBasic(t *testing.T) {
+	tbl := autoTableSmall(t, 3000, 20)
+	e, err := NewHDUnbiasedSize(tbl, 3, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBudget(e, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 1 {
+		t.Fatal("no passes")
+	}
+	if res.Cost <= 0 {
+		t.Fatal("no cost")
+	}
+	if len(res.Means) != 1 || len(res.StdErrs) != 1 {
+		t.Fatalf("means/stderrs = %v/%v", res.Means, res.StdErrs)
+	}
+	truth := float64(tbl.Size())
+	if math.Abs(res.Means[0]-truth)/truth > 0.5 {
+		t.Errorf("mean %v wildly off truth %v", res.Means[0], truth)
+	}
+	if res.Exact {
+		t.Error("Exact reported for an overflowing root")
+	}
+}
+
+func TestRunBudgetPassCapTerminates(t *testing.T) {
+	// A database so small the cache covers everything: cost stops growing
+	// and only the pass cap can end the loop.
+	tbl := paperTable(t, 1)
+	e, err := NewBoolUnbiasedSize(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBudget(e, 1<<40, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 25 {
+		t.Errorf("passes = %d, want capped 25", res.Passes)
+	}
+}
+
+func TestRunBudgetExactShortCircuits(t *testing.T) {
+	tbl := paperTable(t, 10) // whole DB in one page
+	e, err := NewBoolUnbiasedSize(tbl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBudget(e, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Passes != 1 || res.Means[0] != 6 {
+		t.Errorf("exact run: %+v", res)
+	}
+}
+
+func TestRunBudgetPropagatesError(t *testing.T) {
+	tbl := paperTable(t, 1)
+	lim := hdb.NewLimiter(tbl, 2)
+	e, err := NewBoolUnbiasedSize(lim, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBudget(e, 1000, 0); err == nil {
+		t.Error("limiter error not propagated")
+	}
+}
+
+func TestRunBudgetMultipleMeasures(t *testing.T) {
+	tbl := paperTable(t, 1)
+	plan := mustPlan(t, tbl)
+	e, err := New(tbl, plan, []Measure{CountMeasure(), AttrMeasure(1)}, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBudget(e, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Means) != 2 {
+		t.Fatalf("means = %v", res.Means)
+	}
+	// SUM(A2) truth is 3, COUNT truth is 6; loose sanity bounds.
+	if res.Means[0] < 2 || res.Means[0] > 18 {
+		t.Errorf("COUNT mean %v implausible", res.Means[0])
+	}
+	if res.Means[1] < 0.5 || res.Means[1] > 10 {
+		t.Errorf("SUM mean %v implausible", res.Means[1])
+	}
+}

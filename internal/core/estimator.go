@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// ErrBudget is returned when an Estimate call exceeds Config.MaxQueries
+// backend queries — a guard against pathological recursion, not a paper
+// mechanism (experiments enforce their own budgets by stopping between
+// Estimate calls).
+var ErrBudget = errors.New("core: query budget exceeded")
+
+// Config tunes an Estimator. The two paper parameters (Section 5.1) are R
+// here and D_UB inside the querytree.Plan.
+type Config struct {
+	// R is the number of drill-downs per subtree (the paper's r). With R=1
+	// and a single-layer plan the estimator degenerates to
+	// BOOL-UNBIASED-SIZE's plain drill-down. Default 1.
+	R int
+	// WeightAdjust enables Section 4.1's variance reduction.
+	WeightAdjust bool
+	// MixLambda is the defensive-mixing mass spread uniformly over
+	// not-known-empty branches when WeightAdjust is on; it keeps every
+	// branch reachable no matter how wrong the learned weights are.
+	// Default 0.2.
+	MixLambda float64
+	// PropagateChildEstimates feeds each child subtree's unbiased size
+	// estimate back into the weight tree of the levels that led to it, so
+	// weight adjustment keeps learning even when most drill-downs end at
+	// bottom-overflow nodes (equation (6) applied across the subtree
+	// boundary). Only meaningful with WeightAdjust. Default on when
+	// WeightAdjust is on.
+	PropagateChildEstimates *bool
+	// MaxQueries caps backend queries per Estimate call. Default 1e6.
+	MaxQueries int64
+	// AssumeBaseOverflows skips issuing the plan's base query and treats it
+	// as overflowing. Required when the interface rejects the bare base
+	// query — e.g. a webform with a required-attribute rule (Yahoo! Auto's
+	// MAKE/MODEL) and a whole-database plan whose first drill level is that
+	// required attribute. If the base in fact selects <= k tuples, walks
+	// fail with an all-branches-underflow error instead of returning the
+	// exact answer.
+	AssumeBaseOverflows bool
+	// Seed seeds the estimator's random source; ignored when Rand is set.
+	Seed int64
+	// Rand overrides the random source (shared sources let callers
+	// interleave estimators deterministically).
+	Rand *rand.Rand
+}
+
+// Estimate is the outcome of one full estimation pass.
+type Estimate struct {
+	// Values holds one unbiased aggregate estimate per configured measure.
+	Values []float64
+	// Cost is the number of backend queries this pass consumed.
+	Cost int64
+	// Exact reports that the base query itself was valid or underflowing,
+	// so Values are exact rather than estimated.
+	Exact bool
+}
+
+// Estimator runs backtracking-enabled random drill-downs (optionally with
+// weight adjustment and divide-&-conquer) and produces unbiased estimates of
+// the configured measures over the tuples matching the plan's base query.
+// It is not safe for concurrent use; run one Estimator per goroutine.
+type Estimator struct {
+	session   *hdb.Session
+	plan      *querytree.Plan
+	measures  []Measure
+	cfg       Config
+	weights   *weightTree
+	rnd       *rand.Rand
+	propagate bool
+
+	budgetLeft int64 // per-Estimate budget countdown
+}
+
+// New builds an Estimator over backend for the given plan and measures.
+func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Config) (*Estimator, error) {
+	if backend == nil || plan == nil {
+		return nil, fmt.Errorf("core: nil backend or plan")
+	}
+	schema := backend.Schema()
+	if len(schema.Attrs) != len(plan.Schema.Attrs) {
+		return nil, fmt.Errorf("core: plan schema has %d attributes, backend has %d",
+			len(plan.Schema.Attrs), len(schema.Attrs))
+	}
+	for i, a := range schema.Attrs {
+		if plan.Schema.Attrs[i].Dom != a.Dom {
+			return nil, fmt.Errorf("core: attribute %d fanout mismatch: plan %d vs backend %d",
+				i, plan.Schema.Attrs[i].Dom, a.Dom)
+		}
+	}
+	if err := validateMeasures(schema, measures); err != nil {
+		return nil, err
+	}
+	if cfg.R == 0 {
+		cfg.R = 1
+	}
+	if cfg.R < 1 {
+		return nil, fmt.Errorf("core: R must be >= 1, got %d", cfg.R)
+	}
+	if cfg.MixLambda == 0 {
+		cfg.MixLambda = 0.2
+	}
+	if cfg.MixLambda < 0 || cfg.MixLambda > 1 {
+		return nil, fmt.Errorf("core: MixLambda must be in [0,1], got %v", cfg.MixLambda)
+	}
+	if cfg.MaxQueries == 0 {
+		cfg.MaxQueries = 1_000_000
+	}
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(cfg.Seed))
+	}
+	propagate := cfg.WeightAdjust
+	if cfg.PropagateChildEstimates != nil {
+		propagate = *cfg.PropagateChildEstimates && cfg.WeightAdjust
+	}
+	return &Estimator{
+		session:   hdb.NewSession(backend),
+		plan:      plan,
+		measures:  measures,
+		cfg:       cfg,
+		weights:   newWeightTree(),
+		rnd:       rnd,
+		propagate: propagate,
+	}, nil
+}
+
+// Cost returns the cumulative backend queries issued over the estimator's
+// lifetime (all Estimate calls; the client cache makes repeat queries free).
+func (e *Estimator) Cost() int64 { return e.session.Cost() }
+
+// Plan returns the estimator's tree plan.
+func (e *Estimator) Plan() *querytree.Plan { return e.plan }
+
+// query issues one query through the session, charging the per-call budget.
+func (e *Estimator) query(q hdb.Query) (hdb.Result, error) {
+	before := e.session.Cost()
+	res, err := e.session.Query(q)
+	e.budgetLeft -= e.session.Cost() - before
+	if err != nil {
+		return hdb.Result{}, err
+	}
+	if e.budgetLeft < 0 {
+		return hdb.Result{}, fmt.Errorf("%w (MaxQueries=%d)", ErrBudget, e.cfg.MaxQueries)
+	}
+	return res, nil
+}
+
+// Estimate performs one full estimation pass: issue the base query and, if
+// it overflows, recursively explore the layered query tree. Each call
+// produces an independent unbiased estimate per measure; callers average
+// repeated calls to shrink variance (the weight tree keeps learning across
+// calls when weight adjustment is on).
+//
+// Budget loops should bound passes as well as Cost(): the client cache makes
+// repeat queries free, so on a database small enough for the cache to cover
+// the reachable tree, Cost() stops growing and a cost-only loop never exits.
+func (e *Estimator) Estimate() (Estimate, error) {
+	e.budgetLeft = e.cfg.MaxQueries
+	startCost := e.session.Cost()
+
+	if !e.cfg.AssumeBaseOverflows {
+		root, err := e.query(e.plan.Base)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if !root.Overflow {
+			// The base query answers the aggregate exactly: its result is
+			// the complete Sel(base) (possibly empty).
+			return Estimate{
+				Values: measureResult(e.measures, root),
+				Cost:   e.session.Cost() - startCost,
+				Exact:  true,
+			}, nil
+		}
+	}
+
+	acc := make([]float64, len(e.measures))
+	if _, err := e.explore(e.plan.Base, 0, 1, acc); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Values: acc, Cost: e.session.Cost() - startCost}, nil
+}
+
+// explore runs R drill-downs over the subtree rooted at root (which
+// overflows), covering the layer that starts at startLevel, and adds every
+// captured top-valid node's contribution measure(q)/κ(q) into acc, where
+// κ(q) = R·p(q)·kappa (equation (9) of the paper). Drill-downs that end at a
+// bottom-overflow node recurse into the next layer with
+// κ(child) = R·p(child)·kappa. It returns its total COUNT contribution
+// (Σ |q|/κ(q) over everything it captured), which the caller uses to
+// propagate subtree-size knowledge into the weight tree.
+func (e *Estimator) explore(root hdb.Query, startLevel int, kappa float64, acc []float64) (float64, error) {
+	endLevel := e.plan.LayerEnd(startLevel)
+	r := e.cfg.R
+	var countContrib float64
+	for i := 0; i < r; i++ {
+		out, err := e.walk(root, startLevel, endLevel)
+		if err != nil {
+			return countContrib, err
+		}
+		denom := float64(r) * out.prob * kappa
+		if !out.bottomOverflow {
+			vals := measureResult(e.measures, out.res)
+			for mi := range acc {
+				acc[mi] += vals[mi] / denom
+			}
+			hit := float64(len(out.res.Tuples)) / denom
+			countContrib += hit
+			if e.cfg.WeightAdjust {
+				e.recordWalk(out.steps, float64(len(out.res.Tuples)))
+			}
+			continue
+		}
+		// Bottom-overflow: explore the child subtree hanging below out.query
+		// once per hit — κ multiplies by this walk's R·p.
+		childContrib, err := e.explore(out.query, endLevel, denom, acc)
+		countContrib += childContrib
+		if err != nil {
+			return countContrib, err
+		}
+		if e.propagate && childContrib > 0 {
+			// childContrib·κ(child) is an unbiased estimate of the tuple
+			// mass under out.query; feed it to the branches that led there.
+			e.recordWalk(out.steps, childContrib*denom)
+		}
+	}
+	return countContrib, nil
+}
+
+// observe feeds one branch query result into the weight tree (underflow /
+// exact valid count / overflow floor). Skipped when weight adjustment is off
+// — the uniform walk never consults the tree, so there is nothing to learn.
+func (e *Estimator) observe(key string, fanout, branch int, res hdb.Result) {
+	if !e.cfg.WeightAdjust {
+		if res.Underflow() {
+			e.weights.markEmpty(key, fanout, branch)
+		}
+		return
+	}
+	e.weights.observe(key, fanout, branch, res, e.session.K())
+}
+
+// recordWalk folds a terminal size (the |q_Hj| of equation (6), or a child
+// subtree's size estimate) into the weight tree along a walk's path: the
+// sample for the branch taken at step i is size divided by the conditional
+// probability of the rest of the walk below that branch.
+func (e *Estimator) recordWalk(steps []walkStep, size float64) {
+	condProb := 1.0
+	for i := len(steps) - 1; i >= 0; i-- {
+		s := steps[i]
+		e.weights.addSample(s.nodeKey, e.plan.FanoutAt(s.level), s.branch, size/condProb)
+		condProb *= s.prob
+	}
+}
+
+// AvgEstimate returns sum/count — the ratio-of-unbiased-estimators AVG the
+// paper discusses in Section 5.2. It is NOT unbiased (the paper shows
+// unbiased AVG estimation is essentially as hard as brute-force sampling);
+// it is exposed because the ratio is still the standard practical choice.
+func AvgEstimate(sum, count float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}

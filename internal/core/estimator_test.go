@@ -1,0 +1,411 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// runEstimates performs n Estimate calls and returns the per-call values of
+// measure index mi.
+func runEstimates(t testing.TB, e *Estimator, n, mi int) []float64 {
+	t.Helper()
+	out := make([]float64, n)
+	for i := range out {
+		est, err := e.Estimate()
+		if err != nil {
+			t.Fatalf("Estimate %d: %v", i, err)
+		}
+		out[i] = est.Values[mi]
+	}
+	return out
+}
+
+// assertUnbiased checks that the sample mean of estimates is within 5
+// standard errors of truth (plus a small absolute slack for tiny variances).
+func assertUnbiased(t *testing.T, name string, truth float64, estimates []float64) {
+	t.Helper()
+	var run stats.Running
+	for _, e := range estimates {
+		run.Add(e)
+	}
+	tol := 5*run.StdErr() + 1e-9 + 0.01*truth
+	if math.Abs(run.Mean()-truth) > tol {
+		t.Errorf("%s: mean estimate %v vs truth %v (tol %v, n=%d, sd=%v)",
+			name, run.Mean(), truth, tol, len(estimates), run.StdDev())
+	}
+}
+
+func TestBoolUnbiasedSizeOnRunningExample(t *testing.T) {
+	tbl := paperTable(t, 1)
+	e, err := NewBoolUnbiasedSize(tbl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := runEstimates(t, e, 6000, 0)
+	assertUnbiased(t, "running example", 6, ests)
+}
+
+func TestUnbiasednessAcrossConfigs(t *testing.T) {
+	// Every feature combination must stay unbiased on random small DBs:
+	// that is Theorem 1 plus the Section 4 claims that WA and D&C do not
+	// affect unbiasedness.
+	rnd := rand.New(rand.NewSource(21))
+	configs := []struct {
+		name string
+		dub  int
+		cfg  Config
+	}{
+		{"plain", 0, Config{R: 1}},
+		{"wa", 0, Config{R: 1, WeightAdjust: true}},
+		{"dc", 4, Config{R: 2}},
+		{"dc-r3", 4, Config{R: 3}},
+		{"wa+dc", 4, Config{R: 2, WeightAdjust: true}},
+		{"wa+dc-no-propagate", 4, Config{R: 2, WeightAdjust: true, PropagateChildEstimates: boolPtr(false)}},
+		{"wa-lambda-half", 0, Config{R: 1, WeightAdjust: true, MixLambda: 0.5}},
+	}
+	for trial := 0; trial < 4; trial++ {
+		tbl := randomTable(t, rnd)
+		if tbl.Size() <= tbl.K() {
+			continue
+		}
+		for _, c := range configs {
+			c.cfg.Seed = int64(trial*100 + 1)
+			dub := c.dub
+			// DUB must be at least the max fanout of this random schema.
+			for _, a := range tbl.Schema().Attrs {
+				if dub != 0 && a.Dom > dub {
+					dub = a.Dom
+				}
+			}
+			plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: dub})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(tbl, plan, []Measure{CountMeasure()}, c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests := runEstimates(t, e, 4000, 0)
+			assertUnbiased(t, c.name, float64(tbl.Size()), ests)
+		}
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+func TestSumEstimationUnbiased(t *testing.T) {
+	rnd := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		tbl := randomTable(t, rnd)
+		if tbl.Size() <= tbl.K() {
+			continue
+		}
+		attr := rnd.Intn(len(tbl.Schema().Attrs))
+		truth, err := tbl.SumAttr(attr, hdb.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth == 0 {
+			continue
+		}
+		plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(tbl, plan, []Measure{CountMeasure(), AttrMeasure(attr)}, Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count, sum stats.Running
+		for i := 0; i < 4000; i++ {
+			est, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			count.Add(est.Values[0])
+			sum.Add(est.Values[1])
+		}
+		if math.Abs(sum.Mean()-truth) > 5*sum.StdErr()+0.02*truth {
+			t.Errorf("trial %d: SUM mean %v vs truth %v", trial, sum.Mean(), truth)
+		}
+		if math.Abs(count.Mean()-float64(tbl.Size())) > 5*count.StdErr()+0.02*float64(tbl.Size()) {
+			t.Errorf("trial %d: COUNT mean %v vs truth %d", trial, count.Mean(), tbl.Size())
+		}
+	}
+}
+
+func TestConditionalAggUnbiased(t *testing.T) {
+	// HD-UNBIASED-AGG with a selection condition: estimate COUNT over the
+	// subtree A1=0 of the running example (4 tuples) with k=1.
+	tbl := paperTable(t, 1)
+	cond := hdb.Query{}.And(0, 0)
+	truth, err := tbl.SelCount(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 4 {
+		t.Fatalf("ground truth = %d, want 4", truth)
+	}
+	e, err := NewHDUnbiasedAgg(tbl, cond, []Measure{CountMeasure()}, 2, 8, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := runEstimates(t, e, 5000, 0)
+	assertUnbiased(t, "conditional COUNT", 4, ests)
+}
+
+func TestExactWhenBaseNotOverflowing(t *testing.T) {
+	tbl := paperTable(t, 10) // whole DB fits in one page
+	e, err := NewBoolUnbiasedSize(tbl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.Values[0] != 6 {
+		t.Errorf("expected exact 6, got %+v", est)
+	}
+
+	// Underflowing condition: zero, exact.
+	tbl1 := paperTable(t, 1)
+	cond := hdb.Query{}.And(0, 1).And(1, 0) // q2 of Figure 1: empty
+	e2, err := NewHDUnbiasedAgg(tbl1, cond, []Measure{CountMeasure()}, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = e2.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.Values[0] != 0 {
+		t.Errorf("expected exact 0, got %+v", est)
+	}
+}
+
+func TestEstimateCostAccounting(t *testing.T) {
+	tbl := paperTable(t, 1)
+	e, err := NewBoolUnbiasedSize(tbl, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est1, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1.Cost <= 0 {
+		t.Errorf("first estimate cost = %d, want > 0", est1.Cost)
+	}
+	total := est1.Cost
+	for i := 0; i < 50; i++ {
+		est, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += est.Cost
+	}
+	if e.Cost() != total {
+		t.Errorf("cumulative Cost %d != sum of per-call costs %d", e.Cost(), total)
+	}
+	// The cache must make repeat visits cheaper: on this 31-node tree, 51
+	// runs cannot cost 51x the first run.
+	if total >= est1.Cost*51 {
+		t.Errorf("no caching effect: total %d vs first %d", total, est1.Cost)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	tbl := autoTableSmall(t, 2000, 10)
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(tbl, plan, []Measure{CountMeasure()}, Config{R: 3, MaxQueries: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(); !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	run := func() []float64 {
+		tbl := paperTable(t, 1)
+		e, err := NewHDUnbiasedSize(tbl, 2, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runEstimates(t, e, 20, 0)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tbl := paperTable(t, 1)
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := []Measure{CountMeasure()}
+	if _, err := New(nil, plan, count, Config{}); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if _, err := New(tbl, nil, count, Config{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := New(tbl, plan, nil, Config{}); err == nil {
+		t.Error("no measures accepted")
+	}
+	if _, err := New(tbl, plan, count, Config{R: -1}); err == nil {
+		t.Error("negative R accepted")
+	}
+	if _, err := New(tbl, plan, count, Config{MixLambda: 2}); err == nil {
+		t.Error("MixLambda=2 accepted")
+	}
+	// Schema mismatch: plan over a different schema.
+	other := hdb.Schema{Attrs: []hdb.Attribute{{Name: "x", Dom: 3}}}
+	otherPlan, err := querytree.New(other, hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tbl, otherPlan, count, Config{}); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+	// Measure touching out-of-range attr.
+	bad := []Measure{func(tp hdb.Tuple) float64 { return float64(tp.Cats[99]) }}
+	if _, err := New(tbl, plan, bad, Config{}); err == nil {
+		t.Error("out-of-range measure accepted")
+	}
+}
+
+func TestWeightAdjustmentReducesVarianceOnSkew(t *testing.T) {
+	// A deliberately skewed Boolean DB (the Figure 4 shape, softened): one
+	// deep cluster plus shallow mass. WA should cut variance vs plain.
+	schema := hdb.Schema{Attrs: make([]hdb.Attribute, 10)}
+	for i := range schema.Attrs {
+		schema.Attrs[i] = hdb.Attribute{Name: attrLabel(i), Dom: 2}
+	}
+	var tuples []hdb.Tuple
+	// 40 tuples in the all-zero region differing on trailing bits.
+	for i := 0; i < 40; i++ {
+		cats := make([]uint16, 10)
+		for b := 0; b < 6; b++ {
+			cats[4+b] = uint16((i >> b) & 1)
+		}
+		tuples = append(tuples, hdb.Tuple{Cats: cats})
+	}
+	// One lone deep tuple on the other side.
+	lone := make([]uint16, 10)
+	lone[0] = 1
+	tuples = append(tuples, hdb.Tuple{Cats: lone})
+	tbl, err := hdb.NewTable(schema, 1, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variance := func(wa bool) float64 {
+		plan, err := querytree.New(schema, hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(tbl, plan, []Measure{CountMeasure()}, Config{R: 1, WeightAdjust: wa, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run stats.Running
+		for i := 0; i < 3000; i++ {
+			est, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.Add(est.Values[0])
+		}
+		// Unbiasedness holds in both modes.
+		if math.Abs(run.Mean()-41) > 5*run.StdErr()+1 {
+			t.Errorf("wa=%v: mean %v vs 41", wa, run.Mean())
+		}
+		return run.Variance()
+	}
+	plain := variance(false)
+	adjusted := variance(true)
+	if adjusted >= plain {
+		t.Errorf("weight adjustment did not reduce variance: %v >= %v", adjusted, plain)
+	}
+}
+
+func attrLabel(i int) string { return "B" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestDCReducesVarianceOnAuto(t *testing.T) {
+	// Divide-&-conquer is the paper's main variance lever (Figure 14): on a
+	// categorical skewed DB, HD with D&C should beat plain drill-down.
+	tbl := autoTableSmall(t, 4000, 20)
+	truth := float64(tbl.Size())
+
+	varOf := func(r, dub int) float64 {
+		plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: dub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(tbl, plan, []Measure{CountMeasure()}, Config{R: r, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run stats.Running
+		for i := 0; i < 300; i++ {
+			est, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.Add(est.Values[0])
+		}
+		if math.Abs(run.Mean()-truth) > 6*run.StdErr()+0.05*truth {
+			t.Errorf("r=%d dub=%d: mean %v vs truth %v", r, dub, run.Mean(), truth)
+		}
+		return run.Variance()
+	}
+	plain := varOf(1, 0)
+	dc := varOf(4, 16)
+	if dc >= plain {
+		t.Errorf("D&C did not reduce per-estimate variance: %v >= %v", dc, plain)
+	}
+}
+
+func TestAvgEstimate(t *testing.T) {
+	if got := AvgEstimate(10, 4); got != 2.5 {
+		t.Errorf("AvgEstimate = %v", got)
+	}
+	if got := AvgEstimate(10, 0); got != 0 {
+		t.Errorf("AvgEstimate with zero count = %v", got)
+	}
+}
+
+func TestMeasures(t *testing.T) {
+	tp := hdb.Tuple{Cats: []uint16{3, 0}, Nums: []float64{7.5}}
+	if got := CountMeasure()(tp); got != 1 {
+		t.Errorf("CountMeasure = %v", got)
+	}
+	if got := AttrMeasure(0)(tp); got != 3 {
+		t.Errorf("AttrMeasure = %v", got)
+	}
+	if got := NumMeasure(0)(tp); got != 7.5 {
+		t.Errorf("NumMeasure = %v", got)
+	}
+	res := hdb.Result{Tuples: []hdb.Tuple{tp, {Cats: []uint16{1, 1}, Nums: []float64{2.5}}}}
+	vals := measureResult([]Measure{CountMeasure(), NumMeasure(0)}, res)
+	if vals[0] != 2 || vals[1] != 10 {
+		t.Errorf("measureResult = %v", vals)
+	}
+}

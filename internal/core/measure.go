@@ -1,0 +1,87 @@
+// Package core implements the paper's estimators:
+//
+//   - BOOL-UNBIASED-SIZE (Section 3): random drill-down with backtracking
+//     over the query tree, yielding an exactly-known selection probability
+//     p(q) for the top-valid node reached and hence an unbiased
+//     Horvitz–Thompson estimate |q|/p(q) of the database size;
+//   - smart backtracking for categorical attributes (Section 3.2),
+//     generalised here to weighted branch distributions: the probability of
+//     committing to branch v_j is w_j plus the total weight of the
+//     consecutive run of underflowing branches immediately preceding v_j
+//     (circularly), which reduces to the paper's (w_U(j)+1)/w under uniform
+//     weights;
+//   - weight adjustment (Section 4.1): branch weights proportional to
+//     estimated subtree sizes learned from pilot drill-downs, defensively
+//     mixed with the uniform distribution; unbiasedness is unaffected
+//     because the weights actually used are always known exactly;
+//   - divide-&-conquer (Section 4.2): the tree is cut into layers of
+//     subtrees with subdomain size at most D_UB; each subtree gets r
+//     drill-downs and every drill-down that terminates at a bottom-overflow
+//     node recursively explores the subtree hanging below it with
+//     κ(q) = r·p(q)·κ(q_root);
+//   - HD-UNBIASED-SIZE = all of the above, and HD-UNBIASED-AGG (Section 5.2)
+//     which estimates SUM and COUNT aggregates with conjunctive selection
+//     conditions over the same walks (AVG is available as the ratio of the
+//     two and is biased, as the paper proves it must be).
+package core
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/hdb"
+)
+
+// Measure maps one tuple to the quantity being aggregated. The estimator
+// sums measures over each captured top-valid node; COUNT uses the constant
+// 1, SUM(A_i) uses the tuple's value of A_i.
+type Measure func(t hdb.Tuple) float64
+
+// CountMeasure is the COUNT(*) measure: 1 per tuple. HD-UNBIASED-SIZE is
+// HD-UNBIASED-AGG with this measure and an empty selection condition.
+func CountMeasure() Measure {
+	return func(hdb.Tuple) float64 { return 1 }
+}
+
+// AttrMeasure is SUM over the categorical code of attribute attr (the paper's
+// Figure 9/10 sums a randomly chosen attribute of the Boolean datasets).
+func AttrMeasure(attr int) Measure {
+	return func(t hdb.Tuple) float64 { return float64(t.Cats[attr]) }
+}
+
+// NumMeasure is SUM over the measure field at index idx (e.g. Price).
+func NumMeasure(idx int) Measure {
+	return func(t hdb.Tuple) float64 { return t.Nums[idx] }
+}
+
+// measureResult sums every measure over the tuples of a valid result.
+func measureResult(measures []Measure, res hdb.Result) []float64 {
+	out := make([]float64, len(measures))
+	for _, t := range res.Tuples {
+		for i, m := range measures {
+			out[i] += m(t)
+		}
+	}
+	return out
+}
+
+// validateMeasures checks measures against a schema by probing a synthetic
+// zero tuple — a cheap way to catch out-of-range attribute or measure
+// indices at construction time instead of mid-walk.
+func validateMeasures(schema hdb.Schema, measures []Measure) (err error) {
+	if len(measures) == 0 {
+		return fmt.Errorf("core: at least one measure required")
+	}
+	probe := hdb.Tuple{
+		Cats: make([]uint16, len(schema.Attrs)),
+		Nums: make([]float64, len(schema.Measures)),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: measure rejects schema-shaped tuples: %v", r)
+		}
+	}()
+	for _, m := range measures {
+		m(probe)
+	}
+	return nil
+}

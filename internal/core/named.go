@@ -1,0 +1,45 @@
+package core
+
+import (
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// This file provides the paper's named algorithms as one-line constructors
+// over the generic Estimator. All of them estimate without bias; they differ
+// only in which variance-reduction features are active.
+
+// NewBoolUnbiasedSize builds BOOL-UNBIASED-SIZE (Section 3.1): plain random
+// drill-down with backtracking, no weight adjustment, no divide-&-conquer.
+// Despite the name it works for categorical schemas too via smart
+// backtracking (Section 3.2); the paper brands the parameter-less variant
+// "BOOL".
+func NewBoolUnbiasedSize(backend hdb.Interface, seed int64) (*Estimator, error) {
+	plan, err := querytree.New(backend.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return New(backend, plan, []Measure{CountMeasure()}, Config{R: 1, Seed: seed})
+}
+
+// NewHDUnbiasedSize builds HD-UNBIASED-SIZE (Section 5.1): backtracking +
+// weight adjustment + divide-&-conquer with the two paper parameters r and
+// D_UB.
+func NewHDUnbiasedSize(backend hdb.Interface, r, dub int, seed int64) (*Estimator, error) {
+	plan, err := querytree.New(backend.Schema(), hdb.Query{}, querytree.Options{DUB: dub})
+	if err != nil {
+		return nil, err
+	}
+	return New(backend, plan, []Measure{CountMeasure()}, Config{R: r, WeightAdjust: true, Seed: seed})
+}
+
+// NewHDUnbiasedAgg builds HD-UNBIASED-AGG (Section 5.2): the HD estimator
+// over the subtree selected by a conjunctive condition, estimating the given
+// measures (COUNT and/or SUMs) simultaneously from the same drill-downs.
+func NewHDUnbiasedAgg(backend hdb.Interface, cond hdb.Query, measures []Measure, r, dub int, seed int64) (*Estimator, error) {
+	plan, err := querytree.New(backend.Schema(), cond, querytree.Options{DUB: dub})
+	if err != nil {
+		return nil, err
+	}
+	return New(backend, plan, measures, Config{R: r, WeightAdjust: true, Seed: seed})
+}

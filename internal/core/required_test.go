@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+	"hdunbiased/internal/webform"
+)
+
+// TestWholeDBSizeWithRequiredAttribute covers the Yahoo!-Auto-style setup
+// the paper describes in Section 6.1: the interface rejects queries that do
+// not specify MAKE, so whole-database size estimation must (a) put the
+// required attribute at the top of the tree and (b) never issue the bare
+// root query — Config.AssumeBaseOverflows plus querytree.Options.Required.
+func TestWholeDBSizeWithRequiredAttribute(t *testing.T) {
+	d, err := datagen.Auto(4000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := webform.NewServer(tbl, webform.ServerOptions{
+		RequireOneOf: []string{"make"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := webform.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := querytree.New(client.Schema(), hdb.Query{}, querytree.Options{
+		DUB:      16,
+		Required: []int{datagen.AutoMake},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.AttrAt(0) != datagen.AutoMake {
+		t.Fatalf("make not at the top of the tree: order %v", plan.Order)
+	}
+	e, err := New(client, plan, []Measure{CountMeasure()}, Config{
+		R: 3, WeightAdjust: true, AssumeBaseOverflows: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run stats.Running
+	for i := 0; i < 25; i++ {
+		est, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Add(est.Values[0])
+	}
+	truth := float64(tbl.Size())
+	if math.Abs(run.Mean()-truth) > 5*run.StdErr()+0.15*truth {
+		t.Errorf("mean %v vs truth %v (sd %v)", run.Mean(), truth, run.StdDev())
+	}
+}
+
+// TestAssumeBaseOverflowsSkipsBaseQuery checks the base query is really not
+// issued (a required-attribute server would reject it with an error, which
+// would surface from Estimate).
+func TestAssumeBaseOverflowsSkipsBaseQuery(t *testing.T) {
+	tbl := paperTable(t, 1)
+	rejecting := rejectBareRoot{tbl}
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the flag: Estimate fails on the rejected root.
+	e1, err := New(rejecting, plan, []Measure{CountMeasure()}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Estimate(); err == nil {
+		t.Fatal("bare root accepted by rejecting backend?")
+	}
+	// With the flag: estimation proceeds and stays unbiased.
+	e2, err := New(rejecting, plan, []Measure{CountMeasure()}, Config{Seed: 1, AssumeBaseOverflows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run stats.Running
+	for i := 0; i < 3000; i++ {
+		est, err := e2.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Add(est.Values[0])
+	}
+	if math.Abs(run.Mean()-6) > 5*run.StdErr()+0.2 {
+		t.Errorf("mean %v vs truth 6", run.Mean())
+	}
+}
+
+// rejectBareRoot errors on the empty query, like a required-attribute form.
+type rejectBareRoot struct{ tbl *hdb.Table }
+
+func (r rejectBareRoot) Schema() hdb.Schema { return r.tbl.Schema() }
+func (r rejectBareRoot) K() int             { return r.tbl.K() }
+func (r rejectBareRoot) Query(q hdb.Query) (hdb.Result, error) {
+	if len(q.Preds) == 0 {
+		return hdb.Result{}, errRequired
+	}
+	return r.tbl.Query(q)
+}
+
+var errRequired = &requiredErr{}
+
+type requiredErr struct{}
+
+func (*requiredErr) Error() string { return "at least one attribute must be specified" }

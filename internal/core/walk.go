@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdunbiased/internal/hdb"
+)
+
+// walkStep records what happened at one level of a drill-down: which node
+// the walk stood at, which branch it committed to, and with what probability
+// — everything weight adjustment and p(q) computation need.
+type walkStep struct {
+	nodeKey string  // weight-tree key of the node drilled at
+	level   int     // global level index
+	branch  int     // committed branch value
+	prob    float64 // probability the walk followed this branch
+}
+
+// walkOutcome is the terminal state of one drill-down within a subtree.
+type walkOutcome struct {
+	query          hdb.Query  // terminal node's query
+	res            hdb.Result // terminal result: Valid or (bottom-)Overflow
+	prob           float64    // within-subtree selection probability ∏ step probs
+	steps          []walkStep // one entry per level walked
+	bottomOverflow bool       // true: terminal node overflows at the layer's bottom level
+}
+
+// walk performs one random drill-down with backtracking over levels
+// [startLevel, endLevel) of the plan, starting below root, which the caller
+// guarantees overflows. It terminates at a top-valid node (res.Valid) or at
+// an overflowing node at the layer's bottom boundary (bottomOverflow).
+//
+// Per level, the committed branch's probability is
+//
+//	P(follow v_j) = w_j + Σ weights of the consecutive run of underflowing
+//	                branches immediately preceding v_j (circularly)
+//
+// — the weighted generalisation of the paper's smart backtracking, equal to
+// (w_U(j)+1)/w under uniform weights. Discovering the run may require
+// issuing the paper's extra sibling queries; the one query-free case is a
+// Boolean level whose committed branch is valid, where the sibling cannot
+// underflow (Scenario I of Section 3.1 always holds at the last level).
+func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome, error) {
+	out := walkOutcome{prob: 1}
+	q := root
+	for lvl := startLevel; lvl < endLevel; lvl++ {
+		attr := e.plan.AttrAt(lvl)
+		fanout := e.plan.FanoutAt(lvl)
+		key := nodeKey(q)
+		weights, err := e.weights.branchWeights(key, fanout, e.cfg.WeightAdjust, e.cfg.MixLambda)
+		if err != nil {
+			return walkOutcome{}, err
+		}
+
+		j0 := drawIndex(weights, e.rnd)
+		j := j0
+		runWeight := 0.0
+		var committed hdb.Result
+		// Commit phase: follow j0, walking right circularly past underflows.
+		for tested := 0; ; tested++ {
+			if tested >= fanout {
+				return walkOutcome{}, fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, q.String())
+			}
+			if weights[j] == 0 {
+				// Known-empty branch under weight adjustment: skip without a
+				// query; it contributes zero weight to the run.
+				j = (j + 1) % fanout
+				continue
+			}
+			res, err := e.query(q.And(attr, uint16(j)))
+			if err != nil {
+				return walkOutcome{}, err
+			}
+			e.observe(key, fanout, j, res)
+			if res.Underflow() {
+				runWeight += weights[j]
+				j = (j + 1) % fanout
+				continue
+			}
+			committed = res
+			break
+		}
+
+		// Probe phase: extend the empty run leftwards from the initial draw
+		// until a non-empty branch ends it. Skipped when the Boolean
+		// shortcut applies.
+		if !(fanout == 2 && committed.Valid()) {
+			for i := (j0 - 1 + fanout) % fanout; i != j; i = (i - 1 + fanout) % fanout {
+				if weights[i] == 0 {
+					continue // known empty: part of the run, zero weight
+				}
+				res, err := e.query(q.And(attr, uint16(i)))
+				if err != nil {
+					return walkOutcome{}, err
+				}
+				e.observe(key, fanout, i, res)
+				if !res.Underflow() {
+					break
+				}
+				runWeight += weights[i]
+			}
+		}
+
+		pBranch := weights[j] + runWeight
+		if pBranch <= 0 || pBranch > 1+1e-9 {
+			return walkOutcome{}, fmt.Errorf("core: branch probability %v out of (0,1] at %s", pBranch, q.String())
+		}
+		out.steps = append(out.steps, walkStep{nodeKey: key, level: lvl, branch: j, prob: pBranch})
+		out.prob *= pBranch
+		q = q.And(attr, uint16(j))
+
+		if committed.Valid() {
+			out.query, out.res = q, committed
+			return out, nil
+		}
+		// Overflow: drill deeper, or stop at the layer boundary.
+		if lvl+1 == endLevel {
+			if endLevel == e.plan.Depth() {
+				// An overflowing complete assignment means more than k
+				// duplicate tuples — outside the paper's model.
+				return walkOutcome{}, fmt.Errorf("core: fully specified query %s overflows — more than k duplicate tuples violates the no-duplicates model", q.String())
+			}
+			out.query, out.res, out.bottomOverflow = q, committed, true
+			return out, nil
+		}
+	}
+	panic("core: unreachable — walk always terminates at the layer boundary")
+}
+
+// drawIndex samples an index from a probability vector. weights must sum to
+// ~1 with at least one positive entry (branchWeights guarantees it).
+func drawIndex(weights []float64, rnd *rand.Rand) int {
+	u := rnd.Float64()
+	acc := 0.0
+	last := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		last = i
+		if u <= acc {
+			return i
+		}
+	}
+	return last // FP slack: attribute the tail to the last positive entry
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// paperTable builds the running example of Table 1 (6 tuples, 4 Boolean
+// attributes + 1 categorical with |Dom|=5).
+func paperTable(t testing.TB, k int) *hdb.Table {
+	t.Helper()
+	schema := hdb.Schema{Attrs: []hdb.Attribute{
+		{Name: "A1", Dom: 2}, {Name: "A2", Dom: 2}, {Name: "A3", Dom: 2},
+		{Name: "A4", Dom: 2}, {Name: "A5", Dom: 5},
+	}}
+	rows := [][]uint16{
+		{0, 0, 0, 0, 0},
+		{0, 0, 0, 1, 0},
+		{0, 0, 1, 0, 0},
+		{0, 1, 1, 1, 0},
+		{1, 1, 1, 0, 2},
+		{1, 1, 1, 1, 0},
+	}
+	tuples := make([]hdb.Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = hdb.Tuple{Cats: r}
+	}
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+// randomTable builds a small random categorical database for property tests.
+func randomTable(t testing.TB, rnd *rand.Rand) *hdb.Table {
+	t.Helper()
+	nAttr := 2 + rnd.Intn(3)
+	attrs := make([]hdb.Attribute, nAttr)
+	for i := range attrs {
+		attrs[i] = hdb.Attribute{Name: "a" + string(rune('0'+i)), Dom: 2 + rnd.Intn(3)}
+	}
+	schema := hdb.Schema{Attrs: attrs}
+	domain := int(schema.DomainSize())
+	m := 2 + rnd.Intn(domain/2)
+	seen := map[string]bool{}
+	var tuples []hdb.Tuple
+	for len(tuples) < m && len(seen) < domain {
+		tp := hdb.Tuple{Cats: make([]uint16, nAttr)}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+	}
+	k := 1 + rnd.Intn(3)
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatalf("randomTable: %v", err)
+	}
+	return tbl
+}
+
+// tvRef is the analytically derived reference for one top-valid node under
+// the uniform (no weight adjustment, no divide-&-conquer) drill-down.
+type tvRef struct {
+	p    float64 // exact selection probability
+	size int     // |Sel(q)|
+}
+
+// enumTopValid recursively enumerates every top-valid node of the query tree
+// and computes its exact selection probability under uniform smart
+// backtracking: per level, P(follow v_j) = (w_U(j)+1)/w with w_U(j) the
+// consecutive run of empty branches immediately preceding v_j circularly.
+// This is an independent re-derivation of what the walker's bookkeeping must
+// produce — Section 3.2 of the paper.
+func enumTopValid(t testing.TB, tbl *hdb.Table, plan *querytree.Plan) map[string]tvRef {
+	t.Helper()
+	out := make(map[string]tvRef)
+	rootCount, err := tbl.SelCount(plan.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootCount <= tbl.K() {
+		t.Fatal("enumTopValid requires an overflowing root")
+	}
+	var rec func(q hdb.Query, level int, p float64)
+	rec = func(q hdb.Query, level int, p float64) {
+		attr := plan.AttrAt(level)
+		w := plan.FanoutAt(level)
+		counts := make([]int, w)
+		for v := 0; v < w; v++ {
+			c, err := tbl.SelCount(q.And(attr, uint16(v)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[v] = c
+		}
+		for v := 0; v < w; v++ {
+			if counts[v] == 0 {
+				continue
+			}
+			// w_U(v): consecutive empty branches immediately preceding v.
+			wU := 0
+			for d := 1; d < w; d++ {
+				if counts[(v-d+w*d)%w] != 0 {
+					break
+				}
+				wU++
+			}
+			pBranch := float64(wU+1) / float64(w)
+			child := q.And(attr, uint16(v))
+			if counts[v] <= tbl.K() {
+				out[child.Key()] = tvRef{p: p * pBranch, size: counts[v]}
+			} else {
+				rec(child, level+1, p*pBranch)
+			}
+		}
+	}
+	rec(plan.Base, 0, 1)
+	return out
+}
+
+func TestEnumProbabilitiesSumToOne(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomTable(t, rnd)
+		if tbl.Size() <= tbl.K() {
+			continue
+		}
+		plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := enumTopValid(t, tbl, plan)
+		var sumP float64
+		var sumSize int
+		for _, r := range refs {
+			sumP += r.p
+			sumSize += r.size
+		}
+		if math.Abs(sumP-1) > 1e-9 {
+			t.Fatalf("trial %d: Σp(q) = %v, want 1", trial, sumP)
+		}
+		if sumSize != tbl.Size() {
+			t.Fatalf("trial %d: top-valid nodes cover %d tuples, table has %d", trial, sumSize, tbl.Size())
+		}
+	}
+}
+
+// TestWalkMatchesEnumeration drives the real walker many times over random
+// small databases and checks that (a) the probability it records for each
+// terminal node equals the analytic value and (b) the empirical frequency of
+// reaching each node matches that probability.
+func TestWalkMatchesEnumeration(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	const walks = 20000
+	for trial := 0; trial < 8; trial++ {
+		tbl := randomTable(t, rnd)
+		if tbl.Size() <= tbl.K() {
+			continue
+		}
+		plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := enumTopValid(t, tbl, plan)
+
+		est, err := New(tbl, plan, []Measure{CountMeasure()}, Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.budgetLeft = 1 << 50
+		freq := make(map[string]int)
+		for i := 0; i < walks; i++ {
+			out, err := est.walk(plan.Base, 0, plan.Depth())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.bottomOverflow {
+				t.Fatal("single-layer walk reported bottom overflow")
+			}
+			key := out.query.Key()
+			ref, ok := refs[key]
+			if !ok {
+				t.Fatalf("walker reached %q which enumeration says is not top-valid", key)
+			}
+			if math.Abs(out.prob-ref.p) > 1e-9 {
+				t.Fatalf("node %q: recorded p = %v, analytic p = %v", key, out.prob, ref.p)
+			}
+			if len(out.res.Tuples) != ref.size {
+				t.Fatalf("node %q: |q| = %d, want %d", key, len(out.res.Tuples), ref.size)
+			}
+			freq[key]++
+		}
+		for key, ref := range refs {
+			got := float64(freq[key]) / walks
+			tol := 5*math.Sqrt(ref.p*(1-ref.p)/walks) + 1e-3
+			if math.Abs(got-ref.p) > tol {
+				t.Errorf("trial %d node %q: freq %v vs p %v (tol %v)", trial, key, got, ref.p, tol)
+			}
+		}
+	}
+}
+
+// TestWalkRunningExampleProbabilities pins the paper's Figure 1 numbers:
+// with k=1, the two deepest Boolean top-valid nodes t5/t6 sit under
+// A1=1,A2=1,A3=1 and have p = 1/4 each (h1 = 2 Scenario-I levels), exactly
+// the example's jqj/p(q) = 4 computation.
+func TestWalkRunningExampleProbabilities(t *testing.T) {
+	tbl := paperTable(t, 1)
+	// Boolean part only: restrict the tree to A1..A4 via KeepSchemaOrder so
+	// levels match Figure 1.
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{KeepSchemaOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enumTopValid(t, tbl, plan)
+	// t5 = (1,1,1,0,·): path A1=1 (Scenario I vs A1=0), A2=1 (Scenario II:
+	// A2=0 underflows), A3=1 (Scenario II), A4=0 (Scenario I) -> p=1/4.
+	q5 := hdb.Query{}.And(0, 1).And(1, 1).And(2, 1).And(3, 0)
+	ref, ok := refs[q5.Key()]
+	if !ok {
+		t.Fatalf("t5 node missing from enumeration; have %v", refs)
+	}
+	if math.Abs(ref.p-0.25) > 1e-12 {
+		t.Errorf("p(t5 node) = %v, want 1/4 (paper Section 3.1)", ref.p)
+	}
+	// t1 = (0,0,0,0,·): A1=0 (I), A2=0 (I), A3=0 (I), A4=0 (I) -> 1/16.
+	q1 := hdb.Query{}.And(0, 0).And(1, 0).And(2, 0).And(3, 0)
+	if got := refs[q1.Key()].p; math.Abs(got-1.0/16) > 1e-12 {
+		t.Errorf("p(t1 node) = %v, want 1/16", got)
+	}
+}
+
+func TestWalkInconsistentBackendError(t *testing.T) {
+	// A backend that overflows at the root but underflows everywhere below
+	// violates interface consistency; the walker must say so, not loop.
+	tbl := paperTable(t, 1)
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(liarIface{tbl}, plan, []Measure{CountMeasure()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.budgetLeft = 1 << 50
+	if _, err := est.walk(hdb.Query{}, 0, plan.Depth()); err == nil {
+		t.Fatal("no error from inconsistent backend")
+	}
+}
+
+// liarIface overflows on the empty query and underflows on everything else.
+type liarIface struct{ tbl *hdb.Table }
+
+func (l liarIface) Schema() hdb.Schema { return l.tbl.Schema() }
+func (l liarIface) K() int             { return l.tbl.K() }
+func (l liarIface) Query(q hdb.Query) (hdb.Result, error) {
+	if len(q.Preds) == 0 {
+		return hdb.Result{Tuples: []hdb.Tuple{{Cats: make([]uint16, 5)}}, Overflow: true}, nil
+	}
+	return hdb.Result{}, nil
+}
+
+func TestWalkDuplicateOverflowAtLeafError(t *testing.T) {
+	// More than k identical-categorical tuples make a complete assignment
+	// overflow; the walk must fail with a model-violation error.
+	schema := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 2}}}
+	tuples := []hdb.Tuple{
+		{Cats: []uint16{0}}, {Cats: []uint16{0}}, {Cats: []uint16{0}},
+	}
+	tbl, err := hdb.NewTable(schema, 1, tuples, hdb.WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := querytree.New(schema, hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(tbl, plan, []Measure{CountMeasure()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.budgetLeft = 1 << 50
+	if _, err := est.walk(hdb.Query{}, 0, plan.Depth()); err == nil {
+		t.Fatal("no error for overflowing complete assignment")
+	}
+}
+
+func TestDrawIndex(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	weights := []float64{0.5, 0, 0.25, 0.25}
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[drawIndex(weights, rnd)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight branch drawn %d times", counts[1])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("branch %d: freq %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDrawIndexFPSlack(t *testing.T) {
+	// Weights summing to slightly below 1 must still return a positive-
+	// weight index.
+	weights := []float64{0.3, 0.7 - 1e-12, 0}
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		j := drawIndex(weights, rnd)
+		if weights[j] == 0 {
+			t.Fatal("drawIndex returned zero-weight index")
+		}
+	}
+}
+
+// mustPlan builds a default full-tree plan over a table's schema.
+func mustPlan(t testing.TB, tbl *hdb.Table) *querytree.Plan {
+	t.Helper()
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// autoTableSmall is shared by estimator tests that want a categorical DB.
+func autoTableSmall(t testing.TB, m, k int) *hdb.Table {
+	t.Helper()
+	d, err := datagen.Auto(m, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}

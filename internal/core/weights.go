@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+// weightTree stores everything the weight-adjustment technique (Section 4.1)
+// learns across drill-downs. Per visited node it keeps, per branch:
+//
+//   - an exact subtree size when some query on that branch returned valid
+//     (the result then IS the complete Sel of the branch — free, definitive
+//     count information the paper's drill-downs observe anyway while
+//     computing p(q));
+//   - a known-underflow flag (subtree size exactly 0);
+//   - a known-overflow floor (size at least k+1);
+//   - a running Horvitz–Thompson estimate of the subtree size from walks
+//     that passed through the branch — the |D_Ci| estimator of equation (6).
+//
+// Knowledge only ever affects the branch distribution of *future* walks; the
+// probability of the walk in flight is computed from the weights it actually
+// drew from, so accumulating knowledge here cannot bias the estimator.
+type weightTree struct {
+	nodes map[string]*nodeState
+}
+
+type nodeState struct {
+	branches []branchInfo
+}
+
+type branchInfo struct {
+	est           stats.Running // equation-(6) samples
+	exact         float64       // exact |D_Ci| when hasExact
+	hasExact      bool
+	overflowFloor float64 // > 0 once the branch has been seen overflowing
+	empty         bool    // known underflow
+}
+
+func newWeightTree() *weightTree {
+	return &weightTree{nodes: make(map[string]*nodeState)}
+}
+
+// node returns the state for the tree node identified by key, creating it
+// with the given fanout on first touch.
+func (w *weightTree) node(key string, fanout int) *nodeState {
+	n, ok := w.nodes[key]
+	if !ok {
+		n = &nodeState{branches: make([]branchInfo, fanout)}
+		w.nodes[key] = n
+	}
+	if len(n.branches) != fanout {
+		panic(fmt.Sprintf("core: node %q fanout changed %d -> %d", key, len(n.branches), fanout))
+	}
+	return n
+}
+
+// markEmpty records that branch b of the node underflowed.
+func (w *weightTree) markEmpty(key string, fanout, b int) {
+	w.node(key, fanout).branches[b].empty = true
+}
+
+// observe folds a query result for branch b of the node into the tree:
+// valid results pin the branch's exact subtree size, overflows establish the
+// k+1 floor, underflows mark it empty.
+func (w *weightTree) observe(key string, fanout, b int, res hdb.Result, k int) {
+	br := &w.node(key, fanout).branches[b]
+	switch {
+	case res.Underflow():
+		br.empty = true
+	case res.Valid():
+		br.exact = float64(len(res.Tuples))
+		br.hasExact = true
+	default: // overflow
+		if floor := float64(k + 1); floor > br.overflowFloor {
+			br.overflowFloor = floor
+		}
+	}
+}
+
+// addSample folds one subtree-size sample for branch b of the node — the
+// |q_Hj| / p(q_Hj | q_Ci) term of equation (6). Samples are ignored once
+// the exact size is known.
+func (w *weightTree) addSample(key string, fanout, b int, size float64) {
+	br := &w.node(key, fanout).branches[b]
+	if br.hasExact || br.empty {
+		return
+	}
+	br.est.Add(size)
+}
+
+// branchWeights returns the branch probability distribution for a node.
+//
+// Without weight adjustment the distribution is uniform — the drill-down of
+// Section 3 — and the weight tree is not consulted (known-empty branches
+// keep probability 1/w, exactly as the paper's w_U(j) accounting assumes;
+// re-probing them costs nothing thanks to the client cache).
+//
+// With weight adjustment, branch b gets weight proportional to the best
+// available subtree-size knowledge — exact count, equation-(6) estimate
+// bounded below by the overflow floor, the floor alone, or the mean of the
+// informed branches as a prior — defensively mixed with the uniform
+// distribution over not-known-empty branches: p_b = (1-λ)·ŵ_b + λ·u_b.
+// Known-empty branches get exactly zero. The returned slice always sums to
+// 1 over at least one positive entry; an error means the tree believes
+// every branch is empty, which contradicts an overflowing parent and
+// indicates an inconsistent backend.
+func (w *weightTree) branchWeights(key string, fanout int, adjust bool, lambda float64) ([]float64, error) {
+	probs := make([]float64, fanout)
+	if !adjust {
+		for i := range probs {
+			probs[i] = 1 / float64(fanout)
+		}
+		return probs, nil
+	}
+	n := w.node(key, fanout)
+	alive := 0
+	for _, br := range n.branches {
+		if !br.empty {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("core: weight tree says all %d branches of %q are empty under an overflowing parent", fanout, key)
+	}
+
+	// Raw size knowledge per branch; 0 means "no size estimate yet". A
+	// branch whose only knowledge is the overflow floor is NOT informed —
+	// the floor is a lower bound, not an estimate, and treating it as one
+	// would crush unwalked overflowing branches next to a walked sibling
+	// with a large estimated subtree.
+	raw := make([]float64, fanout)
+	var informedSum float64
+	var informedN int
+	for b := range n.branches {
+		br := &n.branches[b]
+		if br.empty {
+			continue
+		}
+		v := 0.0
+		switch {
+		case br.hasExact:
+			v = br.exact
+		case br.est.N() > 0:
+			v = br.est.Mean()
+			if v < br.overflowFloor {
+				v = br.overflowFloor
+			}
+		}
+		if v > 0 {
+			raw[b] = v
+			informedSum += v
+			informedN++
+		}
+	}
+	// Prior for uninformed alive branches: the mean informed size, or
+	// uniform when nothing is known anywhere on this node. The overflow
+	// floor acts as a lower bound on the prior.
+	prior := 1.0
+	if informedN > 0 {
+		prior = informedSum / float64(informedN)
+	}
+	var rawSum float64
+	for b := range n.branches {
+		br := &n.branches[b]
+		if br.empty {
+			continue
+		}
+		if raw[b] == 0 {
+			raw[b] = prior
+			if br.overflowFloor > raw[b] {
+				raw[b] = br.overflowFloor
+			}
+		}
+		rawSum += raw[b]
+	}
+	uniform := 1 / float64(alive)
+	for b := range n.branches {
+		if n.branches[b].empty {
+			continue
+		}
+		probs[b] = (1-lambda)*raw[b]/rawSum + lambda*uniform
+	}
+	return probs, nil
+}
+
+// len reports the number of materialised nodes (for tests and diagnostics).
+func (w *weightTree) len() int { return len(w.nodes) }
+
+// nodeKey returns the weight-tree key for a query node. Query.Key is
+// canonical (attribute-sorted), so a node reached via different code paths
+// maps to the same state.
+func nodeKey(q hdb.Query) string { return q.Key() }

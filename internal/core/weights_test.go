@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+func TestBranchWeightsUniform(t *testing.T) {
+	w := newWeightTree()
+	probs, err := w.branchWeights("", 4, false, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if p != 0.25 {
+			t.Fatalf("uniform probs = %v", probs)
+		}
+	}
+	// Uniform mode must not materialise nodes.
+	if w.len() != 0 {
+		t.Errorf("uniform mode created %d nodes", w.len())
+	}
+}
+
+func sumOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestBranchWeightsAdjusted(t *testing.T) {
+	w := newWeightTree()
+	// Branch 0: estimated size 30; branch 1: 10; branch 2: empty;
+	// branch 3: unvisited (prior = mean of sampled = 20).
+	w.addSample("k", 4, 0, 30)
+	w.addSample("k", 4, 1, 10)
+	w.markEmpty("k", 4, 2)
+	probs, err := w.branchWeights("k", 4, true, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[2] != 0 {
+		t.Errorf("known-empty branch has probability %v", probs[2])
+	}
+	if math.Abs(sumOf(probs)-1) > 1e-12 {
+		t.Errorf("probs sum to %v", sumOf(probs))
+	}
+	// raw = 30,10,0,20 -> normalised .5,.1667,0,.3333; mix 0.2 with uniform
+	// over 3 alive branches (1/3 each).
+	want0 := 0.8*(30.0/60) + 0.2/3
+	if math.Abs(probs[0]-want0) > 1e-12 {
+		t.Errorf("probs[0] = %v, want %v", probs[0], want0)
+	}
+	if !(probs[0] > probs[3] && probs[3] > probs[1]) {
+		t.Errorf("ordering wrong: %v", probs)
+	}
+	// Every alive branch keeps at least λ/alive mass.
+	for i, p := range probs {
+		if i != 2 && p < 0.2/3-1e-12 {
+			t.Errorf("branch %d below defensive floor: %v", i, p)
+		}
+	}
+}
+
+func TestBranchWeightsNoSamples(t *testing.T) {
+	w := newWeightTree()
+	w.markEmpty("k", 3, 1)
+	probs, err := w.branchWeights("k", 3, true, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No samples anywhere: alive branches share uniformly.
+	if probs[1] != 0 || math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[2]-0.5) > 1e-12 {
+		t.Errorf("probs = %v, want [0.5 0 0.5]", probs)
+	}
+}
+
+func TestBranchWeightsFreshNodeUniform(t *testing.T) {
+	w := newWeightTree()
+	probs, err := w.branchWeights("fresh", 5, true, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if math.Abs(p-0.2) > 1e-12 {
+			t.Fatalf("fresh node probs = %v, want uniform", probs)
+		}
+	}
+}
+
+func TestBranchWeightsAllEmptyError(t *testing.T) {
+	w := newWeightTree()
+	w.markEmpty("k", 2, 0)
+	w.markEmpty("k", 2, 1)
+	if _, err := w.branchWeights("k", 2, true, 0.2); err == nil {
+		t.Fatal("all-empty node did not error")
+	}
+}
+
+func TestBranchWeightsLambdaOneIsUniform(t *testing.T) {
+	w := newWeightTree()
+	w.addSample("k", 3, 0, 1000)
+	probs, err := w.branchWeights("k", 3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("λ=1 probs = %v, want uniform", probs)
+		}
+	}
+}
+
+func TestBranchWeightsNonPositiveSampleFallsBack(t *testing.T) {
+	// Zero/negative samples (possible only from a degenerate measure) must
+	// not zero out a live branch.
+	w := newWeightTree()
+	w.addSample("k", 2, 0, 0)
+	w.addSample("k", 2, 1, 10)
+	probs, err := w.branchWeights("k", 2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] <= 0 {
+		t.Errorf("zero-sample branch got probability %v", probs[0])
+	}
+	if math.Abs(sumOf(probs)-1) > 1e-12 {
+		t.Errorf("sum = %v", sumOf(probs))
+	}
+}
+
+func TestObserveExactCountDominates(t *testing.T) {
+	w := newWeightTree()
+	// Branch 0's subtree size is known exactly from a valid probe result;
+	// wildly wrong equation-(6) samples must not override it.
+	valid := hdb.Result{Tuples: make([]hdb.Tuple, 40)}
+	w.observe("k", 2, 0, valid, 100)
+	w.addSample("k", 2, 0, 1e9) // ignored: exact known
+	w.addSample("k", 2, 1, 60)
+	probs, err := w.branchWeights("k", 2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[0]-0.4) > 1e-12 || math.Abs(probs[1]-0.6) > 1e-12 {
+		t.Errorf("probs = %v, want [0.4 0.6] from exact 40 vs sampled 60", probs)
+	}
+}
+
+func TestObserveOverflowFloor(t *testing.T) {
+	w := newWeightTree()
+	// Branch 0 overflowed (size >= k+1 = 101); branch 1 is exactly 1.
+	overflow := hdb.Result{Tuples: make([]hdb.Tuple, 100), Overflow: true}
+	w.observe("k", 2, 0, overflow, 100)
+	w.observe("k", 2, 1, hdb.Result{Tuples: make([]hdb.Tuple, 1)}, 100)
+	probs, err := w.branchWeights("k", 2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 101.0 / 102.0
+	if math.Abs(probs[0]-want0) > 1e-12 {
+		t.Errorf("probs[0] = %v, want %v (floor k+1 vs exact 1)", probs[0], want0)
+	}
+	// Equation-(6) samples below the floor are clamped up to it.
+	w2 := newWeightTree()
+	w2.observe("x", 2, 0, overflow, 100)
+	w2.addSample("x", 2, 0, 5) // below the floor of 101
+	w2.addSample("x", 2, 1, 101)
+	probs2, err := w2.branchWeights("x", 2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs2[0]-0.5) > 1e-12 {
+		t.Errorf("probs2[0] = %v, want 0.5 (sample clamped to floor)", probs2[0])
+	}
+}
+
+func TestObserveUnderflowMarksEmpty(t *testing.T) {
+	w := newWeightTree()
+	w.observe("k", 3, 1, hdb.Result{}, 100)
+	probs, err := w.branchWeights("k", 3, true, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[1] != 0 {
+		t.Errorf("underflow-observed branch has probability %v", probs[1])
+	}
+}
+
+func TestNodeFanoutChangePanics(t *testing.T) {
+	w := newWeightTree()
+	w.node("k", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fanout change did not panic")
+		}
+	}()
+	w.node("k", 4)
+}

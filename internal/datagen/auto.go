@@ -1,0 +1,253 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdunbiased/internal/hdb"
+)
+
+// The Auto dataset is the stand-in for the paper's offline Yahoo! Auto data
+// (15,211 crawled cars inflated to 188,790 tuples with DBGen following the
+// crawled distribution). We do not have the crawl, so we draw from a fixed
+// correlated generative model with the attribute counts and fanouts the
+// paper states: 38 attributes — 6 categorical with |Dom| in 5..16 and 32
+// Boolean option flags — plus a Price measure used by the SUM experiments.
+//
+// The estimator-relevant properties preserved from the paper's description:
+// the database is orders of magnitude smaller than its domain
+// (|Dom| ≈ 1.0·10^14 vs m ≈ 1.9·10^5), the categorical attributes are
+// skewed (Zipf-like make popularity, make-conditioned models), and the
+// Boolean options are correlated through a latent trim level.
+
+// AutoSize is the paper's enlarged Yahoo! Auto dataset size.
+const AutoSize = 188790
+
+// Auto attribute layout. Categorical attributes come first (the paper's
+// attribute-order heuristic places large fanouts at the top of the query
+// tree anyway), then the 32 Boolean option flags.
+const (
+	AutoMake         = 0 // |Dom| = 16
+	AutoModel        = 1 // |Dom| = 16, distribution conditioned on make
+	AutoColor        = 2 // |Dom| = 12
+	AutoBodyStyle    = 3 // |Dom| = 8
+	AutoFuel         = 4 // |Dom| = 6
+	AutoTransmission = 5 // |Dom| = 5
+	AutoFirstOption  = 6 // options occupy attributes 6..37
+	AutoNumOptions   = 32
+)
+
+// AutoPriceMeasure is the name of the price measure (Figure 19 aggregates
+// SUM(Price)).
+const AutoPriceMeasure = "price"
+
+var autoMakes = []string{
+	"toyota", "ford", "chevrolet", "honda", "nissan", "dodge", "bmw",
+	"mercedes", "volkswagen", "hyundai", "kia", "mazda", "subaru", "lexus",
+	"pontiac", "saturn",
+}
+
+// autoModelNames gives per-make model display names; every make has 16
+// model slots (some shared generic names for the tail).
+var autoModelBase = []string{
+	"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7",
+	"m8", "m9", "m10", "m11", "m12", "m13", "m14", "m15",
+}
+
+// Well-known model names for the examples (Figure 18/19 use Toyota Corolla,
+// Ford Escape, Chevy Cobalt, Pontiac G6, Ford F-150).
+var autoNamedModels = map[string][]string{
+	"toyota":    {"corolla", "camry", "prius", "rav4", "tacoma", "highlander", "sienna", "yaris"},
+	"ford":      {"f-150", "escape", "focus", "fusion", "mustang", "explorer", "ranger", "taurus"},
+	"chevrolet": {"cobalt", "impala", "malibu", "silverado", "tahoe", "equinox", "aveo", "hhr"},
+	"pontiac":   {"g6", "grand-prix", "vibe", "solstice", "torrent", "g5", "bonneville", "montana"},
+}
+
+// AutoMakeName returns the display name for a make code.
+func AutoMakeName(code uint16) string { return autoMakes[code] }
+
+// AutoMakeCode returns the code for a make display name, or -1.
+func AutoMakeCode(name string) int {
+	for i, m := range autoMakes {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AutoModelName returns the display name for a model code under a make.
+func AutoModelName(makeCode, modelCode uint16) string {
+	mk := autoMakes[makeCode]
+	if named, ok := autoNamedModels[mk]; ok && int(modelCode) < len(named) {
+		return named[modelCode]
+	}
+	return mk + "-" + autoModelBase[modelCode]
+}
+
+// AutoModelCode returns the model code for a display name under a make,
+// or -1.
+func AutoModelCode(makeCode int, name string) int {
+	for c := 0; c < 16; c++ {
+		if AutoModelName(uint16(makeCode), uint16(c)) == name {
+			return c
+		}
+	}
+	return -1
+}
+
+// AutoSchema returns the Auto dataset's schema.
+func AutoSchema() hdb.Schema {
+	attrs := []hdb.Attribute{
+		{Name: "make", Dom: 16},
+		{Name: "model", Dom: 16},
+		{Name: "color", Dom: 12},
+		{Name: "body_style", Dom: 8},
+		{Name: "fuel", Dom: 6},
+		{Name: "transmission", Dom: 5},
+	}
+	for i := 0; i < AutoNumOptions; i++ {
+		attrs = append(attrs, hdb.Attribute{Name: fmt.Sprintf("opt_%02d", i), Dom: 2})
+	}
+	return hdb.Schema{Attrs: attrs, Measures: []string{AutoPriceMeasure}}
+}
+
+// Auto generates an Auto dataset with m tuples. Use AutoSize to match the
+// paper's enlarged crawl.
+func Auto(m int, seed int64) (*Dataset, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("datagen: m must be >= 1, got %d", m)
+	}
+	schema := AutoSchema()
+	rnd := rand.New(rand.NewSource(seed))
+
+	// Zipf-like make popularity: weight(rank) ∝ 1/(rank+1)^0.9.
+	makeDist := newWeighted(powerWeights(16, 0.9))
+	// Per-make model popularity, shuffled so popular models differ by make.
+	modelDists := make([]*weighted, 16)
+	for mk := range modelDists {
+		w := powerWeights(16, 1.1)
+		mr := rand.New(rand.NewSource(seed + int64(mk) + 1000))
+		mr.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] })
+		modelDists[mk] = newWeighted(w)
+	}
+	colorDist := newWeighted(powerWeights(12, 0.7))
+	bodyDist := newWeighted(powerWeights(8, 0.8))
+	fuelDist := newWeighted([]float64{60, 20, 10, 6, 3, 1})
+	transDist := newWeighted([]float64{70, 15, 8, 5, 2})
+
+	// Base price class per make (luxury makes cost more) and per body style.
+	makePriceMul := make([]float64, 16)
+	for mk := range makePriceMul {
+		switch autoMakes[mk] {
+		case "bmw", "mercedes", "lexus":
+			makePriceMul[mk] = 2.4
+		case "toyota", "honda", "subaru":
+			makePriceMul[mk] = 1.2
+		default:
+			makePriceMul[mk] = 1.0
+		}
+	}
+
+	nAttrs := len(schema.Attrs)
+	tuples := make([]hdb.Tuple, 0, m)
+	seen := make(map[string]bool, m)
+	for len(tuples) < m {
+		t := hdb.Tuple{Cats: make([]uint16, nAttrs), Nums: make([]float64, 1)}
+		mk := makeDist.sample(rnd)
+		t.Cats[AutoMake] = uint16(mk)
+		t.Cats[AutoModel] = uint16(modelDists[mk].sample(rnd))
+		t.Cats[AutoColor] = uint16(colorDist.sample(rnd))
+		t.Cats[AutoBodyStyle] = uint16(bodyDist.sample(rnd))
+		t.Cats[AutoFuel] = uint16(fuelDist.sample(rnd))
+		t.Cats[AutoTransmission] = uint16(transDist.sample(rnd))
+
+		// Latent trim level in [0,1] correlates the option flags: higher
+		// trim -> more options, luxury makes skew higher.
+		trim := rnd.Float64()
+		if makePriceMul[mk] > 2 {
+			trim = math.Sqrt(trim) // luxury: push towards 1
+		}
+		nOpts := 0
+		for i := 0; i < AutoNumOptions; i++ {
+			// Option i has base adoption falling with i; trim shifts it.
+			pOpt := clamp(0.15+0.75*trim-0.018*float64(i), 0.02, 0.98)
+			if rnd.Float64() < pOpt {
+				t.Cats[AutoFirstOption+i] = 1
+				nOpts++
+			}
+		}
+
+		// Price: lognormal around a make/body/trim-determined base.
+		base := 9000 * makePriceMul[mk] * (1 + 0.8*trim) * (1 + 0.05*float64(t.Cats[AutoBodyStyle]))
+		price := base * math.Exp(rnd.NormFloat64()*0.25)
+		t.Nums[0] = math.Round(price)
+
+		uniquify(&t, seen, rnd, func(a int) uint16 {
+			return uint16(rnd.Intn(schema.Attrs[a].Dom))
+		})
+		tuples = append(tuples, t)
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("auto(m=%d)", m),
+		Schema: schema,
+		Tuples: tuples,
+	}, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// powerWeights returns n weights with weight(i) ∝ 1/(i+1)^alpha.
+func powerWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), alpha)
+	}
+	return w
+}
+
+// weighted samples an index proportionally to fixed non-negative weights
+// using inverse-CDF lookup.
+type weighted struct {
+	cum []float64
+}
+
+func newWeighted(w []float64) *weighted {
+	cum := make([]float64, len(w))
+	var total float64
+	for i, x := range w {
+		if x < 0 {
+			panic("datagen: negative weight")
+		}
+		total += x
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("datagen: zero total weight")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[len(cum)-1] = 1 // guard against FP drift
+	return &weighted{cum: cum}
+}
+
+func (w *weighted) sample(rnd *rand.Rand) int {
+	u := rnd.Float64()
+	// Linear scan is fine: longest weight vector here has 16 entries.
+	for i, c := range w.cum {
+		if u <= c {
+			return i
+		}
+	}
+	return len(w.cum) - 1
+}

@@ -1,0 +1,351 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+func TestBoolIIDShape(t *testing.T) {
+	d, err := BoolIID(5000, 20, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 5000 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if len(d.Schema.Attrs) != 20 {
+		t.Fatalf("attrs = %d", len(d.Schema.Attrs))
+	}
+	for _, a := range d.Schema.Attrs {
+		if a.Dom != 2 {
+			t.Fatalf("non-Boolean attribute %+v", a)
+		}
+	}
+	// Attribute means should be near p=0.5.
+	for a := 0; a < 20; a++ {
+		ones := 0
+		for _, tp := range d.Tuples {
+			if tp.Cats[a] == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(d.Size())
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("attr %d: fraction of ones = %.3f, want ~0.5", a, frac)
+		}
+	}
+}
+
+func TestBoolIIDUnique(t *testing.T) {
+	// Tight domain forces collisions; uniqueness must still hold.
+	d, err := BoolIID(250, 8, 0.5, 2) // domain 256, asking for 250
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tp := range d.Tuples {
+		k := tp.CatKey()
+		if seen[k] {
+			t.Fatal("duplicate tuple generated")
+		}
+		seen[k] = true
+	}
+}
+
+func TestBoolIIDDeterministic(t *testing.T) {
+	a, _ := BoolIID(100, 10, 0.5, 42)
+	b, _ := BoolIID(100, 10, 0.5, 42)
+	for i := range a.Tuples {
+		if a.Tuples[i].CatKey() != b.Tuples[i].CatKey() {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _ := BoolIID(100, 10, 0.5, 43)
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i].CatKey() != c.Tuples[i].CatKey() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestBoolParamsRejected(t *testing.T) {
+	if _, err := BoolIID(0, 10, 0.5, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BoolIID(10, 0, 0.5, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BoolIID(10, 63, 0.5, 1); err == nil {
+		t.Error("n=63 accepted")
+	}
+	if _, err := BoolIID(2000, 10, 0.5, 1); err == nil {
+		t.Error("m > 2^n accepted")
+	}
+	if _, err := BoolMixed(10, 5, 1); err == nil {
+		t.Error("BoolMixed n=5 accepted")
+	}
+}
+
+func TestBoolMixedSkew(t *testing.T) {
+	d, err := BoolMixed(20000, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions are shuffled, so check the multiset of per-attribute
+	// frequencies: the most skewed attribute is ~1/70, the least ~0.5, at
+	// least five attributes sit near 0.5 (the fair block plus 35/70), and
+	// the frequencies spread across the range rather than clustering.
+	fracs := make([]float64, 40)
+	for a := range fracs {
+		fracs[a] = onesFrac(d, a)
+	}
+	sort.Float64s(fracs)
+	if fracs[0] > 0.03 {
+		t.Errorf("min frac = %.3f, want ~1/70", fracs[0])
+	}
+	if fracs[39] < 0.45 || fracs[39] > 0.55 {
+		t.Errorf("max frac = %.3f, want ~0.5", fracs[39])
+	}
+	nearHalf := 0
+	for _, f := range fracs {
+		if f > 0.45 && f < 0.55 {
+			nearHalf++
+		}
+	}
+	if nearHalf < 5 {
+		t.Errorf("only %d attributes near p=0.5, want >= 5", nearHalf)
+	}
+	if fracs[20] < 0.1 || fracs[20] > 0.4 {
+		t.Errorf("median frac = %.3f, want mid-range", fracs[20])
+	}
+}
+
+func onesFrac(d *Dataset, attr int) float64 {
+	ones := 0
+	for _, tp := range d.Tuples {
+		if tp.Cats[attr] == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(d.Size())
+}
+
+func TestBoolDatasetBuildsTable(t *testing.T) {
+	d, err := BoolIID(1000, 15, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Size() != 1000 {
+		t.Errorf("table size = %d", tbl.Size())
+	}
+	r, err := tbl.Query(hdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow {
+		t.Error("root should overflow for m=1000, k=100")
+	}
+}
+
+func TestAutoShape(t *testing.T) {
+	d, err := Auto(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 20000 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	s := d.Schema
+	if len(s.Attrs) != 38 {
+		t.Fatalf("attrs = %d, want 38 (paper: 32 Boolean + 6 categorical)", len(s.Attrs))
+	}
+	nBool, nCat := 0, 0
+	for _, a := range s.Attrs {
+		if a.Dom == 2 {
+			nBool++
+		} else {
+			nCat++
+			if a.Dom < 5 || a.Dom > 16 {
+				t.Errorf("categorical attribute %q fanout %d outside paper's 5..16", a.Name, a.Dom)
+			}
+		}
+	}
+	if nBool != 32 || nCat != 6 {
+		t.Errorf("attribute mix = %d Boolean + %d categorical, want 32+6", nBool, nCat)
+	}
+	if s.MeasureIndex(AutoPriceMeasure) != 0 {
+		t.Error("price measure missing")
+	}
+	for _, tp := range d.Tuples[:100] {
+		if tp.Nums[0] <= 0 {
+			t.Fatalf("non-positive price %v", tp.Nums[0])
+		}
+	}
+}
+
+func TestAutoSkewAndCorrelation(t *testing.T) {
+	d, err := Auto(30000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make distribution is skewed: most popular make should have several
+	// times the share of the least popular.
+	counts := make([]int, 16)
+	for _, tp := range d.Tuples {
+		counts[tp.Cats[AutoMake]]++
+	}
+	max, min := 0, d.Size()
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if min == 0 || float64(max)/float64(min) < 3 {
+		t.Errorf("make skew max/min = %d/%d, want ratio >= 3", max, min)
+	}
+	// Luxury makes should be pricier on average than economy makes.
+	bmw := AutoMakeCode("bmw")
+	saturn := AutoMakeCode("saturn")
+	var bmwSum, saturnSum float64
+	var bmwN, saturnN int
+	for _, tp := range d.Tuples {
+		switch int(tp.Cats[AutoMake]) {
+		case bmw:
+			bmwSum += tp.Nums[0]
+			bmwN++
+		case saturn:
+			saturnSum += tp.Nums[0]
+			saturnN++
+		}
+	}
+	if bmwN == 0 || saturnN == 0 {
+		t.Fatal("missing make in sample")
+	}
+	if bmwSum/float64(bmwN) < 1.5*saturnSum/float64(saturnN) {
+		t.Errorf("BMW mean price %.0f not clearly above Saturn %.0f",
+			bmwSum/float64(bmwN), saturnSum/float64(saturnN))
+	}
+}
+
+func TestAutoUniqueAndDeterministic(t *testing.T) {
+	a, err := Auto(5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tp := range a.Tuples {
+		k := tp.CatKey()
+		if seen[k] {
+			t.Fatal("duplicate tuple in Auto dataset")
+		}
+		seen[k] = true
+	}
+	b, _ := Auto(5000, 5)
+	for i := range a.Tuples {
+		if a.Tuples[i].CatKey() != b.Tuples[i].CatKey() || a.Tuples[i].Nums[0] != b.Tuples[i].Nums[0] {
+			t.Fatal("Auto not deterministic in seed")
+		}
+	}
+}
+
+func TestAutoBuildsTable(t *testing.T) {
+	d, err := Auto(3000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Toyota Corolla ground truth must be positive (Figure 18 workload).
+	mk := AutoMakeCode("toyota")
+	md := AutoModelCode(mk, "corolla")
+	if mk < 0 || md < 0 {
+		t.Fatal("toyota corolla codes missing")
+	}
+	q := hdb.Query{}.And(AutoMake, uint16(mk)).And(AutoModel, uint16(md))
+	n, err := tbl.SelCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no Toyota Corollas generated")
+	}
+}
+
+func TestAutoNames(t *testing.T) {
+	if AutoMakeName(0) != "toyota" {
+		t.Errorf("make 0 = %q", AutoMakeName(0))
+	}
+	if AutoMakeCode("nope") != -1 {
+		t.Error("unknown make code not -1")
+	}
+	tc := AutoMakeCode("toyota")
+	if got := AutoModelName(uint16(tc), 0); got != "corolla" {
+		t.Errorf("toyota model 0 = %q", got)
+	}
+	if AutoModelCode(tc, "corolla") != 0 {
+		t.Error("corolla code != 0")
+	}
+	if AutoModelCode(tc, "zzz") != -1 {
+		t.Error("unknown model code not -1")
+	}
+	// Makes without named models fall back to generic names.
+	hy := AutoMakeCode("hyundai")
+	if got := AutoModelName(uint16(hy), 3); got != "hyundai-m3" {
+		t.Errorf("generic model name = %q", got)
+	}
+}
+
+func TestAutoRejectsBadM(t *testing.T) {
+	if _, err := Auto(0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestWeightedSampler(t *testing.T) {
+	w := newWeighted([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	rnd := newTestRand()
+	for i := 0; i < 40000; i++ {
+		counts[w.sample(rnd)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"negative": {1, -1},
+		"allzero":  {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights did not panic", name)
+				}
+			}()
+			newWeighted(w)
+		}()
+	}
+}

@@ -1,0 +1,5 @@
+package datagen
+
+import "math/rand"
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }

@@ -1,0 +1,43 @@
+package datagen
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/hdb"
+)
+
+// WorstCase builds the paper's Figure 4 adversarial database: n+1 Boolean
+// tuples t_0, t_1, …, t_n over n attributes where t_i agrees with t_0 on
+// attributes A_1..A_{n-i} and disagrees on A_{n-i+1}..A_n. With k=1 this
+// puts two top-valid nodes at the deepest level of the query tree (t_0 and
+// t_1 differ only on A_n), each with selection probability 1/2^{n-1}-ish,
+// driving the drill-down variance above 2^{n+1} − m² (Section 3.3.2) — the
+// scenario divide-&-conquer exists to fix.
+//
+// t_0 is the all-zero tuple, so t_i is zero on the first n−i attributes and
+// one on the rest.
+func WorstCase(n int) (*Dataset, error) {
+	if n < 2 || n > 62 {
+		return nil, fmt.Errorf("datagen: WorstCase needs n in [2,62], got %d", n)
+	}
+	attrs := make([]hdb.Attribute, n)
+	for i := range attrs {
+		attrs[i] = hdb.Attribute{Name: fmt.Sprintf("A%d", i+1), Dom: 2}
+	}
+	tuples := make([]hdb.Tuple, 0, n+1)
+	// t_0: all zeros.
+	tuples = append(tuples, hdb.Tuple{Cats: make([]uint16, n)})
+	// t_i flips the last i attributes of t_0.
+	for i := 1; i <= n; i++ {
+		cats := make([]uint16, n)
+		for j := n - i; j < n; j++ {
+			cats[j] = 1
+		}
+		tuples = append(tuples, hdb.Tuple{Cats: cats})
+	}
+	return &Dataset{
+		Name:   fmt.Sprintf("worst-case(n=%d)", n),
+		Schema: hdb.Schema{Attrs: attrs},
+		Tuples: tuples,
+	}, nil
+}

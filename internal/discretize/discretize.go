@@ -1,0 +1,121 @@
+// Package discretize turns numeric columns into the categorical attributes
+// the paper's model requires (Section 2.1: "we assume that numerical data
+// can be appropriately discretized to resemble categorical data"). Real
+// hidden-database forms do the same thing — a price search box is a dropdown
+// of ranges — so the bucketers here are what a deployment would use to build
+// its hdb.Schema from raw data.
+//
+// Two strategies are provided: equi-width (fixed-size ranges, what web forms
+// usually show) and equi-depth (quantile buckets, which balance the query
+// tree and therefore suit the drill-down better).
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Buckets maps float values to categorical codes 0..Len()-1 via sorted
+// upper boundaries. Value v gets the code of the first boundary >= v; values
+// above every boundary get the last code (the "and up" range of a web form).
+type Buckets struct {
+	// uppers[i] is the inclusive upper bound of bucket i; the last bucket
+	// is unbounded above.
+	uppers []float64
+}
+
+// Len returns the number of buckets (the attribute's |Dom|).
+func (b *Buckets) Len() int { return len(b.uppers) + 1 }
+
+// Code returns the categorical code for value v.
+func (b *Buckets) Code(v float64) uint16 {
+	i := sort.SearchFloat64s(b.uppers, v)
+	return uint16(i)
+}
+
+// Bounds returns the half-open range [lo, hi) covered by code (the first
+// bucket has lo = -Inf, the last hi = +Inf) — what a UI would print as the
+// dropdown label.
+func (b *Buckets) Bounds(code uint16) (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	i := int(code)
+	if i > 0 {
+		lo = b.uppers[i-1]
+	}
+	if i < len(b.uppers) {
+		hi = b.uppers[i]
+	}
+	return lo, hi
+}
+
+// Label renders the bucket as a human-readable range label.
+func (b *Buckets) Label(code uint16) string {
+	lo, hi := b.Bounds(code)
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return "any"
+	case math.IsInf(lo, -1):
+		return fmt.Sprintf("<= %g", hi)
+	case math.IsInf(hi, 1):
+		return fmt.Sprintf("> %g", lo)
+	default:
+		return fmt.Sprintf("%g - %g", lo, hi)
+	}
+}
+
+// EquiWidth builds n buckets of equal width spanning [min, max]. Web forms
+// typically present prices and mileages this way.
+func EquiWidth(min, max float64, n int) (*Buckets, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 buckets, got %d", n)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("discretize: need min < max, got [%g, %g]", min, max)
+	}
+	width := (max - min) / float64(n)
+	uppers := make([]float64, n-1)
+	for i := range uppers {
+		uppers[i] = min + width*float64(i+1)
+	}
+	return &Buckets{uppers: uppers}, nil
+}
+
+// EquiDepth builds n quantile buckets from sample values, so roughly equal
+// tuple counts land in each bucket — the choice that balances the query
+// tree's branches. Duplicate boundaries (heavily repeated values) are
+// collapsed, so the result may have fewer than n buckets; an error is
+// returned if fewer than 2 remain.
+func EquiDepth(values []float64, n int) (*Buckets, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 buckets, got %d", n)
+	}
+	if len(values) < n {
+		return nil, fmt.Errorf("discretize: %d values cannot fill %d buckets", len(values), n)
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if s[0] == s[len(s)-1] {
+		return nil, fmt.Errorf("discretize: all sample values identical; cannot bucket")
+	}
+	var uppers []float64
+	for i := 1; i < n; i++ {
+		q := s[(i*len(s))/n]
+		if len(uppers) == 0 || q > uppers[len(uppers)-1] {
+			uppers = append(uppers, q)
+		}
+	}
+	if len(uppers) == 0 {
+		return nil, fmt.Errorf("discretize: all sample values identical; cannot bucket")
+	}
+	return &Buckets{uppers: uppers}, nil
+}
+
+// Apply encodes a column of values with the bucketer.
+func (b *Buckets) Apply(values []float64) []uint16 {
+	out := make([]uint16, len(values))
+	for i, v := range values {
+		out[i] = b.Code(v)
+	}
+	return out
+}

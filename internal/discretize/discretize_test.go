@@ -1,0 +1,187 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquiWidthBasics(t *testing.T) {
+	b, err := EquiWidth(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	cases := []struct {
+		v    float64
+		want uint16
+	}{
+		{-5, 0}, {0, 0}, {24.9, 0}, {25, 0}, {25.1, 1}, {50, 1},
+		{74.9, 2}, {75, 2}, {99, 3}, {100, 3}, {1e9, 3},
+	}
+	for _, c := range cases {
+		if got := b.Code(c.v); got != c.want {
+			t.Errorf("Code(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEquiWidthErrors(t *testing.T) {
+	if _, err := EquiWidth(0, 100, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := EquiWidth(5, 5, 4); err == nil {
+		t.Error("min==max accepted")
+	}
+	if _, err := EquiWidth(10, 5, 4); err == nil {
+		t.Error("min>max accepted")
+	}
+}
+
+func TestEquiDepthBalances(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	values := make([]float64, 10000)
+	for i := range values {
+		values[i] = math.Exp(rnd.NormFloat64()) // heavily skewed
+	}
+	b, err := EquiDepth(values, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, b.Len())
+	for _, v := range values {
+		counts[b.Code(v)]++
+	}
+	want := len(values) / b.Len()
+	for code, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("bucket %d holds %d values, want ~%d (equi-depth)", code, c, want)
+		}
+	}
+}
+
+func TestEquiDepthCollapsesDuplicates(t *testing.T) {
+	values := []float64{1, 1, 1, 1, 1, 1, 2, 3}
+	b, err := EquiDepth(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() > 4 || b.Len() < 2 {
+		t.Errorf("Len = %d, want 2..4 after collapse", b.Len())
+	}
+	if _, err := EquiDepth([]float64{7, 7, 7, 7}, 4); err == nil {
+		t.Error("all-identical values accepted")
+	}
+}
+
+func TestEquiDepthErrors(t *testing.T) {
+	if _, err := EquiDepth([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := EquiDepth([]float64{1, 2}, 4); err == nil {
+		t.Error("too few values accepted")
+	}
+}
+
+func TestBoundsAndLabels(t *testing.T) {
+	b, err := EquiWidth(0, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := b.Bounds(0)
+	if !math.IsInf(lo, -1) || hi != 10 {
+		t.Errorf("Bounds(0) = %v, %v", lo, hi)
+	}
+	lo, hi = b.Bounds(1)
+	if lo != 10 || hi != 20 {
+		t.Errorf("Bounds(1) = %v, %v", lo, hi)
+	}
+	lo, hi = b.Bounds(2)
+	if lo != 20 || !math.IsInf(hi, 1) {
+		t.Errorf("Bounds(2) = %v, %v", lo, hi)
+	}
+	if got := b.Label(0); got != "<= 10" {
+		t.Errorf("Label(0) = %q", got)
+	}
+	if got := b.Label(1); got != "10 - 20" {
+		t.Errorf("Label(1) = %q", got)
+	}
+	if got := b.Label(2); got != "> 20" {
+		t.Errorf("Label(2) = %q", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	b, err := EquiWidth(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.Apply([]float64{1, 6, 11})
+	if got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("Apply = %v", got)
+	}
+}
+
+// TestQuickCodeMonotone: codes are monotone in the value and always within
+// domain — the invariants the query tree relies on.
+func TestQuickCodeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 2 + rnd.Intn(10)
+		b, err := EquiWidth(-100, 100, n)
+		if err != nil {
+			return false
+		}
+		prev := uint16(0)
+		for v := -150.0; v <= 150; v += 3.7 {
+			c := b.Code(v)
+			if int(c) >= b.Len() {
+				return false
+			}
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEquiDepthCodesInDomain: every sample value maps into the domain
+// and bucket boundaries respect Bounds invariants.
+func TestQuickEquiDepthCodesInDomain(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		values := make([]float64, 50+rnd.Intn(200))
+		for i := range values {
+			values[i] = rnd.NormFloat64() * 10
+		}
+		b, err := EquiDepth(values, 2+rnd.Intn(8))
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			c := b.Code(v)
+			if int(c) >= b.Len() {
+				return false
+			}
+			lo, hi := b.Bounds(c)
+			if !(v > lo || math.IsInf(lo, -1) || v == lo) {
+				return false
+			}
+			if v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package discretize_test
+
+import (
+	"math"
+	"testing"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/discretize"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// TestDiscretizedPriceAttribute builds the full pipeline the paper's model
+// presumes: take a numeric column (price), discretize it into a searchable
+// categorical attribute, and run HD-UNBIASED-AGG with a price-range
+// selection condition — "how many cars cost in bucket 3?" through the
+// restrictive interface only.
+func TestDiscretizedPriceAttribute(t *testing.T) {
+	d, err := datagen.Auto(3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discretize prices into 8 equi-depth buckets.
+	prices := make([]float64, len(d.Tuples))
+	for i, tp := range d.Tuples {
+		prices[i] = tp.Nums[0]
+	}
+	buckets, err := discretize.EquiDepth(prices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Extend the schema with the derived price_range attribute.
+	schema := d.Schema
+	schema.Attrs = append(append([]hdb.Attribute(nil), schema.Attrs...),
+		hdb.Attribute{Name: "price_range", Dom: buckets.Len()})
+	tuples := make([]hdb.Tuple, len(d.Tuples))
+	for i, tp := range d.Tuples {
+		cats := append(append([]uint16(nil), tp.Cats...), buckets.Code(tp.Nums[0]))
+		tuples[i] = hdb.Tuple{Cats: cats, Nums: tp.Nums}
+	}
+	tbl, err := hdb.NewTable(schema, 20, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	priceAttr := len(schema.Attrs) - 1
+	cond := hdb.Query{}.And(priceAttr, 3)
+	truth, err := tbl.SelCount(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth < 100 {
+		t.Fatalf("bucket 3 holds %d tuples; equi-depth should give ~375", truth)
+	}
+
+	e, err := core.NewHDUnbiasedAgg(tbl, cond, []core.Measure{core.CountMeasure()}, 3, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run stats.Running
+	for i := 0; i < 400; i++ {
+		est, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Add(est.Values[0])
+	}
+	if math.Abs(run.Mean()-float64(truth)) > 5*run.StdErr()+0.05*float64(truth) {
+		t.Errorf("COUNT estimate %v vs truth %d", run.Mean(), truth)
+	}
+	// The derived attribute participates in the drill order like any other.
+	plan, err := querytree.New(schema, hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range plan.Order {
+		if a == priceAttr {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("price_range missing from the drill order")
+	}
+}

@@ -1,0 +1,400 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 6). Each FigNN function returns a Figure — named
+// series over a shared x-axis — that cmd/experiments renders as an ASCII
+// table and EXPERIMENTS.md records against the paper's reported shapes.
+//
+// Absolute numbers cannot match the paper (the substrate datasets are
+// re-synthesised; see DESIGN.md), but the qualitative results must: who
+// wins, by roughly what factor, and how curves move with m, k, r and D_UB.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hdunbiased/internal/baseline"
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// Scale fixes the workload sizes of an experiment run. DefaultScale is the
+// paper's setting; QuickScale shrinks everything so the full suite runs in
+// seconds for tests and benchmarks.
+type Scale struct {
+	M       int   // Boolean dataset size (paper: 200,000)
+	N       int   // Boolean attribute count (paper: 40)
+	AutoM   int   // Auto dataset size (paper: 188,790)
+	K       int   // top-k constant (paper: 100)
+	Trials  int   // independent estimations per point
+	Budgets []int // query budgets for cost/accuracy trade-off figures
+	Seed    int64
+	// Workers bounds the goroutines running independent trials (0 = one per
+	// CPU). Trials are seeded individually, so results are identical at any
+	// worker count.
+	Workers int
+}
+
+// DefaultScale reproduces the paper's workload sizes.
+func DefaultScale() Scale {
+	return Scale{
+		M: 200000, N: 40, AutoM: datagen.AutoSize, K: 100,
+		Trials:  40,
+		Budgets: []int{100, 200, 300, 400, 500},
+		Seed:    1,
+	}
+}
+
+// QuickScale is a miniature of DefaultScale for tests and benchmarks. The
+// k/m ratio is kept closer to the paper's regime than a naive shrink would
+// be — with tiny m and small k the Mixed dataset's deep lone tuples dominate
+// the variance and every algorithm looks bad.
+func QuickScale() Scale {
+	return Scale{
+		M: 5000, N: 16, AutoM: 5000, K: 50,
+		Trials:  16,
+		Budgets: []int{100, 200, 400},
+		Seed:    1,
+	}
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the regenerated counterpart of one paper artifact.
+type Figure struct {
+	ID     string // e.g. "fig6"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  string
+}
+
+// Fprint renders the figure as an aligned ASCII table, one x per row and one
+// series per column.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "   %s\n", f.Notes)
+	}
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "   (empty)")
+		return
+	}
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := [][]string{}
+	for i := range f.Series[0].X {
+		row := []string{formatNum(f.Series[0].X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	printAligned(w, headers, rows)
+	fmt.Fprintf(w, "   (y = %s)\n\n", f.YLabel)
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func printAligned(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "   %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Workloads caches the generated datasets and engines of one Scale so the
+// per-figure functions don't regenerate 200k-tuple tables repeatedly.
+type Workloads struct {
+	Scale Scale
+
+	once       sync.Once
+	err        error
+	boolIID    *datagen.Dataset
+	boolMixed  *datagen.Dataset
+	auto       *datagen.Dataset
+	boolIIDTbl *hdb.Table
+	boolMixTbl *hdb.Table
+	autoTbl    *hdb.Table
+}
+
+// NewWorkloads prepares a lazy workload cache for the scale.
+func NewWorkloads(s Scale) *Workloads { return &Workloads{Scale: s} }
+
+func (w *Workloads) build() error {
+	w.once.Do(func() {
+		s := w.Scale
+		if w.boolIID, w.err = datagen.BoolIID(s.M, s.N, 0.5, s.Seed); w.err != nil {
+			return
+		}
+		if w.boolMixed, w.err = datagen.BoolMixed(s.M, s.N, s.Seed+1); w.err != nil {
+			return
+		}
+		if w.auto, w.err = datagen.Auto(s.AutoM, s.Seed+2); w.err != nil {
+			return
+		}
+		if w.boolIIDTbl, w.err = w.boolIID.Table(s.K); w.err != nil {
+			return
+		}
+		if w.boolMixTbl, w.err = w.boolMixed.Table(s.K); w.err != nil {
+			return
+		}
+		w.autoTbl, w.err = w.auto.Table(s.K)
+	})
+	return w.err
+}
+
+// BoolIID returns the engine over the Bool-iid dataset.
+func (w *Workloads) BoolIID() (*hdb.Table, error) {
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	return w.boolIIDTbl, nil
+}
+
+// BoolMixed returns the engine over the Bool-mixed dataset.
+func (w *Workloads) BoolMixed() (*hdb.Table, error) {
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	return w.boolMixTbl, nil
+}
+
+// Auto returns the engine over the Auto dataset.
+func (w *Workloads) Auto() (*hdb.Table, error) {
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	return w.autoTbl, nil
+}
+
+// estimatorSpec builds a fresh estimator for one trial; trials use distinct
+// seeds so estimates are independent.
+type estimatorSpec func(seed int64) (*core.Estimator, error)
+
+// specHD builds HD-UNBIASED-SIZE (weight adjustment + divide-&-conquer).
+func specHD(backend hdb.Interface, r, dub int) estimatorSpec {
+	return func(seed int64) (*core.Estimator, error) {
+		return core.NewHDUnbiasedSize(backend, r, dub, seed)
+	}
+}
+
+// specBool builds BOOL-UNBIASED-SIZE (plain backtracking drill-down).
+func specBool(backend hdb.Interface) estimatorSpec {
+	return func(seed int64) (*core.Estimator, error) {
+		return core.NewBoolUnbiasedSize(backend, seed)
+	}
+}
+
+// specVariant builds an ablation variant (Figure 14): weight adjustment
+// and/or divide-&-conquer toggled independently.
+func specVariant(backend hdb.Interface, wa, dc bool, r, dub int) estimatorSpec {
+	return func(seed int64) (*core.Estimator, error) {
+		opts := querytree.Options{}
+		cfg := core.Config{R: 1, WeightAdjust: wa, Seed: seed}
+		if dc {
+			opts.DUB = dub
+			cfg.R = r
+		}
+		plan, err := querytree.New(backend.Schema(), hdb.Query{}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(backend, plan, []core.Measure{core.CountMeasure()}, cfg)
+	}
+}
+
+// maxPassesPerTrial bounds the Estimate passes of one budgeted trial. The
+// client cache makes repeat queries free, so on a small database a trial
+// could keep drawing nearly-free passes forever without ever reaching its
+// backend-query budget; real workloads (domain >> budget) never hit this
+// cap, and when it does bind the extra passes it forgoes would only have
+// added zero-cost averaging.
+const maxPassesPerTrial = 400
+
+// runWithBudget builds an estimator and keeps calling Estimate until its
+// cumulative query cost reaches budget (or the pass cap); the trial's
+// estimate is the mean of the per-pass estimates (each pass is unbiased, so
+// the mean is too). It returns the mean estimate of measure mi and the
+// actual cost.
+func runWithBudget(spec estimatorSpec, seed int64, budget int, mi int) (float64, int64, error) {
+	e, err := spec(seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	var run stats.Running
+	for pass := 0; ; pass++ {
+		est, err := e.Estimate()
+		if err != nil {
+			return 0, e.Cost(), err
+		}
+		run.Add(est.Values[mi])
+		if est.Exact || e.Cost() >= int64(budget) || pass+1 >= maxPassesPerTrial {
+			return run.Mean(), e.Cost(), nil
+		}
+	}
+}
+
+// parallelTrials runs fn(trial) for trial = 0..n-1 across at most workers
+// goroutines and returns the first error. Each trial must be independent
+// (own estimator, own seed); results keyed by trial index are deterministic
+// at any worker count.
+func parallelTrials(n, workers int, fn func(trial int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+	)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(t); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return err.(error)
+	}
+	return nil
+}
+
+// trialEstimates collects Trials independent budgeted estimates.
+func trialEstimates(s Scale, spec estimatorSpec, budget, mi int) ([]float64, float64, error) {
+	ests := make([]float64, s.Trials)
+	costs := make([]float64, s.Trials)
+	err := parallelTrials(s.Trials, s.Workers, func(t int) error {
+		v, cost, err := runWithBudget(spec, s.Seed+int64(1000+t), budget, mi)
+		if err != nil {
+			return err
+		}
+		ests[t] = v
+		costs[t] = float64(cost)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ests, stats.Mean(costs), nil
+}
+
+// singlePassStats runs Trials single Estimate passes and summarises accuracy
+// and cost — the unit of the m/k/r/D_UB sweep figures.
+func singlePassStats(s Scale, spec estimatorSpec, truth float64, mi int) (stats.Summary, float64, error) {
+	ests := make([]float64, s.Trials)
+	costs := make([]float64, s.Trials)
+	err := parallelTrials(s.Trials, s.Workers, func(t int) error {
+		e, err := spec(s.Seed + int64(5000+t))
+		if err != nil {
+			return err
+		}
+		est, err := e.Estimate()
+		if err != nil {
+			return err
+		}
+		ests[t] = est.Values[mi]
+		costs[t] = float64(est.Cost)
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	return stats.Summarize(truth, ests), stats.Mean(costs), nil
+}
+
+// crEstimateWithBudget runs capture-&-recapture over HIDDEN-DB-SAMPLER until
+// the budget is spent and returns the final size estimate. The sampler runs
+// with a large acceptance boost (CScale) — with exact rejection sampling it
+// would accept nothing within these budgets on a 2^40 domain, and the boost
+// is precisely the "biased with the bias unknown" operating mode the paper
+// ascribes to it.
+func crEstimateWithBudget(backend hdb.Interface, seed int64, budget int) (float64, error) {
+	lim := hdb.NewLimiter(backend, int64(budget))
+	cr := baseline.NewCaptureRecapture(baseline.NewHiddenDBSampler(lim, math.MaxFloat64, seed))
+	for {
+		if err := cr.Grow(); err != nil {
+			if errors.Is(err, hdb.ErrQueryLimit) {
+				return cr.Estimate(), nil
+			}
+			return 0, err
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hdunbiased/internal/stats"
+)
+
+// quickWorkloads shares one QuickScale workload cache per test binary run.
+var quickWL = NewWorkloads(QuickScale())
+
+func findSeries(t *testing.T, f *Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found (have %v)", f.ID, name, seriesNames(f))
+	return Series{}
+}
+
+func seriesNames(f *Figure) []string {
+	out := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func meanY(s Series) float64 { return stats.Mean(s.Y) }
+
+func TestFig6ShapesHold(t *testing.T) {
+	fig, err := Fig6(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %v", seriesNames(fig))
+	}
+	for _, ds := range []string{"iid", "Mixed"} {
+		cr := meanY(findSeries(t, fig, "C&R "+ds))
+		boolS := meanY(findSeries(t, fig, "BOOL "+ds))
+		hd := meanY(findSeries(t, fig, "HD "+ds))
+		// Paper headline: BOOL and HD beat C&R by orders of magnitude.
+		if !(hd < cr && boolS < cr) {
+			t.Errorf("%s: MSE ordering violated: HD=%.3g BOOL=%.3g C&R=%.3g", ds, hd, boolS, cr)
+		}
+		if cr/hd < 10 {
+			t.Errorf("%s: HD only %.1fx better than C&R, paper shows orders of magnitude", ds, cr/hd)
+		}
+		// HD should not lose to BOOL by much (it wins on Mixed).
+		if hd > boolS*3 {
+			t.Errorf("%s: HD MSE %.3g much worse than BOOL %.3g", ds, hd, boolS)
+		}
+	}
+}
+
+func TestFig7RelativeErrorSmall(t *testing.T) {
+	fig, err := Fig7(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: <2% relative error within 500 queries at full scale; the quick
+	// scale is tiny so allow a loose bound, but the estimators must be in
+	// the right regime (not tens of percent) at the largest budget.
+	for _, s := range fig.Series {
+		last := s.Y[len(s.Y)-1]
+		if last > 25 {
+			t.Errorf("%s: relative error %.1f%% at largest budget", s.Name, last)
+		}
+	}
+}
+
+func TestFig8ErrorBarsBracketTruth(t *testing.T) {
+	fig, err := Fig8(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"HD-UNBIASED-iid", "HD-UNBIASED-Mixed"} {
+		mean := findSeries(t, fig, ds)
+		lo := findSeries(t, fig, ds+" -σ")
+		hi := findSeries(t, fig, ds+" +σ")
+		for i := range mean.Y {
+			if !(lo.Y[i] <= mean.Y[i] && mean.Y[i] <= hi.Y[i]) {
+				t.Errorf("%s: bars not ordered at x=%v", ds, mean.X[i])
+			}
+		}
+		// Relative size should hover near 1.
+		m := meanY(mean)
+		if m < 0.7 || m > 1.3 {
+			t.Errorf("%s: mean relative size %v far from 1", ds, m)
+		}
+	}
+}
+
+func TestFig9And10Sum(t *testing.T) {
+	f9, err := Fig9(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f9.Series {
+		if last := s.Y[len(s.Y)-1]; last > 30 {
+			t.Errorf("%s: SUM relative error %.1f%%", s.Name, last)
+		}
+	}
+	f10, err := Fig10(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []string{"HD-UNBIASED-SUM-iid", "HD-UNBIASED-SUM-Mixed"} {
+		if m := meanY(findSeries(t, f10, ds)); m < 0.6 || m > 1.4 {
+			t.Errorf("%s: mean relative size %v", ds, m)
+		}
+	}
+}
+
+func TestFig11And12GrowWithM(t *testing.T) {
+	f11, err := Fig11(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Fig12(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: MSE and query cost grow (roughly linearly) with m. Compare the
+	// curve endpoints, which is robust to single-point noise.
+	for _, f := range []*Figure{f11, f12} {
+		for _, s := range f.Series {
+			n := len(s.Y)
+			if n < 3 {
+				t.Fatalf("%s/%s: too few points", f.ID, s.Name)
+			}
+			if s.Y[n-1] <= s.Y[0]*0.8 {
+				t.Errorf("%s/%s: no growth with m: first=%.4g last=%.4g", f.ID, s.Name, s.Y[0], s.Y[n-1])
+			}
+		}
+	}
+}
+
+func TestFig13KEffect(t *testing.T) {
+	fig, err := Fig13(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := findSeries(t, fig, "MSE")
+	cost := findSeries(t, fig, "Query cost")
+	n := len(mse.Y)
+	// Paper: with larger k both MSE and query cost decrease.
+	if mse.Y[n-1] >= mse.Y[0] {
+		t.Errorf("MSE did not fall with k: %v", mse.Y)
+	}
+	if cost.Y[n-1] >= cost.Y[0] {
+		t.Errorf("query cost did not fall with k: %v", cost.Y)
+	}
+}
+
+func TestFig14AblationOrdering(t *testing.T) {
+	fig, err := Fig14(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A divide-&-conquer pass costs several hundred queries, so D&C variants
+	// only show their strength once the budget fits full passes — compare at
+	// the largest budget, where the paper's Figure 14 ordering must hold:
+	// full HD best, and each feature alone beating the bare drill-down.
+	lastY := func(name string) float64 {
+		s := findSeries(t, fig, name)
+		return s.Y[len(s.Y)-1]
+	}
+	full := lastY("w/ D&C, w/ WA")
+	noDC := lastY("w/o D&C, w/ WA")
+	none := lastY("w/o D&C, w/o WA")
+	dcOnly := lastY("w/ D&C, w/o WA")
+	if full > none {
+		t.Errorf("full HD (%.3g) worse than no-feature variant (%.3g)", full, none)
+	}
+	if full > dcOnly*2 {
+		t.Errorf("full (%.3g) much worse than D&C-only (%.3g)", full, dcOnly)
+	}
+	if dcOnly > none {
+		t.Errorf("D&C-only (%.3g) worse than baseline (%.3g)", dcOnly, none)
+	}
+	if noDC > none {
+		t.Errorf("WA-only (%.3g) worse than baseline (%.3g)", noDC, none)
+	}
+}
+
+func TestFig15AutoErrorBars(t *testing.T) {
+	fig, err := Fig15(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := meanY(findSeries(t, fig, "w/ D&C, w/ WA")); m < 0.7 || m > 1.3 {
+		t.Errorf("mean relative size %v far from 1", m)
+	}
+}
+
+func TestFig16CostGrowsWithR(t *testing.T) {
+	fig, err := Fig16(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := findSeries(t, fig, "Query cost")
+	n := len(cost.Y)
+	if cost.Y[n-1] <= cost.Y[0] {
+		t.Errorf("query cost did not grow with r: %v", cost.Y)
+	}
+}
+
+func TestFig17DUBTradeoff(t *testing.T) {
+	fig, err := Fig17(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := findSeries(t, fig, "Query cost")
+	n := len(cost.Y)
+	// Paper: larger D_UB -> fewer queries.
+	if cost.Y[n-1] >= cost.Y[0] {
+		t.Errorf("query cost did not fall with DUB: %v", cost.Y)
+	}
+}
+
+func TestTableRTradeoffInsensitive(t *testing.T) {
+	fig, err := TableRTradeoff(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := findSeries(t, fig, "MSE")
+	if len(mse.Y) != 6 {
+		t.Fatalf("want r=3..8, got %v", mse.X)
+	}
+	// At matched budgets the MSE should not vary wildly with r (paper:
+	// "not sensitive"). Allow an order of magnitude at quick scale.
+	lo, hi := mse.Y[0], mse.Y[0]
+	for _, y := range mse.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if lo > 0 && hi/lo > 100 {
+		t.Errorf("MSE varies %vx across r, expected insensitivity", hi/lo)
+	}
+}
+
+func TestFig18OnlineCorolla(t *testing.T) {
+	fig, err := Fig18(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := findSeries(t, fig, "running mean")
+	truth := findSeries(t, fig, "disclosed COUNT")
+	if len(est.Y) != 10 {
+		t.Fatalf("want 10 runs, got %d", len(est.Y))
+	}
+	final := est.Y[len(est.Y)-1]
+	want := truth.Y[0]
+	if want <= 0 {
+		t.Fatal("no Corollas in ground truth")
+	}
+	if rel := stats.RelativeError(want, final); rel > 0.5 {
+		t.Errorf("final running mean %v vs truth %v (rel %.2f)", final, want, rel)
+	}
+}
+
+func TestFig19OnlineSumPrice(t *testing.T) {
+	fig, err := Fig19(quickWL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := findSeries(t, fig, "estimate")
+	truth := findSeries(t, fig, "ground truth")
+	if len(est.Y) != 5 {
+		t.Fatalf("want 5 models, got %d", len(est.Y))
+	}
+	for i := range est.Y {
+		if truth.Y[i] <= 0 {
+			t.Fatalf("model %d has no inventory", i)
+		}
+		if rel := stats.RelativeError(truth.Y[i], est.Y[i]); rel > 0.8 {
+			t.Errorf("model %d: SUM estimate %v vs truth %v (rel %.2f)", i, est.Y[i], truth.Y[i], rel)
+		}
+	}
+}
+
+func TestRegistryAndPrinting(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() lost entries: %v", ids)
+	}
+	if ids[0] != "fig6" || ids[len(ids)-1] != "table-r" {
+		t.Errorf("ordering wrong: %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := Run("fig13", quickWL, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig13") || !strings.Contains(out, "MSE") {
+		t.Errorf("printed output missing content:\n%s", out)
+	}
+	if err := Run("nope", quickWL, &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFigurePrintEmptyAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	(&Figure{ID: "x", Title: "t"}).Fprint(&buf)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty figure print: %q", buf.String())
+	}
+	if got := formatNum(0); got != "0" {
+		t.Errorf("formatNum(0) = %q", got)
+	}
+	if got := formatNum(2.5e9); !strings.Contains(got, "e+09") {
+		t.Errorf("formatNum(2.5e9) = %q", got)
+	}
+	if got := formatNum(42); got != "42" {
+		t.Errorf("formatNum(42) = %q", got)
+	}
+}
+
+func TestScales(t *testing.T) {
+	d := DefaultScale()
+	if d.M != 200000 || d.N != 40 || d.K != 100 || d.AutoM != 188790 {
+		t.Errorf("DefaultScale does not match the paper: %+v", d)
+	}
+	q := QuickScale()
+	if q.M >= d.M || q.Trials >= d.Trials*10 {
+		t.Errorf("QuickScale not quick: %+v", q)
+	}
+}

@@ -1,0 +1,539 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// Paper parameter defaults for the Boolean figures (Section 6.2: r=4,
+// DUB=2^5) and the Auto figures (r=5, DUB=16).
+const (
+	boolR   = 4
+	boolDUB = 32
+	autoR   = 5
+	autoDUB = 16
+)
+
+// boolDatasets enumerates the two Boolean workloads with their engines.
+func boolDatasets(w *Workloads) ([]struct {
+	name string
+	tbl  *hdb.Table
+}, error) {
+	iid, err := w.BoolIID()
+	if err != nil {
+		return nil, err
+	}
+	mixed, err := w.BoolMixed()
+	if err != nil {
+		return nil, err
+	}
+	return []struct {
+		name string
+		tbl  *hdb.Table
+	}{{"iid", iid}, {"Mixed", mixed}}, nil
+}
+
+// Fig6 regenerates Figure 6 (MSE vs query cost for C&R, BOOL and HD on
+// Bool-iid and Bool-mixed).
+func Fig6(w *Workloads) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig6", Title: "MSE vs query cost (COUNT(*), Boolean datasets)",
+		XLabel: "queries", YLabel: "MSE",
+		Notes: fmt.Sprintf("m=%d n=%d k=%d, HD: r=%d DUB=%d; C&R over HIDDEN-DB-SAMPLER", w.Scale.M, w.Scale.N, w.Scale.K, boolR, boolDUB),
+	}
+	ds, err := boolDatasets(w)
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	for _, d := range ds {
+		truth := float64(d.tbl.Size())
+		// Capture-&-recapture.
+		cr := Series{Name: "C&R " + d.name}
+		for _, b := range s.Budgets {
+			ests := make([]float64, 0, s.Trials)
+			for t := 0; t < s.Trials; t++ {
+				v, err := crEstimateWithBudget(d.tbl, s.Seed+int64(t), b)
+				if err != nil {
+					return nil, err
+				}
+				ests = append(ests, v)
+			}
+			cr.X = append(cr.X, float64(b))
+			cr.Y = append(cr.Y, stats.MSE(truth, ests))
+		}
+		fig.Series = append(fig.Series, cr)
+		// BOOL and HD.
+		for _, algo := range []struct {
+			name string
+			spec estimatorSpec
+		}{
+			{"BOOL " + d.name, specBool(d.tbl)},
+			{"HD " + d.name, specHD(d.tbl, boolR, boolDUB)},
+		} {
+			srs := Series{Name: algo.name}
+			for _, b := range s.Budgets {
+				ests, _, err := trialEstimates(s, algo.spec, b, 0)
+				if err != nil {
+					return nil, err
+				}
+				srs.X = append(srs.X, float64(b))
+				srs.Y = append(srs.Y, stats.MSE(truth, ests))
+			}
+			fig.Series = append(fig.Series, srs)
+		}
+	}
+	return fig, nil
+}
+
+// Fig7 regenerates Figure 7 (relative error vs query cost, BOOL and HD).
+func Fig7(w *Workloads) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig7", Title: "Relative error (%) vs query cost",
+		XLabel: "queries", YLabel: "relative error %",
+		Notes: "mean per-trial |est-m|/m over independent budgeted runs",
+	}
+	ds, err := boolDatasets(w)
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	for _, d := range ds {
+		truth := float64(d.tbl.Size())
+		for _, algo := range []struct {
+			name string
+			spec estimatorSpec
+		}{
+			{"BOOL " + d.name, specBool(d.tbl)},
+			{"HD " + d.name, specHD(d.tbl, boolR, boolDUB)},
+		} {
+			srs := Series{Name: algo.name}
+			for _, b := range s.Budgets {
+				ests, _, err := trialEstimates(s, algo.spec, b, 0)
+				if err != nil {
+					return nil, err
+				}
+				srs.X = append(srs.X, float64(b))
+				srs.Y = append(srs.Y, stats.Summarize(truth, ests).MeanAbsRE*100)
+			}
+			fig.Series = append(fig.Series, srs)
+		}
+	}
+	return fig, nil
+}
+
+// errorBarFigure renders "relative size ± one σ" curves — the error-bar
+// format of Figures 8, 10 and 15.
+func errorBarFigure(id, title string, s Scale, budgets []int, entries []struct {
+	name  string
+	spec  estimatorSpec
+	truth float64
+	mi    int
+}) (*Figure, error) {
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "queries", YLabel: "relative size (mean, -1σ, +1σ)",
+	}
+	for _, e := range entries {
+		mean := Series{Name: e.name}
+		lo := Series{Name: e.name + " -σ"}
+		hi := Series{Name: e.name + " +σ"}
+		for _, b := range budgets {
+			ests, _, err := trialEstimates(s, e.spec, b, e.mi)
+			if err != nil {
+				return nil, err
+			}
+			sum := stats.Summarize(e.truth, ests)
+			mean.X = append(mean.X, float64(b))
+			mean.Y = append(mean.Y, sum.RelSize)
+			lo.X = append(lo.X, float64(b))
+			lo.Y = append(lo.Y, sum.RelSize-sum.RelBar)
+			hi.X = append(hi.X, float64(b))
+			hi.Y = append(hi.Y, sum.RelSize+sum.RelBar)
+		}
+		fig.Series = append(fig.Series, mean, lo, hi)
+	}
+	return fig, nil
+}
+
+// errorBarBudgets doubles the budget grid, matching the paper's 200..1000
+// range for its 100..500 MSE budgets.
+func errorBarBudgets(s Scale) []int {
+	out := make([]int, len(s.Budgets))
+	for i, b := range s.Budgets {
+		out[i] = 2 * b
+	}
+	return out
+}
+
+// Fig8 regenerates Figure 8 (error bars of HD-UNBIASED-SIZE on the Boolean
+// datasets).
+func Fig8(w *Workloads) (*Figure, error) {
+	ds, err := boolDatasets(w)
+	if err != nil {
+		return nil, err
+	}
+	var entries []struct {
+		name  string
+		spec  estimatorSpec
+		truth float64
+		mi    int
+	}
+	for _, d := range ds {
+		entries = append(entries, struct {
+			name  string
+			spec  estimatorSpec
+			truth float64
+			mi    int
+		}{"HD-UNBIASED-" + d.name, specHD(d.tbl, boolR, boolDUB), float64(d.tbl.Size()), 0})
+	}
+	return errorBarFigure("fig8", "Error bars, HD-UNBIASED-SIZE (COUNT)", w.Scale, errorBarBudgets(w.Scale), entries)
+}
+
+// sumSpec builds the SUM estimator of Figures 9/10: HD (or BOOL) estimating
+// SUM over one Boolean attribute. Measure index 1 is the SUM.
+func sumSpec(backend hdb.Interface, attr int, hd bool) estimatorSpec {
+	return func(seed int64) (*core.Estimator, error) {
+		measures := []core.Measure{core.CountMeasure(), core.AttrMeasure(attr)}
+		opts := querytree.Options{}
+		cfg := core.Config{R: 1, Seed: seed}
+		if hd {
+			opts.DUB = boolDUB
+			cfg = core.Config{R: boolR, WeightAdjust: true, Seed: seed}
+		}
+		plan, err := querytree.New(backend.Schema(), hdb.Query{}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(backend, plan, measures, cfg)
+	}
+}
+
+// sumAttrFor picks the "randomly chosen attribute" whose SUM Figures 9/10
+// estimate — fixed by the scale seed for reproducibility, skewed enough to
+// be interesting (never all-zero).
+func sumAttrFor(tbl *hdb.Table, seed int64) (int, float64, error) {
+	rnd := rand.New(rand.NewSource(seed + 77))
+	n := len(tbl.Schema().Attrs)
+	for {
+		attr := rnd.Intn(n)
+		truth, err := tbl.SumAttr(attr, hdb.Query{})
+		if err != nil {
+			return 0, 0, err
+		}
+		if truth > 0 {
+			return attr, truth, nil
+		}
+	}
+}
+
+// Fig9 regenerates Figure 9 (SUM relative error vs query cost).
+func Fig9(w *Workloads) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig9", Title: "SUM relative error (%) vs query cost",
+		XLabel: "queries", YLabel: "relative error %",
+		Notes: "SUM over one randomly chosen Boolean attribute",
+	}
+	ds, err := boolDatasets(w)
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	for _, d := range ds {
+		attr, truth, err := sumAttrFor(d.tbl, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range []struct {
+			name string
+			hd   bool
+		}{{"BOOL " + d.name, false}, {"HD " + d.name, true}} {
+			srs := Series{Name: algo.name}
+			for _, b := range s.Budgets {
+				ests, _, err := trialEstimates(s, sumSpec(d.tbl, attr, algo.hd), b, 1)
+				if err != nil {
+					return nil, err
+				}
+				srs.X = append(srs.X, float64(b))
+				srs.Y = append(srs.Y, stats.Summarize(truth, ests).MeanAbsRE*100)
+			}
+			fig.Series = append(fig.Series, srs)
+		}
+	}
+	return fig, nil
+}
+
+// Fig10 regenerates Figure 10 (SUM error bars for HD-UNBIASED-SUM).
+func Fig10(w *Workloads) (*Figure, error) {
+	ds, err := boolDatasets(w)
+	if err != nil {
+		return nil, err
+	}
+	var entries []struct {
+		name  string
+		spec  estimatorSpec
+		truth float64
+		mi    int
+	}
+	for _, d := range ds {
+		attr, truth, err := sumAttrFor(d.tbl, w.Scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, struct {
+			name  string
+			spec  estimatorSpec
+			truth float64
+			mi    int
+		}{"HD-UNBIASED-SUM-" + d.name, sumSpec(d.tbl, attr, true), truth, 1})
+	}
+	return errorBarFigure("fig10", "Error bars, HD-UNBIASED-SUM", w.Scale, errorBarBudgets(w.Scale), entries)
+}
+
+// mSweep returns the database sizes of the Figure 11/12 sweep, scaled to the
+// workload (the paper uses 50k..300k for m=200k defaults).
+func mSweep(s Scale) []int {
+	base := s.M
+	out := make([]int, 0, 6)
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5} {
+		out = append(out, int(float64(base)*frac))
+	}
+	return out
+}
+
+// fig11and12 computes both the MSE-vs-m and cost-vs-m sweeps in one pass
+// (Figures 11 and 12 share their workload).
+func fig11and12(w *Workloads) (*Figure, *Figure, error) {
+	s := w.Scale
+	mse := &Figure{ID: "fig11", Title: "MSE vs database size m", XLabel: "m", YLabel: "MSE",
+		Notes: fmt.Sprintf("HD-UNBIASED-SIZE single pass, r=%d DUB=16", boolR)}
+	cost := &Figure{ID: "fig12", Title: "Query cost vs database size m", XLabel: "m", YLabel: "queries per pass"}
+	for _, gen := range []struct {
+		name string
+		mk   func(m int) (*datagen.Dataset, error)
+	}{
+		{"HD iid", func(m int) (*datagen.Dataset, error) { return datagen.BoolIID(m, s.N, 0.5, s.Seed) }},
+		{"HD Mixed", func(m int) (*datagen.Dataset, error) { return datagen.BoolMixed(m, s.N, s.Seed+1) }},
+	} {
+		mseS := Series{Name: gen.name}
+		costS := Series{Name: gen.name}
+		for _, m := range mSweep(s) {
+			d, err := gen.mk(m)
+			if err != nil {
+				return nil, nil, err
+			}
+			tbl, err := d.Table(s.K)
+			if err != nil {
+				return nil, nil, err
+			}
+			sum, avgCost, err := singlePassStats(s, specHD(tbl, boolR, 16), float64(tbl.Size()), 0)
+			if err != nil {
+				return nil, nil, err
+			}
+			mseS.X = append(mseS.X, float64(m))
+			mseS.Y = append(mseS.Y, sum.MSE)
+			costS.X = append(costS.X, float64(m))
+			costS.Y = append(costS.Y, avgCost)
+		}
+		mse.Series = append(mse.Series, mseS)
+		cost.Series = append(cost.Series, costS)
+	}
+	return mse, cost, nil
+}
+
+// Fig11 regenerates Figure 11 (MSE vs m).
+func Fig11(w *Workloads) (*Figure, error) {
+	f, _, err := fig11and12(w)
+	return f, err
+}
+
+// Fig12 regenerates Figure 12 (query cost vs m).
+func Fig12(w *Workloads) (*Figure, error) {
+	_, f, err := fig11and12(w)
+	return f, err
+}
+
+// kSweep returns the top-k values of Figure 13 scaled to the workload (the
+// paper sweeps 100..500 at k=100 default).
+func kSweep(s Scale) []int {
+	out := make([]int, 0, 5)
+	for mult := 1; mult <= 5; mult++ {
+		out = append(out, s.K*mult)
+	}
+	return out
+}
+
+// Fig13 regenerates Figure 13 (MSE and query cost vs k, Bool-iid).
+func Fig13(w *Workloads) (*Figure, error) {
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	fig := &Figure{ID: "fig13", Title: "MSE and query cost vs top-k", XLabel: "k", YLabel: "MSE / queries",
+		Notes: "Bool-iid, HD-UNBIASED-SIZE single pass"}
+	mseS := Series{Name: "MSE"}
+	costS := Series{Name: "Query cost"}
+	for _, k := range kSweep(s) {
+		tbl, err := w.boolIID.Table(k)
+		if err != nil {
+			return nil, err
+		}
+		sum, avgCost, err := singlePassStats(s, specHD(tbl, boolR, boolDUB), float64(tbl.Size()), 0)
+		if err != nil {
+			return nil, err
+		}
+		mseS.X = append(mseS.X, float64(k))
+		mseS.Y = append(mseS.Y, sum.MSE)
+		costS.X = append(costS.X, float64(k))
+		costS.Y = append(costS.Y, avgCost)
+	}
+	fig.Series = append(fig.Series, mseS, costS)
+	return fig, nil
+}
+
+// Fig14 regenerates Figure 14 (individual effects of weight adjustment and
+// divide-&-conquer on the Auto dataset).
+func Fig14(w *Workloads) (*Figure, error) {
+	tbl, err := w.Auto()
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	truth := float64(tbl.Size())
+	fig := &Figure{
+		ID: "fig14", Title: "Ablation: ±weight adjustment × ±divide-&-conquer (Auto)",
+		XLabel: "queries", YLabel: "MSE",
+		Notes: fmt.Sprintf("r=%d DUB=%d where enabled", autoR, autoDUB),
+	}
+	variants := []struct {
+		name   string
+		wa, dc bool
+	}{
+		{"w/o D&C, w/o WA", false, false},
+		{"w/o D&C, w/ WA", true, false},
+		{"w/ D&C, w/o WA", false, true},
+		{"w/ D&C, w/ WA", true, true},
+	}
+	budgets := errorBarBudgets(s)
+	for _, v := range variants {
+		srs := Series{Name: v.name}
+		for _, b := range budgets {
+			ests, _, err := trialEstimates(s, specVariant(tbl, v.wa, v.dc, autoR, autoDUB), b, 0)
+			if err != nil {
+				return nil, err
+			}
+			srs.X = append(srs.X, float64(b))
+			srs.Y = append(srs.Y, stats.MSE(truth, ests))
+		}
+		fig.Series = append(fig.Series, srs)
+	}
+	return fig, nil
+}
+
+// Fig15 regenerates Figure 15 (error bars of full HD-UNBIASED-SIZE on Auto).
+func Fig15(w *Workloads) (*Figure, error) {
+	tbl, err := w.Auto()
+	if err != nil {
+		return nil, err
+	}
+	entries := []struct {
+		name  string
+		spec  estimatorSpec
+		truth float64
+		mi    int
+	}{{"w/ D&C, w/ WA", specHD(tbl, autoR, autoDUB), float64(tbl.Size()), 0}}
+	return errorBarFigure("fig15", "Error bars on Auto (HD-UNBIASED-SIZE)", w.Scale, errorBarBudgets(w.Scale), entries)
+}
+
+// Fig16 regenerates Figure 16 (effect of r on MSE and query cost, Auto).
+func Fig16(w *Workloads) (*Figure, error) {
+	tbl, err := w.Auto()
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	fig := &Figure{ID: "fig16", Title: "Effect of r (drill-downs per subtree)", XLabel: "r", YLabel: "MSE / queries",
+		Notes: fmt.Sprintf("Auto, DUB=%d, single pass", autoDUB)}
+	mseS := Series{Name: "MSE"}
+	costS := Series{Name: "Query cost"}
+	for r := 4; r <= 8; r++ {
+		sum, avgCost, err := singlePassStats(s, specHD(tbl, r, autoDUB), float64(tbl.Size()), 0)
+		if err != nil {
+			return nil, err
+		}
+		mseS.X = append(mseS.X, float64(r))
+		mseS.Y = append(mseS.Y, sum.MSE)
+		costS.X = append(costS.X, float64(r))
+		costS.Y = append(costS.Y, avgCost)
+	}
+	fig.Series = append(fig.Series, mseS, costS)
+	return fig, nil
+}
+
+// dubSweep is the D_UB grid of Figure 17 (the paper sweeps 16 up to the
+// full domain size; the drill domain here is astronomically large, so the
+// grid stops where the curve has flattened).
+func dubSweep() []int {
+	return []int{16, 64, 256, 1024, 4096, 16384, 65536}
+}
+
+// Fig17 regenerates Figure 17 (effect of D_UB on MSE and query cost, Auto).
+func Fig17(w *Workloads) (*Figure, error) {
+	tbl, err := w.Auto()
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	fig := &Figure{ID: "fig17", Title: "Effect of D_UB (subdomain size bound)", XLabel: "DUB", YLabel: "MSE / queries",
+		Notes: fmt.Sprintf("Auto, r=%d, single pass", autoR)}
+	mseS := Series{Name: "MSE"}
+	costS := Series{Name: "Query cost"}
+	for _, dub := range dubSweep() {
+		sum, avgCost, err := singlePassStats(s, specHD(tbl, autoR, dub), float64(tbl.Size()), 0)
+		if err != nil {
+			return nil, err
+		}
+		mseS.X = append(mseS.X, float64(dub))
+		mseS.Y = append(mseS.Y, sum.MSE)
+		costS.X = append(costS.X, float64(dub))
+		costS.Y = append(costS.Y, avgCost)
+	}
+	fig.Series = append(fig.Series, mseS, costS)
+	return fig, nil
+}
+
+// TableRTradeoff regenerates the Section 6.2 text table: MSE vs query cost
+// at matched budgets for r = 3..8. Each r repeats full HD passes until a
+// common target budget is reached, then MSE is computed over trial means —
+// showing the tradeoff is insensitive to r.
+func TableRTradeoff(w *Workloads) (*Figure, error) {
+	tbl, err := w.Auto()
+	if err != nil {
+		return nil, err
+	}
+	s := w.Scale
+	truth := float64(tbl.Size())
+	target := s.Budgets[len(s.Budgets)-1]
+	fig := &Figure{ID: "table-r", Title: "r tradeoff at matched query budget", XLabel: "r", YLabel: "queries / MSE",
+		Notes: fmt.Sprintf("Auto, DUB=%d, repeated passes until ~%d queries", autoDUB, target)}
+	costS := Series{Name: "Query cost"}
+	mseS := Series{Name: "MSE"}
+	for r := 3; r <= 8; r++ {
+		ests, avgCost, err := trialEstimates(s, specHD(tbl, r, autoDUB), target, 0)
+		if err != nil {
+			return nil, err
+		}
+		costS.X = append(costS.X, float64(r))
+		costS.Y = append(costS.Y, avgCost)
+		mseS.X = append(mseS.X, float64(r))
+		mseS.Y = append(mseS.Y, stats.MSE(truth, ests))
+	}
+	fig.Series = append(fig.Series, costS, mseS)
+	return fig, nil
+}

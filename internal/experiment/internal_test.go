@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelTrialsRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		var hits atomic.Int64
+		seen := make([]bool, 37)
+		err := parallelTrials(37, workers, func(trial int) error {
+			hits.Add(1)
+			seen[trial] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if hits.Load() != 37 {
+			t.Errorf("workers=%d: ran %d trials, want 37", workers, hits.Load())
+		}
+		for i, s := range seen {
+			if !s {
+				t.Errorf("workers=%d: trial %d skipped", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelTrialsPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := parallelTrials(20, 4, func(trial int) error {
+		if trial == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	// Serial path too.
+	err = parallelTrials(20, 1, func(trial int) error {
+		if trial == 0 {
+			return boom
+		}
+		t.Error("trial after error still ran (serial)")
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("serial err = %v", err)
+	}
+}
+
+func TestParallelTrialsZeroTrials(t *testing.T) {
+	if err := parallelTrials(0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("0 trials errored: %v", err)
+	}
+}
+
+func TestFprintMarkdown(t *testing.T) {
+	fig := &Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y", Notes: "note",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{30}}, // short series
+		},
+	}
+	var buf bytes.Buffer
+	fig.FprintMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### figX — demo", "_note_", "| x | a | b |", "| 1 | 10 | 30 |", "| 2 | 20 | - |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	(&Figure{ID: "e", Title: "t"}).FprintMarkdown(&buf)
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Error("empty figure not rendered")
+	}
+}
+
+func TestRunMarkdownUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunMarkdown("nope", quickWL, &buf); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := RunMarkdown("fig13", quickWL, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig13") {
+		t.Error("markdown output missing figure")
+	}
+}
+
+func TestFigurePrintShortSeries(t *testing.T) {
+	fig := &Figure{
+		ID: "figY", Title: "short", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{5, 6}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{7}},
+		},
+	}
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("missing placeholder for short series")
+	}
+}
+
+func TestCRBudgetedEstimateFinite(t *testing.T) {
+	tbl, err := quickWL.BoolIID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := crEstimateWithBudget(tbl, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 {
+		t.Errorf("C&R estimate = %v", v)
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintMarkdown renders the figure as a GitHub-flavoured markdown table —
+// the format EXPERIMENTS.md records.
+func (f *Figure) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "_%s_\n\n", f.Notes)
+	}
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(headers, " | "))
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for i := range f.Series[0].X {
+		row := []string{formatNum(f.Series[0].X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintf(w, "\n(y = %s)\n\n", f.YLabel)
+}
+
+// RunMarkdown regenerates one artifact and writes it as markdown.
+func RunMarkdown(id string, wl *Workloads, w io.Writer) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiment: unknown artifact %q (have %v)", id, IDs())
+	}
+	fig, err := r(wl)
+	if err != nil {
+		return fmt.Errorf("experiment: %s: %w", id, err)
+	}
+	fig.FprintMarkdown(w)
+	return nil
+}

@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+	"hdunbiased/internal/webform"
+)
+
+// The online experiments (Figures 18 and 19) ran against the live Yahoo!
+// Auto advanced-search form. Here the same estimator code talks HTTP to a
+// webform server fronting the Auto dataset with the paper's interface
+// restrictions (MAKE/MODEL required); ground truth comes from the backing
+// table, which the estimator never sees.
+
+// onlineEnv is a running hidden-database website plus omniscient access to
+// its backing table.
+type onlineEnv struct {
+	client *webform.Client
+	tbl    *hdb.Table
+	close  func()
+}
+
+// startOnline serves the Auto dataset on a loopback listener.
+func startOnline(s Scale) (*onlineEnv, error) {
+	d, err := datagen.Auto(s.AutoM, s.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := d.Table(s.K)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := webform.NewServer(tbl, webform.ServerOptions{
+		RequireOneOf: []string{"make", "model"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // Serve returns on Shutdown
+
+	client, err := webform.Dial("http://" + ln.Addr().String())
+	if err != nil {
+		hs.Close()
+		return nil, err
+	}
+	return &onlineEnv{
+		client: client,
+		tbl:    tbl,
+		close: func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+		},
+	}, nil
+}
+
+// makeModelQuery builds the base query for a named make/model.
+func makeModelQuery(mk, model string) (hdb.Query, error) {
+	mc := datagen.AutoMakeCode(mk)
+	if mc < 0 {
+		return hdb.Query{}, fmt.Errorf("experiment: unknown make %q", mk)
+	}
+	mo := datagen.AutoModelCode(mc, model)
+	if mo < 0 {
+		return hdb.Query{}, fmt.Errorf("experiment: unknown model %q for %q", model, mk)
+	}
+	return hdb.Query{}.And(datagen.AutoMake, uint16(mc)).And(datagen.AutoModel, uint16(mo)), nil
+}
+
+// onlineParams scales the paper's r=30, DUB=126 online setting down for
+// quick runs.
+func onlineParams(s Scale) (r, dub int) {
+	if s.AutoM >= 50000 {
+		return 30, 126
+	}
+	return 8, 126
+}
+
+// Fig18 regenerates Figure 18: repeated executions of HD-UNBIASED-SIZE
+// estimating the number of Toyota Corollas through the web interface, with
+// the running-mean estimate after each run against the disclosed COUNT.
+func Fig18(w *Workloads) (*Figure, error) {
+	s := w.Scale
+	env, err := startOnline(s)
+	if err != nil {
+		return nil, err
+	}
+	defer env.close()
+
+	base, err := makeModelQuery("toyota", "corolla")
+	if err != nil {
+		return nil, err
+	}
+	truth, err := env.tbl.SelCount(base)
+	if err != nil {
+		return nil, err
+	}
+	r, dub := onlineParams(s)
+	e, err := core.NewHDUnbiasedAgg(env.client, base, []core.Measure{core.CountMeasure()}, r, dub, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	const runs = 10
+	fig := &Figure{
+		ID: "fig18", Title: "Toyota Corolla COUNT over the web interface",
+		XLabel: "run", YLabel: "count estimate",
+		Notes: fmt.Sprintf("r=%d DUB=%d over HTTP with make/model required; truth=%d", r, dub, truth),
+	}
+	est := Series{Name: "running mean"}
+	tr := Series{Name: "disclosed COUNT"}
+	var run stats.Running
+	var totalCost int64
+	for i := 1; i <= runs; i++ {
+		res, err := e.Estimate()
+		if err != nil {
+			return nil, err
+		}
+		run.Add(res.Values[0])
+		totalCost += res.Cost
+		est.X = append(est.X, float64(i))
+		est.Y = append(est.Y, run.Mean())
+		tr.X = append(tr.X, float64(i))
+		tr.Y = append(tr.Y, float64(truth))
+	}
+	fig.Notes += fmt.Sprintf("; avg %d queries/run", totalCost/runs)
+	fig.Series = append(fig.Series, est, tr)
+	return fig, nil
+}
+
+// fig19Models are the five popular models of Figure 19.
+var fig19Models = []struct{ mk, model string }{
+	{"ford", "escape"},
+	{"chevrolet", "cobalt"},
+	{"pontiac", "g6"},
+	{"ford", "f-150"},
+	{"toyota", "corolla"},
+}
+
+// Fig19 regenerates Figure 19: HD-UNBIASED-AGG estimating the inventory
+// balance SUM(Price) for five popular models over the web interface, up to
+// 1,000 queries per estimation.
+func Fig19(w *Workloads) (*Figure, error) {
+	s := w.Scale
+	env, err := startOnline(s)
+	if err != nil {
+		return nil, err
+	}
+	defer env.close()
+
+	r, dub := onlineParams(s)
+	budget := 1000
+	if s.AutoM < 50000 {
+		budget = 400
+	}
+	fig := &Figure{
+		ID: "fig19", Title: "SUM(Price) per model over the web interface",
+		XLabel: "model#", YLabel: "SUM(price)",
+		Notes: fmt.Sprintf("HD-UNBIASED-AGG, <=%d queries per estimate; models: escape, cobalt, g6, f-150, corolla", budget),
+	}
+	est := Series{Name: "estimate"}
+	tr := Series{Name: "ground truth"}
+	priceIdx := env.tbl.Schema().MeasureIndex(datagen.AutoPriceMeasure)
+	for i, mm := range fig19Models {
+		base, err := makeModelQuery(mm.mk, mm.model)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := env.tbl.SumMeasure(datagen.AutoPriceMeasure, base)
+		if err != nil {
+			return nil, err
+		}
+		e, err := core.NewHDUnbiasedAgg(env.client, base,
+			[]core.Measure{core.CountMeasure(), core.NumMeasure(priceIdx)}, r, dub, s.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		var run stats.Running
+		for pass := 0; pass < maxPassesPerTrial; pass++ {
+			res, err := e.Estimate()
+			if err != nil {
+				return nil, err
+			}
+			run.Add(res.Values[1])
+			if res.Exact || e.Cost() >= int64(budget) {
+				break
+			}
+		}
+		est.X = append(est.X, float64(i+1))
+		est.Y = append(est.Y, run.Mean())
+		tr.X = append(tr.X, float64(i+1))
+		tr.Y = append(tr.Y, truth)
+	}
+	fig.Series = append(fig.Series, est, tr)
+	return fig, nil
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one paper artifact.
+type Runner func(*Workloads) (*Figure, error)
+
+// Registry maps every paper table/figure to its regenerator.
+var Registry = map[string]Runner{
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"fig14":   Fig14,
+	"fig15":   Fig15,
+	"fig16":   Fig16,
+	"fig17":   Fig17,
+	"fig18":   Fig18,
+	"fig19":   Fig19,
+	"table-r": TableRTradeoff,
+}
+
+// IDs returns the registry keys in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// figN numerically, tables last.
+		ni, iok := figNum(out[i])
+		nj, jok := figNum(out[j])
+		switch {
+		case iok && jok:
+			return ni < nj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
+}
+
+func figNum(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Run regenerates one artifact by id and prints it to w.
+func Run(id string, wl *Workloads, w io.Writer) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiment: unknown artifact %q (have %v)", id, IDs())
+	}
+	fig, err := r(wl)
+	if err != nil {
+		return fmt.Errorf("experiment: %s: %w", id, err)
+	}
+	fig.Fprint(w)
+	return nil
+}
+
+// RunAll regenerates every artifact in order.
+func RunAll(wl *Workloads, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(id, wl, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

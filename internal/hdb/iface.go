@@ -1,0 +1,167 @@
+package hdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Interface is the restrictive hidden-database access contract. It is all an
+// estimator ever sees: the search form (Schema), the page size (K) and the
+// top-k query endpoint. The in-memory Table and the webform HTTP client both
+// implement it, which is how the paper's offline (MATLAB) and online (PHP)
+// experiments share one estimator implementation here.
+type Interface interface {
+	Schema() Schema
+	K() int
+	Query(q Query) (Result, error)
+}
+
+// ErrQueryLimit is returned by Limiter once the per-client query budget is
+// exhausted, mirroring per-IP daily limits like Yahoo! Auto's 1,000/day.
+var ErrQueryLimit = errors.New("hdb: query limit exceeded")
+
+// Counter wraps an Interface and counts queries that reach the backend —
+// the paper's query-cost measure ("number of queries issued through the web
+// interface"). Safe for concurrent use.
+type Counter struct {
+	inner Interface
+	mu    sync.Mutex
+	n     int64
+}
+
+// NewCounter wraps inner with a query counter starting at zero.
+func NewCounter(inner Interface) *Counter { return &Counter{inner: inner} }
+
+// Schema implements Interface.
+func (c *Counter) Schema() Schema { return c.inner.Schema() }
+
+// K implements Interface.
+func (c *Counter) K() int { return c.inner.K() }
+
+// Query implements Interface, incrementing the count on every call
+// (including failed calls: the query was still issued).
+func (c *Counter) Query(q Query) (Result, error) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.inner.Query(q)
+}
+
+// Count returns the number of queries issued so far.
+func (c *Counter) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// Limiter wraps an Interface and fails queries with ErrQueryLimit after
+// limit calls. Safe for concurrent use.
+type Limiter struct {
+	inner Interface
+	mu    sync.Mutex
+	left  int64
+}
+
+// NewLimiter wraps inner with a budget of limit queries.
+func NewLimiter(inner Interface, limit int64) *Limiter {
+	return &Limiter{inner: inner, left: limit}
+}
+
+// Schema implements Interface.
+func (l *Limiter) Schema() Schema { return l.inner.Schema() }
+
+// K implements Interface.
+func (l *Limiter) K() int { return l.inner.K() }
+
+// Query implements Interface.
+func (l *Limiter) Query(q Query) (Result, error) {
+	l.mu.Lock()
+	if l.left <= 0 {
+		l.mu.Unlock()
+		return Result{}, ErrQueryLimit
+	}
+	l.left--
+	l.mu.Unlock()
+	return l.inner.Query(q)
+}
+
+// Remaining returns the queries left in the budget.
+func (l *Limiter) Remaining() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.left
+}
+
+// Cache wraps an Interface with a client-side memo of query results. The
+// drill-down algorithms naturally re-issue some queries (e.g. a node visited
+// both as a drill-down step and as a sibling probe); a real client would
+// cache those pages, so experiments place a Cache above the Counter and
+// count only backend hits. Not safe for concurrent use; each estimation run
+// owns its Cache.
+type Cache struct {
+	inner Interface
+	memo  map[string]Result
+	hits  int64
+}
+
+// NewCache wraps inner with an unbounded memo. Hidden-database drill-downs
+// issue at most a few thousand distinct queries per run, so an eviction
+// policy would be dead weight.
+func NewCache(inner Interface) *Cache {
+	return &Cache{inner: inner, memo: make(map[string]Result)}
+}
+
+// Schema implements Interface.
+func (c *Cache) Schema() Schema { return c.inner.Schema() }
+
+// K implements Interface.
+func (c *Cache) K() int { return c.inner.K() }
+
+// Query implements Interface, consulting the memo first. Errors are not
+// memoised.
+func (c *Cache) Query(q Query) (Result, error) {
+	key := q.Key()
+	if r, ok := c.memo[key]; ok {
+		c.hits++
+		return r, nil
+	}
+	r, err := c.inner.Query(q)
+	if err != nil {
+		return Result{}, err
+	}
+	c.memo[key] = r
+	return r, nil
+}
+
+// Hits returns the number of memo hits (queries answered without touching
+// the backend).
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Session bundles the standard client stack an estimation run uses:
+// Cache -> Counter -> backend. Cost() reports backend queries only.
+type Session struct {
+	Interface
+	counter *Counter
+}
+
+// NewSession builds the standard stack over backend.
+func NewSession(backend Interface) *Session {
+	ctr := NewCounter(backend)
+	return &Session{Interface: NewCache(ctr), counter: ctr}
+}
+
+// Cost returns the number of queries that reached the backend.
+func (s *Session) Cost() int64 { return s.counter.Count() }
+
+// String summarises the session for logs.
+func (s *Session) String() string {
+	return fmt.Sprintf("session(cost=%d)", s.Cost())
+}

@@ -1,0 +1,133 @@
+package hdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	tbl := paperTable(t, 1)
+	c := NewCounter(tbl)
+	if c.Count() != 0 {
+		t.Error("fresh counter not zero")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Query(Query{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Count() != 5 {
+		t.Errorf("Count = %d, want 5", c.Count())
+	}
+	// Failed queries still count (they were issued).
+	if _, err := c.Query(Query{Preds: []Predicate{{Attr: 99}}}); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Count() != 6 {
+		t.Errorf("Count after failed query = %d, want 6", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Error("Reset did not zero")
+	}
+	if c.K() != tbl.K() || len(c.Schema().Attrs) != len(tbl.Schema().Attrs) {
+		t.Error("Counter does not pass through Schema/K")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	tbl := paperTable(t, 1)
+	c := NewCounter(tbl)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = c.Query(Query{})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count() != 800 {
+		t.Errorf("concurrent Count = %d, want 800", c.Count())
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	tbl := paperTable(t, 1)
+	l := NewLimiter(tbl, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := l.Query(Query{}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if l.Remaining() != 0 {
+		t.Errorf("Remaining = %d", l.Remaining())
+	}
+	if _, err := l.Query(Query{}); !errors.Is(err, ErrQueryLimit) {
+		t.Errorf("err = %v, want ErrQueryLimit", err)
+	}
+	if l.K() != tbl.K() {
+		t.Error("Limiter does not pass through K")
+	}
+}
+
+func TestCacheDedupes(t *testing.T) {
+	tbl := paperTable(t, 1)
+	ctr := NewCounter(tbl)
+	cache := NewCache(ctr)
+	q := Query{}.And(0, 1)
+	for i := 0; i < 4; i++ {
+		r, err := cache.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Overflow {
+			t.Errorf("iteration %d: unexpected result %+v", i, r)
+		}
+	}
+	if ctr.Count() != 1 {
+		t.Errorf("backend queries = %d, want 1", ctr.Count())
+	}
+	if cache.Hits() != 3 {
+		t.Errorf("cache hits = %d, want 3", cache.Hits())
+	}
+	// Same query, different predicate order, still one backend hit.
+	reordered := Query{Preds: []Predicate{{Attr: 0, Value: 1}}}
+	if _, err := cache.Query(reordered); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Count() != 1 {
+		t.Errorf("backend queries after reordered = %d, want 1", ctr.Count())
+	}
+	// Errors are not cached.
+	bad := Query{Preds: []Predicate{{Attr: 99}}}
+	if _, err := cache.Query(bad); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := cache.Query(bad); err == nil {
+		t.Fatal("expected error on retry")
+	}
+	if cache.K() != tbl.K() {
+		t.Error("Cache does not pass through K")
+	}
+}
+
+func TestSession(t *testing.T) {
+	tbl := paperTable(t, 1)
+	s := NewSession(tbl)
+	q := Query{}.And(0, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Cost() != 1 {
+		t.Errorf("Cost = %d, want 1 (cache above counter)", s.Cost())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}

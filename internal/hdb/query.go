@@ -1,0 +1,112 @@
+package hdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is one equality condition Attr = Value in a conjunctive query.
+// Attr is an index into the schema's Attrs.
+type Predicate struct {
+	Attr  int
+	Value uint16
+}
+
+// Query is a conjunctive search-form query: SELECT * FROM D WHERE
+// A_{i1}=v_{i1} AND ... AND A_{is}=v_{is}. The empty query selects the whole
+// database. Predicates must reference distinct attributes.
+type Query struct {
+	Preds []Predicate
+}
+
+// And returns a new query extending q with one more predicate. The receiver
+// is not modified; the returned query shares no predicate storage with q, so
+// drill-downs can branch freely.
+func (q Query) And(attr int, value uint16) Query {
+	preds := make([]Predicate, len(q.Preds), len(q.Preds)+1)
+	copy(preds, q.Preds)
+	return Query{Preds: append(preds, Predicate{Attr: attr, Value: value})}
+}
+
+// Len returns the number of predicates.
+func (q Query) Len() int { return len(q.Preds) }
+
+// Validate checks the query against a schema: attribute indices in range,
+// values within domain, no attribute repeated.
+func (q Query) Validate(s Schema) error {
+	seen := make(map[int]bool, len(q.Preds))
+	for _, p := range q.Preds {
+		if p.Attr < 0 || p.Attr >= len(s.Attrs) {
+			return fmt.Errorf("hdb: predicate attribute %d out of range [0,%d)", p.Attr, len(s.Attrs))
+		}
+		if int(p.Value) >= s.Attrs[p.Attr].Dom {
+			return fmt.Errorf("hdb: value %d out of domain for attribute %q (|Dom|=%d)",
+				p.Value, s.Attrs[p.Attr].Name, s.Attrs[p.Attr].Dom)
+		}
+		if seen[p.Attr] {
+			return fmt.Errorf("hdb: attribute %q repeated in query", s.Attrs[p.Attr].Name)
+		}
+		seen[p.Attr] = true
+	}
+	return nil
+}
+
+// Matches reports whether tuple t satisfies every predicate of q.
+func (q Query) Matches(t Tuple) bool {
+	for _, p := range q.Preds {
+		if t.Cats[p.Attr] != p.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string form of the query ("3=1&7=0", attributes
+// ascending), suitable as a memoisation key. Equal queries (regardless of
+// predicate order) have equal keys.
+func (q Query) Key() string {
+	if len(q.Preds) == 0 {
+		return ""
+	}
+	ps := make([]Predicate, len(q.Preds))
+	copy(ps, q.Preds)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Attr < ps[j].Attr })
+	var b strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		fmt.Fprintf(&b, "%d=%d", p.Attr, p.Value)
+	}
+	return b.String()
+}
+
+// String renders the query with attribute names against schema s.
+func (q Query) String() string {
+	if len(q.Preds) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = fmt.Sprintf("a%d=%d", p.Attr, p.Value)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Result is what the restrictive interface returns for a query: up to k
+// tuples and an overflow flag. When Overflow is true the interface found
+// more than k matches and returned only the top-k by ranking. When Overflow
+// is false and Tuples is empty the query underflowed. Otherwise the result
+// is valid and Tuples is exactly Sel(q).
+type Result struct {
+	Tuples   []Tuple
+	Overflow bool
+}
+
+// Underflow reports whether the query matched nothing.
+func (r Result) Underflow() bool { return !r.Overflow && len(r.Tuples) == 0 }
+
+// Valid reports whether the result is complete (neither overflow nor
+// underflow): 1 <= |Sel(q)| <= k and all of Sel(q) was returned.
+func (r Result) Valid() bool { return !r.Overflow && len(r.Tuples) > 0 }

@@ -1,0 +1,124 @@
+// Package hdb implements the hidden-database substrate of the paper
+// (Section 2.1): a categorical table reachable only through a prototypical
+// top-k search interface. A query specifies values for a subset of
+// attributes; the engine returns at most k matching tuples plus an overflow
+// flag when more than k match, and nothing else — in particular it never
+// discloses |Sel(q)|. The package also provides the query-counting,
+// query-limit and memoisation wrappers the estimators and experiments use to
+// account for query cost exactly as the paper does.
+package hdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one searchable categorical attribute. Boolean
+// attributes are categorical attributes with Dom == 2. Values are the codes
+// 0..Dom-1; mapping codes to display strings is the caller's concern.
+type Attribute struct {
+	Name string
+	Dom  int // domain cardinality |Dom(Ai)|, must be >= 2
+}
+
+// Schema describes the searchable attributes and the numeric measure fields
+// of a hidden database. Measures (e.g. Price) ride along with tuples and can
+// be aggregated, but are not part of the search form.
+type Schema struct {
+	Attrs    []Attribute
+	Measures []string
+}
+
+// Validate reports whether the schema is well-formed.
+func (s Schema) Validate() error {
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("hdb: schema has no attributes")
+	}
+	seen := make(map[string]bool, len(s.Attrs)+len(s.Measures))
+	for i, a := range s.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("hdb: attribute %d has empty name", i)
+		}
+		if a.Dom < 2 {
+			return fmt.Errorf("hdb: attribute %q has domain size %d < 2", a.Name, a.Dom)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("hdb: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for i, m := range s.Measures {
+		if m == "" {
+			return fmt.Errorf("hdb: measure %d has empty name", i)
+		}
+		if seen[m] {
+			return fmt.Errorf("hdb: measure name %q collides", m)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// NumAttrs returns the number of searchable attributes.
+func (s Schema) NumAttrs() int { return len(s.Attrs) }
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MeasureIndex returns the index of the named measure, or -1.
+func (s Schema) MeasureIndex(name string) int {
+	for i, m := range s.Measures {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DomainSize returns the product of all attribute domain sizes |Dom| as a
+// float64 (it overflows int64 for realistic schemas: the paper's Boolean
+// datasets alone have |Dom| = 2^40).
+func (s Schema) DomainSize() float64 {
+	p := 1.0
+	for _, a := range s.Attrs {
+		p *= float64(a.Dom)
+	}
+	return p
+}
+
+// Tuple is one database row: categorical codes for every searchable
+// attribute (in schema order) and values for every measure.
+type Tuple struct {
+	Cats []uint16
+	Nums []float64
+}
+
+// Clone deep-copies the tuple.
+func (t Tuple) Clone() Tuple {
+	c := Tuple{Cats: make([]uint16, len(t.Cats))}
+	copy(c.Cats, t.Cats)
+	if t.Nums != nil {
+		c.Nums = make([]float64, len(t.Nums))
+		copy(c.Nums, t.Nums)
+	}
+	return c
+}
+
+// CatKey returns a compact string key of the categorical part, used to
+// detect duplicate tuples (the paper assumes none exist).
+func (t Tuple) CatKey() string {
+	var b strings.Builder
+	b.Grow(len(t.Cats) * 3)
+	for _, v := range t.Cats {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+	}
+	return b.String()
+}

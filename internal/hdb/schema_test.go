@@ -1,0 +1,104 @@
+package hdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func boolSchema(n int) Schema {
+	attrs := make([]Attribute, n)
+	for i := range attrs {
+		attrs[i] = Attribute{Name: attrName(i), Dom: 2}
+	}
+	return Schema{Attrs: attrs}
+}
+
+func attrName(i int) string {
+	return "A" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestSchemaValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		s       Schema
+		wantErr string
+	}{
+		{"ok", Schema{Attrs: []Attribute{{"a", 2}, {"b", 5}}, Measures: []string{"price"}}, ""},
+		{"empty", Schema{}, "no attributes"},
+		{"emptyName", Schema{Attrs: []Attribute{{"", 2}}}, "empty name"},
+		{"smallDom", Schema{Attrs: []Attribute{{"a", 1}}}, "domain size 1"},
+		{"dupAttr", Schema{Attrs: []Attribute{{"a", 2}, {"a", 3}}}, "duplicate attribute"},
+		{"emptyMeasure", Schema{Attrs: []Attribute{{"a", 2}}, Measures: []string{""}}, "measure 0"},
+		{"measureCollision", Schema{Attrs: []Attribute{{"a", 2}}, Measures: []string{"a"}}, "collides"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.s.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := Schema{Attrs: []Attribute{{"make", 10}, {"color", 5}}, Measures: []string{"price", "miles"}}
+	if got := s.AttrIndex("color"); got != 1 {
+		t.Errorf("AttrIndex(color) = %d", got)
+	}
+	if got := s.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d", got)
+	}
+	if got := s.MeasureIndex("miles"); got != 1 {
+		t.Errorf("MeasureIndex(miles) = %d", got)
+	}
+	if got := s.MeasureIndex("nope"); got != -1 {
+		t.Errorf("MeasureIndex(nope) = %d", got)
+	}
+	if got := s.NumAttrs(); got != 2 {
+		t.Errorf("NumAttrs = %d", got)
+	}
+	if got := s.DomainSize(); got != 50 {
+		t.Errorf("DomainSize = %v", got)
+	}
+}
+
+func TestDomainSizeLarge(t *testing.T) {
+	s := boolSchema(40)
+	want := 1.0
+	for i := 0; i < 40; i++ {
+		want *= 2
+	}
+	if got := s.DomainSize(); got != want {
+		t.Errorf("DomainSize = %v, want 2^40", got)
+	}
+}
+
+func TestTupleCloneAndKey(t *testing.T) {
+	a := Tuple{Cats: []uint16{1, 2, 300}, Nums: []float64{9.5}}
+	b := a.Clone()
+	b.Cats[0] = 7
+	b.Nums[0] = 1
+	if a.Cats[0] != 1 || a.Nums[0] != 9.5 {
+		t.Error("Clone shares storage")
+	}
+	if a.CatKey() == b.CatKey() {
+		t.Error("different tuples share CatKey")
+	}
+	c := Tuple{Cats: []uint16{1, 2, 300}}
+	if a.CatKey() != c.CatKey() {
+		t.Error("equal categorical parts have different CatKey")
+	}
+	// Key must distinguish high-byte values.
+	x := Tuple{Cats: []uint16{256}}
+	y := Tuple{Cats: []uint16{1}}
+	if x.CatKey() == y.CatKey() {
+		t.Error("CatKey collision between 256 and 1")
+	}
+}

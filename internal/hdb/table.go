@@ -1,0 +1,268 @@
+package hdb
+
+import (
+	"fmt"
+	"sort"
+
+	"hdunbiased/internal/bitset"
+)
+
+// RankFunc scores a tuple for the interface's ranking function; higher
+// scores rank earlier and are returned preferentially when a query
+// overflows. Ties break by insertion order.
+type RankFunc func(Tuple) float64
+
+// RankByInsertion preserves load order (the default ranking).
+func RankByInsertion(Tuple) float64 { return 0 }
+
+// RankByMeasure ranks by the measure at index i, descending — e.g. "most
+// expensive cars first", a typical hidden-database ranking.
+func RankByMeasure(i int) RankFunc {
+	return func(t Tuple) float64 { return t.Nums[i] }
+}
+
+// Table is the in-memory hidden database engine. Tuples are stored in
+// ranking order and indexed by per-(attribute,value) bitmaps, so evaluating
+// a conjunctive query is a bitmap intersection and the top-k answer is the
+// first k set bits.
+//
+// Table implements Interface. It also exposes omniscient accessors (Size,
+// SelCount, SumMeasure) that experiments use for ground truth; those are
+// deliberately NOT part of Interface — estimators never see them.
+type Table struct {
+	schema Schema
+	k      int
+	tuples []Tuple         // in rank order
+	index  [][]*bitset.Set // index[attr][value], bit i = tuples[i] has value
+}
+
+// TableOption configures table construction.
+type TableOption func(*tableConfig)
+
+type tableConfig struct {
+	rank           RankFunc
+	allowDuplicate bool
+}
+
+// WithRanking sets the interface's ranking function.
+func WithRanking(r RankFunc) TableOption {
+	return func(c *tableConfig) { c.rank = r }
+}
+
+// WithDuplicatesAllowed disables the duplicate-tuple check. The paper's
+// model assumes no duplicates (Section 2.1); this option exists for tests
+// that exercise the engine outside that model.
+func WithDuplicatesAllowed() TableOption {
+	return func(c *tableConfig) { c.allowDuplicate = true }
+}
+
+// NewTable builds a table with top-k interface semantics over the given
+// tuples. It validates the schema, every tuple's shape and domain bounds,
+// and (by default) the paper's no-duplicates assumption.
+func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table, error) {
+	cfg := tableConfig{rank: RankByInsertion}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hdb: k must be >= 1, got %d", k)
+	}
+	for ti, t := range tuples {
+		if len(t.Cats) != len(schema.Attrs) {
+			return nil, fmt.Errorf("hdb: tuple %d has %d categorical values, schema has %d attributes",
+				ti, len(t.Cats), len(schema.Attrs))
+		}
+		if len(t.Nums) != len(schema.Measures) {
+			return nil, fmt.Errorf("hdb: tuple %d has %d measures, schema has %d",
+				ti, len(t.Nums), len(schema.Measures))
+		}
+		for ai, v := range t.Cats {
+			if int(v) >= schema.Attrs[ai].Dom {
+				return nil, fmt.Errorf("hdb: tuple %d attribute %q value %d out of domain %d",
+					ti, schema.Attrs[ai].Name, v, schema.Attrs[ai].Dom)
+			}
+		}
+	}
+	if !cfg.allowDuplicate {
+		seen := make(map[string]int, len(tuples))
+		for ti, t := range tuples {
+			key := t.CatKey()
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("hdb: tuples %d and %d are duplicates; the paper's model assumes none (use WithDuplicatesAllowed to override)", prev, ti)
+			}
+			seen[key] = ti
+		}
+	}
+
+	// Apply the ranking function: sort descending by score, stable so ties
+	// keep insertion order.
+	ranked := make([]Tuple, len(tuples))
+	copy(ranked, tuples)
+	scores := make([]float64, len(ranked))
+	order := make([]int, len(ranked))
+	for i := range ranked {
+		scores[i] = cfg.rank(ranked[i])
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	sorted := make([]Tuple, len(ranked))
+	for pos, idx := range order {
+		sorted[pos] = ranked[idx]
+	}
+
+	t := &Table{schema: schema, k: k, tuples: sorted}
+	t.buildIndex()
+	return t, nil
+}
+
+func (t *Table) buildIndex() {
+	t.index = make([][]*bitset.Set, len(t.schema.Attrs))
+	for ai, a := range t.schema.Attrs {
+		t.index[ai] = make([]*bitset.Set, a.Dom)
+		for v := 0; v < a.Dom; v++ {
+			t.index[ai][v] = bitset.New(len(t.tuples))
+		}
+	}
+	for i, tp := range t.tuples {
+		for ai, v := range tp.Cats {
+			t.index[ai][v].Add(i)
+		}
+	}
+}
+
+// Schema returns the searchable schema (the "form" a user sees).
+func (t *Table) Schema() Schema { return t.schema }
+
+// K returns the interface's top-k constant.
+func (t *Table) K() int { return t.k }
+
+// Query evaluates q under top-k interface semantics.
+func (t *Table) Query(q Query) (Result, error) {
+	if err := q.Validate(t.schema); err != nil {
+		return Result{}, err
+	}
+	sel := t.select_(q)
+	if sel == nil { // empty query: whole table
+		return t.resultFromAll()
+	}
+	return t.resultFromSet(sel), nil
+}
+
+// select_ returns the bitmap of Sel(q), or nil for the empty query.
+func (t *Table) select_(q Query) *bitset.Set {
+	if len(q.Preds) == 0 {
+		return nil
+	}
+	// Intersect starting from the (heuristically) most selective predicate:
+	// higher-fanout attributes first.
+	preds := make([]Predicate, len(q.Preds))
+	copy(preds, q.Preds)
+	sort.Slice(preds, func(i, j int) bool {
+		return t.schema.Attrs[preds[i].Attr].Dom > t.schema.Attrs[preds[j].Attr].Dom
+	})
+	acc := t.index[preds[0].Attr][preds[0].Value].Clone()
+	for _, p := range preds[1:] {
+		acc.And(t.index[p.Attr][p.Value])
+		if !acc.Any() {
+			break
+		}
+	}
+	return acc
+}
+
+func (t *Table) resultFromAll() (Result, error) {
+	if len(t.tuples) > t.k {
+		out := make([]Tuple, t.k)
+		copy(out, t.tuples[:t.k])
+		return Result{Tuples: out, Overflow: true}, nil
+	}
+	out := make([]Tuple, len(t.tuples))
+	copy(out, t.tuples)
+	return Result{Tuples: out}, nil
+}
+
+func (t *Table) resultFromSet(sel *bitset.Set) Result {
+	idx := sel.FirstN(nil, t.k+1)
+	overflow := len(idx) > t.k
+	if overflow {
+		idx = idx[:t.k]
+	}
+	out := make([]Tuple, len(idx))
+	for i, ti := range idx {
+		out[i] = t.tuples[ti]
+	}
+	return Result{Tuples: out, Overflow: overflow}
+}
+
+// Size returns the true number of tuples (omniscient; not exposed by the
+// restrictive interface).
+func (t *Table) Size() int { return len(t.tuples) }
+
+// SelCount returns the true |Sel(q)| (omniscient).
+func (t *Table) SelCount(q Query) (int, error) {
+	if err := q.Validate(t.schema); err != nil {
+		return 0, err
+	}
+	sel := t.select_(q)
+	if sel == nil {
+		return len(t.tuples), nil
+	}
+	return sel.Count(), nil
+}
+
+// SumMeasure returns the true SUM of the named measure over Sel(q)
+// (omniscient).
+func (t *Table) SumMeasure(measure string, q Query) (float64, error) {
+	mi := t.schema.MeasureIndex(measure)
+	if mi < 0 {
+		return 0, fmt.Errorf("hdb: unknown measure %q", measure)
+	}
+	if err := q.Validate(t.schema); err != nil {
+		return 0, err
+	}
+	sel := t.select_(q)
+	var sum float64
+	if sel == nil {
+		for _, tp := range t.tuples {
+			sum += tp.Nums[mi]
+		}
+		return sum, nil
+	}
+	sel.ForEach(func(i int) bool {
+		sum += t.tuples[i].Nums[mi]
+		return true
+	})
+	return sum, nil
+}
+
+// SumAttr returns the true SUM of attribute code values over Sel(q)
+// (omniscient) — the ground truth for SUM over a searchable attribute,
+// which Figure 9/10 aggregate.
+func (t *Table) SumAttr(attr int, q Query) (float64, error) {
+	if attr < 0 || attr >= len(t.schema.Attrs) {
+		return 0, fmt.Errorf("hdb: attribute index %d out of range", attr)
+	}
+	if err := q.Validate(t.schema); err != nil {
+		return 0, err
+	}
+	sel := t.select_(q)
+	var sum float64
+	if sel == nil {
+		for _, tp := range t.tuples {
+			sum += float64(tp.Cats[attr])
+		}
+		return sum, nil
+	}
+	sel.ForEach(func(i int) bool {
+		sum += float64(t.tuples[i].Cats[attr])
+		return true
+	})
+	return sum, nil
+}
+
+// Tuples returns the backing tuple slice in rank order (omniscient; callers
+// must not modify it).
+func (t *Table) Tuples() []Tuple { return t.tuples }

@@ -1,0 +1,318 @@
+package hdb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperTable builds the running example of Table 1 in the paper: six tuples,
+// four Boolean attributes and one categorical attribute with |Dom|=5.
+func paperTable(t *testing.T, k int) *Table {
+	t.Helper()
+	schema := Schema{Attrs: []Attribute{
+		{"A1", 2}, {"A2", 2}, {"A3", 2}, {"A4", 2}, {"A5", 5},
+	}}
+	rows := [][]uint16{
+		{0, 0, 0, 0, 0}, // t1 (A5 value 1 -> code 0)
+		{0, 0, 0, 1, 0}, // t2
+		{0, 0, 1, 0, 0}, // t3
+		{0, 1, 1, 1, 0}, // t4
+		{1, 1, 1, 0, 2}, // t5 (A5 value 3 -> code 2)
+		{1, 1, 1, 1, 0}, // t6
+	}
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = Tuple{Cats: r}
+	}
+	tbl, err := NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	tbl := paperTable(t, 1)
+	if tbl.Size() != 6 {
+		t.Fatalf("Size = %d", tbl.Size())
+	}
+
+	// Empty query overflows (6 > k=1).
+	r, err := tbl.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow || len(r.Tuples) != 1 {
+		t.Errorf("root query: overflow=%v len=%d", r.Overflow, len(r.Tuples))
+	}
+
+	// q2 from Figure 1: A1=1 AND A2=0 underflows.
+	q2 := Query{}.And(0, 1).And(1, 0)
+	r, err = tbl.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Underflow() {
+		t.Errorf("q2 should underflow, got %+v", r)
+	}
+
+	// q2' = A1=1 AND A2=1 overflows (t5, t6).
+	r, err = tbl.Query(Query{}.And(0, 1).And(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow {
+		t.Errorf("q2' should overflow, got %+v", r)
+	}
+
+	// A1=1 AND A2=1 AND A3=1 AND A4=0 is valid and returns exactly t5.
+	q := Query{}.And(0, 1).And(1, 1).And(2, 1).And(3, 0)
+	r, err = tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Valid() || len(r.Tuples) != 1 || r.Tuples[0].Cats[4] != 2 {
+		t.Errorf("t5 query: %+v", r)
+	}
+}
+
+func TestValidBoundaryAtK(t *testing.T) {
+	tbl := paperTable(t, 6)
+	r, err := tbl.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly k matches: valid, not overflow.
+	if r.Overflow || len(r.Tuples) != 6 {
+		t.Errorf("|Sel|=k should be valid: overflow=%v len=%d", r.Overflow, len(r.Tuples))
+	}
+	tbl5 := paperTable(t, 5)
+	r, err = tbl5.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow || len(r.Tuples) != 5 {
+		t.Errorf("|Sel|=k+1 should overflow with k tuples: overflow=%v len=%d", r.Overflow, len(r.Tuples))
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	tbl := paperTable(t, 1)
+	cases := []Query{
+		{Preds: []Predicate{{Attr: 9, Value: 0}}},                      // bad attr
+		{Preds: []Predicate{{Attr: 0, Value: 2}}},                      // bad value
+		{Preds: []Predicate{{Attr: 0, Value: 0}, {Attr: 0, Value: 1}}}, // repeat
+	}
+	for i, q := range cases {
+		if _, err := tbl.Query(q); err == nil {
+			t.Errorf("case %d: no error for invalid query", i)
+		}
+	}
+}
+
+func TestNewTableRejectsBadInput(t *testing.T) {
+	s := boolSchema(3)
+	good := []Tuple{{Cats: []uint16{0, 0, 0}}}
+	if _, err := NewTable(s, 0, good); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewTable(s, 1, []Tuple{{Cats: []uint16{0, 0}}}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if _, err := NewTable(s, 1, []Tuple{{Cats: []uint16{0, 0, 2}}}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if _, err := NewTable(s, 1, []Tuple{{Cats: []uint16{0, 0, 0}, Nums: []float64{1}}}); err == nil {
+		t.Error("unexpected measure accepted")
+	}
+	dup := []Tuple{{Cats: []uint16{0, 1, 0}}, {Cats: []uint16{0, 1, 0}}}
+	if _, err := NewTable(s, 1, dup); err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Errorf("duplicate tuples: err = %v", err)
+	}
+	if _, err := NewTable(s, 1, dup, WithDuplicatesAllowed()); err != nil {
+		t.Errorf("WithDuplicatesAllowed: %v", err)
+	}
+}
+
+func TestRankingFunction(t *testing.T) {
+	schema := Schema{Attrs: []Attribute{{"a", 2}}, Measures: []string{"price"}}
+	tuples := []Tuple{
+		{Cats: []uint16{0}, Nums: []float64{10}},
+		{Cats: []uint16{1}, Nums: []float64{30}},
+	}
+	// Can't have duplicate cats, so use two distinct tuples and check order.
+	tbl, err := NewTable(schema, 1, tuples, WithRanking(RankByMeasure(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tbl.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overflow || r.Tuples[0].Nums[0] != 30 {
+		t.Errorf("top-1 should be the highest-priced tuple, got %+v", r)
+	}
+}
+
+func TestGroundTruthAccessors(t *testing.T) {
+	tbl := paperTable(t, 1)
+	n, err := tbl.SelCount(Query{}.And(0, 0))
+	if err != nil || n != 4 {
+		t.Errorf("SelCount(A1=0) = %d, %v; want 4", n, err)
+	}
+	n, err = tbl.SelCount(Query{})
+	if err != nil || n != 6 {
+		t.Errorf("SelCount(all) = %d, %v", n, err)
+	}
+	// SUM over attribute A2 codes: tuples with A2=1 are t4,t5,t6 -> 3.
+	s, err := tbl.SumAttr(1, Query{})
+	if err != nil || s != 3 {
+		t.Errorf("SumAttr(A2) = %v, %v; want 3", s, err)
+	}
+	s, err = tbl.SumAttr(4, Query{}.And(0, 1))
+	if err != nil || s != 2 { // t5 code 2 + t6 code 0
+		t.Errorf("SumAttr(A5 | A1=1) = %v, want 2", s)
+	}
+	if _, err := tbl.SumAttr(99, Query{}); err == nil {
+		t.Error("SumAttr bad attr accepted")
+	}
+	if _, err := tbl.SelCount(Query{Preds: []Predicate{{Attr: 99}}}); err == nil {
+		t.Error("SelCount bad query accepted")
+	}
+}
+
+func TestSumMeasure(t *testing.T) {
+	schema := Schema{Attrs: []Attribute{{"a", 2}, {"b", 2}}, Measures: []string{"price"}}
+	tuples := []Tuple{
+		{Cats: []uint16{0, 0}, Nums: []float64{5}},
+		{Cats: []uint16{0, 1}, Nums: []float64{7}},
+		{Cats: []uint16{1, 0}, Nums: []float64{11}},
+	}
+	tbl, err := NewTable(schema, 10, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.SumMeasure("price", Query{})
+	if err != nil || got != 23 {
+		t.Errorf("SumMeasure(all) = %v, %v", got, err)
+	}
+	got, err = tbl.SumMeasure("price", Query{}.And(0, 0))
+	if err != nil || got != 12 {
+		t.Errorf("SumMeasure(a=0) = %v, %v", got, err)
+	}
+	if _, err := tbl.SumMeasure("nope", Query{}); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+// TestQuickTableMatchesScan cross-checks the bitmap evaluator against a
+// naive scan on random small databases and random queries.
+func TestQuickTableMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		nAttr := 2 + rnd.Intn(4)
+		attrs := make([]Attribute, nAttr)
+		for i := range attrs {
+			attrs[i] = Attribute{Name: attrName(i), Dom: 2 + rnd.Intn(3)}
+		}
+		schema := Schema{Attrs: attrs}
+		m := 1 + rnd.Intn(60)
+		seen := map[string]bool{}
+		var tuples []Tuple
+		for len(tuples) < m {
+			tp := Tuple{Cats: make([]uint16, nAttr)}
+			for a := range tp.Cats {
+				tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+			}
+			if key := tp.CatKey(); !seen[key] {
+				seen[key] = true
+				tuples = append(tuples, tp)
+			}
+			// Domains can be small; break if we saturated the domain.
+			if len(seen) >= int(schema.DomainSize()) {
+				break
+			}
+		}
+		k := 1 + rnd.Intn(5)
+		tbl, err := NewTable(schema, k, tuples)
+		if err != nil {
+			return false
+		}
+		// Random query over a random subset of attributes.
+		var q Query
+		for a := 0; a < nAttr; a++ {
+			if rnd.Intn(2) == 0 {
+				q = q.And(a, uint16(rnd.Intn(attrs[a].Dom)))
+			}
+		}
+		r, err := tbl.Query(q)
+		if err != nil {
+			return false
+		}
+		// Scan model.
+		var matches int
+		for _, tp := range tuples {
+			if q.Matches(tp) {
+				matches++
+			}
+		}
+		if matches > k {
+			if !r.Overflow || len(r.Tuples) != k {
+				return false
+			}
+		} else {
+			if r.Overflow || len(r.Tuples) != matches {
+				return false
+			}
+		}
+		// Every returned tuple must actually match.
+		for _, tp := range r.Tuples {
+			if !q.Matches(tp) {
+				return false
+			}
+		}
+		// SelCount must agree with the scan.
+		n, err := tbl.SelCount(q)
+		return err == nil && n == matches
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryKeyCanonical(t *testing.T) {
+	a := Query{Preds: []Predicate{{Attr: 3, Value: 1}, {Attr: 1, Value: 0}}}
+	b := Query{Preds: []Predicate{{Attr: 1, Value: 0}, {Attr: 3, Value: 1}}}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if (Query{}).Key() != "" {
+		t.Errorf("empty query key = %q", (Query{}).Key())
+	}
+	if a.Key() == (Query{Preds: []Predicate{{Attr: 1, Value: 0}}}).Key() {
+		t.Error("distinct queries share key")
+	}
+}
+
+func TestQueryAndDoesNotAlias(t *testing.T) {
+	base := Query{}.And(0, 1)
+	c1 := base.And(1, 0)
+	c2 := base.And(1, 1)
+	if c1.Preds[1] == c2.Preds[1] {
+		t.Error("children share predicate value — And aliases storage")
+	}
+	if len(base.Preds) != 1 {
+		t.Error("And mutated receiver")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	if got := (Query{}).String(); got != "TRUE" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := (Query{}.And(2, 1)).String(); got != "a2=1" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package hdb
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracer wraps an Interface and writes one line per query to an io.Writer —
+// the tool for auditing exactly what an estimator asked the hidden database
+// and what came back, which is how the per-figure query-cost numbers in
+// EXPERIMENTS.md were sanity-checked. Safe for concurrent use.
+type Tracer struct {
+	inner Interface
+	mu    sync.Mutex
+	w     io.Writer
+	n     int64
+}
+
+// NewTracer wraps inner, logging to w.
+func NewTracer(inner Interface, w io.Writer) *Tracer {
+	return &Tracer{inner: inner, w: w}
+}
+
+// Schema implements Interface.
+func (t *Tracer) Schema() Schema { return t.inner.Schema() }
+
+// K implements Interface.
+func (t *Tracer) K() int { return t.inner.K() }
+
+// Query implements Interface, logging the query and its outcome.
+func (t *Tracer) Query(q Query) (Result, error) {
+	res, err := t.inner.Query(q)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	switch {
+	case err != nil:
+		fmt.Fprintf(t.w, "%6d  %-40s  ERROR %v\n", t.n, q.String(), err)
+	case res.Overflow:
+		fmt.Fprintf(t.w, "%6d  %-40s  OVERFLOW (%d shown)\n", t.n, q.String(), len(res.Tuples))
+	case len(res.Tuples) == 0:
+		fmt.Fprintf(t.w, "%6d  %-40s  UNDERFLOW\n", t.n, q.String())
+	default:
+		fmt.Fprintf(t.w, "%6d  %-40s  VALID (%d)\n", t.n, q.String(), len(res.Tuples))
+	}
+	return res, err
+}

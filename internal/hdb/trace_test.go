@@ -1,0 +1,43 @@
+package hdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerLogsOutcomes(t *testing.T) {
+	tbl := paperTable(t, 1)
+	var buf strings.Builder
+	tr := NewTracer(tbl, &buf)
+	if tr.K() != 1 || len(tr.Schema().Attrs) != 5 {
+		t.Error("Tracer does not pass through Schema/K")
+	}
+
+	// Overflow.
+	if _, err := tr.Query(Query{}); err != nil {
+		t.Fatal(err)
+	}
+	// Underflow: q2 of Figure 1.
+	if _, err := tr.Query(Query{}.And(0, 1).And(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Valid: exactly t5.
+	if _, err := tr.Query(Query{}.And(0, 1).And(1, 1).And(2, 1).And(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Error: invalid attribute.
+	if _, err := tr.Query(Query{Preds: []Predicate{{Attr: 99}}}); err == nil {
+		t.Fatal("expected error")
+	}
+
+	log := buf.String()
+	for _, want := range []string{"OVERFLOW", "UNDERFLOW", "VALID (1)", "ERROR"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("trace missing %q:\n%s", want, log)
+		}
+	}
+	lines := strings.Count(log, "\n")
+	if lines != 4 {
+		t.Errorf("trace has %d lines, want 4", lines)
+	}
+}

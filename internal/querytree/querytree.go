@@ -1,0 +1,189 @@
+// Package querytree models the geometry of the paper's query tree: which
+// attribute each level drills on, how levels group into divide-&-conquer
+// layers bounded by the subdomain size D_UB (Section 4.2.2), and the
+// attribute-order heuristic of Section 5.1 (decreasing fanout from root to
+// leaves, which minimises smart-backtracking cost).
+package querytree
+
+import (
+	"fmt"
+	"sort"
+
+	"hdunbiased/internal/hdb"
+)
+
+// Plan fixes the tree geometry for one estimation run: the base query whose
+// predicates are ANDed onto every issued query (the selection condition of
+// HD-UNBIASED-AGG, empty for whole-database size), the level order over the
+// remaining attributes, and the D_UB layering.
+type Plan struct {
+	Schema hdb.Schema
+	Base   hdb.Query
+	Order  []int   // attribute index drilled at each level, root to leaf
+	Layers []Layer // contiguous level ranges; each layer is one subtree depth
+}
+
+// Layer is a half-open range [Start, End) of levels forming one
+// divide-&-conquer subtree depth. The subdomain size of a subtree in this
+// layer is the product of the fanouts of its levels.
+type Layer struct {
+	Start, End int
+}
+
+// Options configures plan construction.
+type Options struct {
+	// DUB bounds each layer's subdomain size (product of level fanouts).
+	// Zero disables divide-&-conquer: the whole tree is one layer.
+	DUB int
+	// Required lists attribute indices that must appear first in the level
+	// order (e.g. Yahoo! Auto's MAKE restriction): every query the
+	// drill-down issues below level len(Required) then has them specified.
+	Required []int
+	// KeepSchemaOrder disables the decreasing-fanout heuristic and keeps
+	// attributes in schema order (used by tests and ablations).
+	KeepSchemaOrder bool
+	// IncreasingFanout sorts attributes by increasing fanout — the exact
+	// anti-heuristic order, used by ablations to measure what the Section
+	// 5.1 ordering buys. Mutually exclusive with KeepSchemaOrder.
+	IncreasingFanout bool
+}
+
+// New builds a Plan over the schema's attributes minus those fixed by base.
+// Attributes are ordered by decreasing fanout (Options.Required first), and
+// levels are greedily grouped into layers whose subdomain size does not
+// exceed DUB.
+func New(schema hdb.Schema, base hdb.Query, opts Options) (*Plan, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if err := base.Validate(schema); err != nil {
+		return nil, fmt.Errorf("querytree: invalid base query: %w", err)
+	}
+	fixed := make(map[int]bool, len(base.Preds))
+	for _, p := range base.Preds {
+		fixed[p.Attr] = true
+	}
+	reqSet := make(map[int]bool, len(opts.Required))
+	var order []int
+	for _, a := range opts.Required {
+		if a < 0 || a >= len(schema.Attrs) {
+			return nil, fmt.Errorf("querytree: required attribute %d out of range", a)
+		}
+		if reqSet[a] {
+			return nil, fmt.Errorf("querytree: required attribute %d repeated", a)
+		}
+		reqSet[a] = true
+		if fixed[a] {
+			continue // already pinned by the base query; nothing to drill
+		}
+		order = append(order, a)
+	}
+	var rest []int
+	for a := range schema.Attrs {
+		if !fixed[a] && !reqSet[a] {
+			rest = append(rest, a)
+		}
+	}
+	switch {
+	case opts.KeepSchemaOrder && opts.IncreasingFanout:
+		return nil, fmt.Errorf("querytree: KeepSchemaOrder and IncreasingFanout are mutually exclusive")
+	case opts.IncreasingFanout:
+		sort.SliceStable(rest, func(i, j int) bool {
+			return schema.Attrs[rest[i]].Dom < schema.Attrs[rest[j]].Dom
+		})
+	case !opts.KeepSchemaOrder:
+		// Decreasing fanout, ties by index for determinism.
+		sort.SliceStable(rest, func(i, j int) bool {
+			return schema.Attrs[rest[i]].Dom > schema.Attrs[rest[j]].Dom
+		})
+	}
+	order = append(order, rest...)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("querytree: no drillable attributes (all fixed by base query)")
+	}
+
+	layers, err := layout(schema, order, opts.DUB)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Schema: schema, Base: base, Order: order, Layers: layers}, nil
+}
+
+// layout greedily packs levels into layers with subdomain size <= dub.
+func layout(schema hdb.Schema, order []int, dub int) ([]Layer, error) {
+	if dub == 0 {
+		return []Layer{{Start: 0, End: len(order)}}, nil
+	}
+	maxFanout := 0
+	for _, a := range order {
+		if schema.Attrs[a].Dom > maxFanout {
+			maxFanout = schema.Attrs[a].Dom
+		}
+	}
+	if dub < maxFanout {
+		return nil, fmt.Errorf("querytree: DUB=%d smaller than the largest fanout %d (paper requires DUB >= max|Dom(Ai)|)", dub, maxFanout)
+	}
+	var layers []Layer
+	start := 0
+	prod := 1
+	for lvl, a := range order {
+		d := schema.Attrs[a].Dom
+		if prod*d > dub {
+			layers = append(layers, Layer{Start: start, End: lvl})
+			start = lvl
+			prod = d
+			continue
+		}
+		prod *= d
+	}
+	layers = append(layers, Layer{Start: start, End: len(order)})
+	return layers, nil
+}
+
+// Depth returns the number of levels (drillable attributes).
+func (p *Plan) Depth() int { return len(p.Order) }
+
+// AttrAt returns the attribute index drilled at the given level.
+func (p *Plan) AttrAt(level int) int { return p.Order[level] }
+
+// FanoutAt returns the fanout of the attribute at the given level.
+func (p *Plan) FanoutAt(level int) int { return p.Schema.Attrs[p.Order[level]].Dom }
+
+// LayerOf returns the index of the layer containing the given level.
+func (p *Plan) LayerOf(level int) int {
+	for i, l := range p.Layers {
+		if level >= l.Start && level < l.End {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("querytree: level %d outside plan depth %d", level, p.Depth()))
+}
+
+// LayerEnd returns the exclusive bottom level of the layer that starts at
+// level start. It panics when start is not a layer boundary.
+func (p *Plan) LayerEnd(start int) int {
+	for _, l := range p.Layers {
+		if l.Start == start {
+			return l.End
+		}
+	}
+	panic(fmt.Sprintf("querytree: level %d is not a layer boundary", start))
+}
+
+// SubdomainSize returns the product of fanouts over levels [start, end).
+func (p *Plan) SubdomainSize(start, end int) float64 {
+	prod := 1.0
+	for l := start; l < end; l++ {
+		prod *= float64(p.FanoutAt(l))
+	}
+	return prod
+}
+
+// DrillDomainSize returns the domain size of the entire drillable tree.
+func (p *Plan) DrillDomainSize() float64 { return p.SubdomainSize(0, p.Depth()) }
+
+// String summarises the plan for logs.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan(depth=%d layers=%d |Dom|=%.3g base=%q)",
+		p.Depth(), len(p.Layers), p.DrillDomainSize(), p.Base.String())
+}

@@ -1,0 +1,215 @@
+package querytree
+
+import (
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+func schema5() hdb.Schema {
+	return hdb.Schema{Attrs: []hdb.Attribute{
+		{Name: "b1", Dom: 2}, {Name: "b2", Dom: 2}, {Name: "c16", Dom: 16},
+		{Name: "c5", Dom: 5}, {Name: "c8", Dom: 8},
+	}}
+}
+
+func TestDecreasingFanoutOrder(t *testing.T) {
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 3, 0, 1} // fanouts 16, 8, 5, 2, 2 (ties by index)
+	if len(p.Order) != len(want) {
+		t.Fatalf("Order = %v", p.Order)
+	}
+	for i := range want {
+		if p.Order[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", p.Order, want)
+		}
+	}
+}
+
+func TestKeepSchemaOrder(t *testing.T) {
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 16, KeepSchemaOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range p.Order {
+		if a != i {
+			t.Fatalf("Order = %v, want schema order", p.Order)
+		}
+	}
+}
+
+func TestRequiredFirst(t *testing.T) {
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 16, Required: []int{0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order[0] != 0 || p.Order[1] != 3 {
+		t.Fatalf("Order = %v, want required attrs 0,3 first", p.Order)
+	}
+	if p.Depth() != 5 {
+		t.Fatalf("Depth = %d", p.Depth())
+	}
+}
+
+func TestRequiredValidation(t *testing.T) {
+	if _, err := New(schema5(), hdb.Query{}, Options{Required: []int{9}}); err == nil {
+		t.Error("out-of-range required accepted")
+	}
+	if _, err := New(schema5(), hdb.Query{}, Options{Required: []int{1, 1}}); err == nil {
+		t.Error("repeated required accepted")
+	}
+}
+
+func TestBaseQueryExcludesAttrs(t *testing.T) {
+	base := hdb.Query{}.And(2, 7) // pin the fanout-16 attribute
+	p, err := New(schema5(), base, Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 4 {
+		t.Fatalf("Depth = %d, want 4", p.Depth())
+	}
+	for _, a := range p.Order {
+		if a == 2 {
+			t.Fatal("base-fixed attribute appears in drill order")
+		}
+	}
+	// Required attr that is also base-fixed is skipped silently.
+	p, err = New(schema5(), base, Options{DUB: 16, Required: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 4 {
+		t.Fatalf("Depth with fixed required = %d", p.Depth())
+	}
+}
+
+func TestAllAttrsFixedRejected(t *testing.T) {
+	s := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 2}}}
+	base := hdb.Query{}.And(0, 1)
+	if _, err := New(s, base, Options{}); err == nil {
+		t.Error("fully fixed base accepted")
+	}
+}
+
+func TestInvalidBaseRejected(t *testing.T) {
+	bad := hdb.Query{Preds: []hdb.Predicate{{Attr: 99}}}
+	if _, err := New(schema5(), bad, Options{}); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestLayersRespectDUB(t *testing.T) {
+	// Order: fanouts 16, 8, 5, 2, 2 — DUB=16 gives layers {16}, {8}, {5,2},
+	// {2}: greedy packing.
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Layers {
+		if size := p.SubdomainSize(l.Start, l.End); size > 16 {
+			t.Errorf("layer %+v subdomain %v exceeds DUB", l, size)
+		}
+		if l.End <= l.Start {
+			t.Errorf("empty layer %+v", l)
+		}
+	}
+	// Layers must tile [0, depth) contiguously.
+	prev := 0
+	for _, l := range p.Layers {
+		if l.Start != prev {
+			t.Fatalf("layers not contiguous: %+v", p.Layers)
+		}
+		prev = l.End
+	}
+	if prev != p.Depth() {
+		t.Fatalf("layers do not cover the tree: %+v", p.Layers)
+	}
+}
+
+func TestPaperLayerExample(t *testing.T) {
+	// Running example of Section 4.2.2: attribute order A1..A5 with fanouts
+	// 2,2,2,2,5 and DUB=10 gives layers {A1,A2,A3} (size 8) and {A4,A5}
+	// (size 10).
+	s := hdb.Schema{Attrs: []hdb.Attribute{
+		{Name: "A1", Dom: 2}, {Name: "A2", Dom: 2}, {Name: "A3", Dom: 2},
+		{Name: "A4", Dom: 2}, {Name: "A5", Dom: 5},
+	}}
+	p, err := New(s, hdb.Query{}, Options{DUB: 10, KeepSchemaOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers) != 2 {
+		t.Fatalf("layers = %+v, want 2", p.Layers)
+	}
+	if p.Layers[0] != (Layer{0, 3}) || p.Layers[1] != (Layer{3, 5}) {
+		t.Fatalf("layers = %+v, want [{0 3} {3 5}]", p.Layers)
+	}
+	if got := p.SubdomainSize(0, 3); got != 8 {
+		t.Errorf("first layer size = %v", got)
+	}
+	if got := p.SubdomainSize(3, 5); got != 10 {
+		t.Errorf("second layer size = %v", got)
+	}
+}
+
+func TestDUBZeroSingleLayer(t *testing.T) {
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Layers) != 1 || p.Layers[0] != (Layer{0, 5}) {
+		t.Fatalf("layers = %+v, want single full layer", p.Layers)
+	}
+}
+
+func TestDUBTooSmallRejected(t *testing.T) {
+	if _, err := New(schema5(), hdb.Query{}, Options{DUB: 8}); err == nil {
+		t.Error("DUB below max fanout accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p, err := New(schema5(), hdb.Query{}, Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AttrAt(0) != 2 || p.FanoutAt(0) != 16 {
+		t.Errorf("AttrAt/FanoutAt(0) = %d/%d", p.AttrAt(0), p.FanoutAt(0))
+	}
+	if p.LayerOf(0) != 0 {
+		t.Errorf("LayerOf(0) = %d", p.LayerOf(0))
+	}
+	last := p.Depth() - 1
+	if p.LayerOf(last) != len(p.Layers)-1 {
+		t.Errorf("LayerOf(last) = %d", p.LayerOf(last))
+	}
+	if p.LayerEnd(0) != p.Layers[0].End {
+		t.Errorf("LayerEnd(0) = %d", p.LayerEnd(0))
+	}
+	if p.DrillDomainSize() != 16*8*5*2*2 {
+		t.Errorf("DrillDomainSize = %v", p.DrillDomainSize())
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LayerOf out of range did not panic")
+			}
+		}()
+		p.LayerOf(99)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LayerEnd non-boundary did not panic")
+			}
+		}()
+		p.LayerEnd(p.Layers[0].Start + 1000)
+	}()
+}

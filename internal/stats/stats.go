@@ -1,0 +1,190 @@
+// Package stats implements the estimation-accuracy measures of Section 2.2
+// of the paper: mean squared error, relative error and error bars (one
+// standard deviation of uncertainty), plus the running-moment machinery the
+// estimators use for pilot-sample bookkeeping.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance online using Welford's
+// algorithm, which is numerically stable for the long accumulation chains the
+// weight-adjustment tree produces. The zero value is an empty accumulator.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddN folds x in count times. Equivalent to count repeated Adds.
+func (r *Running) AddN(x float64, count int64) {
+	for i := int64(0); i < count; i++ {
+		r.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Sum returns the total of all observations.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
+// Variance returns the unbiased (n-1 denominator) sample variance, or 0 when
+// fewer than two observations have been seen.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// PopVariance returns the population (n denominator) variance.
+func (r *Running) PopVariance() float64 {
+	if r.n < 1 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n < 1 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Merge folds the other accumulator into r (parallel-run combination).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
+// Summary describes how a set of repeated estimates of a known ground truth
+// behaved — the per-figure measurement unit of the experiment harness.
+type Summary struct {
+	Truth     float64 // ground-truth aggregate value
+	Trials    int     // number of independent estimates
+	Mean      float64 // mean estimate
+	MSE       float64 // mean squared error vs Truth
+	RelErr    float64 // |mean - truth| / truth (relative error of the mean)
+	MeanAbsRE float64 // mean of per-trial |est - truth|/truth
+	StdDev    float64 // sample standard deviation of estimates
+	RelSize   float64 // Mean / Truth ("relative size" of Figures 8/10/15)
+	RelBar    float64 // StdDev / Truth (one-σ error bar in relative units)
+}
+
+// Summarize computes the Summary of estimates against truth. It panics when
+// truth is zero and a relative measure is requested, because every paper
+// experiment has positive ground truth; a zero here means the harness
+// mis-built the workload.
+func Summarize(truth float64, estimates []float64) Summary {
+	if truth == 0 {
+		panic("stats: zero ground truth")
+	}
+	var run Running
+	var sq, absre float64
+	for _, e := range estimates {
+		run.Add(e)
+		d := e - truth
+		sq += d * d
+		absre += math.Abs(d) / truth
+	}
+	n := float64(len(estimates))
+	s := Summary{Truth: truth, Trials: len(estimates), Mean: run.Mean(), StdDev: run.StdDev()}
+	if len(estimates) > 0 {
+		s.MSE = sq / n
+		s.MeanAbsRE = absre / n
+		s.RelErr = math.Abs(run.Mean()-truth) / truth
+		s.RelSize = run.Mean() / truth
+		s.RelBar = run.StdDev() / truth
+	}
+	return s
+}
+
+// String renders a one-line summary for logs and experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("truth=%.4g mean=%.4g mse=%.4g relerr=%.3f%% relsize=%.4f±%.4f (n=%d)",
+		s.Truth, s.Mean, s.MSE, s.RelErr*100, s.RelSize, s.RelBar, s.Trials)
+}
+
+// MSE returns the mean squared error of estimates against truth.
+func MSE(truth float64, estimates []float64) float64 {
+	if len(estimates) == 0 {
+		return 0
+	}
+	var sq float64
+	for _, e := range estimates {
+		d := e - truth
+		sq += d * d
+	}
+	return sq / float64(len(estimates))
+}
+
+// RelativeError returns |est-truth|/truth.
+func RelativeError(truth, est float64) float64 {
+	if truth == 0 {
+		panic("stats: zero ground truth")
+	}
+	return math.Abs(est-truth) / truth
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-th (0..1) quantile of xs using linear interpolation
+// between closest ranks. It copies and sorts internally.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdDev() != 0 || r.StdErr() != 0 {
+		t.Errorf("zero Running not all-zero: %+v", r)
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic dataset is 4.
+	if !almostEqual(r.PopVariance(), 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", r.PopVariance())
+	}
+	if !almostEqual(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if !almostEqual(r.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %v, want 40", r.Sum())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Variance() != 0 {
+		t.Errorf("Variance of single obs = %v", r.Variance())
+	}
+	if r.Mean() != 3.5 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || !almostEqual(a.Mean(), b.Mean(), 1e-12) || !almostEqual(a.Variance(), b.Variance(), 1e-12) {
+		t.Errorf("AddN mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n1, n2 := rnd.Intn(50), rnd.Intn(50)
+		var a, b, all Running
+		for i := 0; i < n1; i++ {
+			x := rnd.NormFloat64() * 100
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rnd.NormFloat64() * 100
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Merge(b) // empty into empty
+	if a.N() != 0 {
+		t.Error("merge of empties not empty")
+	}
+	b.Add(7)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Errorf("merge into empty: %+v", a)
+	}
+	var c Running
+	a.Merge(c) // empty into non-empty
+	if a.N() != 1 || a.Mean() != 7 {
+		t.Errorf("merge of empty changed state: %+v", a)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(100, []float64{90, 110, 100, 100})
+	if s.Trials != 4 {
+		t.Errorf("Trials = %d", s.Trials)
+	}
+	if !almostEqual(s.Mean, 100, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.MSE, 50, 1e-12) { // (100+100+0+0)/4
+		t.Errorf("MSE = %v, want 50", s.MSE)
+	}
+	if !almostEqual(s.RelErr, 0, 1e-12) {
+		t.Errorf("RelErr = %v", s.RelErr)
+	}
+	if !almostEqual(s.MeanAbsRE, 0.05, 1e-12) {
+		t.Errorf("MeanAbsRE = %v, want 0.05", s.MeanAbsRE)
+	}
+	if !almostEqual(s.RelSize, 1, 1e-12) {
+		t.Errorf("RelSize = %v", s.RelSize)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeZeroTruthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero truth")
+		}
+	}()
+	Summarize(0, []float64{1})
+}
+
+func TestMSEAndRelativeError(t *testing.T) {
+	if got := MSE(10, nil); got != 0 {
+		t.Errorf("MSE(empty) = %v", got)
+	}
+	if got := MSE(10, []float64{12, 8}); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("MSE = %v, want 4", got)
+	}
+	if got := RelativeError(200, 150); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("RelativeError = %v, want 0.25", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) not NaN")
+	}
+	// xs must be unmodified (copy semantics).
+	if xs[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(q=2) did not panic")
+		}
+	}()
+	Quantile(xs, 2)
+}
+
+// TestQuickWelfordMatchesNaive compares Welford against the two-pass formula.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 2 + rnd.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rnd.NormFloat64()*1e3 + 1e6 // offset stresses stability
+			r.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return almostEqual(r.Mean(), mean, 1e-9) &&
+			almostEqual(r.Variance(), m2/float64(n-1), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

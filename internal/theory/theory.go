@@ -1,0 +1,172 @@
+// Package theory implements the paper's analytical results so they can be
+// checked numerically against the estimators:
+//
+//   - Theorem 2: the exact estimation variance of the backtracking
+//     drill-down, s² = Σ_{q∈Ω_TV} |q|²/p(q) − m², computed by exhaustive
+//     enumeration of the query tree with omniscient access;
+//   - equation (2): QC, the expected number of branches smart backtracking
+//     tests at a node;
+//   - Corollary 1: the worst-case variance lower bound
+//     s² > k²·∏_{i<n}|Dom(A_i)| − m²;
+//   - Theorem 3: the k=1 upper bound s² ≤ m²·(|Dom|/m − 1).
+//
+// The enumeration walks the same probability rules as internal/core's
+// walker (uniform smart backtracking), so agreement between the Theorem 2
+// number and the estimator's empirical variance is a strong end-to-end
+// check of both.
+package theory
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// TopValid describes one top-valid node found by enumeration.
+type TopValid struct {
+	Query hdb.Query
+	Size  int     // |Sel(q)|
+	P     float64 // selection probability under uniform smart backtracking
+}
+
+// Enumerate walks the full query tree of the plan with omniscient access to
+// the table and returns every top-valid node with its exact selection
+// probability under the uniform (no weight adjustment, no divide-&-conquer)
+// drill-down. It errors if the plan's base query does not overflow (no tree
+// to walk) or if the interface is inconsistent.
+func Enumerate(tbl *hdb.Table, plan *querytree.Plan) ([]TopValid, error) {
+	rootCount, err := tbl.SelCount(plan.Base)
+	if err != nil {
+		return nil, err
+	}
+	if rootCount <= tbl.K() {
+		return nil, fmt.Errorf("theory: base query selects %d <= k=%d tuples; nothing to enumerate", rootCount, tbl.K())
+	}
+	var out []TopValid
+	var rec func(q hdb.Query, level int, p float64) error
+	rec = func(q hdb.Query, level int, p float64) error {
+		if level >= plan.Depth() {
+			return fmt.Errorf("theory: overflowing complete assignment at %s (duplicates beyond k)", q.String())
+		}
+		attr := plan.AttrAt(level)
+		w := plan.FanoutAt(level)
+		counts := make([]int, w)
+		for v := 0; v < w; v++ {
+			c, err := tbl.SelCount(q.And(attr, uint16(v)))
+			if err != nil {
+				return err
+			}
+			counts[v] = c
+		}
+		for v := 0; v < w; v++ {
+			if counts[v] == 0 {
+				continue
+			}
+			pBranch := float64(runLength(counts, v)+1) / float64(w)
+			child := q.And(attr, uint16(v))
+			if counts[v] <= tbl.K() {
+				out = append(out, TopValid{Query: child, Size: counts[v], P: p * pBranch})
+				continue
+			}
+			if err := rec(child, level+1, p*pBranch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(plan.Base, 0, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runLength returns w_U(v): the number of consecutive empty branches
+// immediately preceding v, circularly.
+func runLength(counts []int, v int) int {
+	w := len(counts)
+	run := 0
+	for d := 1; d < w; d++ {
+		if counts[((v-d)%w+w)%w] != 0 {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// Variance computes Theorem 2's exact single-drill-down estimation variance
+// s² = Σ |q|²/p(q) − m² from an enumeration.
+func Variance(tvs []TopValid) float64 {
+	var sum, m float64
+	for _, tv := range tvs {
+		sum += float64(tv.Size) * float64(tv.Size) / tv.P
+		m += float64(tv.Size)
+	}
+	return sum - m*m
+}
+
+// TotalMass returns Σ|q| (which must equal the database size m — every
+// tuple belongs to exactly one top-valid node) and Σp(q) (which must be 1).
+func TotalMass(tvs []TopValid) (mass float64, probability float64) {
+	for _, tv := range tvs {
+		mass += float64(tv.Size)
+		probability += tv.P
+	}
+	return mass, probability
+}
+
+// VarianceUpperBoundK1 is Theorem 3's upper bound for k=1:
+// s² ≤ m²(|Dom|/m − 1). dom is the drillable domain size, m the number of
+// tuples under the plan's base query.
+func VarianceUpperBoundK1(m int, dom float64) float64 {
+	fm := float64(m)
+	return fm * fm * (dom/fm - 1)
+}
+
+// WorstCaseVarianceLowerBound is Corollary 1's probabilistic lower bound on
+// the worst-case variance for an n-attribute, m-tuple database behind a
+// top-k interface: s² > k²·∏_{i=1..n-1}|Dom(A_i)| − m². The product runs
+// over all attributes except the last in drill order.
+func WorstCaseVarianceLowerBound(schema hdb.Schema, order []int, m, k int) float64 {
+	prod := 1.0
+	for _, a := range order[:len(order)-1] {
+		prod *= float64(schema.Attrs[a].Dom)
+	}
+	fm := float64(m)
+	return float64(k)*float64(k)*prod - fm*fm
+}
+
+// SmartBacktrackQC computes equation (2): the expected number of branches
+// smart backtracking tests at a node whose branch occupancy is given by
+// counts (counts[j] > 0 means branch j is non-empty),
+//
+//	QC = 1 + Σ_j (w_U(j)+1)² / w   over non-empty branches j,
+//
+// with w_U(j) = −1 contribution for empty branches (they add nothing).
+// The paper's example (Figure 3: occupancy 1,1,1,0,0 around a 5-branch
+// node) gives QC = 3.6.
+func SmartBacktrackQC(counts []int) (float64, error) {
+	w := len(counts)
+	if w == 0 {
+		return 0, fmt.Errorf("theory: no branches")
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		return 0, fmt.Errorf("theory: all branches empty")
+	}
+	sum := 0.0
+	for j, c := range counts {
+		if c == 0 {
+			continue
+		}
+		wu := float64(runLength(counts, j))
+		sum += (wu + 1) * (wu + 1) / float64(w)
+	}
+	return 1 + sum, nil
+}

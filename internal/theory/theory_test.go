@@ -1,0 +1,349 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// paperTable is the running example of Table 1.
+func paperTable(t testing.TB, k int) *hdb.Table {
+	t.Helper()
+	schema := hdb.Schema{Attrs: []hdb.Attribute{
+		{Name: "A1", Dom: 2}, {Name: "A2", Dom: 2}, {Name: "A3", Dom: 2},
+		{Name: "A4", Dom: 2}, {Name: "A5", Dom: 5},
+	}}
+	rows := [][]uint16{
+		{0, 0, 0, 0, 0}, {0, 0, 0, 1, 0}, {0, 0, 1, 0, 0},
+		{0, 1, 1, 1, 0}, {1, 1, 1, 0, 2}, {1, 1, 1, 1, 0},
+	}
+	tuples := make([]hdb.Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = hdb.Tuple{Cats: r}
+	}
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// smallRandomTable builds a random categorical table with nAttr attributes
+// of fanout 2..maxDom, about half-full occupancy, behind a top-k interface.
+func smallRandomTable(t testing.TB, rnd *rand.Rand, nAttr, maxDom, k int) *hdb.Table {
+	t.Helper()
+	attrs := make([]hdb.Attribute, nAttr)
+	for i := range attrs {
+		attrs[i] = hdb.Attribute{Name: string(rune('a' + i)), Dom: 2 + rnd.Intn(maxDom-1)}
+	}
+	schema := hdb.Schema{Attrs: attrs}
+	domain := int(schema.DomainSize())
+	m := domain/3 + rnd.Intn(domain/4)
+	seen := map[string]bool{}
+	var tuples []hdb.Tuple
+	for len(tuples) < m {
+		tp := hdb.Tuple{Cats: make([]uint16, nAttr)}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+	}
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func planFor(t testing.TB, tbl *hdb.Table) *querytree.Plan {
+	t.Helper()
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{KeepSchemaOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestEnumerateRunningExample(t *testing.T) {
+	tbl := paperTable(t, 1)
+	tvs, err := Enumerate(tbl, planFor(t, tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1 has 6 top-valid nodes for k=1 (one per tuple).
+	if len(tvs) != 6 {
+		t.Fatalf("found %d top-valid nodes, want 6", len(tvs))
+	}
+	mass, prob := TotalMass(tvs)
+	if mass != 6 {
+		t.Errorf("Σ|q| = %v, want 6", mass)
+	}
+	if math.Abs(prob-1) > 1e-12 {
+		t.Errorf("Σp = %v, want 1", prob)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	tbl := paperTable(t, 10) // root does not overflow
+	if _, err := Enumerate(tbl, planFor(t, tbl)); err == nil {
+		t.Error("non-overflowing root accepted")
+	}
+	// Duplicates beyond k make a complete assignment overflow.
+	schema := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 2}}}
+	dup := []hdb.Tuple{{Cats: []uint16{0}}, {Cats: []uint16{0}}, {Cats: []uint16{1}}}
+	dtbl, err := hdb.NewTable(schema, 1, dup, hdb.WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dplan, err := querytree.New(schema, hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(dtbl, dplan); err == nil {
+		t.Error("duplicate overflow not detected")
+	}
+}
+
+// TestTheorem2MatchesEmpiricalVariance is the headline check: the exact
+// variance formula of Theorem 2 must agree with the sample variance of the
+// real estimator's single-pass estimates.
+func TestTheorem2MatchesEmpiricalVariance(t *testing.T) {
+	// Workloads with a bounded probability floor: small fanouts and shallow
+	// trees keep min p(q) around 1/300, so the estimate distribution's tail
+	// is light enough for the sample variance of n draws to concentrate.
+	// (On a 38-attribute table some nodes have astronomically small p and
+	// no feasible n estimates the variance empirically — that regime is
+	// exactly Section 3.3.2's point.)
+	rnd := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 3; trial++ {
+		tbl := smallRandomTable(t, rnd, 4, 4, 2)
+		plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tvs, err := Enumerate(tbl, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Variance(tvs)
+		if want <= 0 {
+			t.Fatalf("trial %d: non-positive theoretical variance %v", trial, want)
+		}
+
+		est, err := core.New(tbl, plan, []core.Measure{core.CountMeasure()}, core.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run stats.Running
+		const n = 60000
+		for i := 0; i < n; i++ {
+			res, err := est.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.Add(res.Values[0])
+		}
+		got := run.PopVariance()
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("trial %d: empirical variance %.4g vs Theorem 2 %.4g (%.1f%% off)",
+				trial, got, want, 100*math.Abs(got-want)/want)
+		}
+		// Unbiasedness cross-check from the same run.
+		truth := float64(tbl.Size())
+		if math.Abs(run.Mean()-truth) > 6*run.StdErr()+0.01*truth {
+			t.Errorf("trial %d: mean %v vs truth %v", trial, run.Mean(), truth)
+		}
+	}
+}
+
+func TestVarianceUpperBoundK1(t *testing.T) {
+	// Theorem 3: for k=1 the drill-down variance is at most m²(|Dom|/m − 1).
+	rnd := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5; trial++ {
+		nAttr := 3 + rnd.Intn(3)
+		attrs := make([]hdb.Attribute, nAttr)
+		for i := range attrs {
+			attrs[i] = hdb.Attribute{Name: string(rune('a' + i)), Dom: 2 + rnd.Intn(3)}
+		}
+		schema := hdb.Schema{Attrs: attrs}
+		domain := int(schema.DomainSize())
+		m := 3 + rnd.Intn(domain/3)
+		seen := map[string]bool{}
+		var tuples []hdb.Tuple
+		for len(tuples) < m {
+			tp := hdb.Tuple{Cats: make([]uint16, nAttr)}
+			for a := range tp.Cats {
+				tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+			}
+			if key := tp.CatKey(); !seen[key] {
+				seen[key] = true
+				tuples = append(tuples, tp)
+			}
+		}
+		tbl, err := hdb.NewTable(schema, 1, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := querytree.New(schema, hdb.Query{}, querytree.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tvs, err := Enumerate(tbl, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := Variance(tvs)
+		bound := VarianceUpperBoundK1(m, schema.DomainSize())
+		if s2 > bound*(1+1e-9) {
+			t.Errorf("trial %d: variance %v exceeds Theorem 3 bound %v (m=%d dom=%d)",
+				trial, s2, bound, m, domain)
+		}
+	}
+}
+
+func TestWorstCaseLowerBound(t *testing.T) {
+	// The Figure 4 construction must realise (essentially) Corollary 1's
+	// worst-case variance: s² > k²·∏_{i<n}|Dom| − m² for k=1 Boolean.
+	n := 10
+	d, err := datagen.WorstCase(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{KeepSchemaOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tvs, err := Enumerate(tbl, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Variance(tvs)
+	bound := WorstCaseVarianceLowerBound(tbl.Schema(), plan.Order, tbl.Size(), 1)
+	if s2 <= bound {
+		t.Errorf("worst-case variance %v does not exceed Corollary 1 bound %v", s2, bound)
+	}
+	// Section 3.3.2's sharper statement for this construction: s² > 2^{n+1} − m².
+	m := float64(tbl.Size())
+	if s2 <= math.Pow(2, float64(n+1))-m*m {
+		t.Errorf("variance %v below the 2^{n+1}−m² bound", s2)
+	}
+}
+
+func TestSmartBacktrackQCPaperExample(t *testing.T) {
+	// Figure 3: a 5-branch attribute where q2..q3 occupancy makes QC=3.6.
+	// Occupancy: q1 non-empty, q2 non-empty, q3 non-empty, q4 empty, q5
+	// empty gives w_U(q1)=2 (q4,q5 precede circularly), w_U(q2)=0,
+	// w_U(q3)=0: QC = 1 + (9 + 1 + 1)/5 = 3.2; the paper's 3.6 corresponds
+	// to occupancy with w_U values {2,1}: non-empty q1 (w_U=2), q3 (w_U=0),
+	// q5 (w_U=1): QC = 1 + (9+1+4)/5 = 3.8... the exact example occupancy
+	// is underdetermined in the text, so pin our formula on explicit cases.
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		// All non-empty, fanout w: QC = 1 + w·(1/w) = 2.
+		{[]int{1, 1, 1, 1}, 2},
+		// Single non-empty branch of 5: w_U = 4, QC = 1 + 25/5 = 6.
+		{[]int{0, 0, 3, 0, 0}, 6},
+		// Boolean, both non-empty: QC = 1 + (1+1)/2 = 2.
+		{[]int{2, 7}, 2},
+		// Boolean, one empty: QC = 1 + 4/2 = 3.
+		{[]int{0, 7}, 3},
+		// Figure 3 shape with non-empty {q1,q3,q5}... -> w_U(q1)=1 (q5
+		// empty? no). Explicit: non-empty at 0 and 2 of 5; empties 1,3,4.
+		// w_U(0) = 2 (branches 4,3), w_U(2) = 1 (branch 1):
+		// QC = 1 + (9+4)/5 = 3.6 — the paper's number.
+		{[]int{1, 0, 1, 0, 0}, 3.6},
+	}
+	for i, c := range cases {
+		got, err := SmartBacktrackQC(c.counts)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: QC = %v, want %v", i, got, c.want)
+		}
+	}
+	if _, err := SmartBacktrackQC(nil); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := SmartBacktrackQC([]int{0, 0}); err == nil {
+		t.Error("all-empty accepted")
+	}
+}
+
+// TestAttributeOrderReducesCost verifies the Section 5.1 claim behind the
+// decreasing-fanout heuristic: placing large fanouts near the root reduces
+// the expected smart-backtracking query cost (sum of QC over tree nodes is
+// hard to compare directly, so compare the real estimator's measured cost).
+func TestAttributeOrderReducesCost(t *testing.T) {
+	// The Section 5.1 premise: a high-fanout attribute is dense near the
+	// root (every value occupied, cheap smart backtracking) but sparse deep
+	// in the tree (nodes hold few tuples, so most of its branches underflow
+	// and every walk pays probe queries). Build a schema whose natural
+	// order is increasing fanout, so KeepSchemaOrder places the fanout-9
+	// attributes at the sparse bottom — the anti-heuristic order — while
+	// the default decreasing-fanout order is the paper's.
+	attrs := []hdb.Attribute{}
+	for i := 0; i < 6; i++ {
+		attrs = append(attrs, hdb.Attribute{Name: string(rune('a' + i)), Dom: 2})
+	}
+	attrs = append(attrs, hdb.Attribute{Name: "big1", Dom: 9}, hdb.Attribute{Name: "big2", Dom: 9})
+	schema := hdb.Schema{Attrs: attrs}
+	rnd := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	var tuples []hdb.Tuple
+	// Uniform over the full domain (2^6 * 81 = 5184), ~12% occupancy.
+	for len(tuples) < 600 {
+		tp := hdb.Tuple{Cats: make([]uint16, len(attrs))}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+	}
+	tbl2, err := hdb.NewTable(schema, 5, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(keep bool) float64 {
+		plan, err := querytree.New(schema, hdb.Query{}, querytree.Options{KeepSchemaOrder: keep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			e, err := core.New(tbl2, plan, []core.Measure{core.CountMeasure()}, core.Config{Seed: int64(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(res.Cost)
+		}
+		return total / trials
+	}
+	increasing := measure(true)  // schema order = increasing fanout (bad)
+	decreasing := measure(false) // heuristic order (good)
+	if decreasing >= increasing {
+		t.Errorf("decreasing-fanout order cost %.1f >= increasing order %.1f; Section 5.1 heuristic not effective", decreasing, increasing)
+	}
+}

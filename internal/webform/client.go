@@ -1,0 +1,108 @@
+package webform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"hdunbiased/internal/hdb"
+)
+
+// Client talks to a webform Server and implements hdb.Interface, so every
+// estimator in this repository runs unchanged against a live HTTP hidden
+// database — the way the paper's PHP implementation ran against Yahoo! Auto.
+type Client struct {
+	base   *url.URL
+	http   *http.Client
+	schema hdb.Schema
+	k      int
+}
+
+// Dial fetches the schema from baseURL and returns a ready client.
+func Dial(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("webform: bad base URL: %w", err)
+	}
+	c := &Client{base: u, http: &http.Client{Timeout: 30 * time.Second}}
+	if err := c.fetchSchema(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) fetchSchema() error {
+	resp, err := c.http.Get(c.base.JoinPath("schema").String())
+	if err != nil {
+		return fmt.Errorf("webform: schema fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("webform: schema fetch: %s", resp.Status)
+	}
+	var p schemaPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return fmt.Errorf("webform: schema decode: %w", err)
+	}
+	if len(p.Attrs) == 0 || p.K < 1 {
+		return fmt.Errorf("webform: server returned empty schema or k=%d", p.K)
+	}
+	c.schema = hdb.Schema{Measures: p.Measures}
+	for _, a := range p.Attrs {
+		c.schema.Attrs = append(c.schema.Attrs, hdb.Attribute{Name: a.Name, Dom: a.Dom})
+	}
+	c.k = p.K
+	return nil
+}
+
+// Schema implements hdb.Interface.
+func (c *Client) Schema() hdb.Schema { return c.schema }
+
+// K implements hdb.Interface.
+func (c *Client) K() int { return c.k }
+
+// Query implements hdb.Interface. A 429 from the server surfaces as
+// hdb.ErrQueryLimit so budget-aware callers behave identically to the
+// in-memory Limiter.
+func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
+	if err := q.Validate(c.schema); err != nil {
+		return hdb.Result{}, err
+	}
+	params := url.Values{}
+	for _, p := range q.Preds {
+		params.Set(c.schema.Attrs[p.Attr].Name, strconv.Itoa(int(p.Value)))
+	}
+	u := c.base.JoinPath("search")
+	u.RawQuery = params.Encode()
+	resp, err := c.http.Get(u.String())
+	if err != nil {
+		return hdb.Result{}, fmt.Errorf("webform: search: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		return hdb.Result{}, hdb.ErrQueryLimit
+	default:
+		var ep errorPayload
+		_ = json.NewDecoder(resp.Body).Decode(&ep)
+		return hdb.Result{}, fmt.Errorf("webform: search: %s: %s", resp.Status, ep.Error)
+	}
+	var p resultPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return hdb.Result{}, fmt.Errorf("webform: result decode: %w", err)
+	}
+	res := hdb.Result{Overflow: p.Overflow, Tuples: make([]hdb.Tuple, 0, len(p.Tuples))}
+	for _, t := range p.Tuples {
+		if len(t.Cats) != len(c.schema.Attrs) {
+			return hdb.Result{}, fmt.Errorf("webform: tuple has %d values, schema has %d attributes", len(t.Cats), len(c.schema.Attrs))
+		}
+		res.Tuples = append(res.Tuples, hdb.Tuple{Cats: t.Cats, Nums: t.Nums})
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package webform
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+)
+
+// The HTML front end makes the hidden database browsable the way a human
+// would see it: a search form with one dropdown per attribute and a result
+// page showing at most k rows plus the overflow notice. It exercises exactly
+// the same query path as the JSON API, so what the estimator sees and what a
+// person sees cannot diverge.
+
+var formTmpl = template.Must(template.New("form").Parse(`<!DOCTYPE html>
+<html><head><title>hidden database search</title></head><body>
+<h1>Search</h1>
+<form method="GET" action="/">
+{{range .Attrs}}
+  <label>{{.Name}}:
+    <select name="{{.Name}}">
+      <option value="">(any)</option>
+      {{range .Options}}<option value="{{.Code}}" {{if .Selected}}selected{{end}}>{{.Code}}</option>{{end}}
+    </select>
+  </label><br>
+{{end}}
+  <button type="submit">Search</button>
+</form>
+{{if .Queried}}
+  <h2>Results</h2>
+  {{if .Error}}<p class="error">{{.Error}}</p>{{else}}
+    {{if .Overflow}}<p><strong>Your search matched more than {{.K}} items; only the top {{.K}} are shown. Refine your search.</strong></p>{{end}}
+    {{if .Rows}}
+    <table border="1"><tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+    {{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+    </table>
+    {{else}}<p>No results.</p>{{end}}
+  {{end}}
+{{end}}
+</body></html>`))
+
+type formOption struct {
+	Code     int
+	Selected bool
+}
+
+type formAttr struct {
+	Name    string
+	Options []formOption
+}
+
+type formPage struct {
+	Attrs    []formAttr
+	Queried  bool
+	Error    string
+	Overflow bool
+	K        int
+	Header   []string
+	Rows     [][]string
+}
+
+func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
+	schema := s.backend.Schema()
+	page := formPage{K: s.backend.K()}
+	values := r.URL.Query()
+	for _, a := range schema.Attrs {
+		fa := formAttr{Name: a.Name}
+		sel := values.Get(a.Name)
+		for code := 0; code < a.Dom; code++ {
+			fa.Options = append(fa.Options, formOption{
+				Code:     code,
+				Selected: sel == strconv.Itoa(code),
+			})
+		}
+		page.Attrs = append(page.Attrs, fa)
+	}
+
+	if len(values) > 0 {
+		page.Queried = true
+		// Drop empty "(any)" selections before parsing.
+		for name, vals := range values {
+			if len(vals) == 1 && vals[0] == "" {
+				values.Del(name)
+			}
+		}
+		r.URL.RawQuery = values.Encode()
+		if !s.charge(clientIP(r)) {
+			page.Error = "query limit exceeded for this client"
+		} else if q, err := s.parseQuery(r, schema); err != nil {
+			page.Error = err.Error()
+		} else if res, err := s.backend.Query(q); err != nil {
+			page.Error = err.Error()
+		} else {
+			page.Overflow = res.Overflow
+			for _, a := range schema.Attrs {
+				page.Header = append(page.Header, a.Name)
+			}
+			page.Header = append(page.Header, schema.Measures...)
+			for _, t := range res.Tuples {
+				row := make([]string, 0, len(t.Cats)+len(t.Nums))
+				for _, c := range t.Cats {
+					row = append(row, strconv.Itoa(int(c)))
+				}
+				for _, n := range t.Nums {
+					row = append(row, fmt.Sprintf("%g", n))
+				}
+				page.Rows = append(page.Rows, row)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := formTmpl.Execute(w, page); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

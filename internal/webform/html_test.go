@@ -1,0 +1,95 @@
+package webform
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHTMLFormRenders(t *testing.T) {
+	ts, _ := autoServer(t, 300, 10, ServerOptions{})
+	status, body := getBody(t, ts.URL+"/")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	for _, want := range []string{"<form", `name="make"`, `name="opt_00"`, "(any)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("form page missing %q", want)
+		}
+	}
+	// No query yet: no results section.
+	if strings.Contains(body, "<h2>Results</h2>") {
+		t.Error("results shown without a query")
+	}
+}
+
+func TestHTMLSearchOverflowNotice(t *testing.T) {
+	ts, _ := autoServer(t, 300, 10, ServerOptions{})
+	// Broad query: make=0 matches many tuples -> overflow notice.
+	status, body := getBody(t, ts.URL+"/?make=0")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if !strings.Contains(body, "matched more than 10") {
+		t.Error("overflow notice missing")
+	}
+	if !strings.Contains(body, "<table") {
+		t.Error("results table missing")
+	}
+	// Empty "(any)" selections are ignored.
+	status, body = getBody(t, ts.URL+"/?make=0&model=")
+	if status != http.StatusOK || !strings.Contains(body, "<table") {
+		t.Error("empty selection not ignored")
+	}
+}
+
+func TestHTMLSearchErrors(t *testing.T) {
+	ts, _ := autoServer(t, 300, 10, ServerOptions{})
+	_, body := getBody(t, ts.URL+"/?make=99")
+	if !strings.Contains(body, "out of domain") {
+		t.Error("domain error not rendered")
+	}
+}
+
+func TestHTMLSearchChargesLimit(t *testing.T) {
+	ts, _ := autoServer(t, 300, 10, ServerOptions{LimitPerClient: 1})
+	if _, body := getBody(t, ts.URL+"/?make=0"); strings.Contains(body, "limit exceeded") {
+		t.Fatal("first query hit the limit")
+	}
+	if _, body := getBody(t, ts.URL+"/?make=1"); !strings.Contains(body, "limit exceeded") {
+		t.Error("second query did not hit the limit")
+	}
+}
+
+func TestHTMLUnderflowShowsNoResults(t *testing.T) {
+	ts, tbl := autoServer(t, 300, 10, ServerOptions{})
+	// Find an empty make/model pair to force underflow.
+	schema := tbl.Schema()
+	_ = schema
+	for model := 0; model < 16; model++ {
+		q := ts.URL + "/?make=15&model=" + string(rune('0'+model%10))
+		if model >= 10 {
+			q = ts.URL + "/?make=15&model=1" + string(rune('0'+model-10))
+		}
+		_, body := getBody(t, q)
+		if strings.Contains(body, "No results.") {
+			return // found an underflowing combination: rendered correctly
+		}
+	}
+	t.Skip("no underflowing make/model pair in this tiny dataset")
+}

@@ -1,0 +1,163 @@
+package webform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"hdunbiased/internal/hdb"
+)
+
+// ServerOptions configure the interface restrictions of the web form.
+type ServerOptions struct {
+	// LimitPerClient caps /search calls per client IP (0 = unlimited),
+	// mirroring hidden databases' per-IP daily limits.
+	LimitPerClient int64
+	// RequireOneOf lists attribute names of which at least one must appear
+	// in every search (Yahoo! Auto's "MAKE/MODEL or ZIP CODE" rule).
+	RequireOneOf []string
+}
+
+// Server serves a hidden database over HTTP. It implements http.Handler.
+type Server struct {
+	backend hdb.Interface
+	opts    ServerOptions
+	mux     *http.ServeMux
+
+	mu    sync.Mutex
+	spent map[string]int64 // per-client /search calls
+}
+
+// NewServer wraps the backend. RequireOneOf names must exist in the schema.
+func NewServer(backend hdb.Interface, opts ServerOptions) (*Server, error) {
+	schema := backend.Schema()
+	for _, name := range opts.RequireOneOf {
+		if schema.AttrIndex(name) < 0 {
+			return nil, fmt.Errorf("webform: RequireOneOf attribute %q not in schema", name)
+		}
+	}
+	s := &Server{
+		backend: backend,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		spent:   make(map[string]int64),
+	}
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /{$}", s.handleForm)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ResetLimits clears all per-client query counters ("the next day").
+func (s *Server) ResetLimits() {
+	s.mu.Lock()
+	s.spent = make(map[string]int64)
+	s.mu.Unlock()
+}
+
+// SpentBy returns the /search calls charged to a client IP so far.
+func (s *Server) SpentBy(ip string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spent[ip]
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	schema := s.backend.Schema()
+	p := schemaPayload{K: s.backend.K(), Measures: schema.Measures, RequireOneOf: s.opts.RequireOneOf}
+	for _, a := range schema.Attrs {
+		p.Attrs = append(p.Attrs, attrPayload{Name: a.Name, Dom: a.Dom})
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.charge(clientIP(r)) {
+		writeJSON(w, http.StatusTooManyRequests, errorPayload{Error: "query limit exceeded for this client"})
+		return
+	}
+	schema := s.backend.Schema()
+	q, err := s.parseQuery(r, schema)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	res, err := s.backend.Query(q)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorPayload{Error: err.Error()})
+		return
+	}
+	p := resultPayload{Overflow: res.Overflow, Tuples: make([]tuplePayload, 0, len(res.Tuples))}
+	for _, t := range res.Tuples {
+		p.Tuples = append(p.Tuples, tuplePayload{Cats: t.Cats, Nums: t.Nums})
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// parseQuery maps URL parameters (attribute name -> integer code) to an
+// hdb.Query and enforces the RequireOneOf rule.
+func (s *Server) parseQuery(r *http.Request, schema hdb.Schema) (hdb.Query, error) {
+	var q hdb.Query
+	values := r.URL.Query()
+	for name, vals := range values {
+		ai := schema.AttrIndex(name)
+		if ai < 0 {
+			return hdb.Query{}, fmt.Errorf("unknown attribute %q", name)
+		}
+		if len(vals) != 1 {
+			return hdb.Query{}, fmt.Errorf("attribute %q specified %d times", name, len(vals))
+		}
+		code, err := strconv.Atoi(vals[0])
+		if err != nil || code < 0 || code >= schema.Attrs[ai].Dom {
+			return hdb.Query{}, fmt.Errorf("attribute %q value %q out of domain [0,%d)", name, vals[0], schema.Attrs[ai].Dom)
+		}
+		q = q.And(ai, uint16(code))
+	}
+	if len(s.opts.RequireOneOf) > 0 {
+		ok := false
+		for _, name := range s.opts.RequireOneOf {
+			if values.Has(name) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return hdb.Query{}, fmt.Errorf("one of %v must be specified", s.opts.RequireOneOf)
+		}
+	}
+	return q, nil
+}
+
+// charge spends one query from the client's budget; false means exhausted.
+func (s *Server) charge(ip string) bool {
+	if s.opts.LimitPerClient <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spent[ip] >= s.opts.LimitPerClient {
+		return false
+	}
+	s.spent[ip]++
+	return true
+}
+
+func clientIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

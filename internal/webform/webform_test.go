@@ -1,0 +1,254 @@
+package webform
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+func autoServer(t *testing.T, m, k int, opts ServerOptions) (*httptest.Server, *hdb.Table) {
+	t.Helper()
+	d, err := datagen.Auto(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(tbl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, tbl
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	ts, tbl := autoServer(t, 500, 25, ServerOptions{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 25 {
+		t.Errorf("K = %d", c.K())
+	}
+	want := tbl.Schema()
+	got := c.Schema()
+	if len(got.Attrs) != len(want.Attrs) {
+		t.Fatalf("attrs %d vs %d", len(got.Attrs), len(want.Attrs))
+	}
+	for i := range want.Attrs {
+		if got.Attrs[i] != want.Attrs[i] {
+			t.Errorf("attr %d: %+v vs %+v", i, got.Attrs[i], want.Attrs[i])
+		}
+	}
+	if len(got.Measures) != 1 || got.Measures[0] != datagen.AutoPriceMeasure {
+		t.Errorf("measures = %v", got.Measures)
+	}
+}
+
+func TestQuerySemanticsOverHTTP(t *testing.T) {
+	ts, tbl := autoServer(t, 500, 25, ServerOptions{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root query overflows identically on both paths.
+	direct, err := tbl.Query(hdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaHTTP, err := c.Query(hdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Overflow != viaHTTP.Overflow || len(direct.Tuples) != len(viaHTTP.Tuples) {
+		t.Fatalf("mismatch: direct %v/%d vs http %v/%d",
+			direct.Overflow, len(direct.Tuples), viaHTTP.Overflow, len(viaHTTP.Tuples))
+	}
+	for i := range direct.Tuples {
+		if direct.Tuples[i].CatKey() != viaHTTP.Tuples[i].CatKey() {
+			t.Fatalf("tuple %d differs", i)
+		}
+		if direct.Tuples[i].Nums[0] != viaHTTP.Tuples[i].Nums[0] {
+			t.Fatalf("tuple %d price differs", i)
+		}
+	}
+	// A narrow query: make=0, model=0.
+	q := hdb.Query{}.And(datagen.AutoMake, 0).And(datagen.AutoModel, 0)
+	d2, _ := tbl.Query(q)
+	h2, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Overflow != h2.Overflow || len(d2.Tuples) != len(h2.Tuples) {
+		t.Fatalf("narrow query mismatch")
+	}
+	// Client-side validation rejects bad queries without HTTP.
+	if _, err := c.Query(hdb.Query{Preds: []hdb.Predicate{{Attr: 99}}}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestServerRejectsBadParams(t *testing.T) {
+	ts, _ := autoServer(t, 100, 10, ServerOptions{})
+	for _, path := range []string{
+		"/search?nope=1",        // unknown attribute
+		"/search?make=99",       // out of domain
+		"/search?make=abc",      // not an integer
+		"/search?make=-1",       // negative
+		"/search?make=1&make=2", // repeated
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ep errorPayload
+		_ = json.NewDecoder(resp.Body).Decode(&ep)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", path, resp.StatusCode, ep.Error)
+		}
+	}
+}
+
+func TestRequireOneOf(t *testing.T) {
+	ts, _ := autoServer(t, 100, 10, ServerOptions{RequireOneOf: []string{"make", "model"}})
+	// Unrestricted query rejected.
+	resp, err := http.Get(ts.URL + "/search?color=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("query without make/model: status %d, want 400", resp.StatusCode)
+	}
+	// With make specified it passes.
+	resp, err = http.Get(ts.URL + "/search?make=0&color=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("query with make: status %d, want 200", resp.StatusCode)
+	}
+	// Schema payload advertises the rule.
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+}
+
+func TestRequireOneOfUnknownAttr(t *testing.T) {
+	d, err := datagen.Auto(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(tbl, ServerOptions{RequireOneOf: []string{"zipcode"}}); err == nil {
+		t.Error("unknown RequireOneOf attribute accepted")
+	}
+}
+
+func TestPerClientLimit(t *testing.T) {
+	ts, _ := autoServer(t, 100, 10, ServerOptions{LimitPerClient: 3})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(hdb.Query{}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := c.Query(hdb.Query{}); !errors.Is(err, hdb.ErrQueryLimit) {
+		t.Errorf("err = %v, want ErrQueryLimit", err)
+	}
+}
+
+func TestResetLimits(t *testing.T) {
+	d, err := datagen.Auto(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(tbl, ServerOptions{LimitPerClient: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(hdb.Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(hdb.Query{}); !errors.Is(err, hdb.ErrQueryLimit) {
+		t.Fatalf("err = %v", err)
+	}
+	srv.ResetLimits()
+	if _, err := c.Query(hdb.Query{}); err != nil {
+		t.Errorf("query after reset: %v", err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1/\x00"); err == nil {
+		t.Error("bad URL accepted")
+	}
+	// A server that 404s /schema.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	if _, err := Dial(ts.URL); err == nil {
+		t.Error("404 schema accepted")
+	}
+}
+
+// TestEndToEndEstimationOverHTTP is the integration test of the whole stack:
+// data generator -> hidden DB engine -> HTTP server -> HTTP client ->
+// HD-UNBIASED-SIZE, checking the estimate converges to the true size.
+func TestEndToEndEstimationOverHTTP(t *testing.T) {
+	ts, tbl := autoServer(t, 3000, 50, ServerOptions{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewHDUnbiasedSize(c, 4, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run stats.Running
+	for i := 0; i < 40; i++ {
+		est, err := e.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Add(est.Values[0])
+	}
+	truth := float64(tbl.Size())
+	if math.Abs(run.Mean()-truth) > 5*run.StdErr()+0.1*truth {
+		t.Errorf("HTTP estimate mean %v vs truth %v (sd %v)", run.Mean(), truth, run.StdDev())
+	}
+	if e.Cost() == 0 {
+		t.Error("no queries issued over HTTP?")
+	}
+}

@@ -1,0 +1,51 @@
+// Package webform puts a hidden database behind a web form: an HTTP server
+// exposing the restrictive search interface of Section 2.1 (top-k results
+// with an overflow flag and nothing else), and a client that implements
+// hdb.Interface over that protocol. This is the stand-in for the paper's
+// online Yahoo! Auto experiments: the server enforces the same interface
+// restrictions the paper describes — a per-IP query limit (Yahoo!'s 1,000
+// per day) and a required-attribute rule (MAKE/MODEL or ZIP must be
+// specified) — while the estimator code stays byte-for-byte the one used
+// against in-memory tables.
+//
+// Wire protocol (JSON over HTTP GET):
+//
+//	GET /schema                  -> schemaPayload
+//	GET /search?make=2&opt_01=1  -> resultPayload (values are integer codes)
+//
+// Errors return {"error": "..."} with status 400 (bad query), 429 (query
+// limit) or 500.
+package webform
+
+// schemaPayload describes the search form: attribute names with domain
+// cardinalities, measure names, and the interface's top-k constant.
+type schemaPayload struct {
+	Attrs    []attrPayload `json:"attrs"`
+	Measures []string      `json:"measures,omitempty"`
+	K        int           `json:"k"`
+	// RequireOneOf lists attribute names of which at least one must be
+	// specified in every /search call (empty means unrestricted).
+	RequireOneOf []string `json:"require_one_of,omitempty"`
+}
+
+type attrPayload struct {
+	Name string `json:"name"`
+	Dom  int    `json:"dom"`
+}
+
+// resultPayload is a /search response: at most k tuples plus the overflow
+// flag. The true match count is deliberately absent — the interface never
+// discloses |Sel(q)|.
+type resultPayload struct {
+	Overflow bool           `json:"overflow"`
+	Tuples   []tuplePayload `json:"tuples"`
+}
+
+type tuplePayload struct {
+	Cats []uint16  `json:"cats"`
+	Nums []float64 `json:"nums,omitempty"`
+}
+
+type errorPayload struct {
+	Error string `json:"error"`
+}
