@@ -113,6 +113,33 @@ func BenchmarkEstimatePassHD(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheLookup measures a client-cache memo hit — the single most
+// frequent operation on the drill-down hot path (every revisited node and
+// sibling probe resolves here without touching the backend). The interesting
+// number is allocs/op: the binary-key lookup must be allocation-free.
+func BenchmarkCacheLookup(b *testing.B) {
+	d, err := datagen.BoolIID(10000, 20, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := hdb.NewCache(tbl)
+	q := hdb.Query{}.And(0, 1).And(1, 0).And(2, 1).And(3, 0).And(4, 1)
+	if _, err := cache.Query(q); err != nil { // populate the memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDatagenAuto measures synthesising the Auto dataset.
 func BenchmarkDatagenAuto(b *testing.B) {
 	b.ReportAllocs()

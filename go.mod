@@ -1,0 +1,3 @@
+module hdunbiased
+
+go 1.24

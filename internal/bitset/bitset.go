@@ -235,6 +235,44 @@ func (s *Set) FirstN(dst []int, n int) []int {
 	return dst
 }
 
+// IntersectFirstN appends to dst the indices of the first n set bits of the
+// intersection of all given sets, without materialising the intersection: it
+// streams word-blocked (AND one 64-bit word across every set, emit its bits,
+// move on) and returns as soon as n bits have been collected. A top-k
+// evaluator asking for k+1 bits therefore pays O(answer prefix) on
+// overflowing queries instead of O(capacity). Fewer than n indices are
+// appended when the intersection is smaller. All sets must share one
+// capacity; at least one set is required.
+func IntersectFirstN(dst []int, n int, sets ...*Set) []int {
+	if len(sets) == 0 {
+		panic("bitset: IntersectFirstN requires at least one set")
+	}
+	first := sets[0]
+	for _, s := range sets[1:] {
+		first.sameCap(s)
+	}
+	if n <= 0 {
+		return dst
+	}
+	for wi, w := range first.words {
+		for _, s := range sets[1:] {
+			w &= s.words[wi]
+			if w == 0 {
+				break
+			}
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			if n--; n == 0 {
+				return dst
+			}
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // Indices returns all set bit indices in ascending order.
 func (s *Set) Indices() []int {
 	out := make([]int, 0, s.Count())

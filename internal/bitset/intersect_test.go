@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveIntersectFirstN is the reference: materialise the intersection with
+// Clone+And, then take FirstN. IntersectFirstN must agree with it bit for
+// bit on every input.
+func naiveIntersectFirstN(n int, sets ...*Set) []int {
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.And(s)
+	}
+	return acc.FirstN(nil, n)
+}
+
+func setOf(cap int, idx ...int) *Set {
+	s := New(cap)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectFirstNBasic(t *testing.T) {
+	a := setOf(200, 1, 63, 64, 65, 128, 199)
+	b := setOf(200, 0, 63, 65, 127, 128, 199)
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{0, nil},
+		{-3, nil},
+		{1, []int{63}},
+		{2, []int{63, 65}},
+		{3, []int{63, 65, 128}},
+		{4, []int{63, 65, 128, 199}},
+		{100, []int{63, 65, 128, 199}}, // n larger than population
+	}
+	for _, c := range cases {
+		got := IntersectFirstN(nil, c.n, a, b)
+		if !eqInts(got, c.want) {
+			t.Errorf("n=%d: got %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntersectFirstNSingleSet(t *testing.T) {
+	a := setOf(130, 0, 64, 129)
+	if got := IntersectFirstN(nil, 2, a); !eqInts(got, []int{0, 64}) {
+		t.Errorf("single set: %v", got)
+	}
+	if got := IntersectFirstN(nil, 10, a); !eqInts(got, []int{0, 64, 129}) {
+		t.Errorf("single set exhaustive: %v", got)
+	}
+}
+
+func TestIntersectFirstNWordBoundaries(t *testing.T) {
+	// Bits straddling every word boundary of a 3-word set.
+	a := setOf(192, 63, 64, 127, 128, 191)
+	b := NewFull(192)
+	got := IntersectFirstN(nil, 5, a, b)
+	if !eqInts(got, []int{63, 64, 127, 128, 191}) {
+		t.Errorf("boundary bits: %v", got)
+	}
+	// Early exit exactly at a boundary bit.
+	if got := IntersectFirstN(nil, 3, a, b); !eqInts(got, []int{63, 64, 127}) {
+		t.Errorf("boundary early exit: %v", got)
+	}
+}
+
+func TestIntersectFirstNEmpty(t *testing.T) {
+	a := setOf(100, 1, 2, 3)
+	empty := New(100)
+	if got := IntersectFirstN(nil, 5, a, empty); len(got) != 0 {
+		t.Errorf("intersection with empty set: %v", got)
+	}
+	if got := IntersectFirstN(nil, 5, New(0)); len(got) != 0 {
+		t.Errorf("zero-capacity set: %v", got)
+	}
+}
+
+func TestIntersectFirstNAppends(t *testing.T) {
+	a := setOf(64, 5, 7)
+	dst := []int{99}
+	got := IntersectFirstN(dst, 10, a, a)
+	if !eqInts(got, []int{99, 5, 7}) {
+		t.Errorf("append semantics: %v", got)
+	}
+}
+
+func TestIntersectFirstNNoSetsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero sets")
+		}
+	}()
+	IntersectFirstN(nil, 1)
+}
+
+func TestIntersectFirstNCapMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity mismatch")
+		}
+	}()
+	IntersectFirstN(nil, 1, New(64), New(65))
+}
+
+// TestIntersectFirstNFuzz cross-checks the streamed early-exit path against
+// the naive Clone+And+FirstN reference over random set families, densities,
+// capacities (including non-word-multiples) and cut-offs.
+func TestIntersectFirstNFuzz(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		capacity := 1 + rnd.Intn(700)
+		nSets := 1 + rnd.Intn(4)
+		sets := make([]*Set, nSets)
+		for si := range sets {
+			s := New(capacity)
+			density := rnd.Float64()
+			for i := 0; i < capacity; i++ {
+				if rnd.Float64() < density {
+					s.Add(i)
+				}
+			}
+			sets[si] = s
+		}
+		n := rnd.Intn(capacity + 2)
+		got := IntersectFirstN(nil, n, sets...)
+		want := naiveIntersectFirstN(n, sets...)
+		if !eqInts(got, want) {
+			t.Fatalf("trial %d (cap=%d sets=%d n=%d): got %v, want %v",
+				trial, capacity, nSets, n, got, want)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkWeightTreeAccess measures one full weight-tree interaction as the
+// walk performs it per level: navigate from the root to a node along the
+// branch path, fold in a sample, and compute the adjusted branch
+// distribution into reusable buffers. Before the path-indexed tree this cost
+// a canonical string key (sort + fmt) plus a map probe per touch; now it is
+// pointer chases, and allocs/op must be zero.
+func BenchmarkWeightTreeAccess(b *testing.B) {
+	const fanout = 16
+	w := newWeightTree()
+	root := w.rootNode(fanout)
+	n := w.child(root, 3, fanout)
+	for br := 0; br < fanout; br++ {
+		n.addSample(br, float64(br+1))
+	}
+	probs := make([]float64, fanout)
+	raw := make([]float64, fanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := w.child(w.rootNode(fanout), 3, fanout)
+		node.addSample(i%fanout, 5)
+		if _, err := node.branchWeights(0.2, probs, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

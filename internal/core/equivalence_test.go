@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// The fixed-seed equivalence suite pins the estimator's exact outputs —
+// Estimate.Values (as IEEE-754 bit patterns) and Estimate.Cost — over a grid
+// of datasets, configurations and seeds. The golden file was generated from
+// the original string-keyed implementation (map[string]*nodeState weight
+// tree, Query.Key() cache keys, per-query predicate sorting); the
+// path-indexed weight tree, binary cache keys and k-bounded intersection
+// must reproduce every value bit for bit, because none of them consume or
+// reorder randomness. Regenerate with:
+//
+//	CORE_UPDATE_GOLDEN=1 go test ./internal/core -run TestFixedSeedEquivalence
+const goldenPath = "testdata/equivalence.json"
+
+type equivCase struct {
+	Name   string      `json:"name"`
+	Passes []equivPass `json:"passes"`
+}
+
+type equivPass struct {
+	// ValueBits are math.Float64bits of each Estimate.Values entry, so the
+	// comparison is bit-identical, not within-epsilon.
+	ValueBits []uint64 `json:"value_bits"`
+	Cost      int64    `json:"cost"`
+	Exact     bool     `json:"exact"`
+}
+
+// equivGrid builds every estimator configuration in the suite and returns
+// (name, estimator, passes) triples. Estimators are stateful across passes
+// (client cache + weight tree), so each pass after the first exercises the
+// warm paths too.
+func equivGrid(t testing.TB) []struct {
+	name   string
+	est    *Estimator
+	passes int
+} {
+	t.Helper()
+	var out []struct {
+		name   string
+		est    *Estimator
+		passes int
+	}
+	add := func(name string, est *Estimator, err error, passes int) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out = append(out, struct {
+			name   string
+			est    *Estimator
+			passes int
+		}{name, est, passes})
+	}
+
+	boolD, err := datagen.BoolIID(2000, 12, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolTbl, err := boolD.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		e, err := NewBoolUnbiasedSize(boolTbl, seed)
+		add(fmt.Sprintf("bool-iid/seed=%d", seed), e, err, 3)
+	}
+
+	autoD, err := datagen.Auto(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoTbl, err := autoD.Table(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		e, err := NewHDUnbiasedSize(autoTbl, 3, 16, seed)
+		add(fmt.Sprintf("auto-hd/seed=%d", seed), e, err, 3)
+	}
+
+	cond := hdb.Query{}.And(datagen.AutoColor, 2)
+	measures := []Measure{CountMeasure(), NumMeasure(0)}
+	for seed := int64(0); seed < 3; seed++ {
+		e, err := NewHDUnbiasedAgg(autoTbl, cond, measures, 2, 16, seed)
+		add(fmt.Sprintf("auto-agg/seed=%d", seed), e, err, 3)
+	}
+
+	wcD, err := datagen.WorstCase(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcTbl, err := wcD.Table(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		plan, err := querytree.New(wcTbl.Schema(), hdb.Query{}, querytree.Options{DUB: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(wcTbl, plan, []Measure{CountMeasure()}, Config{R: 4, WeightAdjust: true, Seed: seed})
+		add(fmt.Sprintf("worstcase-dc/seed=%d", seed), e, err, 4)
+	}
+	return out
+}
+
+func runEquivGrid(t testing.TB) []equivCase {
+	t.Helper()
+	var cases []equivCase
+	for _, g := range equivGrid(t) {
+		c := equivCase{Name: g.name}
+		for p := 0; p < g.passes; p++ {
+			est, err := g.est.Estimate()
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", g.name, p, err)
+			}
+			bits := make([]uint64, len(est.Values))
+			for i, v := range est.Values {
+				bits[i] = math.Float64bits(v)
+			}
+			c.Passes = append(c.Passes, equivPass{ValueBits: bits, Cost: est.Cost, Exact: est.Exact})
+		}
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+func TestFixedSeedEquivalence(t *testing.T) {
+	got := runEquivGrid(t)
+	if os.Getenv("CORE_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(got))
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with CORE_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want []equivCase
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("grid has %d cases, golden has %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name {
+			t.Fatalf("case %d: name %q, golden %q", i, g.Name, w.Name)
+		}
+		if len(g.Passes) != len(w.Passes) {
+			t.Fatalf("%s: %d passes, golden %d", g.Name, len(g.Passes), len(w.Passes))
+		}
+		for p := range w.Passes {
+			gp, wp := g.Passes[p], w.Passes[p]
+			if gp.Cost != wp.Cost {
+				t.Errorf("%s pass %d: cost %d, golden %d", g.Name, p, gp.Cost, wp.Cost)
+			}
+			if gp.Exact != wp.Exact {
+				t.Errorf("%s pass %d: exact %v, golden %v", g.Name, p, gp.Exact, wp.Exact)
+			}
+			if len(gp.ValueBits) != len(wp.ValueBits) {
+				t.Fatalf("%s pass %d: %d values, golden %d", g.Name, p, len(gp.ValueBits), len(wp.ValueBits))
+			}
+			for vi := range wp.ValueBits {
+				if gp.ValueBits[vi] != wp.ValueBits[vi] {
+					t.Errorf("%s pass %d value %d: %v (bits %#x), golden %v (bits %#x)",
+						g.Name, p, vi,
+						math.Float64frombits(gp.ValueBits[vi]), gp.ValueBits[vi],
+						math.Float64frombits(wp.ValueBits[vi]), wp.ValueBits[vi])
+				}
+			}
+		}
+	}
+}

@@ -76,8 +76,25 @@ type Estimator struct {
 	weights   *weightTree
 	rnd       *rand.Rand
 	propagate bool
+	k         int // backend.K(), cached off the hot path
 
 	budgetLeft int64 // per-Estimate budget countdown
+
+	// Reusable hot-path scratch. One layerScratch per plan layer: a walk's
+	// outcome (steps, terminal query) stays alive while explore recurses
+	// into the next layer, so buffers are per-layer rather than global.
+	// The weight and measure buffers never live across a nested call, so
+	// one of each suffices.
+	scratch  []layerScratch
+	probsBuf []float64 // branch distribution, max-fanout capacity
+	rawBuf   []float64 // branchWeights size-knowledge scratch
+	valsBuf  []float64 // per-walk measure sums
+}
+
+// layerScratch holds the reusable buffers for walks over one plan layer.
+type layerScratch struct {
+	steps   []walkStep
+	builder hdb.QueryBuilder
 }
 
 // New builds an Estimator over backend for the given plan and measures.
@@ -122,6 +139,12 @@ func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Co
 	if cfg.PropagateChildEstimates != nil {
 		propagate = *cfg.PropagateChildEstimates && cfg.WeightAdjust
 	}
+	maxFanout := 0
+	for lvl := 0; lvl < plan.Depth(); lvl++ {
+		if f := plan.FanoutAt(lvl); f > maxFanout {
+			maxFanout = f
+		}
+	}
 	return &Estimator{
 		session:   hdb.NewSession(backend),
 		plan:      plan,
@@ -130,6 +153,11 @@ func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Co
 		weights:   newWeightTree(),
 		rnd:       rnd,
 		propagate: propagate,
+		k:         backend.K(),
+		scratch:   make([]layerScratch, len(plan.Layers)),
+		probsBuf:  make([]float64, maxFanout),
+		rawBuf:    make([]float64, maxFanout),
+		valsBuf:   make([]float64, len(measures)),
 	}, nil
 }
 
@@ -184,32 +212,37 @@ func (e *Estimator) Estimate() (Estimate, error) {
 	}
 
 	acc := make([]float64, len(e.measures))
-	if _, err := e.explore(e.plan.Base, 0, 1, acc); err != nil {
+	var rootNode *nodeState
+	if e.cfg.WeightAdjust {
+		rootNode = e.weights.rootNode(e.plan.FanoutAt(0))
+	}
+	if _, err := e.explore(e.plan.Base, rootNode, 0, 1, acc); err != nil {
 		return Estimate{}, err
 	}
 	return Estimate{Values: acc, Cost: e.session.Cost() - startCost}, nil
 }
 
 // explore runs R drill-downs over the subtree rooted at root (which
-// overflows), covering the layer that starts at startLevel, and adds every
+// overflows; rootNode is its weight-tree state, nil when weight adjustment
+// is off), covering the layer that starts at startLevel, and adds every
 // captured top-valid node's contribution measure(q)/κ(q) into acc, where
 // κ(q) = R·p(q)·kappa (equation (9) of the paper). Drill-downs that end at a
 // bottom-overflow node recurse into the next layer with
 // κ(child) = R·p(child)·kappa. It returns its total COUNT contribution
 // (Σ |q|/κ(q) over everything it captured), which the caller uses to
 // propagate subtree-size knowledge into the weight tree.
-func (e *Estimator) explore(root hdb.Query, startLevel int, kappa float64, acc []float64) (float64, error) {
+func (e *Estimator) explore(root hdb.Query, rootNode *nodeState, startLevel int, kappa float64, acc []float64) (float64, error) {
 	endLevel := e.plan.LayerEnd(startLevel)
 	r := e.cfg.R
 	var countContrib float64
 	for i := 0; i < r; i++ {
-		out, err := e.walk(root, startLevel, endLevel)
+		out, err := e.walk(root, rootNode, startLevel, endLevel)
 		if err != nil {
 			return countContrib, err
 		}
 		denom := float64(r) * out.prob * kappa
 		if !out.bottomOverflow {
-			vals := measureResult(e.measures, out.res)
+			vals := measureResultInto(e.valsBuf, e.measures, out.res)
 			for mi := range acc {
 				acc[mi] += vals[mi] / denom
 			}
@@ -222,7 +255,7 @@ func (e *Estimator) explore(root hdb.Query, startLevel int, kappa float64, acc [
 		}
 		// Bottom-overflow: explore the child subtree hanging below out.query
 		// once per hit — κ multiplies by this walk's R·p.
-		childContrib, err := e.explore(out.query, endLevel, denom, acc)
+		childContrib, err := e.explore(out.query, out.node, endLevel, denom, acc)
 		countContrib += childContrib
 		if err != nil {
 			return countContrib, err
@@ -237,16 +270,15 @@ func (e *Estimator) explore(root hdb.Query, startLevel int, kappa float64, acc [
 }
 
 // observe feeds one branch query result into the weight tree (underflow /
-// exact valid count / overflow floor). Skipped when weight adjustment is off
-// — the uniform walk never consults the tree, so there is nothing to learn.
-func (e *Estimator) observe(key string, fanout, branch int, res hdb.Result) {
-	if !e.cfg.WeightAdjust {
-		if res.Underflow() {
-			e.weights.markEmpty(key, fanout, branch)
-		}
+// exact valid count / overflow floor). With weight adjustment off the walk
+// carries no node (nil) and there is nothing to learn — the uniform walk
+// never consults the tree, and the client cache already makes re-probes of
+// known-empty branches free.
+func (e *Estimator) observe(n *nodeState, branch int, res hdb.Result) {
+	if n == nil {
 		return
 	}
-	e.weights.observe(key, fanout, branch, res, e.session.K())
+	n.observe(branch, res, e.k)
 }
 
 // recordWalk folds a terminal size (the |q_Hj| of equation (6), or a child
@@ -257,7 +289,7 @@ func (e *Estimator) recordWalk(steps []walkStep, size float64) {
 	condProb := 1.0
 	for i := len(steps) - 1; i >= 0; i-- {
 		s := steps[i]
-		e.weights.addSample(s.nodeKey, e.plan.FanoutAt(s.level), s.branch, size/condProb)
+		s.node.addSample(s.branch, size/condProb)
 		condProb *= s.prob
 	}
 }

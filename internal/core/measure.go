@@ -53,15 +53,24 @@ func NumMeasure(idx int) Measure {
 	return func(t hdb.Tuple) float64 { return t.Nums[idx] }
 }
 
-// measureResult sums every measure over the tuples of a valid result.
+// measureResult sums every measure over the tuples of a valid result into a
+// fresh slice (used where the result escapes, e.g. an exact Estimate).
 func measureResult(measures []Measure, res hdb.Result) []float64 {
-	out := make([]float64, len(measures))
+	return measureResultInto(make([]float64, len(measures)), measures, res)
+}
+
+// measureResultInto is the allocation-free variant for the per-walk hot
+// path: dst must have len(measures) entries and is zeroed first.
+func measureResultInto(dst []float64, measures []Measure, res hdb.Result) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, t := range res.Tuples {
 		for i, m := range measures {
-			out[i] += m(t)
+			dst[i] += m(t)
 		}
 	}
-	return out
+	return dst
 }
 
 // validateMeasures checks measures against a schema by probing a synthetic

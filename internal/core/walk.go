@@ -9,17 +9,24 @@ import (
 
 // walkStep records what happened at one level of a drill-down: which node
 // the walk stood at, which branch it committed to, and with what probability
-// — everything weight adjustment and p(q) computation need.
+// — everything weight adjustment and p(q) computation need. The node is the
+// weight-tree state itself (nil when weight adjustment is off and there is
+// nothing to learn), so feeding samples back is a pointer chase.
 type walkStep struct {
-	nodeKey string  // weight-tree key of the node drilled at
-	level   int     // global level index
-	branch  int     // committed branch value
-	prob    float64 // probability the walk followed this branch
+	node   *nodeState // weight-tree node drilled at; nil without weight adjustment
+	level  int        // global level index
+	branch int        // committed branch value
+	prob   float64    // probability the walk followed this branch
 }
 
 // walkOutcome is the terminal state of one drill-down within a subtree.
+// query and steps alias per-layer scratch owned by the estimator: they are
+// valid until the next walk over the same layer, which is exactly how long
+// explore needs them (child layers use their own scratch, so recursing into
+// a bottom-overflow subtree does not clobber the parent's outcome).
 type walkOutcome struct {
 	query          hdb.Query  // terminal node's query
+	node           *nodeState // terminal node's weight-tree state (bottom overflow + adjustment only)
 	res            hdb.Result // terminal result: Valid or (bottom-)Overflow
 	prob           float64    // within-subtree selection probability ∏ step probs
 	steps          []walkStep // one entry per level walked
@@ -28,7 +35,8 @@ type walkOutcome struct {
 
 // walk performs one random drill-down with backtracking over levels
 // [startLevel, endLevel) of the plan, starting below root, which the caller
-// guarantees overflows. It terminates at a top-valid node (res.Valid) or at
+// guarantees overflows; node is root's weight-tree state (nil when weight
+// adjustment is off). It terminates at a top-valid node (res.Valid) or at
 // an overflowing node at the layer's bottom boundary (bottomOverflow).
 //
 // Per level, the committed branch's probability is
@@ -41,16 +49,27 @@ type walkOutcome struct {
 // issuing the paper's extra sibling queries; the one query-free case is a
 // Boolean level whose committed branch is valid, where the sibling cannot
 // underflow (Scenario I of Section 3.1 always holds at the last level).
-func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome, error) {
-	out := walkOutcome{prob: 1}
-	q := root
+//
+// The walk allocates nothing in steady state: queries extend through the
+// layer's reusable QueryBuilder, branch distributions land in the
+// estimator's weight buffers, and steps accumulate in per-layer scratch.
+func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel int) (walkOutcome, error) {
+	sc := &e.scratch[e.plan.LayerOf(startLevel)]
+	sc.builder.Reset(root)
+	out := walkOutcome{prob: 1, steps: sc.steps[:0]}
+	adjust := e.cfg.WeightAdjust
 	for lvl := startLevel; lvl < endLevel; lvl++ {
 		attr := e.plan.AttrAt(lvl)
 		fanout := e.plan.FanoutAt(lvl)
-		key := nodeKey(q)
-		weights, err := e.weights.branchWeights(key, fanout, e.cfg.WeightAdjust, e.cfg.MixLambda)
-		if err != nil {
-			return walkOutcome{}, err
+		var weights []float64
+		if adjust {
+			var err error
+			weights, err = node.branchWeights(e.cfg.MixLambda, e.probsBuf[:fanout], e.rawBuf[:fanout])
+			if err != nil {
+				return walkOutcome{}, fmt.Errorf("%w at %s", err, sc.builder.Query().String())
+			}
+		} else {
+			weights = uniformWeights(e.probsBuf[:fanout])
 		}
 
 		j0 := drawIndex(weights, e.rnd)
@@ -60,7 +79,7 @@ func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome,
 		// Commit phase: follow j0, walking right circularly past underflows.
 		for tested := 0; ; tested++ {
 			if tested >= fanout {
-				return walkOutcome{}, fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, q.String())
+				return walkOutcome{}, fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, sc.builder.Query().String())
 			}
 			if weights[j] == 0 {
 				// Known-empty branch under weight adjustment: skip without a
@@ -68,11 +87,12 @@ func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome,
 				j = (j + 1) % fanout
 				continue
 			}
-			res, err := e.query(q.And(attr, uint16(j)))
+			res, err := e.query(sc.builder.Push(attr, uint16(j)))
+			sc.builder.Pop()
 			if err != nil {
 				return walkOutcome{}, err
 			}
-			e.observe(key, fanout, j, res)
+			e.observe(node, j, res)
 			if res.Underflow() {
 				runWeight += weights[j]
 				j = (j + 1) % fanout
@@ -90,11 +110,12 @@ func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome,
 				if weights[i] == 0 {
 					continue // known empty: part of the run, zero weight
 				}
-				res, err := e.query(q.And(attr, uint16(i)))
+				res, err := e.query(sc.builder.Push(attr, uint16(i)))
+				sc.builder.Pop()
 				if err != nil {
 					return walkOutcome{}, err
 				}
-				e.observe(key, fanout, i, res)
+				e.observe(node, i, res)
 				if !res.Underflow() {
 					break
 				}
@@ -104,14 +125,15 @@ func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome,
 
 		pBranch := weights[j] + runWeight
 		if pBranch <= 0 || pBranch > 1+1e-9 {
-			return walkOutcome{}, fmt.Errorf("core: branch probability %v out of (0,1] at %s", pBranch, q.String())
+			return walkOutcome{}, fmt.Errorf("core: branch probability %v out of (0,1] at %s", pBranch, sc.builder.Query().String())
 		}
-		out.steps = append(out.steps, walkStep{nodeKey: key, level: lvl, branch: j, prob: pBranch})
+		out.steps = append(out.steps, walkStep{node: node, level: lvl, branch: j, prob: pBranch})
 		out.prob *= pBranch
-		q = q.And(attr, uint16(j))
+		q := sc.builder.Push(attr, uint16(j))
 
 		if committed.Valid() {
 			out.query, out.res = q, committed
+			sc.steps = out.steps
 			return out, nil
 		}
 		// Overflow: drill deeper, or stop at the layer boundary.
@@ -121,8 +143,15 @@ func (e *Estimator) walk(root hdb.Query, startLevel, endLevel int) (walkOutcome,
 				// duplicate tuples — outside the paper's model.
 				return walkOutcome{}, fmt.Errorf("core: fully specified query %s overflows — more than k duplicate tuples violates the no-duplicates model", q.String())
 			}
+			if adjust {
+				out.node = e.weights.child(node, j, e.plan.FanoutAt(endLevel))
+			}
 			out.query, out.res, out.bottomOverflow = q, committed, true
+			sc.steps = out.steps
 			return out, nil
+		}
+		if adjust {
+			node = e.weights.child(node, j, e.plan.FanoutAt(lvl+1))
 		}
 	}
 	panic("core: unreachable — walk always terminates at the layer boundary")

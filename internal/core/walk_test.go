@@ -180,7 +180,7 @@ func TestWalkMatchesEnumeration(t *testing.T) {
 		est.budgetLeft = 1 << 50
 		freq := make(map[string]int)
 		for i := 0; i < walks; i++ {
-			out, err := est.walk(plan.Base, 0, plan.Depth())
+			out, err := est.walk(plan.Base, nil, 0, plan.Depth())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -253,7 +253,7 @@ func TestWalkInconsistentBackendError(t *testing.T) {
 		t.Fatal(err)
 	}
 	est.budgetLeft = 1 << 50
-	if _, err := est.walk(hdb.Query{}, 0, plan.Depth()); err == nil {
+	if _, err := est.walk(hdb.Query{}, nil, 0, plan.Depth()); err == nil {
 		t.Fatal("no error from inconsistent backend")
 	}
 }
@@ -290,7 +290,7 @@ func TestWalkDuplicateOverflowAtLeafError(t *testing.T) {
 		t.Fatal(err)
 	}
 	est.budgetLeft = 1 << 50
-	if _, err := est.walk(hdb.Query{}, 0, plan.Depth()); err == nil {
+	if _, err := est.walk(hdb.Query{}, nil, 0, plan.Depth()); err == nil {
 		t.Fatal("no error for overflowing complete assignment")
 	}
 }

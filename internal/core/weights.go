@@ -19,15 +19,25 @@ import (
 //   - a running Horvitz–Thompson estimate of the subtree size from walks
 //     that passed through the branch — the |D_Ci| estimator of equation (6).
 //
+// Nodes are indexed by their branch path from the plan's base query: every
+// walk follows the plan's fixed attribute order, so the sequence of
+// committed branch values identifies a node uniquely and the walk carries a
+// *nodeState pointer down the tree. Reaching a node's state is a pointer
+// chase — no query canonicalisation, no hashing, no allocation — which is
+// what makes observe/addSample/branchWeights disappear from the estimation
+// hot path's profile.
+//
 // Knowledge only ever affects the branch distribution of *future* walks; the
 // probability of the walk in flight is computed from the weights it actually
 // drew from, so accumulating knowledge here cannot bias the estimator.
 type weightTree struct {
-	nodes map[string]*nodeState
+	root  *nodeState
+	count int
 }
 
 type nodeState struct {
 	branches []branchInfo
+	children []*nodeState // children[b] = node below branch b, lazily built
 }
 
 type branchInfo struct {
@@ -38,34 +48,53 @@ type branchInfo struct {
 	empty         bool    // known underflow
 }
 
-func newWeightTree() *weightTree {
-	return &weightTree{nodes: make(map[string]*nodeState)}
+func newWeightTree() *weightTree { return &weightTree{} }
+
+func (w *weightTree) newNode(fanout int) *nodeState {
+	w.count++
+	return &nodeState{branches: make([]branchInfo, fanout)}
 }
 
-// node returns the state for the tree node identified by key, creating it
-// with the given fanout on first touch.
-func (w *weightTree) node(key string, fanout int) *nodeState {
-	n, ok := w.nodes[key]
-	if !ok {
-		n = &nodeState{branches: make([]branchInfo, fanout)}
-		w.nodes[key] = n
+// rootNode returns the state of the plan's base node, creating it with the
+// given fanout (of level 0) on first touch.
+func (w *weightTree) rootNode(fanout int) *nodeState {
+	if w.root == nil {
+		w.root = w.newNode(fanout)
 	}
-	if len(n.branches) != fanout {
-		panic(fmt.Sprintf("core: node %q fanout changed %d -> %d", key, len(n.branches), fanout))
+	if len(w.root.branches) != fanout {
+		panic(fmt.Sprintf("core: root fanout changed %d -> %d", len(w.root.branches), fanout))
 	}
-	return n
+	return w.root
 }
+
+// child returns the node below branch b of n, creating it with the given
+// fanout (of the next plan level) on first descent.
+func (w *weightTree) child(n *nodeState, b, fanout int) *nodeState {
+	if n.children == nil {
+		n.children = make([]*nodeState, len(n.branches))
+	}
+	c := n.children[b]
+	if c == nil {
+		c = w.newNode(fanout)
+		n.children[b] = c
+	}
+	if len(c.branches) != fanout {
+		panic(fmt.Sprintf("core: node fanout changed %d -> %d", len(c.branches), fanout))
+	}
+	return c
+}
+
+// len reports the number of materialised nodes (for tests and diagnostics).
+func (w *weightTree) len() int { return w.count }
 
 // markEmpty records that branch b of the node underflowed.
-func (w *weightTree) markEmpty(key string, fanout, b int) {
-	w.node(key, fanout).branches[b].empty = true
-}
+func (n *nodeState) markEmpty(b int) { n.branches[b].empty = true }
 
 // observe folds a query result for branch b of the node into the tree:
 // valid results pin the branch's exact subtree size, overflows establish the
 // k+1 floor, underflows mark it empty.
-func (w *weightTree) observe(key string, fanout, b int, res hdb.Result, k int) {
-	br := &w.node(key, fanout).branches[b]
+func (n *nodeState) observe(b int, res hdb.Result, k int) {
+	br := &n.branches[b]
 	switch {
 	case res.Underflow():
 		br.empty = true
@@ -82,39 +111,44 @@ func (w *weightTree) observe(key string, fanout, b int, res hdb.Result, k int) {
 // addSample folds one subtree-size sample for branch b of the node — the
 // |q_Hj| / p(q_Hj | q_Ci) term of equation (6). Samples are ignored once
 // the exact size is known.
-func (w *weightTree) addSample(key string, fanout, b int, size float64) {
-	br := &w.node(key, fanout).branches[b]
+func (n *nodeState) addSample(b int, size float64) {
+	br := &n.branches[b]
 	if br.hasExact || br.empty {
 		return
 	}
 	br.est.Add(size)
 }
 
-// branchWeights returns the branch probability distribution for a node.
-//
-// Without weight adjustment the distribution is uniform — the drill-down of
-// Section 3 — and the weight tree is not consulted (known-empty branches
+// uniformWeights fills probs with the uniform distribution — the drill-down
+// of Section 3, which never consults the weight tree (known-empty branches
 // keep probability 1/w, exactly as the paper's w_U(j) accounting assumes;
 // re-probing them costs nothing thanks to the client cache).
-//
-// With weight adjustment, branch b gets weight proportional to the best
-// available subtree-size knowledge — exact count, equation-(6) estimate
-// bounded below by the overflow floor, the floor alone, or the mean of the
-// informed branches as a prior — defensively mixed with the uniform
-// distribution over not-known-empty branches: p_b = (1-λ)·ŵ_b + λ·u_b.
-// Known-empty branches get exactly zero. The returned slice always sums to
-// 1 over at least one positive entry; an error means the tree believes
-// every branch is empty, which contradicts an overflowing parent and
-// indicates an inconsistent backend.
-func (w *weightTree) branchWeights(key string, fanout int, adjust bool, lambda float64) ([]float64, error) {
-	probs := make([]float64, fanout)
-	if !adjust {
-		for i := range probs {
-			probs[i] = 1 / float64(fanout)
-		}
-		return probs, nil
+func uniformWeights(probs []float64) []float64 {
+	u := 1 / float64(len(probs))
+	for i := range probs {
+		probs[i] = u
 	}
-	n := w.node(key, fanout)
+	return probs
+}
+
+// branchWeights computes the weight-adjusted branch distribution for the
+// node into probs (raw is same-length scratch; both are caller-owned reusable
+// buffers, so the computation allocates nothing).
+//
+// Branch b gets weight proportional to the best available subtree-size
+// knowledge — exact count, equation-(6) estimate bounded below by the
+// overflow floor, the floor alone, or the mean of the informed branches as a
+// prior — defensively mixed with the uniform distribution over
+// not-known-empty branches: p_b = (1-λ)·ŵ_b + λ·u_b. Known-empty branches
+// get exactly zero. The returned slice always sums to 1 over at least one
+// positive entry; an error means the tree believes every branch is empty,
+// which contradicts an overflowing parent and indicates an inconsistent
+// backend.
+func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float64, error) {
+	fanout := len(n.branches)
+	for i := range probs {
+		probs[i] = 0
+	}
 	alive := 0
 	for _, br := range n.branches {
 		if !br.empty {
@@ -122,7 +156,7 @@ func (w *weightTree) branchWeights(key string, fanout int, adjust bool, lambda f
 		}
 	}
 	if alive == 0 {
-		return nil, fmt.Errorf("core: weight tree says all %d branches of %q are empty under an overflowing parent", fanout, key)
+		return nil, fmt.Errorf("core: weight tree says all %d branches are empty under an overflowing parent", fanout)
 	}
 
 	// Raw size knowledge per branch; 0 means "no size estimate yet". A
@@ -130,7 +164,9 @@ func (w *weightTree) branchWeights(key string, fanout int, adjust bool, lambda f
 	// the floor is a lower bound, not an estimate, and treating it as one
 	// would crush unwalked overflowing branches next to a walked sibling
 	// with a large estimated subtree.
-	raw := make([]float64, fanout)
+	for i := range raw {
+		raw[i] = 0
+	}
 	var informedSum float64
 	var informedN int
 	for b := range n.branches {
@@ -184,11 +220,3 @@ func (w *weightTree) branchWeights(key string, fanout int, adjust bool, lambda f
 	}
 	return probs, nil
 }
-
-// len reports the number of materialised nodes (for tests and diagnostics).
-func (w *weightTree) len() int { return len(w.nodes) }
-
-// nodeKey returns the weight-tree key for a query node. Query.Key is
-// canonical (attribute-sorted), so a node reached via different code paths
-// maps to the same state.
-func nodeKey(q hdb.Query) string { return q.Key() }

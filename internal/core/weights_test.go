@@ -7,20 +7,29 @@ import (
 	"hdunbiased/internal/hdb"
 )
 
-func TestBranchWeightsUniform(t *testing.T) {
-	w := newWeightTree()
-	probs, err := w.branchWeights("", 4, false, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+// bw computes a node's adjusted branch distribution with fresh buffers, the
+// way tests want it (the estimator passes reusable scratch instead).
+func bw(n *nodeState, lambda float64) ([]float64, error) {
+	f := len(n.branches)
+	return n.branchWeights(lambda, make([]float64, f), make([]float64, f))
+}
+
+// testNode builds a detached node with the given fanout for unit tests.
+func testNode(fanout int) *nodeState {
+	return &nodeState{branches: make([]branchInfo, fanout)}
+}
+
+func TestUniformWeights(t *testing.T) {
+	probs := uniformWeights(make([]float64, 4))
 	for _, p := range probs {
 		if p != 0.25 {
 			t.Fatalf("uniform probs = %v", probs)
 		}
 	}
-	// Uniform mode must not materialise nodes.
-	if w.len() != 0 {
-		t.Errorf("uniform mode created %d nodes", w.len())
+	// Uniform mode never touches the weight tree at all: a fresh tree stays
+	// empty until a weight-adjusted walk descends into it.
+	if w := newWeightTree(); w.len() != 0 {
+		t.Errorf("fresh tree has %d nodes", w.len())
 	}
 }
 
@@ -33,13 +42,13 @@ func sumOf(xs []float64) float64 {
 }
 
 func TestBranchWeightsAdjusted(t *testing.T) {
-	w := newWeightTree()
+	n := testNode(4)
 	// Branch 0: estimated size 30; branch 1: 10; branch 2: empty;
 	// branch 3: unvisited (prior = mean of sampled = 20).
-	w.addSample("k", 4, 0, 30)
-	w.addSample("k", 4, 1, 10)
-	w.markEmpty("k", 4, 2)
-	probs, err := w.branchWeights("k", 4, true, 0.2)
+	n.addSample(0, 30)
+	n.addSample(1, 10)
+	n.markEmpty(2)
+	probs, err := bw(n, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +75,32 @@ func TestBranchWeightsAdjusted(t *testing.T) {
 	}
 }
 
+func TestBranchWeightsDirtyBuffers(t *testing.T) {
+	// branchWeights must fully overwrite its caller-owned scratch: stale
+	// garbage from a previous (larger-fanout) level must not leak through.
+	n := testNode(3)
+	n.addSample(0, 5)
+	probs := []float64{9, 9, 9}
+	raw := []float64{7, 7, 7}
+	got, err := n.branchWeights(0.2, probs, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := bw(n, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean {
+		if got[i] != clean[i] {
+			t.Fatalf("dirty buffers changed result: %v vs %v", got, clean)
+		}
+	}
+}
+
 func TestBranchWeightsNoSamples(t *testing.T) {
-	w := newWeightTree()
-	w.markEmpty("k", 3, 1)
-	probs, err := w.branchWeights("k", 3, true, 0.2)
+	n := testNode(3)
+	n.markEmpty(1)
+	probs, err := bw(n, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +111,7 @@ func TestBranchWeightsNoSamples(t *testing.T) {
 }
 
 func TestBranchWeightsFreshNodeUniform(t *testing.T) {
-	w := newWeightTree()
-	probs, err := w.branchWeights("fresh", 5, true, 0.2)
+	probs, err := bw(testNode(5), 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,18 +123,18 @@ func TestBranchWeightsFreshNodeUniform(t *testing.T) {
 }
 
 func TestBranchWeightsAllEmptyError(t *testing.T) {
-	w := newWeightTree()
-	w.markEmpty("k", 2, 0)
-	w.markEmpty("k", 2, 1)
-	if _, err := w.branchWeights("k", 2, true, 0.2); err == nil {
+	n := testNode(2)
+	n.markEmpty(0)
+	n.markEmpty(1)
+	if _, err := bw(n, 0.2); err == nil {
 		t.Fatal("all-empty node did not error")
 	}
 }
 
 func TestBranchWeightsLambdaOneIsUniform(t *testing.T) {
-	w := newWeightTree()
-	w.addSample("k", 3, 0, 1000)
-	probs, err := w.branchWeights("k", 3, true, 1)
+	n := testNode(3)
+	n.addSample(0, 1000)
+	probs, err := bw(n, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +148,10 @@ func TestBranchWeightsLambdaOneIsUniform(t *testing.T) {
 func TestBranchWeightsNonPositiveSampleFallsBack(t *testing.T) {
 	// Zero/negative samples (possible only from a degenerate measure) must
 	// not zero out a live branch.
-	w := newWeightTree()
-	w.addSample("k", 2, 0, 0)
-	w.addSample("k", 2, 1, 10)
-	probs, err := w.branchWeights("k", 2, true, 0)
+	n := testNode(2)
+	n.addSample(0, 0)
+	n.addSample(1, 10)
+	probs, err := bw(n, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +164,14 @@ func TestBranchWeightsNonPositiveSampleFallsBack(t *testing.T) {
 }
 
 func TestObserveExactCountDominates(t *testing.T) {
-	w := newWeightTree()
+	n := testNode(2)
 	// Branch 0's subtree size is known exactly from a valid probe result;
 	// wildly wrong equation-(6) samples must not override it.
 	valid := hdb.Result{Tuples: make([]hdb.Tuple, 40)}
-	w.observe("k", 2, 0, valid, 100)
-	w.addSample("k", 2, 0, 1e9) // ignored: exact known
-	w.addSample("k", 2, 1, 60)
-	probs, err := w.branchWeights("k", 2, true, 0)
+	n.observe(0, valid, 100)
+	n.addSample(0, 1e9) // ignored: exact known
+	n.addSample(1, 60)
+	probs, err := bw(n, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,12 +181,12 @@ func TestObserveExactCountDominates(t *testing.T) {
 }
 
 func TestObserveOverflowFloor(t *testing.T) {
-	w := newWeightTree()
+	n := testNode(2)
 	// Branch 0 overflowed (size >= k+1 = 101); branch 1 is exactly 1.
 	overflow := hdb.Result{Tuples: make([]hdb.Tuple, 100), Overflow: true}
-	w.observe("k", 2, 0, overflow, 100)
-	w.observe("k", 2, 1, hdb.Result{Tuples: make([]hdb.Tuple, 1)}, 100)
-	probs, err := w.branchWeights("k", 2, true, 0)
+	n.observe(0, overflow, 100)
+	n.observe(1, hdb.Result{Tuples: make([]hdb.Tuple, 1)}, 100)
+	probs, err := bw(n, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +195,11 @@ func TestObserveOverflowFloor(t *testing.T) {
 		t.Errorf("probs[0] = %v, want %v (floor k+1 vs exact 1)", probs[0], want0)
 	}
 	// Equation-(6) samples below the floor are clamped up to it.
-	w2 := newWeightTree()
-	w2.observe("x", 2, 0, overflow, 100)
-	w2.addSample("x", 2, 0, 5) // below the floor of 101
-	w2.addSample("x", 2, 1, 101)
-	probs2, err := w2.branchWeights("x", 2, true, 0)
+	n2 := testNode(2)
+	n2.observe(0, overflow, 100)
+	n2.addSample(0, 5) // below the floor of 101
+	n2.addSample(1, 101)
+	probs2, err := bw(n2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,9 +209,9 @@ func TestObserveOverflowFloor(t *testing.T) {
 }
 
 func TestObserveUnderflowMarksEmpty(t *testing.T) {
-	w := newWeightTree()
-	w.observe("k", 3, 1, hdb.Result{}, 100)
-	probs, err := w.branchWeights("k", 3, true, 0.2)
+	n := testNode(3)
+	n.observe(1, hdb.Result{}, 100)
+	probs, err := bw(n, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,13 +220,39 @@ func TestObserveUnderflowMarksEmpty(t *testing.T) {
 	}
 }
 
+func TestPathIndexedTreeNavigation(t *testing.T) {
+	w := newWeightTree()
+	root := w.rootNode(3)
+	if w.rootNode(3) != root {
+		t.Fatal("rootNode not stable")
+	}
+	c0 := w.child(root, 0, 4)
+	if w.child(root, 0, 4) != c0 {
+		t.Fatal("child not memoised by path")
+	}
+	c1 := w.child(root, 1, 4)
+	if c1 == c0 {
+		t.Fatal("distinct branches share a child node")
+	}
+	grand := w.child(c0, 3, 2)
+	if w.len() != 4 {
+		t.Errorf("tree has %d nodes, want 4 (root, two children, one grandchild)", w.len())
+	}
+	// State written through one navigation is seen through the other.
+	grand.addSample(1, 42)
+	if got := w.child(w.child(w.rootNode(3), 0, 4), 3, 2); got != grand {
+		t.Fatal("re-navigated path reached a different node")
+	}
+}
+
 func TestNodeFanoutChangePanics(t *testing.T) {
 	w := newWeightTree()
-	w.node("k", 3)
+	root := w.rootNode(3)
+	w.child(root, 0, 4)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("fanout change did not panic")
 		}
 	}()
-	w.node("k", 4)
+	w.child(root, 0, 5)
 }

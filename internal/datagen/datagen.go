@@ -80,7 +80,7 @@ func BoolMixed(m, n int, seed int64) (*Dataset, error) {
 		}
 		probs[5+i] = (1 + 34*frac) / 70
 	}
-	rand.New(rand.NewSource(seed ^ 0x5eedbeef)).Shuffle(n, func(i, j int) {
+	rand.New(rand.NewSource(seed^0x5eedbeef)).Shuffle(n, func(i, j int) {
 		probs[i], probs[j] = probs[j], probs[i]
 	})
 	return boolDataset(fmt.Sprintf("bool-mixed(m=%d,n=%d)", m, n), m, probs, seed)

@@ -107,9 +107,10 @@ func (l *Limiter) Remaining() int64 {
 // count only backend hits. Not safe for concurrent use; each estimation run
 // owns its Cache.
 type Cache struct {
-	inner Interface
-	memo  map[string]Result
-	hits  int64
+	inner  Interface
+	memo   map[string]Result
+	hits   int64
+	keyBuf []byte // reusable canonical-key scratch; see Query
 }
 
 // NewCache wraps inner with an unbounded memo. Hidden-database drill-downs
@@ -126,10 +127,12 @@ func (c *Cache) Schema() Schema { return c.inner.Schema() }
 func (c *Cache) K() int { return c.inner.K() }
 
 // Query implements Interface, consulting the memo first. Errors are not
-// memoised.
+// memoised. The memo is keyed by the query's canonical binary key, built
+// into a scratch buffer reused across calls; the m[string(b)] lookup form
+// compiles to a no-copy map probe, so a memo hit allocates nothing.
 func (c *Cache) Query(q Query) (Result, error) {
-	key := q.Key()
-	if r, ok := c.memo[key]; ok {
+	c.keyBuf = q.AppendKey(c.keyBuf[:0])
+	if r, ok := c.memo[string(c.keyBuf)]; ok {
 		c.hits++
 		return r, nil
 	}
@@ -137,7 +140,7 @@ func (c *Cache) Query(q Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	c.memo[key] = r
+	c.memo[string(c.keyBuf)] = r
 	return r, nil
 }
 

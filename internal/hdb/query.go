@@ -33,10 +33,11 @@ func (q Query) And(attr int, value uint16) Query {
 func (q Query) Len() int { return len(q.Preds) }
 
 // Validate checks the query against a schema: attribute indices in range,
-// values within domain, no attribute repeated.
+// values within domain, no attribute repeated. It allocates nothing — the
+// quadratic repeated-attribute scan beats a map for the handful of
+// predicates a search form accepts, and this runs on every engine query.
 func (q Query) Validate(s Schema) error {
-	seen := make(map[int]bool, len(q.Preds))
-	for _, p := range q.Preds {
+	for i, p := range q.Preds {
 		if p.Attr < 0 || p.Attr >= len(s.Attrs) {
 			return fmt.Errorf("hdb: predicate attribute %d out of range [0,%d)", p.Attr, len(s.Attrs))
 		}
@@ -44,10 +45,11 @@ func (q Query) Validate(s Schema) error {
 			return fmt.Errorf("hdb: value %d out of domain for attribute %q (|Dom|=%d)",
 				p.Value, s.Attrs[p.Attr].Name, s.Attrs[p.Attr].Dom)
 		}
-		if seen[p.Attr] {
-			return fmt.Errorf("hdb: attribute %q repeated in query", s.Attrs[p.Attr].Name)
+		for _, prev := range q.Preds[:i] {
+			if prev.Attr == p.Attr {
+				return fmt.Errorf("hdb: attribute %q repeated in query", s.Attrs[p.Attr].Name)
+			}
 		}
-		seen[p.Attr] = true
 	}
 	return nil
 }
@@ -82,6 +84,33 @@ func (q Query) Key() string {
 	return b.String()
 }
 
+// AppendKey appends a compact canonical binary key for q to dst and returns
+// the extended slice. Each predicate becomes a fixed 4-byte group — attribute
+// index and value as big-endian uint16 — emitted in ascending attribute
+// order, so equal queries (regardless of predicate order) produce equal keys
+// and distinct valid queries produce distinct keys (injective for schemas
+// with fewer than 65536 attributes; every realistic search form qualifies).
+// The empty query's key is empty. Unlike Key it allocates nothing beyond
+// growing dst, which callers reuse across lookups — the client cache's
+// hot path depends on this. The attribute ordering uses a quadratic
+// selection scan: drill-down queries have few predicates and no scratch
+// storage is worth its allocation.
+func (q Query) AppendKey(dst []byte) []byte {
+	prev := -1
+	for range q.Preds {
+		best := -1
+		var val uint16
+		for _, p := range q.Preds {
+			if p.Attr > prev && (best < 0 || p.Attr < best) {
+				best, val = p.Attr, p.Value
+			}
+		}
+		dst = append(dst, byte(best>>8), byte(best), byte(val>>8), byte(val))
+		prev = best
+	}
+	return dst
+}
+
 // String renders the query with attribute names against schema s.
 func (q Query) String() string {
 	if len(q.Preds) == 0 {
@@ -93,6 +122,44 @@ func (q Query) String() string {
 	}
 	return strings.Join(parts, " AND ")
 }
+
+// QueryBuilder assembles drill-down queries incrementally, reusing one
+// backing predicate array instead of copying per extension the way And does.
+// A walk Resets the builder to its root query once, then Pushes a predicate
+// to probe a branch and Pops it to return to the node — O(1) and
+// allocation-free per level once the array has grown to the walk's depth.
+//
+// Queries returned by Push and Query alias the builder's storage: they are
+// valid only until the next Reset/Push/Pop, which is exactly the lifetime of
+// one backend call in a drill-down. Callers that need a query to outlive the
+// builder must copy it (e.g. with And). Not safe for concurrent use.
+type QueryBuilder struct {
+	preds []Predicate
+}
+
+// Reset makes the builder hold a copy of base's predicates, retaining the
+// backing array across walks.
+func (b *QueryBuilder) Reset(base Query) {
+	b.preds = append(b.preds[:0], base.Preds...)
+}
+
+// Push appends one predicate and returns the extended query (aliasing the
+// builder's storage).
+func (b *QueryBuilder) Push(attr int, value uint16) Query {
+	b.preds = append(b.preds, Predicate{Attr: attr, Value: value})
+	return Query{Preds: b.preds}
+}
+
+// Pop removes the most recently pushed predicate.
+func (b *QueryBuilder) Pop() {
+	b.preds = b.preds[:len(b.preds)-1]
+}
+
+// Query returns the current query (aliasing the builder's storage).
+func (b *QueryBuilder) Query() Query { return Query{Preds: b.preds} }
+
+// Len returns the current number of predicates.
+func (b *QueryBuilder) Len() int { return len(b.preds) }
 
 // Result is what the restrictive interface returns for a query: up to k
 // tuples and an overflow flag. When Overflow is true the interface found

@@ -1,0 +1,183 @@
+package hdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// enumQueries enumerates the full query space of a schema: every subset of
+// attributes × every value assignment.
+func enumQueries(s Schema) []Query {
+	queries := []Query{{}}
+	for attr, a := range s.Attrs {
+		next := make([]Query, 0, len(queries)*(a.Dom+1))
+		for _, q := range queries {
+			next = append(next, q)
+			for v := 0; v < a.Dom; v++ {
+				next = append(next, q.And(attr, uint16(v)))
+			}
+		}
+		queries = next
+	}
+	return queries
+}
+
+// TestAppendKeyInjective verifies the core contract of the binary cache key:
+// over a schema's entire query space, distinct queries get distinct keys.
+// The client cache relies on this — a collision would silently alias two
+// different queries' results.
+func TestAppendKeyInjective(t *testing.T) {
+	schemas := []Schema{
+		{Attrs: []Attribute{{Name: "a", Dom: 2}, {Name: "b", Dom: 3}, {Name: "c", Dom: 4}}},
+		{Attrs: []Attribute{
+			{Name: "a", Dom: 3}, {Name: "b", Dom: 2}, {Name: "c", Dom: 2},
+			{Name: "d", Dom: 3}, {Name: "e", Dom: 2},
+		}},
+	}
+	for si, s := range schemas {
+		queries := enumQueries(s)
+		seen := make(map[string]Query, len(queries))
+		for _, q := range queries {
+			key := string(q.AppendKey(nil))
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("schema %d: key collision between %v and %v (key %x)",
+					si, prev.Preds, q.Preds, key)
+			}
+			seen[key] = q
+		}
+		if len(seen) != len(queries) {
+			t.Fatalf("schema %d: %d queries, %d distinct keys", si, len(queries), len(seen))
+		}
+	}
+}
+
+// TestAppendKeyInjectiveRandomSchemas property-tests injectivity over random
+// small schemas, including domains larger than one byte.
+func TestAppendKeyInjectiveRandomSchemas(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		nAttr := 1 + rnd.Intn(4)
+		attrs := make([]Attribute, nAttr)
+		for i := range attrs {
+			dom := 2 + rnd.Intn(4)
+			if rnd.Intn(8) == 0 {
+				dom = 300 + rnd.Intn(500) // exercise the high byte of values
+			}
+			attrs[i] = Attribute{Name: fmt.Sprintf("a%d", i), Dom: dom}
+		}
+		// Cap the enumeration: shrink domains over 8 to sampled values by
+		// enumerating only a few codes — injectivity must hold on any
+		// subset of the query space too.
+		s := Schema{Attrs: attrs}
+		queries := []Query{{}}
+		for attr, a := range s.Attrs {
+			vals := []int{0, 1, a.Dom - 1}
+			if a.Dom == 2 {
+				vals = []int{0, 1}
+			}
+			next := make([]Query, 0, len(queries)*(len(vals)+1))
+			for _, q := range queries {
+				next = append(next, q)
+				for _, v := range vals {
+					next = append(next, q.And(attr, uint16(v)))
+				}
+			}
+			queries = next
+		}
+		seen := make(map[string][]Predicate, len(queries))
+		for _, q := range queries {
+			key := string(q.AppendKey(nil))
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("trial %d: collision between %v and %v", trial, prev, q.Preds)
+			}
+			seen[key] = q.Preds
+		}
+	}
+}
+
+// TestAppendKeyCanonical: equal queries with permuted predicates share one
+// key, mirroring Query.Key's canonicalisation.
+func TestAppendKeyCanonical(t *testing.T) {
+	a := Query{Preds: []Predicate{{Attr: 3, Value: 1}, {Attr: 0, Value: 2}, {Attr: 7, Value: 0}}}
+	b := Query{Preds: []Predicate{{Attr: 7, Value: 0}, {Attr: 3, Value: 1}, {Attr: 0, Value: 2}}}
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Errorf("permuted predicates produce different keys: %x vs %x",
+			a.AppendKey(nil), b.AppendKey(nil))
+	}
+	if len((Query{}).AppendKey(nil)) != 0 {
+		t.Errorf("empty query key not empty")
+	}
+}
+
+// TestAppendKeyAppends: AppendKey must append to dst, preserving existing
+// contents, so callers can reuse one buffer with dst[:0].
+func TestAppendKeyAppends(t *testing.T) {
+	q := Query{}.And(1, 2)
+	dst := []byte{0xAA}
+	out := q.AppendKey(dst)
+	if out[0] != 0xAA || len(out) != 5 {
+		t.Errorf("AppendKey did not append: %x", out)
+	}
+	fresh := q.AppendKey(nil)
+	if string(out[1:]) != string(fresh) {
+		t.Errorf("appended key %x differs from fresh key %x", out[1:], fresh)
+	}
+}
+
+func TestQueryBuilder(t *testing.T) {
+	base := Query{}.And(2, 1)
+	var b QueryBuilder
+	b.Reset(base)
+	if b.Len() != 1 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	q := b.Push(0, 3)
+	if q.Key() != base.And(0, 3).Key() {
+		t.Errorf("Push query = %q, want %q", q.Key(), base.And(0, 3).Key())
+	}
+	b.Pop()
+	if b.Query().Key() != base.Key() {
+		t.Errorf("Pop did not restore base: %q", b.Query().Key())
+	}
+	// Reset must not alias the base query's storage: pushing through the
+	// builder cannot touch base.
+	b.Reset(base)
+	b.Push(0, 3)
+	if len(base.Preds) != 1 || base.Preds[0] != (Predicate{Attr: 2, Value: 1}) {
+		t.Errorf("builder mutated its base query: %v", base.Preds)
+	}
+	// Deep push/pop cycles reuse the same backing array.
+	b.Reset(Query{})
+	for lvl := 0; lvl < 10; lvl++ {
+		b.Push(lvl, uint16(lvl%2))
+	}
+	if b.Len() != 10 {
+		t.Fatalf("Len after 10 pushes = %d", b.Len())
+	}
+	for lvl := 9; lvl >= 0; lvl-- {
+		b.Pop()
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after draining = %d", b.Len())
+	}
+}
+
+// TestCacheHitAllocationFree pins the whole point of the binary key: a memo
+// hit performs zero allocations.
+func TestCacheHitAllocationFree(t *testing.T) {
+	tbl := paperTable(t, 1)
+	c := NewCache(tbl)
+	q := Query{}.And(0, 1).And(1, 0)
+	if _, err := c.Query(q); err != nil { // populate the memo
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f times per lookup, want 0", allocs)
+	}
+}

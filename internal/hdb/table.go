@@ -3,6 +3,7 @@ package hdb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hdunbiased/internal/bitset"
 )
@@ -30,10 +31,21 @@ func RankByMeasure(i int) RankFunc {
 // SelCount, SumMeasure) that experiments use for ground truth; those are
 // deliberately NOT part of Interface — estimators never see them.
 type Table struct {
-	schema Schema
-	k      int
-	tuples []Tuple         // in rank order
-	index  [][]*bitset.Set // index[attr][value], bit i = tuples[i] has value
+	schema  Schema
+	k       int
+	tuples  []Tuple         // in rank order
+	index   [][]*bitset.Set // index[attr][value], bit i = tuples[i] has value
+	selRank []int           // selRank[attr] = intersection position (most selective first)
+	scratch sync.Pool       // *tableScratch, keeps Query allocation-free and concurrency-safe
+}
+
+// tableScratch holds per-evaluation buffers. Pooled rather than owned by the
+// table so concurrent readers never contend; in steady state every query
+// reuses a warm scratch and allocates only its Result tuples.
+type tableScratch struct {
+	sets  []*bitset.Set // predicate bitmaps, most selective first
+	ranks []int         // selRank of each entry in sets, for the insertion sort
+	idx   []int         // first-k+1 intersection indices
 }
 
 // TableOption configures table construction.
@@ -115,7 +127,47 @@ func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table
 
 	t := &Table{schema: schema, k: k, tuples: sorted}
 	t.buildIndex()
+	t.buildSelOrder()
+	t.scratch.New = func() any { return new(tableScratch) }
 	return t, nil
+}
+
+// buildSelOrder precomputes the schema-wide predicate evaluation order once:
+// higher-fanout attributes are (heuristically) more selective and intersect
+// first. Per-query evaluation then orders predicates by rank lookup instead
+// of sorting them on every call.
+func (t *Table) buildSelOrder() {
+	order := make([]int, len(t.schema.Attrs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return t.schema.Attrs[order[a]].Dom > t.schema.Attrs[order[b]].Dom
+	})
+	t.selRank = make([]int, len(order))
+	for rank, attr := range order {
+		t.selRank[attr] = rank
+	}
+}
+
+// orderedSets collects q's predicate bitmaps into sc.sets, most selective
+// first per the precomputed schema order (insertion sort by rank — queries
+// have few predicates and arrive nearly sorted from drill-downs).
+func (t *Table) orderedSets(q Query, sc *tableScratch) []*bitset.Set {
+	sets, ranks := sc.sets[:0], sc.ranks[:0]
+	for _, p := range q.Preds {
+		r := t.selRank[p.Attr]
+		s := t.index[p.Attr][p.Value]
+		i := len(sets)
+		sets, ranks = append(sets, nil), append(ranks, 0)
+		for i > 0 && ranks[i-1] > r {
+			sets[i], ranks[i] = sets[i-1], ranks[i-1]
+			i--
+		}
+		sets[i], ranks[i] = s, r
+	}
+	sc.sets, sc.ranks = sets, ranks
+	return sets
 }
 
 func (t *Table) buildIndex() {
@@ -139,37 +191,51 @@ func (t *Table) Schema() Schema { return t.schema }
 // K returns the interface's top-k constant.
 func (t *Table) K() int { return t.k }
 
-// Query evaluates q under top-k interface semantics.
+// Query evaluates q under top-k interface semantics. It never materialises
+// Sel(q): the top-k answer is streamed straight off the index bitmaps with a
+// k+1-bounded intersection, so overflowing queries cost O(answer prefix)
+// rather than O(table). The only allocation per call is the Result's tuple
+// slice.
 func (t *Table) Query(q Query) (Result, error) {
 	if err := q.Validate(t.schema); err != nil {
 		return Result{}, err
 	}
-	sel := t.select_(q)
-	if sel == nil { // empty query: whole table
+	if len(q.Preds) == 0 { // empty query: whole table
 		return t.resultFromAll()
 	}
-	return t.resultFromSet(sel), nil
+	sc := t.scratch.Get().(*tableScratch)
+	sets := t.orderedSets(q, sc)
+	idx := bitset.IntersectFirstN(sc.idx[:0], t.k+1, sets...)
+	sc.idx = idx
+	overflow := len(idx) > t.k
+	if overflow {
+		idx = idx[:t.k]
+	}
+	out := make([]Tuple, len(idx))
+	for i, ti := range idx {
+		out[i] = t.tuples[ti]
+	}
+	t.scratch.Put(sc)
+	return Result{Tuples: out, Overflow: overflow}, nil
 }
 
-// select_ returns the bitmap of Sel(q), or nil for the empty query.
+// select_ returns the full bitmap of Sel(q), or nil for the empty query.
+// Only the omniscient accessors need the complete selection; the interface
+// path above never calls this.
 func (t *Table) select_(q Query) *bitset.Set {
 	if len(q.Preds) == 0 {
 		return nil
 	}
-	// Intersect starting from the (heuristically) most selective predicate:
-	// higher-fanout attributes first.
-	preds := make([]Predicate, len(q.Preds))
-	copy(preds, q.Preds)
-	sort.Slice(preds, func(i, j int) bool {
-		return t.schema.Attrs[preds[i].Attr].Dom > t.schema.Attrs[preds[j].Attr].Dom
-	})
-	acc := t.index[preds[0].Attr][preds[0].Value].Clone()
-	for _, p := range preds[1:] {
-		acc.And(t.index[p.Attr][p.Value])
+	sc := t.scratch.Get().(*tableScratch)
+	sets := t.orderedSets(q, sc)
+	acc := sets[0].Clone()
+	for _, s := range sets[1:] {
+		acc.And(s)
 		if !acc.Any() {
 			break
 		}
 	}
+	t.scratch.Put(sc)
 	return acc
 }
 
@@ -182,19 +248,6 @@ func (t *Table) resultFromAll() (Result, error) {
 	out := make([]Tuple, len(t.tuples))
 	copy(out, t.tuples)
 	return Result{Tuples: out}, nil
-}
-
-func (t *Table) resultFromSet(sel *bitset.Set) Result {
-	idx := sel.FirstN(nil, t.k+1)
-	overflow := len(idx) > t.k
-	if overflow {
-		idx = idx[:t.k]
-	}
-	out := make([]Tuple, len(idx))
-	for i, ti := range idx {
-		out[i] = t.tuples[ti]
-	}
-	return Result{Tuples: out, Overflow: overflow}
 }
 
 // Size returns the true number of tuples (omniscient; not exposed by the
