@@ -27,6 +27,7 @@ func main() {
 		list     = flag.Bool("list", false, "list artifact ids and exit")
 		markdown = flag.Bool("md", false, "emit markdown tables (for EXPERIMENTS.md)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = one per CPU)")
+		parallel = flag.Int("parallel", 0, "estsvc drill-down workers per budgeted trial (<=1 = sequential passes)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 	s.Workers = *workers
+	s.Parallel = *parallel
 	wl := experiment.NewWorkloads(s)
 
 	run := experiment.Run

@@ -12,9 +12,13 @@
 //
 //	# Offline sanity run with known ground truth.
 //	hdestimate -dataset bool-mixed -m 200000 -budget 500
+//
+//	# Fan passes across 8 workers and stop at 2% relative standard error.
+//	hdestimate -dataset auto -m 100000 -parallel 8 -target-rse 0.02
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,28 +27,29 @@ import (
 	"strconv"
 	"strings"
 
-	"hdunbiased/internal/core"
 	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/hdb"
-	"hdunbiased/internal/querytree"
 	"hdunbiased/internal/stats"
 	"hdunbiased/internal/webform"
 )
 
 func main() {
 	var (
-		urlFlag = flag.String("url", "", "webform base URL (empty = offline dataset)")
-		dataset = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
-		m       = flag.Int("m", 100000, "offline dataset size")
-		n       = flag.Int("n", 40, "offline Boolean attribute count")
-		k       = flag.Int("k", 100, "offline top-k")
-		algo    = flag.String("algo", "hd", "estimator: hd (WA+D&C) or bool (plain)")
-		r       = flag.Int("r", 4, "drill-downs per subtree")
-		dub     = flag.Int("dub", 32, "max subdomain size per subtree (0 = no D&C)")
-		budget  = flag.Int64("budget", 1000, "query budget")
-		seed    = flag.Int64("seed", 1, "random seed")
-		where   = flag.String("where", "", "selection condition, e.g. make=0,model=3")
-		sum     = flag.String("sum", "", "also estimate SUM of this measure (e.g. price)")
+		urlFlag   = flag.String("url", "", "webform base URL (empty = offline dataset)")
+		dataset   = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
+		m         = flag.Int("m", 100000, "offline dataset size")
+		n         = flag.Int("n", 40, "offline Boolean attribute count")
+		k         = flag.Int("k", 100, "offline top-k")
+		algo      = flag.String("algo", "hd", "estimator: hd (WA+D&C) or bool (plain)")
+		r         = flag.Int("r", 4, "drill-downs per subtree")
+		dub       = flag.Int("dub", 32, "max subdomain size per subtree (0 = no D&C)")
+		budget    = flag.Int64("budget", 1000, "query budget")
+		seed      = flag.Int64("seed", 1, "random seed")
+		where     = flag.String("where", "", "selection condition, e.g. make=0,model=3")
+		sum       = flag.String("sum", "", "also estimate SUM of this measure (e.g. price)")
+		parallel  = flag.Int("parallel", 1, "concurrent drill-down workers sharing one cache (<=1 = sequential)")
+		targetRSE = flag.Float64("target-rse", 0, "stop once every measure's relative standard error is at or below this (0 = budget only)")
 	)
 	flag.Parse()
 
@@ -53,56 +58,95 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cond, err := parseWhere(backend.Schema(), *where)
+	cond, whereMap, err := parseWhere(backend.Schema(), *where)
 	if err != nil {
 		log.Fatal(err)
 	}
-	measures := []core.Measure{core.CountMeasure()}
-	labels := []string{"COUNT"}
+	spec := estsvc.Spec{Algo: *algo, R: *r, DUB: *dub, Where: whereMap}
+	if *dub == 0 {
+		spec.DUB = -1 // flag semantics: 0 means no divide-&-conquer
+	}
 	if *sum != "" {
-		mi := backend.Schema().MeasureIndex(*sum)
-		if mi < 0 {
-			log.Fatalf("unknown measure %q (schema has %v)", *sum, backend.Schema().Measures)
-		}
-		measures = append(measures, core.NumMeasure(mi))
-		labels = append(labels, "SUM("+*sum+")")
+		spec.Sum = []string{*sum}
 	}
-
-	est, err := build(backend, cond, measures, *algo, *r, *dub, *seed)
+	factory, labels, err := spec.NewFactory(backend.Schema())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	runs := make([]stats.Running, len(measures))
-	passes := 0
 	// Bounded by passes as well as cost: on a small database the client
 	// cache eventually answers whole passes for free and cost stops growing.
 	const maxPasses = 500
-	for passes < maxPasses {
-		res, err := est.Estimate()
+
+	var (
+		means, stderrs []float64
+		passes, cost   int64
+		hits           int64
+	)
+	if *parallel > 1 || *targetRSE > 0 {
+		sess, err := estsvc.New(backend, factory, estsvc.Config{
+			Workers:   *parallel,
+			Seed:      *seed,
+			TargetRSE: *targetRSE,
+			MaxCost:   *budget,
+			MaxPasses: maxPasses,
+		})
 		if err != nil {
-			if errors.Is(err, hdb.ErrQueryLimit) {
-				fmt.Println("server query limit reached; reporting partial results")
-				break
-			}
 			log.Fatal(err)
 		}
-		passes++
-		for i, v := range res.Values {
-			runs[i].Add(v)
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
 		}
-		if res.Exact {
+		if snap.Reason == estsvc.StopQueryLimit {
+			fmt.Println("server query limit reached; reporting partial results")
+		}
+		if snap.Exact {
 			fmt.Println("base query is valid: results are exact")
-			break
 		}
-		if est.Cost() >= *budget {
-			break
+		for _, ms := range snap.Measures {
+			means = append(means, ms.Mean)
+			stderrs = append(stderrs, ms.StdErr)
 		}
+		passes, cost, hits = snap.Passes, snap.Cost, snap.CacheHits
+		fmt.Printf("workers=%d stop=%s\n", sess.Workers(), snap.Reason)
+	} else {
+		est, err := factory(hdb.NewSession(backend), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs := make([]stats.Running, len(labels))
+		for passes < maxPasses {
+			res, err := est.Estimate()
+			if err != nil {
+				if errors.Is(err, hdb.ErrQueryLimit) {
+					fmt.Println("server query limit reached; reporting partial results")
+					break
+				}
+				log.Fatal(err)
+			}
+			passes++
+			for i, v := range res.Values {
+				runs[i].Add(v)
+			}
+			if res.Exact {
+				fmt.Println("base query is valid: results are exact")
+				break
+			}
+			if est.Cost() >= *budget {
+				break
+			}
+		}
+		for i := range runs {
+			means = append(means, runs[i].Mean())
+			stderrs = append(stderrs, runs[i].StdErr())
+		}
+		cost, hits = est.Cost(), est.CacheHits()
 	}
 
-	fmt.Printf("passes=%d queries=%d\n", passes, est.Cost())
+	fmt.Printf("passes=%d queries=%d cache_hits=%d\n", passes, cost, hits)
 	for i, label := range labels {
-		fmt.Printf("%-12s estimate=%.4g  (±%.3g stderr over passes)\n", label, runs[i].Mean(), runs[i].StdErr())
+		fmt.Printf("%-12s estimate=%.4g  (±%.3g stderr over passes)\n", label, means[i], stderrs[i])
 	}
 	if truthf != nil {
 		for i, label := range labels {
@@ -111,7 +155,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-12s truth   =%.4g  relative error %.3f%%\n",
-				label, truth, 100*stats.RelativeError(truth, runs[i].Mean()))
+				label, truth, 100*stats.RelativeError(truth, means[i]))
 		}
 	}
 }
@@ -155,43 +199,31 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(
 	return tbl, truth, nil
 }
 
-func build(backend hdb.Interface, cond hdb.Query, measures []core.Measure, algo string, r, dub int, seed int64) (*core.Estimator, error) {
-	switch algo {
-	case "hd":
-		return core.NewHDUnbiasedAgg(backend, cond, measures, r, dub, seed)
-	case "bool":
-		plan, err := querytree.New(backend.Schema(), cond, querytree.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return core.New(backend, plan, measures, core.Config{R: 1, Seed: seed})
-	default:
-		return nil, fmt.Errorf("unknown algo %q (want hd or bool)", algo)
-	}
-}
-
-// parseWhere parses "attr=code,attr=code" into a query.
-func parseWhere(schema hdb.Schema, s string) (hdb.Query, error) {
+// parseWhere parses "attr=code,attr=code" into a query (for the offline
+// truth oracle) and the name-keyed map estsvc.Spec wants.
+func parseWhere(schema hdb.Schema, s string) (hdb.Query, map[string]int, error) {
 	var q hdb.Query
 	if s == "" {
-		return q, nil
+		return q, nil, nil
 	}
+	m := make(map[string]int)
 	for _, part := range strings.Split(s, ",") {
 		name, val, ok := strings.Cut(part, "=")
 		if !ok {
-			return q, fmt.Errorf("bad -where clause %q", part)
+			return q, nil, fmt.Errorf("bad -where clause %q", part)
 		}
 		ai := schema.AttrIndex(name)
 		if ai < 0 {
-			return q, fmt.Errorf("unknown attribute %q", name)
+			return q, nil, fmt.Errorf("unknown attribute %q", name)
 		}
 		code, err := strconv.Atoi(val)
 		if err != nil || code < 0 || code >= schema.Attrs[ai].Dom {
-			return q, fmt.Errorf("value %q out of domain for %q", val, name)
+			return q, nil, fmt.Errorf("value %q out of domain for %q", val, name)
 		}
 		q = q.And(ai, uint16(code))
+		m[name] = code
 	}
-	return q, nil
+	return q, m, nil
 }
 
 func init() {

@@ -1,0 +1,101 @@
+// Command hdservice serves estimation-as-a-service: a job-oriented HTTP API
+// (internal/estsvc) that runs concurrent drill-down estimation sessions
+// against a hidden database — either a live webform endpoint (cmd/hdserver)
+// or an offline synthetic dataset. Together with cmd/hdserver it forms the
+// complete stack: a top-k search form on one side, a parallel estimation
+// service answering COUNT/SUM questions about it on the other.
+//
+// Usage:
+//
+//	# Against a live webform:
+//	hdserver  -dataset auto -m 188790 -addr 127.0.0.1:8080 &
+//	hdservice -url http://127.0.0.1:8080 -addr 127.0.0.1:8090
+//
+//	# Self-contained (offline dataset):
+//	hdservice -dataset auto -m 100000 -addr 127.0.0.1:8090
+//
+// Then:
+//
+//	curl -s -X POST localhost:8090/v1/estimate \
+//	     -d '{"algo":"hd","r":5,"dub":16,"workers":8,"target_rse":0.05,"max_cost":5000}'
+//	curl -s localhost:8090/v1/jobs/job-000001
+//	curl -s -X POST localhost:8090/v1/jobs/job-000001/cancel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8090", "listen address for the job API")
+		urlFlag = flag.String("url", "", "webform base URL to estimate against (empty = offline dataset)")
+		dataset = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
+		m       = flag.Int("m", 100000, "offline dataset size")
+		n       = flag.Int("n", 40, "offline Boolean attribute count")
+		k       = flag.Int("k", 100, "offline top-k")
+		seed    = flag.Int64("seed", 1, "offline generator seed")
+	)
+	flag.Parse()
+
+	backend, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mgr := estsvc.NewManager(backend)
+	schema := backend.Schema()
+	log.Printf("estimation service on http://%s  backend=%s (%d attrs, k=%d)",
+		*addr, backendName(*urlFlag, *dataset), len(schema.Attrs), backend.K())
+	log.Printf("POST /v1/estimate, GET /v1/jobs, GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel")
+	if err := http.ListenAndServe(*addr, mgr.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func backendName(url, dataset string) string {
+	if url != "" {
+		return url
+	}
+	return dataset
+}
+
+func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, error) {
+	if url != "" {
+		return webform.Dial(url)
+	}
+	var (
+		d   *datagen.Dataset
+		err error
+	)
+	switch dataset {
+	case "auto":
+		d, err = datagen.Auto(m, seed)
+	case "bool-iid":
+		d, err = datagen.BoolIID(m, n, 0.5, seed)
+	case "bool-mixed":
+		d, err = datagen.BoolMixed(m, n, seed)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return d.Table(k)
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "hdservice: estimation-as-a-service over hidden databases\n\n")
+		flag.PrintDefaults()
+	}
+}

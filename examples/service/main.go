@@ -1,0 +1,122 @@
+// Service walkthrough: the full estimation-as-a-service stack in one
+// process.
+//
+// Three pieces are wired together, talking only HTTP where it matters:
+//
+//  1. a hidden database served behind the paper's top-k webform interface
+//     (what cmd/hdserver runs),
+//  2. an estimation job service over that webform (what cmd/hdservice
+//     runs): POST a question, poll the job, watch the relative standard
+//     error shrink as parallel drill-down workers share one cache,
+//  3. a plain HTTP client playing the user.
+//
+// The equivalent by hand:
+//
+//	hdserver  -dataset auto -m 60000 -addr 127.0.0.1:8080 &
+//	hdservice -url http://127.0.0.1:8080 -addr 127.0.0.1:8090 &
+//	curl -s -X POST localhost:8090/v1/estimate -d '{"workers":8,"target_rse":0.05,"max_cost":20000,"sum":["price"]}'
+//	curl -s localhost:8090/v1/jobs/job-000001
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/webform"
+)
+
+func main() {
+	// 1. The hidden database: a Yahoo!-Auto-like dataset behind a top-k
+	// webform. The estimation side will only ever see /schema and /search.
+	data, err := datagen.Auto(60000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := data.Table(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	form, err := webform.NewServer(tbl, webform.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	formAddr := serve(form)
+	fmt.Printf("hidden database:    http://%s (%d tuples behind a top-%d form)\n", formAddr, tbl.Size(), tbl.K())
+
+	// 2. The estimation service, dialing the webform like any other client.
+	client, err := webform.Dial("http://" + formAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svcAddr := serve(estsvc.NewManager(client).Handler())
+	fmt.Printf("estimation service: http://%s\n\n", svcAddr)
+
+	// 3. The user: submit a job — COUNT and SUM(price), 8 workers, stop at
+	// 5% relative standard error or 20k interface queries.
+	req := estsvc.EstimateRequest{
+		Spec:      estsvc.Spec{Algo: "hd", R: 5, DUB: 16, Sum: []string{datagen.AutoPriceMeasure}},
+		Workers:   8,
+		Seed:      42,
+		TargetRSE: 0.05,
+		MaxCost:   20000,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+svcAddr+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job estsvc.JobPayload
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s: hd r=5 dub=16, 8 workers, target RSE 5%%\n", job.ID)
+
+	// Poll the job and stream its convergence.
+	for job.State == string(estsvc.JobRunning) {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get("http://" + svcAddr + "/v1/jobs/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		s := job.Snapshot
+		if len(s.Measures) > 0 && s.Measures[0].RSE != nil {
+			fmt.Printf("  passes=%-5d cost=%-6d cache_hits=%-7d COUNT≈%-9.0f rse=%.3f\n",
+				s.Passes, s.Cost, s.CacheHits, s.Measures[0].Mean, *s.Measures[0].RSE)
+		}
+	}
+
+	fmt.Printf("\njob %s: stop=%s after %s\n", job.State, job.Snapshot.Reason,
+		(time.Duration(job.Snapshot.ElapsedMillis) * time.Millisecond).Round(time.Millisecond))
+	for _, ms := range job.Snapshot.Measures {
+		fmt.Printf("  %-12s estimate=%.4g (± %.3g stderr)\n", ms.Label, ms.Mean, ms.StdErr)
+	}
+	fmt.Printf("\nground truth (never disclosed by the interface): COUNT=%d\n", tbl.Size())
+}
+
+// serve mounts h on a loopback listener and returns its address.
+func serve(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, h); err != nil {
+			log.Print(err)
+		}
+	}()
+	return ln.Addr().String()
+}

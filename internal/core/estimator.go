@@ -68,8 +68,10 @@ type Estimate struct {
 // weight adjustment and divide-&-conquer) and produces unbiased estimates of
 // the configured measures over the tuples matching the plan's base query.
 // It is not safe for concurrent use; run one Estimator per goroutine.
+// internal/estsvc fans passes across a pool of Estimators that share one
+// backend stack through NewWithSession.
 type Estimator struct {
-	session   *hdb.Session
+	session   hdb.Client
 	plan      *querytree.Plan
 	measures  []Measure
 	cfg       Config
@@ -97,12 +99,26 @@ type layerScratch struct {
 	builder hdb.QueryBuilder
 }
 
-// New builds an Estimator over backend for the given plan and measures.
+// New builds an Estimator over backend for the given plan and measures,
+// owning a private single-threaded client stack (hdb.NewSession).
 func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Config) (*Estimator, error) {
-	if backend == nil || plan == nil {
-		return nil, fmt.Errorf("core: nil backend or plan")
+	if backend == nil {
+		return nil, fmt.Errorf("core: nil backend")
 	}
-	schema := backend.Schema()
+	return NewWithSession(hdb.NewSession(backend), plan, measures, cfg)
+}
+
+// NewWithSession builds an Estimator over an injected client session. This
+// is the concurrency seam: a parallel estimation session gives each of its
+// worker Estimators a per-worker client that routes queries through one
+// shared ShardedCache and cost accounting, while the Estimator itself stays
+// single-threaded. session.Cost() must report only this client's backend
+// queries (the per-pass MaxQueries budget is charged against its deltas).
+func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure, cfg Config) (*Estimator, error) {
+	if session == nil || plan == nil {
+		return nil, fmt.Errorf("core: nil session or plan")
+	}
+	schema := session.Schema()
 	if len(schema.Attrs) != len(plan.Schema.Attrs) {
 		return nil, fmt.Errorf("core: plan schema has %d attributes, backend has %d",
 			len(plan.Schema.Attrs), len(schema.Attrs))
@@ -146,14 +162,14 @@ func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Co
 		}
 	}
 	return &Estimator{
-		session:   hdb.NewSession(backend),
+		session:   session,
 		plan:      plan,
 		measures:  measures,
 		cfg:       cfg,
 		weights:   newWeightTree(),
 		rnd:       rnd,
 		propagate: propagate,
-		k:         backend.K(),
+		k:         session.K(),
 		scratch:   make([]layerScratch, len(plan.Layers)),
 		probsBuf:  make([]float64, maxFanout),
 		rawBuf:    make([]float64, maxFanout),
@@ -164,6 +180,11 @@ func New(backend hdb.Interface, plan *querytree.Plan, measures []Measure, cfg Co
 // Cost returns the cumulative backend queries issued over the estimator's
 // lifetime (all Estimate calls; the client cache makes repeat queries free).
 func (e *Estimator) Cost() int64 { return e.session.Cost() }
+
+// CacheHits returns the queries the client memo answered without touching
+// the backend — the companion number to Cost for judging cache
+// effectiveness.
+func (e *Estimator) CacheHits() int64 { return e.session.CacheHits() }
 
 // Plan returns the estimator's tree plan.
 func (e *Estimator) Plan() *querytree.Plan { return e.plan }

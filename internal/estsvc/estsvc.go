@@ -1,0 +1,581 @@
+// Package estsvc owns the lifecycle of an estimation session: a pool of
+// per-goroutine core.Estimators running independent drill-down passes
+// concurrently against one backend, merging per-pass estimates into
+// streaming Snapshots, and terminating on pluggable stopping rules.
+//
+// The paper's estimators produce i.i.d. unbiased estimates per pass, which
+// makes a session embarrassingly parallel: worker w runs its own Estimator
+// (own RNG substream, own weight tree) while all workers share one
+// hdb.ShardedCache and one atomic hdb.Counter, so a branch any worker has
+// probed is free for every other worker and cost is accounted once. Because
+// each worker's pass sequence depends only on (Seed, worker index) and the
+// deterministic backend, the merged estimate for a fixed seed and worker
+// count is bit-identical across runs regardless of scheduling.
+//
+// Stopping rules: target relative standard error, backend-query budget,
+// total pass count, wall clock, and context cancellation. Rule evaluation
+// is synchronised at pass-count boundaries (rounds), which extends the
+// bit-identical guarantee to the value-dependent rules too: a TargetRSE or
+// MaxPasses session stops after the same number of passes per worker on
+// every run. MaxCost, MaxDuration and cancellation stops are inherently
+// timing-dependent (which worker pays for a shared cache miss is a race),
+// so their pass counts — and hence merged values — may vary between runs;
+// every run remains unbiased.
+//
+// The session is exposed three ways: programmatically (New/Run/Snapshot),
+// as a job-oriented HTTP API (Manager.Handler, mounted by cmd/hdservice),
+// and through -parallel/-target-rse on cmd/hdestimate.
+package estsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+// Factory builds one worker's Estimator over the per-worker client the
+// session hands it. The client routes queries through the session's shared
+// cache and attributes backend cost to the worker, so factories should
+// construct estimators with core.NewWithSession. internal/experiment's
+// estimator specs satisfy this signature directly.
+type Factory func(client hdb.Client, seed int64) (*core.Estimator, error)
+
+// Config tunes a Session. At least one stopping rule (TargetRSE, MaxPasses,
+// MaxCost or MaxDuration) must be set; context cancellation always works on
+// top of whichever rules are active.
+type Config struct {
+	// Workers is the number of concurrent estimators (0 = GOMAXPROCS).
+	// Results are deterministic for a fixed Seed AND Workers; changing the
+	// worker count changes which RNG substream each pass draws from.
+	Workers int
+	// Seed seeds worker substreams: worker w uses Seed + w*2^64/φ, so a
+	// one-worker session reproduces a sequential Estimator run with Seed.
+	Seed int64
+
+	// TargetRSE stops the session once every measure's relative standard
+	// error (stderr/|mean| over passes) is at or below this value. 0
+	// disables the rule.
+	TargetRSE float64
+	// MinPasses is the minimum total passes before TargetRSE may fire
+	// (default 8, floor 2) — one lucky pass has stderr 0.
+	MinPasses int
+	// MaxPasses stops the session after this many total passes across all
+	// workers. 0 disables the rule (a 2^20-pass hard cap still applies).
+	MaxPasses int
+	// MaxCost stops the session once the shared backend-query count reaches
+	// this budget. Checked between rounds, so the overshoot is at most one
+	// round of passes. When the shared cache grows to cover the whole
+	// reachable tree the budget becomes unconsumable; the session detects
+	// the plateau (no new backend query for costStallRounds rounds) and
+	// stops with StopBudget rather than spinning. 0 disables the rule.
+	MaxCost int64
+	// MaxDuration stops the session after this much wall clock. 0 disables
+	// the rule.
+	MaxDuration time.Duration
+
+	// CacheShards sets the shared memo's stripe count (0 = default).
+	CacheShards int
+}
+
+// passesHardCap bounds any session: on a database small enough for the
+// shared cache to cover the reachable tree, passes become nearly free and a
+// cost-budget rule alone would never fire.
+const passesHardCap = 1 << 20
+
+// StopReason says which rule ended a session.
+type StopReason string
+
+const (
+	StopTargetRSE  StopReason = "target-rse"
+	StopBudget     StopReason = "budget"
+	StopPasses     StopReason = "passes"
+	StopDeadline   StopReason = "deadline"
+	StopCancelled  StopReason = "cancelled"
+	StopExact      StopReason = "exact"
+	StopQueryLimit StopReason = "query-limit" // backend-enforced hdb.ErrQueryLimit
+	StopError      StopReason = "error"
+)
+
+// MeasureStat is the streaming state of one measure's estimate.
+type MeasureStat struct {
+	// Mean is the mean of per-pass unbiased estimates — itself unbiased.
+	Mean float64
+	// StdErr is the standard error of Mean over passes.
+	StdErr float64
+	// RSE is StdErr/|Mean| (+Inf when Mean is 0 with spread), the
+	// quantity TargetRSE tests.
+	RSE float64
+}
+
+// Snapshot is a point-in-time view of a session: per-measure estimates
+// merged across all workers (stats.Running.Merge in worker order, so the
+// numbers are deterministic), plus cost and progress accounting.
+type Snapshot struct {
+	Measures  []MeasureStat
+	Passes    int64
+	Cost      int64 // backend queries (shared counter)
+	CacheHits int64 // memo hits (shared cache)
+	Elapsed   time.Duration
+	Exact     bool // the base query answered exactly; Means are exact
+	Done      bool
+	Reason    StopReason // set once Done
+}
+
+// Session fans estimation passes across a worker pool. Build with New, run
+// once with Run; Snapshot may be called concurrently at any time (the HTTP
+// job API polls it).
+type Session struct {
+	cfg     Config
+	counter *hdb.Counter
+	cache   *hdb.ShardedCache
+	workers []*worker
+
+	mu      sync.Mutex
+	started bool
+	startT  time.Time
+	passes  int64
+	exact   bool
+	done    bool
+	reason  StopReason
+	elapsed time.Duration // frozen when done
+}
+
+// worker is one estimator plus its accumulated per-measure pass statistics.
+// runs is guarded by Session.mu: the owning goroutine appends one pass at a
+// time, snapshots merge across workers.
+type worker struct {
+	est    *core.Estimator
+	client *workerClient
+	runs   []stats.Running
+}
+
+// workerClient is a per-worker hdb.Client over the shared stack. It checks
+// the session context (so cancellation interrupts a pass between queries,
+// not just between passes), consults the shared cache, and attributes
+// backend cost to this worker — core's per-pass MaxQueries budget charges
+// against these per-worker deltas, not other workers' traffic.
+type workerClient struct {
+	cache *hdb.ShardedCache
+	// ctx is assigned once by Run before any worker goroutine exists
+	// (happens-before via goroutine creation), then read lock-free on
+	// every query — this is the hottest line in a session and must not
+	// touch Session.mu.
+	ctx  context.Context
+	cost atomic.Int64
+	hits atomic.Int64
+}
+
+// Schema implements hdb.Interface.
+func (c *workerClient) Schema() hdb.Schema { return c.cache.Schema() }
+
+// K implements hdb.Interface.
+func (c *workerClient) K() int { return c.cache.K() }
+
+// Query implements hdb.Interface.
+func (c *workerClient) Query(q hdb.Query) (hdb.Result, error) {
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return hdb.Result{}, err
+		}
+	}
+	res, hit, err := c.cache.QueryHit(q)
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.cost.Add(1) // the query was issued, even if it failed
+	}
+	return res, err
+}
+
+// Cost implements hdb.Client: backend queries this worker caused.
+func (c *workerClient) Cost() int64 { return c.cost.Load() }
+
+// CacheHits implements hdb.Client: shared-memo hits this worker enjoyed.
+func (c *workerClient) CacheHits() int64 { return c.hits.Load() }
+
+// workerSeed derives worker w's RNG substream seed: a golden-ratio stride
+// keeps substreams far apart in seed space, and w=0 maps to seed itself so
+// Workers=1 reproduces the sequential run.
+func workerSeed(seed int64, w int) int64 {
+	return seed + int64(w)*-7046029254386353131 // 0x9E3779B97F4A7C15 as int64
+}
+
+// New builds a session over backend. factory is called once per worker with
+// the worker's shared-stack client and substream seed.
+func New(backend hdb.Interface, factory Factory, cfg Config) (*Session, error) {
+	if backend == nil || factory == nil {
+		return nil, fmt.Errorf("estsvc: nil backend or factory")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TargetRSE < 0 || cfg.MaxPasses < 0 || cfg.MaxCost < 0 || cfg.MaxDuration < 0 {
+		return nil, fmt.Errorf("estsvc: negative stopping rule in %+v", cfg)
+	}
+	if cfg.TargetRSE == 0 && cfg.MaxPasses == 0 && cfg.MaxCost == 0 && cfg.MaxDuration == 0 {
+		return nil, fmt.Errorf("estsvc: no stopping rule set (TargetRSE, MaxPasses, MaxCost or MaxDuration)")
+	}
+	if cfg.MinPasses == 0 {
+		cfg.MinPasses = 8
+	}
+	if cfg.MinPasses < 2 {
+		cfg.MinPasses = 2 // one pass always has stderr 0
+	}
+	s := &Session{
+		cfg:     cfg,
+		counter: hdb.NewCounter(backend),
+	}
+	s.cache = hdb.NewShardedCache(s.counter, cfg.CacheShards)
+	for w := 0; w < cfg.Workers; w++ {
+		client := &workerClient{cache: s.cache}
+		est, err := factory(client, workerSeed(cfg.Seed, w))
+		if err != nil {
+			return nil, fmt.Errorf("estsvc: building worker %d: %w", w, err)
+		}
+		s.workers = append(s.workers, &worker{est: est, client: client})
+	}
+	return s, nil
+}
+
+// Workers returns the session's worker count (after defaulting).
+func (s *Session) Workers() int { return len(s.workers) }
+
+// Run executes the session until a stopping rule fires or ctx is
+// cancelled, and returns the final snapshot. The error is nil whenever a
+// configured rule (or a backend query limit) ended the session gracefully;
+// cancellation returns ctx's error and a backend failure returns that
+// failure — in both cases the snapshot still holds the partial merge, which
+// remains unbiased (passes are i.i.d., and the decision to stop never
+// depends on the values in a way that selects among them). Run may be
+// called once per session.
+func (s *Session) Run(ctx context.Context) (Snapshot, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("estsvc: session already run")
+	}
+	s.started = true
+	s.startT = time.Now()
+	s.mu.Unlock()
+
+	if s.cfg.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MaxDuration)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, w := range s.workers {
+		w.client.ctx = ctx // before any worker goroutine exists; see workerClient.ctx
+	}
+
+	// With pass count as the only active rule the partition is static —
+	// every worker knows its exact pass count up front and no barrier is
+	// ever taken. Adaptive rules instead run barrier-synchronised rounds of
+	// one pass per worker, re-evaluating the rules between rounds.
+	var err error
+	if s.cfg.TargetRSE == 0 && s.cfg.MaxCost == 0 && s.cfg.MaxDuration == 0 {
+		err = s.runStatic(ctx)
+	} else {
+		err = s.runRounds(ctx, cancel)
+	}
+
+	s.mu.Lock()
+	s.done = true
+	s.elapsed = time.Since(s.startT)
+	snap := s.snapshotLocked()
+	s.mu.Unlock()
+	return snap, err
+}
+
+// passOutcome classifies one worker pass for the coordinator.
+type passOutcome struct {
+	err   error
+	stop  StopReason // non-empty when the pass ended the session
+	exact bool
+}
+
+// classify maps a pass error to (reason, returned error).
+func classify(err error) passOutcome {
+	switch {
+	case err == nil:
+		return passOutcome{}
+	case errors.Is(err, hdb.ErrQueryLimit):
+		// The backend's own limiter fired: graceful partial-results stop.
+		return passOutcome{stop: StopQueryLimit}
+	case errors.Is(err, context.DeadlineExceeded):
+		return passOutcome{stop: StopDeadline}
+	case errors.Is(err, context.Canceled):
+		return passOutcome{stop: StopCancelled, err: context.Canceled}
+	default:
+		return passOutcome{stop: StopError, err: err}
+	}
+}
+
+// pass runs one Estimate on worker w and folds its values in.
+func (s *Session) pass(w *worker) passOutcome {
+	est, err := w.est.Estimate()
+	if out := classify(err); out.err != nil || out.stop != "" {
+		return out
+	}
+	s.mu.Lock()
+	if w.runs == nil {
+		w.runs = make([]stats.Running, len(est.Values))
+	}
+	for mi, v := range est.Values {
+		w.runs[mi].Add(v)
+	}
+	s.passes++
+	if est.Exact {
+		s.exact = true
+	}
+	s.mu.Unlock()
+	return passOutcome{exact: est.Exact}
+}
+
+// runStatic partitions MaxPasses across workers up front and lets each
+// worker burn through its share with no synchronisation beyond the final
+// join — the throughput path the parallel-scaling benchmark measures.
+func (s *Session) runStatic(ctx context.Context) error {
+	total := s.cfg.MaxPasses
+	if total <= 0 || total > passesHardCap {
+		total = passesHardCap
+	}
+	nw := len(s.workers)
+	outs := make([]passOutcome, nw)
+	var wg sync.WaitGroup
+	for wi, w := range s.workers {
+		share := total / nw
+		if wi < total%nw {
+			share++
+		}
+		wg.Add(1)
+		go func(wi int, w *worker, share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				if err := ctx.Err(); err != nil {
+					outs[wi] = classify(err)
+					return
+				}
+				out := s.pass(w)
+				if out.err != nil || out.stop != "" {
+					outs[wi] = out
+					return
+				}
+				if out.exact {
+					// Every further pass would re-issue the base query and
+					// get the same exact answer; one pass per worker is the
+					// deterministic convention.
+					outs[wi] = out
+					return
+				}
+			}
+		}(wi, w, share)
+	}
+	wg.Wait()
+	return s.finish(outs, StopPasses)
+}
+
+// costStallRounds is how many consecutive rounds may pass without any new
+// backend query before a MaxCost session concludes its budget is
+// unconsumable: on a database small enough for the shared cache to cover
+// the reachable tree, cost stops growing and the budget would otherwise
+// never fire (the extra stall rounds still contribute free averaging).
+const costStallRounds = 64
+
+// runRounds runs barrier-synchronised rounds of one pass per worker,
+// checking the adaptive rules between rounds. Determinism: pass counts per
+// worker depend only on the merged values, never on timing (wall-clock,
+// cancellation and cost-based stops excepted, by nature).
+func (s *Session) runRounds(ctx context.Context, cancel context.CancelFunc) error {
+	nw := len(s.workers)
+	outs := make([]passOutcome, nw)
+	lastCost, stall := int64(-1), 0
+	for {
+		if s.cfg.MaxCost > 0 {
+			if cost := s.counter.Count(); cost == lastCost {
+				if stall++; stall >= costStallRounds {
+					return s.finish(nil, StopBudget)
+				}
+			} else {
+				lastCost, stall = cost, 0
+			}
+		}
+		if reason := s.checkRules(ctx); reason != "" {
+			return s.finish(nil, reason)
+		}
+		var wg sync.WaitGroup
+		for wi, w := range s.workers {
+			wg.Add(1)
+			go func(wi int, w *worker) {
+				defer wg.Done()
+				outs[wi] = s.pass(w)
+				if outs[wi].err != nil || outs[wi].stop != "" {
+					cancel() // no point letting the rest of the round run on
+				}
+			}(wi, w)
+		}
+		wg.Wait()
+		for wi := range outs {
+			if outs[wi].err != nil || outs[wi].stop != "" {
+				return s.finish(outs, "")
+			}
+		}
+		if s.exactNow() {
+			return s.finish(nil, StopExact)
+		}
+	}
+}
+
+func (s *Session) exactNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exact
+}
+
+// checkRules evaluates the between-round stopping rules; empty means keep
+// going.
+func (s *Session) checkRules(ctx context.Context) StopReason {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return StopDeadline
+		}
+		return StopCancelled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxPasses > 0 && s.passes >= int64(s.cfg.MaxPasses) {
+		return StopPasses
+	}
+	if s.passes >= passesHardCap {
+		return StopPasses
+	}
+	if s.cfg.MaxCost > 0 && s.counter.Count() >= s.cfg.MaxCost {
+		return StopBudget
+	}
+	if s.cfg.TargetRSE > 0 && s.passes >= int64(s.cfg.MinPasses) {
+		snap := s.snapshotLocked()
+		converged := len(snap.Measures) > 0
+		for _, m := range snap.Measures {
+			if !(m.RSE <= s.cfg.TargetRSE) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return StopTargetRSE
+		}
+	}
+	return ""
+}
+
+// finish records the terminal reason. outs are the workers' last outcomes
+// (nil when a between-round rule stopped the session); fallback is used
+// when no outcome carries a stronger one. Priorities matter because one
+// worker's stop cancels the others' in-flight passes: a real error beats a
+// backend query limit beats deadline beats (induced) cancellation beats the
+// fallback rule.
+func (s *Session) finish(outs []passOutcome, fallback StopReason) error {
+	rank := func(r StopReason) int {
+		switch r {
+		case StopError:
+			return 5
+		case StopQueryLimit:
+			return 4
+		case StopDeadline:
+			return 3
+		case StopCancelled:
+			return 2
+		case "":
+			return 0
+		default:
+			return 1
+		}
+	}
+	reason, best := fallback, rank(fallback)
+	var failure error
+	for _, out := range outs {
+		if r := rank(out.stop); r > best {
+			best, reason = r, out.stop
+		}
+		if out.stop == StopError && failure == nil {
+			failure = out.err
+		}
+	}
+	var err error
+	switch reason {
+	case StopError:
+		err = failure
+	case StopCancelled:
+		err = context.Canceled
+	}
+	s.mu.Lock()
+	if s.exact && reason == StopPasses {
+		reason = StopExact
+	}
+	s.reason = reason
+	s.mu.Unlock()
+	return err
+}
+
+// Snapshot returns the current merged state. Safe to call concurrently
+// with Run; deterministic once Done for a fixed seed and worker count
+// (Cost, CacheHits and Elapsed excepted — cache races shift which worker
+// pays for a shared query, not what any estimate is worth).
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Session) snapshotLocked() Snapshot {
+	var merged []stats.Running
+	for _, w := range s.workers {
+		for mi, r := range w.runs {
+			if mi >= len(merged) {
+				merged = append(merged, stats.Running{})
+			}
+			merged[mi].Merge(r)
+		}
+	}
+	snap := Snapshot{
+		Passes:    s.passes,
+		Cost:      s.counter.Count(),
+		CacheHits: s.cache.Hits(),
+		Exact:     s.exact,
+		Done:      s.done,
+		Reason:    s.reason,
+	}
+	if s.started {
+		snap.Elapsed = time.Since(s.startT)
+		if s.done {
+			snap.Elapsed = s.elapsed
+		}
+	}
+	for _, r := range merged {
+		mean, se := r.Mean(), r.StdErr()
+		snap.Measures = append(snap.Measures, MeasureStat{Mean: mean, StdErr: se, RSE: relStdErr(mean, se)})
+	}
+	return snap
+}
+
+// relStdErr is stderr/|mean|: 0 for a spread-free estimate, +Inf when the
+// mean is 0 but the spread is not (no meaningful relative error).
+func relStdErr(mean, se float64) float64 {
+	if se == 0 {
+		return 0
+	}
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return se / math.Abs(mean)
+}

@@ -1,0 +1,329 @@
+package estsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+)
+
+// autoTable builds a fresh small Auto workload — fresh per run so sessions
+// never share warm caches across test runs.
+func autoTable(t testing.TB, m, k int) *hdb.Table {
+	t.Helper()
+	d, err := datagen.Auto(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func hdFactory(t testing.TB, tbl *hdb.Table) Factory {
+	t.Helper()
+	factory, _, err := Spec{Algo: "hd", R: 3, DUB: 16}.NewFactory(tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return factory
+}
+
+func runSession(t testing.TB, tbl *hdb.Table, cfg Config) Snapshot {
+	t.Helper()
+	sess, err := New(tbl, hdFactory(t, tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// The determinism golden pins the W=4 merged estimates bit for bit — the
+// session-level extension of internal/core's fixed-seed equivalence suite.
+// Cost, cache hits and elapsed time are deliberately NOT pinned: which
+// worker pays for a shared cache miss is scheduling-dependent; the
+// estimates must not be. Regenerate with:
+//
+//	ESTSVC_UPDATE_GOLDEN=1 go test ./internal/estsvc -run TestSessionDeterminism
+const goldenPath = "testdata/determinism.json"
+
+type determinismGolden struct {
+	MeanBits   []uint64 `json:"mean_bits"`
+	StdErrBits []uint64 `json:"stderr_bits"`
+	Passes     int64    `json:"passes"`
+	Reason     string   `json:"reason"`
+}
+
+func goldenOf(snap Snapshot) determinismGolden {
+	g := determinismGolden{Passes: snap.Passes, Reason: string(snap.Reason)}
+	for _, m := range snap.Measures {
+		g.MeanBits = append(g.MeanBits, math.Float64bits(m.Mean))
+		g.StdErrBits = append(g.StdErrBits, math.Float64bits(m.StdErr))
+	}
+	return g
+}
+
+// determinismConfig exercises the adaptive (round-based) path: a target-RSE
+// rule that actually decides when to stop, backed by a pass cap.
+func determinismConfig() Config {
+	return Config{Workers: 4, Seed: 7, TargetRSE: 0.10, MinPasses: 16, MaxPasses: 4000}
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	run := func() determinismGolden {
+		return goldenOf(runSession(t, autoTable(t, 3000, 20), determinismConfig()))
+	}
+	got := run()
+	if len(got.MeanBits) != 1 {
+		t.Fatalf("measures = %d, want 1", len(got.MeanBits))
+	}
+
+	if os.Getenv("ESTSVC_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %+v", goldenPath, got)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with ESTSVC_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want determinismGolden
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string, g determinismGolden) {
+		if g.Passes != want.Passes || g.Reason != want.Reason {
+			t.Errorf("%s: passes=%d reason=%q, golden passes=%d reason=%q",
+				label, g.Passes, g.Reason, want.Passes, want.Reason)
+		}
+		for i := range want.MeanBits {
+			if i >= len(g.MeanBits) || g.MeanBits[i] != want.MeanBits[i] {
+				t.Errorf("%s: mean[%d] bits diverge from golden", label, i)
+			}
+			if i >= len(g.StdErrBits) || g.StdErrBits[i] != want.StdErrBits[i] {
+				t.Errorf("%s: stderr[%d] bits diverge from golden", label, i)
+			}
+		}
+	}
+	check("run1", got)
+	// A second run under a different GOMAXPROCS forces different goroutine
+	// interleavings; merged estimates must not notice.
+	prev := runtime.GOMAXPROCS(2)
+	check("run2/GOMAXPROCS=2", run())
+	runtime.GOMAXPROCS(prev)
+}
+
+// TestParallelUnbiasedness checks the parallel mean lands where the
+// sequential mean does: both are means of i.i.d. unbiased per-pass
+// estimates of the true size, so each must sit within a few standard
+// errors of truth (seeds are fixed; this is a deterministic assertion).
+func TestParallelUnbiasedness(t *testing.T) {
+	truth := float64(autoTable(t, 3000, 20).Size())
+	const passes = 240
+	seq := runSession(t, autoTable(t, 3000, 20), Config{Workers: 1, Seed: 11, MaxPasses: passes})
+	par := runSession(t, autoTable(t, 3000, 20), Config{Workers: 4, Seed: 11, MaxPasses: passes})
+	if seq.Passes != passes || par.Passes != passes {
+		t.Fatalf("passes: seq=%d par=%d, want %d", seq.Passes, par.Passes, passes)
+	}
+	for name, snap := range map[string]Snapshot{"sequential": seq, "parallel": par} {
+		m := snap.Measures[0]
+		if dev := math.Abs(m.Mean - truth); dev > 5*m.StdErr {
+			t.Errorf("%s mean %.1f is %.1f stderr away from truth %.0f (stderr %.1f)",
+				name, m.Mean, dev/m.StdErr, truth, m.StdErr)
+		}
+	}
+	// And against each other, with both uncertainties in play.
+	s, p := seq.Measures[0], par.Measures[0]
+	if dev := math.Abs(s.Mean - p.Mean); dev > 5*math.Hypot(s.StdErr, p.StdErr) {
+		t.Errorf("sequential %.1f vs parallel %.1f diverge beyond combined CI", s.Mean, p.Mean)
+	}
+}
+
+// TestWorkersOneMatchesSequentialSeed: worker 0's substream is the seed
+// itself, so a 1-worker session reproduces a sequential estimator's passes.
+func TestWorkersOneMatchesSequentialSeed(t *testing.T) {
+	tbl := autoTable(t, 2000, 20)
+	factory, _, err := Spec{Algo: "hd", R: 3, DUB: 16}.NewFactory(tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := factory(hdb.NewSession(autoTable(t, 2000, 20)), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	const passes = 10
+	for i := 0; i < passes; i++ {
+		res, err := est.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += res.Values[0] / passes
+	}
+	snap := runSession(t, tbl, Config{Workers: 1, Seed: 7, MaxPasses: passes})
+	if math.Abs(snap.Measures[0].Mean-mean) > 1e-9*math.Abs(mean) {
+		t.Errorf("1-worker session mean %.6f != sequential mean %.6f", snap.Measures[0].Mean, mean)
+	}
+}
+
+func TestStopMaxCost(t *testing.T) {
+	snap := runSession(t, autoTable(t, 3000, 20), Config{Workers: 4, Seed: 3, MaxCost: 300})
+	if snap.Reason != StopBudget {
+		t.Fatalf("reason = %q, want budget", snap.Reason)
+	}
+	if snap.Cost < 300 {
+		t.Errorf("stopped at cost %d before the 300 budget", snap.Cost)
+	}
+	if snap.Passes == 0 {
+		t.Error("no passes completed")
+	}
+}
+
+func TestStopTargetRSE(t *testing.T) {
+	cfg := Config{Workers: 4, Seed: 5, TargetRSE: 0.15, MinPasses: 8, MaxPasses: 8000}
+	snap := runSession(t, autoTable(t, 3000, 20), cfg)
+	if snap.Reason != StopTargetRSE {
+		t.Fatalf("reason = %q, want target-rse (rse=%v passes=%d)", snap.Reason, snap.Measures[0].RSE, snap.Passes)
+	}
+	if snap.Measures[0].RSE > cfg.TargetRSE {
+		t.Errorf("stopped with RSE %.3f above target %.3f", snap.Measures[0].RSE, cfg.TargetRSE)
+	}
+	if snap.Passes < int64(cfg.MinPasses) {
+		t.Errorf("stopped after %d passes, min is %d", snap.Passes, cfg.MinPasses)
+	}
+}
+
+func TestStopDeadline(t *testing.T) {
+	snap := runSession(t, autoTable(t, 3000, 20), Config{Workers: 2, Seed: 1, MaxDuration: time.Nanosecond, TargetRSE: 1e-12})
+	if snap.Reason != StopDeadline {
+		t.Errorf("reason = %q, want deadline", snap.Reason)
+	}
+	if !snap.Done {
+		t.Error("snapshot not done")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	tbl := autoTable(t, 5000, 20)
+	sess, err := New(tbl, hdFactory(t, tbl), Config{Workers: 2, Seed: 1, TargetRSE: 1e-12, MinPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var snap Snapshot
+	var runErr error
+	go func() {
+		defer close(done)
+		snap, runErr = sess.Run(ctx)
+	}()
+	// Let it make some progress, then pull the plug.
+	deadline := time.After(5 * time.Second)
+	for sess.Snapshot().Passes < 4 {
+		select {
+		case <-deadline:
+			t.Fatal("session made no progress")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	if !errors.Is(runErr, context.Canceled) {
+		t.Errorf("Run error = %v, want context.Canceled", runErr)
+	}
+	if snap.Reason != StopCancelled {
+		t.Errorf("reason = %q, want cancelled", snap.Reason)
+	}
+	if snap.Passes == 0 {
+		t.Error("partial snapshot lost its passes")
+	}
+}
+
+func TestExactBase(t *testing.T) {
+	// k >= m: the base query answers exactly and the session must say so.
+	tbl := autoTable(t, 40, 100)
+	snap := runSession(t, tbl, Config{Workers: 4, Seed: 1, MaxPasses: 100})
+	if !snap.Exact || snap.Reason != StopExact {
+		t.Fatalf("exact=%v reason=%q, want exact stop", snap.Exact, snap.Reason)
+	}
+	if snap.Measures[0].Mean != float64(tbl.Size()) {
+		t.Errorf("exact mean %.1f != size %d", snap.Measures[0].Mean, tbl.Size())
+	}
+	if snap.Passes != 4 {
+		t.Errorf("exact session ran %d passes, want one per worker (4)", snap.Passes)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tbl := autoTable(t, 100, 10)
+	if _, err := New(tbl, hdFactory(t, tbl), Config{}); err == nil {
+		t.Error("no stopping rule accepted")
+	}
+	if _, err := New(tbl, hdFactory(t, tbl), Config{MaxPasses: -1}); err == nil {
+		t.Error("negative rule accepted")
+	}
+	if _, err := New(nil, hdFactory(t, tbl), Config{MaxPasses: 1}); err == nil {
+		t.Error("nil backend accepted")
+	}
+	sess, err := New(tbl, hdFactory(t, tbl), Config{MaxPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Workers() <= 0 {
+		t.Error("workers not defaulted")
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	schema := autoTable(t, 100, 10).Schema()
+	if _, _, err := (Spec{Algo: "nope"}).NewFactory(schema); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	if _, _, err := (Spec{Where: map[string]int{"nope": 0}}).NewFactory(schema); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, _, err := (Spec{Where: map[string]int{"make": 1 << 14}}).NewFactory(schema); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if _, _, err := (Spec{Sum: []string{"nope"}}).NewFactory(schema); err == nil {
+		t.Error("unknown measure accepted")
+	}
+	_, labels, err := (Spec{Sum: []string{datagen.AutoPriceMeasure}, Where: map[string]int{"make": 0}}).NewFactory(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || labels[0] != "COUNT" || labels[1] != "SUM(price)" {
+		t.Errorf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,182 @@
+package estsvc
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"time"
+)
+
+// The job API is deliberately small: submit a session, poll it, cancel it.
+//
+//	POST /v1/estimate            {spec..., workers, seed, target_rse, ...} -> 202 {id}
+//	GET  /v1/jobs                -> [{id, state, snapshot}, ...]
+//	GET  /v1/jobs/{id}           -> {id, state, spec, snapshot}
+//	POST /v1/jobs/{id}/cancel    -> {id, state, snapshot}
+//
+// Snapshots stream while the job runs, so a dashboard can poll the job URL
+// and watch the relative standard error shrink.
+
+// EstimateRequest is the POST /v1/estimate body: the estimator spec plus
+// session knobs. Zero-valued stopping rules fall back to Manager.Start's
+// default budget.
+type EstimateRequest struct {
+	Spec
+	Workers     int     `json:"workers,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	TargetRSE   float64 `json:"target_rse,omitempty"`
+	MinPasses   int     `json:"min_passes,omitempty"`
+	MaxPasses   int     `json:"max_passes,omitempty"`
+	MaxCost     int64   `json:"max_cost,omitempty"`
+	MaxMillis   int64   `json:"max_millis,omitempty"`
+	CacheShards int     `json:"cache_shards,omitempty"`
+}
+
+// Config converts the request's session knobs.
+func (r EstimateRequest) Config() Config {
+	return Config{
+		Workers:     r.Workers,
+		Seed:        r.Seed,
+		TargetRSE:   r.TargetRSE,
+		MinPasses:   r.MinPasses,
+		MaxPasses:   r.MaxPasses,
+		MaxCost:     r.MaxCost,
+		MaxDuration: time.Duration(r.MaxMillis) * time.Millisecond,
+		CacheShards: r.CacheShards,
+	}
+}
+
+// MeasurePayload is one measure's estimate in a job response. RSE is null
+// when undefined (zero mean with spread) — JSON has no Inf.
+type MeasurePayload struct {
+	Label  string   `json:"label"`
+	Mean   float64  `json:"mean"`
+	StdErr float64  `json:"stderr"`
+	RSE    *float64 `json:"rse"`
+}
+
+// SnapshotPayload is the wire form of a Snapshot.
+type SnapshotPayload struct {
+	Measures      []MeasurePayload `json:"measures"`
+	Passes        int64            `json:"passes"`
+	Cost          int64            `json:"cost"`
+	CacheHits     int64            `json:"cache_hits"`
+	ElapsedMillis int64            `json:"elapsed_millis"`
+	Exact         bool             `json:"exact"`
+	Done          bool             `json:"done"`
+	Reason        string           `json:"reason,omitempty"`
+}
+
+// JobPayload is the wire form of a job.
+type JobPayload struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Spec     *Spec           `json:"spec,omitempty"`
+	Snapshot SnapshotPayload `json:"snapshot"`
+}
+
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func snapshotPayload(labels []string, s Snapshot) SnapshotPayload {
+	p := SnapshotPayload{
+		Measures:      make([]MeasurePayload, 0, len(s.Measures)),
+		Passes:        s.Passes,
+		Cost:          s.Cost,
+		CacheHits:     s.CacheHits,
+		ElapsedMillis: s.Elapsed.Milliseconds(),
+		Exact:         s.Exact,
+		Done:          s.Done,
+		Reason:        string(s.Reason),
+	}
+	for mi, m := range s.Measures {
+		mp := MeasurePayload{Mean: m.Mean, StdErr: m.StdErr}
+		if mi < len(labels) {
+			mp.Label = labels[mi]
+		}
+		if !math.IsInf(m.RSE, 0) && !math.IsNaN(m.RSE) {
+			rse := m.RSE
+			mp.RSE = &rse
+		}
+		p.Measures = append(p.Measures, mp)
+	}
+	return p
+}
+
+func jobPayload(j *Job, withSpec bool) JobPayload {
+	state, errMsg := j.State()
+	p := JobPayload{
+		ID:       j.ID,
+		State:    string(state),
+		Error:    errMsg,
+		Snapshot: snapshotPayload(j.Labels, j.Snapshot()),
+	}
+	if withSpec {
+		spec := j.Spec
+		p.Spec = &spec
+	}
+	return p
+}
+
+// Handler mounts the job API.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/estimate", m.handleEstimate)
+	mux.HandleFunc("GET /v1/jobs", m.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", m.handleCancel)
+	return mux
+}
+
+func (m *Manager) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: "bad request body: " + err.Error()})
+		return
+	}
+	job, err := m.Start(req.Spec, req.Config())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, jobPayload(job, true))
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := m.Jobs()
+	out := make([]JobPayload, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jobPayload(j, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobPayload(job, true))
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: "no such job"})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, jobPayload(job, false))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,191 @@
+package estsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/datagen"
+)
+
+func startAPI(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewManager(autoTable(t, 3000, 20)).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, JobPayload) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p JobPayload
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, p
+}
+
+func getJob(t *testing.T, srv *httptest.Server, id string) JobPayload {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job: %s", resp.Status)
+	}
+	var p JobPayload
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func waitDone(t *testing.T, srv *httptest.Server, id string, want JobState) JobPayload {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		p := getJob(t, srv, id)
+		if p.State != string(JobRunning) {
+			if p.State != string(want) {
+				t.Fatalf("job ended %s (err=%q), want %s", p.State, p.Error, want)
+			}
+			return p
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job did not finish")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestJobAPIEndToEnd(t *testing.T) {
+	srv := startAPI(t)
+	resp, created := postJSON(t, srv.URL+"/v1/estimate",
+		`{"algo":"hd","r":3,"dub":16,"sum":["`+datagen.AutoPriceMeasure+`"],"workers":4,"seed":9,"max_passes":40}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/estimate: %s", resp.Status)
+	}
+	if created.ID == "" || resp.Header.Get("Location") != "/v1/jobs/"+created.ID {
+		t.Fatalf("bad creation payload: %+v", created)
+	}
+
+	final := waitDone(t, srv, created.ID, JobDone)
+	snap := final.Snapshot
+	if !snap.Done || snap.Reason != string(StopPasses) || snap.Passes != 40 {
+		t.Errorf("final snapshot %+v", snap)
+	}
+	if len(snap.Measures) != 2 || snap.Measures[0].Label != "COUNT" || snap.Measures[1].Label != "SUM(price)" {
+		t.Fatalf("measures = %+v", snap.Measures)
+	}
+	if snap.Measures[0].Mean <= 0 || snap.Cost <= 0 {
+		t.Errorf("degenerate estimate: %+v", snap)
+	}
+	if final.Spec == nil || final.Spec.R != 3 {
+		t.Errorf("spec not echoed: %+v", final.Spec)
+	}
+
+	// Listing includes the job.
+	lresp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list []JobPayload
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != created.ID {
+		t.Errorf("list = %+v", list)
+	}
+}
+
+func TestJobAPICancel(t *testing.T) {
+	srv := startAPI(t)
+	// Unreachable target: only cancellation can end this job.
+	resp, created := postJSON(t, srv.URL+"/v1/estimate",
+		`{"workers":2,"seed":1,"target_rse":1e-12,"max_passes":1000000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST: %s", resp.Status)
+	}
+	cresp, _ := postJSON(t, srv.URL+"/v1/jobs/"+created.ID+"/cancel", "")
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", cresp.Status)
+	}
+	final := waitDone(t, srv, created.ID, JobCancelled)
+	if final.Snapshot.Reason != string(StopCancelled) {
+		t.Errorf("cancelled job snapshot reason = %q", final.Snapshot.Reason)
+	}
+}
+
+func TestJobAPIErrors(t *testing.T) {
+	srv := startAPI(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"bogus":1}`},
+		{"unknown algo", `{"algo":"nope"}`},
+		{"unknown attr", `{"where":{"nope":1}}`},
+	} {
+		resp, _ := postJSON(t, srv.URL+"/v1/estimate", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", tc.name, resp.Status)
+		}
+	}
+	for _, path := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/cancel"} {
+		var resp *http.Response
+		var err error
+		if strings.HasSuffix(path, "cancel") {
+			resp, err = http.Post(srv.URL+path, "application/json", nil)
+		} else {
+			resp, err = http.Get(srv.URL + path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %s, want 404", path, resp.Status)
+		}
+	}
+}
+
+// TestManagerDefaultBudget: a request with no stopping rule gets the
+// default cost budget rather than running to the pass hard cap.
+func TestManagerDefaultBudget(t *testing.T) {
+	m := NewManager(autoTable(t, 3000, 20))
+	job, err := m.Start(Spec{}, Config{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Config.MaxCost != 1000 {
+		t.Fatalf("default MaxCost = %d, want 1000", job.Config.MaxCost)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if state, _ := job.State(); state == JobDone {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job did not finish")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if snap := job.Snapshot(); snap.Reason != StopBudget {
+		t.Errorf("reason = %q, want budget", snap.Reason)
+	}
+}

@@ -1,0 +1,138 @@
+package estsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hdunbiased/internal/hdb"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one estimation session tracked by a Manager: the session itself
+// plus lifecycle state and the request that started it.
+type Job struct {
+	ID      string
+	Spec    Spec
+	Config  Config
+	Labels  []string // measure labels in Snapshot.Measures order
+	Created time.Time
+
+	sess   *Session
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	state JobState
+	err   string
+}
+
+// State returns the job's lifecycle phase and failure message (empty unless
+// failed).
+func (j *Job) State() (JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err
+}
+
+// Snapshot returns the session's current merged state.
+func (j *Job) Snapshot() Snapshot { return j.sess.Snapshot() }
+
+// Cancel asks the job's session to stop; the final snapshot keeps the
+// partial (still unbiased) merge. Safe to call in any state.
+func (j *Job) Cancel() { j.cancel() }
+
+// Manager owns the estimation jobs of one backend: creation, lookup and
+// cancellation. It is the state behind the HTTP job API (Handler) but is
+// usable directly. Safe for concurrent use.
+type Manager struct {
+	backend hdb.Interface
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // creation order, for stable listings
+	seq   int
+}
+
+// NewManager builds a Manager serving sessions against backend. The
+// backend's Query must be safe for concurrent use (hdb.Table and
+// webform.Client both are).
+func NewManager(backend hdb.Interface) *Manager {
+	return &Manager{backend: backend, jobs: make(map[string]*Job)}
+}
+
+// Start validates the spec, builds a session and launches it in the
+// background, returning the tracked job immediately.
+func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
+	factory, labels, err := spec.NewFactory(m.backend.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TargetRSE == 0 && cfg.MaxPasses == 0 && cfg.MaxCost == 0 && cfg.MaxDuration == 0 {
+		// A job with no rule would run to the pass hard cap; default to the
+		// sort of budget a per-IP-limited hidden database allows per day.
+		cfg.MaxCost = 1000
+	}
+	sess, err := New(m.backend, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("job-%06d", m.seq)
+	job := &Job{
+		ID: id, Spec: spec, Config: cfg, Labels: labels,
+		Created: time.Now(), sess: sess, cancel: cancel, state: JobRunning,
+	}
+	m.jobs[id] = job
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		_, err := sess.Run(ctx)
+		job.mu.Lock()
+		switch {
+		case err == nil:
+			job.state = JobDone
+		case errors.Is(err, context.Canceled):
+			job.state = JobCancelled
+		default:
+			job.state = JobFailed
+			job.err = err.Error()
+		}
+		job.mu.Unlock()
+	}()
+	return job, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in creation order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package estsvc
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// Spec is a JSON-able description of which estimator a session runs — the
+// request-level counterpart of core's named constructors. The job API posts
+// it verbatim; cmd binaries build it from flags.
+type Spec struct {
+	// Algo picks the estimator: "hd" (weight adjustment + divide-&-conquer,
+	// the default) or "bool" (plain backtracking drill-down).
+	Algo string `json:"algo,omitempty"`
+	// R is the drill-downs per subtree (hd only; default 4).
+	R int `json:"r,omitempty"`
+	// DUB is the max subdomain size per divide-&-conquer layer (hd only).
+	// 0 keeps the default of 32; a negative value disables D&C entirely
+	// (weight adjustment alone over a single layer).
+	DUB int `json:"dub,omitempty"`
+	// Where is the conjunctive selection condition, attribute name to
+	// category code.
+	Where map[string]int `json:"where,omitempty"`
+	// Sum lists measure names whose SUMs are estimated alongside COUNT.
+	Sum []string `json:"sum,omitempty"`
+	// AssumeBaseOverflows skips the base query (required when the backend
+	// rejects it, e.g. a required-attribute webform rule).
+	AssumeBaseOverflows bool `json:"assume_base_overflows,omitempty"`
+}
+
+// NewFactory compiles the spec against a schema into a worker factory plus
+// the measure labels ("COUNT", "SUM(price)", ...) in Values order. The plan
+// is built once and shared: it is immutable during estimation, unlike the
+// per-worker weight trees.
+func (sp Spec) NewFactory(schema hdb.Schema) (Factory, []string, error) {
+	cond, err := sp.cond(schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	measures := []core.Measure{core.CountMeasure()}
+	labels := []string{"COUNT"}
+	for _, name := range sp.Sum {
+		mi := schema.MeasureIndex(name)
+		if mi < 0 {
+			return nil, nil, fmt.Errorf("estsvc: unknown measure %q (schema has %v)", name, schema.Measures)
+		}
+		measures = append(measures, core.NumMeasure(mi))
+		labels = append(labels, "SUM("+name+")")
+	}
+
+	algo := sp.Algo
+	if algo == "" {
+		algo = "hd"
+	}
+	var (
+		opts querytree.Options
+		cfg  core.Config
+	)
+	switch algo {
+	case "hd":
+		r, dub := sp.R, sp.DUB
+		if r == 0 {
+			r = 4
+		}
+		switch {
+		case dub < 0:
+			dub = 0 // explicit no-D&C
+		case dub == 0:
+			dub = 32
+		}
+		opts.DUB = dub
+		cfg = core.Config{R: r, WeightAdjust: true}
+	case "bool":
+		cfg = core.Config{R: 1}
+	default:
+		return nil, nil, fmt.Errorf("estsvc: unknown algo %q (want hd or bool)", sp.Algo)
+	}
+	cfg.AssumeBaseOverflows = sp.AssumeBaseOverflows
+	plan, err := querytree.New(schema, cond, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func(client hdb.Client, seed int64) (*core.Estimator, error) {
+		c := cfg
+		c.Seed = seed
+		return core.NewWithSession(client, plan, measures, c)
+	}
+	return factory, labels, nil
+}
+
+func (sp Spec) cond(schema hdb.Schema) (hdb.Query, error) {
+	var q hdb.Query
+	// Iterate in schema order so the base query is deterministic regardless
+	// of Go's map iteration order.
+	for ai, a := range schema.Attrs {
+		code, ok := sp.Where[a.Name]
+		if !ok {
+			continue
+		}
+		if code < 0 || code >= a.Dom {
+			return hdb.Query{}, fmt.Errorf("estsvc: value %d out of domain [0,%d) for %q", code, a.Dom, a.Name)
+		}
+		q = q.And(ai, uint16(code))
+	}
+	for name := range sp.Where {
+		if schema.AttrIndex(name) < 0 {
+			return hdb.Query{}, fmt.Errorf("estsvc: unknown attribute %q in where", name)
+		}
+	}
+	return q, nil
+}

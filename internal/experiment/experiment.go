@@ -9,6 +9,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"hdunbiased/internal/baseline"
 	"hdunbiased/internal/core"
 	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/hdb"
 	"hdunbiased/internal/querytree"
 	"hdunbiased/internal/stats"
@@ -41,6 +43,12 @@ type Scale struct {
 	// CPU). Trials are seeded individually, so results are identical at any
 	// worker count.
 	Workers int
+	// Parallel runs each budgeted trial as an estsvc session with this many
+	// concurrent drill-down workers sharing one cache (<=1 = the sequential
+	// pass loop). Unlike Workers it changes which RNG substream each pass
+	// draws from, so figures regenerate N× faster with statistically
+	// equivalent (not bit-identical) numbers.
+	Parallel int
 }
 
 // DefaultScale reproduces the paper's workload sizes.
@@ -223,39 +231,50 @@ func (w *Workloads) Auto() (*hdb.Table, error) {
 	return w.autoTbl, nil
 }
 
-// estimatorSpec builds a fresh estimator for one trial; trials use distinct
-// seeds so estimates are independent.
-type estimatorSpec func(seed int64) (*core.Estimator, error)
+// estimatorSpec builds a fresh estimator for one trial over an injected
+// client session; trials use distinct seeds so estimates are independent.
+// The signature doubles as estsvc.Factory, which is what lets Scale.Parallel
+// hand the same specs to a concurrent session pool.
+type estimatorSpec func(client hdb.Client, seed int64) (*core.Estimator, error)
 
 // specHD builds HD-UNBIASED-SIZE (weight adjustment + divide-&-conquer).
-func specHD(backend hdb.Interface, r, dub int) estimatorSpec {
-	return func(seed int64) (*core.Estimator, error) {
-		return core.NewHDUnbiasedSize(backend, r, dub, seed)
+func specHD(r, dub int) estimatorSpec {
+	return func(client hdb.Client, seed int64) (*core.Estimator, error) {
+		plan, err := querytree.New(client.Schema(), hdb.Query{}, querytree.Options{DUB: dub})
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.Config{R: r, WeightAdjust: true, Seed: seed}
+		return core.NewWithSession(client, plan, []core.Measure{core.CountMeasure()}, cfg)
 	}
 }
 
 // specBool builds BOOL-UNBIASED-SIZE (plain backtracking drill-down).
-func specBool(backend hdb.Interface) estimatorSpec {
-	return func(seed int64) (*core.Estimator, error) {
-		return core.NewBoolUnbiasedSize(backend, seed)
+func specBool() estimatorSpec {
+	return func(client hdb.Client, seed int64) (*core.Estimator, error) {
+		plan, err := querytree.New(client.Schema(), hdb.Query{}, querytree.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewWithSession(client, plan, []core.Measure{core.CountMeasure()}, core.Config{R: 1, Seed: seed})
 	}
 }
 
 // specVariant builds an ablation variant (Figure 14): weight adjustment
 // and/or divide-&-conquer toggled independently.
-func specVariant(backend hdb.Interface, wa, dc bool, r, dub int) estimatorSpec {
-	return func(seed int64) (*core.Estimator, error) {
+func specVariant(wa, dc bool, r, dub int) estimatorSpec {
+	return func(client hdb.Client, seed int64) (*core.Estimator, error) {
 		opts := querytree.Options{}
 		cfg := core.Config{R: 1, WeightAdjust: wa, Seed: seed}
 		if dc {
 			opts.DUB = dub
 			cfg.R = r
 		}
-		plan, err := querytree.New(backend.Schema(), hdb.Query{}, opts)
+		plan, err := querytree.New(client.Schema(), hdb.Query{}, opts)
 		if err != nil {
 			return nil, err
 		}
-		return core.New(backend, plan, []core.Measure{core.CountMeasure()}, cfg)
+		return core.NewWithSession(client, plan, []core.Measure{core.CountMeasure()}, cfg)
 	}
 }
 
@@ -267,13 +286,31 @@ func specVariant(backend hdb.Interface, wa, dc bool, r, dub int) estimatorSpec {
 // added zero-cost averaging.
 const maxPassesPerTrial = 400
 
-// runWithBudget builds an estimator and keeps calling Estimate until its
-// cumulative query cost reaches budget (or the pass cap); the trial's
-// estimate is the mean of the per-pass estimates (each pass is unbiased, so
-// the mean is too). It returns the mean estimate of measure mi and the
-// actual cost.
-func runWithBudget(spec estimatorSpec, seed int64, budget int, mi int) (float64, int64, error) {
-	e, err := spec(seed)
+// runWithBudget runs one budgeted trial and returns the mean estimate of
+// measure mi and the actual cost. With parallel <= 1 it builds one
+// estimator and keeps calling Estimate until its cumulative query cost
+// reaches budget (or the pass cap); the trial's estimate is the mean of the
+// per-pass estimates (each pass is unbiased, so the mean is too). With
+// parallel > 1 the same spec runs as an estsvc worker-pool session with the
+// equivalent budget and pass-cap rules.
+func runWithBudget(backend hdb.Interface, spec estimatorSpec, seed int64, budget, mi, parallel int) (float64, int64, error) {
+	if parallel > 1 {
+		sess, err := estsvc.New(backend, estsvc.Factory(spec), estsvc.Config{
+			Workers:   parallel,
+			Seed:      seed,
+			MaxCost:   int64(budget),
+			MaxPasses: maxPassesPerTrial,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			return 0, snap.Cost, err
+		}
+		return snap.Measures[mi].Mean, snap.Cost, nil
+	}
+	e, err := spec(hdb.NewSession(backend), seed)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -338,11 +375,11 @@ func parallelTrials(n, workers int, fn func(trial int) error) error {
 }
 
 // trialEstimates collects Trials independent budgeted estimates.
-func trialEstimates(s Scale, spec estimatorSpec, budget, mi int) ([]float64, float64, error) {
+func trialEstimates(s Scale, backend hdb.Interface, spec estimatorSpec, budget, mi int) ([]float64, float64, error) {
 	ests := make([]float64, s.Trials)
 	costs := make([]float64, s.Trials)
 	err := parallelTrials(s.Trials, s.Workers, func(t int) error {
-		v, cost, err := runWithBudget(spec, s.Seed+int64(1000+t), budget, mi)
+		v, cost, err := runWithBudget(backend, spec, s.Seed+int64(1000+t), budget, mi, s.Parallel)
 		if err != nil {
 			return err
 		}
@@ -358,11 +395,11 @@ func trialEstimates(s Scale, spec estimatorSpec, budget, mi int) ([]float64, flo
 
 // singlePassStats runs Trials single Estimate passes and summarises accuracy
 // and cost — the unit of the m/k/r/D_UB sweep figures.
-func singlePassStats(s Scale, spec estimatorSpec, truth float64, mi int) (stats.Summary, float64, error) {
+func singlePassStats(s Scale, backend hdb.Interface, spec estimatorSpec, truth float64, mi int) (stats.Summary, float64, error) {
 	ests := make([]float64, s.Trials)
 	costs := make([]float64, s.Trials)
 	err := parallelTrials(s.Trials, s.Workers, func(t int) error {
-		e, err := spec(s.Seed + int64(5000+t))
+		e, err := spec(hdb.NewSession(backend), s.Seed+int64(5000+t))
 		if err != nil {
 			return err
 		}

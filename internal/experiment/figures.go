@@ -74,12 +74,12 @@ func Fig6(w *Workloads) (*Figure, error) {
 			name string
 			spec estimatorSpec
 		}{
-			{"BOOL " + d.name, specBool(d.tbl)},
-			{"HD " + d.name, specHD(d.tbl, boolR, boolDUB)},
+			{"BOOL " + d.name, specBool()},
+			{"HD " + d.name, specHD(boolR, boolDUB)},
 		} {
 			srs := Series{Name: algo.name}
 			for _, b := range s.Budgets {
-				ests, _, err := trialEstimates(s, algo.spec, b, 0)
+				ests, _, err := trialEstimates(s, d.tbl, algo.spec, b, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -110,12 +110,12 @@ func Fig7(w *Workloads) (*Figure, error) {
 			name string
 			spec estimatorSpec
 		}{
-			{"BOOL " + d.name, specBool(d.tbl)},
-			{"HD " + d.name, specHD(d.tbl, boolR, boolDUB)},
+			{"BOOL " + d.name, specBool()},
+			{"HD " + d.name, specHD(boolR, boolDUB)},
 		} {
 			srs := Series{Name: algo.name}
 			for _, b := range s.Budgets {
-				ests, _, err := trialEstimates(s, algo.spec, b, 0)
+				ests, _, err := trialEstimates(s, d.tbl, algo.spec, b, 0)
 				if err != nil {
 					return nil, err
 				}
@@ -131,10 +131,11 @@ func Fig7(w *Workloads) (*Figure, error) {
 // errorBarFigure renders "relative size ± one σ" curves — the error-bar
 // format of Figures 8, 10 and 15.
 func errorBarFigure(id, title string, s Scale, budgets []int, entries []struct {
-	name  string
-	spec  estimatorSpec
-	truth float64
-	mi    int
+	name    string
+	backend hdb.Interface
+	spec    estimatorSpec
+	truth   float64
+	mi      int
 }) (*Figure, error) {
 	fig := &Figure{
 		ID: id, Title: title,
@@ -145,7 +146,7 @@ func errorBarFigure(id, title string, s Scale, budgets []int, entries []struct {
 		lo := Series{Name: e.name + " -σ"}
 		hi := Series{Name: e.name + " +σ"}
 		for _, b := range budgets {
-			ests, _, err := trialEstimates(s, e.spec, b, e.mi)
+			ests, _, err := trialEstimates(s, e.backend, e.spec, b, e.mi)
 			if err != nil {
 				return nil, err
 			}
@@ -180,26 +181,28 @@ func Fig8(w *Workloads) (*Figure, error) {
 		return nil, err
 	}
 	var entries []struct {
-		name  string
-		spec  estimatorSpec
-		truth float64
-		mi    int
+		name    string
+		backend hdb.Interface
+		spec    estimatorSpec
+		truth   float64
+		mi      int
 	}
 	for _, d := range ds {
 		entries = append(entries, struct {
-			name  string
-			spec  estimatorSpec
-			truth float64
-			mi    int
-		}{"HD-UNBIASED-" + d.name, specHD(d.tbl, boolR, boolDUB), float64(d.tbl.Size()), 0})
+			name    string
+			backend hdb.Interface
+			spec    estimatorSpec
+			truth   float64
+			mi      int
+		}{"HD-UNBIASED-" + d.name, d.tbl, specHD(boolR, boolDUB), float64(d.tbl.Size()), 0})
 	}
 	return errorBarFigure("fig8", "Error bars, HD-UNBIASED-SIZE (COUNT)", w.Scale, errorBarBudgets(w.Scale), entries)
 }
 
 // sumSpec builds the SUM estimator of Figures 9/10: HD (or BOOL) estimating
 // SUM over one Boolean attribute. Measure index 1 is the SUM.
-func sumSpec(backend hdb.Interface, attr int, hd bool) estimatorSpec {
-	return func(seed int64) (*core.Estimator, error) {
+func sumSpec(attr int, hd bool) estimatorSpec {
+	return func(client hdb.Client, seed int64) (*core.Estimator, error) {
 		measures := []core.Measure{core.CountMeasure(), core.AttrMeasure(attr)}
 		opts := querytree.Options{}
 		cfg := core.Config{R: 1, Seed: seed}
@@ -207,11 +210,11 @@ func sumSpec(backend hdb.Interface, attr int, hd bool) estimatorSpec {
 			opts.DUB = boolDUB
 			cfg = core.Config{R: boolR, WeightAdjust: true, Seed: seed}
 		}
-		plan, err := querytree.New(backend.Schema(), hdb.Query{}, opts)
+		plan, err := querytree.New(client.Schema(), hdb.Query{}, opts)
 		if err != nil {
 			return nil, err
 		}
-		return core.New(backend, plan, measures, cfg)
+		return core.NewWithSession(client, plan, measures, cfg)
 	}
 }
 
@@ -256,7 +259,7 @@ func Fig9(w *Workloads) (*Figure, error) {
 		}{{"BOOL " + d.name, false}, {"HD " + d.name, true}} {
 			srs := Series{Name: algo.name}
 			for _, b := range s.Budgets {
-				ests, _, err := trialEstimates(s, sumSpec(d.tbl, attr, algo.hd), b, 1)
+				ests, _, err := trialEstimates(s, d.tbl, sumSpec(attr, algo.hd), b, 1)
 				if err != nil {
 					return nil, err
 				}
@@ -276,10 +279,11 @@ func Fig10(w *Workloads) (*Figure, error) {
 		return nil, err
 	}
 	var entries []struct {
-		name  string
-		spec  estimatorSpec
-		truth float64
-		mi    int
+		name    string
+		backend hdb.Interface
+		spec    estimatorSpec
+		truth   float64
+		mi      int
 	}
 	for _, d := range ds {
 		attr, truth, err := sumAttrFor(d.tbl, w.Scale.Seed)
@@ -287,11 +291,12 @@ func Fig10(w *Workloads) (*Figure, error) {
 			return nil, err
 		}
 		entries = append(entries, struct {
-			name  string
-			spec  estimatorSpec
-			truth float64
-			mi    int
-		}{"HD-UNBIASED-SUM-" + d.name, sumSpec(d.tbl, attr, true), truth, 1})
+			name    string
+			backend hdb.Interface
+			spec    estimatorSpec
+			truth   float64
+			mi      int
+		}{"HD-UNBIASED-SUM-" + d.name, d.tbl, sumSpec(attr, true), truth, 1})
 	}
 	return errorBarFigure("fig10", "Error bars, HD-UNBIASED-SUM", w.Scale, errorBarBudgets(w.Scale), entries)
 }
@@ -332,7 +337,7 @@ func fig11and12(w *Workloads) (*Figure, *Figure, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			sum, avgCost, err := singlePassStats(s, specHD(tbl, boolR, 16), float64(tbl.Size()), 0)
+			sum, avgCost, err := singlePassStats(s, tbl, specHD(boolR, 16), float64(tbl.Size()), 0)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -384,7 +389,7 @@ func Fig13(w *Workloads) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, avgCost, err := singlePassStats(s, specHD(tbl, boolR, boolDUB), float64(tbl.Size()), 0)
+		sum, avgCost, err := singlePassStats(s, tbl, specHD(boolR, boolDUB), float64(tbl.Size()), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +429,7 @@ func Fig14(w *Workloads) (*Figure, error) {
 	for _, v := range variants {
 		srs := Series{Name: v.name}
 		for _, b := range budgets {
-			ests, _, err := trialEstimates(s, specVariant(tbl, v.wa, v.dc, autoR, autoDUB), b, 0)
+			ests, _, err := trialEstimates(s, tbl, specVariant(v.wa, v.dc, autoR, autoDUB), b, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -443,11 +448,12 @@ func Fig15(w *Workloads) (*Figure, error) {
 		return nil, err
 	}
 	entries := []struct {
-		name  string
-		spec  estimatorSpec
-		truth float64
-		mi    int
-	}{{"w/ D&C, w/ WA", specHD(tbl, autoR, autoDUB), float64(tbl.Size()), 0}}
+		name    string
+		backend hdb.Interface
+		spec    estimatorSpec
+		truth   float64
+		mi      int
+	}{{"w/ D&C, w/ WA", tbl, specHD(autoR, autoDUB), float64(tbl.Size()), 0}}
 	return errorBarFigure("fig15", "Error bars on Auto (HD-UNBIASED-SIZE)", w.Scale, errorBarBudgets(w.Scale), entries)
 }
 
@@ -463,7 +469,7 @@ func Fig16(w *Workloads) (*Figure, error) {
 	mseS := Series{Name: "MSE"}
 	costS := Series{Name: "Query cost"}
 	for r := 4; r <= 8; r++ {
-		sum, avgCost, err := singlePassStats(s, specHD(tbl, r, autoDUB), float64(tbl.Size()), 0)
+		sum, avgCost, err := singlePassStats(s, tbl, specHD(r, autoDUB), float64(tbl.Size()), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -495,7 +501,7 @@ func Fig17(w *Workloads) (*Figure, error) {
 	mseS := Series{Name: "MSE"}
 	costS := Series{Name: "Query cost"}
 	for _, dub := range dubSweep() {
-		sum, avgCost, err := singlePassStats(s, specHD(tbl, autoR, dub), float64(tbl.Size()), 0)
+		sum, avgCost, err := singlePassStats(s, tbl, specHD(autoR, dub), float64(tbl.Size()), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -525,7 +531,7 @@ func TableRTradeoff(w *Workloads) (*Figure, error) {
 	costS := Series{Name: "Query cost"}
 	mseS := Series{Name: "MSE"}
 	for r := 3; r <= 8; r++ {
-		ests, avgCost, err := trialEstimates(s, specHD(tbl, r, autoDUB), target, 0)
+		ests, avgCost, err := trialEstimates(s, tbl, specHD(r, autoDUB), target, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -112,6 +112,29 @@ func TestFigurePrintShortSeries(t *testing.T) {
 	}
 }
 
+// TestRunWithBudgetParallel exercises the estsvc-backed trial path that
+// Scale.Parallel switches on: same spec, same budget semantics, concurrent
+// passes.
+func TestRunWithBudgetParallel(t *testing.T) {
+	tbl, err := quickWL.BoolIID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(tbl.Size())
+	for _, parallel := range []int{1, 4} {
+		v, cost, err := runWithBudget(tbl, specHD(boolR, boolDUB), 42, 300, 0, parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if v <= 0 || v > 100*truth {
+			t.Errorf("parallel=%d: estimate %v wildly off truth %v", parallel, v, truth)
+		}
+		if cost <= 0 {
+			t.Errorf("parallel=%d: no cost recorded", parallel)
+		}
+	}
+}
+
 func TestCRBudgetedEstimateFinite(t *testing.T) {
 	tbl, err := quickWL.BoolIID()
 	if err != nil {

@@ -3,7 +3,7 @@ package hdb
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Interface is the restrictive hidden-database access contract. It is all an
@@ -17,17 +17,31 @@ type Interface interface {
 	Query(q Query) (Result, error)
 }
 
+// Client is the estimator-facing contract: the restrictive Interface plus
+// the accounting every estimation loop reads — backend cost and memo hits.
+// *Session implements it for single-threaded runs; internal/estsvc provides
+// per-worker clients over a shared ShardedCache for concurrent sessions.
+type Client interface {
+	Interface
+	// Cost returns the number of queries that reached the backend through
+	// this client.
+	Cost() int64
+	// CacheHits returns the number of queries answered from a client-side
+	// memo without touching the backend.
+	CacheHits() int64
+}
+
 // ErrQueryLimit is returned by Limiter once the per-client query budget is
 // exhausted, mirroring per-IP daily limits like Yahoo! Auto's 1,000/day.
 var ErrQueryLimit = errors.New("hdb: query limit exceeded")
 
 // Counter wraps an Interface and counts queries that reach the backend —
 // the paper's query-cost measure ("number of queries issued through the web
-// interface"). Safe for concurrent use.
+// interface"). The count is a single atomic, so concurrent estimation
+// workers share one Counter without contending on a lock.
 type Counter struct {
 	inner Interface
-	mu    sync.Mutex
-	n     int64
+	n     atomic.Int64
 }
 
 // NewCounter wraps inner with a query counter starting at zero.
@@ -42,37 +56,30 @@ func (c *Counter) K() int { return c.inner.K() }
 // Query implements Interface, incrementing the count on every call
 // (including failed calls: the query was still issued).
 func (c *Counter) Query(q Query) (Result, error) {
-	c.mu.Lock()
-	c.n++
-	c.mu.Unlock()
+	c.n.Add(1)
 	return c.inner.Query(q)
 }
 
 // Count returns the number of queries issued so far.
-func (c *Counter) Count() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Count() int64 { return c.n.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() {
-	c.mu.Lock()
-	c.n = 0
-	c.mu.Unlock()
-}
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Limiter wraps an Interface and fails queries with ErrQueryLimit after
-// limit calls. Safe for concurrent use.
+// limit calls. The budget is a single atomic decremented per call, so
+// concurrent workers share one Limiter and never collectively exceed the
+// limit.
 type Limiter struct {
 	inner Interface
-	mu    sync.Mutex
-	left  int64
+	left  atomic.Int64
 }
 
 // NewLimiter wraps inner with a budget of limit queries.
 func NewLimiter(inner Interface, limit int64) *Limiter {
-	return &Limiter{inner: inner, left: limit}
+	l := &Limiter{inner: inner}
+	l.left.Store(limit)
+	return l
 }
 
 // Schema implements Interface.
@@ -83,21 +90,18 @@ func (l *Limiter) K() int { return l.inner.K() }
 
 // Query implements Interface.
 func (l *Limiter) Query(q Query) (Result, error) {
-	l.mu.Lock()
-	if l.left <= 0 {
-		l.mu.Unlock()
+	if l.left.Add(-1) < 0 {
 		return Result{}, ErrQueryLimit
 	}
-	l.left--
-	l.mu.Unlock()
 	return l.inner.Query(q)
 }
 
 // Remaining returns the queries left in the budget.
 func (l *Limiter) Remaining() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.left
+	if left := l.left.Load(); left > 0 {
+		return left
+	}
+	return 0
 }
 
 // Cache wraps an Interface with a client-side memo of query results. The
@@ -105,7 +109,7 @@ func (l *Limiter) Remaining() int64 {
 // both as a drill-down step and as a sibling probe); a real client would
 // cache those pages, so experiments place a Cache above the Counter and
 // count only backend hits. Not safe for concurrent use; each estimation run
-// owns its Cache.
+// owns its Cache (concurrent sessions share a ShardedCache instead).
 type Cache struct {
 	inner  Interface
 	memo   map[string]Result
@@ -148,23 +152,29 @@ func (c *Cache) Query(q Query) (Result, error) {
 // the backend).
 func (c *Cache) Hits() int64 { return c.hits }
 
-// Session bundles the standard client stack an estimation run uses:
-// Cache -> Counter -> backend. Cost() reports backend queries only.
+// Session bundles the standard client stack a single-threaded estimation
+// run uses: Cache -> Counter -> backend. Cost() reports backend queries
+// only. Session implements Client.
 type Session struct {
 	Interface
 	counter *Counter
+	cache   *Cache
 }
 
 // NewSession builds the standard stack over backend.
 func NewSession(backend Interface) *Session {
 	ctr := NewCounter(backend)
-	return &Session{Interface: NewCache(ctr), counter: ctr}
+	cache := NewCache(ctr)
+	return &Session{Interface: cache, counter: ctr, cache: cache}
 }
 
 // Cost returns the number of queries that reached the backend.
 func (s *Session) Cost() int64 { return s.counter.Count() }
 
+// CacheHits returns the number of queries the memo answered for free.
+func (s *Session) CacheHits() int64 { return s.cache.Hits() }
+
 // String summarises the session for logs.
 func (s *Session) String() string {
-	return fmt.Sprintf("session(cost=%d)", s.Cost())
+	return fmt.Sprintf("session(cost=%d hits=%d)", s.Cost(), s.CacheHits())
 }

@@ -1,0 +1,122 @@
+package hdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedCache is the concurrency-safe counterpart of Cache: one memo of
+// query results shared by many estimation workers, striped over
+// power-of-two mutex-guarded shards so lookups from different workers
+// rarely contend. A shard is picked by hashing the query's canonical binary
+// key, so equal queries (regardless of predicate order) always land on the
+// same shard and the memo stays consistent.
+//
+// Like Cache, the memo is unbounded: a drill-down workload issues at most a
+// few thousand distinct queries per session, so eviction would be dead
+// weight. Errors are not memoised.
+type ShardedCache struct {
+	inner  Interface
+	shards []cacheShard
+	mask   uint64
+	hits   atomic.Int64
+}
+
+type cacheShard struct {
+	mu   sync.Mutex
+	memo map[string]Result
+	_    [64 - 16]byte // mutex(8)+map(8) padded to a 64-byte cache line so neighbouring shards don't false-share
+}
+
+// DefaultCacheShards is the shard count NewShardedCache uses for n <= 0 —
+// enough stripes that a worker pool saturating every core contends only on
+// genuinely colliding queries.
+const DefaultCacheShards = 32
+
+// NewShardedCache wraps inner with a memo striped over n shards (rounded up
+// to a power of two; n <= 0 means DefaultCacheShards).
+func NewShardedCache(inner Interface, n int) *ShardedCache {
+	if n <= 0 {
+		n = DefaultCacheShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	c := &ShardedCache{inner: inner, shards: make([]cacheShard, size), mask: uint64(size - 1)}
+	for i := range c.shards {
+		c.shards[i].memo = make(map[string]Result)
+	}
+	return c
+}
+
+// Schema implements Interface.
+func (c *ShardedCache) Schema() Schema { return c.inner.Schema() }
+
+// K implements Interface.
+func (c *ShardedCache) K() int { return c.inner.K() }
+
+// Query implements Interface, consulting the memo first.
+func (c *ShardedCache) Query(q Query) (Result, error) {
+	res, _, err := c.QueryHit(q)
+	return res, err
+}
+
+// QueryHit is Query plus whether the memo answered it — the signal
+// per-worker clients use to attribute backend cost to themselves. The shard
+// lock is NOT held across the backend call, so a slow backend (e.g. HTTP)
+// never serialises unrelated queries; two workers missing on the same query
+// concurrently may both reach the backend, which is harmless (the backend
+// is read-only and deterministic) and self-limiting (the first completed
+// result populates the memo).
+func (c *ShardedCache) QueryHit(q Query) (Result, bool, error) {
+	var arr [128]byte
+	key := q.AppendKey(arr[:0])
+	shard := &c.shards[hashKey(key)&c.mask]
+
+	shard.mu.Lock()
+	if r, ok := shard.memo[string(key)]; ok {
+		shard.mu.Unlock()
+		c.hits.Add(1)
+		return r, true, nil
+	}
+	shard.mu.Unlock()
+
+	r, err := c.inner.Query(q)
+	if err != nil {
+		return Result{}, false, err
+	}
+	shard.mu.Lock()
+	shard.memo[string(key)] = r
+	shard.mu.Unlock()
+	return r, false, nil
+}
+
+// Hits returns the number of memo hits across all shards.
+func (c *ShardedCache) Hits() int64 { return c.hits.Load() }
+
+// Len returns the number of memoised results (for tests and diagnostics).
+func (c *ShardedCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].memo)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// hashKey is FNV-1a over the canonical key — cheap, allocation-free and
+// well-mixed for the short fixed-stride keys AppendKey emits.
+func hashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,201 @@
+package hdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShardedCacheDedupes(t *testing.T) {
+	tbl := paperTable(t, 1)
+	ctr := NewCounter(tbl)
+	cache := NewShardedCache(ctr, 8)
+	q := Query{}.And(0, 1)
+	for i := 0; i < 4; i++ {
+		r, err := cache.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Overflow {
+			t.Errorf("iteration %d: unexpected result %+v", i, r)
+		}
+	}
+	if ctr.Count() != 1 {
+		t.Errorf("backend queries = %d, want 1", ctr.Count())
+	}
+	if cache.Hits() != 3 {
+		t.Errorf("hits = %d, want 3", cache.Hits())
+	}
+	// Same query, different predicate order, still one backend hit.
+	reordered := Query{Preds: []Predicate{{Attr: 0, Value: 1}}}
+	if _, err := cache.Query(reordered); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Count() != 1 {
+		t.Errorf("backend queries after reordered = %d, want 1", ctr.Count())
+	}
+	// Errors are not cached.
+	bad := Query{Preds: []Predicate{{Attr: 99}}}
+	if _, err := cache.Query(bad); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := cache.Query(bad); err == nil {
+		t.Fatal("expected error on retry")
+	}
+	if cache.K() != tbl.K() || len(cache.Schema().Attrs) != len(tbl.Schema().Attrs) {
+		t.Error("ShardedCache does not pass through Schema/K")
+	}
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d, want 1", cache.Len())
+	}
+}
+
+func TestShardedCacheShardRounding(t *testing.T) {
+	tbl := paperTable(t, 1)
+	for _, tc := range []struct{ n, want int }{
+		{-1, DefaultCacheShards}, {0, DefaultCacheShards}, {1, 1}, {3, 4}, {8, 8}, {33, 64},
+	} {
+		c := NewShardedCache(tbl, tc.n)
+		if len(c.shards) != tc.want {
+			t.Errorf("NewShardedCache(n=%d): %d shards, want %d", tc.n, len(c.shards), tc.want)
+		}
+	}
+}
+
+// TestShardedCacheMatchesCache drives both caches through an identical
+// random query workload and checks they agree with each other (and the
+// bare backend) result for result.
+func TestShardedCacheMatchesCache(t *testing.T) {
+	tbl := paperTable(t, 2)
+	plain := NewCache(tbl)
+	sharded := NewShardedCache(tbl, 4)
+	rnd := rand.New(rand.NewSource(3))
+	schema := tbl.Schema()
+	for i := 0; i < 500; i++ {
+		var q Query
+		for ai := range schema.Attrs {
+			if rnd.Intn(2) == 0 {
+				q = q.And(ai, uint16(rnd.Intn(schema.Attrs[ai].Dom)))
+			}
+		}
+		want, err := tbl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, c := range map[string]Interface{"plain": plain, "sharded": sharded} {
+			got, err := c.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+				t.Fatalf("query %d via %s: got %d/%v, want %d/%v",
+					i, name, len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+			}
+		}
+	}
+	if plain.Hits() != sharded.Hits() {
+		t.Errorf("hit counts diverge: plain=%d sharded=%d", plain.Hits(), sharded.Hits())
+	}
+}
+
+// TestShardedCacheConcurrent hammers one cache from many goroutines over an
+// overlapping key set; run under -race this is the memo-consistency proof.
+// Duplicate concurrent fetches of the same cold key are allowed, but the
+// account must balance: every query is either a hit or a backend call.
+func TestShardedCacheConcurrent(t *testing.T) {
+	tbl := paperTable(t, 2)
+	ctr := NewCounter(tbl)
+	cache := NewShardedCache(ctr, 8)
+	schema := tbl.Schema()
+
+	const goroutines = 8
+	const perG = 400
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				var q Query
+				for ai := range schema.Attrs {
+					if rnd.Intn(3) == 0 {
+						q = q.And(ai, uint16(rnd.Intn(schema.Attrs[ai].Dom)))
+					}
+				}
+				want, err := tbl.Query(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				got, hit, err := cache.QueryHit(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_ = hit
+				if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+					errCh <- errors.New("cached result diverges from backend")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := int64(goroutines * perG)
+	if cache.Hits()+ctr.Count() != total {
+		t.Errorf("hits(%d) + backend(%d) != queries(%d)", cache.Hits(), ctr.Count(), total)
+	}
+	if cache.Hits() == 0 {
+		t.Error("overlapping workload produced no hits")
+	}
+	if int64(cache.Len()) > ctr.Count() {
+		t.Errorf("memo holds %d entries but only %d backend calls were made", cache.Len(), ctr.Count())
+	}
+}
+
+func TestLimiterConcurrentNeverExceeds(t *testing.T) {
+	tbl := paperTable(t, 1)
+	ctr := NewCounter(tbl)
+	lim := NewLimiter(ctr, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, _ = lim.Query(Query{})
+			}
+		}()
+	}
+	wg.Wait()
+	if ctr.Count() != 100 {
+		t.Errorf("backend saw %d queries, limit was 100", ctr.Count())
+	}
+	if lim.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion, want 0", lim.Remaining())
+	}
+}
+
+func TestSessionCacheHits(t *testing.T) {
+	tbl := paperTable(t, 1)
+	s := NewSession(tbl)
+	q := Query{}.And(0, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CacheHits() != 2 {
+		t.Errorf("CacheHits = %d, want 2", s.CacheHits())
+	}
+	if s.Cost() != 1 {
+		t.Errorf("Cost = %d, want 1", s.Cost())
+	}
+}

@@ -15,6 +15,11 @@ type Tracer struct {
 	mu    sync.Mutex
 	w     io.Writer
 	n     int64
+
+	overflow  int64
+	valid     int64
+	underflow int64
+	errors    int64
 }
 
 // NewTracer wraps inner, logging to w.
@@ -36,13 +41,36 @@ func (t *Tracer) Query(q Query) (Result, error) {
 	t.n++
 	switch {
 	case err != nil:
+		t.errors++
 		fmt.Fprintf(t.w, "%6d  %-40s  ERROR %v\n", t.n, q.String(), err)
 	case res.Overflow:
+		t.overflow++
 		fmt.Fprintf(t.w, "%6d  %-40s  OVERFLOW (%d shown)\n", t.n, q.String(), len(res.Tuples))
 	case len(res.Tuples) == 0:
+		t.underflow++
 		fmt.Fprintf(t.w, "%6d  %-40s  UNDERFLOW\n", t.n, q.String())
 	default:
+		t.valid++
 		fmt.Fprintf(t.w, "%6d  %-40s  VALID (%d)\n", t.n, q.String(), len(res.Tuples))
 	}
 	return res, err
+}
+
+// Count returns the number of queries traced so far.
+func (t *Tracer) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Summary renders one line of per-outcome totals. Audits pair it with the
+// session's cost and cache-hit counts to account for every query an
+// estimation run made: hits the memo absorbed never reach the Tracer, so
+// session.CacheHits() + tracer Count() = queries the estimator asked for
+// when the Tracer sits directly below the cache.
+func (t *Tracer) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("trace: queries=%d overflow=%d valid=%d underflow=%d errors=%d",
+		t.n, t.overflow, t.valid, t.underflow, t.errors)
 }

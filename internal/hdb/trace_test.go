@@ -40,4 +40,14 @@ func TestTracerLogsOutcomes(t *testing.T) {
 	if lines != 4 {
 		t.Errorf("trace has %d lines, want 4", lines)
 	}
+
+	if tr.Count() != 4 {
+		t.Errorf("Count = %d, want 4", tr.Count())
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"queries=4", "overflow=1", "valid=1", "underflow=1", "errors=1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q: %s", want, sum)
+		}
+	}
 }
