@@ -117,6 +117,32 @@ func BenchmarkEstimatePassHD(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimatePassDeep measures one full HD pass (weight adjustment +
+// divide-&-conquer) over a deep 40-level Boolean schema — the regime where
+// prefix-cursor evaluation compounds hardest: pre-cursor, every probe at
+// depth d re-paid d-1 bitmap ANDs that its parent had already computed.
+func BenchmarkEstimatePassDeep(b *testing.B) {
+	d, err := datagen.BoolIID(200000, 40, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewHDUnbiasedSize(tbl, 5, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkParallelSession measures estsvc's wall-clock scaling on the
 // EstimatePassHD workload: one op is a full 64-pass session (fresh shared
 // cache each op), so ns/op at workers=1 is the sequential pass loop and the

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -50,6 +52,8 @@ func main() {
 		sum       = flag.String("sum", "", "also estimate SUM of this measure (e.g. price)")
 		parallel  = flag.Int("parallel", 1, "concurrent drill-down workers sharing one cache (<=1 = sequential)")
 		targetRSE = flag.Float64("target-rse", 0, "stop once every measure's relative standard error is at or below this (0 = budget only)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the estimation run to this file (inspect with go tool pprof)")
+		memprof   = flag.String("memprofile", "", "write a heap profile taken after the estimation run to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +61,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Profiling hooks for hot-path investigation — no throwaway harness
+	// needed: `hdestimate -dataset auto -m 50000 -cpuprofile cpu.out ...`.
+	// Started after connect so dataset synthesis stays out of the profile;
+	// profiles are written on normal exit (not on log.Fatal).
+	stopProfiles, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	cond, whereMap, err := parseWhere(backend.Schema(), *where)
 	if err != nil {
@@ -158,6 +172,40 @@ func main() {
 				label, truth, 100*stats.RelativeError(truth, means[i]))
 		}
 	}
+}
+
+// startProfiles starts a CPU profile and/or arms a heap profile, returning
+// the function that stops and writes them.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise only live objects in the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}
+	}, nil
 }
 
 // connect returns the hidden-database interface plus, for offline runs, a

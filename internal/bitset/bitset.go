@@ -128,6 +128,61 @@ func (s *Set) AndCountUpTo(o *Set, limit int) int {
 	return c
 }
 
+// CountUpTo counts set bits but stops as soon as the count exceeds limit —
+// the single-set counterpart of AndCountUpTo, used by prefix cursors probing
+// below an unconstrained (universe) prefix. The result is exact when it is
+// <= limit; any value > limit only means "more than limit" (the word-granular
+// early exit may overshoot within the final word counted).
+func (s *Set) CountUpTo(limit int) int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+		if c > limit {
+			return c
+		}
+	}
+	return c
+}
+
+// AndInto overwrites dst with a ∩ b. All three sets must share one capacity;
+// dst may alias a or b. This is the prefix-cursor materialisation primitive:
+// extending a drill-down prefix by one predicate is a single AndInto of the
+// predicate's posting bitmap against the parent prefix, into a caller-owned
+// (reused) set — no clone, no allocation.
+func AndInto(dst, a, b *Set) {
+	dst.sameCap(a)
+	dst.sameCap(b)
+	for i, w := range a.words {
+		dst.words[i] = w & b.words[i]
+	}
+}
+
+// AndFirstN appends to dst the indices of the first n set bits of a ∩ b,
+// without materialising the intersection: the two-set fast path of
+// IntersectFirstN, streaming word by word and returning as soon as n bits
+// have been collected. A top-k evaluator asking for k+1 bits therefore pays
+// O(answer prefix) on overflowing intersections instead of O(capacity).
+// Fewer than n indices are appended when the intersection is smaller. The
+// two sets must share one capacity.
+func AndFirstN(dst []int, n int, a, b *Set) []int {
+	a.sameCap(b)
+	if n <= 0 {
+		return dst
+	}
+	for wi, w := range a.words {
+		w &= b.words[wi]
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+bit)
+			if n--; n == 0 {
+				return dst
+			}
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // Or unions s with o in place. Capacities must match.
 func (s *Set) Or(o *Set) {
 	s.sameCap(o)
@@ -242,10 +297,17 @@ func (s *Set) FirstN(dst []int, n int) []int {
 // evaluator asking for k+1 bits therefore pays O(answer prefix) on
 // overflowing queries instead of O(capacity). Fewer than n indices are
 // appended when the intersection is smaller. All sets must share one
-// capacity; at least one set is required.
+// capacity.
+//
+// The empty family is defined, not a panic: the intersection of zero sets is
+// mathematically the universe, but with no operand there is no capacity to
+// enumerate one, so IntersectFirstN returns dst unchanged. Callers that mean
+// "first n of the whole table" must pass a full set (NewFull) explicitly —
+// the hdb engine never hits this case because it special-cases the empty
+// query before reaching the intersection.
 func IntersectFirstN(dst []int, n int, sets ...*Set) []int {
 	if len(sets) == 0 {
-		panic("bitset: IntersectFirstN requires at least one set")
+		return dst
 	}
 	first := sets[0]
 	for _, s := range sets[1:] {

@@ -103,13 +103,20 @@ func TestIntersectFirstNAppends(t *testing.T) {
 	}
 }
 
-func TestIntersectFirstNNoSetsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for zero sets")
-		}
-	}()
-	IntersectFirstN(nil, 1)
+// TestIntersectFirstNZeroSets pins the defined empty-family behaviour: zero
+// sets carry no capacity to enumerate a universe from, so the call is a
+// documented no-op rather than the panic it used to be.
+func TestIntersectFirstNZeroSets(t *testing.T) {
+	if got := IntersectFirstN(nil, 5); got != nil {
+		t.Errorf("zero sets: got %v, want nil", got)
+	}
+	dst := []int{42}
+	if got := IntersectFirstN(dst, 5); !eqInts(got, []int{42}) {
+		t.Errorf("zero sets must leave dst unchanged: got %v", got)
+	}
+	if got := IntersectFirstN(dst, 0); !eqInts(got, []int{42}) {
+		t.Errorf("zero sets with n=0: got %v", got)
+	}
 }
 
 func TestIntersectFirstNCapMismatchPanics(t *testing.T) {
@@ -119,6 +126,100 @@ func TestIntersectFirstNCapMismatchPanics(t *testing.T) {
 		}
 	}()
 	IntersectFirstN(nil, 1, New(64), New(65))
+}
+
+func TestAndFirstNBasic(t *testing.T) {
+	a := setOf(200, 1, 63, 64, 65, 128, 199)
+	b := setOf(200, 0, 63, 65, 127, 128, 199)
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{0, nil},
+		{-1, nil},
+		{1, []int{63}},
+		{3, []int{63, 65, 128}},
+		{100, []int{63, 65, 128, 199}},
+	}
+	for _, c := range cases {
+		if got := AndFirstN(nil, c.n, a, b); !eqInts(got, c.want) {
+			t.Errorf("n=%d: got %v, want %v", c.n, got, c.want)
+		}
+	}
+	dst := []int{7}
+	if got := AndFirstN(dst, 2, a, b); !eqInts(got, []int{7, 63, 65}) {
+		t.Errorf("append semantics: %v", got)
+	}
+}
+
+func TestAndFirstNCapMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity mismatch")
+		}
+	}()
+	AndFirstN(nil, 1, New(64), New(65))
+}
+
+func TestAndInto(t *testing.T) {
+	a := setOf(130, 0, 5, 64, 100, 129)
+	b := setOf(130, 5, 64, 99, 129)
+	dst := NewFull(130)
+	AndInto(dst, a, b)
+	want := setOf(130, 5, 64, 129)
+	if !dst.Equal(want) {
+		t.Errorf("AndInto: got %v, want %v", dst, want)
+	}
+	// Aliasing: dst == a.
+	AndInto(a, a, b)
+	if !a.Equal(want) {
+		t.Errorf("aliased AndInto: got %v, want %v", a, want)
+	}
+}
+
+func TestCountUpTo(t *testing.T) {
+	s := setOf(300, 1, 64, 65, 128, 299)
+	// Exact when the population fits the limit; ">limit" (word-granular, may
+	// overshoot within a word) otherwise — the classification contract.
+	for _, c := range []struct{ limit int }{{0}, {1}, {2}, {4}, {5}, {100}} {
+		got := s.CountUpTo(c.limit)
+		if 5 <= c.limit {
+			if got != 5 {
+				t.Errorf("CountUpTo(%d) = %d, want exact 5", c.limit, got)
+			}
+		} else if got <= c.limit {
+			t.Errorf("CountUpTo(%d) = %d, want >limit", c.limit, got)
+		}
+	}
+	if got := New(100).CountUpTo(3); got != 0 {
+		t.Errorf("empty CountUpTo = %d", got)
+	}
+}
+
+// TestAndFirstNFuzz cross-checks the two-set fast path against the variadic
+// streamer (itself pinned against the naive reference below).
+func TestAndFirstNFuzz(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		capacity := 1 + rnd.Intn(500)
+		mk := func() *Set {
+			s := New(capacity)
+			density := rnd.Float64()
+			for i := 0; i < capacity; i++ {
+				if rnd.Float64() < density {
+					s.Add(i)
+				}
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		n := rnd.Intn(capacity + 2)
+		got := AndFirstN(nil, n, a, b)
+		want := IntersectFirstN(nil, n, a, b)
+		if !eqInts(got, want) {
+			t.Fatalf("trial %d (cap=%d n=%d): got %v, want %v", trial, capacity, n, got, want)
+		}
+	}
 }
 
 // TestIntersectFirstNFuzz cross-checks the streamed early-exit path against

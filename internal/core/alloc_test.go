@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"hdunbiased/internal/datagen"
+)
+
+// TestEstimatePassAllocGuard pins the steady-state allocation count of a
+// full estimation pass: once the client memo and weight tree cover the
+// reachable query tree, the only allocation per Estimate is the Values
+// slice the API hands back. This is the test form of the -benchmem numbers
+// in PERFORMANCE.md — a regression (a probe that starts materialising
+// tuples, a key build that escapes, a buffer that stops being reused) fails
+// tier-1 instead of waiting for a bench run. The table is small enough that
+// warm-up saturates every reachable branch, so the count is deterministic.
+func TestEstimatePassAllocGuard(t *testing.T) {
+	d, err := datagen.BoolIID(150, 10, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		mk   func() (*Estimator, error)
+	}{
+		{"bool-plain", func() (*Estimator, error) { return NewBoolUnbiasedSize(tbl, 1) }},
+		{"hd-wa-dc", func() (*Estimator, error) { return NewHDUnbiasedSize(tbl, 3, 16, 1) }},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			e, err := cfg.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ { // saturate memo, trie and weight tree
+				if _, err := e.Estimate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(100, func() {
+				if _, err := e.Estimate(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > 1 {
+				t.Errorf("warm Estimate: %v allocs/op, want <= 1 (the Values slice)", got)
+			}
+		})
+	}
+}

@@ -80,6 +80,16 @@ type Estimator struct {
 	propagate bool
 	k         int // backend.K(), cached off the hot path
 
+	// cursor is the prefix-cursor evaluation handle when the session
+	// supports one (hdb.CursorProvider); nil means every walk query goes
+	// through session.Query. The cursor makes each drill-down probe O(1)
+	// predicate — a trie hit on the memoised path, a single bounded bitmap
+	// AND on a cold one — instead of re-evaluating the whole prefix chain.
+	// Estimates are bit-identical either way: the cursor consults and fills
+	// the same memo and charges the same counters as the flat path.
+	cursor    hdb.QueryCursor
+	baseDepth int // cursor depth of the plan's base prefix
+
 	budgetLeft int64 // per-Estimate budget countdown
 
 	// Reusable hot-path scratch. One layerScratch per plan layer: a walk's
@@ -87,10 +97,12 @@ type Estimator struct {
 	// into the next layer, so buffers are per-layer rather than global.
 	// The weight and measure buffers never live across a nested call, so
 	// one of each suffices.
-	scratch  []layerScratch
-	probsBuf []float64 // branch distribution, max-fanout capacity
-	rawBuf   []float64 // branchWeights size-knowledge scratch
-	valsBuf  []float64 // per-walk measure sums
+	scratch   []layerScratch
+	scratchOf []int     // scratchOf[level] = plan.LayerOf(level), precomputed off the walk path
+	probsBuf  []float64 // branch distribution, max-fanout capacity
+	rawBuf    []float64 // branchWeights size-knowledge scratch
+	valsBuf   []float64 // per-walk measure sums
+	countMask []bool    // countMask[mi]: measures[mi] is CountMeasure, summed as len(Tuples)
 }
 
 // layerScratch holds the reusable buffers for walks over one plan layer.
@@ -156,12 +168,18 @@ func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure
 		propagate = *cfg.PropagateChildEstimates && cfg.WeightAdjust
 	}
 	maxFanout := 0
+	scratchOf := make([]int, plan.Depth())
 	for lvl := 0; lvl < plan.Depth(); lvl++ {
 		if f := plan.FanoutAt(lvl); f > maxFanout {
 			maxFanout = f
 		}
+		scratchOf[lvl] = plan.LayerOf(lvl)
 	}
-	return &Estimator{
+	countMask := make([]bool, len(measures))
+	for mi, m := range measures {
+		countMask[mi] = isCountMeasure(m)
+	}
+	e := &Estimator{
 		session:   session,
 		plan:      plan,
 		measures:  measures,
@@ -171,10 +189,37 @@ func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure
 		propagate: propagate,
 		k:         session.K(),
 		scratch:   make([]layerScratch, len(plan.Layers)),
+		scratchOf: scratchOf,
 		probsBuf:  make([]float64, maxFanout),
 		rawBuf:    make([]float64, maxFanout),
 		valsBuf:   make([]float64, len(measures)),
-	}, nil
+		countMask: countMask,
+	}
+	if cp, ok := session.(hdb.CursorProvider); ok {
+		cur, err := cp.NewCursor(plan.Base)
+		switch {
+		case err == nil:
+			e.cursor, e.baseDepth = cur, cur.Depth()
+		case errors.Is(err, hdb.ErrNoCursor):
+			// Backend can't support cursors (e.g. over HTTP): plain Query.
+		default:
+			return nil, fmt.Errorf("core: creating cursor: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Close releases the estimator's prefix cursor, returning pooled engine
+// resources (materialised prefix bitmaps) to the backend for reuse by the
+// next estimator over the same table. The estimator stays usable — a later
+// Estimate simply falls back to the plain Query path — so Close is safe to
+// call as soon as no more passes are planned, and is idempotent. Estimators
+// without a cursor (plain-Query backends) Close as a no-op.
+func (e *Estimator) Close() {
+	if e.cursor != nil {
+		e.cursor.Close()
+		e.cursor = nil
+	}
 }
 
 // Cost returns the cumulative backend queries issued over the estimator's
@@ -189,18 +234,92 @@ func (e *Estimator) CacheHits() int64 { return e.session.CacheHits() }
 // Plan returns the estimator's tree plan.
 func (e *Estimator) Plan() *querytree.Plan { return e.plan }
 
+// charge debits the backend-cost delta accrued since before against the
+// per-Estimate budget, returning ErrBudget once it is exhausted. Every
+// backend touch — flat query or cursor probe — funnels through this one
+// accounting.
+func (e *Estimator) charge(before int64) error {
+	e.budgetLeft -= e.session.Cost() - before
+	if e.budgetLeft < 0 {
+		return fmt.Errorf("%w (MaxQueries=%d)", ErrBudget, e.cfg.MaxQueries)
+	}
+	return nil
+}
+
 // query issues one query through the session, charging the per-call budget.
 func (e *Estimator) query(q hdb.Query) (hdb.Result, error) {
 	before := e.session.Cost()
 	res, err := e.session.Query(q)
-	e.budgetLeft -= e.session.Cost() - before
+	cerr := e.charge(before)
 	if err != nil {
 		return hdb.Result{}, err
 	}
-	if e.budgetLeft < 0 {
-		return hdb.Result{}, fmt.Errorf("%w (MaxQueries=%d)", ErrBudget, e.cfg.MaxQueries)
+	if cerr != nil {
+		return hdb.Result{}, cerr
 	}
 	return res, nil
+}
+
+// probe evaluates prefix ∧ (attr=value): through the cursor when the
+// backend supports one, else as a full query via the layer's builder. Both
+// paths consult the same memo and charge the same budget.
+func (e *Estimator) probe(sc *layerScratch, attr int, value uint16) (hdb.Result, error) {
+	if e.cursor == nil {
+		res, err := e.query(sc.builder.Push(attr, value))
+		sc.builder.Pop()
+		return res, err
+	}
+	before := e.session.Cost()
+	res, err := e.cursor.Probe(attr, value)
+	cerr := e.charge(before)
+	if err != nil {
+		return hdb.Result{}, err
+	}
+	if cerr != nil {
+		return hdb.Result{}, cerr
+	}
+	return res, nil
+}
+
+// probeCount classifies prefix ∧ (attr=value) — n is the top-k answer size,
+// overflow mirrors Result.Overflow. The walk's probe phase needs only this,
+// so the cursor path skips tuple materialisation entirely.
+func (e *Estimator) probeCount(sc *layerScratch, attr int, value uint16) (n int, overflow bool, err error) {
+	if e.cursor == nil {
+		res, err := e.query(sc.builder.Push(attr, value))
+		sc.builder.Pop()
+		return len(res.Tuples), res.Overflow, err
+	}
+	before := e.session.Cost()
+	n, overflow, err = e.cursor.ProbeCount(attr, value)
+	cerr := e.charge(before)
+	if err != nil {
+		return 0, false, err
+	}
+	if cerr != nil {
+		return 0, false, cerr
+	}
+	return n, overflow, nil
+}
+
+// descend commits the branch the walk follows onto the cursor (no-op on the
+// fallback path, where the next level's queries re-state the whole prefix).
+func (e *Estimator) descend(attr int, value uint16) error {
+	if e.cursor == nil {
+		return nil
+	}
+	return e.cursor.Descend(attr, value)
+}
+
+// ascendTo pops the cursor back to a saved depth (no-op on the fallback
+// path).
+func (e *Estimator) ascendTo(depth int) {
+	if e.cursor == nil {
+		return
+	}
+	for e.cursor.Depth() > depth {
+		e.cursor.Ascend()
+	}
 }
 
 // Estimate performs one full estimation pass: issue the base query and, if
@@ -215,6 +334,9 @@ func (e *Estimator) query(q hdb.Query) (hdb.Result, error) {
 func (e *Estimator) Estimate() (Estimate, error) {
 	e.budgetLeft = e.cfg.MaxQueries
 	startCost := e.session.Cost()
+	// Rewind the cursor to the base prefix: a previous pass that ended in an
+	// error (budget, query limit, cancellation) leaves it mid-path.
+	e.ascendTo(e.baseDepth)
 
 	if !e.cfg.AssumeBaseOverflows {
 		root, err := e.query(e.plan.Base)
@@ -225,7 +347,7 @@ func (e *Estimator) Estimate() (Estimate, error) {
 			// The base query answers the aggregate exactly: its result is
 			// the complete Sel(base) (possibly empty).
 			return Estimate{
-				Values: measureResult(e.measures, root),
+				Values: e.measureInto(make([]float64, len(e.measures)), root),
 				Cost:   e.session.Cost() - startCost,
 				Exact:  true,
 			}, nil
@@ -255,15 +377,19 @@ func (e *Estimator) Estimate() (Estimate, error) {
 func (e *Estimator) explore(root hdb.Query, rootNode *nodeState, startLevel int, kappa float64, acc []float64) (float64, error) {
 	endLevel := e.plan.LayerEnd(startLevel)
 	r := e.cfg.R
+	rootDepth := 0
+	if e.cursor != nil {
+		rootDepth = e.cursor.Depth()
+	}
 	var countContrib float64
+	var out walkOutcome
 	for i := 0; i < r; i++ {
-		out, err := e.walk(root, rootNode, startLevel, endLevel)
-		if err != nil {
+		if err := e.walk(root, rootNode, startLevel, endLevel, &out); err != nil {
 			return countContrib, err
 		}
 		denom := float64(r) * out.prob * kappa
 		if !out.bottomOverflow {
-			vals := measureResultInto(e.valsBuf, e.measures, out.res)
+			vals := e.measureInto(e.valsBuf, out.res)
 			for mi := range acc {
 				acc[mi] += vals[mi] / denom
 			}
@@ -272,22 +398,33 @@ func (e *Estimator) explore(root hdb.Query, rootNode *nodeState, startLevel int,
 			if e.cfg.WeightAdjust {
 				e.recordWalk(out.steps, float64(len(out.res.Tuples)))
 			}
-			continue
+		} else {
+			// Bottom-overflow: explore the child subtree hanging below
+			// out.query once per hit — κ multiplies by this walk's R·p. The
+			// walk left the cursor standing at out.query, so the child
+			// layer's probes extend it directly.
+			childContrib, err := e.explore(out.query, out.node, endLevel, denom, acc)
+			countContrib += childContrib
+			if err != nil {
+				return countContrib, err
+			}
+			if e.propagate && childContrib > 0 {
+				// childContrib·κ(child) is an unbiased estimate of the tuple
+				// mass under out.query; feed it to the branches that led there.
+				e.recordWalk(out.steps, childContrib*denom)
+			}
 		}
-		// Bottom-overflow: explore the child subtree hanging below out.query
-		// once per hit — κ multiplies by this walk's R·p.
-		childContrib, err := e.explore(out.query, out.node, endLevel, denom, acc)
-		countContrib += childContrib
-		if err != nil {
-			return countContrib, err
-		}
-		if e.propagate && childContrib > 0 {
-			// childContrib·κ(child) is an unbiased estimate of the tuple
-			// mass under out.query; feed it to the branches that led there.
-			e.recordWalk(out.steps, childContrib*denom)
-		}
+		// Backtrack the cursor to this subtree's root for the next
+		// drill-down (Ascend is O(1); prefixes rematerialise lazily).
+		e.ascendTo(rootDepth)
 	}
 	return countContrib, nil
+}
+
+// measureInto sums every measure over a valid result's tuples into dst,
+// with the estimator's precomputed COUNT fast-path mask.
+func (e *Estimator) measureInto(dst []float64, res hdb.Result) []float64 {
+	return sumMeasures(dst, e.measures, e.countMask, res)
 }
 
 // observe feeds one branch query result into the weight tree (underflow /
@@ -300,6 +437,14 @@ func (e *Estimator) observe(n *nodeState, branch int, res hdb.Result) {
 		return
 	}
 	n.observe(branch, res, e.k)
+}
+
+// observeCount is observe for the count-only probe path.
+func (e *Estimator) observeCount(n *nodeState, branch, count int, overflow bool) {
+	if n == nil {
+		return
+	}
+	n.observeCount(branch, count, overflow, e.k)
 }
 
 // recordWalk folds a terminal size (the |q_Hj| of equation (6), or a child

@@ -404,8 +404,20 @@ func TestMeasures(t *testing.T) {
 		t.Errorf("NumMeasure = %v", got)
 	}
 	res := hdb.Result{Tuples: []hdb.Tuple{tp, {Cats: []uint16{1, 1}, Nums: []float64{2.5}}}}
-	vals := measureResult([]Measure{CountMeasure(), NumMeasure(0)}, res)
+	measures := []Measure{CountMeasure(), NumMeasure(0)}
+	vals := sumMeasures(make([]float64, 2), measures, nil, res)
 	if vals[0] != 2 || vals[1] != 10 {
-		t.Errorf("measureResult = %v", vals)
+		t.Errorf("sumMeasures = %v", vals)
+	}
+	// The COUNT fast path must agree bit for bit with the generic loop.
+	fast := sumMeasures(make([]float64, 2), measures, []bool{true, false}, res)
+	if fast[0] != vals[0] || fast[1] != vals[1] {
+		t.Errorf("count fast path = %v, generic = %v", fast, vals)
+	}
+	if !isCountMeasure(CountMeasure()) {
+		t.Error("CountMeasure not recognised by isCountMeasure")
+	}
+	if isCountMeasure(NumMeasure(0)) {
+		t.Error("NumMeasure wrongly recognised as COUNT")
 	}
 }

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 
 	"hdunbiased/internal/hdb"
 )
@@ -36,10 +37,25 @@ import (
 // 1, SUM(A_i) uses the tuple's value of A_i.
 type Measure func(t hdb.Tuple) float64
 
+// countOne is the canonical COUNT(*) measure function. It is a single named
+// function (not a fresh closure per CountMeasure call) so the estimator can
+// recognise COUNT at construction time and sum it as len(Tuples) instead of
+// calling the measure once per tuple — the dominant cost of a warm-cache
+// size-estimation pass. A caller-written `func(hdb.Tuple) float64 { return 1 }`
+// is still correct; it just takes the generic per-tuple path.
+func countOne(hdb.Tuple) float64 { return 1 }
+
 // CountMeasure is the COUNT(*) measure: 1 per tuple. HD-UNBIASED-SIZE is
 // HD-UNBIASED-AGG with this measure and an empty selection condition.
 func CountMeasure() Measure {
-	return func(hdb.Tuple) float64 { return 1 }
+	return countOne
+}
+
+// isCountMeasure reports whether m is the canonical CountMeasure function.
+// Func values are not comparable in Go; the code-pointer comparison through
+// reflect runs once per measure at estimator construction.
+func isCountMeasure(m Measure) bool {
+	return reflect.ValueOf(m).Pointer() == reflect.ValueOf(Measure(countOne)).Pointer()
 }
 
 // AttrMeasure is SUM over the categorical code of attribute attr (the paper's
@@ -53,22 +69,23 @@ func NumMeasure(idx int) Measure {
 	return func(t hdb.Tuple) float64 { return t.Nums[idx] }
 }
 
-// measureResult sums every measure over the tuples of a valid result into a
-// fresh slice (used where the result escapes, e.g. an exact Estimate).
-func measureResult(measures []Measure, res hdb.Result) []float64 {
-	return measureResultInto(make([]float64, len(measures)), measures, res)
-}
-
-// measureResultInto is the allocation-free variant for the per-walk hot
-// path: dst must have len(measures) entries and is zeroed first.
-func measureResultInto(dst []float64, measures []Measure, res hdb.Result) []float64 {
-	for i := range dst {
-		dst[i] = 0
-	}
-	for _, t := range res.Tuples {
-		for i, m := range measures {
-			dst[i] += m(t)
+// sumMeasures sums every measure over a valid result's tuples into dst (one
+// entry per measure, overwritten). Measures flagged in countMask are COUNT
+// and short-circuit to len(Tuples) — identical in IEEE-754 bits to summing
+// 1.0 per tuple (integers this small are exact) and the single hottest line
+// of a size-estimation pass; countMask may be nil to force the generic
+// per-tuple path. This is the per-walk hot path: it allocates nothing.
+func sumMeasures(dst []float64, measures []Measure, countMask []bool, res hdb.Result) []float64 {
+	for mi, m := range measures {
+		if countMask != nil && countMask[mi] {
+			dst[mi] = float64(len(res.Tuples))
+			continue
 		}
+		s := 0.0
+		for ti := range res.Tuples {
+			s += m(res.Tuples[ti])
+		}
+		dst[mi] = s
 	}
 	return dst
 }

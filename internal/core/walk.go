@@ -53,10 +53,20 @@ type walkOutcome struct {
 // The walk allocates nothing in steady state: queries extend through the
 // layer's reusable QueryBuilder, branch distributions land in the
 // estimator's weight buffers, and steps accumulate in per-layer scratch.
-func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel int) (walkOutcome, error) {
-	sc := &e.scratch[e.plan.LayerOf(startLevel)]
+//
+// With a cursor-capable backend, every branch query is a cursor probe
+// against the committed prefix — O(1) predicate instead of O(depth) — and
+// committing a branch is a Descend. The builder is still maintained for the
+// committed path (outcome queries and error messages need it), but probes
+// no longer touch it. The caller guarantees the cursor stands at root.
+//
+// The outcome is written into *out (caller-owned, one per explore frame):
+// it is ~100 bytes and returning it by value put a duffcopy on the hottest
+// return path in the program.
+func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel int, out *walkOutcome) error {
+	sc := &e.scratch[e.scratchOf[startLevel]]
 	sc.builder.Reset(root)
-	out := walkOutcome{prob: 1, steps: sc.steps[:0]}
+	*out = walkOutcome{prob: 1, steps: sc.steps[:0]}
 	adjust := e.cfg.WeightAdjust
 	for lvl := startLevel; lvl < endLevel; lvl++ {
 		attr := e.plan.AttrAt(lvl)
@@ -66,7 +76,7 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 			var err error
 			weights, err = node.branchWeights(e.cfg.MixLambda, e.probsBuf[:fanout], e.rawBuf[:fanout])
 			if err != nil {
-				return walkOutcome{}, fmt.Errorf("%w at %s", err, sc.builder.Query().String())
+				return fmt.Errorf("%w at %s", err, sc.builder.Query().String())
 			}
 		} else {
 			weights = uniformWeights(e.probsBuf[:fanout])
@@ -79,7 +89,7 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 		// Commit phase: follow j0, walking right circularly past underflows.
 		for tested := 0; ; tested++ {
 			if tested >= fanout {
-				return walkOutcome{}, fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, sc.builder.Query().String())
+				return fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, sc.builder.Query().String())
 			}
 			if weights[j] == 0 {
 				// Known-empty branch under weight adjustment: skip without a
@@ -87,10 +97,9 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 				j = (j + 1) % fanout
 				continue
 			}
-			res, err := e.query(sc.builder.Push(attr, uint16(j)))
-			sc.builder.Pop()
+			res, err := e.probe(sc, attr, uint16(j))
 			if err != nil {
-				return walkOutcome{}, err
+				return err
 			}
 			e.observe(node, j, res)
 			if res.Underflow() {
@@ -104,19 +113,20 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 
 		// Probe phase: extend the empty run leftwards from the initial draw
 		// until a non-empty branch ends it. Skipped when the Boolean
-		// shortcut applies.
+		// shortcut applies. Only the underflow/valid/overflow classification
+		// matters here, so the cursor path uses the count-only probe and
+		// never materialises tuples.
 		if !(fanout == 2 && committed.Valid()) {
 			for i := (j0 - 1 + fanout) % fanout; i != j; i = (i - 1 + fanout) % fanout {
 				if weights[i] == 0 {
 					continue // known empty: part of the run, zero weight
 				}
-				res, err := e.query(sc.builder.Push(attr, uint16(i)))
-				sc.builder.Pop()
+				n, overflow, err := e.probeCount(sc, attr, uint16(i))
 				if err != nil {
-					return walkOutcome{}, err
+					return err
 				}
-				e.observe(node, i, res)
-				if !res.Underflow() {
+				e.observeCount(node, i, n, overflow)
+				if n > 0 || overflow {
 					break
 				}
 				runWeight += weights[i]
@@ -125,30 +135,40 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 
 		pBranch := weights[j] + runWeight
 		if pBranch <= 0 || pBranch > 1+1e-9 {
-			return walkOutcome{}, fmt.Errorf("core: branch probability %v out of (0,1] at %s", pBranch, sc.builder.Query().String())
+			return fmt.Errorf("core: branch probability %v out of (0,1] at %s", pBranch, sc.builder.Query().String())
 		}
 		out.steps = append(out.steps, walkStep{node: node, level: lvl, branch: j, prob: pBranch})
 		out.prob *= pBranch
 		q := sc.builder.Push(attr, uint16(j))
 
 		if committed.Valid() {
+			// Terminal: the cursor stays at the parent prefix (the valid
+			// branch was never committed); explore rewinds to the root.
 			out.query, out.res = q, committed
 			sc.steps = out.steps
-			return out, nil
+			return nil
 		}
 		// Overflow: drill deeper, or stop at the layer boundary.
 		if lvl+1 == endLevel {
 			if endLevel == e.plan.Depth() {
 				// An overflowing complete assignment means more than k
 				// duplicate tuples — outside the paper's model.
-				return walkOutcome{}, fmt.Errorf("core: fully specified query %s overflows — more than k duplicate tuples violates the no-duplicates model", q.String())
+				return fmt.Errorf("core: fully specified query %s overflows — more than k duplicate tuples violates the no-duplicates model", q.String())
 			}
 			if adjust {
 				out.node = e.weights.child(node, j, e.plan.FanoutAt(endLevel))
 			}
+			// Commit the final branch so the cursor stands at the
+			// bottom-overflow node for the child layer's exploration.
+			if err := e.descend(attr, uint16(j)); err != nil {
+				return err
+			}
 			out.query, out.res, out.bottomOverflow = q, committed, true
 			sc.steps = out.steps
-			return out, nil
+			return nil
+		}
+		if err := e.descend(attr, uint16(j)); err != nil {
+			return err
 		}
 		if adjust {
 			node = e.weights.child(node, j, e.plan.FanoutAt(lvl+1))

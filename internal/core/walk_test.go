@@ -180,8 +180,11 @@ func TestWalkMatchesEnumeration(t *testing.T) {
 		est.budgetLeft = 1 << 50
 		freq := make(map[string]int)
 		for i := 0; i < walks; i++ {
-			out, err := est.walk(plan.Base, nil, 0, plan.Depth())
-			if err != nil {
+			// walk's contract: the caller (explore, in production) rewinds
+			// the cursor to the subtree root between drill-downs.
+			est.ascendTo(est.baseDepth)
+			var out walkOutcome
+			if err := est.walk(plan.Base, nil, 0, plan.Depth(), &out); err != nil {
 				t.Fatal(err)
 			}
 			if out.bottomOverflow {
@@ -253,7 +256,7 @@ func TestWalkInconsistentBackendError(t *testing.T) {
 		t.Fatal(err)
 	}
 	est.budgetLeft = 1 << 50
-	if _, err := est.walk(hdb.Query{}, nil, 0, plan.Depth()); err == nil {
+	if err := est.walk(hdb.Query{}, nil, 0, plan.Depth(), new(walkOutcome)); err == nil {
 		t.Fatal("no error from inconsistent backend")
 	}
 }
@@ -290,7 +293,7 @@ func TestWalkDuplicateOverflowAtLeafError(t *testing.T) {
 		t.Fatal(err)
 	}
 	est.budgetLeft = 1 << 50
-	if _, err := est.walk(hdb.Query{}, nil, 0, plan.Depth()); err == nil {
+	if err := est.walk(hdb.Query{}, nil, 0, plan.Depth(), new(walkOutcome)); err == nil {
 		t.Fatal("no error for overflowing complete assignment")
 	}
 }

@@ -94,17 +94,23 @@ func (n *nodeState) markEmpty(b int) { n.branches[b].empty = true }
 // valid results pin the branch's exact subtree size, overflows establish the
 // k+1 floor, underflows mark it empty.
 func (n *nodeState) observe(b int, res hdb.Result, k int) {
+	n.observeCount(b, len(res.Tuples), res.Overflow, k)
+}
+
+// observeCount is observe for the count-only probe path: count is the top-k
+// answer size (len(Result.Tuples) of the equivalent full query).
+func (n *nodeState) observeCount(b, count int, overflow bool, k int) {
 	br := &n.branches[b]
 	switch {
-	case res.Underflow():
-		br.empty = true
-	case res.Valid():
-		br.exact = float64(len(res.Tuples))
-		br.hasExact = true
-	default: // overflow
+	case overflow:
 		if floor := float64(k + 1); floor > br.overflowFloor {
 			br.overflowFloor = floor
 		}
+	case count == 0: // underflow
+		br.empty = true
+	default: // valid
+		br.exact = float64(count)
+		br.hasExact = true
 	}
 }
 
@@ -145,35 +151,31 @@ func uniformWeights(probs []float64) []float64 {
 // which contradicts an overflowing parent and indicates an inconsistent
 // backend.
 func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float64, error) {
+	// One pass computes everything the prior needs: zero probs, count alive
+	// branches, and collect per-branch raw size knowledge (0 = "no size
+	// estimate yet"). A branch whose only knowledge is the overflow floor is
+	// NOT informed — the floor is a lower bound, not an estimate, and
+	// treating it as one would crush unwalked overflowing branches next to
+	// a walked sibling with a large estimated subtree. This runs once per
+	// walk level; fusing the bookkeeping loops is worth real time at
+	// fanout 16.
+	// During the pass, probs doubles as dense scratch holding each branch's
+	// overflow floor, or -1 for known-empty branches — the two later passes
+	// then run over the flat float arrays instead of re-striding the branch
+	// structs.
 	fanout := len(n.branches)
-	for i := range probs {
-		probs[i] = 0
-	}
 	alive := 0
-	for _, br := range n.branches {
-		if !br.empty {
-			alive++
-		}
-	}
-	if alive == 0 {
-		return nil, fmt.Errorf("core: weight tree says all %d branches are empty under an overflowing parent", fanout)
-	}
-
-	// Raw size knowledge per branch; 0 means "no size estimate yet". A
-	// branch whose only knowledge is the overflow floor is NOT informed —
-	// the floor is a lower bound, not an estimate, and treating it as one
-	// would crush unwalked overflowing branches next to a walked sibling
-	// with a large estimated subtree.
-	for i := range raw {
-		raw[i] = 0
-	}
 	var informedSum float64
 	var informedN int
 	for b := range n.branches {
+		raw[b] = 0
 		br := &n.branches[b]
 		if br.empty {
+			probs[b] = -1
 			continue
 		}
+		probs[b] = br.overflowFloor
+		alive++
 		v := 0.0
 		switch {
 		case br.hasExact:
@@ -190,6 +192,9 @@ func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float
 			informedN++
 		}
 	}
+	if alive == 0 {
+		return nil, fmt.Errorf("core: weight tree says all %d branches are empty under an overflowing parent", fanout)
+	}
 	// Prior for uninformed alive branches: the mean informed size, or
 	// uniform when nothing is known anywhere on this node. The overflow
 	// floor acts as a lower bound on the prior.
@@ -198,22 +203,22 @@ func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float
 		prior = informedSum / float64(informedN)
 	}
 	var rawSum float64
-	for b := range n.branches {
-		br := &n.branches[b]
-		if br.empty {
+	for b, floor := range probs {
+		if floor < 0 {
 			continue
 		}
 		if raw[b] == 0 {
 			raw[b] = prior
-			if br.overflowFloor > raw[b] {
-				raw[b] = br.overflowFloor
+			if floor > raw[b] {
+				raw[b] = floor
 			}
 		}
 		rawSum += raw[b]
 	}
 	uniform := 1 / float64(alive)
-	for b := range n.branches {
-		if n.branches[b].empty {
+	for b, floor := range probs {
+		if floor < 0 {
+			probs[b] = 0
 			continue
 		}
 		probs[b] = (1-lambda)*raw[b]/rawSum + lambda*uniform

@@ -202,6 +202,61 @@ func (c *workerClient) Cost() int64 { return c.cost.Load() }
 // CacheHits implements hdb.Client: shared-memo hits this worker enjoyed.
 func (c *workerClient) CacheHits() int64 { return c.hits.Load() }
 
+// NewCursor implements hdb.CursorProvider: each worker's Estimator holds its
+// own prefix cursor (single-owner trie and predicate stack) over the shared
+// ShardedCache, so a branch any worker has probed is a memo hit for every
+// other worker's cursor while probe cost and memo hits are attributed to the
+// probing worker — exactly the Query-path accounting.
+func (c *workerClient) NewCursor(base hdb.Query) (hdb.QueryCursor, error) {
+	inner, err := c.cache.NewSharedCursor(base)
+	if err != nil {
+		return nil, err
+	}
+	return &workerCursor{c: c, inner: inner}, nil
+}
+
+// workerCursor wraps the shared-cache cursor with the per-worker concerns:
+// context cancellation between probes and per-worker cost/hit attribution.
+type workerCursor struct {
+	c     *workerClient
+	inner *hdb.SharedCursor
+}
+
+func (wc *workerCursor) Probe(attr int, value uint16) (hdb.Result, error) {
+	if wc.c.ctx != nil {
+		if err := wc.c.ctx.Err(); err != nil {
+			return hdb.Result{}, err
+		}
+	}
+	res, hit, err := wc.inner.ProbeHit(attr, value)
+	if hit {
+		wc.c.hits.Add(1)
+	} else {
+		wc.c.cost.Add(1) // the query was issued, even if it failed
+	}
+	return res, err
+}
+
+func (wc *workerCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	if wc.c.ctx != nil {
+		if err := wc.c.ctx.Err(); err != nil {
+			return 0, false, err
+		}
+	}
+	n, overflow, hit, err := wc.inner.ProbeCountHit(attr, value)
+	if hit {
+		wc.c.hits.Add(1)
+	} else {
+		wc.c.cost.Add(1)
+	}
+	return n, overflow, err
+}
+
+func (wc *workerCursor) Descend(attr int, value uint16) error { return wc.inner.Descend(attr, value) }
+func (wc *workerCursor) Ascend()                              { wc.inner.Ascend() }
+func (wc *workerCursor) Depth() int                           { return wc.inner.Depth() }
+func (wc *workerCursor) Close()                               { wc.inner.Close() }
+
 // workerSeed derives worker w's RNG substream seed: a golden-ratio stride
 // keeps substreams far apart in seed space, and w=0 maps to seed itself so
 // Workers=1 reproduces the sequential run.
@@ -287,6 +342,12 @@ func (s *Session) Run(ctx context.Context) (Snapshot, error) {
 		err = s.runStatic(ctx)
 	} else {
 		err = s.runRounds(ctx, cancel)
+	}
+
+	// The session runs once: release every worker's prefix cursor so the
+	// backend can recycle the pooled prefix bitmaps for the next session.
+	for _, w := range s.workers {
+		w.est.Close()
 	}
 
 	s.mu.Lock()

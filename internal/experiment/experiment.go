@@ -314,6 +314,7 @@ func runWithBudget(backend hdb.Interface, spec estimatorSpec, seed int64, budget
 	if err != nil {
 		return 0, 0, err
 	}
+	defer e.Close() // recycle the prefix cursor's pooled bitmaps
 	var run stats.Running
 	for pass := 0; ; pass++ {
 		est, err := e.Estimate()
@@ -403,6 +404,7 @@ func singlePassStats(s Scale, backend hdb.Interface, spec estimatorSpec, truth f
 		if err != nil {
 			return err
 		}
+		defer e.Close() // recycle the prefix cursor's pooled bitmaps
 		est, err := e.Estimate()
 		if err != nil {
 			return err

@@ -1,0 +1,130 @@
+package hdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation guards for the drill-down hot paths. These used to be visible
+// only as -benchmem numbers; pinning them as tests makes an allocation
+// regression fail tier-1 instead of waiting for someone to re-run benches.
+
+func allocTable(t testing.TB) *Table {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(31))
+	attrs := []Attribute{{Name: "a", Dom: 4}, {Name: "b", Dom: 4}, {Name: "c", Dom: 4}, {Name: "d", Dom: 4}}
+	schema := Schema{Attrs: attrs}
+	seen := map[string]bool{}
+	var tuples []Tuple
+	for len(tuples) < 200 {
+		tp := Tuple{Cats: make([]uint16, len(attrs))}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+		if len(seen) == 256 {
+			break
+		}
+	}
+	tbl, err := NewTable(schema, 3, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func mustZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm up: pools, trie nodes, key scratch
+	if got := testing.AllocsPerRun(200, fn); got != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, got)
+	}
+}
+
+// TestCacheHitZeroAlloc pins the flat memo-hit path (binary key build + map
+// probe) at zero allocations.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	cache := NewCache(allocTable(t))
+	q := Query{}.And(0, 1).And(1, 2)
+	if _, err := cache.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "cache hit", func() {
+		if _, err := cache.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCursorProbeZeroAlloc pins the cursor probe paths: a memoised probe hit
+// (full and count) through the session stack, a shared-cache trie hit, and
+// the engine's count-only probe — all zero allocations.
+func TestCursorProbeZeroAlloc(t *testing.T) {
+	tbl := allocTable(t)
+
+	session := NewSession(tbl)
+	cur, err := session.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if err := cur.Descend(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "session cursor Probe hit", func() {
+		if _, err := cur.Probe(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "session cursor ProbeCount hit", func() {
+		if _, _, err := cur.ProbeCount(1, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "session cursor Descend/Ascend", func() {
+		if err := cur.Descend(2, 1); err != nil {
+			t.Fatal(err)
+		}
+		cur.Ascend()
+	})
+
+	shared := NewShardedCache(NewCounter(tbl), 4)
+	scur, err := shared.NewSharedCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scur.Close()
+	mustZeroAllocs(t, "shared cursor ProbeHit (trie hit)", func() {
+		if _, _, err := scur.ProbeHit(0, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "shared cursor ProbeCountHit (trie hit)", func() {
+		if _, _, _, err := scur.ProbeCountHit(0, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ecurI, err := tbl.NewCursor(Query{}.And(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ecurI.Close()
+	mustZeroAllocs(t, "engine ProbeCount (cold, count-only)", func() {
+		if _, _, err := ecurI.ProbeCount(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "engine Descend/Ascend + ProbeCount rematerialise", func() {
+		if err := ecurI.Descend(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ecurI.ProbeCount(2, 0); err != nil {
+			t.Fatal(err)
+		}
+		ecurI.Ascend()
+	})
+}

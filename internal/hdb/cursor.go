@@ -1,0 +1,312 @@
+package hdb
+
+import (
+	"errors"
+	"fmt"
+
+	"hdunbiased/internal/bitset"
+)
+
+// This file implements the prefix-cursor evaluation path: the incremental
+// counterpart of Interface.Query for drill-down workloads. The paper's
+// estimators spend essentially their whole query budget extending a known
+// prefix by one predicate (the commit and probe phases of smart
+// backtracking); evaluating each such probe as a fresh conjunctive query
+// re-pays the entire predicate chain — a depth-d probe costs d-1 bitmap ANDs
+// its parent already performed. A cursor instead keeps the drill-down state:
+// the committed prefix is materialised once, and each probe is a single
+// bounded AND (or, higher in the client stack, a single pointer chase into
+// the memoised path trie).
+//
+// The cursor contract mirrors the Query middleware stack layer for layer —
+// Counter counts, Limiter debits, Tracer logs, Cache/ShardedCache memoise —
+// so cost accounting and memo behaviour are bit-identical with the flat
+// path: a probe reaches the backend exactly when the equivalent Query call
+// would have, and is answered for free exactly when the memo would have
+// answered it. Backends that cannot support cursors (the webform HTTP
+// client) simply do not implement CursorProvider and estimators fall back
+// to plain Query.
+
+// ErrNoCursor is returned by NewCursor when the underlying backend does not
+// support prefix cursors; callers fall back to Interface.Query.
+var ErrNoCursor = errors.New("hdb: backend does not support prefix cursors")
+
+// QueryCursor is the incremental drill-down evaluation handle. A cursor
+// stands at a committed prefix query (initially the base query it was
+// created with) and answers probes that extend the prefix by one predicate.
+// Descend commits a probed predicate onto the prefix; Ascend pops the most
+// recently committed one (never below the base). Cursors are not safe for
+// concurrent use; each estimation worker owns its cursor, even when the
+// memo behind it is shared.
+//
+// Results returned by Probe may be memoised and shared: callers must not
+// modify Result.Tuples (the same contract as Cache.Query).
+type QueryCursor interface {
+	// Probe evaluates prefix ∧ (attr=value) under top-k semantics — the
+	// exact Result Query would return for the equivalent conjunctive query.
+	Probe(attr int, value uint16) (Result, error)
+	// ProbeCount classifies prefix ∧ (attr=value) without materialising
+	// tuples: n is the size of the top-k answer (|Sel| when it fits, k on
+	// overflow — i.e. len(Result.Tuples) of the equivalent Probe) and
+	// overflow mirrors Result.Overflow. The walk's probe phase only needs
+	// this underflow/valid/overflow classification.
+	ProbeCount(attr int, value uint16) (n int, overflow bool, err error)
+	// Descend commits attr=value onto the prefix. It issues no query.
+	Descend(attr int, value uint16) error
+	// Ascend pops the most recently committed predicate. It panics below
+	// the base prefix.
+	Ascend()
+	// Depth returns the number of committed predicates, base included.
+	Depth() int
+	// Close releases pooled resources. The cursor must not be used after.
+	Close()
+}
+
+// CursorProvider is implemented by backends and middleware that support the
+// incremental evaluation path. Middleware provides a cursor only when its
+// inner Interface does; otherwise NewCursor returns ErrNoCursor.
+type CursorProvider interface {
+	NewCursor(base Query) (QueryCursor, error)
+}
+
+// ---------------------------------------------------------------------------
+// Engine cursor (Table)
+
+// tableCursor is the engine-level cursor: a stack of materialised prefix
+// bitmaps over a Table's posting-list index. The stack is lazy — Descend
+// only records the predicate, and prefix bitmaps materialise (one AndInto
+// per outstanding level, into pooled caller-owned sets) the first time a
+// probe actually reaches the engine at that depth. Drill-downs whose probes
+// are answered by a memo above therefore never touch a bitmap at all, while
+// cold probes pay one bounded AND instead of re-intersecting the chain.
+type tableCursor struct {
+	t       *Table
+	preds   []Predicate   // committed predicates, base first
+	baseLen int           // number of base predicates (Ascend floor)
+	tops    []*bitset.Set // tops[i] = materialised prefix after i+1 predicates; tops[0] borrows the posting bitmap
+	own     []*bitset.Set // owned sets backing tops[1:], grown lazily, reused across walks
+	mat     int           // number of materialised levels (<= len(preds))
+	idx     []int         // k+1-bounded probe scratch
+}
+
+// NewCursor implements CursorProvider: an incremental evaluation handle
+// positioned at base. Cursors are pooled per table; Close returns one to the
+// pool with its prefix sets intact for reuse.
+func (t *Table) NewCursor(base Query) (QueryCursor, error) {
+	if err := base.Validate(t.schema); err != nil {
+		return nil, err
+	}
+	c := t.cursors.Get().(*tableCursor)
+	c.t = t
+	c.preds = append(c.preds[:0], base.Preds...)
+	c.baseLen = len(base.Preds)
+	c.mat = 0
+	return c, nil
+}
+
+// Close implements QueryCursor, returning the cursor to its table's pool.
+func (c *tableCursor) Close() {
+	t := c.t
+	c.t = nil
+	t.cursors.Put(c)
+}
+
+// Depth implements QueryCursor.
+func (c *tableCursor) Depth() int { return len(c.preds) }
+
+// checkProbe validates one probe predicate against the schema and the
+// committed prefix — the cursor equivalent of Query.Validate, O(depth).
+func (c *tableCursor) checkProbe(attr int, value uint16) error {
+	s := c.t.schema
+	if attr < 0 || attr >= len(s.Attrs) {
+		return fmt.Errorf("hdb: predicate attribute %d out of range [0,%d)", attr, len(s.Attrs))
+	}
+	if int(value) >= s.Attrs[attr].Dom {
+		return fmt.Errorf("hdb: value %d out of domain for attribute %q (|Dom|=%d)",
+			value, s.Attrs[attr].Name, s.Attrs[attr].Dom)
+	}
+	for _, p := range c.preds {
+		if p.Attr == attr {
+			return fmt.Errorf("hdb: attribute %q repeated in query", s.Attrs[attr].Name)
+		}
+	}
+	return nil
+}
+
+// top materialises any outstanding prefix levels and returns the prefix
+// bitmap, or nil for the empty prefix (the whole table).
+func (c *tableCursor) top() *bitset.Set {
+	for c.mat < len(c.preds) {
+		p := c.preds[c.mat]
+		posting := c.t.index[p.Attr][p.Value]
+		if c.mat == 0 {
+			// Depth-1 prefix IS the posting bitmap: borrow it read-only
+			// instead of copying
+			c.tops = append(c.tops[:0], posting)
+			c.mat = 1
+			continue
+		}
+		for len(c.own) < c.mat {
+			c.own = append(c.own, nil)
+		}
+		dst := c.own[c.mat-1]
+		if dst == nil || dst.Len() != len(c.t.tuples) {
+			dst = bitset.New(len(c.t.tuples))
+			c.own[c.mat-1] = dst
+		}
+		bitset.AndInto(dst, c.tops[c.mat-1], posting)
+		c.tops = append(c.tops[:c.mat], dst)
+		c.mat++
+	}
+	if c.mat == 0 {
+		return nil
+	}
+	return c.tops[c.mat-1]
+}
+
+// Probe implements QueryCursor: one k+1-bounded AND of the predicate's
+// posting bitmap against the materialised prefix. The only allocation is the
+// Result's tuple slice — the same contract as Table.Query.
+func (c *tableCursor) Probe(attr int, value uint16) (Result, error) {
+	if err := c.checkProbe(attr, value); err != nil {
+		return Result{}, err
+	}
+	t := c.t
+	posting := t.index[attr][value]
+	var idx []int
+	if prefix := c.top(); prefix == nil {
+		idx = posting.FirstN(c.idx[:0], t.k+1)
+	} else {
+		idx = bitset.AndFirstN(c.idx[:0], t.k+1, prefix, posting)
+	}
+	c.idx = idx
+	overflow := len(idx) > t.k
+	if overflow {
+		idx = idx[:t.k]
+	}
+	out := make([]Tuple, len(idx))
+	for i, ti := range idx {
+		out[i] = t.tuples[ti]
+	}
+	return Result{Tuples: out, Overflow: overflow}, nil
+}
+
+// ProbeCount implements QueryCursor: the allocation-free classification
+// probe — one k-bounded popcount AND, no tuple materialisation.
+func (c *tableCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	if err := c.checkProbe(attr, value); err != nil {
+		return 0, false, err
+	}
+	t := c.t
+	posting := t.index[attr][value]
+	var n int
+	if prefix := c.top(); prefix == nil {
+		n = posting.CountUpTo(t.k)
+	} else {
+		n = prefix.AndCountUpTo(posting, t.k)
+	}
+	if n > t.k {
+		return t.k, true, nil
+	}
+	return n, false, nil
+}
+
+// Descend implements QueryCursor: O(1) — the prefix bitmap materialises
+// lazily on the next engine probe, if one ever comes.
+func (c *tableCursor) Descend(attr int, value uint16) error {
+	if err := c.checkProbe(attr, value); err != nil {
+		return err
+	}
+	c.preds = append(c.preds, Predicate{Attr: attr, Value: value})
+	return nil
+}
+
+// Ascend implements QueryCursor.
+func (c *tableCursor) Ascend() {
+	if len(c.preds) <= c.baseLen {
+		panic("hdb: Ascend below the cursor's base prefix")
+	}
+	c.preds = c.preds[:len(c.preds)-1]
+	if c.mat > len(c.preds) {
+		c.mat = len(c.preds)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Accounting middleware cursors (Counter, Limiter)
+
+// NewCursor implements CursorProvider: probes through the returned cursor
+// count exactly like queries — every probe that reaches this layer
+// increments the counter, including failed ones (the query was still
+// issued).
+func (c *Counter) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(c.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &counterCursor{inner: inner, c: c}, nil
+}
+
+type counterCursor struct {
+	inner QueryCursor
+	c     *Counter
+}
+
+func (cc *counterCursor) Probe(attr int, value uint16) (Result, error) {
+	cc.c.n.Add(1)
+	return cc.inner.Probe(attr, value)
+}
+
+func (cc *counterCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	cc.c.n.Add(1)
+	return cc.inner.ProbeCount(attr, value)
+}
+
+func (cc *counterCursor) Descend(attr int, value uint16) error { return cc.inner.Descend(attr, value) }
+func (cc *counterCursor) Ascend()                              { cc.inner.Ascend() }
+func (cc *counterCursor) Depth() int                           { return cc.inner.Depth() }
+func (cc *counterCursor) Close()                               { cc.inner.Close() }
+
+// NewCursor implements CursorProvider: probes debit the shared query budget
+// exactly like queries and fail with ErrQueryLimit once it is exhausted.
+func (l *Limiter) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(l.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &limiterCursor{inner: inner, l: l}, nil
+}
+
+type limiterCursor struct {
+	inner QueryCursor
+	l     *Limiter
+}
+
+func (lc *limiterCursor) Probe(attr int, value uint16) (Result, error) {
+	if lc.l.left.Add(-1) < 0 {
+		return Result{}, ErrQueryLimit
+	}
+	return lc.inner.Probe(attr, value)
+}
+
+func (lc *limiterCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	if lc.l.left.Add(-1) < 0 {
+		return 0, false, ErrQueryLimit
+	}
+	return lc.inner.ProbeCount(attr, value)
+}
+
+func (lc *limiterCursor) Descend(attr int, value uint16) error { return lc.inner.Descend(attr, value) }
+func (lc *limiterCursor) Ascend()                              { lc.inner.Ascend() }
+func (lc *limiterCursor) Depth() int                           { return lc.inner.Depth() }
+func (lc *limiterCursor) Close()                               { lc.inner.Close() }
+
+// newInnerCursor asks inner for a cursor, normalising the not-supported case
+// to ErrNoCursor.
+func newInnerCursor(inner Interface, base Query) (QueryCursor, error) {
+	cp, ok := inner.(CursorProvider)
+	if !ok {
+		return nil, ErrNoCursor
+	}
+	return cp.NewCursor(base)
+}

@@ -1,0 +1,366 @@
+package hdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCursorTable builds a small random categorical table for cursor
+// property tests.
+func randomCursorTable(t testing.TB, rnd *rand.Rand) *Table {
+	t.Helper()
+	nAttr := 2 + rnd.Intn(4)
+	attrs := make([]Attribute, nAttr)
+	for i := range attrs {
+		attrs[i] = Attribute{Name: "a" + string(rune('0'+i)), Dom: 2 + rnd.Intn(4)}
+	}
+	schema := Schema{Attrs: attrs, Measures: []string{"m"}}
+	domain := 1
+	for _, a := range attrs {
+		domain *= a.Dom
+	}
+	m := 1 + rnd.Intn(domain)
+	seen := map[string]bool{}
+	var tuples []Tuple
+	for len(tuples) < m && len(seen) < domain {
+		tp := Tuple{Cats: make([]uint16, nAttr), Nums: []float64{rnd.Float64()}}
+		for a := range tp.Cats {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		if key := tp.CatKey(); !seen[key] {
+			seen[key] = true
+			tuples = append(tuples, tp)
+		}
+	}
+	k := 1 + rnd.Intn(4)
+	tbl, err := NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatalf("randomCursorTable: %v", err)
+	}
+	return tbl
+}
+
+func sameResult(a, b Result) bool {
+	if a.Overflow != b.Overflow || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].CatKey() != b.Tuples[i].CatKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// cursorOpSeq drives one operation sequence (encoded as bytes, shared with
+// the fuzz target) against three cursors at different stack depths — the
+// bare engine cursor, a Session cursor (Cache→Counter→Table), and a
+// ShardedCache stack cursor — checking every probe against Table.Query on
+// the equivalent conjunctive query: same tuples (in rank order), same
+// overflow flag, same count classification. Descend/Ascend are interleaved
+// from the same byte stream, and flat session.Query calls are mixed in to
+// exercise memo interplay between the two paths.
+func cursorOpSeq(t *testing.T, tbl *Table, base Query, ops []byte) {
+	t.Helper()
+	session := NewSession(tbl)
+	shared := NewShardedCache(NewCounter(tbl), 4)
+
+	engineCur, err := tbl.NewCursor(base)
+	if err != nil {
+		t.Fatalf("engine NewCursor: %v", err)
+	}
+	defer engineCur.Close()
+	sessionCur, err := session.NewCursor(base)
+	if err != nil {
+		t.Fatalf("session NewCursor: %v", err)
+	}
+	defer sessionCur.Close()
+	sharedCur, err := shared.NewSharedCursor(base)
+	if err != nil {
+		t.Fatalf("shared NewCursor: %v", err)
+	}
+	defer sharedCur.Close()
+	cursors := map[string]QueryCursor{"engine": engineCur, "session": sessionCur, "shared": sharedCur}
+
+	prefix := append([]Predicate(nil), base.Preds...)
+	schema := tbl.Schema()
+	inPrefix := func(attr int) bool {
+		for _, p := range prefix {
+			if p.Attr == attr {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(ops) >= 3 {
+		op, a, v := ops[0], ops[1], ops[2]
+		ops = ops[3:]
+		attr := int(a) % len(schema.Attrs)
+		val := uint16(int(v) % schema.Attrs[attr].Dom)
+		want, wantErr := tbl.Query(Query{Preds: append(append([]Predicate(nil), prefix...), Predicate{Attr: attr, Value: val})})
+
+		switch op % 5 {
+		case 0, 1: // full probe on every cursor
+			for name, cur := range cursors {
+				got, err := cur.Probe(attr, val)
+				if (err != nil) != (wantErr != nil) {
+					t.Fatalf("%s Probe(%d,%d) err=%v, Query err=%v", name, attr, val, err, wantErr)
+				}
+				if err == nil && !sameResult(got, want) {
+					t.Fatalf("%s Probe(%d,%d) = %+v, Query = %+v (prefix %v)", name, attr, val, got, want, prefix)
+				}
+			}
+		case 2: // count probe on every cursor
+			for name, cur := range cursors {
+				n, overflow, err := cur.ProbeCount(attr, val)
+				if (err != nil) != (wantErr != nil) {
+					t.Fatalf("%s ProbeCount(%d,%d) err=%v, Query err=%v", name, attr, val, err, wantErr)
+				}
+				if err == nil && (n != len(want.Tuples) || overflow != want.Overflow) {
+					t.Fatalf("%s ProbeCount(%d,%d) = (%d,%v), Query = (%d,%v)",
+						name, attr, val, n, overflow, len(want.Tuples), want.Overflow)
+				}
+			}
+			// Interleave a flat query through the session memo: the two
+			// paths share one memo and must agree.
+			flat, err := session.Query(Query{Preds: append(append([]Predicate(nil), prefix...), Predicate{Attr: attr, Value: val})})
+			if (err != nil) != (wantErr != nil) {
+				t.Fatalf("flat Query err=%v, want %v", err, wantErr)
+			}
+			if err == nil && !sameResult(flat, want) {
+				t.Fatalf("flat Query through memo = %+v, engine = %+v", flat, want)
+			}
+		case 3: // descend (only into a fresh attribute — committed prefixes are valid queries)
+			if inPrefix(attr) {
+				continue
+			}
+			for name, cur := range cursors {
+				if err := cur.Descend(attr, val); err != nil {
+					t.Fatalf("%s Descend(%d,%d): %v", name, attr, val, err)
+				}
+			}
+			prefix = append(prefix, Predicate{Attr: attr, Value: val})
+		case 4: // ascend
+			if len(prefix) <= len(base.Preds) {
+				continue
+			}
+			for _, cur := range cursors {
+				cur.Ascend()
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		for name, cur := range cursors {
+			if cur.Depth() != len(prefix) {
+				t.Fatalf("%s Depth = %d, prefix has %d preds", name, cur.Depth(), len(prefix))
+			}
+		}
+	}
+}
+
+// TestCursorMatchesQueryProperty is the cursor ≡ Query property test over
+// random schemas, random base queries and random probe/descend/ascend
+// sequences.
+func TestCursorMatchesQueryProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 120; trial++ {
+		tbl := randomCursorTable(t, rnd)
+		var base Query
+		if rnd.Intn(2) == 0 { // half the trials: non-empty base prefix
+			attr := rnd.Intn(len(tbl.Schema().Attrs))
+			base = Query{}.And(attr, uint16(rnd.Intn(tbl.Schema().Attrs[attr].Dom)))
+		}
+		ops := make([]byte, 3*(10+rnd.Intn(60)))
+		rnd.Read(ops)
+		cursorOpSeq(t, tbl, base, ops)
+	}
+}
+
+// FuzzCursorMatchesQuery lets the fuzzer drive the op sequence; the seed
+// corpus runs as part of plain `go test ./...`.
+func FuzzCursorMatchesQuery(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 0, 3, 1, 1, 2, 0, 1, 4, 0, 0})
+	f.Add(int64(7), []byte{3, 0, 0, 3, 1, 0, 0, 2, 1, 4, 0, 0, 4, 0, 0, 1, 2, 2})
+	f.Add(int64(42), []byte{2, 3, 3, 3, 3, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rnd := rand.New(rand.NewSource(seed))
+		tbl := randomCursorTable(t, rnd)
+		var base Query
+		if seed%2 == 0 {
+			attr := rnd.Intn(len(tbl.Schema().Attrs))
+			base = Query{}.And(attr, uint16(rnd.Intn(tbl.Schema().Attrs[attr].Dom)))
+		}
+		cursorOpSeq(t, tbl, base, ops)
+	})
+}
+
+// TestCursorBaseValidation: creating a cursor with an invalid base fails
+// like Query would.
+func TestCursorBaseValidation(t *testing.T) {
+	tbl := randomCursorTable(t, rand.New(rand.NewSource(5)))
+	bad := Query{Preds: []Predicate{{Attr: 99, Value: 0}}}
+	if _, err := tbl.NewCursor(bad); err == nil {
+		t.Error("engine cursor accepted out-of-range base attribute")
+	}
+	if _, err := NewSession(tbl).NewCursor(bad); err == nil {
+		t.Error("session cursor accepted out-of-range base attribute")
+	}
+	// Out-of-schema probes error like Query.Validate, at every layer.
+	for _, mk := range []struct {
+		name string
+		cur  func() (QueryCursor, error)
+	}{
+		{"engine", func() (QueryCursor, error) { return tbl.NewCursor(Query{}) }},
+		{"session", func() (QueryCursor, error) { return NewSession(tbl).NewCursor(Query{}) }},
+	} {
+		cur, err := mk.cur()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Probe(99, 0); err == nil {
+			t.Errorf("%s: probe of out-of-range attribute did not error", mk.name)
+		}
+		if _, _, err := cur.ProbeCount(0, 60000); err == nil {
+			t.Errorf("%s: probe of out-of-domain value did not error", mk.name)
+		}
+		if err := cur.Descend(99, 0); err == nil {
+			t.Errorf("%s: descend on out-of-range attribute did not error", mk.name)
+		}
+		cur.Close()
+	}
+}
+
+// TestCursorAscendFloor: ascending below the base prefix panics on every
+// cursor layer.
+func TestCursorAscendFloor(t *testing.T) {
+	tbl := randomCursorTable(t, rand.New(rand.NewSource(6)))
+	base := Query{}.And(0, 0)
+	for _, mk := range []struct {
+		name string
+		cur  func() QueryCursor
+	}{
+		{"engine", func() QueryCursor { c, _ := tbl.NewCursor(base); return c }},
+		{"session", func() QueryCursor { c, _ := NewSession(tbl).NewCursor(base); return c }},
+	} {
+		cur := mk.cur()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic ascending below base", mk.name)
+				}
+			}()
+			cur.Ascend()
+		}()
+	}
+}
+
+// TestCursorCostAccounting pins the memo/cost parity contract: a probe
+// charges the backend exactly when the equivalent Query would have, however
+// the two paths interleave.
+func TestCursorCostAccounting(t *testing.T) {
+	tbl := randomCursorTable(t, rand.New(rand.NewSource(9)))
+	session := NewSession(tbl)
+	cur, err := session.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	if _, err := cur.Probe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Cost(); got != 1 {
+		t.Fatalf("after first probe: cost %d, want 1", got)
+	}
+	// Repeat probe: trie hit, no backend charge.
+	if _, err := cur.Probe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Count probe of the same query: memo hit too.
+	if _, _, err := cur.ProbeCount(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Flat query of the equivalent conjunctive query: memo hit, not a
+	// second backend query.
+	if _, err := session.Query(Query{}.And(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Cost(); got != 1 {
+		t.Fatalf("after repeats: cost %d, want 1", got)
+	}
+	if got := session.CacheHits(); got != 3 {
+		t.Fatalf("after repeats: hits %d, want 3", got)
+	}
+	// A query first issued flat must be a hit for the cursor as well.
+	if _, err := session.Query(Query{}.And(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Probe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Cost(); got != 2 {
+		t.Fatalf("flat-then-cursor: cost %d, want 2", got)
+	}
+	if got := session.CacheHits(); got != 4 {
+		t.Fatalf("flat-then-cursor: hits %d, want 4", got)
+	}
+	// Count probes fill the memo with the full result (not a placeholder):
+	// a later full probe must not re-charge.
+	if _, _, err := cur.ProbeCount(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	costAfterCount := session.Cost()
+	if _, err := cur.Probe(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Query(Query{}.And(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := session.Cost(); got != costAfterCount {
+		t.Fatalf("count-probe then full: cost %d, want %d", got, costAfterCount)
+	}
+}
+
+// TestLimiterCursor: the cursor path debits the shared budget and fails with
+// ErrQueryLimit exactly like the flat path.
+func TestLimiterCursor(t *testing.T) {
+	tbl := randomCursorTable(t, rand.New(rand.NewSource(10)))
+	lim := NewLimiter(tbl, 2)
+	cur, err := lim.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Probe(0, 0); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if _, _, err := cur.ProbeCount(0, 1); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if _, err := cur.Probe(1, 0); err != ErrQueryLimit {
+		t.Fatalf("probe 3: err=%v, want ErrQueryLimit", err)
+	}
+	if _, err := lim.Query(Query{}.And(1, 0)); err != ErrQueryLimit {
+		t.Fatalf("flat after exhaustion: err=%v, want ErrQueryLimit", err)
+	}
+}
+
+// TestCursorFallback: a backend without cursor support yields ErrNoCursor
+// through every middleware layer.
+func TestCursorFallback(t *testing.T) {
+	tbl := randomCursorTable(t, rand.New(rand.NewSource(11)))
+	opaque := struct{ Interface }{tbl} // hides CursorProvider
+	for _, c := range []struct {
+		name string
+		p    CursorProvider
+	}{
+		{"counter", NewCounter(opaque)},
+		{"limiter", NewLimiter(opaque, 10)},
+		{"session", NewSession(opaque)},
+		{"sharded", NewShardedCache(opaque, 2)},
+	} {
+		if _, err := c.p.NewCursor(Query{}); err != ErrNoCursor {
+			t.Errorf("%s: err=%v, want ErrNoCursor", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package hdb
+
+// Memoising cursors for Cache and ShardedCache. Both keep the canonical-key
+// memo as the source of truth (so the flat Query path and the cursor path
+// stay mutually consistent, and cost accounting is bit-identical with the
+// pre-cursor implementation), but front it with a per-cursor path trie: the
+// cursor's position IS a trie node, so a repeat probe — the overwhelmingly
+// common case in a drill-down, where every walk revisits mostly-known
+// branches — is one array index and no key building, no hashing, no map
+// lookup. The trie only ever caches results that are in (or came from) the
+// memo, so a trie hit is exactly a memo hit, just cheaper.
+//
+// Count-only probes that miss the memo still materialise the full Result
+// through the inner cursor and store it: memoising a count-only placeholder
+// would force a later full probe of the same query to hit the backend a
+// second time, breaking the "each distinct query is charged once" accounting
+// the estimators' cost numbers (and the equivalence goldens) rely on.
+
+// trieNode is one committed prefix in a cursor's drill path. Probes at a
+// node drill one fixed attribute (the plan's attribute for that depth), so
+// entries are a dense array indexed by branch value — O(1) per probe. The
+// first probe or descent at a node pins its attribute; off-plan probes on a
+// different attribute bypass the trie and take the canonical-key path.
+type trieNode struct {
+	attr    int // attribute probed/descended at this node; -1 until pinned
+	entries []trieEntry
+}
+
+type trieEntry struct {
+	res   Result
+	known bool
+	child *trieNode
+}
+
+// entry returns the trie slot for probing attr=value below n, pinning n's
+// attribute (sized dom) on first touch. It returns nil when n is pinned to a
+// different attribute — the caller falls back to the canonical-key memo.
+func (n *trieNode) entry(attr int, value uint16, dom int) *trieEntry {
+	if n.attr != attr {
+		if n.attr != -1 {
+			return nil
+		}
+		n.attr = attr
+		n.entries = make([]trieEntry, dom)
+	}
+	return &n.entries[value]
+}
+
+// cursorPath holds the committed-prefix state every memoising cursor needs:
+// the predicate list (for canonical keys), the trie position stack, and
+// reusable key scratch.
+type cursorPath struct {
+	schema    Schema
+	preds     []Predicate // base predicates + descents
+	baseLen   int         // number of base predicates (Ascend floor)
+	stack     []*trieNode // stack[0] = base-prefix node; one node per descent
+	predsPlus []Predicate // preds + probe predicate, key-building scratch
+	keyBuf    []byte
+}
+
+func newCursorPath(schema Schema, base Query) cursorPath {
+	return cursorPath{
+		schema:  schema,
+		preds:   append([]Predicate(nil), base.Preds...),
+		baseLen: len(base.Preds),
+		stack:   []*trieNode{{attr: -1}},
+	}
+}
+
+// node returns the trie node at the cursor's position.
+func (p *cursorPath) node() *trieNode { return p.stack[len(p.stack)-1] }
+
+// probeEntry returns the trie slot for one probe, or nil when there is none:
+// below an off-plan prefix (nil node), for off-plan probes (attribute
+// mismatch at a pinned node), or for out-of-schema probes (which fall
+// through to the inner cursor and are rejected with the same error
+// Query.Validate would give). A nil slot just means the probe takes the
+// canonical-key path.
+func (p *cursorPath) probeEntry(attr int, value uint16) *trieEntry {
+	n := p.node()
+	if n == nil || attr < 0 || attr >= len(p.schema.Attrs) || int(value) >= p.schema.Attrs[attr].Dom {
+		return nil
+	}
+	return n.entry(attr, value, p.schema.Attrs[attr].Dom)
+}
+
+// probeKey builds the canonical binary key of prefix ∧ (attr=value) into the
+// path's reusable scratch.
+func (p *cursorPath) probeKey(attr int, value uint16) []byte {
+	p.predsPlus = append(append(p.predsPlus[:0], p.preds...), Predicate{Attr: attr, Value: value})
+	p.keyBuf = Query{Preds: p.predsPlus}.AppendKey(p.keyBuf[:0])
+	return p.keyBuf
+}
+
+// descend commits attr=value: push the trie child (created and linked on
+// first descent, so future walks over the same path reuse it) and extend the
+// predicate list. Off-plan descents push a nil node — everything below takes
+// the canonical-key path, staying correct and allocation-free.
+func (p *cursorPath) descend(attr int, value uint16) {
+	var child *trieNode
+	if e := p.probeEntry(attr, value); e != nil {
+		if e.child == nil {
+			e.child = &trieNode{attr: -1}
+		}
+		child = e.child
+	}
+	p.stack = append(p.stack, child)
+	p.preds = append(p.preds, Predicate{Attr: attr, Value: value})
+}
+
+func (p *cursorPath) ascend() {
+	if len(p.stack) == 1 || len(p.preds) <= p.baseLen {
+		panic("hdb: Ascend below the cursor's base prefix")
+	}
+	p.stack = p.stack[:len(p.stack)-1]
+	p.preds = p.preds[:len(p.preds)-1]
+}
+
+func (p *cursorPath) depth() int { return len(p.preds) }
+
+// ---------------------------------------------------------------------------
+// Cache (single-threaded) cursor
+
+// NewCursor implements CursorProvider: probes consult and fill the memo
+// exactly like Query calls, so Hits() and the backend query count are
+// unchanged whichever path a client mixes.
+func (c *Cache) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(c.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &cacheCursor{cache: c, inner: inner, path: newCursorPath(c.Schema(), base)}, nil
+}
+
+type cacheCursor struct {
+	cache *Cache
+	inner QueryCursor
+	path  cursorPath
+}
+
+func (cc *cacheCursor) Probe(attr int, value uint16) (Result, error) {
+	e := cc.path.probeEntry(attr, value)
+	if e != nil && e.known {
+		cc.cache.hits++
+		return e.res, nil
+	}
+	key := cc.path.probeKey(attr, value)
+	if r, ok := cc.cache.memo[string(key)]; ok {
+		cc.cache.hits++
+		if e != nil {
+			e.res, e.known = r, true
+		}
+		return r, nil
+	}
+	r, err := cc.inner.Probe(attr, value)
+	if err != nil {
+		return Result{}, err
+	}
+	cc.cache.memo[string(key)] = r
+	if e != nil {
+		e.res, e.known = r, true
+	}
+	return r, nil
+}
+
+func (cc *cacheCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	if e := cc.path.probeEntry(attr, value); e != nil && e.known {
+		cc.cache.hits++
+		return len(e.res.Tuples), e.res.Overflow, nil
+	}
+	res, err := cc.Probe(attr, value) // fill the memo; see file comment
+	if err != nil {
+		return 0, false, err
+	}
+	return len(res.Tuples), res.Overflow, nil
+}
+
+func (cc *cacheCursor) Descend(attr int, value uint16) error {
+	if err := cc.inner.Descend(attr, value); err != nil {
+		return err
+	}
+	cc.path.descend(attr, value)
+	return nil
+}
+
+func (cc *cacheCursor) Ascend() {
+	cc.path.ascend()
+	cc.inner.Ascend()
+}
+
+func (cc *cacheCursor) Depth() int { return cc.path.depth() }
+func (cc *cacheCursor) Close()     { cc.inner.Close() }
+
+// ---------------------------------------------------------------------------
+// ShardedCache (concurrent) cursor
+
+// NewSharedCursor returns a cursor over the shared memo. The cursor itself
+// (trie, predicate stack) is single-owner state — one per estimation worker
+// — while trie misses consult and fill the striped shard maps, so a branch
+// any worker has probed is a cheap hit for every other worker's cursor.
+func (c *ShardedCache) NewSharedCursor(base Query) (*SharedCursor, error) {
+	inner, err := newInnerCursor(c.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedCursor{cache: c, inner: inner, path: newCursorPath(c.Schema(), base)}, nil
+}
+
+// NewCursor implements CursorProvider.
+func (c *ShardedCache) NewCursor(base Query) (QueryCursor, error) {
+	return c.NewSharedCursor(base)
+}
+
+// SharedCursor is the ShardedCache's cursor. It is exported as a concrete
+// type because per-worker clients (internal/estsvc) need the Hit variants to
+// attribute backend cost and memo hits to the probing worker.
+type SharedCursor struct {
+	cache *ShardedCache
+	inner QueryCursor
+	path  cursorPath
+}
+
+// ProbeHit is Probe plus whether a memo (trie or shard) answered it — the
+// cursor counterpart of ShardedCache.QueryHit, with the same locking
+// discipline: the shard lock is never held across the inner probe.
+func (sc *SharedCursor) ProbeHit(attr int, value uint16) (Result, bool, error) {
+	e := sc.path.probeEntry(attr, value)
+	if e != nil && e.known {
+		sc.cache.hits.Add(1)
+		return e.res, true, nil
+	}
+	key := sc.path.probeKey(attr, value)
+	shard := &sc.cache.shards[hashKey(key)&sc.cache.mask]
+	shard.mu.Lock()
+	r, ok := shard.memo[string(key)]
+	shard.mu.Unlock()
+	if ok {
+		sc.cache.hits.Add(1)
+		if e != nil {
+			e.res, e.known = r, true
+		}
+		return r, true, nil
+	}
+	r, err := sc.inner.Probe(attr, value)
+	if err != nil {
+		return Result{}, false, err
+	}
+	shard.mu.Lock()
+	shard.memo[string(key)] = r
+	shard.mu.Unlock()
+	if e != nil {
+		e.res, e.known = r, true
+	}
+	return r, false, nil
+}
+
+// ProbeCountHit is ProbeCount plus the hit flag.
+func (sc *SharedCursor) ProbeCountHit(attr int, value uint16) (int, bool, bool, error) {
+	if e := sc.path.probeEntry(attr, value); e != nil && e.known {
+		sc.cache.hits.Add(1)
+		return len(e.res.Tuples), e.res.Overflow, true, nil
+	}
+	res, hit, err := sc.ProbeHit(attr, value) // fill the memo; see file comment
+	if err != nil {
+		return 0, false, false, err
+	}
+	return len(res.Tuples), res.Overflow, hit, nil
+}
+
+// Probe implements QueryCursor.
+func (sc *SharedCursor) Probe(attr int, value uint16) (Result, error) {
+	res, _, err := sc.ProbeHit(attr, value)
+	return res, err
+}
+
+// ProbeCount implements QueryCursor.
+func (sc *SharedCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	n, overflow, _, err := sc.ProbeCountHit(attr, value)
+	return n, overflow, err
+}
+
+// Descend implements QueryCursor.
+func (sc *SharedCursor) Descend(attr int, value uint16) error {
+	if err := sc.inner.Descend(attr, value); err != nil {
+		return err
+	}
+	sc.path.descend(attr, value)
+	return nil
+}
+
+// Ascend implements QueryCursor.
+func (sc *SharedCursor) Ascend() {
+	sc.path.ascend()
+	sc.inner.Ascend()
+}
+
+// Depth implements QueryCursor.
+func (sc *SharedCursor) Depth() int { return sc.path.depth() }
+
+// Close implements QueryCursor.
+func (sc *SharedCursor) Close() { sc.inner.Close() }

@@ -168,6 +168,15 @@ func NewSession(backend Interface) *Session {
 	return &Session{Interface: cache, counter: ctr, cache: cache}
 }
 
+// NewCursor implements CursorProvider: the session's cursor consults and
+// fills the memo on every probe and counts backend queries through the same
+// Counter as the flat path, so Cost and CacheHits stay exact whichever mix
+// of Query and cursor probes an estimator issues. ErrNoCursor when the
+// backend cannot support cursors.
+func (s *Session) NewCursor(base Query) (QueryCursor, error) {
+	return s.cache.NewCursor(base)
+}
+
 // Cost returns the number of queries that reached the backend.
 func (s *Session) Cost() int64 { return s.counter.Count() }
 

@@ -37,6 +37,7 @@ type Table struct {
 	index   [][]*bitset.Set // index[attr][value], bit i = tuples[i] has value
 	selRank []int           // selRank[attr] = intersection position (most selective first)
 	scratch sync.Pool       // *tableScratch, keeps Query allocation-free and concurrency-safe
+	cursors sync.Pool       // *tableCursor, reuses prefix-bitmap stacks across cursors
 }
 
 // tableScratch holds per-evaluation buffers. Pooled rather than owned by the
@@ -129,6 +130,7 @@ func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table
 	t.buildIndex()
 	t.buildSelOrder()
 	t.scratch.New = func() any { return new(tableScratch) }
+	t.cursors.New = func() any { return new(tableCursor) }
 	return t, nil
 }
 

@@ -36,6 +36,13 @@ func (t *Tracer) K() int { return t.inner.K() }
 // Query implements Interface, logging the query and its outcome.
 func (t *Tracer) Query(q Query) (Result, error) {
 	res, err := t.inner.Query(q)
+	t.record(q, len(res.Tuples), res.Overflow, err)
+	return res, err
+}
+
+// record logs one query outcome (n = tuples returned) and updates the
+// per-outcome totals. Shared by the flat path and the cursor.
+func (t *Tracer) record(q Query, n int, overflow bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.n++
@@ -43,18 +50,70 @@ func (t *Tracer) Query(q Query) (Result, error) {
 	case err != nil:
 		t.errors++
 		fmt.Fprintf(t.w, "%6d  %-40s  ERROR %v\n", t.n, q.String(), err)
-	case res.Overflow:
+	case overflow:
 		t.overflow++
-		fmt.Fprintf(t.w, "%6d  %-40s  OVERFLOW (%d shown)\n", t.n, q.String(), len(res.Tuples))
-	case len(res.Tuples) == 0:
+		fmt.Fprintf(t.w, "%6d  %-40s  OVERFLOW (%d shown)\n", t.n, q.String(), n)
+	case n == 0:
 		t.underflow++
 		fmt.Fprintf(t.w, "%6d  %-40s  UNDERFLOW\n", t.n, q.String())
 	default:
 		t.valid++
-		fmt.Fprintf(t.w, "%6d  %-40s  VALID (%d)\n", t.n, q.String(), len(res.Tuples))
+		fmt.Fprintf(t.w, "%6d  %-40s  VALID (%d)\n", t.n, q.String(), n)
 	}
+}
+
+// NewCursor implements CursorProvider: every probe through the returned
+// cursor is logged and tallied exactly like a Query call (probes render as
+// the full conjunctive query they are equivalent to).
+func (t *Tracer) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(t.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &tracerCursor{t: t, inner: inner, preds: append([]Predicate(nil), base.Preds...)}, nil
+}
+
+type tracerCursor struct {
+	t     *Tracer
+	inner QueryCursor
+	preds []Predicate
+}
+
+// probeQuery renders the prefix extended by one probe predicate. Allocates,
+// like all Tracer logging — tracing is a debugging tool, not a hot path.
+func (tc *tracerCursor) probeQuery(attr int, value uint16) Query {
+	preds := make([]Predicate, len(tc.preds), len(tc.preds)+1)
+	copy(preds, tc.preds)
+	return Query{Preds: append(preds, Predicate{Attr: attr, Value: value})}
+}
+
+func (tc *tracerCursor) Probe(attr int, value uint16) (Result, error) {
+	res, err := tc.inner.Probe(attr, value)
+	tc.t.record(tc.probeQuery(attr, value), len(res.Tuples), res.Overflow, err)
 	return res, err
 }
+
+func (tc *tracerCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	n, overflow, err := tc.inner.ProbeCount(attr, value)
+	tc.t.record(tc.probeQuery(attr, value), n, overflow, err)
+	return n, overflow, err
+}
+
+func (tc *tracerCursor) Descend(attr int, value uint16) error {
+	if err := tc.inner.Descend(attr, value); err != nil {
+		return err
+	}
+	tc.preds = append(tc.preds, Predicate{Attr: attr, Value: value})
+	return nil
+}
+
+func (tc *tracerCursor) Ascend() {
+	tc.inner.Ascend()
+	tc.preds = tc.preds[:len(tc.preds)-1]
+}
+
+func (tc *tracerCursor) Depth() int { return tc.inner.Depth() }
+func (tc *tracerCursor) Close()     { tc.inner.Close() }
 
 // Count returns the number of queries traced so far.
 func (t *Tracer) Count() int64 {
