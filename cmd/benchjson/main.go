@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON, so the perf trajectory lands in CI artifacts instead of living only
+// as prose in PERFORMANCE.md. It reads standard benchmark lines from stdin
+// and writes one JSON document mapping benchmark name (CPU suffix stripped)
+// to its metrics:
+//
+//	go test -run '^$' -bench 'Estimate' -benchmem . | benchjson -o BENCH_PR4.json
+//
+// Recognised metrics are ns/op, B/op and allocs/op plus any custom
+// ReportMetric units (queries/op, mare/op, ...). Repeated runs of one
+// benchmark (-count > 1) keep the minimum ns/op line, the conventional
+// steady-state reading.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("benchjson: no benchmark lines on stdin")
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// Result holds one benchmark's metrics. NsPerOp is always present;
+// BytesPerOp/AllocsPerOp require -benchmem; Extra collects custom
+// ReportMetric units.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type scanner interface {
+	Scan() bool
+	Text() string
+	Err() error
+}
+
+func parse(sc scanner) (map[string]*Result, error) {
+	results := make(map[string]*Result)
+	for sc.Scan() {
+		r, name, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, dup := results[name]; dup && prev.NsPerOp <= r.NsPerOp {
+			continue // -count repeats: keep the fastest run
+		}
+		results[name] = r
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one `Benchmark<Name>[-procs] <iters> <value> <unit> ...`
+// line; ok is false for non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (r *Result, name string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 || !isBench(fields[0]) {
+		return nil, "", false
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+		return nil, "", false
+	}
+	r = &Result{Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return nil, "", false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			r.BytesPerOp = &v
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if !sawNs {
+		return nil, "", false
+	}
+	return r, trimProcs(fields[0]), true
+}
+
+func isBench(name string) bool {
+	const prefix = "Benchmark"
+	return len(name) > len(prefix) && strings.HasPrefix(name, prefix)
+}
+
+// trimProcs strips the trailing -<GOMAXPROCS> suffix go test appends, so
+// names are stable across runner shapes. Sub-benchmark names keep their
+// slash-separated parts.
+func trimProcs(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c == '-' {
+			return name[:i]
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	return name
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hdunbiased
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEstimatePassHD-8   	   35726	     67887 ns/op	     131 B/op	       1 allocs/op
+BenchmarkEstimatePassHD1M/index=hybrid         	    2000	    209742 ns/op	   40546 B/op	      65 allocs/op
+BenchmarkEstimatePassHD1M/index=dense          	    2000	    858844 ns/op	   40935 B/op	      65 allocs/op
+BenchmarkCacheLookup      	33818536	        74.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDesignAttributeOrder/decreasing-fanout-8         	     100	  12345 ns/op	        58.00 queries/op
+BenchmarkEstimatePassHD-8   	   40000	     61010 ns/op	     130 B/op	       1 allocs/op
+PASS
+ok  	hdunbiased	33.298s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(results), results)
+	}
+
+	hd := results["BenchmarkEstimatePassHD"]
+	if hd == nil {
+		t.Fatal("missing BenchmarkEstimatePassHD (procs suffix not trimmed?)")
+	}
+	// Two runs: the faster one wins.
+	if hd.NsPerOp != 61010 || hd.Iterations != 40000 {
+		t.Fatalf("repeated bench kept %v ns/op (%d iters), want fastest 61010", hd.NsPerOp, hd.Iterations)
+	}
+	if hd.BytesPerOp == nil || *hd.BytesPerOp != 130 || hd.AllocsPerOp == nil || *hd.AllocsPerOp != 1 {
+		t.Fatalf("benchmem metrics wrong: %+v", hd)
+	}
+
+	hyb := results["BenchmarkEstimatePassHD1M/index=hybrid"]
+	if hyb == nil || hyb.NsPerOp != 209742 {
+		t.Fatalf("sub-benchmark name mishandled: %+v", hyb)
+	}
+
+	cl := results["BenchmarkCacheLookup"]
+	if cl == nil || cl.NsPerOp != 74.10 {
+		t.Fatalf("fractional ns/op mishandled: %+v", cl)
+	}
+
+	custom := results["BenchmarkDesignAttributeOrder/decreasing-fanout"]
+	if custom == nil || custom.Extra["queries/op"] != 58 {
+		t.Fatalf("custom metric mishandled: %+v", custom)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	hdunbiased	33.298s",
+		"goos: linux",
+		"Benchmark",              // bare prefix
+		"BenchmarkX abc 1 ns/op", // non-numeric iterations
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -39,8 +39,9 @@ import (
 func main() {
 	var (
 		urlFlag   = flag.String("url", "", "webform base URL (empty = offline dataset)")
-		dataset   = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
+		dataset   = flag.String("dataset", "auto", "offline dataset: auto, auto-scaled, bool-iid, bool-mixed")
 		m         = flag.Int("m", 100000, "offline dataset size")
+		rows      = flag.Int("rows", 0, "offline dataset rows; overrides -m when set (e.g. -dataset auto-scaled -rows 1000000)")
 		n         = flag.Int("n", 40, "offline Boolean attribute count")
 		k         = flag.Int("k", 100, "offline top-k")
 		algo      = flag.String("algo", "hd", "estimator: hd (WA+D&C) or bool (plain)")
@@ -57,6 +58,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *rows > 0 {
+		*m = *rows
+	}
 	backend, truthf, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -76,9 +80,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	dubSet := false
+	flag.Visit(func(f *flag.Flag) { dubSet = dubSet || f.Name == "dub" })
 	spec := estsvc.Spec{Algo: *algo, R: *r, DUB: *dub, Where: whereMap}
 	if *dub == 0 {
 		spec.DUB = -1 // flag semantics: 0 means no divide-&-conquer
+	} else if maxDom := maxFanout(backend.Schema()); !dubSet && spec.DUB < maxDom {
+		// The paper requires D_UB >= max|Dom(Ai)|; raise the *default* so
+		// high-fanout schemas (auto-scaled's dom-1024 region) work out of
+		// the box. An explicitly passed -dub is honoured as given — too
+		// small still fails with querytree's clear error.
+		fmt.Printf("raising default -dub %d -> %d (largest attribute fanout)\n", spec.DUB, maxDom)
+		spec.DUB = maxDom
 	}
 	if *sum != "" {
 		spec.Sum = []string{*sum}
@@ -220,9 +233,15 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(
 		d   *datagen.Dataset
 		err error
 	)
+	var opts []hdb.TableOption
 	switch dataset {
 	case "auto":
 		d, err = datagen.Auto(m, seed)
+	case "auto-scaled":
+		// The production-scale variant ranks by price, which clusters the
+		// derived price bands into run containers.
+		d, err = datagen.AutoScaled(m, seed)
+		opts = append(opts, hdb.WithRanking(hdb.RankByMeasure(0)))
 	case "bool-iid":
 		d, err = datagen.BoolIID(m, n, 0.5, seed)
 	case "bool-mixed":
@@ -233,10 +252,11 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := d.Table(k)
+	tbl, err := d.Table(k, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
+	logIndexStats(tbl)
 	truth := func(mi int, cond hdb.Query) (float64, error) {
 		if mi == 0 {
 			c, err := tbl.SelCount(cond)
@@ -245,6 +265,36 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(
 		return tbl.SumMeasure(tbl.Schema().Measures[0], cond)
 	}
 	return tbl, truth, nil
+}
+
+// maxFanout returns the schema's largest attribute domain.
+func maxFanout(s hdb.Schema) int {
+	m := 0
+	for _, a := range s.Attrs {
+		if a.Dom > m {
+			m = a.Dom
+		}
+	}
+	return m
+}
+
+// logIndexStats reports the engine's container taxonomy and memory
+// footprint — the numbers PERFORMANCE.md's dense-vs-hybrid table tracks,
+// reproducible with e.g. `hdestimate -dataset auto-scaled -rows 1000000`.
+func logIndexStats(tbl *hdb.Table) {
+	stats := tbl.IndexStats()
+	fmt.Printf("index: %d rows, %d bytes (", tbl.Size(), tbl.IndexBytes())
+	first := true
+	for _, kind := range []string{"array", "bitmap", "runs"} {
+		if s, ok := stats[kind]; ok {
+			if !first {
+				fmt.Print(", ")
+			}
+			first = false
+			fmt.Printf("%d %s/%dB", s.Lists, kind, s.Bytes)
+		}
+	}
+	fmt.Println(")")
 }
 
 // parseWhere parses "attr=code,attr=code" into a query (for the offline

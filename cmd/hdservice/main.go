@@ -39,14 +39,18 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8090", "listen address for the job API")
 		urlFlag = flag.String("url", "", "webform base URL to estimate against (empty = offline dataset)")
-		dataset = flag.String("dataset", "auto", "offline dataset: auto, bool-iid, bool-mixed")
+		dataset = flag.String("dataset", "auto", "offline dataset: auto, auto-scaled, bool-iid, bool-mixed")
 		m       = flag.Int("m", 100000, "offline dataset size")
+		rows    = flag.Int("rows", 0, "offline dataset rows; overrides -m when set (the hybrid index makes auto-scaled -rows 1000000 practical to serve)")
 		n       = flag.Int("n", 40, "offline Boolean attribute count")
 		k       = flag.Int("k", 100, "offline top-k")
 		seed    = flag.Int64("seed", 1, "offline generator seed")
 	)
 	flag.Parse()
 
+	if *rows > 0 {
+		*m = *rows
+	}
 	backend, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -77,9 +81,13 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, error
 		d   *datagen.Dataset
 		err error
 	)
+	var opts []hdb.TableOption
 	switch dataset {
 	case "auto":
 		d, err = datagen.Auto(m, seed)
+	case "auto-scaled":
+		d, err = datagen.AutoScaled(m, seed)
+		opts = append(opts, hdb.WithRanking(hdb.RankByMeasure(0)))
 	case "bool-iid":
 		d, err = datagen.BoolIID(m, n, 0.5, seed)
 	case "bool-mixed":
@@ -90,7 +98,12 @@ func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, error
 	if err != nil {
 		return nil, err
 	}
-	return d.Table(k)
+	tbl, err := d.Table(k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("index: %d rows, %d bytes", tbl.Size(), tbl.IndexBytes())
+	return tbl, nil
 }
 
 func init() {

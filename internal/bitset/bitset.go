@@ -335,6 +335,13 @@ func IntersectFirstN(dst []int, n int, sets ...*Set) []int {
 	return dst
 }
 
+// Words returns the backing word slice (bit i lives at word i/64, bit
+// i%64). It exists for the internal/posting container layer, whose hybrid
+// kernels need word-granular masked access; everyone else should treat the
+// returned slice as read-only — writes bypass the capacity invariant unless
+// the caller owns the set and respects trim.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Indices returns all set bit indices in ascending order.
 func (s *Set) Indices() []int {
 	out := make([]int, 0, s.Count())

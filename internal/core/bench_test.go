@@ -20,12 +20,13 @@ func BenchmarkWeightTreeAccess(b *testing.B) {
 	}
 	probs := make([]float64, fanout)
 	raw := make([]float64, fanout)
+	cum := make([]float64, fanout)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		node := w.child(w.rootNode(fanout), 3, fanout)
 		node.addSample(i%fanout, 5)
-		if _, err := node.branchWeights(0.2, probs, raw); err != nil {
+		if _, err := node.branchWeights(0.2, probs, raw, cum); err != nil {
 			b.Fatal(err)
 		}
 	}

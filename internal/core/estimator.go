@@ -101,6 +101,7 @@ type Estimator struct {
 	scratchOf []int     // scratchOf[level] = plan.LayerOf(level), precomputed off the walk path
 	probsBuf  []float64 // branch distribution, max-fanout capacity
 	rawBuf    []float64 // branchWeights size-knowledge scratch
+	cumBuf    []float64 // cumulative branch distribution, filled fused with probsBuf for drawIndex's binary search
 	valsBuf   []float64 // per-walk measure sums
 	countMask []bool    // countMask[mi]: measures[mi] is CountMeasure, summed as len(Tuples)
 }
@@ -192,6 +193,7 @@ func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure
 		scratchOf: scratchOf,
 		probsBuf:  make([]float64, maxFanout),
 		rawBuf:    make([]float64, maxFanout),
+		cumBuf:    make([]float64, maxFanout),
 		valsBuf:   make([]float64, len(measures)),
 		countMask: countMask,
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"hdunbiased/internal/hdb"
 )
@@ -72,17 +73,18 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 		attr := e.plan.AttrAt(lvl)
 		fanout := e.plan.FanoutAt(lvl)
 		var weights []float64
+		cum := e.cumBuf[:fanout]
 		if adjust {
 			var err error
-			weights, err = node.branchWeights(e.cfg.MixLambda, e.probsBuf[:fanout], e.rawBuf[:fanout])
+			weights, err = node.branchWeights(e.cfg.MixLambda, e.probsBuf[:fanout], e.rawBuf[:fanout], cum)
 			if err != nil {
 				return fmt.Errorf("%w at %s", err, sc.builder.Query().String())
 			}
 		} else {
-			weights = uniformWeights(e.probsBuf[:fanout])
+			weights = uniformWeights(e.probsBuf[:fanout], cum)
 		}
 
-		j0 := drawIndex(weights, e.rnd)
+		j0 := drawIndex(weights, cum, e.rnd)
 		j := j0
 		runWeight := 0.0
 		var committed hdb.Result
@@ -178,9 +180,40 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 }
 
 // drawIndex samples an index from a probability vector. weights must sum to
-// ~1 with at least one positive entry (branchWeights guarantees it).
-func drawIndex(weights []float64, rnd *rand.Rand) int {
-	u := rnd.Float64()
+// ~1 with at least one positive entry, and cum must hold its running
+// cumulative sums accumulated left to right (branchWeights/uniformWeights
+// fill both in one fused pass — the profile showed the draw's re-scan of
+// the weight vector stacked on top of the pass branchWeights had just made
+// over the same memory). Exactly one rnd.Float64() is consumed, and the
+// returned index is bit-identical to the historical linear scan: both
+// resolve to the first positive-weight index whose cumulative sum reaches
+// u, with the FP tail attributed to the last positive entry.
+func drawIndex(weights, cum []float64, rnd *rand.Rand) int {
+	return pickIndex(weights, cum, rnd.Float64())
+}
+
+// pickIndex resolves a uniform draw u against the (weights, cum) pair; split
+// from drawIndex so tests can pin the binary-search path to the linear scan
+// with exact draws.
+func pickIndex(weights, cum []float64, u float64) int {
+	if len(weights) >= 16 {
+		// Binary search over the cumulative distribution: first i with
+		// cum[i] >= u. Zero-weight entries repeat their predecessor's
+		// cumulative sum, so the found slot can sit on a zero-weight run's
+		// first element only when u ties the sum exactly (or u == 0 before
+		// any positive weight); skipping forward to the next positive
+		// weight lands on the index the linear scan would have returned.
+		i := sort.SearchFloat64s(cum, u)
+		for i < len(weights) && weights[i] <= 0 {
+			i++
+		}
+		if i < len(weights) {
+			return i
+		}
+		for i = len(weights) - 1; i > 0 && weights[i] <= 0; i-- {
+		}
+		return i // FP slack: attribute the tail to the last positive entry
+	}
 	acc := 0.0
 	last := 0
 	for i, w := range weights {

@@ -304,7 +304,7 @@ func TestDrawIndex(t *testing.T) {
 	counts := make([]int, 4)
 	const n = 40000
 	for i := 0; i < n; i++ {
-		counts[drawIndex(weights, rnd)]++
+		counts[drawIndex(weights, cumOf(weights), rnd)]++
 	}
 	if counts[1] != 0 {
 		t.Errorf("zero-weight branch drawn %d times", counts[1])
@@ -320,13 +320,68 @@ func TestDrawIndex(t *testing.T) {
 	}
 }
 
+// drawIndexLinear is the historical linear-scan draw, kept as the reference
+// the ≥16-fanout binary-search path must match index-for-index: goldens
+// depend on the fused cumulative draw picking identical branches.
+func drawIndexLinear(weights []float64, u float64) int {
+	acc := 0.0
+	last := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		last = i
+		if u <= acc {
+			return i
+		}
+	}
+	return last
+}
+
+func TestDrawIndexBinaryMatchesLinear(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		fanout := 16 + rnd.Intn(49) // binary-search path only
+		weights := make([]float64, fanout)
+		var sum float64
+		for i := range weights {
+			if rnd.Float64() < 0.4 { // dense zero runs, the tricky case
+				continue
+			}
+			weights[i] = rnd.Float64()
+			sum += weights[i]
+		}
+		if sum == 0 {
+			weights[fanout-1] = 1
+			sum = 1
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		cum := cumOf(weights)
+		// Edge draws exactly on cumulative boundaries plus random ones.
+		draws := append([]float64{0, cum[0], cum[fanout/2], cum[fanout-1]}, rnd.Float64(), rnd.Float64())
+		for _, u := range draws {
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			got := pickIndex(weights, cum, u)
+			want := drawIndexLinear(weights, u)
+			if got != want {
+				t.Fatalf("trial %d u=%v: binary draw %d, linear draw %d", trial, u, got, want)
+			}
+		}
+	}
+}
+
 func TestDrawIndexFPSlack(t *testing.T) {
 	// Weights summing to slightly below 1 must still return a positive-
 	// weight index.
 	weights := []float64{0.3, 0.7 - 1e-12, 0}
 	rnd := rand.New(rand.NewSource(1))
 	for i := 0; i < 1000; i++ {
-		j := drawIndex(weights, rnd)
+		j := drawIndex(weights, cumOf(weights), rnd)
 		if weights[j] == 0 {
 			t.Fatal("drawIndex returned zero-weight index")
 		}

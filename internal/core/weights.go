@@ -128,18 +128,25 @@ func (n *nodeState) addSample(b int, size float64) {
 // uniformWeights fills probs with the uniform distribution — the drill-down
 // of Section 3, which never consults the weight tree (known-empty branches
 // keep probability 1/w, exactly as the paper's w_U(j) accounting assumes;
-// re-probing them costs nothing thanks to the client cache).
-func uniformWeights(probs []float64) []float64 {
+// re-probing them costs nothing thanks to the client cache). cum receives
+// the running cumulative sums for drawIndex, accumulated left to right with
+// the exact additions the draw's linear scan would perform.
+func uniformWeights(probs, cum []float64) []float64 {
 	u := 1 / float64(len(probs))
+	acc := 0.0
 	for i := range probs {
 		probs[i] = u
+		acc += u
+		cum[i] = acc
 	}
 	return probs
 }
 
 // branchWeights computes the weight-adjusted branch distribution for the
-// node into probs (raw is same-length scratch; both are caller-owned reusable
-// buffers, so the computation allocates nothing).
+// node into probs (raw is same-length scratch; cum receives the cumulative
+// distribution for drawIndex, built in the same normalisation pass — all
+// three are caller-owned reusable buffers, so the computation allocates
+// nothing).
 //
 // Branch b gets weight proportional to the best available subtree-size
 // knowledge — exact count, equation-(6) estimate bounded below by the
@@ -150,7 +157,7 @@ func uniformWeights(probs []float64) []float64 {
 // positive entry; an error means the tree believes every branch is empty,
 // which contradicts an overflowing parent and indicates an inconsistent
 // backend.
-func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float64, error) {
+func (n *nodeState) branchWeights(lambda float64, probs, raw, cum []float64) ([]float64, error) {
 	// One pass computes everything the prior needs: zero probs, count alive
 	// branches, and collect per-branch raw size knowledge (0 = "no size
 	// estimate yet"). A branch whose only knowledge is the overflow floor is
@@ -216,12 +223,17 @@ func (n *nodeState) branchWeights(lambda float64, probs, raw []float64) ([]float
 		rawSum += raw[b]
 	}
 	uniform := 1 / float64(alive)
+	acc := 0.0
 	for b, floor := range probs {
 		if floor < 0 {
 			probs[b] = 0
+			cum[b] = acc
 			continue
 		}
-		probs[b] = (1-lambda)*raw[b]/rawSum + lambda*uniform
+		p := (1-lambda)*raw[b]/rawSum + lambda*uniform
+		probs[b] = p
+		acc += p
+		cum[b] = acc
 	}
 	return probs, nil
 }

@@ -11,7 +11,21 @@ import (
 // way tests want it (the estimator passes reusable scratch instead).
 func bw(n *nodeState, lambda float64) ([]float64, error) {
 	f := len(n.branches)
-	return n.branchWeights(lambda, make([]float64, f), make([]float64, f))
+	return n.branchWeights(lambda, make([]float64, f), make([]float64, f), make([]float64, f))
+}
+
+// cumOf builds the cumulative distribution drawIndex expects, with the same
+// left-to-right accumulation branchWeights performs.
+func cumOf(weights []float64) []float64 {
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			acc += w
+		}
+		cum[i] = acc
+	}
+	return cum
 }
 
 // testNode builds a detached node with the given fanout for unit tests.
@@ -20,7 +34,7 @@ func testNode(fanout int) *nodeState {
 }
 
 func TestUniformWeights(t *testing.T) {
-	probs := uniformWeights(make([]float64, 4))
+	probs := uniformWeights(make([]float64, 4), make([]float64, 4))
 	for _, p := range probs {
 		if p != 0.25 {
 			t.Fatalf("uniform probs = %v", probs)
@@ -82,7 +96,8 @@ func TestBranchWeightsDirtyBuffers(t *testing.T) {
 	n.addSample(0, 5)
 	probs := []float64{9, 9, 9}
 	raw := []float64{7, 7, 7}
-	got, err := n.branchWeights(0.2, probs, raw)
+	cum := []float64{8, 8, 8}
+	got, err := n.branchWeights(0.2, probs, raw, cum)
 	if err != nil {
 		t.Fatal(err)
 	}

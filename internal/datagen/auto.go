@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"hdunbiased/internal/hdb"
 )
@@ -152,9 +153,12 @@ func Auto(m int, seed int64) (*Dataset, error) {
 
 	nAttrs := len(schema.Attrs)
 	tuples := make([]hdb.Tuple, 0, m)
+	cats := catBacking(m, nAttrs)
+	nums := make([]float64, m) // one backing array for every tuple's price
 	seen := make(map[string]bool, m)
 	for len(tuples) < m {
-		t := hdb.Tuple{Cats: make([]uint16, nAttrs), Nums: make([]float64, 1)}
+		i := len(tuples)
+		t := hdb.Tuple{Cats: cats(i), Nums: nums[i : i+1 : i+1]}
 		mk := makeDist.sample(rnd)
 		t.Cats[AutoMake] = uint16(mk)
 		t.Cats[AutoModel] = uint16(modelDists[mk].sample(rnd))
@@ -243,11 +247,13 @@ func newWeighted(w []float64) *weighted {
 
 func (w *weighted) sample(rnd *rand.Rand) int {
 	u := rnd.Float64()
-	// Linear scan is fine: longest weight vector here has 16 entries.
-	for i, c := range w.cum {
-		if u <= c {
-			return i
-		}
+	// Binary search for the first cum entry >= u — the same index the
+	// historical linear scan returned for every draw (identical predicate
+	// over an identical cum vector, so fixed-seed datasets are unchanged),
+	// but O(log dom): the scaled Auto variant samples dom-1024 regions.
+	i := sort.SearchFloat64s(w.cum, u)
+	if i == len(w.cum) {
+		return len(w.cum) - 1
 	}
-	return len(w.cum) - 1
+	return i
 }

@@ -108,9 +108,10 @@ func boolDataset(name string, m int, probs []float64, seed int64) (*Dataset, err
 	schema := hdb.Schema{Attrs: attrs}
 	rnd := rand.New(rand.NewSource(seed))
 	tuples := make([]hdb.Tuple, 0, m)
+	cats := catBacking(m, n) // one backing array for every tuple's values
 	seen := make(map[string]bool, m)
 	for len(tuples) < m {
-		t := hdb.Tuple{Cats: make([]uint16, n)}
+		t := hdb.Tuple{Cats: cats(len(tuples))}
 		for a := 0; a < n; a++ {
 			if rnd.Float64() < probs[a] {
 				t.Cats[a] = 1
@@ -120,6 +121,20 @@ func boolDataset(name string, m int, probs []float64, seed int64) (*Dataset, err
 		tuples = append(tuples, t)
 	}
 	return &Dataset{Name: name, Schema: schema, Tuples: tuples}, nil
+}
+
+// catBacking returns a view maker over one preallocated m×n value array:
+// view(i) is tuple i's n-value slice, full-capacity-clipped so appends can
+// never bleed into a neighbour. Generating per-tuple slices in a loop was
+// the datagen scaling bottleneck — at Auto-1M it cost a million small
+// allocations before the estimator ever ran; one batch allocation builds
+// the same tuples (identical RNG consumption, so fixed-seed datasets and
+// every golden derived from them are unchanged) in seconds.
+func catBacking(m, n int) func(i int) []uint16 {
+	backing := make([]uint16, m*n)
+	return func(i int) []uint16 {
+		return backing[i*n : (i+1)*n : (i+1)*n]
+	}
 }
 
 // uniquify ensures t's categorical vector is not in seen, flipping random

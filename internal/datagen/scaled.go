@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hdunbiased/internal/hdb"
+)
+
+// AutoScaled is the production-scale variant of the Auto dataset — the
+// ROADMAP's "Auto-1M / Auto-10M". It keeps the paper artifact's 38
+// attributes (6 skewed categoricals + 32 trim-correlated Boolean options)
+// and price measure, and adds the high-cardinality listing attributes a
+// production vehicle-search table carries but the 50k paper artifact never
+// needed:
+//
+//   - year (|Dom| = 24): age-skewed, newer listings more common, correlated
+//     with price;
+//   - region (|Dom| = 1024): a zip3-style listing region, Zipf-distributed —
+//     the high-fanout regime where a dense per-value bitmap index pays
+//     O(values × rows/8) bytes for postings that are almost all sparse;
+//   - price_band (|Dom| = 32): the price quantile bucket, a derived search
+//     facet ("under $10k"). It is a monotone function of the price measure,
+//     so under the price ranking every band's posting is one contiguous rank
+//     run — the value-clustered case the engine's run containers exist for.
+//
+// Like every generator here it is deterministic in its seed and guarantees
+// distinct categorical vectors, and it builds from preallocated column
+// batches, so Auto-1M synthesises in seconds.
+
+// Scaled attribute layout: the base Auto attributes first (indices as in
+// Auto), then the production extensions.
+const (
+	AutoScaledYear      = 38 // |Dom| = 24, 23 = current model year
+	AutoScaledRegion    = 39 // |Dom| = 1024, Zipf-popular listing region
+	AutoScaledPriceBand = 40 // |Dom| = 32, price quantile bucket, 0 = priciest
+	AutoScaledNumAttrs  = 41
+)
+
+// AutoScaledSchema returns the scaled Auto dataset's schema.
+func AutoScaledSchema() hdb.Schema {
+	base := AutoSchema()
+	base.Attrs = append(base.Attrs,
+		hdb.Attribute{Name: "year", Dom: 24},
+		hdb.Attribute{Name: "region", Dom: 1024},
+		hdb.Attribute{Name: "price_band", Dom: 32},
+	)
+	return base
+}
+
+// AutoScaled generates the production-scale Auto dataset with m tuples.
+func AutoScaled(m int, seed int64) (*Dataset, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("datagen: m must be >= 1, got %d", m)
+	}
+	schema := AutoScaledSchema()
+	rnd := rand.New(rand.NewSource(seed))
+
+	// Base-attribute distributions mirror Auto's generative model.
+	makeDist := newWeighted(powerWeights(16, 0.9))
+	modelDists := make([]*weighted, 16)
+	for mk := range modelDists {
+		w := powerWeights(16, 1.1)
+		mr := rand.New(rand.NewSource(seed + int64(mk) + 1000))
+		mr.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] })
+		modelDists[mk] = newWeighted(w)
+	}
+	colorDist := newWeighted(powerWeights(12, 0.7))
+	bodyDist := newWeighted(powerWeights(8, 0.8))
+	fuelDist := newWeighted([]float64{60, 20, 10, 6, 3, 1})
+	transDist := newWeighted([]float64{70, 15, 8, 5, 2})
+	regionDist := newWeighted(powerWeights(1024, 1.0))
+
+	makePriceMul := make([]float64, 16)
+	for mk := range makePriceMul {
+		switch autoMakes[mk] {
+		case "bmw", "mercedes", "lexus":
+			makePriceMul[mk] = 2.4
+		case "toyota", "honda", "subaru":
+			makePriceMul[mk] = 1.2
+		default:
+			makePriceMul[mk] = 1.0
+		}
+	}
+
+	nAttrs := len(schema.Attrs)
+	tuples := make([]hdb.Tuple, 0, m)
+	cats := catBacking(m, nAttrs)
+	nums := make([]float64, m)
+	seen := make(map[string]bool, m)
+	for len(tuples) < m {
+		i := len(tuples)
+		t := hdb.Tuple{Cats: cats(i), Nums: nums[i : i+1 : i+1]}
+		mk := makeDist.sample(rnd)
+		t.Cats[AutoMake] = uint16(mk)
+		t.Cats[AutoModel] = uint16(modelDists[mk].sample(rnd))
+		t.Cats[AutoColor] = uint16(colorDist.sample(rnd))
+		t.Cats[AutoBodyStyle] = uint16(bodyDist.sample(rnd))
+		t.Cats[AutoFuel] = uint16(fuelDist.sample(rnd))
+		t.Cats[AutoTransmission] = uint16(transDist.sample(rnd))
+
+		trim := rnd.Float64()
+		if makePriceMul[mk] > 2 {
+			trim = math.Sqrt(trim)
+		}
+		for oi := 0; oi < AutoNumOptions; oi++ {
+			pOpt := clamp(0.15+0.75*trim-0.018*float64(oi), 0.02, 0.98)
+			if rnd.Float64() < pOpt {
+				t.Cats[AutoFirstOption+oi] = 1
+			}
+		}
+
+		// Age skew: newer cars list more often; age depresses price.
+		age := int(24 * math.Pow(rnd.Float64(), 1.5))
+		if age > 23 {
+			age = 23
+		}
+		t.Cats[AutoScaledYear] = uint16(23 - age)
+		t.Cats[AutoScaledRegion] = uint16(regionDist.sample(rnd))
+
+		base := 9000 * makePriceMul[mk] * (1 + 0.8*trim) *
+			(1 + 0.05*float64(t.Cats[AutoBodyStyle])) * (1 - 0.028*float64(age))
+		price := base * math.Exp(rnd.NormFloat64()*0.25)
+		t.Nums[0] = math.Round(price)
+
+		// Dedup on the non-derived attributes (price_band is still 0 here,
+		// so distinctness of the first 40 attributes implies distinctness of
+		// the final vectors). Never flip the derived band slot.
+		for seen[t.CatKey()] {
+			a := rnd.Intn(nAttrs - 1)
+			t.Cats[a] = uint16(rnd.Intn(schema.Attrs[a].Dom))
+		}
+		seen[t.CatKey()] = true
+		tuples = append(tuples, t)
+	}
+
+	assignPriceBands(tuples, nums)
+	return &Dataset{
+		Name:   fmt.Sprintf("auto-scaled(m=%d)", m),
+		Schema: schema,
+		Tuples: tuples,
+	}, nil
+}
+
+// assignPriceBands sets each tuple's price_band to its price quantile
+// bucket (band 0 = priciest 1/32). The band is a function of price alone —
+// equal prices always share a band — and is antitone in it, so a table
+// ranked by descending price sees bands in non-decreasing rank order and
+// every band's posting is one contiguous run.
+func assignPriceBands(tuples []hdb.Tuple, prices []float64) {
+	m := len(tuples)
+	sorted := append([]float64(nil), prices[:m]...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	// cuts[b] = lowest price admitted to band b; non-increasing.
+	cuts := make([]float64, 31)
+	for b := 0; b < 31; b++ {
+		hi := (b + 1) * m / 32
+		if hi > m {
+			hi = m
+		}
+		if hi == 0 {
+			cuts[b] = math.Inf(1)
+			continue
+		}
+		cuts[b] = sorted[hi-1]
+	}
+	for i := range tuples {
+		p := tuples[i].Nums[0]
+		band := 0
+		for band < 31 && p < cuts[band] {
+			band++
+		}
+		tuples[i].Cats[AutoScaledPriceBand] = uint16(band)
+	}
+}

@@ -59,6 +59,126 @@ func TestCacheHitZeroAlloc(t *testing.T) {
 	})
 }
 
+// allocHybridTable builds a table whose auto-selected index mixes all three
+// container kinds: a dom-64 attribute over 2048 tuples yields sparse array
+// postings, a rank-clustered band attribute yields run postings, and the
+// random low-fanout attributes yield bitmaps.
+func allocHybridTable(t testing.TB) *Table {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(77))
+	attrs := []Attribute{
+		{Name: "wide", Dom: 64},
+		{Name: "band", Dom: 4},
+		{Name: "b", Dom: 4},
+		{Name: "c", Dom: 2},
+	}
+	schema := Schema{Attrs: attrs}
+	const m = 2048
+	tuples := make([]Tuple, m)
+	for i := range tuples {
+		tuples[i] = Tuple{Cats: []uint16{
+			uint16(rnd.Intn(64)),
+			uint16(i / (m / 4)), // clustered in rank order -> runs
+			uint16(rnd.Intn(4)),
+			uint16(rnd.Intn(2)),
+		}}
+	}
+	tbl, err := NewTable(schema, 3, tuples, WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"array", "bitmap", "runs"} {
+		if tbl.IndexStats()[kind].Lists == 0 {
+			t.Fatalf("alloc table index is not mixed: %v", tbl.IndexStats())
+		}
+	}
+	return tbl
+}
+
+// TestHybridCursorProbeZeroAlloc pins the hybrid engine's warm cursor paths
+// at zero allocations: container dispatch must not box or escape, and
+// prefix rematerialisation must reuse the cursor's pooled Mutable sets —
+// across every prefix shape (borrowed posting, collapsed array, run
+// intersection, dense bitmap).
+func TestHybridCursorProbeZeroAlloc(t *testing.T) {
+	tbl := allocHybridTable(t)
+	cur, err := tbl.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	// Array-prefix regime: wide=5 collapses the prefix to a rank array.
+	if err := cur.Descend(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "count probe below array prefix", func() {
+		if _, _, err := cur.ProbeCount(2, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "rematerialise array prefix (descend+probe+ascend)", func() {
+		if err := cur.Descend(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cur.ProbeCount(2, 0); err != nil {
+			t.Fatal(err)
+		}
+		cur.Ascend()
+		if _, _, err := cur.ProbeCount(3, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cur.Ascend()
+
+	// Runs-prefix regime: band=1 borrows the run container.
+	if err := cur.Descend(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "count probe below runs prefix", func() {
+		if _, _, err := cur.ProbeCount(2, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	mustZeroAllocs(t, "rematerialise below runs prefix", func() {
+		if err := cur.Descend(2, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cur.ProbeCount(3, 1); err != nil {
+			t.Fatal(err)
+		}
+		cur.Ascend()
+		if _, _, err := cur.ProbeCount(3, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cur.Ascend()
+
+	// Bitmap-prefix regime: b=0 stays dense.
+	if err := cur.Descend(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "count probe below bitmap prefix", func() {
+		if _, _, err := cur.ProbeCount(3, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Flat-query scratch (ordered sets + galloping cursors) must also be
+	// warm through the pool: only the Result tuple slice may allocate, and
+	// a count-classified empty conjunction allocates nothing at all.
+	session := NewSession(tbl)
+	q := Query{}.And(0, 63).And(1, 0).And(2, 3)
+	if _, err := session.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	mustZeroAllocs(t, "memoised flat query over hybrid index", func() {
+		if _, err := session.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestCursorProbeZeroAlloc pins the cursor probe paths: a memoised probe hit
 // (full and count) through the session stack, a shared-cache trie hit, and
 // the engine's count-only probe — all zero allocations.

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"hdunbiased/internal/bitset"
+	"hdunbiased/internal/posting"
 )
 
 // This file implements the prefix-cursor evaluation path: the incremental
@@ -72,21 +72,28 @@ type CursorProvider interface {
 // ---------------------------------------------------------------------------
 // Engine cursor (Table)
 
-// tableCursor is the engine-level cursor: a stack of materialised prefix
-// bitmaps over a Table's posting-list index. The stack is lazy — Descend
-// only records the predicate, and prefix bitmaps materialise (one AndInto
-// per outstanding level, into pooled caller-owned sets) the first time a
-// probe actually reaches the engine at that depth. Drill-downs whose probes
-// are answered by a memo above therefore never touch a bitmap at all, while
-// cold probes pay one bounded AND instead of re-intersecting the chain.
+// tableCursor is the engine-level cursor: a stack of materialised hybrid
+// prefix sets over a Table's posting-container index. The stack is lazy —
+// Descend only records the predicate, and prefix sets materialise (one
+// posting.AndInto per outstanding level, into pooled caller-owned Mutables)
+// the first time a probe actually reaches the engine at that depth.
+// Drill-downs whose probes are answered by a memo above therefore never
+// touch a container at all, while cold probes pay one bounded AND instead
+// of re-intersecting the chain.
+//
+// Materialised prefixes are adaptive like the index itself: a selective
+// prefix collapses to a small rank array instead of an n-bit bitmap, so the
+// per-cursor working set is O(depth × matches) rather than O(depth ×
+// rows/8), and every probe below it costs O(matches) instead of O(rows/64).
 type tableCursor struct {
 	t       *Table
-	preds   []Predicate   // committed predicates, base first
-	baseLen int           // number of base predicates (Ascend floor)
-	tops    []*bitset.Set // tops[i] = materialised prefix after i+1 predicates; tops[0] borrows the posting bitmap
-	own     []*bitset.Set // owned sets backing tops[1:], grown lazily, reused across walks
-	mat     int           // number of materialised levels (<= len(preds))
-	idx     []int         // k+1-bounded probe scratch
+	preds   []Predicate        // committed predicates, base first
+	baseLen int                // number of base predicates (Ascend floor)
+	top0    posting.Mutable    // depth-1 prefix: borrows the posting container, no copy
+	tops    []*posting.Mutable // tops[i] = materialised prefix after i+1 predicates
+	own     []*posting.Mutable // owned sets backing tops[1:], grown lazily, reused across walks
+	mat     int                // number of materialised levels (<= len(preds))
+	idx     []int              // k+1-bounded probe scratch
 }
 
 // NewCursor implements CursorProvider: an incremental evaluation handle
@@ -134,15 +141,16 @@ func (c *tableCursor) checkProbe(attr int, value uint16) error {
 }
 
 // top materialises any outstanding prefix levels and returns the prefix
-// bitmap, or nil for the empty prefix (the whole table).
-func (c *tableCursor) top() *bitset.Set {
+// set, or nil for the empty prefix (the whole table).
+func (c *tableCursor) top() *posting.Mutable {
 	for c.mat < len(c.preds) {
 		p := c.preds[c.mat]
-		posting := c.t.index[p.Attr][p.Value]
+		post := c.t.index[p.Attr][p.Value]
 		if c.mat == 0 {
-			// Depth-1 prefix IS the posting bitmap: borrow it read-only
-			// instead of copying
-			c.tops = append(c.tops[:0], posting)
+			// Depth-1 prefix IS the posting container: borrow it read-only
+			// instead of copying.
+			c.top0.Borrow(post)
+			c.tops = append(c.tops[:0], &c.top0)
 			c.mat = 1
 			continue
 		}
@@ -150,11 +158,16 @@ func (c *tableCursor) top() *bitset.Set {
 			c.own = append(c.own, nil)
 		}
 		dst := c.own[c.mat-1]
-		if dst == nil || dst.Len() != len(c.t.tuples) {
-			dst = bitset.New(len(c.t.tuples))
+		if dst == nil {
+			dst = new(posting.Mutable)
 			c.own[c.mat-1] = dst
 		}
-		bitset.AndInto(dst, c.tops[c.mat-1], posting)
+		if c.t.mode == IndexDense {
+			// Faithful pre-hybrid baseline: dense prefixes never collapse.
+			posting.AndIntoDense(dst, c.tops[c.mat-1], post)
+		} else {
+			posting.AndInto(dst, c.tops[c.mat-1], post)
+		}
 		c.tops = append(c.tops[:c.mat], dst)
 		c.mat++
 	}
@@ -164,20 +177,20 @@ func (c *tableCursor) top() *bitset.Set {
 	return c.tops[c.mat-1]
 }
 
-// Probe implements QueryCursor: one k+1-bounded AND of the predicate's
-// posting bitmap against the materialised prefix. The only allocation is the
-// Result's tuple slice — the same contract as Table.Query.
+// Probe implements QueryCursor: one k+1-bounded container AND of the
+// predicate's posting against the materialised prefix. The only allocation
+// is the Result's tuple slice — the same contract as Table.Query.
 func (c *tableCursor) Probe(attr int, value uint16) (Result, error) {
 	if err := c.checkProbe(attr, value); err != nil {
 		return Result{}, err
 	}
 	t := c.t
-	posting := t.index[attr][value]
+	post := t.index[attr][value]
 	var idx []int
 	if prefix := c.top(); prefix == nil {
-		idx = posting.FirstN(c.idx[:0], t.k+1)
+		idx = post.FirstN(c.idx[:0], t.k+1)
 	} else {
-		idx = bitset.AndFirstN(c.idx[:0], t.k+1, prefix, posting)
+		idx = posting.AndFirstN(c.idx[:0], t.k+1, prefix, post)
 	}
 	c.idx = idx
 	overflow := len(idx) > t.k
@@ -192,18 +205,20 @@ func (c *tableCursor) Probe(attr int, value uint16) (Result, error) {
 }
 
 // ProbeCount implements QueryCursor: the allocation-free classification
-// probe — one k-bounded popcount AND, no tuple materialisation.
+// probe — one k-bounded counting AND, no tuple materialisation. Below an
+// unconstrained prefix the container already knows its cardinality, so the
+// dense engine's bounded popcount scan is a field read here.
 func (c *tableCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
 	if err := c.checkProbe(attr, value); err != nil {
 		return 0, false, err
 	}
 	t := c.t
-	posting := t.index[attr][value]
+	post := t.index[attr][value]
 	var n int
 	if prefix := c.top(); prefix == nil {
-		n = posting.CountUpTo(t.k)
+		n = post.CountUpTo(t.k)
 	} else {
-		n = prefix.AndCountUpTo(posting, t.k)
+		n = posting.AndCountUpTo(prefix, post, t.k)
 	}
 	if n > t.k {
 		return t.k, true, nil
@@ -211,7 +226,7 @@ func (c *tableCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
 	return n, false, nil
 }
 
-// Descend implements QueryCursor: O(1) — the prefix bitmap materialises
+// Descend implements QueryCursor: O(1) — the prefix set materialises
 // lazily on the next engine probe, if one ever comes.
 func (c *tableCursor) Descend(attr int, value uint16) error {
 	if err := c.checkProbe(attr, value); err != nil {

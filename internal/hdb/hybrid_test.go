@@ -1,0 +1,206 @@
+package hdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The hybrid ≡ dense property suite: the PR 3 cursor≡Query pattern, one
+// layer down. Identical schemas and op sequences must produce identical
+// Results, counts, ground-truth aggregates, and backend costs through a
+// hybrid-container table and an IndexDense (all-bitmap, the pre-PR 4
+// engine) table — the container representation must never change a single
+// answer or charge.
+
+// randomHybridTables builds the same random table twice — hybrid (auto
+// container selection) and dense — engineered so the auto index actually
+// mixes representations: a high-fanout attribute yields sparse array
+// postings, a rank-clustered attribute yields run postings, and low-fanout
+// attributes yield bitmaps.
+func randomHybridTables(t testing.TB, rnd *rand.Rand) (hybrid, dense *Table) {
+	t.Helper()
+	nExtra := 1 + rnd.Intn(3)
+	attrs := []Attribute{
+		{Name: "wide", Dom: 16 + rnd.Intn(48)}, // sparse postings -> arrays
+		{Name: "band", Dom: 2 + rnd.Intn(6)},   // rank-clustered -> runs
+	}
+	for i := 0; i < nExtra; i++ {
+		attrs = append(attrs, Attribute{Name: "d" + string(rune('0'+i)), Dom: 2 + rnd.Intn(4)})
+	}
+	schema := Schema{Attrs: attrs, Measures: []string{"m"}}
+	m := 256 + rnd.Intn(1024)
+	stride := m/attrs[1].Dom + 1
+	tuples := make([]Tuple, m)
+	for i := range tuples {
+		tp := Tuple{Cats: make([]uint16, len(attrs)), Nums: []float64{rnd.Float64()}}
+		tp.Cats[0] = uint16(rnd.Intn(attrs[0].Dom))
+		tp.Cats[1] = uint16(i / stride) // clustered in insertion (rank) order
+		for a := 2; a < len(attrs); a++ {
+			tp.Cats[a] = uint16(rnd.Intn(attrs[a].Dom))
+		}
+		tuples[i] = tp
+	}
+	k := 1 + rnd.Intn(6)
+	var err error
+	// Duplicates are fine here: both backends see the same tuples, and the
+	// engine itself is well-defined with them.
+	hybrid, err = NewTable(schema, k, tuples, WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatalf("hybrid NewTable: %v", err)
+	}
+	dense, err = NewTable(schema, k, tuples, WithDuplicatesAllowed(), WithIndexMode(IndexDense))
+	if err != nil {
+		t.Fatalf("dense NewTable: %v", err)
+	}
+	return hybrid, dense
+}
+
+// hybridOpSeq drives one byte-encoded op sequence through both backends in
+// lockstep: flat queries, omniscient ground truth, and a full cursor
+// drill-down walk, all charged through Counters so cost parity is checked
+// too.
+func hybridOpSeq(t *testing.T, hybrid, dense *Table, ops []byte) {
+	t.Helper()
+	schema := hybrid.Schema()
+	hCtr, dCtr := NewCounter(hybrid), NewCounter(dense)
+	hCur, err := hybrid.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hCur.Close()
+	dCur, err := dense.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dCur.Close()
+
+	var prefix []Predicate
+	inPrefix := func(attr int) bool {
+		for _, p := range prefix {
+			if p.Attr == attr {
+				return true
+			}
+		}
+		return false
+	}
+	var qb QueryBuilder // scratch for random flat queries
+
+	for len(ops) >= 3 {
+		op, a, v := ops[0], ops[1], ops[2]
+		ops = ops[3:]
+		attr := int(a) % len(schema.Attrs)
+		val := uint16(int(v) % schema.Attrs[attr].Dom)
+
+		switch op % 6 {
+		case 0: // flat query on a random conjunction derived from the stream
+			qb.Reset(Query{})
+			used := attr
+			qb.Push(attr, val)
+			for len(ops) >= 2 && ops[0]%3 == 0 {
+				a2 := int(ops[1]) % len(schema.Attrs)
+				if a2 != used {
+					qb.Push(a2, uint16(int(ops[1])%schema.Attrs[a2].Dom))
+					used = a2
+				}
+				ops = ops[2:]
+			}
+			q := qb.Query()
+			hr, hErr := hCtr.Query(q)
+			dr, dErr := dCtr.Query(q)
+			if (hErr != nil) != (dErr != nil) {
+				t.Fatalf("Query(%v) err: hybrid %v, dense %v", q, hErr, dErr)
+			}
+			if hErr == nil && !sameResult(hr, dr) {
+				t.Fatalf("Query(%v): hybrid %+v, dense %+v", q, hr, dr)
+			}
+		case 1: // omniscient ground truth
+			q := Query{Preds: []Predicate{{Attr: attr, Value: val}}}
+			hc, hErr := hybrid.SelCount(q)
+			dc, dErr := dense.SelCount(q)
+			if (hErr != nil) != (dErr != nil) || hc != dc {
+				t.Fatalf("SelCount(%v): hybrid (%d,%v), dense (%d,%v)", q, hc, hErr, dc, dErr)
+			}
+			hs, hErr := hybrid.SumMeasure("m", q)
+			ds, dErr := dense.SumMeasure("m", q)
+			if (hErr != nil) != (dErr != nil) || hs != ds {
+				t.Fatalf("SumMeasure(%v): hybrid (%v,%v), dense (%v,%v)", q, hs, hErr, ds, dErr)
+			}
+		case 2: // cursor probe
+			hr, hErr := hCur.Probe(attr, val)
+			dr, dErr := dCur.Probe(attr, val)
+			if (hErr != nil) != (dErr != nil) {
+				t.Fatalf("Probe(%d,%d) err: hybrid %v, dense %v", attr, val, hErr, dErr)
+			}
+			if hErr == nil && !sameResult(hr, dr) {
+				t.Fatalf("Probe(%d,%d): hybrid %+v, dense %+v (prefix %v)", attr, val, hr, dr, prefix)
+			}
+		case 3: // cursor count probe
+			hn, ho, hErr := hCur.ProbeCount(attr, val)
+			dn, do, dErr := dCur.ProbeCount(attr, val)
+			if (hErr != nil) != (dErr != nil) || hn != dn || ho != do {
+				t.Fatalf("ProbeCount(%d,%d): hybrid (%d,%v,%v), dense (%d,%v,%v)",
+					attr, val, hn, ho, hErr, dn, do, dErr)
+			}
+		case 4: // descend
+			if inPrefix(attr) {
+				continue
+			}
+			if err := hCur.Descend(attr, val); err != nil {
+				t.Fatal(err)
+			}
+			if err := dCur.Descend(attr, val); err != nil {
+				t.Fatal(err)
+			}
+			prefix = append(prefix, Predicate{Attr: attr, Value: val})
+		case 5: // ascend
+			if len(prefix) == 0 {
+				continue
+			}
+			hCur.Ascend()
+			dCur.Ascend()
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	if hCtr.Count() != dCtr.Count() {
+		t.Fatalf("backend cost diverged: hybrid %d, dense %d", hCtr.Count(), dCtr.Count())
+	}
+}
+
+// TestHybridMatchesDenseProperty is the hybrid ≡ dense property test over
+// random schemas and op sequences.
+func TestHybridMatchesDenseProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(321))
+	sawKinds := map[string]bool{}
+	for trial := 0; trial < 80; trial++ {
+		hybrid, dense := randomHybridTables(t, rnd)
+		for kind := range hybrid.IndexStats() {
+			sawKinds[kind] = true
+		}
+		ops := make([]byte, 3*(20+rnd.Intn(80)))
+		rnd.Read(ops)
+		hybridOpSeq(t, hybrid, dense, ops)
+		if got := dense.IndexStats(); len(got) != 1 || got["bitmap"].Lists == 0 {
+			t.Fatalf("IndexDense built non-bitmap containers: %v", got)
+		}
+	}
+	// The suite is only meaningful if auto selection actually mixed
+	// representations across the trials.
+	for _, kind := range []string{"array", "bitmap", "runs"} {
+		if !sawKinds[kind] {
+			t.Errorf("no trial produced a %s container; suite lost coverage", kind)
+		}
+	}
+}
+
+// FuzzHybridMatchesDense lets the fuzzer drive the op sequence; the seed
+// corpus runs as part of plain `go test ./...`.
+func FuzzHybridMatchesDense(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 0, 4, 1, 1, 2, 0, 1, 5, 0, 0})
+	f.Add(int64(7), []byte{4, 0, 0, 4, 1, 0, 3, 2, 1, 5, 0, 0, 2, 0, 0, 1, 2, 2})
+	f.Add(int64(42), []byte{1, 3, 3, 4, 3, 3, 0, 0, 0, 3, 1, 1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rnd := rand.New(rand.NewSource(seed))
+		hybrid, dense := randomHybridTables(t, rnd)
+		hybridOpSeq(t, hybrid, dense, ops)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hdunbiased/internal/bitset"
+	"hdunbiased/internal/posting"
 )
 
 // RankFunc scores a tuple for the interface's ranking function; higher
@@ -33,21 +34,38 @@ func RankByMeasure(i int) RankFunc {
 type Table struct {
 	schema  Schema
 	k       int
-	tuples  []Tuple         // in rank order
-	index   [][]*bitset.Set // index[attr][value], bit i = tuples[i] has value
-	selRank []int           // selRank[attr] = intersection position (most selective first)
-	scratch sync.Pool       // *tableScratch, keeps Query allocation-free and concurrency-safe
-	cursors sync.Pool       // *tableCursor, reuses prefix-bitmap stacks across cursors
+	mode    IndexMode         // container policy; IndexDense pins the pre-hybrid engine
+	tuples  []Tuple           // in rank order
+	index   [][]*posting.List // index[attr][value], hybrid posting container of matching ranks
+	selRank []int             // selRank[attr] = intersection position (most selective first)
+	scratch sync.Pool         // *tableScratch, keeps Query allocation-free and concurrency-safe
+	cursors sync.Pool         // *tableCursor, reuses prefix-set stacks across cursors
 }
 
 // tableScratch holds per-evaluation buffers. Pooled rather than owned by the
 // table so concurrent readers never contend; in steady state every query
 // reuses a warm scratch and allocates only its Result tuples.
 type tableScratch struct {
-	sets  []*bitset.Set // predicate bitmaps, most selective first
-	ranks []int         // selRank of each entry in sets, for the insertion sort
-	idx   []int         // first-k+1 intersection indices
+	sets    []*posting.List // predicate postings, most selective first
+	ranks   []int           // selRank of each entry in sets, for the insertion sort
+	idx     []int           // first-k+1 intersection indices
+	gallops []int           // per-probe galloping cursors for IntersectFirstN
 }
+
+// IndexMode selects the posting-container policy of a table's index.
+type IndexMode int
+
+const (
+	// IndexAuto picks the cheapest container per (attribute, value) posting
+	// from its observed cardinality and run structure at build time — the
+	// default, and the production configuration.
+	IndexAuto IndexMode = iota
+	// IndexDense forces every posting into the dense word-packed bitmap the
+	// engine used through PR 3. Kept as the equivalence baseline (the
+	// hybrid≡dense property suite runs every op through both modes) and as
+	// the benchmark reference the hybrid index is measured against.
+	IndexDense
+)
 
 // TableOption configures table construction.
 type TableOption func(*tableConfig)
@@ -55,6 +73,12 @@ type TableOption func(*tableConfig)
 type tableConfig struct {
 	rank           RankFunc
 	allowDuplicate bool
+	indexMode      IndexMode
+}
+
+// WithIndexMode sets the posting-container policy (default IndexAuto).
+func WithIndexMode(m IndexMode) TableOption {
+	return func(c *tableConfig) { c.indexMode = m }
 }
 
 // WithRanking sets the interface's ranking function.
@@ -126,8 +150,8 @@ func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table
 		sorted[pos] = ranked[idx]
 	}
 
-	t := &Table{schema: schema, k: k, tuples: sorted}
-	t.buildIndex()
+	t := &Table{schema: schema, k: k, mode: cfg.indexMode, tuples: sorted}
+	t.buildIndex(cfg.indexMode)
 	t.buildSelOrder()
 	t.scratch.New = func() any { return new(tableScratch) }
 	t.cursors.New = func() any { return new(tableCursor) }
@@ -152,10 +176,13 @@ func (t *Table) buildSelOrder() {
 	}
 }
 
-// orderedSets collects q's predicate bitmaps into sc.sets, most selective
+// orderedSets collects q's predicate postings into sc.sets, most selective
 // first per the precomputed schema order (insertion sort by rank — queries
-// have few predicates and arrive nearly sorted from drill-downs).
-func (t *Table) orderedSets(q Query, sc *tableScratch) []*bitset.Set {
+// have few predicates and arrive nearly sorted from drill-downs). The
+// hybrid intersection kernel refines this order internally by actual
+// container shape and cardinality; the schema order only fixes the starting
+// arrangement, so evaluation results are order-independent either way.
+func (t *Table) orderedSets(q Query, sc *tableScratch) []*posting.List {
 	sets, ranks := sc.sets[:0], sc.ranks[:0]
 	for _, p := range q.Preds {
 		r := t.selRank[p.Attr]
@@ -172,19 +199,118 @@ func (t *Table) orderedSets(q Query, sc *tableScratch) []*bitset.Set {
 	return sets
 }
 
-func (t *Table) buildIndex() {
-	t.index = make([][]*bitset.Set, len(t.schema.Attrs))
+// buildIndex builds the per-(attribute, value) posting containers with two
+// tuple-major passes (count, then scatter): every value's ascending rank
+// list lands in its attribute's scratch buffer via counting sort — tuples
+// are visited in rank order, so each segment comes out sorted — and each
+// segment goes to posting.Build, which picks the representation from the
+// observed cardinality and run structure. Tuple-major iteration matters at
+// production scale: one sequential sweep over the tuple array instead of
+// one random-access sweep per attribute cut the Auto-1M build ~5×. mode
+// IndexDense forces bitmaps.
+func (t *Table) buildIndex(mode IndexMode) {
+	n := len(t.tuples)
+	nAttrs := len(t.schema.Attrs)
+	t.index = make([][]*posting.List, nAttrs)
+	counts := make([][]int, nAttrs)
 	for ai, a := range t.schema.Attrs {
-		t.index[ai] = make([]*bitset.Set, a.Dom)
-		for v := 0; v < a.Dom; v++ {
-			t.index[ai][v] = bitset.New(len(t.tuples))
+		t.index[ai] = make([]*posting.List, a.Dom)
+		counts[ai] = make([]int, a.Dom)
+	}
+	for i := range t.tuples {
+		for ai, v := range t.tuples[i].Cats {
+			counts[ai][v]++
 		}
 	}
-	for i, tp := range t.tuples {
-		for ai, v := range tp.Cats {
-			t.index[ai][v].Add(i)
+	// Scatter in attribute chunks so the rank scratch stays bounded
+	// (~256 MB) instead of 4·rows·attrs bytes — at Auto-10M an unchunked
+	// scatter would transiently hold more memory than the dense index the
+	// hybrid one replaces. Each chunk is one more sequential tuple sweep,
+	// still far cheaper than the per-attribute random-access build.
+	chunk := nAttrs
+	if n > 0 {
+		if c := (256 << 20) / (4 * n); c < chunk {
+			chunk = c
 		}
 	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	bufs := make([][]uint32, chunk)
+	offs := make([][]int, chunk) // running fill offset per (chunk attr, value)
+	for lo := 0; lo < nAttrs; lo += chunk {
+		hi := lo + chunk
+		if hi > nAttrs {
+			hi = nAttrs
+		}
+		for ai := lo; ai < hi; ai++ {
+			ci := ai - lo
+			if bufs[ci] == nil {
+				bufs[ci] = make([]uint32, n)
+			}
+			dom := t.schema.Attrs[ai].Dom
+			off := offs[ci]
+			if cap(off) < dom {
+				off = make([]int, dom)
+			}
+			off = off[:dom]
+			sum := 0
+			for v := 0; v < dom; v++ {
+				off[v] = sum
+				sum += counts[ai][v]
+			}
+			offs[ci] = off
+		}
+		for i := range t.tuples {
+			cats := t.tuples[i].Cats[lo:hi]
+			for ci, v := range cats {
+				bufs[ci][offs[ci][v]] = uint32(i)
+				offs[ci][v]++
+			}
+		}
+		for ai := lo; ai < hi; ai++ {
+			ci := ai - lo
+			start := 0
+			for v := 0; v < t.schema.Attrs[ai].Dom; v++ {
+				end := start + counts[ai][v]
+				t.index[ai][v] = posting.Build(n, bufs[ci][start:end], mode == IndexDense)
+				start = end
+			}
+		}
+	}
+}
+
+// IndexStat summarises one container population of the table's index.
+type IndexStat struct {
+	Lists int // containers of this kind
+	Bytes int // payload bytes
+}
+
+// IndexStats reports the index's container taxonomy — how many postings
+// chose each representation and what they cost — for capacity planning,
+// PERFORMANCE.md's memory tables, and the container-selection tests.
+func (t *Table) IndexStats() map[string]IndexStat {
+	stats := make(map[string]IndexStat, 3)
+	for _, vals := range t.index {
+		for _, l := range vals {
+			s := stats[l.Kind().String()]
+			s.Lists++
+			s.Bytes += l.Bytes()
+			stats[l.Kind().String()] = s
+		}
+	}
+	return stats
+}
+
+// IndexBytes returns the total payload bytes of the posting index.
+func (t *Table) IndexBytes() int {
+	total := 0
+	for _, vals := range t.index {
+		for _, l := range vals {
+			total += l.Bytes()
+		}
+	}
+	return total
 }
 
 // Schema returns the searchable schema (the "form" a user sees).
@@ -207,7 +333,7 @@ func (t *Table) Query(q Query) (Result, error) {
 	}
 	sc := t.scratch.Get().(*tableScratch)
 	sets := t.orderedSets(q, sc)
-	idx := bitset.IntersectFirstN(sc.idx[:0], t.k+1, sets...)
+	idx := posting.IntersectFirstN(sc.idx[:0], t.k+1, sets, &sc.gallops)
 	sc.idx = idx
 	overflow := len(idx) > t.k
 	if overflow {
@@ -223,19 +349,47 @@ func (t *Table) Query(q Query) (Result, error) {
 
 // select_ returns the full bitmap of Sel(q), or nil for the empty query.
 // Only the omniscient accessors need the complete selection; the interface
-// path above never calls this.
+// path above never calls this. With any sparse operand the smallest
+// posting drives and the rest answer membership probes — O(min cardinality
+// · predicates) instead of O(rows · predicates / 64); the all-dense case
+// keeps the word-streaming AND with its empty-intersection early exit.
 func (t *Table) select_(q Query) *bitset.Set {
 	if len(q.Preds) == 0 {
 		return nil
 	}
 	sc := t.scratch.Get().(*tableScratch)
 	sets := t.orderedSets(q, sc)
-	acc := sets[0].Clone()
+	driver := sets[0]
+	allBitmaps := driver.Kind() == posting.KindBitmap
 	for _, s := range sets[1:] {
-		acc.And(s)
-		if !acc.Any() {
-			break
+		if s.Card() < driver.Card() {
+			driver = s
 		}
+		allBitmaps = allBitmaps && s.Kind() == posting.KindBitmap
+	}
+	var acc *bitset.Set
+	if allBitmaps {
+		acc = driver.Bitmap().Clone()
+		for _, s := range sets {
+			if s == driver {
+				continue
+			}
+			acc.And(s.Bitmap())
+			if !acc.Any() {
+				break
+			}
+		}
+	} else {
+		acc = bitset.New(len(t.tuples))
+		driver.ForEach(func(i int) bool {
+			for _, s := range sets {
+				if s != driver && !s.Contains(i) {
+					return true
+				}
+			}
+			acc.Add(i)
+			return true
+		})
 	}
 	t.scratch.Put(sc)
 	return acc

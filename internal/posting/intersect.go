@@ -1,0 +1,402 @@
+package posting
+
+import (
+	"math/bits"
+
+	"hdunbiased/internal/bitset"
+)
+
+// This file holds the k-bounded intersection kernels: the hybrid
+// counterparts of the dense engine's IntersectFirstN / AndFirstN /
+// AndCountUpTo / AndInto surface. Each two-operand kernel dispatches on the
+// (kind, kind) pair; the canonical driver order is array < runs < bitmap,
+// so the sparser shape always drives and the denser one answers membership
+// probes (O(1) for a bitmap word test, O(log distance) for a galloping
+// cursor into an array or run list). All kernels emit ranks in ascending
+// order and stop as soon as the bound is met, so a top-k evaluator pays
+// O(answer prefix), not O(universe).
+
+// kindOrder ranks kinds for driver selection: the cheaper-to-enumerate,
+// sparser representation drives the intersection.
+func kindOrder(k Kind) int {
+	switch k {
+	case KindArray:
+		return 0
+	case KindRuns:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// orient returns (driver, probe): the array-most operand first; among equal
+// kinds, the smaller cardinality drives.
+func orient(a, b span) (span, span) {
+	ka, kb := kindOrder(a.kind), kindOrder(b.kind)
+	if ka > kb || (ka == kb && a.card > b.card) {
+		return b, a
+	}
+	return a, b
+}
+
+func sameUniverse(a, b span) {
+	if a.n != b.n {
+		panic("posting: universe mismatch")
+	}
+}
+
+// AndFirstN appends to dst the first n ranks of prefix ∩ l, k-bounded — the
+// cursor probe primitive (the hybrid AndFirstN of the dense engine). The
+// bitmap×bitmap pair short-circuits straight to the dense word-streaming
+// kernel: it is the only high-rate case with nothing to dispatch on, and
+// the fast path keeps the hybrid engine at parity with the dense one on
+// fully dense workloads.
+func AndFirstN(dst []int, n int, m *Mutable, l *List) []int {
+	if m.kind == KindBitmap && l.kind == KindBitmap {
+		return bitset.AndFirstN(dst, n, m.bm, l.bm)
+	}
+	return andFirstN(dst, n, m.span(), l.span())
+}
+
+// AndCountUpTo returns min-style |prefix ∩ l| with early exit past limit:
+// exact when <= limit, "more than limit" otherwise — the count-only cursor
+// probe primitive.
+func AndCountUpTo(m *Mutable, l *List, limit int) int {
+	if m.kind == KindBitmap && l.kind == KindBitmap {
+		return m.bm.AndCountUpTo(l.bm, limit)
+	}
+	return andCountUpTo(m.span(), l.span(), limit)
+}
+
+func andFirstN(dst []int, n int, a, b span) []int {
+	sameUniverse(a, b)
+	if n <= 0 || a.card == 0 || b.card == 0 {
+		return dst
+	}
+	a, b = orient(a, b)
+	switch a.kind {
+	case KindArray:
+		switch b.kind {
+		case KindArray:
+			// array×array: galloping (exponential-search) intersection.
+			bi := 0
+			for _, x := range a.arr {
+				bi = gallopGE(b.arr, bi, x)
+				if bi == len(b.arr) {
+					return dst
+				}
+				if b.arr[bi] == x {
+					dst = append(dst, int(x))
+					if n--; n == 0 {
+						return dst
+					}
+				}
+			}
+		case KindRuns:
+			ri := 0
+			for _, x := range a.arr {
+				ri = gallopRunGE(b.runs, ri, x)
+				if ri == len(b.runs) {
+					return dst
+				}
+				if b.runs[ri].Start <= x {
+					dst = append(dst, int(x))
+					if n--; n == 0 {
+						return dst
+					}
+				}
+			}
+		default:
+			// array×bitmap: one word test per candidate.
+			words := b.bm.Words()
+			for _, x := range a.arr {
+				if words[x/64]&(1<<(x%64)) != 0 {
+					dst = append(dst, int(x))
+					if n--; n == 0 {
+						return dst
+					}
+				}
+			}
+		}
+	case KindRuns:
+		switch b.kind {
+		case KindRuns:
+			// runs×runs: clip overlapping intervals.
+			i, j := 0, 0
+			for i < len(a.runs) && j < len(b.runs) {
+				lo, hi := max(a.runs[i].Start, b.runs[j].Start), min(a.runs[i].End, b.runs[j].End)
+				for r := lo; r < hi; r++ {
+					dst = append(dst, int(r))
+					if n--; n == 0 {
+						return dst
+					}
+				}
+				if a.runs[i].End <= b.runs[j].End {
+					i++
+				} else {
+					j++
+				}
+			}
+		default:
+			// runs×bitmap: emit set bits inside each interval, word-masked.
+			words := b.bm.Words()
+			for _, run := range a.runs {
+				var emitted bool
+				dst, n, emitted = emitRangeBits(dst, n, words, run.Start, run.End)
+				if emitted {
+					return dst
+				}
+			}
+		}
+	default:
+		// bitmap×bitmap: the dense word-streaming kernel.
+		return bitset.AndFirstN(dst, n, a.bm, b.bm)
+	}
+	return dst
+}
+
+// emitRangeBits appends set bits of words within [start, end) until n are
+// emitted; done reports the bound was hit.
+func emitRangeBits(dst []int, n int, words []uint64, start, end uint32) ([]int, int, bool) {
+	if start >= end {
+		return dst, n, false
+	}
+	firstWord, lastWord := int(start/64), int((end-1)/64)
+	for wi := firstWord; wi <= lastWord; wi++ {
+		w := words[wi] & rangeMask(wi, start, end)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			if n--; n == 0 {
+				return dst, n, true
+			}
+			w &= w - 1
+		}
+	}
+	return dst, n, false
+}
+
+func andCountUpTo(a, b span, limit int) int {
+	sameUniverse(a, b)
+	if a.card == 0 || b.card == 0 {
+		return 0
+	}
+	a, b = orient(a, b)
+	c := 0
+	switch a.kind {
+	case KindArray:
+		switch b.kind {
+		case KindArray:
+			bi := 0
+			for _, x := range a.arr {
+				bi = gallopGE(b.arr, bi, x)
+				if bi == len(b.arr) {
+					return c
+				}
+				if b.arr[bi] == x {
+					if c++; c > limit {
+						return c
+					}
+				}
+			}
+		case KindRuns:
+			ri := 0
+			for _, x := range a.arr {
+				ri = gallopRunGE(b.runs, ri, x)
+				if ri == len(b.runs) {
+					return c
+				}
+				if b.runs[ri].Start <= x {
+					if c++; c > limit {
+						return c
+					}
+				}
+			}
+		default:
+			words := b.bm.Words()
+			for _, x := range a.arr {
+				if words[x/64]&(1<<(x%64)) != 0 {
+					if c++; c > limit {
+						return c
+					}
+				}
+			}
+		}
+	case KindRuns:
+		switch b.kind {
+		case KindRuns:
+			i, j := 0, 0
+			for i < len(a.runs) && j < len(b.runs) {
+				lo, hi := max(a.runs[i].Start, b.runs[j].Start), min(a.runs[i].End, b.runs[j].End)
+				if lo < hi {
+					if c += int(hi - lo); c > limit {
+						return c
+					}
+				}
+				if a.runs[i].End <= b.runs[j].End {
+					i++
+				} else {
+					j++
+				}
+			}
+		default:
+			words := b.bm.Words()
+			for _, run := range a.runs {
+				if c += onesCountRange(words, run.Start, run.End); c > limit {
+					return c
+				}
+			}
+		}
+	default:
+		return a.bm.AndCountUpTo(b.bm, limit)
+	}
+	return c
+}
+
+// IntersectFirstN appends to dst the first n ranks of the intersection of
+// all given lists — the hybrid, container-dispatching counterpart of
+// bitset.IntersectFirstN, and the engine's flat-query kernel. When every
+// operand is a bitmap it streams word-blocked exactly like the dense
+// engine; otherwise the sparsest container drives and the rest answer
+// membership probes in ascending rank order (galloping cursors for arrays
+// and run lists, word tests for bitmaps), so a selective predicate anywhere
+// in the query collapses the cost to O(its cardinality · predicates).
+//
+// The empty family returns dst unchanged (same contract as the bitset
+// kernel: no operand, no universe to enumerate). lists may be reordered in
+// place, and *cursors is grown as per-probe galloping-cursor scratch —
+// callers own and reuse both (nil cursors means allocate-on-demand), which
+// keeps the engine's warm query path allocation-free.
+func IntersectFirstN(dst []int, n int, lists []*List, cursors *[]int) []int {
+	if len(lists) == 0 || n <= 0 {
+		return dst
+	}
+	for _, l := range lists[1:] {
+		if l.n != lists[0].n {
+			panic("posting: universe mismatch")
+		}
+	}
+	if len(lists) == 1 {
+		return firstN(dst, n, lists[0].span())
+	}
+	// Move the best driver (array-most, then smallest) to the front.
+	best := 0
+	for i := 1; i < len(lists); i++ {
+		if worseDriver(lists[best], lists[i]) {
+			best = i
+		}
+	}
+	lists[0], lists[best] = lists[best], lists[0]
+	driver := lists[0]
+	if driver.card == 0 {
+		return dst
+	}
+	allBitmaps := driver.kind == KindBitmap // driver is the sparsest shape
+	if allBitmaps {
+		return intersectBitmapsFirstN(dst, n, lists)
+	}
+	if len(lists) == 2 {
+		return andFirstN(dst, n, driver.span(), lists[1].span())
+	}
+	// Driver-probe loop: enumerate the driver (array or runs — the mixed
+	// path guarantees a non-bitmap driver) in ascending rank order, keeping
+	// a galloping cursor per probe list in caller-owned scratch.
+	probes := lists[1:]
+	var cur []int
+	if cursors != nil {
+		cur = *cursors
+	}
+	if cap(cur) < len(probes) {
+		cur = make([]int, len(probes))
+	} else {
+		cur = cur[:len(probes)]
+		for i := range cur {
+			cur[i] = 0
+		}
+	}
+	if cursors != nil {
+		*cursors = cur
+	}
+	if driver.kind == KindArray {
+		for _, x := range driver.arr {
+			if probeAll(probes, cur, x) {
+				dst = append(dst, int(x))
+				if n--; n == 0 {
+					return dst
+				}
+			}
+		}
+		return dst
+	}
+	for _, run := range driver.runs {
+		for x := run.Start; x < run.End; x++ {
+			if probeAll(probes, cur, x) {
+				dst = append(dst, int(x))
+				if n--; n == 0 {
+					return dst
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// probeAll reports whether rank x is a member of every probe list,
+// advancing each list's galloping cursor.
+func probeAll(probes []*List, cursors []int, x uint32) bool {
+	for pi, p := range probes {
+		switch p.kind {
+		case KindArray:
+			ci := gallopGE(p.arr, cursors[pi], x)
+			cursors[pi] = ci
+			if ci == len(p.arr) || p.arr[ci] != x {
+				return false
+			}
+		case KindRuns:
+			ci := gallopRunGE(p.runs, cursors[pi], x)
+			cursors[pi] = ci
+			if ci == len(p.runs) || p.runs[ci].Start > x {
+				return false
+			}
+		default:
+			w := p.bm.Words()
+			if w[x/64]&(1<<(x%64)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// worseDriver reports whether candidate would drive the intersection better
+// than cur (sparser representation first, then smaller cardinality).
+func worseDriver(cur, candidate *List) bool {
+	oc, on := kindOrder(cur.kind), kindOrder(candidate.kind)
+	if oc != on {
+		return on < oc
+	}
+	return candidate.card < cur.card
+}
+
+// intersectBitmapsFirstN is the dense fast path: word-blocked streaming
+// across every bitmap, identical to bitset.IntersectFirstN.
+func intersectBitmapsFirstN(dst []int, n int, lists []*List) []int {
+	first := lists[0].bm.Words()
+	for wi, w := range first {
+		for _, l := range lists[1:] {
+			w &= l.bm.Words()[wi]
+			if w == 0 {
+				break
+			}
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*64+b)
+			if n--; n == 0 {
+				return dst
+			}
+			w &= w - 1
+		}
+	}
+	return dst
+}

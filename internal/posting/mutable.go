@@ -1,0 +1,299 @@
+package posting
+
+import (
+	"math/bits"
+
+	"hdunbiased/internal/bitset"
+)
+
+// Mutable is a reusable hybrid set: the cursor-prefix counterpart of List.
+// A drill-down cursor materialises its committed prefix once per level; at
+// production scale a selective prefix has a few hundred members out of
+// millions of ranks, so storing it as an n-bit bitmap (the dense engine's
+// only option) wastes O(rows/8) bytes and makes every subsequent probe an
+// O(rows/64) scan. AndInto instead picks the output representation from the
+// actual intersection cardinality — a selective prefix collapses to a small
+// rank array (probes become O(matches)), a dense one stays a bitmap — and
+// Mutable keeps all backing buffers across rematerialisations, so the warm
+// cursor path allocates nothing.
+//
+// The zero value is an empty set; Borrow makes a Mutable alias a List
+// read-only (the depth-1 prefix IS the posting — no copy).
+type Mutable struct {
+	kind     Kind
+	n        int
+	card     int
+	arr      []uint32
+	runs     []Run
+	bm       *bitset.Set
+	borrowed bool // aliases a List's storage; writing through it is a bug
+
+	// Owned buffers, preserved across Borrow/AndInto cycles so a reused
+	// cursor level never reallocates.
+	ownArr  []uint32
+	ownRuns []Run
+	ownBM   *bitset.Set
+}
+
+// Borrow makes m a read-only alias of l. No storage is copied; m must not
+// be the destination of AndInto while borrowed... it simply will not be:
+// AndInto always writes through the owned buffers, which Borrow leaves
+// intact.
+func (m *Mutable) Borrow(l *List) {
+	m.kind, m.n, m.card = l.kind, l.n, l.card
+	m.arr, m.runs, m.bm = l.arr, l.runs, l.bm
+	m.borrowed = true
+}
+
+// Kind returns the current representation.
+func (m *Mutable) Kind() Kind { return m.kind }
+
+// Card returns the member count.
+func (m *Mutable) Card() int { return m.card }
+
+// Universe returns the universe size in ranks.
+func (m *Mutable) Universe() int { return m.n }
+
+// Borrowed reports whether m aliases a List (tests and invariants).
+func (m *Mutable) Borrowed() bool { return m.borrowed }
+
+// Indices returns all members ascending (tests; not a hot path).
+func (m *Mutable) Indices() []int {
+	out := make([]int, 0, m.card)
+	forEach(m.span(), func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+func (m *Mutable) span() span {
+	return span{kind: m.kind, n: m.n, card: m.card, arr: m.arr, runs: m.runs, bm: m.bm}
+}
+
+// arrayCutoff is the cardinality below which an array beats a bitmap on
+// both axes at once: ≤ half the bytes (4·card vs n/8), and a full counting
+// scan performs at most as many candidate probes as the bitmap has words
+// (card vs n/64). Build and AndInto share it, so stored postings and
+// materialised prefixes switch representation at the same density.
+func arrayCutoff(n int) int { return n / 64 }
+
+// ensureBM returns m's owned bitmap sized to n, allocating it on first use.
+func (m *Mutable) ensureBM(n int) *bitset.Set {
+	if m.ownBM == nil || m.ownBM.Len() != n {
+		m.ownBM = bitset.New(n)
+	}
+	return m.ownBM
+}
+
+// setArray points m at its owned array buffer (already filled to card).
+func (m *Mutable) setArray(n int, arr []uint32) {
+	m.kind, m.n, m.card = KindArray, n, len(arr)
+	m.arr, m.runs, m.bm = arr, nil, nil
+	m.ownArr = arr
+	m.borrowed = false
+}
+
+// AndInto overwrites dst with src ∩ l, choosing dst's representation from
+// the intersection cardinality — the cursor-prefix materialisation
+// primitive. src and dst must be distinct Mutables over l's universe
+// (cursor levels always are: level i materialises from level i−1).
+func AndInto(dst, src *Mutable, l *List) {
+	if dst == src {
+		panic("posting: AndInto dst must not alias src")
+	}
+	a, b := src.span(), l.span()
+	sameUniverse(a, b)
+	n := a.n
+	cutoff := arrayCutoff(n)
+
+	// Any array operand bounds the output at its (≤ cutoff) cardinality —
+	// gallop straight into the owned array, no sizing pre-pass needed.
+	if a.kind == KindArray || b.kind == KindArray {
+		dst.setArray(n, appendAnd(dst.ownArr[:0], a, b))
+		return
+	}
+	if a.kind == KindRuns && b.kind == KindRuns {
+		// runs×runs stays runs: interval clipping preserves clustering and
+		// the result is at most len(a.runs)+len(b.runs) intervals.
+		runs := dst.ownRuns[:0]
+		card := 0
+		i, j := 0, 0
+		for i < len(a.runs) && j < len(b.runs) {
+			lo, hi := max(a.runs[i].Start, b.runs[j].Start), min(a.runs[i].End, b.runs[j].End)
+			if lo < hi {
+				runs = append(runs, Run{Start: lo, End: hi})
+				card += int(hi - lo)
+			}
+			if a.runs[i].End <= b.runs[j].End {
+				i++
+			} else {
+				j++
+			}
+		}
+		dst.kind, dst.n, dst.card = KindRuns, n, card
+		dst.arr, dst.runs, dst.bm = nil, runs, nil
+		dst.ownRuns = runs
+		dst.borrowed = false
+		return
+	}
+	if a.kind == KindBitmap && b.kind == KindBitmap {
+		// Fused AND+count into the owned bitmap, then collapse to an array
+		// if the prefix turned selective.
+		bm := dst.ensureBM(n)
+		aw, bw, dw := a.bm.Words(), b.bm.Words(), bm.Words()
+		card := 0
+		for wi, w := range aw {
+			w &= bw[wi]
+			dw[wi] = w
+			card += bits.OnesCount64(w)
+		}
+		if card <= cutoff {
+			dst.setArray(n, appendWordBits(dst.ownArr[:0], dw))
+			return
+		}
+		dst.kind, dst.n, dst.card = KindBitmap, n, card
+		dst.arr, dst.runs, dst.bm = nil, nil, bm
+		dst.borrowed = false
+		return
+	}
+	// runs×bitmap (either orientation): cheap masked-popcount pre-pass
+	// sizes the output, then one emit pass.
+	runsSide, bmSide := a, b
+	if runsSide.kind != KindRuns {
+		runsSide, bmSide = b, a
+	}
+	words := bmSide.bm.Words()
+	card := 0
+	for _, run := range runsSide.runs {
+		card += onesCountRange(words, run.Start, run.End)
+	}
+	if card <= cutoff {
+		arr := dst.ownArr[:0]
+		for _, run := range runsSide.runs {
+			arr = appendRangeBits(arr, words, run.Start, run.End)
+		}
+		dst.setArray(n, arr)
+		return
+	}
+	bm := dst.ensureBM(n)
+	dw := bm.Words()
+	for i := range dw {
+		dw[i] = 0
+	}
+	for _, run := range runsSide.runs {
+		copyRangeBits(dw, words, run.Start, run.End)
+	}
+	dst.kind, dst.n, dst.card = KindBitmap, n, card
+	dst.arr, dst.runs, dst.bm = nil, nil, bm
+	dst.borrowed = false
+}
+
+// AndIntoDense is AndInto without the adaptive representation choice: the
+// output is always the owned bitmap. It exists for the engine's IndexDense
+// mode, which must reproduce the pre-hybrid engine's behaviour exactly —
+// dense postings AND dense prefixes, no selective-prefix collapse — so the
+// benchmarks and the hybrid≡dense property suite measure the hybrid layer
+// against a faithful baseline. Operands must both be bitmaps (IndexDense
+// guarantees it: postings are forced bitmaps and prefixes stay bitmaps).
+func AndIntoDense(dst, src *Mutable, l *List) {
+	if dst == src {
+		panic("posting: AndIntoDense dst must not alias src")
+	}
+	a, b := src.span(), l.span()
+	sameUniverse(a, b)
+	if a.kind != KindBitmap || b.kind != KindBitmap {
+		panic("posting: AndIntoDense needs bitmap operands (IndexDense mode)")
+	}
+	n := a.n
+	bm := dst.ensureBM(n)
+	aw, bw, dw := a.bm.Words(), b.bm.Words(), bm.Words()
+	card := 0
+	for wi, w := range aw {
+		w &= bw[wi]
+		dw[wi] = w
+		card += bits.OnesCount64(w)
+	}
+	dst.kind, dst.n, dst.card = KindBitmap, n, card
+	dst.arr, dst.runs, dst.bm = nil, nil, bm
+	dst.borrowed = false
+}
+
+// appendAnd appends all ranks of a ∩ b (one operand an array) to dst.
+func appendAnd(dst []uint32, a, b span) []uint32 {
+	if a.kind != KindArray {
+		a, b = b, a
+	}
+	switch b.kind {
+	case KindArray:
+		// Gallop the smaller through the larger.
+		small, large := a.arr, b.arr
+		if len(large) < len(small) {
+			small, large = large, small
+		}
+		li := 0
+		for _, x := range small {
+			li = gallopGE(large, li, x)
+			if li == len(large) {
+				return dst
+			}
+			if large[li] == x {
+				dst = append(dst, x)
+			}
+		}
+	case KindRuns:
+		ri := 0
+		for _, x := range a.arr {
+			ri = gallopRunGE(b.runs, ri, x)
+			if ri == len(b.runs) {
+				return dst
+			}
+			if b.runs[ri].Start <= x {
+				dst = append(dst, x)
+			}
+		}
+	default:
+		words := b.bm.Words()
+		for _, x := range a.arr {
+			if words[x/64]&(1<<(x%64)) != 0 {
+				dst = append(dst, x)
+			}
+		}
+	}
+	return dst
+}
+
+// appendRangeBits appends the set bits of words within [start, end).
+func appendRangeBits(dst []uint32, words []uint64, start, end uint32) []uint32 {
+	if start >= end {
+		return dst
+	}
+	firstWord, lastWord := int(start/64), int((end-1)/64)
+	for wi := firstWord; wi <= lastWord; wi++ {
+		w := words[wi] & rangeMask(wi, start, end)
+		for w != 0 {
+			dst = append(dst, uint32(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// appendWordBits appends every set bit of words (ascending) to dst.
+func appendWordBits(dst []uint32, words []uint64) []uint32 {
+	for wi, w := range words {
+		for w != 0 {
+			dst = append(dst, uint32(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// copyRangeBits ORs the set bits of src within [start, end) into dst words.
+func copyRangeBits(dst, src []uint64, start, end uint32) {
+	if start >= end {
+		return
+	}
+	firstWord, lastWord := int(start/64), int((end-1)/64)
+	for wi := firstWord; wi <= lastWord; wi++ {
+		dst[wi] |= src[wi] & rangeMask(wi, start, end)
+	}
+}

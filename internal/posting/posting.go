@@ -1,0 +1,402 @@
+// Package posting implements the adaptive hybrid posting containers behind
+// the hidden-database engine's (attribute, value) index. The dense
+// word-packed bitset the engine used through PR 3 costs O(rows/64) words per
+// AND and O(rows/8) bytes per posting regardless of selectivity — fine at
+// the paper's 50k-row artifact scale, fatal at production scale where most
+// postings of a high-fanout attribute are sparse. Here each posting picks
+// the cheapest of three Roaring-style representations at build time, from
+// its observed cardinality and run structure:
+//
+//   - Array: a sorted []uint32 of ranks — sparse postings (4 bytes/member);
+//   - Bitmap: the dense word-packed bitset.Set — mid/high density;
+//   - Runs: sorted half-open [Start, End) intervals — value-clustered
+//     postings (e.g. an attribute monotone in the table's ranking order
+//     collapses to one run per value, 8 bytes total).
+//
+// The intersection kernels dispatch on the (kind, kind) pair and are all
+// k-bounded: a top-k evaluator asking for k+1 hits pays O(answer prefix)
+// on overflowing intersections, and near-O(matches) — independent of table
+// size — when any operand is sparse (galloping exponential search for
+// array×array, word-masked probes for array×bitmap, interval clipping for
+// runs). Every kernel enumerates ranks in ascending order, so results are
+// bit-identical to the dense engine's for any mix of representations.
+package posting
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hdunbiased/internal/bitset"
+)
+
+// Kind identifies a container representation.
+type Kind uint8
+
+const (
+	// KindArray is a sorted rank array (sparse postings).
+	KindArray Kind = iota
+	// KindBitmap is a dense word-packed bitset (mid/high density).
+	KindBitmap
+	// KindRuns is a sorted interval list (value-clustered postings).
+	KindRuns
+)
+
+// String returns the kind's name for stats and tests.
+func (k Kind) String() string {
+	switch k {
+	case KindArray:
+		return "array"
+	case KindBitmap:
+		return "bitmap"
+	case KindRuns:
+		return "runs"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Run is one half-open interval [Start, End) of consecutive ranks.
+type Run struct {
+	Start, End uint32
+}
+
+// List is an immutable posting container over a universe of n ranks.
+// Construct with Build; the zero value is an empty posting over an empty
+// universe.
+type List struct {
+	kind Kind
+	n    int // universe size in ranks
+	card int // member count
+	arr  []uint32
+	runs []Run
+	bm   *bitset.Set
+}
+
+// span is the internal read-only view shared by List and Mutable, so every
+// kernel is written once against one shape. Spans are plain values — they
+// live on the stack and never escape.
+type span struct {
+	kind Kind
+	n    int
+	card int
+	arr  []uint32
+	runs []Run
+	bm   *bitset.Set
+}
+
+func (l *List) span() span {
+	return span{kind: l.kind, n: l.n, card: l.card, arr: l.arr, runs: l.runs, bm: l.bm}
+}
+
+// Build constructs the cheapest container for the given sorted, duplicate-
+// free rank list over a universe of n ranks. An array is chosen only below
+// the n/64 cardinality break-even — the point where it both costs at most
+// half the bitmap's bytes AND a full counting scan performs no more
+// candidate probes than the bitmap has words, so the sparse representation
+// is never slower than dense on any kernel. Runs win whenever the interval
+// list undercuts both. forceBitmap pins the dense representation (the
+// engine's IndexDense mode, kept as the equivalence baseline and benchmark
+// reference). The ranks slice is copied as needed; callers may reuse it.
+func Build(n int, ranks []uint32, forceBitmap bool) *List {
+	card := len(ranks)
+	for i := 1; i < card; i++ {
+		if ranks[i] <= ranks[i-1] {
+			panic("posting: Build ranks must be strictly ascending")
+		}
+	}
+	if card > 0 && int(ranks[card-1]) >= n {
+		panic(fmt.Sprintf("posting: rank %d out of universe [0,%d)", ranks[card-1], n))
+	}
+	l := &List{n: n, card: card}
+	if forceBitmap {
+		l.kind = KindBitmap
+		l.bm = toBitmap(n, ranks)
+		return l
+	}
+	nRuns := countRuns(ranks)
+	arrayBytes := 4 * card
+	runBytes := 8 * nRuns
+	bitmapBytes := ((n + 63) / 64) * 8
+	switch {
+	case card > 0 && runBytes < arrayBytes && runBytes < bitmapBytes:
+		l.kind = KindRuns
+		l.runs = toRuns(ranks, nRuns)
+	case card <= arrayCutoff(n):
+		l.kind = KindArray
+		l.arr = append([]uint32(nil), ranks...)
+	default:
+		l.kind = KindBitmap
+		l.bm = toBitmap(n, ranks)
+	}
+	return l
+}
+
+func countRuns(ranks []uint32) int {
+	nRuns := 0
+	for i, r := range ranks {
+		if i == 0 || r != ranks[i-1]+1 {
+			nRuns++
+		}
+	}
+	return nRuns
+}
+
+func toRuns(ranks []uint32, nRuns int) []Run {
+	runs := make([]Run, 0, nRuns)
+	for i, r := range ranks {
+		if i == 0 || r != ranks[i-1]+1 {
+			runs = append(runs, Run{Start: r, End: r + 1})
+		} else {
+			runs[len(runs)-1].End = r + 1
+		}
+	}
+	return runs
+}
+
+func toBitmap(n int, ranks []uint32) *bitset.Set {
+	bm := bitset.New(n)
+	for _, r := range ranks {
+		bm.Add(int(r))
+	}
+	return bm
+}
+
+// Kind returns the chosen representation.
+func (l *List) Kind() Kind { return l.kind }
+
+// Card returns the number of members. Unlike the dense bitset, a container
+// knows its cardinality for free — a probe below an unconstrained prefix is
+// O(1) instead of a popcount scan.
+func (l *List) Card() int { return l.card }
+
+// Universe returns the universe size in ranks.
+func (l *List) Universe() int { return l.n }
+
+// Runs returns the number of stored runs (0 unless KindRuns).
+func (l *List) Runs() int { return len(l.runs) }
+
+// Bytes returns the approximate heap footprint of the container's payload.
+func (l *List) Bytes() int {
+	switch l.kind {
+	case KindArray:
+		return 4 * len(l.arr)
+	case KindRuns:
+		return 8 * len(l.runs)
+	default:
+		return ((l.n + 63) / 64) * 8
+	}
+}
+
+// Contains reports whether rank i is a member.
+func (l *List) Contains(i int) bool { return l.span().contains(uint32(i)) }
+
+// Bitmap returns the backing dense set for KindBitmap lists and nil
+// otherwise. It exists for the engine's omniscient full-intersection path,
+// which word-streams when every operand is dense; callers must treat the
+// returned set as read-only.
+func (l *List) Bitmap() *bitset.Set {
+	if l.kind != KindBitmap {
+		return nil
+	}
+	return l.bm
+}
+
+// CountUpTo returns the member count, exactly — the container tracks its
+// cardinality, so the dense bitset's bounded popcount scan degenerates to a
+// field read. The limit parameter is kept for drop-in compatibility with
+// bitset.Set.CountUpTo's contract (exact when <= limit, "more than limit"
+// otherwise); an exact count satisfies it trivially.
+func (l *List) CountUpTo(limit int) int { return l.card }
+
+// FirstN appends the first n members (ascending) to dst and returns it.
+func (l *List) FirstN(dst []int, n int) []int { return firstN(dst, n, l.span()) }
+
+// ForEach calls fn for every member in ascending order until fn returns
+// false.
+func (l *List) ForEach(fn func(i int) bool) { forEach(l.span(), fn) }
+
+// Indices returns all members in ascending order (tests and omniscient
+// accessors; not a hot path).
+func (l *List) Indices() []int {
+	out := make([]int, 0, l.card)
+	l.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// span primitives
+
+func (s span) contains(x uint32) bool {
+	switch s.kind {
+	case KindArray:
+		i := searchGE(s.arr, x)
+		return i < len(s.arr) && s.arr[i] == x
+	case KindRuns:
+		i := searchRunGE(s.runs, x)
+		return i < len(s.runs) && s.runs[i].Start <= x
+	default:
+		return s.bm.Contains(int(x))
+	}
+}
+
+// searchGE returns the first index i with a[i] >= x, or len(a).
+func searchGE(a []uint32, x uint32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopGE returns the first index i >= from with a[i] >= x, or len(a),
+// using exponential search from the cursor position — O(log distance), the
+// classic galloping-intersection step.
+func gallopGE(a []uint32, from int, x uint32) int {
+	n := len(a)
+	if from >= n || a[from] >= x {
+		return from
+	}
+	step := 1
+	i := from
+	for i+step < n && a[i+step] < x {
+		i += step
+		step <<= 1
+	}
+	lo, hi := i+1, i+step
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchRunGE returns the first run index i with runs[i].End > x, or
+// len(runs) — the run that contains x, if any, is at that index.
+func searchRunGE(runs []Run, x uint32) int {
+	lo, hi := 0, len(runs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if runs[mid].End <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopRunGE is searchRunGE with an exponential-search start at a cursor.
+func gallopRunGE(runs []Run, from int, x uint32) int {
+	n := len(runs)
+	if from >= n || runs[from].End > x {
+		return from
+	}
+	step := 1
+	i := from
+	for i+step < n && runs[i+step].End <= x {
+		i += step
+		step <<= 1
+	}
+	lo, hi := i+1, i+step
+	if hi > n {
+		hi = n
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if runs[mid].End <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func firstN(dst []int, n int, s span) []int {
+	if n <= 0 {
+		return dst
+	}
+	switch s.kind {
+	case KindArray:
+		if n > len(s.arr) {
+			n = len(s.arr)
+		}
+		for _, r := range s.arr[:n] {
+			dst = append(dst, int(r))
+		}
+	case KindRuns:
+		for _, run := range s.runs {
+			for r := run.Start; r < run.End; r++ {
+				dst = append(dst, int(r))
+				if n--; n == 0 {
+					return dst
+				}
+			}
+		}
+	default:
+		dst = s.bm.FirstN(dst, n)
+	}
+	return dst
+}
+
+func forEach(s span, fn func(i int) bool) {
+	switch s.kind {
+	case KindArray:
+		for _, r := range s.arr {
+			if !fn(int(r)) {
+				return
+			}
+		}
+	case KindRuns:
+		for _, run := range s.runs {
+			for r := run.Start; r < run.End; r++ {
+				if !fn(int(r)) {
+					return
+				}
+			}
+		}
+	default:
+		s.bm.ForEach(fn)
+	}
+}
+
+// rangeMask returns the mask selecting the bits of word wi that fall in
+// [start, end). The boundary math lives only here — every word-masked
+// range kernel (counting, emitting, appending, copying) composes it with
+// its own loop body instead of duplicating the classic off-by-one-prone
+// lo/hi mask construction.
+func rangeMask(wi int, start, end uint32) uint64 {
+	m := ^uint64(0)
+	if int(start/64) == wi {
+		m &= ^uint64(0) << (start % 64)
+	}
+	if int((end-1)/64) == wi {
+		m &= ^uint64(0) >> (63 - (end-1)%64)
+	}
+	return m
+}
+
+// onesCountRange counts set bits of bm within [start, end) — the run×bitmap
+// counting primitive, word-masked so partial boundary words cost one mask.
+func onesCountRange(words []uint64, start, end uint32) int {
+	if start >= end {
+		return 0
+	}
+	firstWord, lastWord := int(start/64), int((end-1)/64)
+	c := 0
+	for wi := firstWord; wi <= lastWord; wi++ {
+		c += bits.OnesCount64(words[wi] & rangeMask(wi, start, end))
+	}
+	return c
+}

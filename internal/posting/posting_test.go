@@ -1,0 +1,274 @@
+package posting
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hdunbiased/internal/bitset"
+)
+
+// mkRanks draws a random sorted duplicate-free rank set over [0, n) with
+// the given density, optionally clustered into runs.
+func mkRanks(rnd *rand.Rand, n int, density float64, clustered bool) []uint32 {
+	var ranks []uint32
+	if clustered {
+		// Runs of geometric length at random starts.
+		i := 0
+		for i < n {
+			if rnd.Float64() < density/4 {
+				runLen := 1 + rnd.Intn(16)
+				for j := 0; j < runLen && i < n; j++ {
+					ranks = append(ranks, uint32(i))
+					i++
+				}
+			}
+			i++
+		}
+		return ranks
+	}
+	for i := 0; i < n; i++ {
+		if rnd.Float64() < density {
+			ranks = append(ranks, uint32(i))
+		}
+	}
+	return ranks
+}
+
+func refSet(n int, ranks []uint32) *bitset.Set {
+	s := bitset.New(n)
+	for _, r := range ranks {
+		s.Add(int(r))
+	}
+	return s
+}
+
+func TestBuildSelection(t *testing.T) {
+	const n = 4096 // bitmap payload = 512 bytes
+	cases := []struct {
+		name  string
+		ranks []uint32
+		want  Kind
+	}{
+		{"empty", nil, KindArray},
+		{"singleton", []uint32{7}, KindArray},
+		{"sparse", []uint32{1, 100, 2000, 4000}, KindArray},
+		{"one-run", seq(100, 900), KindRuns},           // 800 members, 1 run
+		{"dense-scattered", everyOther(n), KindBitmap}, // 2048 members, 2048 runs
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := Build(n, tc.ranks, false)
+			if l.Kind() != tc.want {
+				t.Fatalf("kind = %v, want %v (card %d)", l.Kind(), tc.want, l.Card())
+			}
+			if l.Card() != len(tc.ranks) {
+				t.Fatalf("card = %d, want %d", l.Card(), len(tc.ranks))
+			}
+			if got, want := l.Indices(), intsOf(tc.ranks); !reflect.DeepEqual(got, want) {
+				t.Fatalf("indices = %v, want %v", got, want)
+			}
+			forced := Build(n, tc.ranks, true)
+			if forced.Kind() != KindBitmap {
+				t.Fatalf("forceBitmap ignored: %v", forced.Kind())
+			}
+			if !reflect.DeepEqual(forced.Indices(), intsOf(tc.ranks)) {
+				t.Fatal("forced bitmap changed contents")
+			}
+		})
+	}
+}
+
+func seq(lo, hi int) []uint32 {
+	out := make([]uint32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+func everyOther(n int) []uint32 {
+	out := make([]uint32, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+func intsOf(ranks []uint32) []int {
+	out := make([]int, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, int(r))
+	}
+	return out
+}
+
+// TestKernelsMatchDense drives every kernel over random container pairs of
+// every kind combination and checks each against the dense bitset
+// reference — the representation must never change a single answer.
+func TestKernelsMatchDense(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rnd.Intn(2000)
+		aRanks := mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0)
+		bRanks := mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0)
+		la, lb := Build(n, aRanks, rnd.Intn(4) == 0), Build(n, bRanks, rnd.Intn(4) == 0)
+		sa, sb := refSet(n, aRanks), refSet(n, bRanks)
+
+		// Reference intersection, streamed from the dense sets.
+		wantAll := bitset.AndFirstN(nil, n+1, sa, sb)
+
+		limit := rnd.Intn(12)
+		var ma Mutable
+		ma.Borrow(la)
+
+		gotN := AndFirstN(nil, limit+1, &ma, lb)
+		wantN := wantAll
+		if len(wantN) > limit+1 {
+			wantN = wantN[:limit+1]
+		}
+		if !equalInts(gotN, wantN) {
+			t.Fatalf("trial %d AndFirstN(%v×%v): got %v want %v", trial, la.Kind(), lb.Kind(), gotN, wantN)
+		}
+
+		gotC := AndCountUpTo(&ma, lb, limit)
+		if gotC <= limit {
+			if gotC != len(wantAll) {
+				t.Fatalf("trial %d AndCountUpTo(%v×%v) = %d, want exact %d", trial, la.Kind(), lb.Kind(), gotC, len(wantAll))
+			}
+		} else if len(wantAll) <= limit {
+			t.Fatalf("trial %d AndCountUpTo(%v×%v) = %d > limit but true count %d <= %d", trial, la.Kind(), lb.Kind(), gotC, len(wantAll), limit)
+		}
+
+		// Multiway with a third operand.
+		cRanks := mkRanks(rnd, n, pick(rnd, 0.01, 0.3, 0.8), rnd.Intn(2) == 0)
+		lc := Build(n, cRanks, rnd.Intn(4) == 0)
+		scDense := refSet(n, cRanks)
+		want3 := bitset.IntersectFirstN(nil, limit+1, sa, sb, scDense)
+		lists := []*List{la, lb, lc}
+		got3 := IntersectFirstN(nil, limit+1, lists, nil)
+		if !equalInts(got3, want3) {
+			t.Fatalf("trial %d IntersectFirstN: got %v want %v", trial, got3, want3)
+		}
+
+		// AndInto materialisation: contents and chosen representation.
+		var dst Mutable
+		AndInto(&dst, &ma, lb)
+		if !equalInts(dst.Indices(), wantAll) {
+			t.Fatalf("trial %d AndInto(%v×%v): got %v want %v", trial, la.Kind(), lb.Kind(), dst.Indices(), wantAll)
+		}
+		if dst.Card() != len(wantAll) {
+			t.Fatalf("trial %d AndInto card = %d, want %d", trial, dst.Card(), len(wantAll))
+		}
+		// Chain one more level: dst ∩ lc through the Mutable path.
+		var dst2 Mutable
+		AndInto(&dst2, &dst, lc)
+		want2 := bitset.IntersectFirstN(nil, n+1, sa, sb, scDense)
+		if !equalInts(dst2.Indices(), want2) {
+			t.Fatalf("trial %d chained AndInto: got %v want %v", trial, dst2.Indices(), want2)
+		}
+
+		// FirstN / CountUpTo / Contains / ForEach over single containers.
+		f := rnd.Intn(8)
+		wantF := sa.FirstN(nil, f)
+		if got := la.FirstN(nil, f); !equalInts(got, wantF) {
+			t.Fatalf("trial %d FirstN: got %v want %v", trial, got, wantF)
+		}
+		if la.CountUpTo(5) != len(aRanks) {
+			t.Fatalf("trial %d CountUpTo: got %d want %d", trial, la.CountUpTo(5), len(aRanks))
+		}
+		probe := rnd.Intn(n)
+		if la.Contains(probe) != sa.Contains(probe) {
+			t.Fatalf("trial %d Contains(%d) mismatch", trial, probe)
+		}
+	}
+}
+
+func pick(rnd *rand.Rand, opts ...float64) float64 { return opts[rnd.Intn(len(opts))] }
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMutableReuse pins the cursor-reuse contract: a Mutable cycled through
+// borrows and materialisations of different shapes keeps producing correct
+// contents, and a borrowed source's List is never written through.
+func TestMutableReuse(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	const n = 1500
+	postRanks := mkRanks(rnd, n, 0.5, false)
+	post := Build(n, postRanks, false)
+	before := append([]int(nil), post.Indices()...)
+
+	var top Mutable
+	var dst Mutable
+	for trial := 0; trial < 50; trial++ {
+		ranks := mkRanks(rnd, n, pick(rnd, 0.01, 0.6), rnd.Intn(2) == 0)
+		l := Build(n, ranks, false)
+		top.Borrow(l)
+		AndInto(&dst, &top, post)
+		want := bitset.AndFirstN(nil, n+1, refSet(n, ranks), refSet(n, postRanks))
+		if !equalInts(dst.Indices(), want) {
+			t.Fatalf("trial %d: reused Mutable wrong: got %v want %v", trial, dst.Indices(), want)
+		}
+	}
+	if !reflect.DeepEqual(post.Indices(), before) {
+		t.Fatal("posting list mutated through borrowed Mutable")
+	}
+}
+
+func TestIntersectFirstNEdges(t *testing.T) {
+	if got := IntersectFirstN(nil, 5, nil, nil); got != nil {
+		t.Fatalf("empty family: %v", got)
+	}
+	l := Build(100, []uint32{1, 2, 3}, false)
+	if got := IntersectFirstN(nil, 0, []*List{l}, nil); got != nil {
+		t.Fatalf("n=0: %v", got)
+	}
+	if got := IntersectFirstN(nil, 2, []*List{l}, nil); !equalInts(got, []int{1, 2}) {
+		t.Fatalf("single list: %v", got)
+	}
+	empty := Build(100, nil, false)
+	if got := IntersectFirstN(nil, 5, []*List{l, empty}, nil); got != nil {
+		t.Fatalf("empty operand: %v", got)
+	}
+}
+
+// FuzzKernels feeds arbitrary byte strings as (universe, set, set) seeds
+// and cross-checks the two-operand kernels against the dense reference.
+func FuzzKernels(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(128), uint8(4))
+	f.Add(int64(99), uint8(200), uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nByte, densA, limit uint8) {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + int(nByte)*8
+		aRanks := mkRanks(rnd, n, float64(densA)/255, seed%2 == 0)
+		bRanks := mkRanks(rnd, n, float64(255-densA)/255, seed%3 == 0)
+		la, lb := Build(n, aRanks, seed%5 == 0), Build(n, bRanks, seed%7 == 0)
+		sa, sb := refSet(n, aRanks), refSet(n, bRanks)
+		var ma Mutable
+		ma.Borrow(la)
+		want := bitset.AndFirstN(nil, int(limit)+1, sa, sb)
+		if got := AndFirstN(nil, int(limit)+1, &ma, lb); !equalInts(got, want) {
+			t.Fatalf("AndFirstN mismatch: got %v want %v", got, want)
+		}
+		wantAll := bitset.AndFirstN(nil, n+1, sa, sb)
+		var dst Mutable
+		AndInto(&dst, &ma, lb)
+		if !equalInts(dst.Indices(), wantAll) {
+			t.Fatalf("AndInto mismatch: got %v want %v", dst.Indices(), wantAll)
+		}
+		c := AndCountUpTo(&ma, lb, int(limit))
+		if c <= int(limit) && c != len(wantAll) {
+			t.Fatalf("AndCountUpTo = %d, want %d", c, len(wantAll))
+		}
+	})
+}
