@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
@@ -58,10 +60,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// One interrupt-bound context for the whole run: against a live -url
+	// backend it is bound into every HTTP request, so Ctrl-C aborts the
+	// in-flight call instead of waiting out the transport timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *rows > 0 {
 		*m = *rows
 	}
-	backend, truthf, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
+	backend, truthf, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +129,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		snap, err := sess.Run(context.Background())
+		snap, err := sess.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -224,9 +232,9 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // connect returns the hidden-database interface plus, for offline runs, a
 // ground-truth oracle (nil over HTTP: a real hidden database discloses
 // nothing).
-func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(mi int, cond hdb.Query) (float64, error), error) {
+func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(mi int, cond hdb.Query) (float64, error), error) {
 	if url != "" {
-		c, err := webform.Dial(url)
+		c, err := webform.Dial(url, webform.WithDialContext(ctx))
 		return c, nil, err
 	}
 	var (

@@ -14,20 +14,32 @@
 //	# Self-contained (offline dataset):
 //	hdservice -dataset auto -m 100000 -addr 127.0.0.1:8090
 //
+//	# Durable: jobs checkpoint to -store and resume when the service restarts
+//	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs
+//
 // Then:
 //
 //	curl -s -X POST localhost:8090/v1/estimate \
 //	     -d '{"algo":"hd","r":5,"dub":16,"workers":8,"target_rse":0.05,"max_cost":5000}'
 //	curl -s localhost:8090/v1/jobs/job-000001
 //	curl -s -X POST localhost:8090/v1/jobs/job-000001/cancel
+//	curl -s -X POST localhost:8090/v1/jobs/job-000001:resume
+//
+// Against a -url backend the service retries transient HTTP failures
+// (timeouts, 429 rate limits, 5xx) with exponential backoff below the query
+// accounting, so a retried query is still charged once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
@@ -45,22 +57,56 @@ func main() {
 		n       = flag.Int("n", 40, "offline Boolean attribute count")
 		k       = flag.Int("k", 100, "offline top-k")
 		seed    = flag.Int64("seed", 1, "offline generator seed")
+
+		store      = flag.String("store", "", "job-checkpoint directory: jobs survive restarts and resume on boot (empty = not durable)")
+		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
+		retryMax   = flag.Int("retry-attempts", 4, "attempts per query against a -url backend (1 = no retries)")
+		retryDelay = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff against a -url backend")
 	)
 	flag.Parse()
+
+	// Process-shutdown context, bound into every outbound HTTP request and
+	// retry backoff sleep: SIGINT/SIGTERM aborts in-flight calls against a
+	// live backend instead of waiting out the transport timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *rows > 0 {
 		*m = *rows
 	}
-	backend, err := connect(*urlFlag, *dataset, *m, *n, *k, *seed)
+	backend, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *urlFlag != "" && *retryMax > 1 {
+		// Fault tolerance for the live-webform regime: transient HTTP
+		// failures retry below the session's query accounting, so a retried
+		// query is still charged once.
+		backend = hdb.NewRetrier(backend, hdb.RetryConfig{MaxAttempts: *retryMax, BaseDelay: *retryDelay, Context: ctx})
+	}
 
-	mgr := estsvc.NewManager(backend)
+	var opts []estsvc.ManagerOption
+	if *store != "" {
+		fs, err := estsvc.NewFileStore(*store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, estsvc.WithStore(fs), estsvc.WithCheckpointEvery(*ckptEvery))
+	}
+	mgr := estsvc.NewManager(backend, opts...)
+	if *store != "" {
+		jobs, err := mgr.ResumeAll()
+		if err != nil {
+			log.Printf("resume: %v", err)
+		}
+		for _, j := range jobs {
+			log.Printf("resumed %s (passes=%d cost=%d)", j.ID, j.Snapshot().Passes, j.Snapshot().Cost)
+		}
+	}
 	schema := backend.Schema()
 	log.Printf("estimation service on http://%s  backend=%s (%d attrs, k=%d)",
 		*addr, backendName(*urlFlag, *dataset), len(schema.Attrs), backend.K())
-	log.Printf("POST /v1/estimate, GET /v1/jobs, GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel")
+	log.Printf("POST /v1/estimate, GET /v1/jobs, GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel, POST /v1/jobs/{id}:resume")
 	if err := http.ListenAndServe(*addr, mgr.Handler()); err != nil {
 		log.Fatal(err)
 	}
@@ -73,9 +119,9 @@ func backendName(url, dataset string) string {
 	return dataset
 }
 
-func connect(url, dataset string, m, n, k int, seed int64) (hdb.Interface, error) {
+func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) (hdb.Interface, error) {
 	if url != "" {
-		return webform.Dial(url)
+		return webform.Dial(url, webform.WithDialContext(ctx))
 	}
 	var (
 		d   *datagen.Dataset

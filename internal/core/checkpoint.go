@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+	"hdunbiased/internal/stats"
+)
+
+// This file implements durable walk state: Checkpoint captures everything a
+// pass-boundary estimator needs to continue bit-identically in another
+// process — the RNG substream position (a counted source over the seed), the
+// weight tree's learned knowledge (exact counts, underflow/overflow marks and
+// the equation-(6) running moments), and the resolved configuration — inside
+// a versioned JSON envelope; Restore rebuilds an Estimator from one.
+//
+// The guarantee is about Estimate.Values: a restored estimator draws the same
+// branches with the same probabilities and therefore produces the same
+// estimates, bit for bit, as the uninterrupted run. Estimate.Cost is NOT
+// covered — a fresh process starts with a cold client memo, so queries the
+// warm cache would have absorbed reach the backend again (and, in the
+// pathological case of a binding per-pass MaxQueries budget, could exhaust it
+// earlier; the default budget of 1e6 is orders of magnitude above any real
+// pass). Estimators built with an externally injected Config.Rand cannot be
+// checkpointed: the RNG position is not observable from outside the source.
+
+// CheckpointVersion is the envelope format version Checkpoint writes and
+// Restore accepts.
+const CheckpointVersion = 1
+
+// ErrNotCheckpointable is returned by Checkpoint when the estimator does not
+// own its random source (Config.Rand was injected), so its stream position
+// cannot be captured.
+var ErrNotCheckpointable = errors.New("core: estimator with injected Config.Rand cannot be checkpointed")
+
+// countedSource is a rand.Source64 over the standard seeded source that
+// counts how many values have been drawn. Both Int63 and Uint64 advance the
+// underlying generator by exactly one step, so the count is the estimator's
+// coordinate in its RNG substream: re-seeding and discarding count draws
+// lands a fresh source on the identical position.
+type countedSource struct {
+	src  rand.Source64
+	seed int64
+	n    uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+func (s *countedSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.seed, s.n = seed, 0
+}
+
+// seek advances a freshly seeded source by n draws.
+func (s *countedSource) seek(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Int63()
+	}
+	s.n = n
+}
+
+// Checkpoint is the serializable pass-boundary state of an Estimator. All
+// float64 state is stored as IEEE-754 bit patterns so the JSON round trip is
+// exact by construction, not by courtesy of the encoder.
+type Checkpoint struct {
+	Version int `json:"version"`
+
+	// Resolved configuration (pointer fields flattened).
+	R                   int     `json:"r"`
+	WeightAdjust        bool    `json:"weight_adjust,omitempty"`
+	MixLambda           float64 `json:"mix_lambda,omitempty"`
+	Propagate           bool    `json:"propagate,omitempty"`
+	MaxQueries          int64   `json:"max_queries,omitempty"`
+	AssumeBaseOverflows bool    `json:"assume_base_overflows,omitempty"`
+
+	// RNG substream coordinate: the seed and the number of draws consumed.
+	Seed  int64  `json:"seed"`
+	RandN uint64 `json:"rand_n"`
+
+	// Weights is the weight tree's root, nil when no node was ever
+	// materialised (weight adjustment off, or no pass run yet).
+	Weights *WeightsNode `json:"weights,omitempty"`
+}
+
+// WeightsNode is the envelope form of one weight-tree node. Children has
+// either zero entries or exactly len(Branches), with nil for branches never
+// descended through.
+type WeightsNode struct {
+	Branches []BranchState  `json:"branches"`
+	Children []*WeightsNode `json:"children,omitempty"`
+}
+
+// BranchState is the envelope form of one branch's learned knowledge.
+type BranchState struct {
+	N         int64  `json:"n,omitempty"`          // equation-(6) sample count
+	MeanBits  uint64 `json:"mean_bits,omitempty"`  // running mean, float64 bits
+	M2Bits    uint64 `json:"m2_bits,omitempty"`    // running M2, float64 bits
+	ExactBits uint64 `json:"exact_bits,omitempty"` // exact |D_Ci|, float64 bits
+	HasExact  bool   `json:"has_exact,omitempty"`
+	FloorBits uint64 `json:"floor_bits,omitempty"` // overflow floor, float64 bits
+	Empty     bool   `json:"empty,omitempty"`
+}
+
+// Checkpoint captures the estimator's current pass-boundary state. It must
+// be called between Estimate calls (the estimator is single-threaded, so any
+// point where the caller holds it is a pass boundary). The returned envelope
+// is independent of the estimator and safe to serialize, ship and restore in
+// another process.
+func (e *Estimator) Checkpoint() (*Checkpoint, error) {
+	if e.src == nil {
+		return nil, ErrNotCheckpointable
+	}
+	cp := &Checkpoint{
+		Version:             CheckpointVersion,
+		R:                   e.cfg.R,
+		WeightAdjust:        e.cfg.WeightAdjust,
+		MixLambda:           e.cfg.MixLambda,
+		Propagate:           e.propagate,
+		MaxQueries:          e.cfg.MaxQueries,
+		AssumeBaseOverflows: e.cfg.AssumeBaseOverflows,
+		Seed:                e.src.seed,
+		RandN:               e.src.n,
+		Weights:             marshalNode(e.weights.root),
+	}
+	return cp, nil
+}
+
+func marshalNode(n *nodeState) *WeightsNode {
+	if n == nil {
+		return nil
+	}
+	out := &WeightsNode{Branches: make([]BranchState, len(n.branches))}
+	for b := range n.branches {
+		br := &n.branches[b]
+		cnt, mean, m2 := br.est.State()
+		out.Branches[b] = BranchState{
+			N:         cnt,
+			MeanBits:  math.Float64bits(mean),
+			M2Bits:    math.Float64bits(m2),
+			ExactBits: math.Float64bits(br.exact),
+			HasExact:  br.hasExact,
+			FloorBits: math.Float64bits(br.overflowFloor),
+			Empty:     br.empty,
+		}
+	}
+	if n.children != nil {
+		out.Children = make([]*WeightsNode, len(n.children))
+		for b, c := range n.children {
+			out.Children[b] = marshalNode(c)
+		}
+	}
+	return out
+}
+
+// Restore rebuilds an Estimator from a checkpoint over a fresh session. The
+// caller supplies the same plan and measures the checkpointed estimator ran
+// with (they are derived state — internal/estsvc recompiles them from the
+// job's Spec); the envelope carries everything else. The restored estimator
+// continues the original's pass sequence bit-identically (see the package
+// note on what the guarantee covers).
+func Restore(session hdb.Client, plan *querytree.Plan, measures []Measure, cp *Checkpoint) (*Estimator, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	propagate := cp.Propagate
+	cfg := Config{
+		R:                       cp.R,
+		WeightAdjust:            cp.WeightAdjust,
+		MixLambda:               cp.MixLambda,
+		PropagateChildEstimates: &propagate,
+		MaxQueries:              cp.MaxQueries,
+		AssumeBaseOverflows:     cp.AssumeBaseOverflows,
+		Seed:                    cp.Seed,
+	}
+	e, err := NewWithSession(session, plan, measures, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.src.seek(cp.RandN)
+	if cp.Weights != nil {
+		root, count, err := unmarshalNode(cp.Weights, plan, 0)
+		if err != nil {
+			return nil, err
+		}
+		e.weights.root, e.weights.count = root, count
+	}
+	return e, nil
+}
+
+// unmarshalNode rebuilds the weight-tree node at the given plan level,
+// validating fanouts against the plan so a mismatched or corrupted envelope
+// fails loudly here instead of panicking mid-walk. Returns the node and the
+// number of nodes materialised under it (itself included).
+func unmarshalNode(wn *WeightsNode, plan *querytree.Plan, level int) (*nodeState, int, error) {
+	if level >= plan.Depth() {
+		return nil, 0, fmt.Errorf("core: checkpoint weight tree deeper than plan (%d levels)", plan.Depth())
+	}
+	if len(wn.Branches) != plan.FanoutAt(level) {
+		return nil, 0, fmt.Errorf("core: checkpoint node at level %d has fanout %d, plan says %d",
+			level, len(wn.Branches), plan.FanoutAt(level))
+	}
+	n := &nodeState{branches: make([]branchInfo, len(wn.Branches))}
+	count := 1
+	for b, bs := range wn.Branches {
+		n.branches[b] = branchInfo{
+			est:           stats.FromState(bs.N, math.Float64frombits(bs.MeanBits), math.Float64frombits(bs.M2Bits)),
+			exact:         math.Float64frombits(bs.ExactBits),
+			hasExact:      bs.HasExact,
+			overflowFloor: math.Float64frombits(bs.FloorBits),
+			empty:         bs.Empty,
+		}
+	}
+	if len(wn.Children) > 0 {
+		if len(wn.Children) != len(wn.Branches) {
+			return nil, 0, fmt.Errorf("core: checkpoint node at level %d has %d children for %d branches",
+				level, len(wn.Children), len(wn.Branches))
+		}
+		n.children = make([]*nodeState, len(wn.Branches))
+		for b, cwn := range wn.Children {
+			if cwn == nil {
+				continue
+			}
+			c, cc, err := unmarshalNode(cwn, plan, level+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			n.children[b] = c
+			count += cc
+		}
+	}
+	return n, count, nil
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// resumeTable builds the fixed workload the resume suite runs on. Fresh per
+// call: restore-side estimators must run against a rebuilt backend, the way
+// a restarted process would.
+func resumeTable(t testing.TB) *hdb.Table {
+	t.Helper()
+	d, err := datagen.Auto(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func resumePlan(t testing.TB, tbl *hdb.Table) *querytree.Plan {
+	t.Helper()
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func hdEstimator(t testing.TB, tbl *hdb.Table, seed int64) *Estimator {
+	t.Helper()
+	e, err := NewHDUnbiasedSize(tbl, 3, 16, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// passBits runs n passes and returns each Estimate.Values[0] as float bits.
+func passBits(t testing.TB, e *Estimator, n int) []uint64 {
+	t.Helper()
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := e.Estimate()
+		if err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		out = append(out, math.Float64bits(res.Values[0]))
+	}
+	return out
+}
+
+// checkpointThroughJSON serializes and deserializes the envelope — the
+// fresh-process boundary every resume test crosses.
+func checkpointThroughJSON(t testing.TB, e *Estimator) *Checkpoint {
+	t.Helper()
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	return &back
+}
+
+// The crash-resume determinism golden: run the HD estimator uninterrupted
+// for totalPasses, and pin (a) the final pass estimate in a committed golden
+// and (b) that checkpointing at each pinned walk count, restoring into a
+// fresh backend + estimator through a JSON round trip, reproduces every
+// remaining pass bit for bit. Regenerate with:
+//
+//	CORE_UPDATE_GOLDEN=1 go test ./internal/core -run TestCrashResumeDeterminism
+const resumeGoldenPath = "testdata/resume.json"
+
+const resumeTotalPasses = 110
+
+var resumeCheckpointsAt = []int{1, 7, 100}
+
+type resumeGolden struct {
+	Seed          int64    `json:"seed"`
+	TotalPasses   int      `json:"total_passes"`
+	CheckpointsAt []int    `json:"checkpoints_at"`
+	FinalBits     uint64   `json:"final_bits"`    // last pass estimate, float64 bits
+	AllPassBits   []uint64 `json:"all_pass_bits"` // every pass, for full-trajectory pinning
+	WeightNodes   int      `json:"weight_nodes"`  // weight-tree size at the end (structure drift guard)
+}
+
+func TestCrashResumeDeterminism(t *testing.T) {
+	const seed = 7
+	uninterrupted := passBits(t, hdEstimator(t, resumeTable(t), seed), resumeTotalPasses)
+
+	got := resumeGolden{
+		Seed:          seed,
+		TotalPasses:   resumeTotalPasses,
+		CheckpointsAt: resumeCheckpointsAt,
+		FinalBits:     uninterrupted[len(uninterrupted)-1],
+		AllPassBits:   uninterrupted,
+	}
+	{
+		e := hdEstimator(t, resumeTable(t), seed)
+		passBits(t, e, resumeTotalPasses)
+		got.WeightNodes = e.weights.len()
+	}
+
+	if os.Getenv("CORE_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(resumeGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(resumeGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (final=%v)", resumeGoldenPath, math.Float64frombits(got.FinalBits))
+		return
+	}
+
+	blob, err := os.ReadFile(resumeGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with CORE_UPDATE_GOLDEN=1): %v", err)
+	}
+	var want resumeGolden
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalPasses != resumeTotalPasses || want.Seed != seed {
+		t.Fatalf("golden pins %d passes of seed %d, test runs %d of %d", want.TotalPasses, want.Seed, resumeTotalPasses, seed)
+	}
+	if got.FinalBits != want.FinalBits {
+		t.Errorf("uninterrupted final estimate %v (bits %#x), golden %v (bits %#x)",
+			math.Float64frombits(got.FinalBits), got.FinalBits,
+			math.Float64frombits(want.FinalBits), want.FinalBits)
+	}
+	for i := range want.AllPassBits {
+		if got.AllPassBits[i] != want.AllPassBits[i] {
+			t.Fatalf("uninterrupted pass %d diverges from golden", i)
+		}
+	}
+	if got.WeightNodes != want.WeightNodes {
+		t.Errorf("weight tree has %d nodes, golden %d", got.WeightNodes, want.WeightNodes)
+	}
+
+	// Crash at each pinned walk count: checkpoint, cross the process
+	// boundary (JSON), restore over a REBUILT backend, run the remaining
+	// passes — every one must match the uninterrupted trajectory, and the
+	// final estimate must match the golden bit for bit.
+	for _, at := range resumeCheckpointsAt {
+		t.Run("checkpoint-at-"+itoa(at), func(t *testing.T) {
+			e := hdEstimator(t, resumeTable(t), seed)
+			head := passBits(t, e, at)
+			for i := range head {
+				if head[i] != want.AllPassBits[i] {
+					t.Fatalf("pre-checkpoint pass %d already diverges", i)
+				}
+			}
+			cp := checkpointThroughJSON(t, e)
+
+			tbl := resumeTable(t) // fresh process: fresh backend, cold cache
+			restored, err := Restore(hdb.NewSession(tbl), resumePlan(t, tbl), []Measure{CountMeasure()}, cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail := passBits(t, restored, resumeTotalPasses-at)
+			for i := range tail {
+				if tail[i] != want.AllPassBits[at+i] {
+					t.Fatalf("resumed pass %d (global %d) = %v, golden %v — resume broke determinism",
+						i, at+i, math.Float64frombits(tail[i]), math.Float64frombits(want.AllPassBits[at+i]))
+				}
+			}
+			if final := tail[len(tail)-1]; final != want.FinalBits {
+				t.Errorf("final estimate after resume %#x != golden %#x", final, want.FinalBits)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestCheckpointRoundTripState: the envelope reproduces the RNG position and
+// the weight tree exactly (node count and future branch distributions), for
+// both the weight-adjusted and the plain estimator.
+func TestCheckpointRoundTripState(t *testing.T) {
+	tbl := resumeTable(t)
+	e := hdEstimator(t, tbl, 3)
+	passBits(t, e, 5)
+
+	cp := checkpointThroughJSON(t, e)
+	if cp.Version != CheckpointVersion || cp.Seed != 3 {
+		t.Fatalf("envelope header %+v", cp)
+	}
+	if cp.RandN == 0 {
+		t.Error("no RNG draws recorded after 5 passes")
+	}
+	if !cp.WeightAdjust || cp.Weights == nil {
+		t.Fatal("weight tree missing from HD checkpoint")
+	}
+
+	tbl2 := resumeTable(t)
+	r, err := Restore(hdb.NewSession(tbl2), resumePlan(t, tbl2), []Measure{CountMeasure()}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.weights.len() != e.weights.len() {
+		t.Errorf("restored weight tree has %d nodes, original %d", r.weights.len(), e.weights.len())
+	}
+	if r.src.n != cp.RandN {
+		t.Errorf("restored RNG position %d, checkpoint %d", r.src.n, cp.RandN)
+	}
+	// The next draw on both streams must coincide.
+	if a, b := e.rnd.Float64(), r.rnd.Float64(); a != b {
+		t.Errorf("next RNG draw diverges: %v vs %v", a, b)
+	}
+
+	// BOOL estimator (no weight tree) round-trips too.
+	be, err := NewBoolUnbiasedSize(resumeTable(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passBits(t, be, 2)
+	bcp := checkpointThroughJSON(t, be)
+	if bcp.Weights != nil {
+		t.Error("plain estimator checkpoint carries a weight tree")
+	}
+	tbl3 := resumeTable(t)
+	bplan, err := querytree.New(tbl3.Schema(), hdb.Query{}, querytree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := Restore(hdb.NewSession(tbl3), bplan, []Measure{CountMeasure()}, bcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := be.rnd.Float64(), br.rnd.Float64(); a != b {
+		t.Errorf("plain estimator RNG diverges after restore: %v vs %v", a, b)
+	}
+}
+
+func TestCheckpointExternalRandRefused(t *testing.T) {
+	tbl := resumeTable(t)
+	plan := resumePlan(t, tbl)
+	e, err := New(tbl, plan, []Measure{CountMeasure()}, Config{R: 1, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); !errors.Is(err, ErrNotCheckpointable) {
+		t.Fatalf("err = %v, want ErrNotCheckpointable", err)
+	}
+}
+
+func TestRestoreRejectsBadEnvelopes(t *testing.T) {
+	tbl := resumeTable(t)
+	plan := resumePlan(t, tbl)
+	measures := []Measure{CountMeasure()}
+
+	if _, err := Restore(hdb.NewSession(tbl), plan, measures, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	e := hdEstimator(t, resumeTable(t), 1)
+	passBits(t, e, 2)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *cp
+	bad.Version = 99
+	if _, err := Restore(hdb.NewSession(tbl), plan, measures, &bad); err == nil {
+		t.Error("future version accepted")
+	}
+
+	// Fanout mismatch: corrupt the root node's branch count.
+	if cp.Weights != nil {
+		bad2 := *cp
+		bad2.Weights = &WeightsNode{Branches: make([]BranchState, 1)}
+		if _, err := Restore(hdb.NewSession(tbl), plan, measures, &bad2); err == nil {
+			t.Error("fanout-mismatched weight tree accepted")
+		}
+	}
+
+	// Children length mismatch.
+	bad3 := *cp
+	bad3.Weights = &WeightsNode{
+		Branches: make([]BranchState, plan.FanoutAt(0)),
+		Children: make([]*WeightsNode, 1),
+	}
+	if _, err := Restore(hdb.NewSession(tbl), plan, measures, &bad3); err == nil {
+		t.Error("children-length mismatch accepted")
+	}
+
+	// Tree deeper than the plan.
+	deep := &WeightsNode{Branches: make([]BranchState, plan.FanoutAt(0))}
+	node := deep
+	for lvl := 1; lvl <= plan.Depth(); lvl++ {
+		fan := 2
+		if lvl < plan.Depth() {
+			fan = plan.FanoutAt(lvl)
+		}
+		child := &WeightsNode{Branches: make([]BranchState, fan)}
+		node.Children = make([]*WeightsNode, len(node.Branches))
+		node.Children[0] = child
+		node = child
+	}
+	bad4 := *cp
+	bad4.Weights = deep
+	if _, err := Restore(hdb.NewSession(tbl), plan, measures, &bad4); err == nil {
+		t.Error("overdeep weight tree accepted")
+	}
+}
+
+// TestCountedSourceStream: the wrapper is stream-transparent (bit-identical
+// to a bare source) and seekable.
+func TestCountedSourceStream(t *testing.T) {
+	bare := rand.New(rand.NewSource(42))
+	counted := rand.New(newCountedSource(42))
+	for i := 0; i < 100; i++ {
+		if a, b := bare.Float64(), counted.Float64(); a != b {
+			t.Fatalf("draw %d: %v vs %v — wrapper perturbs the stream", i, a, b)
+		}
+	}
+	src := newCountedSource(42)
+	r := rand.New(src)
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+	pos := src.n
+	replay := newCountedSource(42)
+	replay.seek(pos - 10)
+	rr := rand.New(replay)
+	for i := 40; i < 50; i++ {
+		if got := rr.Float64(); got != want[i] {
+			t.Fatalf("seeked draw %d diverges", i)
+		}
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	tbl := resumeTable(b)
+	e := hdEstimator(b, tbl, 1)
+	passBits(b, e, 20) // populate a realistic weight tree
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("capture+json", func(b *testing.B) {
+		b.ReportAllocs()
+		var bytes int
+		for i := 0; i < b.N; i++ {
+			cp, err := e.Checkpoint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = len(blob)
+		}
+		b.ReportMetric(float64(bytes), "envelope-bytes")
+	})
+}

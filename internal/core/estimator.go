@@ -77,6 +77,7 @@ type Estimator struct {
 	cfg       Config
 	weights   *weightTree
 	rnd       *rand.Rand
+	src       *countedSource // non-nil iff the estimator owns its RNG (checkpointable)
 	propagate bool
 	k         int // backend.K(), cached off the hot path
 
@@ -161,8 +162,14 @@ func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure
 		cfg.MaxQueries = 1_000_000
 	}
 	rnd := cfg.Rand
+	var src *countedSource
 	if rnd == nil {
-		rnd = rand.New(rand.NewSource(cfg.Seed))
+		// Wrap the seeded source in a draw counter so the estimator's exact
+		// position in the RNG stream is observable — the substream coordinate
+		// Checkpoint records and Restore seeks back to. The wrapper forwards
+		// every call, so the stream is bit-identical to a bare NewSource.
+		src = newCountedSource(cfg.Seed)
+		rnd = rand.New(src)
 	}
 	propagate := cfg.WeightAdjust
 	if cfg.PropagateChildEstimates != nil {
@@ -187,6 +194,7 @@ func NewWithSession(session hdb.Client, plan *querytree.Plan, measures []Measure
 		cfg:       cfg,
 		weights:   newWeightTree(),
 		rnd:       rnd,
+		src:       src,
 		propagate: propagate,
 		k:         session.K(),
 		scratch:   make([]layerScratch, len(plan.Layers)),

@@ -1,0 +1,173 @@
+package estsvc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/stats"
+)
+
+// SessionCheckpointVersion is the session envelope format version.
+const SessionCheckpointVersion = 1
+
+// SessionCheckpoint is the serializable round-boundary state of a session:
+// the stopping configuration, the merged progress accounting, and one
+// estimator checkpoint plus per-measure pass moments per worker. Resume
+// rebuilds a session from it that continues the original's round sequence —
+// for the value-deterministic stopping rules (TargetRSE, MaxPasses) the
+// resumed session's final estimates are bit-identical to the uninterrupted
+// run's, because per-worker RNG substreams, weight trees and pass statistics
+// all restore exactly and rule evaluation only reads those.
+type SessionCheckpoint struct {
+	Version int         `json:"version"`
+	Config  ConfigState `json:"config"`
+	Passes  int64       `json:"passes"`
+	// Cost is the cumulative backend-query spend, bases of earlier resumes
+	// included — the number every budget decision after resume starts from.
+	Cost    int64         `json:"cost"`
+	Exact   bool          `json:"exact,omitempty"`
+	Workers []WorkerState `json:"workers"`
+}
+
+// ConfigState is the serializable subset of Config (sink excluded).
+type ConfigState struct {
+	Workers         int     `json:"workers"`
+	Seed            int64   `json:"seed"`
+	TargetRSE       float64 `json:"target_rse,omitempty"`
+	MinPasses       int     `json:"min_passes,omitempty"`
+	MaxPasses       int     `json:"max_passes,omitempty"`
+	MaxCost         int64   `json:"max_cost,omitempty"`
+	MaxMillis       int64   `json:"max_millis,omitempty"`
+	CacheShards     int     `json:"cache_shards,omitempty"`
+	CheckpointEvery int     `json:"checkpoint_every,omitempty"`
+}
+
+func configState(cfg Config) ConfigState {
+	return ConfigState{
+		Workers:         cfg.Workers,
+		Seed:            cfg.Seed,
+		TargetRSE:       cfg.TargetRSE,
+		MinPasses:       cfg.MinPasses,
+		MaxPasses:       cfg.MaxPasses,
+		MaxCost:         cfg.MaxCost,
+		MaxMillis:       cfg.MaxDuration.Milliseconds(),
+		CacheShards:     cfg.CacheShards,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+}
+
+// Config rebuilds the runtime Config (sink left nil — the resuming caller
+// re-arms it).
+func (cs ConfigState) Config() Config {
+	return Config{
+		Workers:         cs.Workers,
+		Seed:            cs.Seed,
+		TargetRSE:       cs.TargetRSE,
+		MinPasses:       cs.MinPasses,
+		MaxPasses:       cs.MaxPasses,
+		MaxCost:         cs.MaxCost,
+		MaxDuration:     time.Duration(cs.MaxMillis) * time.Millisecond,
+		CacheShards:     cs.CacheShards,
+		CheckpointEvery: cs.CheckpointEvery,
+	}
+}
+
+// WorkerState is one worker's durable state.
+type WorkerState struct {
+	Estimator *core.Checkpoint `json:"estimator"`
+	// Runs are the per-measure pass moments, in measure order.
+	Runs []RunningState `json:"runs,omitempty"`
+}
+
+// RunningState is a stats.Running as IEEE-754 bit patterns, so the JSON
+// round trip is exact.
+type RunningState struct {
+	N        int64  `json:"n"`
+	MeanBits uint64 `json:"mean_bits"`
+	M2Bits   uint64 `json:"m2_bits"`
+}
+
+func runningState(r stats.Running) RunningState {
+	n, mean, m2 := r.State()
+	return RunningState{N: n, MeanBits: math.Float64bits(mean), M2Bits: math.Float64bits(m2)}
+}
+
+func (rs RunningState) running() stats.Running {
+	return stats.FromState(rs.N, math.Float64frombits(rs.MeanBits), math.Float64frombits(rs.M2Bits))
+}
+
+// Checkpoint captures the session's durable state. It is sound only while
+// every worker is idle: between rounds (where the session itself calls it
+// through the sink), before Run, or after Run returns. Calling it on a
+// session whose workers are mid-pass is a data race by contract.
+func (s *Session) Checkpoint() (*SessionCheckpoint, error) {
+	cp := &SessionCheckpoint{
+		Version: SessionCheckpointVersion,
+		Config:  configState(s.cfg),
+		Cost:    s.costBase + s.counter.Count(),
+	}
+	cp.Config.Workers = len(s.workers) // after defaulting
+	s.mu.Lock()
+	cp.Passes = s.passes
+	cp.Exact = s.exact
+	runs := make([][]stats.Running, len(s.workers))
+	for wi, w := range s.workers {
+		runs[wi] = append([]stats.Running(nil), w.runs...)
+	}
+	s.mu.Unlock()
+	for wi, w := range s.workers {
+		ecp, err := w.est.Checkpoint()
+		if err != nil {
+			return nil, fmt.Errorf("estsvc: worker %d: %w", wi, err)
+		}
+		ws := WorkerState{Estimator: ecp}
+		for _, r := range runs[wi] {
+			ws.Runs = append(ws.Runs, runningState(r))
+		}
+		cp.Workers = append(cp.Workers, ws)
+	}
+	return cp, nil
+}
+
+// Resume rebuilds a session from a checkpoint over a (re-dialed or rebuilt)
+// backend. spec must be the one the checkpointed session ran — internal/hdb
+// cannot recover the plan from the envelope, so the job layer stores spec
+// and checkpoint side by side. sink re-arms periodic checkpointing when the
+// restored config asks for it (may be nil when CheckpointEvery is 0). The
+// returned session is unstarted: call Run to continue the job; already-done
+// stopping rules fire on the first rule check.
+func Resume(backend hdb.Interface, spec Spec, cp *SessionCheckpoint, sink func(*SessionCheckpoint) error) (*Session, []string, error) {
+	if backend == nil || cp == nil {
+		return nil, nil, fmt.Errorf("estsvc: nil backend or checkpoint")
+	}
+	if cp.Version != SessionCheckpointVersion {
+		return nil, nil, fmt.Errorf("estsvc: session checkpoint version %d, this build reads %d", cp.Version, SessionCheckpointVersion)
+	}
+	if len(cp.Workers) == 0 || cp.Config.Workers != len(cp.Workers) {
+		return nil, nil, fmt.Errorf("estsvc: checkpoint has %d worker states for %d workers", len(cp.Workers), cp.Config.Workers)
+	}
+	compiled, err := spec.Compile(backend.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := cp.Config.Config()
+	cfg.CheckpointSink = sink
+	s, err := newSession(backend, cfg, func(client hdb.Client, w int) (*core.Estimator, error) {
+		return core.Restore(client, compiled.Plan, compiled.Measures, cp.Workers[w].Estimator)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s.costBase = cp.Cost
+	s.passes = cp.Passes
+	s.exact = cp.Exact
+	for wi, w := range s.workers {
+		for _, rs := range cp.Workers[wi].Runs {
+			w.runs = append(w.runs, rs.running())
+		}
+	}
+	return s, compiled.Labels, nil
+}

@@ -22,6 +22,16 @@
 // so their pass counts — and hence merged values — may vary between runs;
 // every run remains unbiased.
 //
+// Durability: a session with Config.CheckpointEvery set captures a
+// SessionCheckpoint at round barriers — per-worker estimator state
+// (core.Estimator.Checkpoint: RNG substream position + weight tree) plus
+// per-measure pass moments, the merged pass count and the cumulative query
+// spend — and hands it to a pluggable sink. Resume rebuilds the session in
+// a fresh process and continues the round sequence; for the
+// value-deterministic rules the resumed final estimates are bit-identical
+// to the uninterrupted run. Manager persists these envelopes in a JobStore
+// and resumes jobs across service restarts.
+//
 // The session is exposed three ways: programmatically (New/Run/Snapshot),
 // as a job-oriented HTTP API (Manager.Handler, mounted by cmd/hdservice),
 // and through -parallel/-target-rse on cmd/hdestimate.
@@ -84,6 +94,19 @@ type Config struct {
 
 	// CacheShards sets the shared memo's stripe count (0 = default).
 	CacheShards int
+
+	// CheckpointEvery makes the session durable: every CheckpointEvery
+	// rounds (a round is one pass per worker, at a barrier where every
+	// worker is idle) the session captures a SessionCheckpoint and hands it
+	// to CheckpointSink. 0 disables checkpointing. Enabling it forces the
+	// round-synchronised scheduler even for pure pass-count sessions.
+	CheckpointEvery int
+	// CheckpointSink receives each captured checkpoint (required when
+	// CheckpointEvery > 0). A sink error fails the session: a durability
+	// guarantee that silently stops persisting is worse than an honest
+	// failure. The sink must not retain the pointer's worker envelopes
+	// beyond the call if it mutates them (Manager serializes to bytes).
+	CheckpointSink func(*SessionCheckpoint) error
 }
 
 // passesHardCap bounds any session: on a database small enough for the
@@ -138,6 +161,12 @@ type Session struct {
 	counter *hdb.Counter
 	cache   *hdb.ShardedCache
 	workers []*worker
+
+	// costBase is the backend-query spend a resumed session inherited from
+	// its checkpoint: the fresh counter starts at zero, so every budget
+	// comparison and snapshot adds the base back — a restarted job cannot
+	// double-spend its MaxCost.
+	costBase int64
 
 	mu      sync.Mutex
 	started bool
@@ -267,8 +296,20 @@ func workerSeed(seed int64, w int) int64 {
 // New builds a session over backend. factory is called once per worker with
 // the worker's shared-stack client and substream seed.
 func New(backend hdb.Interface, factory Factory, cfg Config) (*Session, error) {
-	if backend == nil || factory == nil {
-		return nil, fmt.Errorf("estsvc: nil backend or factory")
+	if factory == nil {
+		return nil, fmt.Errorf("estsvc: nil factory")
+	}
+	return newSession(backend, cfg, func(client hdb.Client, w int) (*core.Estimator, error) {
+		return factory(client, workerSeed(cfg.Seed, w))
+	})
+}
+
+// newSession is the shared constructor behind New and Resume: validate the
+// config, assemble the shared client stack and build one estimator per
+// worker through build.
+func newSession(backend hdb.Interface, cfg Config, build func(client hdb.Client, w int) (*core.Estimator, error)) (*Session, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("estsvc: nil backend")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -285,6 +326,12 @@ func New(backend hdb.Interface, factory Factory, cfg Config) (*Session, error) {
 	if cfg.MinPasses < 2 {
 		cfg.MinPasses = 2 // one pass always has stderr 0
 	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("estsvc: negative CheckpointEvery %d", cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink == nil {
+		return nil, fmt.Errorf("estsvc: CheckpointEvery set without a CheckpointSink")
+	}
 	s := &Session{
 		cfg:     cfg,
 		counter: hdb.NewCounter(backend),
@@ -292,7 +339,7 @@ func New(backend hdb.Interface, factory Factory, cfg Config) (*Session, error) {
 	s.cache = hdb.NewShardedCache(s.counter, cfg.CacheShards)
 	for w := 0; w < cfg.Workers; w++ {
 		client := &workerClient{cache: s.cache}
-		est, err := factory(client, workerSeed(cfg.Seed, w))
+		est, err := build(client, w)
 		if err != nil {
 			return nil, fmt.Errorf("estsvc: building worker %d: %w", w, err)
 		}
@@ -335,10 +382,11 @@ func (s *Session) Run(ctx context.Context) (Snapshot, error) {
 
 	// With pass count as the only active rule the partition is static —
 	// every worker knows its exact pass count up front and no barrier is
-	// ever taken. Adaptive rules instead run barrier-synchronised rounds of
-	// one pass per worker, re-evaluating the rules between rounds.
+	// ever taken. Adaptive rules — and durable sessions, which need barriers
+	// to checkpoint at — instead run barrier-synchronised rounds of one pass
+	// per worker, re-evaluating the rules between rounds.
 	var err error
-	if s.cfg.TargetRSE == 0 && s.cfg.MaxCost == 0 && s.cfg.MaxDuration == 0 {
+	if s.cfg.TargetRSE == 0 && s.cfg.MaxCost == 0 && s.cfg.MaxDuration == 0 && s.cfg.CheckpointEvery == 0 {
 		err = s.runStatic(ctx)
 	} else {
 		err = s.runRounds(ctx, cancel)
@@ -461,7 +509,7 @@ func (s *Session) runRounds(ctx context.Context, cancel context.CancelFunc) erro
 	nw := len(s.workers)
 	outs := make([]passOutcome, nw)
 	lastCost, stall := int64(-1), 0
-	for {
+	for round := 1; ; round++ {
 		if s.cfg.MaxCost > 0 {
 			if cost := s.counter.Count(); cost == lastCost {
 				if stall++; stall >= costStallRounds {
@@ -494,6 +542,17 @@ func (s *Session) runRounds(ctx context.Context, cancel context.CancelFunc) erro
 		if s.exactNow() {
 			return s.finish(nil, StopExact)
 		}
+		// Round barrier: every worker is idle, so estimator state is at a
+		// pass boundary — the only place a checkpoint is sound.
+		if s.cfg.CheckpointEvery > 0 && round%s.cfg.CheckpointEvery == 0 {
+			cp, err := s.Checkpoint()
+			if err == nil {
+				err = s.cfg.CheckpointSink(cp)
+			}
+			if err != nil {
+				return s.finish([]passOutcome{{stop: StopError, err: fmt.Errorf("estsvc: checkpoint: %w", err)}}, "")
+			}
+		}
 	}
 }
 
@@ -520,7 +579,7 @@ func (s *Session) checkRules(ctx context.Context) StopReason {
 	if s.passes >= passesHardCap {
 		return StopPasses
 	}
-	if s.cfg.MaxCost > 0 && s.counter.Count() >= s.cfg.MaxCost {
+	if s.cfg.MaxCost > 0 && s.costBase+s.counter.Count() >= s.cfg.MaxCost {
 		return StopBudget
 	}
 	if s.cfg.TargetRSE > 0 && s.passes >= int64(s.cfg.MinPasses) {
@@ -610,7 +669,7 @@ func (s *Session) snapshotLocked() Snapshot {
 	}
 	snap := Snapshot{
 		Passes:    s.passes,
-		Cost:      s.counter.Count(),
+		Cost:      s.costBase + s.counter.Count(),
 		CacheHits: s.cache.Hits(),
 		Exact:     s.exact,
 		Done:      s.done,

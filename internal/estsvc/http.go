@@ -2,20 +2,26 @@ package estsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"net/http"
+	"strings"
 	"time"
 )
 
-// The job API is deliberately small: submit a session, poll it, cancel it.
+// The job API is deliberately small: submit a session, poll it, cancel it,
+// resume it.
 //
 //	POST /v1/estimate            {spec..., workers, seed, target_rse, ...} -> 202 {id}
 //	GET  /v1/jobs                -> [{id, state, snapshot}, ...]
 //	GET  /v1/jobs/{id}           -> {id, state, spec, snapshot}
 //	POST /v1/jobs/{id}/cancel    -> {id, state, snapshot}
+//	POST /v1/jobs/{id}:resume    -> {id, state, snapshot}   (durable Managers only)
 //
-// Snapshots stream while the job runs, so a dashboard can poll the job URL
-// and watch the relative standard error shrink.
+// The cancel and resume verbs accept both the path form (/v1/jobs/{id}/cancel)
+// and the Google-style colon form (/v1/jobs/{id}:cancel). Snapshots stream
+// while the job runs, so a dashboard can poll the job URL and watch the
+// relative standard error shrink.
 
 // EstimateRequest is the POST /v1/estimate body: the estimator spec plus
 // session knobs. Zero-valued stopping rules fall back to Manager.Start's
@@ -30,19 +36,23 @@ type EstimateRequest struct {
 	MaxCost     int64   `json:"max_cost,omitempty"`
 	MaxMillis   int64   `json:"max_millis,omitempty"`
 	CacheShards int     `json:"cache_shards,omitempty"`
+	// CheckpointEvery overrides the durable Manager's checkpoint cadence in
+	// rounds (ignored by Managers without a store).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // Config converts the request's session knobs.
 func (r EstimateRequest) Config() Config {
 	return Config{
-		Workers:     r.Workers,
-		Seed:        r.Seed,
-		TargetRSE:   r.TargetRSE,
-		MinPasses:   r.MinPasses,
-		MaxPasses:   r.MaxPasses,
-		MaxCost:     r.MaxCost,
-		MaxDuration: time.Duration(r.MaxMillis) * time.Millisecond,
-		CacheShards: r.CacheShards,
+		Workers:         r.Workers,
+		Seed:            r.Seed,
+		TargetRSE:       r.TargetRSE,
+		MinPasses:       r.MinPasses,
+		MaxPasses:       r.MaxPasses,
+		MaxCost:         r.MaxCost,
+		MaxDuration:     time.Duration(r.MaxMillis) * time.Millisecond,
+		CacheShards:     r.CacheShards,
+		CheckpointEvery: r.CheckpointEvery,
 	}
 }
 
@@ -127,7 +137,27 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", m.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", m.handleResume)
+	// Colon verbs: ServeMux wildcards span whole segments, so
+	// "/v1/jobs/job-000001:resume" arrives here with id "job-000001:resume".
+	mux.HandleFunc("POST /v1/jobs/{id}", m.handleColonVerb)
 	return mux
+}
+
+func (m *Manager) handleColonVerb(w http.ResponseWriter, r *http.Request) {
+	id, verb, ok := strings.Cut(r.PathValue("id"), ":")
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: "POST /v1/jobs/{id}:cancel or {id}:resume"})
+		return
+	}
+	switch verb {
+	case "cancel":
+		m.cancelJob(w, id)
+	case "resume":
+		m.resumeJob(w, id)
+	default:
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: "unknown verb " + verb})
+	}
 }
 
 func (m *Manager) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -166,13 +196,35 @@ func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := m.Get(r.PathValue("id"))
+	m.cancelJob(w, r.PathValue("id"))
+}
+
+func (m *Manager) cancelJob(w http.ResponseWriter, id string) {
+	job, ok := m.Get(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorPayload{Error: "no such job"})
 		return
 	}
 	job.Cancel()
 	writeJSON(w, http.StatusOK, jobPayload(job, false))
+}
+
+func (m *Manager) handleResume(w http.ResponseWriter, r *http.Request) {
+	m.resumeJob(w, r.PathValue("id"))
+}
+
+func (m *Manager) resumeJob(w http.ResponseWriter, id string) {
+	job, err := m.Resume(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, jobPayload(job, true))
+	case errors.Is(err, ErrNoCheckpoint):
+		writeJSON(w, http.StatusNotFound, errorPayload{Error: err.Error()})
+	case errors.Is(err, ErrJobRunning):
+		writeJSON(w, http.StatusConflict, errorPayload{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorPayload{Error: err.Error()})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

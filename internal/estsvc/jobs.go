@@ -2,8 +2,11 @@ package estsvc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +23,10 @@ const (
 	JobCancelled JobState = "cancelled"
 )
 
+// ErrJobRunning is returned by Manager.Resume for a job that is still
+// running — there is nothing to resume.
+var ErrJobRunning = errors.New("job is running")
+
 // Job is one estimation session tracked by a Manager: the session itself
 // plus lifecycle state and the request that started it.
 type Job struct {
@@ -28,6 +35,7 @@ type Job struct {
 	Config  Config
 	Labels  []string // measure labels in Snapshot.Measures order
 	Created time.Time
+	Resumed bool // this incarnation was restored from a checkpoint
 
 	sess   *Session
 	cancel context.CancelFunc
@@ -49,14 +57,25 @@ func (j *Job) State() (JobState, string) {
 func (j *Job) Snapshot() Snapshot { return j.sess.Snapshot() }
 
 // Cancel asks the job's session to stop; the final snapshot keeps the
-// partial (still unbiased) merge. Safe to call in any state.
+// partial (still unbiased) merge. Safe to call in any state. A cancelled
+// job's latest checkpoint stays in the Manager's store, so it can be
+// resumed later.
 func (j *Job) Cancel() { j.cancel() }
 
-// Manager owns the estimation jobs of one backend: creation, lookup and
-// cancellation. It is the state behind the HTTP job API (Handler) but is
+// Manager owns the estimation jobs of one backend: creation, lookup,
+// cancellation and — when given a JobStore — durability: running jobs
+// checkpoint periodically, survive a process kill, and resume either
+// explicitly (Resume, POST /v1/jobs/{id}:resume) or wholesale at boot
+// (ResumeAll). It is the state behind the HTTP job API (Handler) but is
 // usable directly. Safe for concurrent use.
 type Manager struct {
-	backend hdb.Interface
+	backend         hdb.Interface
+	store           JobStore
+	checkpointEvery int
+
+	// resumeMu serializes Resume end to end, so two concurrent resume
+	// requests for one job cannot both pass the is-it-running check.
+	resumeMu sync.Mutex
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -64,11 +83,89 @@ type Manager struct {
 	seq   int
 }
 
+// ManagerOption customises a Manager.
+type ManagerOption func(*Manager)
+
+// WithStore makes the Manager durable: every running job checkpoints its
+// session into st, completed jobs delete their checkpoint, and Resume /
+// ResumeAll rebuild jobs from whatever st holds.
+func WithStore(st JobStore) ManagerOption {
+	return func(m *Manager) { m.store = st }
+}
+
+// WithCheckpointEvery sets how many rounds elapse between job checkpoints
+// (default 4; only meaningful with WithStore).
+func WithCheckpointEvery(rounds int) ManagerOption {
+	return func(m *Manager) { m.checkpointEvery = rounds }
+}
+
 // NewManager builds a Manager serving sessions against backend. The
 // backend's Query must be safe for concurrent use (hdb.Table and
 // webform.Client both are).
-func NewManager(backend hdb.Interface) *Manager {
-	return &Manager{backend: backend, jobs: make(map[string]*Job)}
+func NewManager(backend hdb.Interface, opts ...ManagerOption) *Manager {
+	m := &Manager{backend: backend, jobs: make(map[string]*Job), checkpointEvery: 4}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// jobEnvelope is what a durable Manager persists per job: the spec (needed
+// to recompile the plan on resume) next to the session checkpoint, plus the
+// job state at write time — ResumeAll auto-restarts only jobs that were
+// running when the process died; explicitly cancelled or failed jobs keep
+// their checkpoint but wait for an explicit Resume.
+type jobEnvelope struct {
+	Version int                `json:"version"`
+	ID      string             `json:"id"`
+	State   JobState           `json:"state"`
+	Spec    Spec               `json:"spec"`
+	Session *SessionCheckpoint `json:"session"`
+}
+
+// sink returns the job's checkpoint sink, or nil for a storeless Manager.
+func (m *Manager) sink(id string, spec Spec) func(*SessionCheckpoint) error {
+	if m.store == nil {
+		return nil
+	}
+	return func(cp *SessionCheckpoint) error {
+		blob, err := json.Marshal(jobEnvelope{Version: SessionCheckpointVersion, ID: id, State: JobRunning, Spec: spec, Session: cp})
+		if err != nil {
+			return err
+		}
+		return m.store.Put(id, blob)
+	}
+}
+
+// markStored rewrites the job's stored envelope with its terminal state, so
+// a later ResumeAll knows the stop was deliberate. A job killed before its
+// first checkpoint has nothing to mark.
+func (m *Manager) markStored(id string, state JobState) {
+	// Serialize with Resume: if a newer incarnation of this job is already
+	// running, its checkpoints own the envelope — do not stamp a stale
+	// terminal state over them.
+	m.resumeMu.Lock()
+	defer m.resumeMu.Unlock()
+	m.mu.Lock()
+	cur := m.jobs[id]
+	m.mu.Unlock()
+	if cur != nil {
+		if s, _ := cur.State(); s == JobRunning {
+			return
+		}
+	}
+	blob, err := m.store.Get(id)
+	if err != nil {
+		return
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return
+	}
+	env.State = state
+	if blob, err = json.Marshal(env); err == nil {
+		_ = m.store.Put(id, blob)
+	}
 }
 
 // Start validates the spec, builds a session and launches it in the
@@ -83,26 +180,49 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 		// sort of budget a per-IP-limited hidden database allows per day.
 		cfg.MaxCost = 1000
 	}
-	sess, err := New(m.backend, factory, cfg)
-	if err != nil {
-		return nil, err
-	}
-	ctx, cancel := context.WithCancel(context.Background())
 
 	m.mu.Lock()
 	m.seq++
 	id := fmt.Sprintf("job-%06d", m.seq)
-	job := &Job{
-		ID: id, Spec: spec, Config: cfg, Labels: labels,
-		Created: time.Now(), sess: sess, cancel: cancel, state: JobRunning,
+	m.mu.Unlock()
+
+	if m.store == nil {
+		cfg.CheckpointEvery = 0 // durability needs a store; the knob is advisory
+	} else {
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = m.checkpointEvery
+		}
+		cfg.CheckpointSink = m.sink(id, spec)
 	}
-	m.jobs[id] = job
-	m.order = append(m.order, id)
+	sess, err := New(m.backend, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{ID: id, Spec: spec, Config: cfg, Labels: labels, Created: time.Now(), sess: sess}
+	m.launch(job)
+	return job, nil
+}
+
+// launch registers the job (replacing a previous incarnation under the same
+// ID, keeping the listing order stable), runs its session in the background
+// and settles its terminal state. A successfully completed job deletes its
+// stored checkpoint; failed and cancelled jobs keep theirs so they can be
+// resumed.
+func (m *Manager) launch(job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	job.cancel = cancel
+	job.state = JobRunning
+
+	m.mu.Lock()
+	if _, exists := m.jobs[job.ID]; !exists {
+		m.order = append(m.order, job.ID)
+	}
+	m.jobs[job.ID] = job
 	m.mu.Unlock()
 
 	go func() {
 		defer cancel()
-		_, err := sess.Run(ctx)
+		_, err := job.sess.Run(ctx)
 		job.mu.Lock()
 		switch {
 		case err == nil:
@@ -113,9 +233,116 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 			job.state = JobFailed
 			job.err = err.Error()
 		}
+		state := job.state
 		job.mu.Unlock()
+		if m.store != nil {
+			if state == JobDone {
+				// The job finished: its checkpoint has nothing left to resume.
+				_ = m.store.Delete(job.ID)
+			} else {
+				// Cancelled/failed: keep the checkpoint for an explicit
+				// Resume, but record that the stop was deliberate so a
+				// restart does not resurrect it.
+				m.markStored(job.ID, state)
+			}
+		}
 	}()
+}
+
+// Resume rebuilds the identified job from the Manager's store and relaunches
+// it. It fails without a store, for unknown IDs, and for jobs currently
+// running. The resumed job keeps its ID and listing position; Config and
+// Labels come from the stored envelope.
+func (m *Manager) Resume(id string) (*Job, error) {
+	if m.store == nil {
+		return nil, fmt.Errorf("estsvc: manager has no job store")
+	}
+	m.resumeMu.Lock()
+	defer m.resumeMu.Unlock()
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		if state, _ := j.State(); state == JobRunning {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("estsvc: job %s: %w", id, ErrJobRunning)
+		}
+	}
+	// Keep fresh IDs ahead of resumed ones so a restarted service never
+	// hands out an ID the store still remembers.
+	if n, ok := parseJobSeq(id); ok && n > m.seq {
+		m.seq = n
+	}
+	m.mu.Unlock()
+
+	blob, err := m.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("estsvc: corrupt checkpoint for %s: %w", id, err)
+	}
+	if env.Session == nil {
+		return nil, fmt.Errorf("estsvc: checkpoint for %s has no session state", id)
+	}
+	sess, labels, err := Resume(m.backend, env.Spec, env.Session, m.sink(id, env.Spec))
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{
+		ID: id, Spec: env.Spec, Config: sess.cfg, Labels: labels,
+		Created: time.Now(), Resumed: true, sess: sess,
+	}
+	m.launch(job)
 	return job, nil
+}
+
+// ResumeAll resumes every job the store holds whose last recorded state was
+// running — the boot path of a durable service: a killed process restarts
+// and continues all its in-flight jobs. Jobs whose checkpoints record a
+// deliberate stop (cancelled, failed) are left alone; resume those
+// explicitly with Resume. Jobs that fail to resume are skipped and
+// reported; the rest still launch.
+func (m *Manager) ResumeAll() ([]*Job, error) {
+	if m.store == nil {
+		return nil, nil
+	}
+	ids, err := m.store.List()
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	var errs []string
+	for _, id := range ids {
+		if blob, err := m.store.Get(id); err == nil {
+			var env jobEnvelope
+			if json.Unmarshal(blob, &env) == nil && env.State != "" && env.State != JobRunning {
+				continue // deliberate stop: waits for an explicit Resume
+			}
+		}
+		job, err := m.Resume(id)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", id, err))
+			continue
+		}
+		jobs = append(jobs, job)
+	}
+	if len(errs) > 0 {
+		return jobs, fmt.Errorf("estsvc: %d job(s) failed to resume: %s", len(errs), strings.Join(errs, "; "))
+	}
+	return jobs, nil
+}
+
+// parseJobSeq extracts the sequence number from a Manager-issued ID.
+func parseJobSeq(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Get returns the job with the given id.

@@ -1,0 +1,531 @@
+package estsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sessionThroughJSON crosses the process boundary: serialize the checkpoint
+// and parse it back, the exact path a restarted service takes.
+func sessionThroughJSON(t *testing.T, cp *SessionCheckpoint) *SessionCheckpoint {
+	t.Helper()
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SessionCheckpoint
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	return &back
+}
+
+// TestSessionResumeDeterminism is the session-level half of the resume
+// guarantee: a TargetRSE session that checkpoints every round, is killed at
+// some round boundary, and resumes in a "fresh process" (JSON round trip,
+// rebuilt backend table, cold shared cache) must stop after the same total
+// passes with bit-identical merged estimates.
+func TestSessionResumeDeterminism(t *testing.T) {
+	spec := Spec{Algo: "hd", R: 3, DUB: 16}
+	cfg := Config{Workers: 4, Seed: 7, TargetRSE: 0.10, MinPasses: 16, MaxPasses: 4000}
+
+	baseline := goldenOf(runSession(t, autoTable(t, 3000, 20), cfg))
+
+	// Durable run: capture every round-boundary checkpoint.
+	var cps []*SessionCheckpoint
+	durableCfg := cfg
+	durableCfg.CheckpointEvery = 1
+	durableCfg.CheckpointSink = func(cp *SessionCheckpoint) error {
+		cps = append(cps, sessionThroughJSON(t, cp))
+		return nil
+	}
+	durable := goldenOf(runSession(t, autoTable(t, 3000, 20), durableCfg))
+	if durable.Passes != baseline.Passes {
+		t.Fatalf("checkpointing changed the pass count: %d vs %d", durable.Passes, baseline.Passes)
+	}
+	for i := range baseline.MeanBits {
+		if durable.MeanBits[i] != baseline.MeanBits[i] {
+			t.Fatalf("checkpointing perturbed the estimate (measure %d)", i)
+		}
+	}
+	if len(cps) < 2 {
+		t.Fatalf("only %d checkpoints captured", len(cps))
+	}
+
+	// Kill at several points (first, middle, last checkpoint) and resume.
+	for _, idx := range []int{0, len(cps) / 2, len(cps) - 1} {
+		cp := cps[idx]
+		sess, labels, err := Resume(autoTable(t, 3000, 20), spec, cp, func(*SessionCheckpoint) error { return nil })
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", idx, err)
+		}
+		if len(labels) != 1 || labels[0] != "COUNT" {
+			t.Fatalf("labels = %v", labels)
+		}
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatalf("resumed run from checkpoint %d: %v", idx, err)
+		}
+		got := goldenOf(snap)
+		if got.Passes != baseline.Passes || got.Reason != baseline.Reason {
+			t.Errorf("checkpoint %d: resumed passes=%d reason=%q, want passes=%d reason=%q",
+				idx, got.Passes, got.Reason, baseline.Passes, baseline.Reason)
+		}
+		for i := range baseline.MeanBits {
+			if got.MeanBits[i] != baseline.MeanBits[i] || got.StdErrBits[i] != baseline.StdErrBits[i] {
+				t.Errorf("checkpoint %d: resumed estimate diverges (measure %d): mean %v vs %v",
+					idx, i, math.Float64frombits(got.MeanBits[i]), math.Float64frombits(baseline.MeanBits[i]))
+			}
+		}
+	}
+}
+
+// TestResumeBudgetNoDoubleSpend: a resumed MaxCost session counts its
+// pre-kill spend — the budget is cumulative, not per-incarnation.
+func TestResumeBudgetNoDoubleSpend(t *testing.T) {
+	spec := Spec{Algo: "hd", R: 3, DUB: 16}
+	const budget = 4000
+
+	var cps []*SessionCheckpoint
+	cfg := Config{
+		Workers: 2, Seed: 3, MaxCost: budget,
+		CheckpointEvery: 1,
+		CheckpointSink:  func(cp *SessionCheckpoint) error { cps = append(cps, cp); return nil },
+	}
+	factory, _, err := spec.NewFactory(autoTable(t, 3000, 20).Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(autoTable(t, 3000, 20), factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a checkpoint with meaningful spend but budget left.
+	var cp *SessionCheckpoint
+	for _, c := range cps {
+		if c.Cost > budget/4 && c.Cost < budget*3/4 {
+			cp = c
+			break
+		}
+	}
+	if cp == nil {
+		t.Skipf("no mid-budget checkpoint among %d", len(cps))
+	}
+
+	resumed, _, err := Resume(autoTable(t, 3000, 20), spec, sessionThroughJSON(t, cp), func(*SessionCheckpoint) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reason != StopBudget {
+		t.Fatalf("reason = %q, want budget", snap.Reason)
+	}
+	if snap.Cost < cp.Cost {
+		t.Errorf("cumulative cost %d went backwards from checkpoint %d", snap.Cost, cp.Cost)
+	}
+	// No double-spend: fresh spend after resume stays within the remaining
+	// budget plus one round of overshoot per worker pass, nowhere near a
+	// full fresh budget.
+	fresh := snap.Cost - cp.Cost
+	if fresh >= budget {
+		t.Errorf("resumed session spent %d fresh queries — the %d budget was reset, not resumed", fresh, budget)
+	}
+}
+
+// TestResumeValidation covers the envelope error paths.
+func TestResumeValidation(t *testing.T) {
+	tbl := autoTable(t, 500, 20)
+	spec := Spec{Algo: "hd", R: 3, DUB: 16}
+
+	if _, _, err := Resume(nil, spec, &SessionCheckpoint{}, nil); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if _, _, err := Resume(tbl, spec, nil, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	if _, _, err := Resume(tbl, spec, &SessionCheckpoint{Version: 9}, nil); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, _, err := Resume(tbl, spec, &SessionCheckpoint{Version: SessionCheckpointVersion}, nil); err == nil {
+		t.Error("workerless checkpoint accepted")
+	}
+
+	// A real checkpoint resumed with CheckpointEvery but no sink must fail
+	// loudly rather than silently dropping durability.
+	var cps []*SessionCheckpoint
+	cfg := Config{Workers: 2, Seed: 1, MaxPasses: 8, CheckpointEvery: 1,
+		CheckpointSink: func(cp *SessionCheckpoint) error { cps = append(cps, cp); return nil }}
+	sess, err := New(autoTable(t, 500, 20), hdFactory(t, autoTable(t, 500, 20)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	if _, _, err := Resume(tbl, spec, cps[0], nil); err == nil {
+		t.Error("resume with checkpointing but no sink accepted")
+	}
+}
+
+// TestCheckpointSinkFailureFailsSession: durability that stops persisting
+// must surface, not rot silently.
+func TestCheckpointSinkFailureFailsSession(t *testing.T) {
+	boom := errors.New("disk full")
+	cfg := Config{Workers: 2, Seed: 1, MaxPasses: 1000, CheckpointEvery: 1,
+		CheckpointSink: func(*SessionCheckpoint) error { return boom }}
+	tbl := autoTable(t, 3000, 20)
+	sess, err := New(tbl, hdFactory(t, tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want the sink failure", err)
+	}
+	if snap := sess.Snapshot(); snap.Reason != StopError {
+		t.Errorf("reason = %q, want error", snap.Reason)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Manager + HTTP end-to-end: kill the service mid-job, restart over the same
+// file store, resume via POST /v1/jobs/{id}:resume.
+
+func TestManagerKillRestartResumeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewFileStore(filepath.Join(dir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 1: durable manager, aggressive checkpoint cadence.
+	mgr1 := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	srv1 := httptest.NewServer(mgr1.Handler())
+
+	const target = 0.05
+	resp, created := postJSON(t, srv1.URL+"/v1/estimate",
+		`{"algo":"hd","r":3,"dub":16,"workers":4,"seed":7,"target_rse":0.05,"min_passes":64,"max_passes":100000,"max_cost":2000000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/estimate: %s", resp.Status)
+	}
+	id := created.ID
+
+	// Wait until at least one checkpoint landed in the store.
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, err := store.Get(id); err == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no checkpoint reached the store")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// "Kill" incarnation 1: cancel the in-flight job (the process dying
+	// takes the session down mid-run) and drop the server.
+	job1, ok := mgr1.Get(id)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	job1.Cancel()
+	for {
+		if state, _ := job1.State(); state != JobRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv1.Close()
+	killedSnap := job1.Snapshot()
+	if killedSnap.Done && killedSnap.Reason == StopTargetRSE {
+		t.Skip("job converged before the kill; nothing to resume") // tiny chance with min_passes=64
+	}
+
+	// The checkpoint survived the kill.
+	blob, err := store.Get(id)
+	if err != nil {
+		t.Fatalf("checkpoint lost: %v", err)
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.ID != id || env.Session == nil || env.Session.Passes == 0 {
+		t.Fatalf("stored envelope %+v", env)
+	}
+	checkpointCost := env.Session.Cost
+
+	// Incarnation 2: fresh manager (fresh backend build — a restarted
+	// process re-opens its dataset) over the same store.
+	mgr2 := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	srv2 := httptest.NewServer(mgr2.Handler())
+	t.Cleanup(srv2.Close)
+
+	// Resuming an unknown job 404s; the colon verb parses.
+	if resp, _ := postJSON(t, srv2.URL+"/v1/jobs/job-999999:resume", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("resume of unknown job: %s, want 404", resp.Status)
+	}
+
+	rresp, resumed := postJSON(t, srv2.URL+"/v1/jobs/"+id+":resume", "")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("resume: %s", rresp.Status)
+	}
+	if resumed.ID != id {
+		t.Fatalf("resumed as %q, want %q", resumed.ID, id)
+	}
+
+	// Resuming again is never a second concurrent session: while the job
+	// runs it conflicts (409); if it already finished, its checkpoint is
+	// gone (404, or 200 for a re-resume of a just-cancelled job). Which one
+	// we see depends on how fast the resumed job converges.
+	if resp, _ := postJSON(t, srv2.URL+"/v1/jobs/"+id+"/resume", ""); resp.StatusCode != http.StatusConflict &&
+		resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusOK {
+		t.Errorf("double resume: %s", resp.Status)
+	}
+
+	final := waitDone(t, srv2, id, JobDone)
+	snap := final.Snapshot
+	if snap.Reason != string(StopTargetRSE) {
+		t.Fatalf("resumed job stopped with %q, want target-rse (%+v)", snap.Reason, snap)
+	}
+	if snap.Measures[0].RSE == nil || *snap.Measures[0].RSE > target {
+		t.Errorf("resumed job did not converge to RSE <= %v: %+v", target, snap.Measures[0])
+	}
+	// The checkpointed budget is honored: cumulative cost continues from the
+	// checkpoint instead of restarting at zero.
+	if snap.Cost < checkpointCost {
+		t.Errorf("final cost %d below checkpointed cost %d — the spend was reset", snap.Cost, checkpointCost)
+	}
+	if snap.Passes <= env.Session.Passes {
+		t.Errorf("resumed job made no progress: %d passes vs %d at checkpoint", snap.Passes, env.Session.Passes)
+	}
+
+	// Completion cleans the checkpoint up: nothing left to resume.
+	waitGone := time.After(5 * time.Second)
+	for {
+		if _, err := store.Get(id); errors.Is(err, ErrNoCheckpoint) {
+			break
+		}
+		select {
+		case <-waitGone:
+			t.Fatal("finished job's checkpoint not deleted")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// A fresh job on the restarted manager does not collide with the
+	// resumed ID space.
+	resp3, created3 := postJSON(t, srv2.URL+"/v1/estimate", `{"workers":2,"seed":1,"max_passes":4}`)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST after resume: %s", resp3.Status)
+	}
+	if created3.ID == id {
+		t.Errorf("restarted manager reissued ID %s", id)
+	}
+}
+
+// TestManagerResumeAll: the boot path — a restarted service continues every
+// stored job without being asked.
+func TestManagerResumeAll(t *testing.T) {
+	store := NewMemStore()
+	mgr1 := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		job, err := mgr1.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+			Config{Workers: 2, Seed: int64(i), TargetRSE: 1e-9, MinPasses: 8, MaxPasses: 1 << 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		stored, err := store.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stored) == 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("checkpoints stored: %d of 2", len(stored))
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	for _, id := range ids {
+		job, _ := mgr1.Get(id)
+		job.Cancel()
+		for {
+			if state, _ := job.State(); state != JobRunning {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Cancelling stamped the envelopes "cancelled". A SIGKILLed process
+	// never gets to do that — simulate the kill by restoring the running
+	// mark the periodic sink had written.
+	setStoredState := func(id string, state JobState) {
+		t.Helper()
+		blob, err := store.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env jobEnvelope
+		if err := json.Unmarshal(blob, &env); err != nil {
+			t.Fatal(err)
+		}
+		env.State = state
+		blob, err = json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(id, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		setStoredState(id, JobRunning)
+	}
+
+	mgr2 := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	jobs, err := mgr2.ResumeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("resumed %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if !j.Resumed {
+			t.Errorf("job %s not marked resumed", j.ID)
+		}
+		if j.Snapshot().Passes == 0 {
+			t.Errorf("job %s lost its checkpointed passes", j.ID)
+		}
+		j.Cancel()
+	}
+	for _, j := range jobs {
+		for {
+			if state, _ := j.State(); state != JobRunning {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Those deliberate cancels stamped the envelopes: a third incarnation's
+	// boot resume must leave them alone, while an explicit Resume still
+	// restarts one.
+	mgr3 := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	jobs3, err := mgr3.ResumeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs3) != 0 {
+		t.Fatalf("boot resume resurrected %d deliberately cancelled job(s)", len(jobs3))
+	}
+	j, err := mgr3.Resume(ids[0])
+	if err != nil {
+		t.Fatalf("explicit resume of cancelled job: %v", err)
+	}
+	j.Cancel()
+	// Storeless manager: ResumeAll is a no-op, Resume errors.
+	plain := NewManager(autoTable(t, 100, 20))
+	if jobs, err := plain.ResumeAll(); err != nil || jobs != nil {
+		t.Errorf("storeless ResumeAll = %v, %v", jobs, err)
+	}
+	if _, err := plain.Resume("job-000001"); err == nil {
+		t.Error("storeless Resume accepted")
+	}
+}
+
+// TestFileStoreAtomicity exercises the rename discipline and the error
+// paths shared by both stores.
+func TestJobStores(t *testing.T) {
+	fileStore, err := NewFileStore(filepath.Join(t.TempDir(), "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]JobStore{"mem": NewMemStore(), "file": fileStore} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := st.Get("job-000001"); !errors.Is(err, ErrNoCheckpoint) {
+				t.Errorf("Get of absent id = %v, want ErrNoCheckpoint", err)
+			}
+			if err := st.Put("job-000001", []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put("job-000001", []byte(`{"v":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := st.Get("job-000001")
+			if err != nil || !bytes.Equal(blob, []byte(`{"v":2}`)) {
+				t.Errorf("Get = %s, %v", blob, err)
+			}
+			if err := st.Put("job-000002", []byte(`x`)); err != nil {
+				t.Fatal(err)
+			}
+			ids, err := st.List()
+			if err != nil || len(ids) != 2 || ids[0] != "job-000001" || ids[1] != "job-000002" {
+				t.Errorf("List = %v, %v", ids, err)
+			}
+			if err := st.Delete("job-000001"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete("job-000001"); err != nil {
+				t.Errorf("double delete: %v", err)
+			}
+			if _, err := st.Get("job-000001"); !errors.Is(err, ErrNoCheckpoint) {
+				t.Errorf("deleted id still readable")
+			}
+			for _, bad := range []string{"", "../evil", "a/b", `a\b`, "c:d"} {
+				if err := st.Put(bad, []byte("x")); err == nil {
+					t.Errorf("id %q accepted", bad)
+				}
+			}
+		})
+	}
+
+	// File specifics: tmp leftovers are ignored and Put is visible across
+	// store handles (the restart path).
+	if err := os.WriteFile(filepath.Join(fileStore.Dir(), "junk.json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := fileStore.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == "junk.json" || id == "junk" {
+			t.Errorf("tmp leftover listed: %v", ids)
+		}
+	}
+	reopened, err := NewFileStore(fileStore.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob, err := reopened.Get("job-000002"); err != nil || string(blob) != "x" {
+		t.Errorf("reopened store Get = %s, %v", blob, err)
+	}
+}

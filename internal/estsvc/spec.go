@@ -31,21 +31,52 @@ type Spec struct {
 	AssumeBaseOverflows bool `json:"assume_base_overflows,omitempty"`
 }
 
+// Compiled is a spec resolved against a schema: the shared immutable plan,
+// the measures, the core config template (Seed unset — workers get their
+// substream seed at construction) and the measure labels. Restore paths use
+// it to rebuild exactly the estimator a checkpointed job ran.
+type Compiled struct {
+	Plan     *querytree.Plan
+	Measures []core.Measure
+	Config   core.Config
+	Labels   []string
+}
+
+// Factory returns the worker factory over the compiled spec.
+func (c Compiled) Factory() Factory {
+	return func(client hdb.Client, seed int64) (*core.Estimator, error) {
+		cfg := c.Config
+		cfg.Seed = seed
+		return core.NewWithSession(client, c.Plan, c.Measures, cfg)
+	}
+}
+
 // NewFactory compiles the spec against a schema into a worker factory plus
 // the measure labels ("COUNT", "SUM(price)", ...) in Values order. The plan
 // is built once and shared: it is immutable during estimation, unlike the
 // per-worker weight trees.
 func (sp Spec) NewFactory(schema hdb.Schema) (Factory, []string, error) {
-	cond, err := sp.cond(schema)
+	c, err := sp.Compile(schema)
 	if err != nil {
 		return nil, nil, err
+	}
+	return c.Factory(), c.Labels, nil
+}
+
+// Compile resolves the spec against a schema. The plan is built once and
+// shared: it is immutable during estimation, unlike the per-worker weight
+// trees.
+func (sp Spec) Compile(schema hdb.Schema) (Compiled, error) {
+	cond, err := sp.cond(schema)
+	if err != nil {
+		return Compiled{}, err
 	}
 	measures := []core.Measure{core.CountMeasure()}
 	labels := []string{"COUNT"}
 	for _, name := range sp.Sum {
 		mi := schema.MeasureIndex(name)
 		if mi < 0 {
-			return nil, nil, fmt.Errorf("estsvc: unknown measure %q (schema has %v)", name, schema.Measures)
+			return Compiled{}, fmt.Errorf("estsvc: unknown measure %q (schema has %v)", name, schema.Measures)
 		}
 		measures = append(measures, core.NumMeasure(mi))
 		labels = append(labels, "SUM("+name+")")
@@ -76,19 +107,14 @@ func (sp Spec) NewFactory(schema hdb.Schema) (Factory, []string, error) {
 	case "bool":
 		cfg = core.Config{R: 1}
 	default:
-		return nil, nil, fmt.Errorf("estsvc: unknown algo %q (want hd or bool)", sp.Algo)
+		return Compiled{}, fmt.Errorf("estsvc: unknown algo %q (want hd or bool)", sp.Algo)
 	}
 	cfg.AssumeBaseOverflows = sp.AssumeBaseOverflows
 	plan, err := querytree.New(schema, cond, opts)
 	if err != nil {
-		return nil, nil, err
+		return Compiled{}, err
 	}
-	factory := func(client hdb.Client, seed int64) (*core.Estimator, error) {
-		c := cfg
-		c.Seed = seed
-		return core.NewWithSession(client, plan, measures, c)
-	}
-	return factory, labels, nil
+	return Compiled{Plan: plan, Measures: measures, Config: cfg, Labels: labels}, nil
 }
 
 func (sp Spec) cond(schema hdb.Schema) (hdb.Query, error) {

@@ -1,0 +1,180 @@
+package estsvc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// JobStore persists job checkpoints by job ID. Put must be atomic at the
+// granularity of one ID: a reader (Get) observes either the previous or the
+// new envelope, never a torn write — this is what lets a killed service
+// resume from whatever the store holds. Implementations must be safe for
+// concurrent use.
+type JobStore interface {
+	Put(id string, envelope []byte) error
+	// Get returns the stored envelope, or ErrNoCheckpoint when the id has
+	// none.
+	Get(id string) ([]byte, error)
+	// List returns the stored job IDs in lexical order.
+	List() ([]string, error)
+	// Delete removes the id's envelope; deleting an absent id is a no-op.
+	Delete(id string) error
+}
+
+// ErrNoCheckpoint is returned by JobStore.Get for an unknown job ID.
+var ErrNoCheckpoint = fmt.Errorf("estsvc: no checkpoint stored for this job")
+
+// MemStore is an in-memory JobStore — the default for a Manager without
+// durability, and the fixture for tests.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Put implements JobStore.
+func (s *MemStore) Put(id string, envelope []byte) error {
+	if err := checkJobID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[id] = append([]byte(nil), envelope...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements JobStore.
+func (s *MemStore) Get(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.m[id]
+	if !ok {
+		return nil, ErrNoCheckpoint
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// List implements JobStore.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete implements JobStore.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// FileStore persists envelopes as one JSON file per job under a directory,
+// with the atomic-rename discipline: Put writes id.json.tmp and renames it
+// over id.json, so a crash mid-write leaves the previous checkpoint intact
+// and a reader never sees a torn file.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("estsvc: job store: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) path(id string) string { return filepath.Join(s.dir, id+".json") }
+
+// Put implements JobStore with write-to-temp + rename.
+func (s *FileStore) Put(id string, envelope []byte) error {
+	if err := checkJobID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(id) + ".tmp"
+	if err := os.WriteFile(tmp, envelope, 0o644); err != nil {
+		return fmt.Errorf("estsvc: job store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("estsvc: job store: %w", err)
+	}
+	return nil
+}
+
+// Get implements JobStore.
+func (s *FileStore) Get(id string) ([]byte, error) {
+	if err := checkJobID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return nil, fmt.Errorf("estsvc: job store: %w", err)
+	}
+	return blob, nil
+}
+
+// List implements JobStore.
+func (s *FileStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("estsvc: job store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue // .tmp leftovers and strangers are not checkpoints
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete implements JobStore.
+func (s *FileStore) Delete(id string) error {
+	if err := checkJobID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("estsvc: job store: %w", err)
+	}
+	return nil
+}
+
+// checkJobID guards file-backed stores against path-traversal IDs; Manager
+// IDs ("job-000042") always pass.
+func checkJobID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\:") || strings.Contains(id, "..") {
+		return fmt.Errorf("estsvc: invalid job id %q", id)
+	}
+	return nil
+}

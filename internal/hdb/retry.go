@@ -1,0 +1,224 @@
+package hdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the fault-tolerant client layer: a typed
+// transient-vs-fatal error taxonomy and a Retrier middleware that re-issues
+// transiently failed queries with bounded exponential backoff.
+//
+// Placement matters for the paper's query accounting. A retried query is ONE
+// query from the estimator's (and the hidden database operator's rate-limit)
+// point of view, so the Retrier belongs BELOW the accounting middleware:
+//
+//	Cache -> Counter/Limiter/Tracer -> Retrier -> webform.Client
+//
+// Counter then charges each logical query exactly once no matter how many
+// transport attempts it took, Limiter debits the budget once, and the flat
+// Query path and the QueryCursor path behave identically (the Retrier
+// forwards CursorProvider and retries each probe the same way).
+
+// TransientError marks an error as retryable: the request may succeed if
+// simply re-issued (timeouts, connection resets, 5xx, rate-limit backoff).
+// Errors not wrapped in TransientError are fatal and surface immediately.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err as retryable. nil stays nil; an already-transient
+// error is returned unchanged.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// RetryConfig tunes a Retrier. The zero value retries up to 4 attempts with
+// 50ms..2s exponential backoff under context.Background().
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries per query, first included
+	// (default 4; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Context bounds every retry loop: when it is done, in-progress backoff
+	// sleeps abort and no further attempts are made (the Interface contract
+	// has no per-call context — see webform.Client.WithContext for binding
+	// the in-flight HTTP requests themselves). Default context.Background().
+	Context context.Context
+	// Sleep overrides the backoff sleep — a test seam for deterministic
+	// retry schedules. nil means a timer racing Context.
+	Sleep func(d time.Duration)
+}
+
+func (cfg *RetryConfig) defaults() {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.Multiplier <= 1 {
+		cfg.Multiplier = 2
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+}
+
+// Retrier wraps an Interface and re-issues transiently failed queries with
+// bounded exponential backoff. Fatal errors (anything not marked transient,
+// including ErrQueryLimit and context cancellation) surface immediately; a
+// query that stays transient after MaxAttempts surfaces its last error still
+// marked transient, so callers can distinguish "gave up" from "rejected".
+// Safe for concurrent use when the inner Interface is.
+type Retrier struct {
+	inner   Interface
+	cfg     RetryConfig
+	retries atomic.Int64
+}
+
+// NewRetrier wraps inner with the given retry policy.
+func NewRetrier(inner Interface, cfg RetryConfig) *Retrier {
+	cfg.defaults()
+	return &Retrier{inner: inner, cfg: cfg}
+}
+
+// Schema implements Interface.
+func (r *Retrier) Schema() Schema { return r.inner.Schema() }
+
+// K implements Interface.
+func (r *Retrier) K() int { return r.inner.K() }
+
+// Query implements Interface, retrying transient failures.
+func (r *Retrier) Query(q Query) (Result, error) {
+	var res Result
+	err := r.do(func() error {
+		var err error
+		res, err = r.inner.Query(q)
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Retries returns the number of extra attempts made so far across all
+// queries and probes — 0 on a fault-free run.
+func (r *Retrier) Retries() int64 { return r.retries.Load() }
+
+// do runs op under the retry policy.
+func (r *Retrier) do(op func() error) error {
+	delay := r.cfg.BaseDelay
+	for attempt := 1; ; attempt++ {
+		if err := r.cfg.Context.Err(); err != nil {
+			return err
+		}
+		err := op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= r.cfg.MaxAttempts {
+			return fmt.Errorf("hdb: giving up after %d attempts: %w", attempt, err)
+		}
+		r.retries.Add(1)
+		if !r.sleep(delay) {
+			return r.cfg.Context.Err()
+		}
+		if delay = time.Duration(float64(delay) * r.cfg.Multiplier); delay > r.cfg.MaxDelay {
+			delay = r.cfg.MaxDelay
+		}
+	}
+}
+
+// sleep waits d or until the config context is done; false means cancelled.
+func (r *Retrier) sleep(d time.Duration) bool {
+	if r.cfg.Sleep != nil {
+		r.cfg.Sleep(d)
+		return r.cfg.Context.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.cfg.Context.Done():
+		return false
+	}
+}
+
+// NewCursor implements CursorProvider: probes through the returned cursor
+// retry exactly like queries. Descend/Ascend issue no queries and pass
+// through untouched, so the cursor's committed prefix can never diverge from
+// the inner cursor's.
+func (r *Retrier) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(r.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &retrierCursor{r: r, inner: inner}, nil
+}
+
+type retrierCursor struct {
+	r     *Retrier
+	inner QueryCursor
+}
+
+func (rc *retrierCursor) Probe(attr int, value uint16) (Result, error) {
+	var res Result
+	err := rc.r.do(func() error {
+		var err error
+		res, err = rc.inner.Probe(attr, value)
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func (rc *retrierCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	var n int
+	var overflow bool
+	err := rc.r.do(func() error {
+		var err error
+		n, overflow, err = rc.inner.ProbeCount(attr, value)
+		return err
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return n, overflow, nil
+}
+
+func (rc *retrierCursor) Descend(attr int, value uint16) error { return rc.inner.Descend(attr, value) }
+func (rc *retrierCursor) Ascend()                              { rc.inner.Ascend() }
+func (rc *retrierCursor) Depth() int                           { return rc.inner.Depth() }
+func (rc *retrierCursor) Close()                               { rc.inner.Close() }

@@ -71,6 +71,16 @@ func (r *Running) StdErr() float64 {
 	return r.StdDev() / math.Sqrt(float64(r.n))
 }
 
+// State exposes the accumulator's raw moments (count, mean, sum of squared
+// deviations) for serialization. Together with FromState it round-trips a
+// Running bit for bit, which is what checkpoint/resume determinism rests on.
+func (r Running) State() (n int64, mean, m2 float64) { return r.n, r.mean, r.m2 }
+
+// FromState rebuilds an accumulator from moments captured by State.
+func FromState(n int64, mean, m2 float64) Running {
+	return Running{n: n, mean: mean, m2: m2}
+}
+
 // Merge folds the other accumulator into r (parallel-run combination).
 func (r *Running) Merge(o Running) {
 	if o.n == 0 {

@@ -109,6 +109,29 @@ func TestRunningMergeEmptyCases(t *testing.T) {
 	}
 }
 
+// TestRunningStateRoundTrip: State/FromState must reproduce the accumulator
+// bit for bit — checkpoint/resume determinism rests on it.
+func TestRunningStateRoundTrip(t *testing.T) {
+	var r Running
+	for _, x := range []float64{3.25, -1.5, 1e17, 0.1, 7} {
+		r.Add(x)
+	}
+	n, mean, m2 := r.State()
+	back := FromState(n, mean, m2)
+	if back != r {
+		t.Fatalf("round trip %+v != original %+v", back, r)
+	}
+	// The restored accumulator continues identically.
+	r.Add(42)
+	back.Add(42)
+	if back != r {
+		t.Errorf("post-restore Add diverges: %+v vs %+v", back, r)
+	}
+	if zero := FromState(0, 0, 0); zero.N() != 0 || zero.Mean() != 0 {
+		t.Errorf("zero state: %+v", zero)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize(100, []float64{90, 110, 100, 100})
 	if s.Trials != 4 {

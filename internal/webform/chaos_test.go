@@ -1,0 +1,322 @@
+package webform
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/core"
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+)
+
+// stallServer serves a real auto table but hangs /search until the returned
+// release func is called — the "stuck hidden database" double the context
+// regression test needs.
+func stallServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	d, err := datagen.Auto(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewServer(tbl, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" {
+			<-release
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	var once func()
+	done := false
+	once = func() {
+		if !done {
+			done = true
+			close(release)
+		}
+	}
+	t.Cleanup(func() { once(); srv.Close() })
+	return srv, once
+}
+
+// TestContextCancelsInFlightRequest pins the ctx-plumbing bugfix: a Query
+// hung on a stalled server must abort as soon as the bound context is
+// cancelled, rather than waiting out the transport timeout.
+func TestContextCancelsInFlightRequest(t *testing.T) {
+	srv, _ := stallServer(t)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := c.WithContext(ctx)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := bound.Query(hdb.Query{})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the stalled handler
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("hung query returned %v, want context.Canceled", err)
+		}
+		if hdb.IsTransient(err) {
+			t.Fatal("cancellation must be fatal, not transient")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled query did not return — context not plumbed into the request")
+	}
+}
+
+// TestDeadlineAbortsInFlightRequest: same plumbing, deadline flavour.
+func TestDeadlineAbortsInFlightRequest(t *testing.T) {
+	srv, _ := stallServer(t)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.WithContext(ctx).Query(hdb.Query{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not abort the in-flight request")
+	}
+}
+
+// TestErrorClassification pins the transient/fatal taxonomy the Retrier
+// keys on.
+func TestErrorClassification(t *testing.T) {
+	respond := func(status int, hdr map[string]string) *httptest.Server {
+		d, err := datagen.Auto(50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := d.Table(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := NewServer(tbl, ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/search" {
+				for k, v := range hdr {
+					w.Header().Set(k, v)
+				}
+				w.WriteHeader(status)
+				w.Write([]byte(`{"error":"synthetic"}`))
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+
+	cases := []struct {
+		name      string
+		status    int
+		hdr       map[string]string
+		transient bool
+		limit     bool
+	}{
+		{"rate-limit 429", http.StatusTooManyRequests, map[string]string{"Retry-After": "1"}, true, false},
+		{"budget 429", http.StatusTooManyRequests, nil, false, true},
+		{"503", http.StatusServiceUnavailable, nil, true, false},
+		{"502", http.StatusBadGateway, nil, true, false},
+		{"400", http.StatusBadRequest, nil, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Dial(respond(tc.status, tc.hdr).URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = c.Query(hdb.Query{})
+			if err == nil {
+				t.Fatal("synthetic failure returned nil error")
+			}
+			if got := hdb.IsTransient(err); got != tc.transient {
+				t.Errorf("IsTransient = %v, want %v (%v)", got, tc.transient, err)
+			}
+			if got := errors.Is(err, hdb.ErrQueryLimit); got != tc.limit {
+				t.Errorf("ErrQueryLimit = %v, want %v (%v)", got, tc.limit, err)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chaos conformance suite
+
+// TestChaosConformance runs HD-UNBIASED-SIZE through a seeded fault schedule
+// behind the Retrier and pins the two durability guarantees:
+// (a) every per-pass estimate is bit-identical to the fault-free run, and
+// (b) each distinct query is charged exactly once despite retries — the
+// estimator's backend-query count (its session Counter sits ABOVE the
+// Retrier) matches the fault-free run's, while the transport saw strictly
+// more requests.
+func TestChaosConformance(t *testing.T) {
+	ts, _ := autoServer(t, 2000, 25, ServerOptions{})
+
+	type runOut struct {
+		values []uint64
+		cost   int64
+	}
+	const passes = 8
+	run := func(faulty bool) runOut {
+		var backend hdb.Interface
+		var ft *FaultTransport
+		var retrier *hdb.Retrier
+		if faulty {
+			ft = NewFaultTransport(http.DefaultTransport, 99, FaultConfig{Rate: 0.35, MaxConsecutive: 2})
+			c, err := Dial(ts.URL, WithHTTPClient(&http.Client{Transport: ft, Timeout: 30 * time.Second}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			retrier = hdb.NewRetrier(c, hdb.RetryConfig{
+				MaxAttempts: 4,
+				Sleep:       func(time.Duration) {}, // no wall-clock sleeps in CI
+			})
+			backend = retrier
+		} else {
+			c, err := Dial(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend = c
+		}
+		est, err := core.NewHDUnbiasedSize(backend, 3, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out runOut
+		for pass := 0; pass < passes; pass++ {
+			res, err := est.Estimate()
+			if err != nil {
+				t.Fatalf("pass %d (faulty=%v): %v", pass, faulty, err)
+			}
+			out.values = append(out.values, math.Float64bits(res.Values[0]))
+		}
+		out.cost = est.Cost()
+		if faulty {
+			if ft.Injected() == 0 {
+				t.Fatal("fault schedule injected nothing — the chaos run tested nothing")
+			}
+			if retrier.Retries() != ft.Injected() {
+				t.Errorf("retries (%d) != injected faults (%d): some fault was not recovered by a retry",
+					retrier.Retries(), ft.Injected())
+			}
+			if ft.Requests() <= out.cost {
+				t.Errorf("transport saw %d requests for %d logical queries — faults can't have been injected",
+					ft.Requests(), out.cost)
+			}
+			t.Logf("chaos: %d faults injected over %d transport requests, %d retries, %d logical queries",
+				ft.Injected(), ft.Requests(), retrier.Retries(), out.cost)
+		}
+		return out
+	}
+
+	clean := run(false)
+	chaos := run(true)
+
+	for i := range clean.values {
+		if clean.values[i] != chaos.values[i] {
+			t.Errorf("pass %d: chaos estimate %v != clean estimate %v (bits %#x vs %#x)",
+				i, math.Float64frombits(chaos.values[i]), math.Float64frombits(clean.values[i]),
+				chaos.values[i], clean.values[i])
+		}
+	}
+	if clean.cost != chaos.cost {
+		t.Errorf("logical query count under chaos = %d, fault-free = %d — retries leaked into the accounting",
+			chaos.cost, clean.cost)
+	}
+}
+
+// TestFaultTransportDeterminism: same seed, same request sequence -> same
+// schedule; different seed -> (almost surely) different schedule.
+func TestFaultTransportDeterminism(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		ft := NewFaultTransport(http.DefaultTransport, seed, FaultConfig{Rate: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			req := httptest.NewRequest(http.MethodGet, "http://x/search?q=1", nil)
+			_, inject := ft.decide(req)
+			out = append(out, inject)
+		}
+		return out
+	}
+	a, b := schedule(5), schedule(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	c := schedule(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 5 and 6 produced identical 64-request schedules")
+	}
+}
+
+// TestFaultTransportBoundsConsecutive: no fault run exceeds MaxConsecutive,
+// so a retry policy with MaxConsecutive+1 attempts always gets through.
+func TestFaultTransportBoundsConsecutive(t *testing.T) {
+	ft := NewFaultTransport(http.DefaultTransport, 3, FaultConfig{Rate: 0.95, MaxConsecutive: 2})
+	consec, worst := 0, 0
+	for i := 0; i < 500; i++ {
+		req := httptest.NewRequest(http.MethodGet, "http://x/search", nil)
+		if _, inject := ft.decide(req); inject {
+			if consec++; consec > worst {
+				worst = consec
+			}
+		} else {
+			consec = 0
+		}
+	}
+	if worst > 2 {
+		t.Errorf("fault run of %d exceeds MaxConsecutive=2", worst)
+	}
+	if ft.Injected() == 0 {
+		t.Error("no faults at rate 0.95?")
+	}
+}
+
+// TestFaultTransportSparesSchema: Dial must survive chaos — the default
+// PathPrefix exempts the schema fetch.
+func TestFaultTransportSparesSchema(t *testing.T) {
+	ts, _ := autoServer(t, 100, 10, ServerOptions{})
+	ft := NewFaultTransport(http.DefaultTransport, 1, FaultConfig{Rate: 1, MaxConsecutive: 1 << 30})
+	if _, err := Dial(ts.URL, WithHTTPClient(&http.Client{Transport: ft})); err != nil {
+		t.Fatalf("Dial through 100%%-fault transport failed: %v (schema path not exempt?)", err)
+	}
+	if ft.Injected() != 0 {
+		t.Errorf("schema fetch drew %d faults", ft.Injected())
+	}
+}

@@ -1,6 +1,7 @@
 package webform
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,30 +16,79 @@ import (
 // Client talks to a webform Server and implements hdb.Interface, so every
 // estimator in this repository runs unchanged against a live HTTP hidden
 // database — the way the paper's PHP implementation ran against Yahoo! Auto.
+//
+// Errors are classified for the retry layer (hdb.Retrier): transport
+// failures, 5xx responses and rate-limit 429s (those carrying a Retry-After
+// header) come back marked hdb.MarkTransient; budget 429s map to
+// hdb.ErrQueryLimit and everything else is fatal. Every request is built
+// with the client's bound context (WithContext), so cancelling it aborts
+// in-flight HTTP calls instead of waiting out the transport timeout.
 type Client struct {
 	base   *url.URL
 	http   *http.Client
+	ctx    context.Context
 	schema hdb.Schema
 	k      int
 }
 
+// DialOption customises a Client before the schema fetch.
+type DialOption func(*Client)
+
+// WithHTTPClient substitutes the transport stack — the seam FaultTransport
+// and custom timeouts plug into.
+func WithHTTPClient(hc *http.Client) DialOption {
+	return func(c *Client) { c.http = hc }
+}
+
+// WithDialContext binds ctx to the Dial itself and to the returned client
+// (equivalent to calling WithContext on the result, but also covers the
+// schema fetch).
+func WithDialContext(ctx context.Context) DialOption {
+	return func(c *Client) { c.ctx = ctx }
+}
+
 // Dial fetches the schema from baseURL and returns a ready client.
-func Dial(baseURL string) (*Client, error) {
+func Dial(baseURL string, opts ...DialOption) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("webform: bad base URL: %w", err)
 	}
-	c := &Client{base: u, http: &http.Client{Timeout: 30 * time.Second}}
+	c := &Client{base: u, http: &http.Client{Timeout: 30 * time.Second}, ctx: context.Background()}
+	for _, opt := range opts {
+		opt(c)
+	}
 	if err := c.fetchSchema(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) fetchSchema() error {
-	resp, err := c.http.Get(c.base.JoinPath("schema").String())
+// WithContext returns a client whose requests are built under ctx:
+// cancelling it aborts in-flight HTTP calls. The two clients share the
+// transport and schema; the receiver is not modified. This is how a session
+// context reaches the wire — hdb.Interface carries no per-call context.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := *c
+	out.ctx = ctx
+	return &out
+}
+
+// get issues one GET under the client's bound context.
+func (c *Client) get(u string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return fmt.Errorf("webform: schema fetch: %w", err)
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+func (c *Client) fetchSchema() error {
+	resp, err := c.get(c.base.JoinPath("schema").String())
+	if err != nil {
+		return fmt.Errorf("webform: schema fetch: %w", transportErr(c.ctx, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -65,9 +115,20 @@ func (c *Client) Schema() hdb.Schema { return c.schema }
 // K implements hdb.Interface.
 func (c *Client) K() int { return c.k }
 
-// Query implements hdb.Interface. A 429 from the server surfaces as
+// transportErr classifies a request error: cancellation of the bound context
+// is fatal (retrying a dead session is wrong), everything else — timeouts,
+// connection resets, refused connections — is transient.
+func transportErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return hdb.MarkTransient(err)
+}
+
+// Query implements hdb.Interface. A budget 429 from the server surfaces as
 // hdb.ErrQueryLimit so budget-aware callers behave identically to the
-// in-memory Limiter.
+// in-memory Limiter; a rate-limit 429 (Retry-After set) and all 5xx surface
+// as transient errors for the retry layer.
 func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
 	if err := q.Validate(c.schema); err != nil {
 		return hdb.Result{}, err
@@ -78,16 +139,23 @@ func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
 	}
 	u := c.base.JoinPath("search")
 	u.RawQuery = params.Encode()
-	resp, err := c.http.Get(u.String())
+	resp, err := c.get(u.String())
 	if err != nil {
-		return hdb.Result{}, fmt.Errorf("webform: search: %w", err)
+		return hdb.Result{}, fmt.Errorf("webform: search: %w", transportErr(c.ctx, err))
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusTooManyRequests:
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
+		if resp.Header.Get("Retry-After") != "" {
+			// Rate limiting, not budget exhaustion: back off and retry.
+			return hdb.Result{}, hdb.MarkTransient(fmt.Errorf("webform: search: rate limited (%s)", resp.Status))
+		}
 		return hdb.Result{}, hdb.ErrQueryLimit
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		return hdb.Result{}, hdb.MarkTransient(fmt.Errorf("webform: search: %s", resp.Status))
 	default:
 		var ep errorPayload
 		_ = json.NewDecoder(resp.Body).Decode(&ep)

@@ -1,0 +1,168 @@
+package webform
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// FaultTransport is an http.RoundTripper test double that injects transport
+// and server faults on a seeded schedule — the chaos layer the conformance
+// suite drives a full estimation run through. Faults are decided per
+// eligible request by a private seeded RNG, so a fixed (seed, request
+// sequence) pair yields the same fault schedule on every run; MaxConsecutive
+// bounds runs of faults so a retry policy with enough attempts always gets
+// through.
+//
+// Injected faults never reach the inner transport: the "server" the
+// estimator sees under chaos answers exactly the queries a fault-free run
+// would have sent, which is what makes the bit-identical conformance
+// assertion meaningful.
+type FaultTransport struct {
+	inner http.RoundTripper
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rnd      *rand.Rand
+	consec   int
+	total    int64
+	injected int64
+}
+
+// FaultKind enumerates the injectable failure modes.
+type FaultKind int
+
+const (
+	// FaultTimeout fails the round trip with a net.Error whose Timeout() is
+	// true — what a stuck server looks like to http.Client.
+	FaultTimeout FaultKind = iota
+	// FaultReset fails the round trip with a connection-reset error.
+	FaultReset
+	// FaultRateLimit answers 429 with a Retry-After header — the transient
+	// rate-limit flavour, not the budget flavour the webform Server sends.
+	FaultRateLimit
+	// FaultServerError answers 503.
+	FaultServerError
+	numFaultKinds
+)
+
+// FaultConfig tunes a FaultTransport.
+type FaultConfig struct {
+	// Rate is the per-request fault probability (default 0.3).
+	Rate float64
+	// MaxConsecutive caps fault runs (default 2). Keep it below the retry
+	// policy's MaxAttempts-1 or the run will exhaust its retries.
+	MaxConsecutive int
+	// PathPrefix restricts injection to matching request paths (default
+	// "/search", so Dial's schema fetch is spared).
+	PathPrefix string
+	// Kinds lists the failure modes to draw from (default all four).
+	Kinds []FaultKind
+}
+
+// NewFaultTransport wraps inner (nil means http.DefaultTransport) with
+// seeded fault injection.
+func NewFaultTransport(inner http.RoundTripper, seed int64, cfg FaultConfig) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 0.3
+	}
+	if cfg.MaxConsecutive == 0 {
+		cfg.MaxConsecutive = 2
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/search"
+	}
+	if len(cfg.Kinds) == 0 {
+		for k := FaultKind(0); k < numFaultKinds; k++ {
+			cfg.Kinds = append(cfg.Kinds, k)
+		}
+	}
+	return &FaultTransport{inner: inner, cfg: cfg, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// faultError is a transport-level injected failure. It implements net.Error
+// so http.Client surfaces timeouts the way real ones look.
+type faultError struct {
+	msg     string
+	timeout bool
+}
+
+func (e *faultError) Error() string   { return e.msg }
+func (e *faultError) Timeout() bool   { return e.timeout }
+func (e *faultError) Temporary() bool { return true }
+
+// RoundTrip implements http.RoundTripper.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, inject := ft.decide(req)
+	if !inject {
+		return ft.inner.RoundTrip(req)
+	}
+	switch kind {
+	case FaultTimeout:
+		return nil, &faultError{msg: "fault: injected timeout", timeout: true}
+	case FaultReset:
+		return nil, &faultError{msg: "fault: connection reset by peer"}
+	case FaultRateLimit:
+		return syntheticResponse(req, http.StatusTooManyRequests, http.Header{"Retry-After": {"0"}},
+			`{"error":"injected rate limit"}`), nil
+	default: // FaultServerError
+		return syntheticResponse(req, http.StatusServiceUnavailable, http.Header{},
+			`{"error":"injected server error"}`), nil
+	}
+}
+
+// decide draws the fault verdict for one request under the mutex — the
+// schedule is a function of the eligible-request sequence alone.
+func (ft *FaultTransport) decide(req *http.Request) (FaultKind, bool) {
+	if !strings.HasPrefix(req.URL.Path, ft.cfg.PathPrefix) {
+		return 0, false
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.total++
+	if ft.consec >= ft.cfg.MaxConsecutive || ft.rnd.Float64() >= ft.cfg.Rate {
+		ft.consec = 0
+		return 0, false
+	}
+	ft.consec++
+	ft.injected++
+	return ft.cfg.Kinds[ft.rnd.Intn(len(ft.cfg.Kinds))], true
+}
+
+// Requests returns the eligible requests seen (injected faults included).
+func (ft *FaultTransport) Requests() int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.total
+}
+
+// Injected returns the number of faults injected so far.
+func (ft *FaultTransport) Injected() int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.injected
+}
+
+func syntheticResponse(req *http.Request, status int, hdr http.Header, body string) *http.Response {
+	if hdr.Get("Content-Type") == "" {
+		hdr.Set("Content-Type", "application/json")
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
