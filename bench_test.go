@@ -205,6 +205,66 @@ func BenchmarkEstimatePassHD1M(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimatePassBatched1M measures the warm per-pass cost of running
+// W=8 HD walks over the Auto-1M table as a lockstep cohort against the same
+// eight walks stepped independently (round-robin, shared memo — exactly the
+// work an unbatched 8-worker session does per round on one core). One op is
+// one 8-pass round either way; the cohort's probe CSE groups the walks'
+// sibling probes by shared prefix and answers each group with one
+// AndFirstNMany kernel pass, which is where the batching speedup lives in
+// the high-fanout (dom-1024) regions.
+func BenchmarkEstimatePassBatched1M(b *testing.B) {
+	hybrid, _ := scaled1MTables(b)
+	const lanes = 8
+	seed := func(w int) int64 { return 1 + int64(w)*-7046029254386353131 }
+
+	b.Run("mode=serial", func(b *testing.B) {
+		cache := hdb.NewCache(hybrid)
+		ests := make([]*core.Estimator, lanes)
+		for w := range ests {
+			e, err := core.NewHDUnbiasedSize(cache, 5, 1024, seed(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			ests[w] = e
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, e := range ests {
+				if _, err := e.Estimate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("mode=cohort", func(b *testing.B) {
+		cohort, err := core.NewCohort(hybrid, lanes, func(client hdb.Client, lane int) (*core.Estimator, error) {
+			return core.NewHDUnbiasedSize(client, 5, 1024, seed(lane))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cohort.Close()
+		run := make([]bool, lanes)
+		for i := range run {
+			run[i] = true
+		}
+		results := make([]core.LaneResult, lanes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cohort.Round(context.Background(), run, results)
+			for w := range results {
+				if results[w].Err != nil {
+					b.Fatal(results[w].Err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkEngineSelectiveProbe1M measures the raw engine cost of one warm
 // drill-down count probe below a selective two-predicate prefix at 1M rows
 // — the operation the walk's probe phase performs thousands of times per
@@ -278,6 +338,53 @@ func BenchmarkParallelSession(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSession is BenchmarkParallelSession with Config.Batch: the
+// same W workers run as a lockstep cohort over one shared memo, each round's
+// probes deduplicated and each distinct sibling set evaluated by one batched
+// engine kernel pass. One op is the same full 64-pass session, so the ratio
+// against BenchmarkParallelSession at equal workers is the tracked batching
+// speedup in PERFORMANCE.md — and unlike the unbatched bench, the estimates
+// here are bit-identical to the serial run per (seed, workers). queries/op
+// (the session's backend spend) is reported so CI can see that the speedup
+// never comes from spending more queries.
+func BenchmarkBatchSession(b *testing.B) {
+	d, err := datagen.Auto(50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, _, err := estsvc.Spec{Algo: "hd", R: 5, DUB: 16}.NewFactory(tbl.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const passes = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var cost, hits int64
+			for i := 0; i < b.N; i++ {
+				sess, err := estsvc.New(tbl, factory, estsvc.Config{
+					Workers: workers, Seed: int64(i), MaxPasses: passes, Batch: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := sess.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost += snap.Cost
+				hits += snap.CacheHits
+			}
+			b.ReportMetric(float64(cost)/float64(b.N), "queries/op")
+			b.ReportMetric(float64(hits)/float64(b.N), "memohits/op")
+		})
+	}
+}
+
 // slowBackend simulates the paper's online setting: every backend query
 // costs one network round trip. Latency is what parallel sessions hide —
 // a sleeping worker's goroutine yields its core to the others.
@@ -314,6 +421,7 @@ func BenchmarkParallelSessionRTT(b *testing.B) {
 	const passes = 64
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cost int64
 			for i := 0; i < b.N; i++ {
 				sess, err := estsvc.New(backend, factory, estsvc.Config{
 					Workers: workers, Seed: int64(i), MaxPasses: passes,
@@ -321,10 +429,58 @@ func BenchmarkParallelSessionRTT(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := sess.Run(context.Background()); err != nil {
+				snap, err := sess.Run(context.Background())
+				if err != nil {
 					b.Fatal(err)
 				}
+				cost += snap.Cost
 			}
+			// queries/op exposes duplicate in-flight issuance: free-running
+			// workers that miss the same query during one round trip each pay
+			// for it. The batched variant's spend is the dedup floor.
+			b.ReportMetric(float64(cost)/float64(b.N), "queries/op")
+		})
+	}
+}
+
+// BenchmarkBatchSessionRTT is BenchmarkParallelSessionRTT with Config.Batch
+// — the paper's latency-bound operating regime, where batching earns its
+// keep: a wave's deduplicated probe groups are evaluated concurrently, so a
+// round of W parked walks pays one round trip where free-running workers pay
+// one per duplicate miss, and every memo fill lands before the next wave so
+// lockstep lanes never race the same query to the backend twice.
+func BenchmarkBatchSessionRTT(b *testing.B) {
+	d, err := datagen.Auto(50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := slowBackend{Interface: tbl, rtt: 500 * time.Microsecond}
+	factory, _, err := estsvc.Spec{Algo: "hd", R: 5, DUB: 16}.NewFactory(tbl.Schema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const passes = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cost int64
+			for i := 0; i < b.N; i++ {
+				sess, err := estsvc.New(backend, factory, estsvc.Config{
+					Workers: workers, Seed: int64(i), MaxPasses: passes, Batch: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap, err := sess.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost += snap.Cost
+			}
+			b.ReportMetric(float64(cost)/float64(b.N), "queries/op")
 		})
 	}
 }

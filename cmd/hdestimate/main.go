@@ -54,6 +54,7 @@ func main() {
 		where     = flag.String("where", "", "selection condition, e.g. make=0,model=3")
 		sum       = flag.String("sum", "", "also estimate SUM of this measure (e.g. price)")
 		parallel  = flag.Int("parallel", 1, "concurrent drill-down workers sharing one cache (<=1 = sequential)")
+		batch     = flag.Bool("batch", false, "run -parallel workers as a lockstep cohort with batched, deduplicated probes (same estimates, fewer queries)")
 		targetRSE = flag.Float64("target-rse", 0, "stop once every measure's relative standard error is at or below this (0 = budget only)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the estimation run to this file (inspect with go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the estimation run to this file")
@@ -118,13 +119,14 @@ func main() {
 		passes, cost   int64
 		hits           int64
 	)
-	if *parallel > 1 || *targetRSE > 0 {
+	if *parallel > 1 || *targetRSE > 0 || *batch {
 		sess, err := estsvc.New(backend, factory, estsvc.Config{
 			Workers:   *parallel,
 			Seed:      *seed,
 			TargetRSE: *targetRSE,
 			MaxCost:   *budget,
 			MaxPasses: maxPasses,
+			Batch:     *batch,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -58,6 +58,7 @@ func main() {
 		k       = flag.Int("k", 100, "offline top-k")
 		seed    = flag.Int64("seed", 1, "offline generator seed")
 
+		batch      = flag.Bool("batch", false, "run every job's workers as a lockstep cohort with batched, deduplicated probes (same estimates, fewer queries)")
 		store      = flag.String("store", "", "job-checkpoint directory: jobs survive restarts and resume on boot (empty = not durable)")
 		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
 		retryMax   = flag.Int("retry-attempts", 4, "attempts per query against a -url backend (1 = no retries)")
@@ -86,6 +87,9 @@ func main() {
 	}
 
 	var opts []estsvc.ManagerOption
+	if *batch {
+		opts = append(opts, estsvc.WithBatch())
+	}
 	if *store != "" {
 		fs, err := estsvc.NewFileStore(*store)
 		if err != nil {

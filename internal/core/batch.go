@@ -1,0 +1,553 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+
+	"hdunbiased/internal/hdb"
+)
+
+// This file implements batched walk execution: a Cohort advances W
+// unmodified Estimators ("lanes") through their passes in lockstep rounds,
+// applying common-subexpression elimination to the probe stream. The walks
+// of a multi-worker session share long query prefixes, yet each serial
+// worker classifies its branches alone — the same (prefix, branch) probe is
+// resolved once per worker through the shared memo's canonical-key map, and
+// concurrent cold walks even issue duplicates. The cohort instead runs all
+// lanes over ONE single-threaded hdb.Cache whose cursors share a path trie
+// per base query (see hdb.Cache.NewCursor): warm probes are pointer chases
+// with no locks, no atomics and no key hashing, and only backend misses
+// surface to the coordinator.
+//
+// Execution is strict token passing: exactly one goroutine — one lane or
+// the coordinator — runs at a time, with unbuffered-channel handoffs. A
+// lane runs full speed through every memo-warm probe and yields only when a
+// probe actually needs the backend. The coordinator collects the pending
+// misses of all blocked lanes (a "wave"), deduplicates identical probes,
+// groups the rest by committed prefix, and evaluates each group as one
+// hdb.ProbeBatch through the first requesting lane's backend cursor — the
+// engine answers the whole sibling set in a single pass over the
+// materialised prefix (posting.AndFirstNMany). Results fan back to every
+// subscribed lane; groups evaluate concurrently within a wave (they touch
+// disjoint cursors), so slow round-trip backends overlap exactly like
+// independent workers would.
+//
+// Determinism is preserved bit-for-bit: each lane keeps its own RNG
+// substream and draws in exactly the order its serial walk would, and every
+// probe result is a pure function of the query, so estimates, weight trees
+// and checkpoint envelopes are identical to the unbatched run per (seed,
+// lane). Accounting matches the shared-cache session: each distinct issued
+// query charges its first requester once (the Counter below sees exactly
+// one query), and every other subscriber records a memo hit.
+
+// laneEvent is a lane's handoff signal to the coordinator.
+type laneEvent uint8
+
+const (
+	evBlocked laneEvent = iota // lane parked on a backend miss; req is pending
+	evDone                     // lane finished its pass; passEst/passErr are set
+)
+
+// probeReq is one lane's pending backend-touching request: a cursor probe
+// (cur != nil) or a flat query. The reply is written in place.
+type probeReq struct {
+	cur   *yieldCursor
+	attr  int
+	value uint16
+	q     hdb.Query // flat path; aliases the lane's builder while it is parked
+	res   hdb.Result
+	err   error
+}
+
+// lane is one walk stream: an unmodified Estimator on its own goroutine,
+// scheduled by the coordinator via strict channel handoffs.
+type lane struct {
+	idx    int
+	est    *Estimator
+	start  chan struct{} // coordinator -> lane: run one pass
+	resume chan struct{} // coordinator -> lane: your pending request is resolved
+	events chan laneEvent
+
+	req     probeReq
+	passEst Estimate
+	passErr error
+
+	// Per-lane accounting, written by the coordinator while the lane is
+	// parked (handoff channels order the accesses): cost charges the lane
+	// that first requested each issued query; hits counts probes answered
+	// by another lane's identical in-flight request. Warm trie/memo hits
+	// are tallied on the shared cache instead, like a shared-cache session.
+	cost int64
+	hits int64
+}
+
+func (l *lane) run() {
+	for range l.start {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					l.passErr = fmt.Errorf("core: lane %d pass panicked: %v", l.idx, r)
+					l.passEst = Estimate{}
+				}
+			}()
+			l.passEst, l.passErr = l.est.Estimate()
+		}()
+		l.events <- evDone
+	}
+}
+
+// hub is the cohort's shared evaluation state: the real backend stack, the
+// single-threaded shared memo front, and the wave scratch.
+type hub struct {
+	inner   hdb.Interface
+	innerCP hdb.CursorProvider // nil when the backend has no cursor support
+	cache   *hdb.Cache         // shared memo + per-base trie over the yield layer
+	lanes   []*lane
+	running int // token holder (lane index); valid while any lane runs
+	build   int // lane being constructed; binds NewCursor calls to a lane
+
+	groups []probeGroup
+	flats  []flatGroup
+	parked [2][]*lane
+}
+
+// yield parks the calling lane until the coordinator resolves its request.
+// Runs on the lane goroutine; the sends/receives order all cross-goroutine
+// state (token discipline: no two lanes ever run concurrently).
+func (h *hub) yield(l *lane) {
+	l.events <- evBlocked
+	<-l.resume
+}
+
+// yieldIface is the hub's Interface below the shared cache: cache misses
+// land here, on the lane goroutine that caused them, and park the lane.
+type yieldIface struct{ h *hub }
+
+func (y yieldIface) Schema() hdb.Schema { return y.h.inner.Schema() }
+func (y yieldIface) K() int             { return y.h.inner.K() }
+
+func (y yieldIface) Query(q hdb.Query) (hdb.Result, error) {
+	l := y.h.lanes[y.h.running]
+	l.req = probeReq{q: q}
+	y.h.yield(l)
+	return l.req.res, l.req.err
+}
+
+// NewCursor implements hdb.CursorProvider for the shared cache's inner
+// layer. Called only during lane construction (hub.build names the lane).
+// When the backend itself has no cursors, ErrNoCursor propagates and the
+// lane's Estimator falls back to flat queries — which still dedupe by
+// canonical key in the wave, so batch mode works over webform backends too.
+func (y yieldIface) NewCursor(base hdb.Query) (hdb.QueryCursor, error) {
+	if y.h.innerCP == nil {
+		return nil, hdb.ErrNoCursor
+	}
+	real, err := y.h.innerCP.NewCursor(base)
+	if err != nil {
+		return nil, err
+	}
+	return &yieldCursor{
+		h:       y.h,
+		lane:    y.h.build,
+		real:    real,
+		preds:   append([]hdb.Predicate(nil), base.Preds...),
+		baseLen: len(base.Preds),
+	}, nil
+}
+
+// yieldCursor sits below the shared cache for one lane: probes that miss
+// the trie and memo park the lane; Descend/Ascend mirror the committed path
+// onto the lane's real backend cursor eagerly (no queries), so when a group
+// is evaluated through this cursor the engine prefix is already positioned.
+type yieldCursor struct {
+	h       *hub
+	lane    int
+	real    hdb.QueryCursor
+	preds   []hdb.Predicate
+	baseLen int
+	keyBuf  []byte
+}
+
+// pathKey renders the committed prefix's canonical key into reusable
+// scratch — the wave's group identity. Stable while the lane is parked.
+func (yc *yieldCursor) pathKey() []byte {
+	yc.keyBuf = hdb.Query{Preds: yc.preds}.AppendKey(yc.keyBuf[:0])
+	return yc.keyBuf
+}
+
+func (yc *yieldCursor) Probe(attr int, value uint16) (hdb.Result, error) {
+	l := yc.h.lanes[yc.lane]
+	l.req = probeReq{cur: yc, attr: attr, value: value}
+	yc.h.yield(l)
+	return l.req.res, l.req.err
+}
+
+func (yc *yieldCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	// The shared cache always materialises full results on a miss (see
+	// cursorcache.go), so this is only reachable through direct use.
+	res, err := yc.Probe(attr, value)
+	if err != nil {
+		return 0, false, err
+	}
+	return len(res.Tuples), res.Overflow, nil
+}
+
+func (yc *yieldCursor) Descend(attr int, value uint16) error {
+	if err := yc.real.Descend(attr, value); err != nil {
+		return err
+	}
+	yc.preds = append(yc.preds, hdb.Predicate{Attr: attr, Value: value})
+	return nil
+}
+
+func (yc *yieldCursor) Ascend() {
+	if len(yc.preds) <= yc.baseLen {
+		panic("core: cohort cursor Ascend below the base prefix")
+	}
+	yc.real.Ascend()
+	yc.preds = yc.preds[:len(yc.preds)-1]
+}
+
+func (yc *yieldCursor) Depth() int { return len(yc.preds) }
+func (yc *yieldCursor) Close()     { yc.real.Close() }
+
+// laneClient is the hdb.Client a lane's Estimator runs against: queries go
+// through the shared cache (and park the lane on misses); accounting is the
+// lane's own, so the per-pass MaxQueries budget stays per-walk exact.
+type laneClient struct {
+	h    *hub
+	lane int
+}
+
+func (c *laneClient) Schema() hdb.Schema { return c.h.cache.Schema() }
+func (c *laneClient) K() int             { return c.h.cache.K() }
+func (c *laneClient) Cost() int64        { return c.h.lanes[c.lane].cost }
+func (c *laneClient) CacheHits() int64   { return c.h.lanes[c.lane].hits }
+
+func (c *laneClient) Query(q hdb.Query) (hdb.Result, error) {
+	return c.h.cache.Query(q)
+}
+
+// NewCursor implements hdb.CursorProvider. Only called at lane
+// construction, on the coordinator goroutine.
+func (c *laneClient) NewCursor(base hdb.Query) (hdb.QueryCursor, error) {
+	c.h.build = c.lane
+	return c.h.cache.NewCursor(base)
+}
+
+// probeGroup is one wave's deduplicated sibling set at one committed
+// prefix: all parked cursor probes with the same (prefix, attr), evaluated
+// as a single ProbeBatch through the first requester's backend cursor.
+type probeGroup struct {
+	key  []byte // prefix canonical key; aliases the first cursor's scratch
+	attr int
+	cur  *yieldCursor
+	vals []uint16
+	out  []hdb.Result
+	reqs []*probeReq
+	err  error
+}
+
+// flatGroup deduplicates parked flat queries by canonical key.
+type flatGroup struct {
+	key  []byte
+	q    hdb.Query
+	res  hdb.Result
+	reqs []*probeReq
+	err  error
+}
+
+// LaneResult is one lane's pass outcome within a Round.
+type LaneResult struct {
+	Est Estimate
+	Err error
+}
+
+// Cohort runs a fixed-size set of lanes in lockstep rounds. Not safe for
+// concurrent use; one goroutine drives Round/Close.
+type Cohort struct {
+	hub    *hub
+	lanes  []*lane
+	closed bool
+}
+
+// NewCohort builds a cohort of size lanes over backend. build constructs
+// lane i's Estimator over the provided client (via NewWithSession or
+// Restore) — the client routes the lane's queries through the cohort's
+// shared memo and accounts cost per lane. backend is the real client stack
+// below the cohort (Counter, Limiter, Retrier, engine or webform); it is
+// the layer a ProbeBatch charges, once per distinct issued query.
+func NewCohort(backend hdb.Interface, size int, build func(client hdb.Client, lane int) (*Estimator, error)) (*Cohort, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("core: nil backend")
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("core: cohort size must be >= 1, got %d", size)
+	}
+	h := &hub{inner: backend}
+	h.innerCP, _ = backend.(hdb.CursorProvider)
+	h.cache = hdb.NewCache(yieldIface{h})
+	c := &Cohort{hub: h}
+	for i := 0; i < size; i++ {
+		l := &lane{
+			idx:    i,
+			start:  make(chan struct{}),
+			resume: make(chan struct{}),
+			events: make(chan laneEvent),
+		}
+		h.lanes = append(h.lanes, l)
+	}
+	c.lanes = h.lanes
+	for i, l := range h.lanes {
+		h.build, h.running = i, i
+		est, err := build(&laneClient{h: h, lane: i}, i)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: building lane %d: %w", i, err)
+		}
+		l.est = est
+	}
+	for _, l := range h.lanes {
+		go l.run()
+	}
+	return c, nil
+}
+
+// Size returns the number of lanes.
+func (c *Cohort) Size() int { return len(c.lanes) }
+
+// Estimator returns lane i's Estimator — for checkpointing at round
+// barriers. The cohort owns it; callers must not run passes on it directly.
+func (c *Cohort) Estimator(i int) *Estimator { return c.lanes[i].est }
+
+// CacheHits returns the total memo hits across the cohort: shared
+// trie/memo hits plus in-wave deduplication hits. Together with the
+// backend's query count this accounts for every probe any lane asked, the
+// same ledger a shared-cache session keeps.
+func (c *Cohort) CacheHits() int64 {
+	total := c.hub.cache.Hits()
+	for _, l := range c.lanes {
+		total += l.hits
+	}
+	return total
+}
+
+// Round advances every lane i with run[i] through exactly one estimation
+// pass, in lockstep waves, and writes its outcome into results[i] (other
+// entries are untouched). Lanes park on backend misses; each wave's misses
+// are deduplicated, grouped by committed prefix, and evaluated as sibling
+// batches before all parked lanes resume — in lane order, so scheduling is
+// deterministic. ctx cancellation fails the pending requests of every
+// parked lane (their passes return the context error); a round with no
+// backend misses never observes ctx.
+func (c *Cohort) Round(ctx context.Context, run []bool, results []LaneResult) {
+	if c.closed {
+		panic("core: Round on a closed Cohort")
+	}
+	if len(run) != len(c.lanes) || len(results) != len(c.lanes) {
+		panic("core: Round needs run/results slices of cohort size")
+	}
+	h := c.hub
+	parked := h.parked[0][:0]
+	for i, l := range c.lanes {
+		if !run[i] {
+			continue
+		}
+		h.running = i
+		l.start <- struct{}{}
+		switch <-l.events {
+		case evBlocked:
+			parked = append(parked, l)
+		case evDone:
+			results[i] = LaneResult{l.passEst, l.passErr}
+		}
+	}
+	h.parked[0] = parked[:0:cap(parked)]
+	gen := 1
+	for len(parked) > 0 {
+		h.evalWave(ctx, parked)
+		next := h.parked[gen&1][:0]
+		for _, l := range parked {
+			h.running = l.idx
+			l.resume <- struct{}{}
+			switch <-l.events {
+			case evBlocked:
+				next = append(next, l)
+			case evDone:
+				results[l.idx] = LaneResult{l.passEst, l.passErr}
+			}
+		}
+		h.parked[gen&1] = next[:0:cap(next)]
+		parked = next
+		gen++
+	}
+}
+
+// evalWave resolves every parked lane's pending request: dedup, group by
+// prefix, evaluate each group once, fan out, charge. Group evaluation runs
+// concurrently (each group owns a distinct lane's backend cursor; the stack
+// below the cohort is concurrency-safe by the same contract a parallel
+// session relies on), so round-trip latency overlaps across groups exactly
+// like independent workers. Fan-out and accounting happen after the join,
+// in lane order — deterministic regardless of evaluation timing.
+func (h *hub) evalWave(ctx context.Context, parked []*lane) {
+	if err := ctx.Err(); err != nil {
+		for _, l := range parked {
+			l.req.err = err
+		}
+		return
+	}
+	groups := h.groups[:0]
+	flats := h.flats[:0]
+	for _, l := range parked {
+		r := &l.req
+		r.res, r.err = hdb.Result{}, nil
+		if r.cur == nil {
+			key := r.q.AppendKey(nil)
+			found := false
+			for fi := range flats {
+				if bytes.Equal(flats[fi].key, key) {
+					flats[fi].reqs = append(flats[fi].reqs, r)
+					found = true
+					break
+				}
+			}
+			if !found {
+				flats = append(flats, flatGroup{key: key, q: r.q, reqs: []*probeReq{r}})
+			}
+			continue
+		}
+		pk := r.cur.pathKey()
+		found := false
+		for gi := range groups {
+			g := &groups[gi]
+			if g.attr == r.attr && bytes.Equal(g.key, pk) {
+				g.reqs = append(g.reqs, r)
+				dup := false
+				for _, v := range g.vals {
+					if v == r.value {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					g.vals = append(g.vals, r.value)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, probeGroup{
+				key:  pk,
+				attr: r.attr,
+				cur:  r.cur,
+				vals: []uint16{r.value},
+				reqs: []*probeReq{r},
+			})
+		}
+	}
+	h.groups, h.flats = groups, flats
+
+	units := len(groups) + len(flats)
+	var wg sync.WaitGroup
+	evalGroup := func(g *probeGroup) {
+		if cap(g.out) < len(g.vals) {
+			g.out = make([]hdb.Result, len(g.vals))
+		}
+		g.out = g.out[:len(g.vals)]
+		g.err = hdb.ProbeBatch(g.cur.real, g.attr, g.vals, g.out)
+	}
+	evalFlat := func(f *flatGroup) {
+		f.res, f.err = h.inner.Query(f.q)
+	}
+	if units == 1 {
+		if len(groups) == 1 {
+			evalGroup(&groups[0])
+		} else {
+			evalFlat(&flats[0])
+		}
+	} else {
+		for gi := range groups {
+			wg.Add(1)
+			go func(g *probeGroup) { defer wg.Done(); evalGroup(g) }(&groups[gi])
+		}
+		for fi := range flats {
+			wg.Add(1)
+			go func(f *flatGroup) { defer wg.Done(); evalFlat(f) }(&flats[fi])
+		}
+		wg.Wait()
+	}
+
+	// Fan out and charge, in request (lane) order: the first requester of
+	// each distinct query is charged (the backend stack below counted it
+	// once — failed attempts included, the query was still issued); every
+	// later subscriber records a dedup hit.
+	for gi := range groups {
+		g := &groups[gi]
+		for ri, r := range g.reqs {
+			first := true
+			for _, p := range g.reqs[:ri] {
+				if p.value == r.value {
+					first = false
+					break
+				}
+			}
+			if first {
+				h.lanes[r.cur.lane].cost++
+			} else {
+				h.lanes[r.cur.lane].hits++
+			}
+			if g.err != nil {
+				r.err = g.err
+				continue
+			}
+			for vi, v := range g.vals {
+				if v == r.value {
+					r.res = g.out[vi]
+					break
+				}
+			}
+		}
+	}
+	for fi := range flats {
+		f := &flats[fi]
+		for ri, r := range f.reqs {
+			l := h.laneOf(r)
+			if ri == 0 {
+				l.cost++
+			} else {
+				l.hits++
+			}
+			r.res, r.err = f.res, f.err
+		}
+	}
+}
+
+// laneOf maps a flat request back to its lane (requests are stored in the
+// lane struct, so pointer identity finds it; waves are small).
+func (h *hub) laneOf(r *probeReq) *lane {
+	for _, l := range h.lanes {
+		if &l.req == r {
+			return l
+		}
+	}
+	panic("core: wave request does not belong to any lane")
+}
+
+// Close shuts the lane goroutines down and releases every lane's cursor
+// back to the backend pools. Idempotent; the cohort is unusable after.
+func (c *Cohort) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, l := range c.lanes {
+		close(l.start)
+		if l.est != nil {
+			l.est.Close()
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// cohortSeed derives lane w's seed with the same golden-ratio stride the
+// estimation service uses for its worker substreams, so these goldens cover
+// the exact streams a batched session runs.
+func cohortSeed(seed int64, w int) int64 {
+	const stride = int64(-7046029254386353131)
+	return seed + int64(w)*stride
+}
+
+// hdCohortConfig is the HD estimator configuration the cohort suite runs:
+// weight adjustment plus divide-&-conquer, the paper's full feature set and
+// the hardest case for lockstep determinism (weight trees must evolve
+// identically to the serial run).
+func hdCohortConfig(seed int64) Config {
+	return Config{R: 3, WeightAdjust: true, Seed: seed}
+}
+
+// serialPassBits runs the reference: an independent serial Estimator with
+// its own private session, returning each pass estimate as float bits plus
+// the final checkpoint envelope.
+func serialPassBits(t *testing.T, tbl *hdb.Table, seed int64, passes int) ([]uint64, []byte) {
+	t.Helper()
+	plan := resumePlan(t, tbl)
+	e, err := New(tbl, plan, []Measure{CountMeasure()}, hdCohortConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	bits := passBits(t, e, passes)
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bits, blob
+}
+
+// TestCohortMatchesSerial is the batched ≡ unbatched determinism suite: for
+// cohort sizes {1, 4, 16}, every lane's pass trajectory AND its checkpoint
+// envelope must be bit-identical to an independent serial Estimator running
+// the same seed — batching is an execution strategy, not an algorithm
+// change. Lane results must not depend on the cohort size either (lane w is
+// the same walk stream whether it shares the hub with 0 or 15 others).
+func TestCohortMatchesSerial(t *testing.T) {
+	tbl := resumeTable(t)
+	const seed, passes = 7, 40
+
+	want := make(map[int][]uint64)
+	wantCP := make(map[int][]byte)
+	for _, size := range []int{1, 4, 16} {
+		plan := resumePlan(t, tbl)
+		cohort, err := NewCohort(tbl, size, func(client hdb.Client, lane int) (*Estimator, error) {
+			return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(seed, lane)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := make([]bool, size)
+		for i := range run {
+			run[i] = true
+		}
+		results := make([]LaneResult, size)
+		got := make([][]uint64, size)
+		for p := 0; p < passes; p++ {
+			cohort.Round(context.Background(), run, results)
+			for w := 0; w < size; w++ {
+				if results[w].Err != nil {
+					t.Fatalf("size %d lane %d pass %d: %v", size, w, p, results[w].Err)
+				}
+				got[w] = append(got[w], math.Float64bits(results[w].Est.Values[0]))
+			}
+		}
+		for w := 0; w < size; w++ {
+			if want[w] == nil {
+				want[w], wantCP[w] = serialPassBits(t, tbl, cohortSeed(seed, w), passes)
+			}
+			for p := range got[w] {
+				if got[w][p] != want[w][p] {
+					t.Fatalf("size %d lane %d pass %d: batched %v != serial %v — batching changed the estimate stream",
+						size, w, p, math.Float64frombits(got[w][p]), math.Float64frombits(want[w][p]))
+				}
+			}
+			cp, err := cohort.Estimator(w).Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(blob) != string(wantCP[w]) {
+				t.Errorf("size %d lane %d: checkpoint envelope diverges from serial run", size, w)
+			}
+		}
+		cohort.Close()
+	}
+}
+
+// flatOnly strips every extension interface from a backend, leaving the
+// bare query contract — the shape of a webform client.
+type flatOnly struct{ hdb.Interface }
+
+// TestCohortFlatFallback: a cohort over a backend without cursor support
+// must fall back to flat queries per lane (deduplicated by canonical key in
+// each wave) and still reproduce the serial estimator bit for bit. This is
+// the graceful-degradation guarantee for webform backends.
+func TestCohortFlatFallback(t *testing.T) {
+	tbl := resumeTable(t)
+	const seed, passes, size = 3, 25, 4
+
+	plan := resumePlan(t, tbl)
+	cohort, err := NewCohort(flatOnly{tbl}, size, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(seed, lane)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+
+	run := []bool{true, true, true, true}
+	results := make([]LaneResult, size)
+	got := make([][]uint64, size)
+	for p := 0; p < passes; p++ {
+		cohort.Round(context.Background(), run, results)
+		for w := 0; w < size; w++ {
+			if results[w].Err != nil {
+				t.Fatalf("lane %d pass %d: %v", w, p, results[w].Err)
+			}
+			got[w] = append(got[w], math.Float64bits(results[w].Est.Values[0]))
+		}
+	}
+	for w := 0; w < size; w++ {
+		want, _ := serialPassBits(t, tbl, cohortSeed(seed, w), passes)
+		for p := range want {
+			if got[w][p] != want[p] {
+				t.Fatalf("flat-fallback lane %d pass %d diverges from serial", w, p)
+			}
+		}
+	}
+}
+
+// TestCohortPartialRounds: lanes excluded from a round are untouched and
+// resume their streams exactly where they stopped — the property estsvc's
+// static-share partition relies on (workers finish at different pass
+// counts).
+func TestCohortPartialRounds(t *testing.T) {
+	tbl := resumeTable(t)
+	const seed, size = 11, 3
+	plan := resumePlan(t, tbl)
+	cohort, err := NewCohort(tbl, size, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(seed, lane)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+
+	// Uneven shares: lane 0 runs 9 passes, lane 1 runs 5, lane 2 runs 2.
+	shares := []int{9, 5, 2}
+	got := make([][]uint64, size)
+	results := make([]LaneResult, size)
+	for p := 0; p < 9; p++ {
+		run := make([]bool, size)
+		for w := range run {
+			run[w] = p < shares[w]
+		}
+		cohort.Round(context.Background(), run, results)
+		for w := range run {
+			if run[w] {
+				if results[w].Err != nil {
+					t.Fatalf("lane %d pass %d: %v", w, p, results[w].Err)
+				}
+				got[w] = append(got[w], math.Float64bits(results[w].Est.Values[0]))
+			}
+		}
+	}
+	for w := 0; w < size; w++ {
+		want, _ := serialPassBits(t, tbl, cohortSeed(seed, w), shares[w])
+		if len(got[w]) != shares[w] {
+			t.Fatalf("lane %d ran %d passes, want %d", w, len(got[w]), shares[w])
+		}
+		for p := range want {
+			if got[w][p] != want[p] {
+				t.Fatalf("partial-round lane %d pass %d diverges from serial", w, p)
+			}
+		}
+	}
+}
+
+// TestCohortCancellation: a cancelled context fails the pending requests of
+// every parked lane; their passes surface the error through LaneResult and
+// the cohort stays shut down cleanly.
+func TestCohortCancellation(t *testing.T) {
+	tbl := resumeTable(t)
+	const size = 4
+	plan := resumePlan(t, tbl)
+	cohort, err := NewCohort(tbl, size, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(1, lane)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := []bool{true, true, true, true}
+	results := make([]LaneResult, size)
+	// The first round is fully cold: every lane misses immediately, so every
+	// lane must observe the cancellation.
+	cohort.Round(ctx, run, results)
+	for w, r := range results {
+		if r.Err == nil {
+			t.Errorf("lane %d: pass succeeded under a cancelled context", w)
+		}
+	}
+	// The cohort is still usable: a fresh round with a live context runs.
+	cohort.Round(context.Background(), run, results)
+	for w, r := range results {
+		if r.Err != nil {
+			t.Errorf("lane %d after cancellation: %v", w, r.Err)
+		}
+	}
+}
+
+// TestCohortAccountingParity: total probe accounting must balance exactly —
+// every probe any lane issued is either a backend query (charged once, to
+// one lane) or a memo/dedup hit, and the per-lane ledgers sum to the global
+// Counter. The serial runs establish how many probes each stream makes;
+// batching must answer the same probes at no more backend cost than the
+// cheapest serial lane set could.
+func TestCohortAccountingParity(t *testing.T) {
+	tbl := resumeTable(t)
+	const seed, passes, size = 5, 20, 4
+	ctr := hdb.NewCounter(tbl)
+	plan := resumePlan(t, tbl)
+	cohort, err := NewCohort(ctr, size, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(seed, lane)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+
+	run := []bool{true, true, true, true}
+	results := make([]LaneResult, size)
+	var laneCost int64
+	for p := 0; p < passes; p++ {
+		cohort.Round(context.Background(), run, results)
+		for w := 0; w < size; w++ {
+			if results[w].Err != nil {
+				t.Fatal(results[w].Err)
+			}
+			laneCost += results[w].Est.Cost
+		}
+	}
+	if laneCost != ctr.Count() {
+		t.Errorf("per-lane pass costs sum to %d, backend Counter saw %d — a query was double-charged or lost",
+			laneCost, ctr.Count())
+	}
+	// Each serial stream alone costs at least as much as its batched lane
+	// plus the sharing it got: with W streams the batched total must not
+	// exceed the sum of W independent serial runs.
+	var serialCost int64
+	for w := 0; w < size; w++ {
+		sctr := hdb.NewCounter(tbl)
+		e, err := New(sctr, plan, []Measure{CountMeasure()}, hdCohortConfig(cohortSeed(seed, w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		passBits(t, e, passes)
+		e.Close()
+		serialCost += sctr.Count()
+	}
+	if ctr.Count() > serialCost {
+		t.Errorf("batched cohort cost %d exceeds %d, the cost of %d independent serial runs",
+			ctr.Count(), serialCost, size)
+	}
+	if cohort.CacheHits() == 0 {
+		t.Error("no memo hits recorded across a warm cohort — sharing is not happening")
+	}
+}
+
+// TestCohortRoundAllocGuard pins the steady-state batched round: once the
+// shared trie covers the reachable query tree no lane ever parks, and a
+// whole W-lane round allocates only what the Estimate API hands back (one
+// Values slice per lane) — the batching machinery itself is allocation-free.
+func TestCohortRoundAllocGuard(t *testing.T) {
+	d, err := datagen.BoolIID(150, 10, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort, err := NewCohort(tbl, size, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()},
+			Config{R: 3, WeightAdjust: true, Seed: cohortSeed(1, lane)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+
+	run := []bool{true, true, true, true}
+	results := make([]LaneResult, size)
+	for i := 0; i < 300; i++ { // saturate the shared trie and weight trees
+		cohort.Round(context.Background(), run, results)
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	got := testing.AllocsPerRun(100, func() {
+		cohort.Round(context.Background(), run, results)
+	})
+	if got > size {
+		t.Errorf("warm %d-lane Round: %v allocs/op, want <= %d (one Values slice per lane)", size, got, size)
+	}
+}
+
+// TestCohortBuildError: a failing lane constructor aborts cleanly — earlier
+// lanes' goroutines are never started and their estimators are closed.
+func TestCohortBuildError(t *testing.T) {
+	tbl := resumeTable(t)
+	plan := resumePlan(t, tbl)
+	_, err := NewCohort(tbl, 3, func(client hdb.Client, lane int) (*Estimator, error) {
+		if lane == 2 {
+			return nil, context.Canceled
+		}
+		return NewWithSession(client, plan, []Measure{CountMeasure()}, hdCohortConfig(int64(lane)))
+	})
+	if err == nil {
+		t.Fatal("want constructor error")
+	}
+	if _, err := NewCohort(tbl, 0, func(hdb.Client, int) (*Estimator, error) { return nil, nil }); err == nil {
+		t.Fatal("want size validation error")
+	}
+}

@@ -1,0 +1,188 @@
+package estsvc
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+// The batched-session equivalence suite: Config.Batch swaps the execution
+// engine (free-running workers over a sharded memo -> lockstep cohort with
+// probe CSE and batched sibling evaluation) and must change NOTHING an
+// estimate depends on. These tests enforce bit-identity against the
+// unbatched session — which is itself pinned against committed goldens by
+// TestSessionDeterminism — so the batch engine is transitively golden-
+// pinned as a tier-1 test.
+
+// batchOf returns cfg with Batch set.
+func batchOf(cfg Config) Config {
+	cfg.Batch = true
+	return cfg
+}
+
+func TestBatchSessionMatchesUnbatched(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		// Adaptive rounds: the TargetRSE rule decides the pass count, so
+		// bit-identity covers rule evaluation over merged moments too.
+		{"adaptive-w4", determinismConfig()},
+		// Static share partition, several workers with uneven shares.
+		{"static-w4", Config{Workers: 4, Seed: 11, MaxPasses: 242}},
+		// One lane: the cohort degenerates to a serial run.
+		{"static-w1", Config{Workers: 1, Seed: 5, MaxPasses: 60}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := runSession(t, autoTable(t, 3000, 20), tc.cfg)
+			batched := runSession(t, autoTable(t, 3000, 20), batchOf(tc.cfg))
+			p, b := goldenOf(plain), goldenOf(batched)
+			if b.Passes != p.Passes || b.Reason != p.Reason {
+				t.Fatalf("batched passes=%d reason=%q, unbatched passes=%d reason=%q",
+					b.Passes, b.Reason, p.Passes, p.Reason)
+			}
+			for i := range p.MeanBits {
+				if b.MeanBits[i] != p.MeanBits[i] {
+					t.Errorf("mean[%d]: batched %v != unbatched %v",
+						i, math.Float64frombits(b.MeanBits[i]), math.Float64frombits(p.MeanBits[i]))
+				}
+				if b.StdErrBits[i] != p.StdErrBits[i] {
+					t.Errorf("stderr[%d] bits diverge", i)
+				}
+			}
+			// Query-spend parity: both modes answer the same per-worker probe
+			// streams, so probes = cost + hits must balance exactly. The
+			// charge/hit split gets 1% of upward slack: which probe of a
+			// near-duplicate pair pays depends on fill order (a count-only
+			// probe warms the trie but not the full memo), and the two
+			// schedules order fills differently. Downward drift is fine —
+			// that is wave dedup removing duplicate issuance.
+			if diff := batched.Cost - plain.Cost; diff > plain.Cost/100 {
+				t.Errorf("batched cost %d vs unbatched %d — batching must not add spend", batched.Cost, plain.Cost)
+			}
+			if bt, pt := batched.Cost+batched.CacheHits, plain.Cost+plain.CacheHits; bt != pt {
+				t.Errorf("total probes diverge: batched %d (cost %d + hits %d) vs unbatched %d",
+					bt, batched.Cost, batched.CacheHits, pt)
+			}
+		})
+	}
+}
+
+// TestBatchFlatBackend: Batch over a backend with no cursor support (the
+// webform shape) falls back to flat per-lane queries with wave-level
+// dedup and still matches the unbatched session bit for bit.
+func TestBatchFlatBackend(t *testing.T) {
+	type flatOnly struct{ hdb.Interface }
+	cfg := Config{Workers: 4, Seed: 9, MaxPasses: 120}
+	run := func(cfg Config) Snapshot {
+		tbl := autoTable(t, 2000, 20)
+		sess, err := New(flatOnly{tbl}, hdFactory(t, tbl), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	plain := run(cfg)
+	batched := run(batchOf(cfg))
+	p, b := goldenOf(plain), goldenOf(batched)
+	if b.Passes != p.Passes {
+		t.Fatalf("passes: batched %d, unbatched %d", b.Passes, p.Passes)
+	}
+	for i := range p.MeanBits {
+		if b.MeanBits[i] != p.MeanBits[i] || b.StdErrBits[i] != p.StdErrBits[i] {
+			t.Errorf("measure %d diverges over a cursorless backend", i)
+		}
+	}
+}
+
+// TestBatchExactSession: a base query the backend answers exactly stops a
+// batched session with StopExact, same as unbatched.
+func TestBatchExactSession(t *testing.T) {
+	tbl := autoTable(t, 15, 100) // k > size: the base query underflows
+	snap := runSession(t, tbl, batchOf(Config{Workers: 3, Seed: 1, MaxPasses: 50}))
+	if !snap.Exact || snap.Reason != StopExact {
+		t.Fatalf("exact=%v reason=%q, want exact StopExact", snap.Exact, snap.Reason)
+	}
+	if snap.Measures[0].Mean != float64(tbl.Size()) {
+		t.Errorf("exact mean %v, want %d", snap.Measures[0].Mean, tbl.Size())
+	}
+}
+
+// TestBatchCancellation: cancelling a batched session's context stops it
+// with the context error and a partial (still unbiased) merge.
+func TestBatchCancellation(t *testing.T) {
+	sess, err := New(autoTable(t, 3000, 20), hdFactory(t, autoTable(t, 3000, 20)),
+		batchOf(Config{Workers: 2, Seed: 1, TargetRSE: 1e-12, MaxPasses: 1 << 19}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap, err := sess.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled batched session returned nil error")
+	}
+	if snap.Reason != StopCancelled {
+		t.Errorf("reason = %q, want %q", snap.Reason, StopCancelled)
+	}
+}
+
+// TestBatchResumeDeterminism: the durable path in batch mode — checkpoints
+// captured at cohort round barriers, killed at several boundaries, resumed
+// through the JSON process boundary with Batch preserved in the envelope —
+// reproduces the uninterrupted batched (== unbatched) run bit for bit.
+func TestBatchResumeDeterminism(t *testing.T) {
+	spec := Spec{Algo: "hd", R: 3, DUB: 16}
+	cfg := batchOf(Config{Workers: 4, Seed: 7, TargetRSE: 0.10, MinPasses: 16, MaxPasses: 4000})
+
+	baseline := goldenOf(runSession(t, autoTable(t, 3000, 20), cfg))
+
+	var cps []*SessionCheckpoint
+	durableCfg := cfg
+	durableCfg.CheckpointEvery = 1
+	durableCfg.CheckpointSink = func(cp *SessionCheckpoint) error {
+		cps = append(cps, sessionThroughJSON(t, cp))
+		return nil
+	}
+	durable := goldenOf(runSession(t, autoTable(t, 3000, 20), durableCfg))
+	if durable.Passes != baseline.Passes {
+		t.Fatalf("checkpointing changed the batched pass count: %d vs %d", durable.Passes, baseline.Passes)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("only %d checkpoints captured", len(cps))
+	}
+	if !cps[0].Config.Batch {
+		t.Fatal("checkpoint envelope lost Config.Batch")
+	}
+
+	for _, idx := range []int{0, len(cps) / 2, len(cps) - 1} {
+		sess, _, err := Resume(autoTable(t, 3000, 20), spec, cps[idx], func(*SessionCheckpoint) error { return nil })
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", idx, err)
+		}
+		if sess.cohort == nil {
+			t.Fatal("resumed session is not batched despite envelope Batch flag")
+		}
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatalf("resumed run from checkpoint %d: %v", idx, err)
+		}
+		got := goldenOf(snap)
+		if got.Passes != baseline.Passes || got.Reason != baseline.Reason {
+			t.Errorf("checkpoint %d: resumed passes=%d reason=%q, want passes=%d reason=%q",
+				idx, got.Passes, got.Reason, baseline.Passes, baseline.Reason)
+		}
+		for i := range baseline.MeanBits {
+			if got.MeanBits[i] != baseline.MeanBits[i] || got.StdErrBits[i] != baseline.StdErrBits[i] {
+				t.Errorf("checkpoint %d: resumed batched estimate diverges (measure %d)", idx, i)
+			}
+		}
+	}
+}

@@ -43,6 +43,7 @@ type ConfigState struct {
 	MaxMillis       int64   `json:"max_millis,omitempty"`
 	CacheShards     int     `json:"cache_shards,omitempty"`
 	CheckpointEvery int     `json:"checkpoint_every,omitempty"`
+	Batch           bool    `json:"batch,omitempty"`
 }
 
 func configState(cfg Config) ConfigState {
@@ -56,6 +57,7 @@ func configState(cfg Config) ConfigState {
 		MaxMillis:       cfg.MaxDuration.Milliseconds(),
 		CacheShards:     cfg.CacheShards,
 		CheckpointEvery: cfg.CheckpointEvery,
+		Batch:           cfg.Batch,
 	}
 }
 
@@ -72,6 +74,7 @@ func (cs ConfigState) Config() Config {
 		MaxDuration:     time.Duration(cs.MaxMillis) * time.Millisecond,
 		CacheShards:     cs.CacheShards,
 		CheckpointEvery: cs.CheckpointEvery,
+		Batch:           cs.Batch,
 	}
 }
 

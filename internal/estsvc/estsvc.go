@@ -93,7 +93,18 @@ type Config struct {
 	MaxDuration time.Duration
 
 	// CacheShards sets the shared memo's stripe count (0 = default).
+	// Ignored in Batch mode, which shares one single-threaded memo.
 	CacheShards int
+
+	// Batch runs the workers as a lockstep cohort (core.Cohort) instead of
+	// free-running goroutines: walks advance round by round over one shared
+	// memo, duplicate probes are deduplicated across workers before they
+	// reach the backend, and each distinct sibling set is evaluated as a
+	// single batched probe. Estimates are bit-identical to the unbatched
+	// session for the same (Seed, Workers) — batching is an execution
+	// strategy, not an algorithm change — while CPU-bound sessions run
+	// several times faster and remote backends see strictly fewer queries.
+	Batch bool
 
 	// CheckpointEvery makes the session durable: every CheckpointEvery
 	// rounds (a round is one pass per worker, at a barrier where every
@@ -159,7 +170,8 @@ type Snapshot struct {
 type Session struct {
 	cfg     Config
 	counter *hdb.Counter
-	cache   *hdb.ShardedCache
+	cache   *hdb.ShardedCache // unbatched sessions; nil in Batch mode
+	cohort  *core.Cohort      // Batch mode; nil otherwise
 	workers []*worker
 
 	// costBase is the backend-query spend a resumed session inherited from
@@ -168,14 +180,15 @@ type Session struct {
 	// double-spend its MaxCost.
 	costBase int64
 
-	mu      sync.Mutex
-	started bool
-	startT  time.Time
-	passes  int64
-	exact   bool
-	done    bool
-	reason  StopReason
-	elapsed time.Duration // frozen when done
+	mu        sync.Mutex
+	batchHits int64 // cohort memo hits, mirrored at round barriers (Snapshot may race with lanes otherwise)
+	started   bool
+	startT    time.Time
+	passes    int64
+	exact     bool
+	done      bool
+	reason    StopReason
+	elapsed   time.Duration // frozen when done
 }
 
 // worker is one estimator plus its accumulated per-measure pass statistics.
@@ -336,6 +349,17 @@ func newSession(backend hdb.Interface, cfg Config, build func(client hdb.Client,
 		cfg:     cfg,
 		counter: hdb.NewCounter(backend),
 	}
+	if cfg.Batch {
+		cohort, err := core.NewCohort(s.counter, cfg.Workers, build)
+		if err != nil {
+			return nil, fmt.Errorf("estsvc: building cohort: %w", err)
+		}
+		s.cohort = cohort
+		for w := 0; w < cfg.Workers; w++ {
+			s.workers = append(s.workers, &worker{est: cohort.Estimator(w)})
+		}
+		return s, nil
+	}
 	s.cache = hdb.NewShardedCache(s.counter, cfg.CacheShards)
 	for w := 0; w < cfg.Workers; w++ {
 		client := &workerClient{cache: s.cache}
@@ -377,7 +401,9 @@ func (s *Session) Run(ctx context.Context) (Snapshot, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for _, w := range s.workers {
-		w.client.ctx = ctx // before any worker goroutine exists; see workerClient.ctx
+		if w.client != nil { // Batch mode: lanes observe ctx at wave boundaries instead
+			w.client.ctx = ctx // before any worker goroutine exists; see workerClient.ctx
+		}
 	}
 
 	// With pass count as the only active rule the partition is static —
@@ -386,16 +412,26 @@ func (s *Session) Run(ctx context.Context) (Snapshot, error) {
 	// to checkpoint at — instead run barrier-synchronised rounds of one pass
 	// per worker, re-evaluating the rules between rounds.
 	var err error
-	if s.cfg.TargetRSE == 0 && s.cfg.MaxCost == 0 && s.cfg.MaxDuration == 0 && s.cfg.CheckpointEvery == 0 {
+	static := s.cfg.TargetRSE == 0 && s.cfg.MaxCost == 0 && s.cfg.MaxDuration == 0 && s.cfg.CheckpointEvery == 0
+	switch {
+	case s.cohort != nil && static:
+		err = s.runStaticBatch(ctx)
+	case s.cohort != nil:
+		err = s.runRoundsBatch(ctx)
+	case static:
 		err = s.runStatic(ctx)
-	} else {
+	default:
 		err = s.runRounds(ctx, cancel)
 	}
 
 	// The session runs once: release every worker's prefix cursor so the
 	// backend can recycle the pooled prefix bitmaps for the next session.
-	for _, w := range s.workers {
-		w.est.Close()
+	if s.cohort != nil {
+		s.cohort.Close()
+	} else {
+		for _, w := range s.workers {
+			w.est.Close()
+		}
 	}
 
 	s.mu.Lock()
@@ -433,6 +469,12 @@ func classify(err error) passOutcome {
 // pass runs one Estimate on worker w and folds its values in.
 func (s *Session) pass(w *worker) passOutcome {
 	est, err := w.est.Estimate()
+	return s.fold(w, est, err)
+}
+
+// fold merges one completed pass (however it was executed — directly or by
+// a cohort round) into worker w's streaming statistics.
+func (s *Session) fold(w *worker, est core.Estimate, err error) passOutcome {
 	if out := classify(err); out.err != nil || out.stop != "" {
 		return out
 	}
@@ -492,6 +534,126 @@ func (s *Session) runStatic(ctx context.Context) error {
 	}
 	wg.Wait()
 	return s.finish(outs, StopPasses)
+}
+
+// runStaticBatch is runStatic for a lockstep cohort: the same exact share
+// partition (worker w runs share_w passes, stopping early on its own exact
+// pass or error while the others continue), advanced one pass per lane per
+// cohort round. The shares — and hence every lane's pass stream — match the
+// unbatched static scheduler, so merged results are bit-identical.
+func (s *Session) runStaticBatch(ctx context.Context) error {
+	total := s.cfg.MaxPasses
+	if total <= 0 || total > passesHardCap {
+		total = passesHardCap
+	}
+	nw := len(s.workers)
+	outs := make([]passOutcome, nw)
+	left := make([]int, nw)
+	for wi := range left {
+		left[wi] = total / nw
+		if wi < total%nw {
+			left[wi]++
+		}
+	}
+	run := make([]bool, nw)
+	results := make([]core.LaneResult, nw)
+	for {
+		any := false
+		cancelled := ctx.Err() != nil
+		for wi := range run {
+			run[wi] = left[wi] > 0
+			if run[wi] && cancelled {
+				run[wi] = false
+				outs[wi] = classify(ctx.Err())
+				left[wi] = 0
+			}
+			any = any || run[wi]
+		}
+		if !any {
+			break
+		}
+		s.cohort.Round(ctx, run, results)
+		s.mirrorBatchHits()
+		for wi, w := range s.workers {
+			if !run[wi] {
+				continue
+			}
+			left[wi]--
+			out := s.fold(w, results[wi].Est, results[wi].Err)
+			if out.err != nil || out.stop != "" || out.exact {
+				// Same per-worker early exits as runStatic: errors, rule
+				// stops, and the one-exact-pass-per-worker convention.
+				outs[wi] = out
+				left[wi] = 0
+			}
+		}
+	}
+	return s.finish(outs, StopPasses)
+}
+
+// mirrorBatchHits publishes the cohort's memo-hit total for concurrent
+// Snapshot readers. Called at round barriers, where every lane is idle.
+func (s *Session) mirrorBatchHits() {
+	h := s.cohort.CacheHits()
+	s.mu.Lock()
+	s.batchHits = h
+	s.mu.Unlock()
+}
+
+// runRoundsBatch is runRounds for a lockstep cohort: one pass per worker
+// per round with the rules re-evaluated between rounds. A cohort round IS a
+// barrier — every lane is idle when Round returns — so checkpoints capture
+// at the same cadence and the envelopes are bit-identical to the unbatched
+// round scheduler's.
+func (s *Session) runRoundsBatch(ctx context.Context) error {
+	nw := len(s.workers)
+	outs := make([]passOutcome, nw)
+	run := make([]bool, nw)
+	for wi := range run {
+		run[wi] = true
+	}
+	results := make([]core.LaneResult, nw)
+	lastCost, stall := int64(-1), 0
+	for round := 1; ; round++ {
+		if s.cfg.MaxCost > 0 {
+			if cost := s.counter.Count(); cost == lastCost {
+				if stall++; stall >= costStallRounds {
+					return s.finish(nil, StopBudget)
+				}
+			} else {
+				lastCost, stall = cost, 0
+			}
+		}
+		if reason := s.checkRules(ctx); reason != "" {
+			return s.finish(nil, reason)
+		}
+		s.cohort.Round(ctx, run, results)
+		s.mirrorBatchHits()
+		failed := false
+		for wi, w := range s.workers {
+			outs[wi] = s.fold(w, results[wi].Est, results[wi].Err)
+			if outs[wi].err != nil || outs[wi].stop != "" {
+				failed = true
+			}
+		}
+		if failed {
+			return s.finish(outs, "")
+		}
+		if s.exactNow() {
+			return s.finish(nil, StopExact)
+		}
+		// Round barrier: every lane is idle, so estimator state is at a
+		// pass boundary — the only place a checkpoint is sound.
+		if s.cfg.CheckpointEvery > 0 && round%s.cfg.CheckpointEvery == 0 {
+			cp, err := s.Checkpoint()
+			if err == nil {
+				err = s.cfg.CheckpointSink(cp)
+			}
+			if err != nil {
+				return s.finish([]passOutcome{{stop: StopError, err: fmt.Errorf("estsvc: checkpoint: %w", err)}}, "")
+			}
+		}
+	}
 }
 
 // costStallRounds is how many consecutive rounds may pass without any new
@@ -667,10 +829,14 @@ func (s *Session) snapshotLocked() Snapshot {
 			merged[mi].Merge(r)
 		}
 	}
+	hits := s.batchHits
+	if s.cache != nil {
+		hits = s.cache.Hits()
+	}
 	snap := Snapshot{
 		Passes:    s.passes,
 		Cost:      s.costBase + s.counter.Count(),
-		CacheHits: s.cache.Hits(),
+		CacheHits: hits,
 		Exact:     s.exact,
 		Done:      s.done,
 		Reason:    s.reason,

@@ -39,6 +39,9 @@ type EstimateRequest struct {
 	// CheckpointEvery overrides the durable Manager's checkpoint cadence in
 	// rounds (ignored by Managers without a store).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Batch runs the session's workers as a lockstep cohort with batched,
+	// deduplicated probes (see Config.Batch). Same estimates, fewer queries.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // Config converts the request's session knobs.
@@ -53,6 +56,7 @@ func (r EstimateRequest) Config() Config {
 		MaxDuration:     time.Duration(r.MaxMillis) * time.Millisecond,
 		CacheShards:     r.CacheShards,
 		CheckpointEvery: r.CheckpointEvery,
+		Batch:           r.Batch,
 	}
 }
 

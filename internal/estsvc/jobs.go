@@ -72,6 +72,7 @@ type Manager struct {
 	backend         hdb.Interface
 	store           JobStore
 	checkpointEvery int
+	batch           bool // default every job to lockstep-cohort execution
 
 	// resumeMu serializes Resume end to end, so two concurrent resume
 	// requests for one job cannot both pass the is-it-running check.
@@ -97,6 +98,15 @@ func WithStore(st JobStore) ManagerOption {
 // (default 4; only meaningful with WithStore).
 func WithCheckpointEvery(rounds int) ManagerOption {
 	return func(m *Manager) { m.checkpointEvery = rounds }
+}
+
+// WithBatch makes every job run its workers as a lockstep cohort with
+// batched, deduplicated probes (Config.Batch): same estimates for the same
+// (seed, workers), strictly fewer backend queries. Individual requests may
+// still opt in per job via their own Batch field on a Manager without this
+// option.
+func WithBatch() ManagerOption {
+	return func(m *Manager) { m.batch = true }
 }
 
 // NewManager builds a Manager serving sessions against backend. The
@@ -179,6 +189,9 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 		// A job with no rule would run to the pass hard cap; default to the
 		// sort of budget a per-IP-limited hidden database allows per day.
 		cfg.MaxCost = 1000
+	}
+	if m.batch {
+		cfg.Batch = true
 	}
 
 	m.mu.Lock()

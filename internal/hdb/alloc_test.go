@@ -179,6 +179,60 @@ func TestHybridCursorProbeZeroAlloc(t *testing.T) {
 	})
 }
 
+// TestProbeBatchZeroAlloc pins the steady-state batched probe round. Two
+// regimes: the engine's ProbeBatch must reuse all cursor scratch (branch
+// buffers, posting operands, galloping cursors) — with underflowing
+// branches even the Result tuple slices are empty, so the whole batch is
+// allocation-free — and a fully warm batch through the session's memo front
+// is pure trie pointer chases.
+func TestProbeBatchZeroAlloc(t *testing.T) {
+	// Every tuple has d=0: batch-probing d in {1,2,3} under any prefix
+	// underflows to empty on every branch.
+	attrs := []Attribute{{Name: "a", Dom: 4}, {Name: "b", Dom: 4}, {Name: "c", Dom: 4}, {Name: "d", Dom: 4}}
+	var tuples []Tuple
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				tuples = append(tuples, Tuple{Cats: []uint16{uint16(a), uint16(b), uint16(c), 0}})
+			}
+		}
+	}
+	tbl, err := NewTable(Schema{Attrs: attrs}, 3, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ecur, err := tbl.NewCursor(Query{}.And(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ecur.Close()
+	empty := []uint16{1, 2, 3}
+	out := make([]Result, len(empty))
+	mustZeroAllocs(t, "engine ProbeBatch (underflowing sibling set)", func() {
+		if err := ProbeBatch(ecur, 3, empty, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	session := NewSession(tbl)
+	scur, err := session.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scur.Close()
+	if err := scur.Descend(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	vals := []uint16{0, 1, 2, 3}
+	wout := make([]Result, len(vals))
+	mustZeroAllocs(t, "warm memo-front ProbeBatch (all trie hits)", func() {
+		if err := ProbeBatch(scur, 1, vals, wout); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestCursorProbeZeroAlloc pins the cursor probe paths: a memoised probe hit
 // (full and count) through the session stack, a shared-cache trie hit, and
 // the engine's count-only probe — all zero allocations.

@@ -1,0 +1,338 @@
+package hdb
+
+import (
+	"fmt"
+
+	"hdunbiased/internal/posting"
+)
+
+// This file implements the batched probe surface: evaluating a whole
+// sibling set of the committed prefix — prefix ∧ (attr = v) for a set of
+// candidate values v — in one call. Batched walk cohorts (internal/core)
+// collect the probes their walks are blocked on each round, deduplicate
+// them, and push each group down the cursor stack as one ProbeBatch; the
+// engine answers the group with a single pass over the materialised prefix
+// (posting.AndFirstNMany) instead of one AND per branch.
+//
+// The contract mirrors the single-probe path layer for layer: a ProbeBatch
+// is semantically a loop of Probe calls in slice order, with identical
+// Results, identical memo fills and identical accounting — the Counter
+// charges one query per value, the Limiter debits one per value, the
+// Retrier retries below the accounting so a retried batch still charges
+// once per value, and the memo front resolves every value it can before
+// issuing only the distinct misses. Middleware forwards through the
+// package-level ProbeBatch helper, so a stack degrades gracefully at the
+// first layer whose inner cursor lacks batch support (a loop of Probe) —
+// non-Table backends keep working unchanged.
+
+// BatchCursor is implemented by cursors that can evaluate a whole sibling
+// set of the committed prefix in one call. Use the package-level ProbeBatch
+// helper rather than asserting the interface directly — it falls back to a
+// probe loop for cursors without batch support.
+type BatchCursor interface {
+	QueryCursor
+	// ProbeBatch evaluates prefix ∧ (attr=values[i]) for every i, writing
+	// the Result the equivalent Probe call would return into out[i].
+	// Implementations may assume len(out) >= len(values) (the package
+	// helper enforces it). On error, out's contents are unspecified.
+	ProbeBatch(attr int, values []uint16, out []Result) error
+}
+
+// ProbeBatch evaluates a sibling batch through any cursor: the one-pass
+// BatchCursor path when the cursor supports it, a loop of Probe otherwise.
+// Both paths return identical Results and identical accounting.
+func ProbeBatch(c QueryCursor, attr int, values []uint16, out []Result) error {
+	if len(out) < len(values) {
+		return fmt.Errorf("hdb: ProbeBatch needs len(out) >= len(values) (%d < %d)", len(out), len(values))
+	}
+	if bc, ok := c.(BatchCursor); ok {
+		return bc.ProbeBatch(attr, values, out)
+	}
+	for i, v := range values {
+		r, err := c.Probe(attr, v)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Engine (Table)
+
+// ProbeBatch implements BatchCursor: the whole sibling set is answered by
+// one pass over the materialised prefix (posting.AndFirstNMany), k-bounded
+// per branch. The only steady-state allocations are the Results' tuple
+// slices — the same contract as Probe.
+func (c *tableCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	if len(out) < len(values) {
+		return fmt.Errorf("hdb: ProbeBatch needs len(out) >= len(values) (%d < %d)", len(out), len(values))
+	}
+	for _, v := range values {
+		if err := c.checkProbe(attr, v); err != nil {
+			return err
+		}
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	t := c.t
+	for len(c.bufs) < len(values) {
+		c.bufs = append(c.bufs, nil)
+	}
+	bufs := c.bufs[:len(values)]
+	for i := range bufs {
+		bufs[i] = bufs[i][:0]
+	}
+	if prefix := c.top(); prefix == nil {
+		for i, v := range values {
+			bufs[i] = t.index[attr][v].FirstN(bufs[i], t.k+1)
+		}
+	} else {
+		posts := c.posts[:0]
+		for _, v := range values {
+			posts = append(posts, t.index[attr][v])
+		}
+		c.posts = posts
+		posting.AndFirstNMany(bufs, t.k+1, prefix, posts, &c.mcur)
+	}
+	for i := range bufs {
+		idx := bufs[i]
+		overflow := len(idx) > t.k
+		if overflow {
+			idx = idx[:t.k]
+		}
+		tuples := make([]Tuple, len(idx))
+		for j, ti := range idx {
+			tuples[j] = t.tuples[ti]
+		}
+		out[i] = Result{Tuples: tuples, Overflow: overflow}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Accounting middleware (Counter, Limiter)
+
+// ProbeBatch implements BatchCursor: every value counts as one issued
+// query, exactly like the probe loop — including on error (the queries were
+// still issued).
+func (cc *counterCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	cc.c.n.Add(int64(len(values)))
+	return ProbeBatch(cc.inner, attr, values, out)
+}
+
+// ProbeBatch implements BatchCursor: the batch debits one budget unit per
+// value up front and fails whole with ErrQueryLimit when the budget cannot
+// cover it — the batched walk round stops at the same budget the probe loop
+// would have exhausted mid-batch.
+func (lc *limiterCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	if len(values) == 0 {
+		return nil
+	}
+	if lc.l.left.Add(-int64(len(values))) < 0 {
+		return ErrQueryLimit
+	}
+	return ProbeBatch(lc.inner, attr, values, out)
+}
+
+// ---------------------------------------------------------------------------
+// Retrier
+
+// ProbeBatch implements BatchCursor: a transiently failed batch is retried
+// whole. The Retrier sits below the accounting middleware (see retry.go),
+// so however many attempts the batch takes, each value is charged exactly
+// once above — and deduplication happened in the memo front above that, so
+// a probe subscribed to by many walks charges once total, not once per
+// subscriber.
+func (rc *retrierCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	return rc.r.do(func() error {
+		return ProbeBatch(rc.inner, attr, values, out)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+// ProbeBatch implements BatchCursor: each value's outcome is logged as the
+// full conjunctive query it is equivalent to, in slice order. A failed
+// batch logs one ERROR line (against its first value) — the probe loop
+// would have stopped at the first failure too.
+func (tc *tracerCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	if err := ProbeBatch(tc.inner, attr, values, out); err != nil {
+		if len(values) > 0 {
+			tc.t.record(tc.probeQuery(attr, values[0]), 0, false, err)
+		}
+		return err
+	}
+	for i, v := range values {
+		tc.t.record(tc.probeQuery(attr, v), len(out[i].Tuples), out[i].Overflow, nil)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Memo fronts (Cache, ShardedCache)
+
+// dedupeMisses builds the distinct value set of the missed batch positions
+// in first-seen order. Sibling batches are small (bounded by the plan
+// fanout), so linear scans beat any map.
+func dedupeMisses(dst []uint16, values []uint16, miss []int) []uint16 {
+	for _, i := range miss {
+		v := values[i]
+		dup := false
+		for _, u := range dst {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// indexOfValue returns v's position in vals (vals always contains v here).
+func indexOfValue(vals []uint16, v uint16) int {
+	for i, u := range vals {
+		if u == v {
+			return i
+		}
+	}
+	panic("hdb: batched miss value lost during dedup")
+}
+
+// ProbeBatch implements BatchCursor: one trie/memo lookup per value, one
+// inner batch of only the distinct misses, one memo fill per distinct miss.
+// Duplicate values beyond their first occurrence count as memo hits — the
+// probe loop would have found the first occurrence's fresh memo entry.
+func (cc *cacheCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	miss := cc.missIdx[:0]
+	for i, v := range values {
+		e := cc.path.probeEntry(attr, v)
+		if e != nil && e.known {
+			cc.cache.hits++
+			out[i] = e.res
+			continue
+		}
+		key := cc.path.probeKey(attr, v)
+		if r, ok := cc.cache.memo[string(key)]; ok {
+			cc.cache.hits++
+			if e != nil {
+				e.res, e.known = r, true
+			}
+			out[i] = r
+			continue
+		}
+		miss = append(miss, i)
+	}
+	cc.missIdx = miss
+	if len(miss) == 0 {
+		return nil
+	}
+	vals := dedupeMisses(cc.missVals[:0], values, miss)
+	cc.missVals = vals
+	if cap(cc.missOut) < len(vals) {
+		cc.missOut = make([]Result, len(vals))
+	}
+	res := cc.missOut[:len(vals)]
+	if err := ProbeBatch(cc.inner, attr, vals, res); err != nil {
+		return err
+	}
+	for vi, v := range vals {
+		key := cc.path.probeKey(attr, v)
+		cc.cache.memo[string(key)] = res[vi]
+		if e := cc.path.probeEntry(attr, v); e != nil {
+			e.res, e.known = res[vi], true
+		}
+	}
+	for mi, i := range miss {
+		v := values[i]
+		out[i] = res[indexOfValue(vals, v)]
+		for _, j := range miss[:mi] {
+			if values[j] == v {
+				cc.cache.hits++
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// ProbeBatchHit is SharedCursor's batched probe: out is filled exactly as a
+// loop of ProbeHit would, and the returned hit count is the number of
+// values the memo (trie, shard, or an earlier duplicate in this batch)
+// answered — len(values) minus the backend-issued queries. The locking
+// discipline is unchanged: shard locks are never held across inner probes.
+func (sc *SharedCursor) ProbeBatchHit(attr int, values []uint16, out []Result) (int, error) {
+	hits := 0
+	miss := sc.missIdx[:0]
+	for i, v := range values {
+		e := sc.path.probeEntry(attr, v)
+		if e != nil && e.known {
+			sc.cache.hits.Add(1)
+			hits++
+			out[i] = e.res
+			continue
+		}
+		key := sc.path.probeKey(attr, v)
+		shard := &sc.cache.shards[hashKey(key)&sc.cache.mask]
+		shard.mu.Lock()
+		r, ok := shard.memo[string(key)]
+		shard.mu.Unlock()
+		if ok {
+			sc.cache.hits.Add(1)
+			hits++
+			if e != nil {
+				e.res, e.known = r, true
+			}
+			out[i] = r
+			continue
+		}
+		miss = append(miss, i)
+	}
+	sc.missIdx = miss
+	if len(miss) == 0 {
+		return hits, nil
+	}
+	vals := dedupeMisses(sc.missVals[:0], values, miss)
+	sc.missVals = vals
+	if cap(sc.missOut) < len(vals) {
+		sc.missOut = make([]Result, len(vals))
+	}
+	res := sc.missOut[:len(vals)]
+	if err := ProbeBatch(sc.inner, attr, vals, res); err != nil {
+		return hits, err
+	}
+	for vi, v := range vals {
+		key := sc.path.probeKey(attr, v)
+		shard := &sc.cache.shards[hashKey(key)&sc.cache.mask]
+		shard.mu.Lock()
+		shard.memo[string(key)] = res[vi]
+		shard.mu.Unlock()
+		if e := sc.path.probeEntry(attr, v); e != nil {
+			e.res, e.known = res[vi], true
+		}
+	}
+	for mi, i := range miss {
+		v := values[i]
+		out[i] = res[indexOfValue(vals, v)]
+		for _, j := range miss[:mi] {
+			if values[j] == v {
+				sc.cache.hits.Add(1)
+				hits++
+				break
+			}
+		}
+	}
+	return hits, nil
+}
+
+// ProbeBatch implements BatchCursor.
+func (sc *SharedCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	_, err := sc.ProbeBatchHit(attr, values, out)
+	return err
+}

@@ -1,0 +1,305 @@
+package hdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// resultEq compares two Results structurally.
+func resultEq(a, b Result) bool {
+	if a.Overflow != b.Overflow || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		ta, tb := a.Tuples[i], b.Tuples[i]
+		if len(ta.Cats) != len(tb.Cats) {
+			return false
+		}
+		for j := range ta.Cats {
+			if ta.Cats[j] != tb.Cats[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hideBatch strips the BatchCursor extension from a cursor, forcing the
+// package helper onto its fallback probe loop.
+type hideBatch struct{ QueryCursor }
+
+// batchStack is one middleware configuration under conformance test: build
+// returns a fresh cursor plus accounting accessors over a shared table.
+type batchStack struct {
+	name  string
+	build func(tbl *Table) (QueryCursor, func() int64, func() int64)
+}
+
+func batchStacks() []batchStack {
+	none := func() int64 { return -1 }
+	return []batchStack{
+		{"table", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			cur, _ := tbl.NewCursor(Query{})
+			return cur, none, none
+		}},
+		{"counter", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			ctr := NewCounter(tbl)
+			cur, _ := ctr.NewCursor(Query{})
+			return cur, ctr.Count, none
+		}},
+		{"cache-counter", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			ctr := NewCounter(tbl)
+			cache := NewCache(ctr)
+			cur, _ := cache.NewCursor(Query{})
+			return cur, ctr.Count, cache.Hits
+		}},
+		{"sharded-counter", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			ctr := NewCounter(tbl)
+			cache := NewShardedCache(ctr, 8)
+			cur, _ := cache.NewCursor(Query{})
+			return cur, ctr.Count, cache.Hits
+		}},
+		{"full-stack", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			// The deployment order from retry.go: Cache -> Counter ->
+			// Limiter -> Tracer -> Retrier -> backend.
+			r := NewRetrier(tbl, RetryConfig{Sleep: func(time.Duration) {}})
+			tr := NewTracer(r, io.Discard)
+			lim := NewLimiter(tr, 1<<20)
+			ctr := NewCounter(lim)
+			cache := NewCache(ctr)
+			cur, _ := cache.NewCursor(Query{})
+			return cur, ctr.Count, cache.Hits
+		}},
+		{"fallback-loop", func(tbl *Table) (QueryCursor, func() int64, func() int64) {
+			// Cache over a batch-less inner cursor: the memo front must
+			// degrade to the probe loop below with identical accounting.
+			ctr := NewCounter(tbl)
+			cache := NewCache(ctr)
+			cur, _ := cache.NewCursor(Query{})
+			return hideBatch{cur}, ctr.Count, cache.Hits
+		}},
+	}
+}
+
+// TestProbeBatchConformance drives every middleware stack through the same
+// mixed probe/batch/descend script twice — once with ProbeBatch, once with
+// the equivalent probe loop — and demands identical Results, identical
+// backend cost and identical memo hits at every step. This is the
+// interface-conformance test the batched walk cohort relies on: a batch IS
+// a probe loop, at every layer, including the fallback for cursors without
+// batch support.
+func TestProbeBatchConformance(t *testing.T) {
+	tbl := testTable(t, 800, 10)
+	// Batches include duplicates and already-memoised values on purpose.
+	scripts := [][]uint16{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{3, 3, 0, 7, 3},
+		{2},
+		{},
+	}
+	for _, st := range batchStacks() {
+		t.Run(st.name, func(t *testing.T) {
+			curA, costA, hitsA := st.build(tbl)
+			curB, costB, hitsB := st.build(tbl)
+			defer curA.Close()
+			defer curB.Close()
+
+			step := func(attr int) {
+				dom := uint16(tbl.Schema().Attrs[attr].Dom)
+				for _, raw := range scripts {
+					vals := make([]uint16, len(raw))
+					for i, v := range raw {
+						vals[i] = v % dom
+					}
+					out := make([]Result, len(vals))
+					if err := ProbeBatch(curA, attr, vals, out); err != nil {
+						t.Fatal(err)
+					}
+					for i, v := range vals {
+						want, err := curB.Probe(attr, v)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !resultEq(out[i], want) {
+							t.Fatalf("attr %d value %d: batch result diverges from probe loop", attr, v)
+						}
+					}
+				}
+				if costA() != costB() {
+					t.Fatalf("attr %d: cost %d (batch) != %d (loop)", attr, costA(), costB())
+				}
+				if hitsA() != hitsB() {
+					t.Fatalf("attr %d: hits %d (batch) != %d (loop)", attr, hitsA(), hitsB())
+				}
+			}
+			step(0)
+			for _, c := range []QueryCursor{curA, curB} {
+				if err := c.Descend(0, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step(1)
+			curA.Ascend()
+			curB.Ascend()
+			step(1)
+		})
+	}
+}
+
+// TestProbeBatchOutTooShort pins the helper's length validation.
+func TestProbeBatchOutTooShort(t *testing.T) {
+	tbl := testTable(t, 100, 5)
+	cur, _ := tbl.NewCursor(Query{})
+	defer cur.Close()
+	if err := ProbeBatch(cur, 0, []uint16{0, 1}, make([]Result, 1)); err == nil {
+		t.Fatal("want error for short out slice")
+	}
+}
+
+// flakyCursorTable gives a Table transiently failing cursors: each distinct
+// probe (or batch attempt) fails failsPer times before succeeding, so the
+// Retrier's batched retry path is observable below real engine cursors.
+type flakyCursorTable struct {
+	*Table
+	failsPer int
+	attempts map[string]int
+	backend  int // probe/batch calls that reached the engine successfully
+}
+
+func (f *flakyCursorTable) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := f.Table.NewCursor(base)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyCursor{f: f, inner: inner}, nil
+}
+
+type flakyCursor struct {
+	f     *flakyCursorTable
+	inner QueryCursor
+	depth int
+}
+
+func (c *flakyCursor) fail(key string) error {
+	c.f.attempts[key]++
+	if c.f.attempts[key] <= c.f.failsPer {
+		return MarkTransient(fmt.Errorf("flaky cursor: %s attempt %d", key, c.f.attempts[key]))
+	}
+	return nil
+}
+
+func (c *flakyCursor) Probe(attr int, value uint16) (Result, error) {
+	if err := c.fail(fmt.Sprintf("p/%d/%d/%d", c.depth, attr, value)); err != nil {
+		return Result{}, err
+	}
+	c.f.backend++
+	return c.inner.Probe(attr, value)
+}
+
+func (c *flakyCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	if err := c.fail(fmt.Sprintf("c/%d/%d/%d", c.depth, attr, value)); err != nil {
+		return 0, false, err
+	}
+	c.f.backend++
+	return c.inner.ProbeCount(attr, value)
+}
+
+func (c *flakyCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	if err := c.fail(fmt.Sprintf("b/%d/%d/%v", c.depth, attr, values)); err != nil {
+		return err
+	}
+	c.f.backend++
+	return ProbeBatch(c.inner, attr, values, out)
+}
+
+func (c *flakyCursor) Descend(attr int, value uint16) error {
+	if err := c.inner.Descend(attr, value); err != nil {
+		return err
+	}
+	c.depth++
+	return nil
+}
+
+func (c *flakyCursor) Ascend()    { c.inner.Ascend(); c.depth-- }
+func (c *flakyCursor) Depth() int { return c.inner.Depth() }
+func (c *flakyCursor) Close()     { c.inner.Close() }
+
+// TestProbeBatchRetrierChargesOnce is the exactly-once accounting audit for
+// batched probes under the Retrier: a transiently failing batch of V
+// distinct deduped probes must charge the Counter exactly V — once per
+// actually-issued query, regardless of retry attempts and regardless of how
+// many walks subscribed to each probe above the memo front.
+func TestProbeBatchRetrierChargesOnce(t *testing.T) {
+	tbl := testTable(t, 800, 10)
+	flaky := &flakyCursorTable{Table: tbl, failsPer: 2, attempts: make(map[string]int)}
+	sleep, _ := noSleep()
+	r := NewRetrier(flaky, RetryConfig{MaxAttempts: 4, Sleep: sleep})
+	ctr := NewCounter(r)
+	cache := NewCache(ctr)
+	cur, err := cache.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	// Batch with duplicates: 5 positions, 3 distinct values — the memo
+	// front dedupes to one 3-value batch, the Retrier retries it twice
+	// below the Counter.
+	vals := []uint16{4, 5, 4, 6, 5}
+	out := make([]Result, len(vals))
+	if err := ProbeBatch(cur, 0, vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Count(); got != 3 {
+		t.Errorf("counter = %d, want 3 (once per distinct issued query)", got)
+	}
+	if got := r.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := cache.Hits(); got != 2 {
+		t.Errorf("hits = %d, want 2 (in-batch duplicates)", got)
+	}
+	// Results must still be the table's own answers.
+	ref, _ := tbl.NewCursor(Query{})
+	defer ref.Close()
+	for i, v := range vals {
+		want, err := ref.Probe(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultEq(out[i], want) {
+			t.Fatalf("value %d: result diverges after retried batch", v)
+		}
+	}
+	// The whole batch went down again as one unit after the memo fill: a
+	// repeat ProbeBatch is all hits, no backend traffic.
+	before := ctr.Count()
+	if err := ProbeBatch(cur, 0, vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Count() != before {
+		t.Errorf("warm batch reached the backend: cost %d -> %d", before, ctr.Count())
+	}
+}
+
+// TestProbeBatchLimiter pins the budget semantics: a batch the remaining
+// budget cannot cover fails whole with ErrQueryLimit.
+func TestProbeBatchLimiter(t *testing.T) {
+	tbl := testTable(t, 200, 5)
+	lim := NewLimiter(tbl, 3)
+	cur, err := lim.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	out := make([]Result, 8)
+	if err := ProbeBatch(cur, 0, []uint16{0, 1, 2}, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProbeBatch(cur, 0, []uint16{3, 4}, out); !errors.Is(err, ErrQueryLimit) {
+		t.Fatalf("over-budget batch: got %v, want ErrQueryLimit", err)
+	}
+}

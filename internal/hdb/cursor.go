@@ -94,6 +94,13 @@ type tableCursor struct {
 	own     []*posting.Mutable // owned sets backing tops[1:], grown lazily, reused across walks
 	mat     int                // number of materialised levels (<= len(preds))
 	idx     []int              // k+1-bounded probe scratch
+
+	// ProbeBatch scratch, grown to the largest sibling set seen and reused
+	// across rounds so the warm batched probe path allocates nothing beyond
+	// the Results' tuple slices.
+	bufs  [][]int         // per-branch k+1-bounded rank buffers
+	posts []*posting.List // per-branch posting operands
+	mcur  []int           // per-branch galloping cursors (AndFirstNMany)
 }
 
 // NewCursor implements CursorProvider: an incremental evaluation handle

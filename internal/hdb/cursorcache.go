@@ -124,18 +124,42 @@ func (p *cursorPath) depth() int { return len(p.preds) }
 // NewCursor implements CursorProvider: probes consult and fill the memo
 // exactly like Query calls, so Hits() and the backend query count are
 // unchanged whichever path a client mixes.
+//
+// Cursors over the same base query share one trie root: the Cache is
+// single-threaded by contract and the trie only ever caches memo-backed
+// results, so a branch one cursor has resolved is a pointer-chase hit for
+// every other cursor on the path — the warm-path sharing that lets a
+// lockstep walk cohort (internal/core) run whole rounds without touching
+// the canonical-key map. Hit counts are unchanged: a trie hit and the memo
+// hit it stands in for count identically.
 func (c *Cache) NewCursor(base Query) (QueryCursor, error) {
 	inner, err := newInnerCursor(c.inner, base)
 	if err != nil {
 		return nil, err
 	}
-	return &cacheCursor{cache: c, inner: inner, path: newCursorPath(c.Schema(), base)}, nil
+	path := newCursorPath(c.Schema(), base)
+	if c.tries == nil {
+		c.tries = make(map[string]*trieNode)
+	}
+	bk := string(base.AppendKey(nil))
+	root := c.tries[bk]
+	if root == nil {
+		root = &trieNode{attr: -1}
+		c.tries[bk] = root
+	}
+	path.stack[0] = root
+	return &cacheCursor{cache: c, inner: inner, path: path}, nil
 }
 
 type cacheCursor struct {
 	cache *Cache
 	inner QueryCursor
 	path  cursorPath
+
+	// ProbeBatch scratch, reused across rounds (batch.go).
+	missIdx  []int
+	missVals []uint16
+	missOut  []Result
 }
 
 func (cc *cacheCursor) Probe(attr int, value uint16) (Result, error) {
@@ -218,6 +242,11 @@ type SharedCursor struct {
 	cache *ShardedCache
 	inner QueryCursor
 	path  cursorPath
+
+	// ProbeBatch scratch, reused across rounds (batch.go).
+	missIdx  []int
+	missVals []uint16
+	missOut  []Result
 }
 
 // ProbeHit is Probe plus whether a memo (trie or shard) answered it — the

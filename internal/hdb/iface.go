@@ -114,7 +114,8 @@ type Cache struct {
 	inner  Interface
 	memo   map[string]Result
 	hits   int64
-	keyBuf []byte // reusable canonical-key scratch; see Query
+	keyBuf []byte               // reusable canonical-key scratch; see Query
+	tries  map[string]*trieNode // shared trie root per cursor base query; see NewCursor
 }
 
 // NewCache wraps inner with an unbounded memo. Hidden-database drill-downs
@@ -140,11 +141,16 @@ func (c *Cache) Query(q Query) (Result, error) {
 		c.hits++
 		return r, nil
 	}
+	// Materialise the key before inner.Query: a lockstep cohort's backend
+	// parks the calling lane there and runs another lane through this same
+	// Cache, clobbering the scratch. The store converted the scratch to a
+	// string anyway, so this costs no extra allocation.
+	key := string(c.keyBuf)
 	r, err := c.inner.Query(q)
 	if err != nil {
 		return Result{}, err
 	}
-	c.memo[string(c.keyBuf)] = r
+	c.memo[key] = r
 	return r, nil
 }
 

@@ -1,0 +1,259 @@
+package posting
+
+import "math/bits"
+
+// This file holds the many-vs-one sibling-set kernels behind the batched
+// cursor probe path (hdb's ProbeBatch): one materialised drill-down prefix
+// intersected against a whole candidate sibling set in a single pass over
+// the prefix, instead of B independent AndFirstN / AndCountUpTo calls that
+// each re-enumerate it. Per-branch work is unchanged — every branch still
+// answers exactly the membership probes the two-operand kernel would ask,
+// k-bounded — but prefix enumeration, bound checks and word loads are paid
+// once per element (or word) instead of once per branch, and all scratch is
+// caller-owned, so the warm batched probe round allocates nothing.
+
+// AndFirstNMany appends to bufs[i] the first n ranks of prefix ∩ lists[i],
+// ascending, for every i — semantically a loop of AndFirstN(bufs[i], n,
+// prefix, lists[i]) evaluated in one pass. bufs must have at least
+// len(lists) elements and each bufs[i] must be passed empty (bufs[i][:0] to
+// reuse scratch); results are appended in place. *cursors is grown as per-branch galloping
+// cursor scratch exactly like IntersectFirstN's; nil means
+// allocate-on-demand. The kernel exits as soon as every branch has n ranks.
+func AndFirstNMany(bufs [][]int, n int, prefix *Mutable, lists []*List, cursors *[]int) {
+	if len(lists) == 0 || n <= 0 {
+		return
+	}
+	a := prefix.span()
+	for _, l := range lists {
+		if l.n != a.n {
+			panic("posting: universe mismatch")
+		}
+	}
+	if a.card == 0 {
+		return
+	}
+	if len(lists) == 1 {
+		bufs[0] = andFirstN(bufs[0], n, a, lists[0].span())
+		return
+	}
+	switch a.kind {
+	case KindArray, KindRuns:
+		// Element-driven: enumerate the prefix once, ascending; every branch
+		// still short of n answers one membership probe per element via its
+		// galloping cursor (arrays, runs) or a word test (bitmaps).
+		cur := growCursors(cursors, len(lists))
+		live := 0
+		for i := range lists {
+			if len(bufs[i]) < n {
+				live++
+			}
+		}
+		if live == 0 {
+			return
+		}
+		if a.kind == KindArray {
+			for _, x := range a.arr {
+				if live = manyEmit(bufs, n, lists, cur, live, x); live == 0 {
+					return
+				}
+			}
+			return
+		}
+		for _, run := range a.runs {
+			for x := run.Start; x < run.End; x++ {
+				if live = manyEmit(bufs, n, lists, cur, live, x); live == 0 {
+					return
+				}
+			}
+		}
+	default:
+		// Bitmap prefix: sparse branches are driven by their own (smaller)
+		// side — that orientation is already optimal and touches none of the
+		// prefix words — while all dense branches share a single sweep of
+		// the prefix words, each word loaded once for the whole set.
+		dense := 0
+		for i, l := range lists {
+			if l.kind == KindBitmap {
+				if len(bufs[i]) < n {
+					dense++
+				}
+				continue
+			}
+			bufs[i] = andFirstN(bufs[i], n, a, l.span())
+		}
+		if dense == 0 {
+			return
+		}
+		words := a.bm.Words()
+		for wi, w := range words {
+			if w == 0 {
+				continue
+			}
+			for i, l := range lists {
+				if l.kind != KindBitmap || len(bufs[i]) >= n {
+					continue
+				}
+				ww := w & l.bm.Words()[wi]
+				for ww != 0 {
+					bufs[i] = append(bufs[i], wi*64+bits.TrailingZeros64(ww))
+					if len(bufs[i]) >= n {
+						dense--
+						break
+					}
+					ww &= ww - 1
+				}
+			}
+			if dense == 0 {
+				return
+			}
+		}
+	}
+}
+
+// manyEmit probes one prefix element against every unfinished branch,
+// appending hits; it returns the updated count of branches still short of n.
+func manyEmit(bufs [][]int, n int, lists []*List, cur []int, live int, x uint32) int {
+	for i, l := range lists {
+		if len(bufs[i]) >= n || !branchContains(l, cur, i, x) {
+			continue
+		}
+		bufs[i] = append(bufs[i], int(x))
+		if len(bufs[i]) >= n {
+			live--
+		}
+	}
+	return live
+}
+
+// AndCountManyUpTo writes |prefix ∩ lists[i]| into counts[i] for every i,
+// with per-branch early exit past limit: counts[i] is exact when <= limit,
+// and any value > limit only means "more than limit" (the same contract as
+// AndCountUpTo — callers comparing against a loop of it must cap both sides
+// at limit+1). counts must have at least len(lists) elements; *cursors is
+// galloping scratch as in AndFirstNMany. One pass over the prefix serves
+// every dense branch; branches sparser than the prefix drive themselves.
+func AndCountManyUpTo(prefix *Mutable, lists []*List, limit int, counts []int, cursors *[]int) {
+	for i := range lists {
+		counts[i] = 0
+	}
+	if len(lists) == 0 {
+		return
+	}
+	a := prefix.span()
+	for _, l := range lists {
+		if l.n != a.n {
+			panic("posting: universe mismatch")
+		}
+	}
+	if a.card == 0 {
+		return
+	}
+	if len(lists) == 1 {
+		counts[0] = andCountUpTo(a, lists[0].span(), limit)
+		return
+	}
+	switch a.kind {
+	case KindArray, KindRuns:
+		cur := growCursors(cursors, len(lists))
+		live := len(lists)
+		if a.kind == KindArray {
+			for _, x := range a.arr {
+				if live = manyCount(counts, limit, lists, cur, live, x); live == 0 {
+					return
+				}
+			}
+			return
+		}
+		for _, run := range a.runs {
+			for x := run.Start; x < run.End; x++ {
+				if live = manyCount(counts, limit, lists, cur, live, x); live == 0 {
+					return
+				}
+			}
+		}
+	default:
+		dense := 0
+		for i, l := range lists {
+			if l.kind == KindBitmap {
+				dense++
+				continue
+			}
+			counts[i] = andCountUpTo(a, l.span(), limit)
+		}
+		if dense == 0 {
+			return
+		}
+		words := a.bm.Words()
+		for wi, w := range words {
+			if w == 0 {
+				continue
+			}
+			for i, l := range lists {
+				if l.kind != KindBitmap || counts[i] > limit {
+					continue
+				}
+				if ww := w & l.bm.Words()[wi]; ww != 0 {
+					if counts[i] += bits.OnesCount64(ww); counts[i] > limit {
+						dense--
+					}
+				}
+			}
+			if dense == 0 {
+				return
+			}
+		}
+	}
+}
+
+// manyCount probes one prefix element against every branch still at or
+// below limit; it returns the updated count of such branches.
+func manyCount(counts []int, limit int, lists []*List, cur []int, live int, x uint32) int {
+	for i, l := range lists {
+		if counts[i] > limit || !branchContains(l, cur, i, x) {
+			continue
+		}
+		if counts[i]++; counts[i] > limit {
+			live--
+		}
+	}
+	return live
+}
+
+// branchContains is one membership probe of x against branch i, advancing
+// that branch's galloping cursor — probeAll's body, per single branch.
+func branchContains(l *List, cur []int, i int, x uint32) bool {
+	switch l.kind {
+	case KindArray:
+		ci := gallopGE(l.arr, cur[i], x)
+		cur[i] = ci
+		return ci < len(l.arr) && l.arr[ci] == x
+	case KindRuns:
+		ci := gallopRunGE(l.runs, cur[i], x)
+		cur[i] = ci
+		return ci < len(l.runs) && l.runs[ci].Start <= x
+	default:
+		return l.bm.Words()[x/64]&(1<<(x%64)) != 0
+	}
+}
+
+// growCursors sizes caller-owned galloping-cursor scratch to n zeroed
+// slots, allocating only when capacity is short (nil cursors means
+// allocate-on-demand, matching IntersectFirstN's contract).
+func growCursors(cursors *[]int, n int) []int {
+	var cur []int
+	if cursors != nil {
+		cur = *cursors
+	}
+	if cap(cur) < n {
+		cur = make([]int, n)
+	} else {
+		cur = cur[:n]
+		for i := range cur {
+			cur[i] = 0
+		}
+	}
+	if cursors != nil {
+		*cursors = cur
+	}
+	return cur
+}

@@ -1,0 +1,150 @@
+package posting
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkMany compares the many-vs-one kernels against loops of the
+// two-operand kernels on one (prefix, sibling set) instance. Counts are
+// compared capped at limit+1: past the limit both sides only promise "more
+// than limit" (interval-clipping kernels overshoot by a chunk, element
+// kernels by one).
+func checkMany(t *testing.T, prefix *Mutable, lists []*List, n, limit int) {
+	t.Helper()
+	bufs := make([][]int, len(lists))
+	var cursors []int
+	AndFirstNMany(bufs, n, prefix, lists, &cursors)
+	for i, l := range lists {
+		want := AndFirstN(nil, n, prefix, l)
+		if !equalInts(bufs[i], want) {
+			t.Fatalf("AndFirstNMany branch %d (%v prefix × %v, B=%d, n=%d): got %v want %v",
+				i, prefix.Kind(), l.Kind(), len(lists), n, bufs[i], want)
+		}
+	}
+	counts := make([]int, len(lists))
+	AndCountManyUpTo(prefix, lists, limit, counts, &cursors)
+	for i, l := range lists {
+		got, want := counts[i], AndCountUpTo(prefix, l, limit)
+		if min(got, limit+1) != min(want, limit+1) {
+			t.Fatalf("AndCountManyUpTo branch %d (%v prefix × %v, limit=%d): got %d want %d",
+				i, prefix.Kind(), l.Kind(), limit, got, want)
+		}
+		if got <= limit && got != want {
+			t.Fatalf("AndCountManyUpTo branch %d: exact count %d disagrees with %d", i, got, want)
+		}
+	}
+}
+
+// TestManyKernelsMatchLoops is the property suite for the batched sibling
+// kernels: across random container mixes, universe sizes, branch counts and
+// bounds, one pass must reproduce the loop of two-operand calls exactly.
+func TestManyKernelsMatchLoops(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 250; trial++ {
+		n := 1 + rnd.Intn(3000)
+		prefixRanks := mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0)
+		var prefix Mutable
+		if rnd.Intn(2) == 0 {
+			prefix.Borrow(Build(n, prefixRanks, rnd.Intn(4) == 0))
+		} else {
+			// Exercise materialised (owned) prefixes too: the cursor's real
+			// shape after AndInto.
+			var src Mutable
+			src.Borrow(Build(n, prefixRanks, rnd.Intn(4) == 0))
+			AndInto(&prefix, &src, Build(n, mkRanks(rnd, n, 0.9, false), false))
+		}
+		b := 1 + rnd.Intn(12)
+		lists := make([]*List, b)
+		for i := range lists {
+			lists[i] = Build(n, mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0), rnd.Intn(4) == 0)
+		}
+		checkMany(t, &prefix, lists, 1+rnd.Intn(12), rnd.Intn(12))
+	}
+}
+
+// TestManyKernelsEdges pins the degenerate shapes: empty sibling sets,
+// empty prefixes, duplicate branches, and scratch reuse across calls.
+func TestManyKernelsEdges(t *testing.T) {
+	const n = 512
+	prefixList := Build(n, seq(10, 200), false)
+	var prefix Mutable
+	prefix.Borrow(prefixList)
+
+	AndFirstNMany(nil, 5, &prefix, nil, nil) // no branches: no-op
+	AndCountManyUpTo(&prefix, nil, 5, nil, nil)
+
+	var empty Mutable
+	empty.Borrow(Build(n, nil, false))
+	lists := []*List{Build(n, seq(0, 50), false), Build(n, seq(100, 110), false)}
+	bufs := make([][]int, len(lists))
+	AndFirstNMany(bufs, 5, &empty, lists, nil)
+	counts := make([]int, len(lists))
+	AndCountManyUpTo(&empty, lists, 5, counts, nil)
+	for i := range lists {
+		if len(bufs[i]) != 0 || counts[i] != 0 {
+			t.Fatalf("empty prefix: branch %d got %v / %d", i, bufs[i], counts[i])
+		}
+	}
+
+	// Duplicate branches must each get the full answer, and reused scratch
+	// must not leak state between calls.
+	dup := Build(n, seq(150, 400), false)
+	lists = []*List{dup, dup, dup}
+	var cursors []int
+	for round := 0; round < 3; round++ {
+		bufs = [][]int{bufs[0][:0], nil, nil}
+		AndFirstNMany(bufs, 4, &prefix, lists, &cursors)
+		want := AndFirstN(nil, 4, &prefix, dup)
+		for i := range lists {
+			if !equalInts(bufs[i], want) {
+				t.Fatalf("round %d duplicate branch %d: got %v want %v", round, i, bufs[i], want)
+			}
+		}
+	}
+}
+
+// FuzzManyKernels drives the many-vs-one equivalence from fuzzed bytes:
+// each byte pair seeds one branch's density/clustering, the prefix comes
+// from the leading bytes.
+func FuzzManyKernels(f *testing.F) {
+	f.Add(int64(1), uint8(3), []byte{0x10, 0x80, 0xff, 0x01})
+	f.Add(int64(99), uint8(9), []byte{0x00})
+	f.Fuzz(func(t *testing.T, seed int64, nBranches uint8, shape []byte) {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 + rnd.Intn(2048)
+		density := func(b byte) float64 { return float64(b%64)/64*0.9 + 0.002 }
+		pb := byte(0x40)
+		if len(shape) > 0 {
+			pb = shape[0]
+		}
+		prefixRanks := mkRanks(rnd, n, density(pb), pb&0x40 != 0)
+		var prefix Mutable
+		prefix.Borrow(Build(n, prefixRanks, pb&0x80 != 0))
+		b := 1 + int(nBranches)%14
+		lists := make([]*List, b)
+		for i := range lists {
+			sb := byte(i * 37)
+			if len(shape) > 1 {
+				sb = shape[1+(i%(len(shape)-1))]
+			}
+			lists[i] = Build(n, mkRanks(rnd, n, density(sb), sb&0x20 != 0), sb&0x10 != 0)
+		}
+		bufs := make([][]int, b)
+		counts := make([]int, b)
+		var cursors []int
+		k := 1 + int(pb)%9
+		AndFirstNMany(bufs, k, &prefix, lists, &cursors)
+		AndCountManyUpTo(&prefix, lists, k-1, counts, &cursors)
+		for i, l := range lists {
+			want := AndFirstN(nil, k, &prefix, l)
+			if !equalInts(bufs[i], want) {
+				t.Fatalf("branch %d ranks: got %v want %v", i, bufs[i], want)
+			}
+			wc := AndCountUpTo(&prefix, l, k-1)
+			if min(counts[i], k) != min(wc, k) {
+				t.Fatalf("branch %d count: got %d want %d (limit %d)", i, counts[i], wc, k-1)
+			}
+		}
+	})
+}

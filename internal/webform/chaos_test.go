@@ -11,6 +11,7 @@ import (
 
 	"hdunbiased/internal/core"
 	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/hdb"
 )
 
@@ -251,6 +252,101 @@ func TestChaosConformance(t *testing.T) {
 		t.Errorf("logical query count under chaos = %d, fault-free = %d — retries leaked into the accounting",
 			chaos.cost, clean.cost)
 	}
+}
+
+// TestChaosConformanceBatch extends the chaos guarantee to lockstep-cohort
+// execution: an estsvc session in batch mode over the flaky webform stack
+// (FaultTransport under the Retrier) must (a) produce estimates bit-identical
+// to BOTH the fault-free batched run and the fault-free unbatched run, and
+// (b) charge each deduplicated batched query exactly once despite retries —
+// the chaos run's logical spend equals the fault-free batched run's, while
+// the transport saw strictly more requests. The webform Client has no cursor
+// support, so this also exercises the flat ProbeBatch fallback end to end.
+func TestChaosConformanceBatch(t *testing.T) {
+	ts, _ := autoServer(t, 2000, 25, ServerOptions{})
+	spec := estsvc.Spec{Algo: "hd", R: 3, DUB: 16}
+	cfg := estsvc.Config{Workers: 4, Seed: 7, MaxPasses: 96}
+
+	run := func(cfg estsvc.Config, faulty bool) (estsvc.Snapshot, *FaultTransport) {
+		var backend hdb.Interface
+		var ft *FaultTransport
+		if faulty {
+			ft = NewFaultTransport(http.DefaultTransport, 99, FaultConfig{Rate: 0.35, MaxConsecutive: 2})
+			c, err := Dial(ts.URL, WithHTTPClient(&http.Client{Transport: ft, Timeout: 30 * time.Second}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend = hdb.NewRetrier(c, hdb.RetryConfig{
+				MaxAttempts: 4,
+				Sleep:       func(time.Duration) {}, // no wall-clock sleeps in CI
+			})
+		} else {
+			c, err := Dial(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backend = c
+		}
+		factory, _, err := spec.NewFactory(backend.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := estsvc.New(backend, factory, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatalf("session (batch=%v faulty=%v): %v", cfg.Batch, faulty, err)
+		}
+		return snap, ft
+	}
+
+	batched := cfg
+	batched.Batch = true
+	plain, _ := run(cfg, false)
+	clean, _ := run(batched, false)
+	chaos, ft := run(batched, true)
+
+	if ft.Injected() == 0 {
+		t.Fatal("fault schedule injected nothing — the chaos run tested nothing")
+	}
+	if ft.Requests() <= chaos.Cost {
+		t.Errorf("transport saw %d requests for %d logical queries — faults can't have been injected",
+			ft.Requests(), chaos.Cost)
+	}
+	for _, pair := range []struct {
+		name string
+		a, b estsvc.Snapshot
+	}{{"chaos-vs-clean-batched", chaos, clean}, {"clean-batched-vs-unbatched", clean, plain}} {
+		if pair.a.Passes != pair.b.Passes {
+			t.Errorf("%s: passes %d != %d", pair.name, pair.a.Passes, pair.b.Passes)
+		}
+		for i := range pair.b.Measures {
+			ab, bb := math.Float64bits(pair.a.Measures[i].Mean), math.Float64bits(pair.b.Measures[i].Mean)
+			if ab != bb {
+				t.Errorf("%s: measure %d mean bits %#x != %#x", pair.name, i, ab, bb)
+			}
+		}
+	}
+	// Exactly-once accounting under faults: retries happen BELOW the session's
+	// counter, so the chaos batched run spends exactly what the fault-free
+	// batched run spends, and batching never spends more than unbatched.
+	if chaos.Cost != clean.Cost {
+		t.Errorf("batched spend under chaos = %d, fault-free = %d — retries leaked into the accounting",
+			chaos.Cost, clean.Cost)
+	}
+	// Spending less is the point (wave dedup removes the duplicate in-flight
+	// issuance free-running workers race into); spending more than 1% extra
+	// would mean batching broke the memo discipline.
+	if diff := clean.Cost - plain.Cost; diff > plain.Cost/100 {
+		t.Errorf("batched cost %d vs unbatched %d — batching must not add spend", clean.Cost, plain.Cost)
+	}
+	if bt, pt := clean.Cost+clean.CacheHits, plain.Cost+plain.CacheHits; bt != pt {
+		t.Errorf("total probes diverge: batched %d vs unbatched %d", bt, pt)
+	}
+	t.Logf("chaos batch: %d faults over %d transport requests; batched spend %d (+%d memo hits) vs unbatched %d (+%d)",
+		ft.Injected(), ft.Requests(), clean.Cost, clean.CacheHits, plain.Cost, plain.CacheHits)
 }
 
 // TestFaultTransportDeterminism: same seed, same request sequence -> same
