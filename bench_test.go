@@ -118,6 +118,32 @@ func BenchmarkEstimatePassHD(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimatePassHDInstrumented is BenchmarkEstimatePassHD with the
+// obs metrics middleware (hdb.Metrics) wrapped directly around the backend —
+// the tracked cost of leaving instrumentation always-on. The acceptance bar
+// in PERFORMANCE.md: within 2% ns/op of the bare bench and +0 allocs/op.
+func BenchmarkEstimatePassHDInstrumented(b *testing.B) {
+	d, err := datagen.Auto(50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewHDUnbiasedSize(hdb.NewMetrics(tbl, nil), 5, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEstimatePassDeep measures one full HD pass (weight adjustment +
 // divide-&-conquer) over a deep 40-level Boolean schema — the regime where
 // prefix-cursor evaluation compounds hardest: pre-cursor, every probe at

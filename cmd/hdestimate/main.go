@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
 	"hdunbiased/internal/stats"
 	"hdunbiased/internal/webform"
 )
@@ -58,6 +60,8 @@ func main() {
 		targetRSE = flag.Float64("target-rse", 0, "stop once every measure's relative standard error is at or below this (0 = budget only)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the estimation run to this file (inspect with go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the estimation run to this file")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live (empty = off)")
 	)
 	flag.Parse()
 
@@ -70,9 +74,23 @@ func main() {
 	if *rows > 0 {
 		*m = *rows
 	}
-	backend, truthf, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
+	rawBackend, truthf, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Metrics sits directly on the backend: query/probe/batch latency and
+	// outcome series for whatever actually hits it, scrapeable live via
+	// -metrics-addr. Free when nobody scrapes; a clock read per query when
+	// they do not.
+	var backend hdb.Interface = hdb.NewMetrics(rawBackend, nil)
+	if *metricsAddr != "" {
+		mmux := obs.NewMux(obs.Default, nil)
+		go func() {
+			log.Printf("observability on http://%s/metrics (also /debug/vars, /debug/pprof)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mmux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
 	}
 
 	// Profiling hooks for hot-path investigation — no throwaway harness

@@ -17,6 +17,10 @@
 //	# Durable: jobs checkpoint to -store and resume when the service restarts
 //	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs
 //
+//	# Observability: Prometheus /metrics, /debug/vars, per-job flight
+//	# recorders and pprof on a side listener
+//	hdservice -dataset auto -m 100000 -metrics-addr 127.0.0.1:9090
+//
 // Then:
 //
 //	curl -s -X POST localhost:8090/v1/estimate \
@@ -32,6 +36,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +49,7 @@ import (
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
 	"hdunbiased/internal/webform"
 )
 
@@ -63,6 +69,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
 		retryMax   = flag.Int("retry-attempts", 4, "attempts per query against a -url backend (1 = no retries)")
 		retryDelay = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff against a -url backend")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/flight and /debug/pprof on this address (empty = off)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget: close HTTP connections and settle running jobs before exit")
 	)
 	flag.Parse()
 
@@ -79,12 +88,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Instrumented backend stack, innermost first: Metrics times every query
+	// that actually reaches the backend (per transport attempt), the Retrier
+	// absorbs transient failures above it, and a counts-only Tracer on top
+	// tallies logical outcomes — so a retried query is timed per attempt but
+	// classified once.
+	backend = hdb.NewMetrics(backend, nil)
 	if *urlFlag != "" && *retryMax > 1 {
 		// Fault tolerance for the live-webform regime: transient HTTP
 		// failures retry below the session's query accounting, so a retried
 		// query is still charged once.
-		backend = hdb.NewRetrier(backend, hdb.RetryConfig{MaxAttempts: *retryMax, BaseDelay: *retryDelay, Context: ctx})
+		rt := hdb.NewRetrier(backend, hdb.RetryConfig{MaxAttempts: *retryMax, BaseDelay: *retryDelay, Context: ctx})
+		rt.Publish(nil)
+		backend = rt
 	}
+	tracer := hdb.NewTracer(backend, nil) // counts-only: no writer, just outcome tallies
+	tracer.Publish(nil)
+	backend = tracer
 
 	var opts []estsvc.ManagerOption
 	if *batch {
@@ -107,13 +127,44 @@ func main() {
 			log.Printf("resumed %s (passes=%d cost=%d)", j.ID, j.Snapshot().Passes, j.Snapshot().Cost)
 		}
 	}
+	mgr.PublishMetrics(nil)
+	if *metricsAddr != "" {
+		mmux := obs.NewMux(obs.Default, mgr.Flights())
+		go func() {
+			log.Printf("observability on http://%s/metrics (also /debug/vars, /debug/flight, /debug/pprof)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mmux); err != nil {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+	}
+
 	schema := backend.Schema()
 	log.Printf("estimation service on http://%s  backend=%s (%d attrs, k=%d)",
 		*addr, backendName(*urlFlag, *dataset), len(schema.Attrs), backend.K())
 	log.Printf("POST /v1/estimate, GET /v1/jobs, GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel, POST /v1/jobs/{id}:resume")
-	if err := http.ListenAndServe(*addr, mgr.Handler()); err != nil {
+
+	// Serve until the first signal, then shut down gracefully: stop accepting
+	// work, close idle/in-flight HTTP connections, and drain running jobs so
+	// their launch goroutines finish the final checkpoint-envelope writes —
+	// a drained durable service resumes cleanly on the next boot.
+	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	log.Printf("signal received; draining (budget %s)", *drainTimeout)
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer sdCancel()
+	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Drain(sdCtx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	log.Printf("shutdown complete")
 }
 
 func backendName(url, dataset string) string {

@@ -117,6 +117,7 @@ type hub struct {
 // Runs on the lane goroutine; the sends/receives order all cross-goroutine
 // state (token discipline: no two lanes ever run concurrently).
 func (h *hub) yield(l *lane) {
+	obsLaneParks.Inc()
 	l.events <- evBlocked
 	<-l.resume
 }
@@ -450,6 +451,18 @@ func (h *hub) evalWave(ctx context.Context, parked []*lane) {
 		}
 	}
 	h.groups, h.flats = groups, flats
+
+	// Wave-shape observability: subscriptions in vs distinct units out is the
+	// cohort's dedup win, live on /metrics. This path runs once per wave —
+	// backend-miss frequency — so direct atomic writes are fine here.
+	obsWaves.Inc()
+	obsWaveLanes.Observe(float64(len(parked)))
+	obsWaveProbes.Add(int64(len(parked)))
+	issued := len(flats)
+	for gi := range groups {
+		issued += len(groups[gi].vals)
+	}
+	obsWaveIssued.Add(int64(issued))
 
 	units := len(groups) + len(flats)
 	var wg sync.WaitGroup

@@ -105,6 +105,11 @@ type Estimator struct {
 	cumBuf    []float64 // cumulative branch distribution, filled fused with probsBuf for drawIndex's binary search
 	valsBuf   []float64 // per-walk measure sums
 	countMask []bool    // countMask[mi]: measures[mi] is CountMeasure, summed as len(Tuples)
+
+	// Pass-local observability tallies, flushed to the obs registry once per
+	// Estimate (see obsmetrics.go) so the walk loop never writes an atomic.
+	statWalks     int64
+	statWalksDone int64
 }
 
 // layerScratch holds the reusable buffers for walks over one plan layer.
@@ -342,6 +347,7 @@ func (e *Estimator) ascendTo(depth int) {
 // repeat queries free, so on a database small enough for the cache to cover
 // the reachable tree, Cost() stops growing and a cost-only loop never exits.
 func (e *Estimator) Estimate() (Estimate, error) {
+	defer e.flushStats()
 	e.budgetLeft = e.cfg.MaxQueries
 	startCost := e.session.Cost()
 	// Rewind the cursor to the base prefix: a previous pass that ended in an

@@ -1,0 +1,52 @@
+package core
+
+import "hdunbiased/internal/obs"
+
+// Pre-resolved obs handles for the walk engine and the cohort. Two tiers of
+// instrumentation discipline:
+//
+//   - The walk hot path (walk/explore) never touches an atomic: per-walk
+//     counts accumulate in plain int64 fields on the Estimator and flush to
+//     these handles once per Estimate pass (flushStats). A tracked warm pass
+//     costs one deferred call and at most three atomic adds — noise against
+//     the pass's own work, which the PR's overhead bench pins at <=2%.
+//   - The cohort's wave paths (yield, evalWave) run only on backend misses —
+//     orders of magnitude rarer and slower than memo hits — so they write the
+//     atomics directly.
+//
+// Registered against obs.Default because Estimators are built by factories
+// and specs far from any wiring point; the registry's get-or-create contract
+// makes the package-level resolution safe under `go test -count`.
+var (
+	obsPasses = obs.Default.Counter("core_passes_total",
+		"estimation passes (Estimate calls, complete or failed)")
+	obsWalks = obs.Default.Counter("core_walks_total",
+		"random drill-down walks started")
+	obsWalksDone = obs.Default.Counter("core_walks_completed_total",
+		"walks that reached a terminal node (started minus completed = aborted by error or budget)")
+
+	obsLaneParks = obs.Default.Counter("core_lane_parks_total",
+		"cohort lane parks — probes that missed the shared memo and waited for a wave")
+	obsWaves = obs.Default.Counter("core_waves_total",
+		"cohort evaluation waves")
+	obsWaveProbes = obs.Default.Counter("core_wave_probes_total",
+		"probe subscriptions entering waves, before deduplication")
+	obsWaveIssued = obs.Default.Counter("core_wave_issued_total",
+		"distinct backend units leaving waves after deduplication; 1 - issued/probes is the wave dedup ratio")
+	obsWaveLanes = obs.Default.Histogram("core_wave_lanes",
+		"parked lanes per evaluation wave", obs.ExpBuckets(1, 2, 10))
+)
+
+// flushStats drains the pass-local counters into the shared registry. Runs
+// once per Estimate (deferred), on success and error alike.
+func (e *Estimator) flushStats() {
+	obsPasses.Inc()
+	if e.statWalks != 0 {
+		obsWalks.Add(e.statWalks)
+		e.statWalks = 0
+	}
+	if e.statWalksDone != 0 {
+		obsWalksDone.Add(e.statWalksDone)
+		e.statWalksDone = 0
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/querytree"
+)
+
+// TestObsCountersMove pins the core instrumentation end to end: an estimation
+// pass flushes walk tallies into the shared registry, and a cohort round
+// moves the wave counters with issued <= probes (dedup never inflates).
+func TestObsCountersMove(t *testing.T) {
+	d, err := datagen.Auto(3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	passes0, walks0, done0 := obsPasses.Value(), obsWalks.Value(), obsWalksDone.Value()
+	e, err := NewHDUnbiasedSize(tbl, 3, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Estimate(); err != nil {
+		t.Fatal(err)
+	}
+	if obsPasses.Value() != passes0+1 {
+		t.Errorf("core_passes_total moved by %d, want 1", obsPasses.Value()-passes0)
+	}
+	if obsWalks.Value() <= walks0 {
+		t.Error("core_walks_total did not move after a pass")
+	}
+	// A clean pass completes every walk it starts.
+	if started, completed := obsWalks.Value()-walks0, obsWalksDone.Value()-done0; started != completed {
+		t.Errorf("started %d walks but completed %d on an error-free pass", started, completed)
+	}
+
+	// Cohort wave counters.
+	parks0, waves0 := obsLaneParks.Value(), obsWaves.Value()
+	probes0, issued0 := obsWaveProbes.Value(), obsWaveIssued.Value()
+	plan, err := querytree.New(tbl.Schema(), hdb.Query{}, querytree.Options{DUB: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohort, err := NewCohort(tbl, 3, func(client hdb.Client, lane int) (*Estimator, error) {
+		return NewWithSession(client, plan, []Measure{CountMeasure()},
+			Config{R: 2, Seed: cohortSeed(1, lane)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cohort.Close()
+	run := []bool{true, true, true}
+	results := make([]LaneResult, 3)
+	cohort.Round(context.Background(), run, results)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if obsLaneParks.Value() <= parks0 || obsWaves.Value() <= waves0 {
+		t.Error("cohort wave counters did not move after a cold round")
+	}
+	probes, issued := obsWaveProbes.Value()-probes0, obsWaveIssued.Value()-issued0
+	if issued > probes {
+		t.Errorf("wave issued %d backend units for %d subscriptions — dedup inflated work", issued, probes)
+	}
+	if probes == 0 {
+		t.Error("no wave probe subscriptions recorded on a cold round")
+	}
+}

@@ -65,6 +65,7 @@ type walkOutcome struct {
 // it is ~100 bytes and returning it by value put a duffcopy on the hottest
 // return path in the program.
 func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel int, out *walkOutcome) error {
+	e.statWalks++
 	sc := &e.scratch[e.scratchOf[startLevel]]
 	sc.builder.Reset(root)
 	*out = walkOutcome{prob: 1, steps: sc.steps[:0]}
@@ -148,6 +149,7 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 			// branch was never committed); explore rewinds to the root.
 			out.query, out.res = q, committed
 			sc.steps = out.steps
+			e.statWalksDone++
 			return nil
 		}
 		// Overflow: drill deeper, or stop at the layer boundary.
@@ -167,6 +169,7 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 			}
 			out.query, out.res, out.bottomOverflow = q, committed, true
 			sc.steps = out.steps
+			e.statWalksDone++
 			return nil
 		}
 		if err := e.descend(attr, uint16(j)); err != nil {

@@ -49,6 +49,7 @@ import (
 
 	"hdunbiased/internal/core"
 	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
 	"hdunbiased/internal/stats"
 )
 
@@ -118,6 +119,12 @@ type Config struct {
 	// failure. The sink must not retain the pointer's worker envelopes
 	// beyond the call if it mutates them (Manager serializes to bytes).
 	CheckpointSink func(*SessionCheckpoint) error
+
+	// Flight, when set, receives the session's lifecycle events — rounds,
+	// checkpoints (with capture+persist latency), the stop reason — on a
+	// bounded ring the service can dump live (/debug/flight). Runtime-only:
+	// never serialized into checkpoints. Manager wires one per job.
+	Flight *obs.Recorder
 }
 
 // passesHardCap bounds any session: on a database small enough for the
@@ -629,6 +636,7 @@ func (s *Session) runRoundsBatch(ctx context.Context) error {
 		}
 		s.cohort.Round(ctx, run, results)
 		s.mirrorBatchHits()
+		s.noteRound(round)
 		failed := false
 		for wi, w := range s.workers {
 			outs[wi] = s.fold(w, results[wi].Est, results[wi].Err)
@@ -645,11 +653,7 @@ func (s *Session) runRoundsBatch(ctx context.Context) error {
 		// Round barrier: every lane is idle, so estimator state is at a
 		// pass boundary — the only place a checkpoint is sound.
 		if s.cfg.CheckpointEvery > 0 && round%s.cfg.CheckpointEvery == 0 {
-			cp, err := s.Checkpoint()
-			if err == nil {
-				err = s.cfg.CheckpointSink(cp)
-			}
-			if err != nil {
+			if err := s.checkpointNow(round); err != nil {
 				return s.finish([]passOutcome{{stop: StopError, err: fmt.Errorf("estsvc: checkpoint: %w", err)}}, "")
 			}
 		}
@@ -696,6 +700,7 @@ func (s *Session) runRounds(ctx context.Context, cancel context.CancelFunc) erro
 			}(wi, w)
 		}
 		wg.Wait()
+		s.noteRound(round)
 		for wi := range outs {
 			if outs[wi].err != nil || outs[wi].stop != "" {
 				return s.finish(outs, "")
@@ -707,11 +712,7 @@ func (s *Session) runRounds(ctx context.Context, cancel context.CancelFunc) erro
 		// Round barrier: every worker is idle, so estimator state is at a
 		// pass boundary — the only place a checkpoint is sound.
 		if s.cfg.CheckpointEvery > 0 && round%s.cfg.CheckpointEvery == 0 {
-			cp, err := s.Checkpoint()
-			if err == nil {
-				err = s.cfg.CheckpointSink(cp)
-			}
-			if err != nil {
+			if err := s.checkpointNow(round); err != nil {
 				return s.finish([]passOutcome{{stop: StopError, err: fmt.Errorf("estsvc: checkpoint: %w", err)}}, "")
 			}
 		}
@@ -805,7 +806,13 @@ func (s *Session) finish(outs []passOutcome, fallback StopReason) error {
 		reason = StopExact
 	}
 	s.reason = reason
+	passes := s.passes
 	s.mu.Unlock()
+	if s.cfg.Flight != nil {
+		// One terminal event; StopReason values are constants, so the name
+		// concatenation is the only (once-per-session) allocation.
+		s.cfg.Flight.Record("stop:"+string(reason), passes)
+	}
 	return err
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
 )
 
 // JobState is a job's lifecycle phase.
@@ -39,6 +40,7 @@ type Job struct {
 
 	sess   *Session
 	cancel context.CancelFunc
+	done   chan struct{} // closed when the launch goroutine has fully settled (incl. final store writes)
 
 	mu    sync.Mutex
 	state JobState
@@ -72,7 +74,8 @@ type Manager struct {
 	backend         hdb.Interface
 	store           JobStore
 	checkpointEvery int
-	batch           bool // default every job to lockstep-cohort execution
+	batch           bool           // default every job to lockstep-cohort execution
+	flights         *obs.FlightSet // per-job lifecycle event rings (see metrics.go)
 
 	// resumeMu serializes Resume end to end, so two concurrent resume
 	// requests for one job cannot both pass the is-it-running check.
@@ -113,7 +116,8 @@ func WithBatch() ManagerOption {
 // backend's Query must be safe for concurrent use (hdb.Table and
 // webform.Client both are).
 func NewManager(backend hdb.Interface, opts ...ManagerOption) *Manager {
-	m := &Manager{backend: backend, jobs: make(map[string]*Job), checkpointEvery: 4}
+	m := &Manager{backend: backend, jobs: make(map[string]*Job), checkpointEvery: 4,
+		flights: obs.NewFlightSet()}
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -207,14 +211,21 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 		}
 		cfg.CheckpointSink = m.sink(id, spec)
 	}
+	flight := m.flights.Recorder(id, flightCapacity)
+	cfg.Flight = flight
 	sess, err := New(m.backend, factory, cfg)
 	if err != nil {
 		return nil, err
 	}
+	flight.Record("job.start", 0)
 	job := &Job{ID: id, Spec: spec, Config: cfg, Labels: labels, Created: time.Now(), sess: sess}
 	m.launch(job)
 	return job, nil
 }
+
+// flightCapacity is each job's flight-recorder window: enough to hold the
+// tail of a long session (rounds + checkpoints) without unbounded growth.
+const flightCapacity = 256
 
 // launch registers the job (replacing a previous incarnation under the same
 // ID, keeping the listing order stable), runs its session in the background
@@ -225,6 +236,7 @@ func (m *Manager) launch(job *Job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job.cancel = cancel
 	job.state = JobRunning
+	job.done = make(chan struct{})
 
 	m.mu.Lock()
 	if _, exists := m.jobs[job.ID]; !exists {
@@ -234,6 +246,7 @@ func (m *Manager) launch(job *Job) {
 	m.mu.Unlock()
 
 	go func() {
+		defer close(job.done) // after the final store writes: Drain waits on this
 		defer cancel()
 		_, err := job.sess.Run(ctx)
 		job.mu.Lock()
@@ -258,6 +271,9 @@ func (m *Manager) launch(job *Job) {
 				// restart does not resurrect it.
 				m.markStored(job.ID, state)
 			}
+		}
+		if f := job.sess.cfg.Flight; f != nil {
+			f.Record("job."+string(state), 0)
 		}
 	}()
 }
@@ -301,10 +317,16 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A resumed job keeps appending to its original flight ring (FlightSet is
+	// get-or-create), so the dump shows the kill/resume seam in one timeline.
+	flight := m.flights.Recorder(id, flightCapacity)
+	sess.cfg.Flight = flight
+	obsResumes.Inc()
 	job := &Job{
 		ID: id, Spec: env.Spec, Config: sess.cfg, Labels: labels,
 		Created: time.Now(), Resumed: true, sess: sess,
 	}
+	flight.Record("job.resume", env.Session.Passes)
 	m.launch(job)
 	return job, nil
 }

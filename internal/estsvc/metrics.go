@@ -1,0 +1,121 @@
+package estsvc
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"hdunbiased/internal/obs"
+)
+
+// Service-level observability. Static counters (rounds, checkpoints,
+// resumes) are package-level handles resolved once against obs.Default;
+// per-job series — whose label sets come and go with jobs — are emitted by a
+// scrape-time collector (PublishMetrics) so they can never leak registry
+// entries, and per-job lifecycle history lives in flight recorders
+// (Manager.Flights, served at /debug/flight).
+var (
+	obsRounds = obs.Default.Counter("estsvc_rounds_total",
+		"barrier-synchronised session rounds executed (one pass per worker each)")
+	obsCheckpoints = obs.Default.Counter("estsvc_checkpoints_total",
+		"session checkpoints captured and persisted")
+	obsCheckpointSec = obs.Default.Histogram("estsvc_checkpoint_seconds",
+		"checkpoint capture + sink latency", obs.LatencyBuckets())
+	obsResumes = obs.Default.Counter("estsvc_resumes_total",
+		"jobs rebuilt from a stored checkpoint")
+)
+
+// checkpointNow captures one checkpoint and hands it to the sink, timing the
+// whole durability step and recording it on the job's flight recorder.
+func (s *Session) checkpointNow(round int) error {
+	t0 := time.Now()
+	cp, err := s.Checkpoint()
+	if err == nil {
+		err = s.cfg.CheckpointSink(cp)
+	}
+	d := time.Since(t0)
+	obsCheckpoints.Inc()
+	obsCheckpointSec.Observe(d.Seconds())
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.RecordDur("checkpoint", int64(round), d)
+	}
+	return err
+}
+
+// noteRound records one completed round on the static counter and the job's
+// flight recorder. Runs at the round barrier — worker-idle, cold path.
+func (s *Session) noteRound(round int) {
+	obsRounds.Inc()
+	if s.cfg.Flight != nil {
+		s.cfg.Flight.Record("round", int64(round))
+	}
+}
+
+// PublishMetrics registers a scrape-time collector exposing the Manager's
+// jobs in reg (obs.Default when nil): lifecycle gauges by state, and per-job
+// progress series — passes, backend cost, memo hits and per-measure RSE
+// trajectory. Collector-based on purpose: jobs come and go, and a registered
+// series per job would leak; a collector emits exactly the jobs alive at
+// scrape time.
+func (m *Manager) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Collect(func(e *obs.Emitter) {
+		counts := make(map[JobState]int, 4)
+		for _, j := range m.Jobs() {
+			state, _ := j.State()
+			counts[state]++
+			snap := j.Snapshot()
+			e.Emit("estsvc_job_passes", "estimation passes completed, by job",
+				float64(snap.Passes), "job", j.ID)
+			e.Emit("estsvc_job_cost", "backend queries spent, by job",
+				float64(snap.Cost), "job", j.ID)
+			e.Emit("estsvc_job_cache_hits", "memo hits, by job",
+				float64(snap.CacheHits), "job", j.ID)
+			for mi, ms := range snap.Measures {
+				label := "m" + strconv.Itoa(mi)
+				if mi < len(j.Labels) && j.Labels[mi] != "" {
+					label = j.Labels[mi]
+				}
+				e.Emit("estsvc_job_rse", "relative standard error trajectory, by job and measure",
+					ms.RSE, "job", j.ID, "measure", label)
+			}
+		}
+		for _, st := range []JobState{JobRunning, JobDone, JobFailed, JobCancelled} {
+			e.Emit("estsvc_jobs", "tracked jobs by lifecycle state",
+				float64(counts[st]), "state", string(st))
+		}
+	})
+}
+
+// Flights returns the per-job flight recorders — one bounded event ring per
+// job ID, recording starts, resumes, rounds, checkpoints and terminal
+// states. Serve with obs.NewMux or FlightSet.Handler.
+func (m *Manager) Flights() *obs.FlightSet { return m.flights }
+
+// Drain gracefully stops the Manager's running jobs: each is cancelled
+// (cancellation checkpoints nothing new but the launch goroutine persists
+// the terminal envelope, keeping the job resumable), then Drain waits until
+// every launch goroutine has finished its final store writes or ctx expires.
+// Call after the HTTP listener has stopped accepting work.
+func (m *Manager) Drain(ctx context.Context) error {
+	jobs := m.Jobs()
+	for _, j := range jobs {
+		if state, _ := j.State(); state == JobRunning {
+			j.Cancel()
+		}
+	}
+	for _, j := range jobs {
+		if j.done == nil {
+			continue // job predates launch (never started); nothing to wait on
+		}
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return fmt.Errorf("estsvc: drain interrupted with %s still settling: %w", j.ID, ctx.Err())
+		}
+	}
+	return nil
+}

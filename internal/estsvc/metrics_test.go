@@ -1,0 +1,189 @@
+package estsvc
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/obs"
+)
+
+// scrape renders reg's Prometheus exposition as a string.
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// waitSettled blocks until the job's launch goroutine has fully finished,
+// including its final store writes.
+func waitSettled(t *testing.T, job *Job) {
+	t.Helper()
+	select {
+	case <-job.done:
+	case <-time.After(10 * time.Second):
+		state, _ := job.State()
+		t.Fatalf("job %s never settled (state %s)", job.ID, state)
+	}
+}
+
+// TestServiceMetricsMove is the satellite e2e: run a real job through a
+// durable Manager and assert the service-level series actually move — static
+// round/checkpoint counters tick, and the PublishMetrics collector emits the
+// per-job lifecycle and progress series on scrape.
+func TestServiceMetricsMove(t *testing.T) {
+	rounds0, cps0 := obsRounds.Value(), obsCheckpoints.Value()
+
+	reg := obs.NewRegistry()
+	mgr := NewManager(autoTable(t, 3000, 20), WithStore(NewMemStore()), WithCheckpointEvery(1))
+	mgr.PublishMetrics(reg)
+
+	job, err := mgr.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 7, MaxPasses: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, job)
+	if state, msg := job.State(); state != JobDone {
+		t.Fatalf("job state %s (%s), want done", state, msg)
+	}
+
+	if obsRounds.Value() <= rounds0 {
+		t.Error("estsvc_rounds_total did not move across a full job")
+	}
+	if obsCheckpoints.Value() <= cps0 {
+		t.Error("estsvc_checkpoints_total did not move with CheckpointEvery=1")
+	}
+
+	text := scrape(t, reg)
+	for _, want := range []string{
+		`estsvc_jobs{state="done"} 1`,
+		`estsvc_jobs{state="running"} 0`,
+		`estsvc_job_passes{job="` + job.ID + `"} 40`,
+		`estsvc_job_cost{job="` + job.ID + `"}`,
+		`estsvc_job_rse{job="` + job.ID + `",measure=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestManagerDrain: graceful shutdown cancels running jobs and waits for
+// their launch goroutines to finish the final store writes — so the stored
+// checkpoint survives and the job can be resumed by the next process.
+func TestManagerDrain(t *testing.T) {
+	store := NewMemStore()
+	mgr := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	job, err := mgr.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 3, TargetRSE: 1e-9, MinPasses: 8, MaxPasses: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it checkpoint at least once so there is something to keep.
+	deadline := time.After(10 * time.Second)
+	for {
+		if ids, err := store.List(); err == nil && len(ids) == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never checkpointed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if state, _ := job.State(); state != JobCancelled {
+		t.Fatalf("drained job state %s, want cancelled", state)
+	}
+	// Drain returned after markStored: the envelope records the deliberate
+	// stop and the checkpoint is still there for an explicit Resume.
+	if ids, err := store.List(); err != nil || len(ids) != 1 {
+		t.Fatalf("store after drain: ids=%v err=%v, want the checkpoint kept", ids, err)
+	}
+	// Draining an already-settled manager is a no-op.
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestFlightTimeline: a job's flight recorder holds its lifecycle in order —
+// start, rounds, timed checkpoints, terminal state — and a resume appends to
+// the SAME ring, so the kill/resume seam is visible in one timeline.
+func TestFlightTimeline(t *testing.T) {
+	store := NewMemStore()
+	mgr := NewManager(autoTable(t, 3000, 20), WithStore(store), WithCheckpointEvery(1))
+	job, err := mgr.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 5, TargetRSE: 1e-9, MinPasses: 8, MaxPasses: 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if ids, err := store.List(); err == nil && len(ids) == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never checkpointed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	job.Cancel()
+	waitSettled(t, job)
+
+	flight, ok := mgr.Flights().Get(job.ID)
+	if !ok {
+		t.Fatalf("no flight recorder for %s", job.ID)
+	}
+	seen := make(map[string]int)
+	for _, ev := range flight.Events() {
+		seen[ev.Name]++
+		if ev.Name == "checkpoint" && ev.Dur <= 0 {
+			t.Error("checkpoint event recorded without a duration")
+		}
+	}
+	for _, want := range []string{"job.start", "round", "checkpoint", "job.cancelled"} {
+		if seen[want] == 0 {
+			t.Errorf("flight ring missing %q events (have %v)", want, seen)
+		}
+	}
+
+	// Resume keeps appending to the original ring and ticks the counter.
+	resumes0 := obsResumes.Value()
+	job2, err := mgr.Resume(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsResumes.Value() != resumes0+1 {
+		t.Errorf("estsvc_resumes_total moved by %d, want 1", obsResumes.Value()-resumes0)
+	}
+	flight2, _ := mgr.Flights().Get(job.ID)
+	if flight2 != flight {
+		t.Error("resumed job got a fresh flight ring; want the original timeline")
+	}
+	job2.Cancel()
+	waitSettled(t, job2)
+	found := false
+	for _, ev := range flight.Events() {
+		if ev.Name == "job.resume" {
+			found = true
+			if ev.N <= 0 {
+				t.Error("job.resume event should carry the checkpointed pass count")
+			}
+		}
+	}
+	if !found {
+		t.Error("flight ring has no job.resume event after Resume")
+	}
+}

@@ -132,6 +132,7 @@ func (lc *limiterCursor) ProbeBatch(attr int, values []uint16, out []Result) err
 		return nil
 	}
 	if lc.l.left.Add(-int64(len(values))) < 0 {
+		lc.l.rejected.Add(int64(len(values)))
 		return ErrQueryLimit
 	}
 	return ProbeBatch(lc.inner, attr, values, out)
@@ -158,16 +159,26 @@ func (rc *retrierCursor) ProbeBatch(attr int, values []uint16, out []Result) err
 // ProbeBatch implements BatchCursor: each value's outcome is logged as the
 // full conjunctive query it is equivalent to, in slice order. A failed
 // batch logs one ERROR line (against its first value) — the probe loop
-// would have stopped at the first failure too.
+// would have stopped at the first failure too. In counts-only mode the
+// tallies move identically without materialising any query.
 func (tc *tracerCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	quiet := tc.t.w == nil
 	if err := ProbeBatch(tc.inner, attr, values, out); err != nil {
 		if len(values) > 0 {
-			tc.t.record(tc.probeQuery(attr, values[0]), 0, false, err)
+			if quiet {
+				tc.t.count(0, false, err)
+			} else {
+				tc.t.record(tc.probeQuery(attr, values[0]), 0, false, err)
+			}
 		}
 		return err
 	}
 	for i, v := range values {
-		tc.t.record(tc.probeQuery(attr, v), len(out[i].Tuples), out[i].Overflow, nil)
+		if quiet {
+			tc.t.count(len(out[i].Tuples), out[i].Overflow, nil)
+		} else {
+			tc.t.record(tc.probeQuery(attr, v), len(out[i].Tuples), out[i].Overflow, nil)
+		}
 	}
 	return nil
 }

@@ -306,6 +306,7 @@ type limiterCursor struct {
 
 func (lc *limiterCursor) Probe(attr int, value uint16) (Result, error) {
 	if lc.l.left.Add(-1) < 0 {
+		lc.l.rejected.Add(1)
 		return Result{}, ErrQueryLimit
 	}
 	return lc.inner.Probe(attr, value)
@@ -313,6 +314,7 @@ func (lc *limiterCursor) Probe(attr int, value uint16) (Result, error) {
 
 func (lc *limiterCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
 	if lc.l.left.Add(-1) < 0 {
+		lc.l.rejected.Add(1)
 		return 0, false, ErrQueryLimit
 	}
 	return lc.inner.ProbeCount(attr, value)

@@ -71,8 +71,9 @@ func (c *Counter) Reset() { c.n.Store(0) }
 // concurrent workers share one Limiter and never collectively exceed the
 // limit.
 type Limiter struct {
-	inner Interface
-	left  atomic.Int64
+	inner    Interface
+	left     atomic.Int64
+	rejected atomic.Int64
 }
 
 // NewLimiter wraps inner with a budget of limit queries.
@@ -91,6 +92,7 @@ func (l *Limiter) K() int { return l.inner.K() }
 // Query implements Interface.
 func (l *Limiter) Query(q Query) (Result, error) {
 	if l.left.Add(-1) < 0 {
+		l.rejected.Add(1)
 		return Result{}, ErrQueryLimit
 	}
 	return l.inner.Query(q)
@@ -103,6 +105,10 @@ func (l *Limiter) Remaining() int64 {
 	}
 	return 0
 }
+
+// Rejections returns the number of queries refused with ErrQueryLimit —
+// each rejected batch counts one per value it asked for.
+func (l *Limiter) Rejections() int64 { return l.rejected.Load() }
 
 // Cache wraps an Interface with a client-side memo of query results. The
 // drill-down algorithms naturally re-issue some queries (e.g. a node visited

@@ -1,0 +1,186 @@
+package hdb
+
+import (
+	"time"
+
+	"hdunbiased/internal/obs"
+)
+
+// Metrics wraps an Interface and feeds the obs registry: one outcome counter
+// and one latency histogram per query, probe and batch. It shares the
+// Tracer's outcome taxonomy (valid/overflow/underflow/error) so the two
+// layers always agree on what a query's outcome was, but unlike the Tracer it
+// renders nothing — the write path is a clock read plus two or three atomic
+// ops, cheap enough to leave always-on.
+//
+// Placement: innermost, directly around the backend (Table or webform
+// client), BELOW the memo and the accounting middleware. That way the warm
+// path — memo hits — never pays for a clock read, and the latency series
+// measures what the backend actually did, per transport attempt when a
+// Retrier sits above. Queries the Limiter rejects never reach it either;
+// those are visible as hdb_limiter_rejections instead.
+type Metrics struct {
+	inner     Interface
+	outcomes  [numOutcomes]*obs.Counter
+	querySec  *obs.Histogram
+	probeSec  *obs.Histogram
+	batchSec  *obs.Histogram
+	batchSize *obs.Histogram
+}
+
+// Query outcome taxonomy, shared by Metrics and Tracer. Order matches
+// outcomeNames.
+const (
+	outcomeValid = iota
+	outcomeOverflow
+	outcomeUnderflow
+	outcomeError
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"valid", "overflow", "underflow", "error"}
+
+// classifyOutcome maps one query result to the taxonomy: errors first,
+// overflow next (an overflowed page still returned k tuples), empty pages are
+// underflow, everything else is a valid top-k page.
+func classifyOutcome(n int, overflow bool, err error) int {
+	switch {
+	case err != nil:
+		return outcomeError
+	case overflow:
+		return outcomeOverflow
+	case n == 0:
+		return outcomeUnderflow
+	default:
+		return outcomeValid
+	}
+}
+
+// NewMetrics wraps inner, registering its series in reg (obs.Default when
+// nil). Handles resolve once here; the per-query path never touches the
+// registry.
+func NewMetrics(inner Interface, reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	m := &Metrics{inner: inner}
+	for i, name := range outcomeNames {
+		m.outcomes[i] = reg.Counter("hdb_queries_total",
+			"backend queries by outcome (Tracer taxonomy)", "outcome", name)
+	}
+	m.querySec = reg.Histogram("hdb_query_seconds",
+		"flat Query latency at the backend", obs.LatencyBuckets())
+	m.probeSec = reg.Histogram("hdb_probe_seconds",
+		"cursor probe latency at the backend", obs.LatencyBuckets())
+	m.batchSec = reg.Histogram("hdb_batch_seconds",
+		"sibling-batch latency at the backend (whole batch)", obs.LatencyBuckets())
+	m.batchSize = reg.Histogram("hdb_batch_size",
+		"values per sibling batch reaching the backend", obs.ExpBuckets(1, 2, 12))
+	return m
+}
+
+// Schema implements Interface.
+func (m *Metrics) Schema() Schema { return m.inner.Schema() }
+
+// K implements Interface.
+func (m *Metrics) K() int { return m.inner.K() }
+
+// Query implements Interface, timing and classifying the call.
+func (m *Metrics) Query(q Query) (Result, error) {
+	t0 := time.Now()
+	res, err := m.inner.Query(q)
+	m.querySec.ObserveSince(t0)
+	m.outcomes[classifyOutcome(len(res.Tuples), res.Overflow, err)].Inc()
+	return res, err
+}
+
+// NewCursor implements CursorProvider: probes and batches through the
+// returned cursor are timed and classified exactly like queries.
+func (m *Metrics) NewCursor(base Query) (QueryCursor, error) {
+	inner, err := newInnerCursor(m.inner, base)
+	if err != nil {
+		return nil, err
+	}
+	return &metricsCursor{m: m, inner: inner}, nil
+}
+
+type metricsCursor struct {
+	m     *Metrics
+	inner QueryCursor
+}
+
+func (mc *metricsCursor) Probe(attr int, value uint16) (Result, error) {
+	t0 := time.Now()
+	res, err := mc.inner.Probe(attr, value)
+	mc.m.probeSec.ObserveSince(t0)
+	mc.m.outcomes[classifyOutcome(len(res.Tuples), res.Overflow, err)].Inc()
+	return res, err
+}
+
+func (mc *metricsCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
+	t0 := time.Now()
+	n, overflow, err := mc.inner.ProbeCount(attr, value)
+	mc.m.probeSec.ObserveSince(t0)
+	mc.m.outcomes[classifyOutcome(n, overflow, err)].Inc()
+	return n, overflow, err
+}
+
+// ProbeBatch implements BatchCursor: the whole batch is timed once (that is
+// the unit of backend work), its size recorded, and each value's outcome
+// counted — so hdb_queries_total still moves one-per-value, matching the
+// Counter's accounting. A failed batch counts one error (the probe loop would
+// have stopped at the first failure).
+func (mc *metricsCursor) ProbeBatch(attr int, values []uint16, out []Result) error {
+	t0 := time.Now()
+	err := ProbeBatch(mc.inner, attr, values, out)
+	mc.m.batchSec.ObserveSince(t0)
+	mc.m.batchSize.Observe(float64(len(values)))
+	if err != nil {
+		mc.m.outcomes[outcomeError].Inc()
+		return err
+	}
+	for i := range values {
+		mc.m.outcomes[classifyOutcome(len(out[i].Tuples), out[i].Overflow, nil)].Inc()
+	}
+	return nil
+}
+
+func (mc *metricsCursor) Descend(attr int, value uint16) error { return mc.inner.Descend(attr, value) }
+func (mc *metricsCursor) Ascend()                              { mc.inner.Ascend() }
+func (mc *metricsCursor) Depth() int                           { return mc.inner.Depth() }
+func (mc *metricsCursor) Close()                               { mc.inner.Close() }
+
+// Publish registers scrape-time views of the accounting middleware's
+// existing counters — the zero-overhead complement to Metrics: these
+// components already maintain their numbers; exposition just reads them.
+
+// Publish exposes the limiter's budget and rejection totals in reg.
+func (l *Limiter) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.GaugeFunc("hdb_limiter_remaining", "queries left in the shared budget",
+		func() float64 { return float64(l.Remaining()) })
+	reg.GaugeFunc("hdb_limiter_rejections", "queries rejected with ErrQueryLimit",
+		func() float64 { return float64(l.Rejections()) })
+}
+
+// Publish exposes the retrier's attempt and backoff totals in reg.
+func (r *Retrier) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.GaugeFunc("hdb_retry_attempts", "extra transport attempts beyond the first",
+		func() float64 { return float64(r.Retries()) })
+	reg.GaugeFunc("hdb_retry_backoff_seconds", "total time spent in retry backoff sleeps",
+		func() float64 { return r.BackoffTotal().Seconds() })
+}
+
+// Publish exposes the counter's issued-query total in reg.
+func (c *Counter) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.GaugeFunc("hdb_issued_queries", "logical queries charged by the accounting Counter",
+		func() float64 { return float64(c.Count()) })
+}

@@ -1,0 +1,234 @@
+package hdb
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/obs"
+)
+
+// counterValue returns one labelled counter's current value from reg's text
+// exposition (exercising the scrape path, not the handle).
+func counterValue(t *testing.T, reg *obs.Registry, sample string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			return strings.TrimPrefix(line, sample+" ")
+		}
+	}
+	return ""
+}
+
+// TestMetricsConformance runs identical traffic through a bare Table and a
+// Metrics-wrapped one — results must be byte-identical (Metrics observes,
+// never alters), and the outcome counters must match the Tracer's taxonomy
+// for the same traffic.
+func TestMetricsConformance(t *testing.T) {
+	tbl := testTable(t, 200, 4)
+	reg := obs.NewRegistry()
+	m := NewMetrics(tbl, reg)
+
+	// Flat path: every outcome class.
+	queries := []Query{
+		{}, // overflow (empty query matches everything, 200 >> k)
+		{Preds: []Predicate{{Attr: 0, Value: 0}, {Attr: 1, Value: 0}, {Attr: 2, Value: 0}}},
+		{Preds: []Predicate{{Attr: 3, Value: 7}}}, // id match: exactly one tuple
+	}
+	tr := NewTracer(tbl, nil)
+	for _, q := range queries {
+		want, werr := tbl.Query(q)
+		got, gerr := m.Query(q)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("error divergence: %v vs %v", gerr, werr)
+		}
+		if len(got.Tuples) != len(want.Tuples) || got.Overflow != want.Overflow {
+			t.Fatalf("result divergence on %v", q)
+		}
+		if _, err := tr.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cursor path, incl. a batch.
+	cur, err := m.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Probe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cur.ProbeCount(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Result, 3)
+	if err := ProbeBatch(cur, 0, []uint16{0, 1, 2}, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flat traffic matched the Tracer's tallies outcome for outcome.
+	s := tr.Stats()
+	for _, c := range []struct {
+		outcome string
+		want    int64
+	}{
+		{"valid", s.Valid}, {"overflow", s.Overflow},
+		{"underflow", s.Underflow}, {"error", s.Errors},
+	} {
+		// Subtract the cursor traffic (5 probes) by reading only flat-path
+		// expectations: instead, just assert the counter is >= the tracer's
+		// count for that outcome (cursor probes add to the same classes).
+		got := reg.Counter("hdb_queries_total", "", "outcome", c.outcome).Value()
+		if got < c.want {
+			t.Errorf("hdb_queries_total{outcome=%q} = %d, want >= %d", c.outcome, got, c.want)
+		}
+	}
+	total := int64(0)
+	for _, name := range outcomeNames {
+		total += reg.Counter("hdb_queries_total", "", "outcome", name).Value()
+	}
+	if want := int64(len(queries) + 2 + 3); total != want {
+		t.Errorf("outcome counters sum to %d, want %d (3 queries + 2 probes + 3 batched)", total, want)
+	}
+
+	// Latency histograms moved.
+	if v := counterValue(t, reg, "hdb_query_seconds_count"); v != "3" {
+		t.Errorf("hdb_query_seconds_count = %q, want 3", v)
+	}
+	if v := counterValue(t, reg, "hdb_probe_seconds_count"); v != "2" {
+		t.Errorf("hdb_probe_seconds_count = %q, want 2", v)
+	}
+	if v := counterValue(t, reg, "hdb_batch_seconds_count"); v != "1" {
+		t.Errorf("hdb_batch_seconds_count = %q, want 1", v)
+	}
+}
+
+// TestMetricsLimitErrors pins error-outcome counting: a Metrics below a
+// failing backend classifies errors, and the Limiter's rejection counter
+// moves when the budget runs dry.
+func TestMetricsLimitErrors(t *testing.T) {
+	tbl := testTable(t, 50, 4)
+	reg := obs.NewRegistry()
+	lim := NewLimiter(NewMetrics(tbl, reg), 2)
+	lim.Publish(reg)
+
+	for i := 0; i < 5; i++ {
+		lim.Query(Query{Preds: []Predicate{{Attr: 3, Value: uint16(i)}}})
+	}
+	if got := lim.Rejections(); got != 3 {
+		t.Errorf("Rejections = %d, want 3", got)
+	}
+	if v := counterValue(t, reg, `hdb_limiter_rejections`); v != "3" {
+		t.Errorf("hdb_limiter_rejections = %q, want 3", v)
+	}
+	// Rejected queries never reached the Metrics layer below.
+	total := int64(0)
+	for _, name := range outcomeNames {
+		total += reg.Counter("hdb_queries_total", "", "outcome", name).Value()
+	}
+	if total != 2 {
+		t.Errorf("backend outcome counters sum to %d, want 2 (only budgeted queries reach the backend)", total)
+	}
+
+	// Batched rejection counts one per value asked.
+	lim2 := NewLimiter(tbl, 2)
+	cur, err := lim2.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	out := make([]Result, 4)
+	if err := ProbeBatch(cur, 0, []uint16{0, 1, 2, 3}, out); !errors.Is(err, ErrQueryLimit) {
+		t.Fatalf("batch over budget: err = %v, want ErrQueryLimit", err)
+	}
+	if got := lim2.Rejections(); got != 4 {
+		t.Errorf("batched Rejections = %d, want 4", got)
+	}
+}
+
+// TestTracerCountsOnly pins the counts-only mode: a nil-writer Tracer tallies
+// outcomes without rendering, Stats matches Summary, and Publish exposes the
+// tallies as scrape-time series.
+func TestTracerCountsOnly(t *testing.T) {
+	tbl := testTable(t, 100, 4)
+	tr := NewTracer(tbl, nil)
+
+	tr.Query(Query{})                                           // overflow
+	tr.Query(Query{Preds: []Predicate{{Attr: 3, Value: 5}}})    // valid (one id)
+	cur, err := tr.NewCursor(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	cur.Probe(0, 0)
+	out := make([]Result, 2)
+	if err := ProbeBatch(cur, 1, []uint16{0, 1}, out); err != nil {
+		t.Fatal(err)
+	}
+
+	s := tr.Stats()
+	if s.Queries != 5 {
+		t.Errorf("Queries = %d, want 5", s.Queries)
+	}
+	if s.Queries != s.Valid+s.Overflow+s.Underflow+s.Errors {
+		t.Errorf("outcome tallies %+v do not sum to Queries", s)
+	}
+	if tr.Count() != 5 {
+		t.Errorf("Count = %d, want 5", tr.Count())
+	}
+
+	reg := obs.NewRegistry()
+	tr.Publish(reg)
+	if v := counterValue(t, reg, "hdb_trace_queries"); v != "5" {
+		t.Errorf("hdb_trace_queries = %q, want 5", v)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// One valid outcome (the single-id query); the rest of the traffic
+	// overflows (k=4 over a 100-row table).
+	if !strings.Contains(sb.String(), `hdb_trace_outcomes{outcome="valid"} 1`) ||
+		!strings.Contains(sb.String(), `hdb_trace_outcomes{outcome="overflow"} 4`) {
+		t.Errorf("outcome series mismatch:\n%s", sb.String())
+	}
+}
+
+// TestTracerDiscardEqualsNil pins that io.Discard selects counts-only mode.
+func TestTracerDiscardEqualsNil(t *testing.T) {
+	tbl := testTable(t, 10, 4)
+	if tr := NewTracer(tbl, io.Discard); tr.w != nil {
+		t.Error("io.Discard writer did not select counts-only mode")
+	}
+}
+
+// TestRetrierBackoffTotal pins the backoff-time accumulator using the Sleep
+// test seam (no real sleeping).
+func TestRetrierBackoffTotal(t *testing.T) {
+	tbl := testTable(t, 50, 4)
+	flaky := newFlaky(tbl, 2)
+	r := NewRetrier(flaky, RetryConfig{MaxAttempts: 4, Sleep: func(d time.Duration) {}})
+	if _, err := r.Query(Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries() != 2 {
+		t.Errorf("Retries = %d, want 2", r.Retries())
+	}
+	// With the no-op Sleep seam, accumulated backoff is tiny but measured.
+	if r.BackoffTotal() < 0 {
+		t.Errorf("BackoffTotal = %v, want >= 0", r.BackoffTotal())
+	}
+
+	reg := obs.NewRegistry()
+	r.Publish(reg)
+	if v := counterValue(t, reg, "hdb_retry_attempts"); v != "2" {
+		t.Errorf("hdb_retry_attempts = %q, want 2", v)
+	}
+}

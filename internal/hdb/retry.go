@@ -99,9 +99,10 @@ func (cfg *RetryConfig) defaults() {
 // marked transient, so callers can distinguish "gave up" from "rejected".
 // Safe for concurrent use when the inner Interface is.
 type Retrier struct {
-	inner   Interface
-	cfg     RetryConfig
-	retries atomic.Int64
+	inner     Interface
+	cfg       RetryConfig
+	retries   atomic.Int64
+	backoffNs atomic.Int64
 }
 
 // NewRetrier wraps inner with the given retry policy.
@@ -134,6 +135,12 @@ func (r *Retrier) Query(q Query) (Result, error) {
 // queries and probes — 0 on a fault-free run.
 func (r *Retrier) Retries() int64 { return r.retries.Load() }
 
+// BackoffTotal returns the cumulative time spent sleeping between attempts —
+// the wall-clock a fault-injected run lost to backoff rather than work.
+func (r *Retrier) BackoffTotal() time.Duration {
+	return time.Duration(r.backoffNs.Load())
+}
+
 // do runs op under the retry policy.
 func (r *Retrier) do(op func() error) error {
 	delay := r.cfg.BaseDelay
@@ -149,7 +156,10 @@ func (r *Retrier) do(op func() error) error {
 			return fmt.Errorf("hdb: giving up after %d attempts: %w", attempt, err)
 		}
 		r.retries.Add(1)
-		if !r.sleep(delay) {
+		slept := time.Now()
+		ok := r.sleep(delay)
+		r.backoffNs.Add(int64(time.Since(slept)))
+		if !ok {
 			return r.cfg.Context.Err()
 		}
 		if delay = time.Duration(float64(delay) * r.cfg.Multiplier); delay > r.cfg.MaxDelay {

@@ -4,16 +4,23 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"hdunbiased/internal/obs"
 )
 
 // Tracer wraps an Interface and writes one line per query to an io.Writer —
 // the tool for auditing exactly what an estimator asked the hidden database
 // and what came back, which is how the per-figure query-cost numbers in
 // EXPERIMENTS.md were sanity-checked. Safe for concurrent use.
+//
+// A nil (or io.Discard) writer switches the Tracer to counts-only mode: the
+// per-outcome tallies keep updating but no line is rendered and no query
+// string is materialised — cheap enough to leave in a service stack
+// permanently, with Stats/Publish as the read side.
 type Tracer struct {
 	inner Interface
 	mu    sync.Mutex
-	w     io.Writer
+	w     io.Writer // nil in counts-only mode
 	n     int64
 
 	overflow  int64
@@ -22,8 +29,12 @@ type Tracer struct {
 	errors    int64
 }
 
-// NewTracer wraps inner, logging to w.
+// NewTracer wraps inner, logging to w. A nil or io.Discard w keeps only the
+// outcome counts.
 func NewTracer(inner Interface, w io.Writer) *Tracer {
+	if w == io.Discard {
+		w = nil
+	}
 	return &Tracer{inner: inner, w: w}
 }
 
@@ -36,8 +47,30 @@ func (t *Tracer) K() int { return t.inner.K() }
 // Query implements Interface, logging the query and its outcome.
 func (t *Tracer) Query(q Query) (Result, error) {
 	res, err := t.inner.Query(q)
-	t.record(q, len(res.Tuples), res.Overflow, err)
+	if t.w == nil {
+		t.count(len(res.Tuples), res.Overflow, err)
+	} else {
+		t.record(q, len(res.Tuples), res.Overflow, err)
+	}
 	return res, err
+}
+
+// count updates the per-outcome totals without rendering — the counts-only
+// path. The taxonomy is classifyOutcome, shared with the Metrics middleware.
+func (t *Tracer) count(n int, overflow bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	switch classifyOutcome(n, overflow, err) {
+	case outcomeError:
+		t.errors++
+	case outcomeOverflow:
+		t.overflow++
+	case outcomeUnderflow:
+		t.underflow++
+	default:
+		t.valid++
+	}
 }
 
 // record logs one query outcome (n = tuples returned) and updates the
@@ -46,14 +79,14 @@ func (t *Tracer) record(q Query, n int, overflow bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.n++
-	switch {
-	case err != nil:
+	switch classifyOutcome(n, overflow, err) {
+	case outcomeError:
 		t.errors++
 		fmt.Fprintf(t.w, "%6d  %-40s  ERROR %v\n", t.n, q.String(), err)
-	case overflow:
+	case outcomeOverflow:
 		t.overflow++
 		fmt.Fprintf(t.w, "%6d  %-40s  OVERFLOW (%d shown)\n", t.n, q.String(), n)
-	case n == 0:
+	case outcomeUnderflow:
 		t.underflow++
 		fmt.Fprintf(t.w, "%6d  %-40s  UNDERFLOW\n", t.n, q.String())
 	default:
@@ -80,7 +113,8 @@ type tracerCursor struct {
 }
 
 // probeQuery renders the prefix extended by one probe predicate. Allocates,
-// like all Tracer logging — tracing is a debugging tool, not a hot path.
+// like all Tracer logging — the counts-only paths branch around it so a
+// quiet Tracer adds no allocation to the probe path.
 func (tc *tracerCursor) probeQuery(attr int, value uint16) Query {
 	preds := make([]Predicate, len(tc.preds), len(tc.preds)+1)
 	copy(preds, tc.preds)
@@ -89,13 +123,21 @@ func (tc *tracerCursor) probeQuery(attr int, value uint16) Query {
 
 func (tc *tracerCursor) Probe(attr int, value uint16) (Result, error) {
 	res, err := tc.inner.Probe(attr, value)
-	tc.t.record(tc.probeQuery(attr, value), len(res.Tuples), res.Overflow, err)
+	if tc.t.w == nil {
+		tc.t.count(len(res.Tuples), res.Overflow, err)
+	} else {
+		tc.t.record(tc.probeQuery(attr, value), len(res.Tuples), res.Overflow, err)
+	}
 	return res, err
 }
 
 func (tc *tracerCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
 	n, overflow, err := tc.inner.ProbeCount(attr, value)
-	tc.t.record(tc.probeQuery(attr, value), n, overflow, err)
+	if tc.t.w == nil {
+		tc.t.count(n, overflow, err)
+	} else {
+		tc.t.record(tc.probeQuery(attr, value), n, overflow, err)
+	}
 	return n, overflow, err
 }
 
@@ -120,6 +162,50 @@ func (t *Tracer) Count() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.n
+}
+
+// TraceStats is a point-in-time copy of the Tracer's per-outcome totals.
+type TraceStats struct {
+	Queries   int64
+	Valid     int64
+	Overflow  int64
+	Underflow int64
+	Errors    int64
+}
+
+// Stats returns the current totals — the programmatic Summary.
+func (t *Tracer) Stats() TraceStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceStats{Queries: t.n, Valid: t.valid, Overflow: t.overflow,
+		Underflow: t.underflow, Errors: t.errors}
+}
+
+// Publish exposes the Tracer's outcome totals in reg (obs.Default when nil)
+// as scrape-time gauges — the counts-only Tracer's read side in a service.
+func (t *Tracer) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	for i, name := range outcomeNames {
+		idx := i
+		reg.GaugeFunc("hdb_trace_outcomes", "traced queries by outcome",
+			func() float64 {
+				s := t.Stats()
+				switch idx {
+				case outcomeValid:
+					return float64(s.Valid)
+				case outcomeOverflow:
+					return float64(s.Overflow)
+				case outcomeUnderflow:
+					return float64(s.Underflow)
+				default:
+					return float64(s.Errors)
+				}
+			}, "outcome", name)
+	}
+	reg.GaugeFunc("hdb_trace_queries", "total queries traced",
+		func() float64 { return float64(t.Count()) })
 }
 
 // Summary renders one line of per-outcome totals. Audits pair it with the

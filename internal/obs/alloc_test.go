@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// mustZeroAllocsObs asserts a hot-path op performs zero heap allocations once
+// warm — the tier-1 guard for design constraint 1: instrumentation must be
+// free to leave always-on inside the engine's 0-alloc probe loops.
+func mustZeroAllocsObs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm up: fault in any lazily-built state
+	if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+		t.Errorf("%s: %v allocs/op on the hot path, want 0", name, avg)
+	}
+}
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("alloc_total", "h", "k", "v")
+	g := reg.Gauge("alloc_gauge", "h")
+	h := reg.Histogram("alloc_seconds", "h", LatencyBuckets())
+	r := NewRecorder(64)
+	t0 := time.Now()
+
+	mustZeroAllocsObs(t, "Counter.Inc", func() { c.Inc() })
+	mustZeroAllocsObs(t, "Counter.Add", func() { c.Add(3) })
+	mustZeroAllocsObs(t, "Gauge.Set", func() { g.Set(42) })
+	mustZeroAllocsObs(t, "Gauge.Add", func() { g.Add(-1) })
+	mustZeroAllocsObs(t, "Histogram.Observe", func() { h.Observe(3.5e-5) })
+	mustZeroAllocsObs(t, "Histogram.ObserveSince", func() { h.ObserveSince(t0) })
+	mustZeroAllocsObs(t, "Recorder.Record", func() { r.Record("round", 1) })
+	mustZeroAllocsObs(t, "Recorder.Span", func() { r.Start("cp").End(2) })
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("b_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("b_total", "h")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("b_gauge", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
+
+func BenchmarkObsRecorderRecord(b *testing.B) {
+	r := NewRecorder(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record("round", int64(i))
+	}
+}
+
+// BenchmarkObsScrape prices a full exposition render over a realistically
+// sized registry (40 families × a few instances, incl. histograms).
+func BenchmarkObsScrape(b *testing.B) {
+	reg := NewRegistry()
+	for f := 0; f < 40; f++ {
+		name := "s_" + string(rune('a'+f%26)) + "_total"
+		for i := 0; i < 3; i++ {
+			reg.Counter(name, "h", "i", string(rune('0'+i))).Add(int64(f * i))
+		}
+	}
+	h := reg.Histogram("s_seconds", "h", LatencyBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

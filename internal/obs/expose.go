@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4): families sorted by name with one
+// # HELP/# TYPE header each, instances in registration order, collector
+// series rendered as gauges. Deterministic for a fixed registry state, which
+// is what the exposition golden test pins.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams, dyn := r.snapshot()
+	bw := &errWriter{w: w}
+	for _, f := range fams {
+		bw.printf("# HELP %s %s\n", f.name, f.help)
+		bw.printf("# TYPE %s %s\n", f.name, f.kind)
+		for i, ls := range f.labels {
+			switch m := f.refs[i].(type) {
+			case *Counter:
+				bw.sample(f.name, ls, float64(m.Value()))
+			case *Gauge:
+				bw.sample(f.name, ls, float64(m.Value()))
+			case func() float64:
+				bw.sample(f.name, ls, m())
+			case *Histogram:
+				writeHistogram(bw, f.name, ls, m.Snapshot())
+			}
+		}
+	}
+	for _, name := range dyn.order {
+		f := dyn.samples[name]
+		bw.printf("# HELP %s %s\n", name, f.help)
+		bw.printf("# TYPE %s gauge\n", name)
+		for i, ls := range f.labels {
+			bw.sample(name, ls, f.values[i])
+		}
+	}
+	return bw.err
+}
+
+// writeHistogram renders one histogram instance: cumulative _bucket series
+// (le-inclusive, +Inf last), then _sum and _count.
+func writeHistogram(bw *errWriter, name, labels string, s HistogramSnapshot) {
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		ls := `le="` + le + `"`
+		if labels != "" {
+			ls = labels + "," + ls
+		}
+		bw.sample(name+"_bucket", ls, float64(cum))
+	}
+	bw.sample(name+"_sum", labels, s.Sum)
+	bw.sample(name+"_count", labels, float64(s.Count))
+}
+
+// errWriter accumulates the first write error so the render loop stays flat.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (bw *errWriter) printf(format string, args ...any) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = fmt.Fprintf(bw.w, format, args...)
+}
+
+func (bw *errWriter) sample(name, labels string, v float64) {
+	if labels == "" {
+		bw.printf("%s %s\n", name, formatFloat(v))
+	} else {
+		bw.printf("%s{%s} %s\n", name, labels, formatFloat(v))
+	}
+}
+
+// formatFloat renders a sample value: integral floats without an exponent
+// (Prometheus accepts either; plain integers scrape smaller and diff
+// cleaner), shortest round-trip form otherwise.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as one JSON document in the /debug/vars
+// spirit: {"name": value} for unlabelled metrics, {"name": {"labels": value}}
+// for labelled ones, histograms as {buckets, sum, count} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams, dyn := r.snapshot()
+	doc := make(map[string]any, len(fams))
+	add := func(name, ls string, v any) {
+		if ls == "" {
+			doc[name] = v
+			return
+		}
+		sub, ok := doc[name].(map[string]any)
+		if !ok {
+			sub = make(map[string]any)
+			doc[name] = sub
+		}
+		sub[ls] = v
+	}
+	for _, f := range fams {
+		for i, ls := range f.labels {
+			switch m := f.refs[i].(type) {
+			case *Counter:
+				add(f.name, ls, m.Value())
+			case *Gauge:
+				add(f.name, ls, m.Value())
+			case func() float64:
+				add(f.name, ls, m())
+			case *Histogram:
+				s := m.Snapshot()
+				buckets := make(map[string]uint64, len(s.Counts))
+				for bi, c := range s.Counts {
+					le := "+Inf"
+					if bi < len(s.Bounds) {
+						le = formatFloat(s.Bounds[bi])
+					}
+					buckets[le] = c
+				}
+				add(f.name, ls, map[string]any{"buckets": buckets, "sum": s.Sum, "count": s.Count})
+			}
+		}
+	}
+	for _, name := range dyn.order {
+		f := dyn.samples[name]
+		for i, ls := range f.labels {
+			add(name, ls, f.values[i])
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler returns the /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler returns the /debug/vars-style JSON endpoint.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// NewMux assembles the standard observability listener: Prometheus text on
+// /metrics, JSON on /debug/vars, the flight-recorder dump on /debug/flight
+// (when flights is non-nil) and the net/http/pprof suite on /debug/pprof/.
+// cmd/hdservice and cmd/hdestimate serve it on -metrics-addr.
+func NewMux(reg *Registry, flights *FlightSet) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/vars", reg.VarsHandler())
+	if flights != nil {
+		mux.Handle("GET /debug/flight", flights.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The flight recorder: a bounded ring buffer of lifecycle events per job —
+// walk rounds, checkpoints, resumes, terminal states — cheap enough to leave
+// always-on and dumpable as JSON after (or during) an incident. It answers
+// "what was this job doing in its last N events" the way an aircraft
+// recorder does: no sampling decisions up front, constant memory, newest
+// events overwrite the oldest.
+
+// Event is one recorded occurrence. N carries the event's primary quantity
+// (passes so far, wave size, ...); Dur is an optional duration (checkpoint
+// capture time). Names should be static strings so recording stays
+// allocation-free.
+type Event struct {
+	Seq  uint64        `json:"seq"`
+	At   time.Time     `json:"at"`
+	Name string        `json:"name"`
+	N    int64         `json:"n"`
+	Dur  time.Duration `json:"dur_ns,omitempty"`
+}
+
+// Recorder is a fixed-capacity event ring. Safe for concurrent use; Record
+// is a mutex-guarded slot write with zero allocations (the events it is
+// meant for — rounds, checkpoints, lifecycle transitions — are orders of
+// magnitude rarer than the query hot path, so a short mutex beats the
+// complexity of a lock-free ring).
+type Recorder struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // total events ever recorded; buf[(seq-1)%cap] is newest
+}
+
+// NewRecorder returns a ring holding the most recent capacity events
+// (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record appends an event with no duration.
+func (r *Recorder) Record(name string, n int64) { r.RecordDur(name, n, 0) }
+
+// RecordDur appends an event carrying a duration.
+func (r *Recorder) RecordDur(name string, n int64, d time.Duration) {
+	now := time.Now()
+	r.mu.Lock()
+	r.buf[r.seq%uint64(len(r.buf))] = Event{Seq: r.seq, At: now, Name: name, N: n, Dur: d}
+	r.seq++
+	r.mu.Unlock()
+}
+
+// Span measures one operation: Start captures the clock, End records the
+// event with the elapsed duration.
+type Span struct {
+	r    *Recorder
+	name string
+	t0   time.Time
+}
+
+// Start opens a span. End may be called once.
+func (r *Recorder) Start(name string) Span {
+	return Span{r: r, name: name, t0: time.Now()}
+}
+
+// End records the span's event with its elapsed time.
+func (s Span) End(n int64) {
+	s.r.RecordDur(s.name, n, time.Since(s.t0))
+}
+
+// Len returns the total number of events ever recorded (not the retained
+// window).
+func (r *Recorder) Len() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Events returns the retained window, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	out := make([]Event, 0, n)
+	start := uint64(0)
+	if r.seq > n {
+		start = r.seq - n
+	}
+	for s := start; s < r.seq; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// flightDump is the JSON shape of one recorder's dump.
+type flightDump struct {
+	Recorded uint64  `json:"recorded"` // total events ever; > len(events) once wrapped
+	Events   []Event `json:"events"`
+}
+
+// WriteJSON dumps the retained window as JSON, oldest first.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	events := r.Events()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flightDump{Recorded: r.Len(), Events: events})
+}
+
+// FlightSet is a named collection of recorders — one per job in practice.
+// Get-or-create like the metric registry, so a resumed job keeps appending
+// to its original ring.
+type FlightSet struct {
+	mu    sync.Mutex
+	recs  map[string]*Recorder
+	order []string
+}
+
+// NewFlightSet returns an empty set.
+func NewFlightSet() *FlightSet {
+	return &FlightSet{recs: make(map[string]*Recorder)}
+}
+
+// Recorder returns the named recorder, creating it with the given capacity
+// on first use.
+func (s *FlightSet) Recorder(name string, capacity int) *Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.recs[name]; ok {
+		return r
+	}
+	r := NewRecorder(capacity)
+	s.recs[name] = r
+	s.order = append(s.order, name)
+	return r
+}
+
+// Get returns the named recorder if it exists.
+func (s *FlightSet) Get(name string) (*Recorder, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[name]
+	return r, ok
+}
+
+// Names lists the recorders, sorted.
+func (s *FlightSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the flight dump: GET /debug/flight lists recorder names,
+// GET /debug/flight?name=job-000001 dumps that recorder's window as JSON.
+func (s *FlightSet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		name := req.URL.Query().Get("name")
+		if name == "" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(map[string]any{"flights": s.Names()})
+			return
+		}
+		r, ok := s.Get(name)
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "no flight recorder named " + name})
+			return
+		}
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecorderWrap pins ring semantics: capacity-bounded retention, oldest
+// events evicted first, sequence numbers global.
+func TestRecorderWrap(t *testing.T) {
+	r := NewRecorder(0) // clamps to the 16 minimum
+	for i := 0; i < 20; i++ {
+		r.Record("round", int64(i))
+	}
+	if r.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 16 {
+		t.Fatalf("retained %d events, want 16", len(ev))
+	}
+	if ev[0].Seq != 4 || ev[0].N != 4 {
+		t.Errorf("oldest retained event = %+v, want seq 4", ev[0])
+	}
+	if ev[15].Seq != 19 || ev[15].N != 19 {
+		t.Errorf("newest retained event = %+v, want seq 19", ev[15])
+	}
+}
+
+// TestSpan checks that a span records its elapsed duration.
+func TestSpan(t *testing.T) {
+	r := NewRecorder(16)
+	sp := r.Start("checkpoint")
+	time.Sleep(2 * time.Millisecond)
+	sp.End(7)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Name != "checkpoint" || ev[0].N != 7 {
+		t.Fatalf("events = %+v", ev)
+	}
+	if ev[0].Dur < time.Millisecond {
+		t.Errorf("Dur = %v, want >= 1ms", ev[0].Dur)
+	}
+}
+
+// TestRecorderJSON pins the dump document shape.
+func TestRecorderJSON(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record("job.start", 0)
+	r.RecordDur("checkpoint", 3, 5*time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded uint64 `json:"recorded"`
+		Events   []struct {
+			Seq   uint64 `json:"seq"`
+			Name  string `json:"name"`
+			N     int64  `json:"n"`
+			DurNs int64  `json:"dur_ns"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Recorded != 2 || len(doc.Events) != 2 {
+		t.Fatalf("dump = %+v", doc)
+	}
+	if doc.Events[1].Name != "checkpoint" || doc.Events[1].DurNs != int64(5*time.Millisecond) {
+		t.Errorf("checkpoint event = %+v", doc.Events[1])
+	}
+}
+
+// TestFlightSetHandler exercises the /debug/flight endpoint: name listing,
+// per-recorder dump, 404 for unknown names.
+func TestFlightSetHandler(t *testing.T) {
+	fs := NewFlightSet()
+	fs.Recorder("job-000002", 16).Record("job.start", 0)
+	fs.Recorder("job-000001", 16).Record("job.resume", 1)
+	if again := fs.Recorder("job-000001", 64); again != mustGet(t, fs, "job-000001") {
+		t.Fatal("Recorder is not get-or-create")
+	}
+
+	srv := httptest.NewServer(fs.Handler())
+	defer srv.Close()
+
+	body := get(t, srv.URL, 200)
+	var listing struct {
+		Flights []string `json:"flights"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Flights) != 2 || listing.Flights[0] != "job-000001" {
+		t.Errorf("flights = %v, want sorted [job-000001 job-000002]", listing.Flights)
+	}
+
+	body = get(t, srv.URL+"?name=job-000002", 200)
+	if !strings.Contains(body, `"job.start"`) {
+		t.Errorf("dump missing job.start event:\n%s", body)
+	}
+
+	get(t, srv.URL+"?name=nope", 404)
+}
+
+func mustGet(t *testing.T, fs *FlightSet, name string) *Recorder {
+	t.Helper()
+	r, ok := fs.Get(name)
+	if !ok {
+		t.Fatalf("recorder %q missing", name)
+	}
+	return r
+}
+
+func get(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d\n%s", url, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with a lock-free write path: one
+// binary search over the (immutable) bucket bounds, one atomic bucket
+// increment, one CAS-accumulated float sum. Buckets follow the Prometheus
+// convention — bounds are inclusive upper limits ("le"), with an implicit
+// +Inf bucket — so WritePrometheus can render cumulative _bucket series
+// directly.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf excluded, immutable
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds (need
+// not be sorted; duplicates collapse; +Inf entries are dropped — the +Inf
+// bucket is implicit). Registry.Histogram is the usual constructor; this
+// exists for unregistered use (benchmarks, merges).
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogramWithBounds(prepareBounds(bounds))
+}
+
+// prepareBounds sorts, dedups and strips non-finite bounds.
+func prepareBounds(bounds []float64) []float64 {
+	b := make([]float64, 0, len(bounds))
+	for _, v := range bounds {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			b = append(b, v)
+		}
+	}
+	sort.Float64s(b)
+	out := b[:0]
+	for i, v := range b {
+		if i == 0 || v != b[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func newHistogramWithBounds(prepared []float64) *Histogram {
+	return &Histogram{bounds: prepared, counts: make([]atomic.Uint64, len(prepared)+1)}
+}
+
+// Observe records one value. The bucket index is the first bound >= v
+// (le-inclusive); values above every bound land in the implicit +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the latency idiom:
+//
+//	t0 := time.Now()
+//	... work ...
+//	h.ObserveSince(t0)
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts parallel to Bounds, with the +Inf bucket last.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, +Inf excluded
+	Counts []uint64  // len(Bounds)+1; last is the +Inf bucket
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Counts, Count and Sum are
+// each atomically read but not mutually synchronised; a snapshot taken while
+// writers run may be off by in-flight observations (never torn per field).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Merge folds other into s — aggregating per-shard or per-worker histograms
+// into one. The bucket bounds must match exactly (Prometheus cannot
+// aggregate histograms with mismatched buckets either).
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(s.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(s.Bounds), len(other.Bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != other.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with mismatched bound %v vs %v", b, other.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by factor —
+// the standard latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bounds from start stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 {
+		panic("obs: LinearBuckets needs n >= 1")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// LatencyBuckets is the default bound set for second-denominated latency
+// histograms: 1µs to ~8.4s in powers of two — wide enough to cover an
+// in-memory engine probe and a retrying webform round trip in one series.
+func LatencyBuckets() []float64 {
+	return ExpBuckets(1e-6, 2, 24)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBoundaries pins the le-inclusive bucketing rule on exact
+// boundary values and the implicit +Inf bucket.
+func TestHistogramBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, math.Inf(1)} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 -> le=1; 1.0000001 and 2 -> le=2; 4 -> le=4; 4.5 and +Inf -> +Inf.
+	want := []uint64{2, 2, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: count %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	if !math.IsInf(s.Sum, 1) {
+		t.Errorf("Sum = %v, want +Inf (an Inf observation poisons the sum, as in Prometheus)", s.Sum)
+	}
+}
+
+// TestHistogramPrepareBounds pins bound normalisation: unsorted input sorted,
+// duplicates collapsed, non-finite entries dropped.
+func TestHistogramPrepareBounds(t *testing.T) {
+	h := NewHistogram([]float64{4, 1, 2, 2, math.Inf(1), math.NaN(), 1})
+	s := h.Snapshot()
+	want := []float64{1, 2, 4}
+	if len(s.Bounds) != len(want) {
+		t.Fatalf("Bounds = %v, want %v", s.Bounds, want)
+	}
+	for i, b := range want {
+		if s.Bounds[i] != b {
+			t.Fatalf("Bounds = %v, want %v", s.Bounds, want)
+		}
+	}
+	if len(s.Counts) != len(want)+1 {
+		t.Fatalf("Counts has %d slots, want %d", len(s.Counts), len(want)+1)
+	}
+}
+
+// TestHistogramSum checks the CAS-accumulated float sum.
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(3)
+	if s := h.Snapshot(); s.Sum != 3.75 {
+		t.Errorf("Sum = %v, want 3.75", s.Sum)
+	}
+}
+
+// TestHistogramMerge pins snapshot aggregation and its bounds-mismatch error.
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(5)
+	b.Observe(1.5)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 3 || sa.Sum != 7 {
+		t.Errorf("merged Count=%d Sum=%v, want 3 and 7", sa.Count, sa.Sum)
+	}
+	wantCounts := []uint64{1, 1, 1}
+	for i, w := range wantCounts {
+		if sa.Counts[i] != w {
+			t.Errorf("merged bucket %d = %d, want %d", i, sa.Counts[i], w)
+		}
+	}
+
+	sc := NewHistogram([]float64{1, 3}).Snapshot()
+	if err := sa.Merge(sc); err == nil {
+		t.Error("merging mismatched bounds did not error")
+	}
+	sd := NewHistogram([]float64{1}).Snapshot()
+	if err := sa.Merge(sd); err == nil {
+		t.Error("merging different bound counts did not error")
+	}
+}
+
+// TestBucketHelpers pins the generator shapes.
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	wantExp := []float64{1, 2, 4, 8}
+	for i, w := range wantExp {
+		if exp[i] != w {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, wantExp)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	wantLin := []float64{0, 0.5, 1}
+	for i, w := range wantLin {
+		if lin[i] != w {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+	lat := LatencyBuckets()
+	if len(lat) != 24 || lat[0] != 1e-6 {
+		t.Fatalf("LatencyBuckets = %v", lat)
+	}
+}

@@ -1,0 +1,331 @@
+// Package obs is the repo's dependency-free observability spine: a metrics
+// registry of atomic counters, gauges and fixed-bucket histograms with
+// Prometheus text-format and /debug/vars-style JSON exposition, plus a
+// ring-buffer flight recorder for per-job lifecycle events.
+//
+// The estimators' value proposition is statistical — unbiasedness, RSE per
+// query budget — so an operator needs to watch estimate convergence, query
+// spend, cache efficiency, retry storms and batch-wave shapes live, per job
+// and per layer. This package provides the plumbing without taking a
+// dependency: everything is stdlib.
+//
+// Design constraints, in order:
+//
+//  1. The write path must be safe to leave enabled on the 0-alloc hot paths
+//     PRs 1–6 built. Counter.Add/Gauge.Set/Histogram.Observe are single
+//     atomic operations on pre-resolved handles — no map lookups, no label
+//     rendering, no locks, no allocations (tier-1 alloc guards pin this).
+//     Components resolve their handles once, at construction or package
+//     init, never per operation.
+//  2. Reads (scrapes) may be slow. WritePrometheus and WriteJSON take the
+//     registry lock, snapshot atomics and render; a scrape never blocks a
+//     writer for more than one atomic load.
+//  3. Dynamic series — per-job gauges whose label sets come and go — are
+//     emitted by scrape-time Collector callbacks instead of registered
+//     metrics, so job creation and deletion never mutate the registry and
+//     short-lived jobs cannot leak series.
+//
+// A process-wide Default registry exists for the same reason expvar's does:
+// instrumentation sites (core's walk counters, the cohort's wave histogram)
+// are constructed far from any wiring point. Registration is get-or-create,
+// so independent packages — and repeated tests in one process — share one
+// series per (name, labels) pair.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The write path is a single
+// atomic add; resolve the handle once (Registry.Counter) and keep it.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotone; Add does not
+// check — flush-style writers add batched deltas).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer-valued metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates a family's metric type; a name registered as one
+// kind cannot be re-registered as another (that is a programming error and
+// panics, like expvar's duplicate-name publish).
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family groups every labelled instance of one metric name, so exposition
+// can emit one # HELP/# TYPE header per name regardless of label sets.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histogram families only; instances share them
+
+	order   []string // label-set registration order (stable exposition)
+	metrics map[string]any
+}
+
+// Emitter collects the dynamic samples a Collector emits during one scrape.
+// Emitted series are rendered as gauges.
+type Emitter struct {
+	samples map[string]*emitFamily
+	order   []string
+}
+
+type emitFamily struct {
+	help   string
+	labels []string
+	values []float64
+}
+
+// Emit adds one gauge sample to the scrape. labels are key/value pairs
+// ("job", "job-000001", "measure", "count"); rendering is escaped per the
+// Prometheus text format. help is taken from the first Emit of each name.
+func (e *Emitter) Emit(name, help string, value float64, labels ...string) {
+	f := e.samples[name]
+	if f == nil {
+		f = &emitFamily{help: help}
+		e.samples[name] = f
+		e.order = append(e.order, name)
+	}
+	f.labels = append(f.labels, renderLabels(labels))
+	f.values = append(f.values, value)
+}
+
+// Collector emits dynamic series at scrape time — series whose label sets
+// come and go (per-job gauges), which would leak if registered statically.
+type Collector func(e *Emitter)
+
+// Registry holds metric families and collectors. The zero value is not
+// usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []string
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry instrumentation sites register
+// against when no explicit registry is wired through (the expvar idiom).
+var Default = NewRegistry()
+
+// renderLabels converts key/value pairs to the canonical `k="v",k2="v2"`
+// form used as instance identity and exposition text. Pairs keep their given
+// order; values are escaped per the Prometheus text format.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs %q", pairs))
+	}
+	var sb strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(pairs[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(pairs[i+1]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// getFamily returns the named family, creating it with the given kind, or
+// panics on a kind mismatch — two call sites disagreeing about what a name
+// means is a bug worth failing loudly on.
+func (r *Registry) getFamily(name, help string, kind metricKind, bounds []float64) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, metrics: make(map[string]any)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// labels are key/value pairs; the same pairs return the same *Counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindCounter, nil)
+	ls := renderLabels(labels)
+	if c, ok := f.metrics[ls]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	f.metrics[ls] = c
+	f.order = append(f.order, ls)
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGauge, nil)
+	ls := renderLabels(labels)
+	if g, ok := f.metrics[ls]; ok {
+		return g.(*Gauge)
+	}
+	g := &Gauge{}
+	f.metrics[ls] = g
+	f.order = append(f.order, ls)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time — the
+// zero-overhead way to expose a number some component already maintains
+// (cache hit totals, retry counts, index bytes). Re-registering the same
+// (name, labels) replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindGaugeFunc, nil)
+	ls := renderLabels(labels)
+	if _, ok := f.metrics[ls]; !ok {
+		f.order = append(f.order, ls)
+	}
+	f.metrics[ls] = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it on first
+// use with the given bucket upper bounds (see NewHistogram). Every instance
+// of one name shares the first registration's bounds — Prometheus cannot
+// aggregate histograms with mismatched buckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, kindHistogram, prepareBounds(bounds))
+	ls := renderLabels(labels)
+	if h, ok := f.metrics[ls]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogramWithBounds(f.bounds)
+	f.metrics[ls] = h
+	f.order = append(f.order, ls)
+	return h
+}
+
+// Collect registers a scrape-time collector for dynamic series.
+func (r *Registry) Collect(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// famView is a scrape-time copy of one family: the metric handles (whose
+// values are read atomically during render) plus everything needed to format
+// them, detached from the registry so rendering races with registration
+// safely.
+type famView struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64
+	labels []string // instance label sets, registration order
+	refs   []any    // parallel to labels: *Counter | *Gauge | func() float64 | *Histogram
+}
+
+// snapshot copies the families (sorted by name, instances in registration
+// order) under the lock, then runs the collectors outside it — they call
+// back into user code (job listings) that may itself take locks.
+func (r *Registry) snapshot() ([]famView, *Emitter) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	fams := make([]famView, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		v := famView{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds}
+		v.labels = append(v.labels, f.order...)
+		for _, ls := range f.order {
+			v.refs = append(v.refs, f.metrics[ls])
+		}
+		fams = append(fams, v)
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	e := &Emitter{samples: make(map[string]*emitFamily)}
+	for _, c := range collectors {
+		c(e)
+	}
+	sort.Strings(e.order)
+	return fams, e
+}

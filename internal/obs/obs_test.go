@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGetOrCreate pins the registration contract: the same (name, labels)
+// returns the same instance, different labels different instances, and a
+// kind mismatch panics.
+func TestGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "help")
+	b := reg.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := reg.Counter("x_total", "help", "shard", "0")
+	if c == a {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("counter identity broken: a=%d c=%d", b.Value(), c.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "help")
+}
+
+// TestExpositionGolden pins the Prometheus text rendering byte for byte: a
+// counter family with two label sets, a gauge, a gauge func, a histogram and
+// a collector-emitted dynamic series. Families sort by name; instances keep
+// registration order.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_queries_total", "queries by outcome", "outcome", "valid").Add(7)
+	reg.Counter("demo_queries_total", "queries by outcome", "outcome", "overflow").Add(2)
+	reg.Gauge("demo_jobs", "running jobs").Set(3)
+	reg.GaugeFunc("demo_cache_hits", "memo hits", func() float64 { return 41 })
+	h := reg.Histogram("demo_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.001) // le is inclusive: lands in the 0.001 bucket
+	h.Observe(0.05)
+	h.Observe(99)
+	reg.Collect(func(e *Emitter) {
+		e.Emit("demo_job_rse", "per-job RSE", 0.25, "job", "job-000001")
+	})
+
+	const want = `# HELP demo_cache_hits memo hits
+# TYPE demo_cache_hits gauge
+demo_cache_hits 41
+# HELP demo_jobs running jobs
+# TYPE demo_jobs gauge
+demo_jobs 3
+# HELP demo_queries_total queries by outcome
+# TYPE demo_queries_total counter
+demo_queries_total{outcome="valid"} 7
+demo_queries_total{outcome="overflow"} 2
+# HELP demo_seconds latency
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.001"} 1
+demo_seconds_bucket{le="0.01"} 1
+demo_seconds_bucket{le="0.1"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 99.051
+demo_seconds_count 3
+# HELP demo_job_rse per-job RSE
+# TYPE demo_job_rse gauge
+demo_job_rse{job="job-000001"} 0.25
+`
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSON pins the /debug/vars document shape.
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("j_total", "h").Add(5)
+	reg.Gauge("j_gauge", "h", "k", "v").Set(-2)
+	reg.Histogram("j_hist", "h", []float64{1}).Observe(0.5)
+	reg.Collect(func(e *Emitter) { e.Emit("j_dyn", "h", 1.5, "a", "b") })
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc["j_total"] != float64(5) {
+		t.Errorf("j_total = %v, want 5", doc["j_total"])
+	}
+	sub, ok := doc["j_gauge"].(map[string]any)
+	if !ok || sub[`k="v"`] != float64(-2) {
+		t.Errorf("j_gauge = %v, want labelled -2", doc["j_gauge"])
+	}
+	hist, ok := doc["j_hist"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("j_hist = %v, want histogram object with count 1", doc["j_hist"])
+	}
+	dyn, ok := doc["j_dyn"].(map[string]any)
+	if !ok || dyn[`a="b"`] != 1.5 {
+		t.Errorf("j_dyn = %v, want labelled 1.5", doc["j_dyn"])
+	}
+}
+
+// TestLabelEscaping pins the Prometheus escaping rules for label values.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "h", "q", "a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped sample %q missing from:\n%s", want, sb.String())
+	}
+}
+
+// TestConcurrentScrape hammers the registry from writer goroutines while
+// scrapes run — run under -race in CI, this is the lock-free write path's
+// soundness test.
+func TestConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewMux(reg, NewFlightSet()))
+	defer srv.Close()
+
+	// Writers run a fixed iteration count (unbounded spinning would grow the
+	// registry faster than scrapes can render it); scrapes overlap them.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctr := reg.Counter("cs_total", "h", "w", fmt.Sprint(w))
+			g := reg.Gauge("cs_gauge", "h")
+			h := reg.Histogram("cs_seconds", "h", LatencyBuckets())
+			for i := 0; i < 50000; i++ {
+				ctr.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%10) * 1e-5)
+				if i%1000 == 0 {
+					// Register fresh series concurrently with scrapes too.
+					reg.Counter("cs_total", "h", "w", fmt.Sprint(w), "i", fmt.Sprint(i)).Inc()
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 20; s++ {
+		for _, path := range []string{"/metrics", "/debug/vars"} {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("GET %s: %d", path, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cs_total{w="0"}`) {
+		t.Error("per-writer counter series missing after concurrent run")
+	}
+}
