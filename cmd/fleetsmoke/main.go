@@ -1,0 +1,471 @@
+// Command fleetsmoke is the fleet's real-process chaos smoke: it spawns N
+// replica children (each a mini hdservice in fleet mode) over one shared
+// checkpoint directory, SIGKILLs a replica mid-job, and asserts the three
+// fleet guarantees with actual processes, actual files and actual clocks:
+//
+//  1. a survivor steals and finishes the orphaned job within 2x the lease
+//     TTL of the kill;
+//  2. the finished estimates are bit-identical to an uninterrupted
+//     in-process reference run (JSON round-trips float64 exactly);
+//  3. query accounting is exactly-once across the ownership change: the
+//     final cost equals the stolen checkpoint's spend plus precisely the
+//     queries the thief's backend served — with the steal's epoch bump as
+//     the fencing proof.
+//
+// It prints a JSON summary (optionally to -out) and exits non-zero on any
+// violation, so CI can run it directly. internal/fleet/chaostest is the
+// deterministic in-process counterpart; this is the end-to-end drill.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/fleet"
+	"hdunbiased/internal/hdb"
+)
+
+var (
+	child    = flag.Bool("child", false, "run as a replica child (internal; parents spawn these)")
+	node     = flag.String("node", "", "replica id (child mode)")
+	addr     = flag.String("addr", "", "listen address (child mode)")
+	store    = flag.String("store", "", "shared checkpoint directory")
+	replicas = flag.Int("replicas", 3, "fleet size")
+	ttl      = flag.Duration("ttl", 2*time.Second, "lease TTL")
+	perQuery = flag.Duration("sleep-per-query", time.Millisecond, "backend throttle: stretches the job so the kill lands mid-job")
+	m        = flag.Int("m", 3000, "dataset size")
+	k        = flag.Int("k", 20, "top-k")
+	maxPass  = flag.Int("max-passes", 300, "estimation passes per job")
+	out      = flag.String("out", "", "write the JSON summary here as well as stdout")
+	timeout  = flag.Duration("timeout", 120*time.Second, "overall smoke deadline")
+)
+
+const (
+	specR   = 3
+	specDUB = 16
+	seed    = 7
+)
+
+func main() {
+	flag.Parse()
+	log.SetFlags(log.Lmicroseconds)
+	if *child {
+		runChild()
+		return
+	}
+	if err := runParent(); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Child: one fleet replica.
+
+// smokeBackend throttles and counts backend queries; /debug/queries exposes
+// the count so the parent can audit exactly-once accounting from outside.
+type smokeBackend struct {
+	inner   hdb.Interface
+	sleep   time.Duration
+	queries atomic.Int64
+}
+
+func (b *smokeBackend) Schema() hdb.Schema { return b.inner.Schema() }
+func (b *smokeBackend) K() int             { return b.inner.K() }
+func (b *smokeBackend) Query(q hdb.Query) (hdb.Result, error) {
+	if b.sleep > 0 {
+		time.Sleep(b.sleep)
+	}
+	b.queries.Add(1)
+	return b.inner.Query(q)
+}
+
+func runChild() {
+	if *node == "" || *addr == "" || *store == "" {
+		log.Fatal("child mode requires -node, -addr and -store")
+	}
+	d, err := datagen.Auto(*m, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := d.Table(*k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backend := &smokeBackend{inner: tbl, sleep: *perQuery}
+
+	fs, err := estsvc.NewFileStore(*store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leases, err := fleet.NewFileLeaseStore(*store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fenced, err := fleet.NewFencedStore(fs, leases, *node, *ttl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := estsvc.NewManager(backend,
+		estsvc.WithStore(fenced),
+		estsvc.WithCheckpointEvery(1),
+		estsvc.WithJobIDPrefix("job-"+*node))
+	nd, err := fleet.NewNode(mgr, fenced, fleet.NodeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range nd.ScanOnce() {
+		log.Printf("[%s] boot-resumed %s", *node, j.ID)
+	}
+	nd.Start()
+
+	mux := http.NewServeMux()
+	fleet.NewHealth(fenced, nil).Register(mux)
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"queries":%d}`+"\n", backend.queries.Load())
+	})
+	mux.Handle("/", mgr.Handler())
+	log.Printf("[%s] replica on %s (ttl %s)", *node, *addr, *ttl)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// ---------------------------------------------------------------------------
+// Parent: orchestrates the drill.
+
+type summary struct {
+	OK             bool    `json:"ok"`
+	Replicas       int     `json:"replicas"`
+	TTLMillis      int64   `json:"ttl_ms"`
+	JobID          string  `json:"job_id"`
+	Thief          string  `json:"thief"`
+	StealLatencyMS float64 `json:"steal_latency_ms"`
+	StealBudgetMS  float64 `json:"steal_budget_ms"` // 2x TTL
+	LeaseEpoch     uint64  `json:"lease_epoch"`     // 2 after one steal: the fencing proof
+	CostAtKill     int64   `json:"cost_at_kill"`
+	ThiefQueries   int64   `json:"thief_queries"`
+	FinalCost      int64   `json:"final_cost"`
+	Passes         int64   `json:"passes"`
+	BitIdentical   bool    `json:"bit_identical"`
+	ExactlyOnce    bool    `json:"exactly_once"`
+}
+
+type jobPayload struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Snapshot struct {
+		Measures []struct {
+			Mean   float64 `json:"mean"`
+			StdErr float64 `json:"stderr"`
+		} `json:"measures"`
+		Passes int64 `json:"passes"`
+		Cost   int64 `json:"cost"`
+	} `json:"snapshot"`
+}
+
+func runParent() error {
+	deadline := time.Now().Add(*timeout)
+	dir, err := os.MkdirTemp("", "fleetsmoke-")
+	if err != nil {
+		return err
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	addrs := make([]string, *replicas)
+	procs := make([]*exec.Cmd, *replicas)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	for i := 0; i < *replicas; i++ {
+		cmd := exec.Command(self, "-child",
+			"-node", fmt.Sprintf("n%d", i),
+			"-addr", addrs[i],
+			"-store", dir,
+			"-ttl", ttl.String(),
+			"-sleep-per-query", perQuery.String(),
+			"-m", fmt.Sprint(*m), "-k", fmt.Sprint(*k))
+		cmd.Stderr = os.Stderr
+		cmd.Stdout = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs[i] = cmd
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+		os.RemoveAll(dir)
+	}()
+
+	for i, a := range addrs {
+		if err := waitHTTP(a, "/healthz", deadline); err != nil {
+			return fmt.Errorf("replica %d never became healthy: %w", i, err)
+		}
+	}
+	log.Printf("fleet of %d up over %s", *replicas, dir)
+
+	// The uninterrupted reference run, in-process: the answer the fleet must
+	// reproduce across the kill.
+	ref, err := referenceRun()
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+
+	// Start the job on replica 0.
+	body := fmt.Sprintf(
+		`{"algo":"hd","r":%d,"dub":%d,"workers":1,"seed":%d,"max_passes":%d,"min_passes":2,"checkpoint_every":1}`,
+		specR, specDUB, seed, *maxPass)
+	resp, err := http.Post("http://"+addrs[0]+"/v1/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var started jobPayload
+	err = json.NewDecoder(resp.Body).Decode(&started)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("estimate: status %d err %v", resp.StatusCode, err)
+	}
+	jobID := started.ID
+	log.Printf("job %s started on n0", jobID)
+
+	// Wait for real checkpointed progress, then SIGKILL the owner.
+	for {
+		if cost, ok := envelopeCost(dir, jobID); ok && cost > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s never checkpointed progress", jobID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := procs[0].Process.Kill(); err != nil {
+		return err
+	}
+	procs[0].Wait()
+	procs[0] = nil
+	killedAt := time.Now()
+	costAtKill, ok := envelopeCost(dir, jobID)
+	if !ok || costAtKill <= 0 {
+		return fmt.Errorf("no checkpoint on disk after kill (cost %d)", costAtKill)
+	}
+	log.Printf("SIGKILL n0 with job %s at cost %d", jobID, costAtKill)
+
+	// A survivor must steal within 2x TTL: TTL to expiry plus a scan
+	// interval (TTL/3) and jitter leaves real headroom in the budget.
+	budget := 2 * *ttl
+	var thief int
+	var stealLatency time.Duration
+findThief:
+	for {
+		for i := 1; i < *replicas; i++ {
+			if _, err := getJob(addrs[i], jobID); err == nil {
+				thief = i
+				stealLatency = time.Since(killedAt)
+				break findThief
+			}
+		}
+		if time.Since(killedAt) > budget+time.Second { // grace for the assertion to fail loudly below
+			return fmt.Errorf("no survivor stole job %s within %s", jobID, budget+time.Second)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	leases, err := fleet.NewFileLeaseStore(dir)
+	if err != nil {
+		return err
+	}
+	lease, ok, err := leases.Get(jobID)
+	if err != nil || !ok {
+		return fmt.Errorf("no lease for stolen job: ok=%v err=%v", ok, err)
+	}
+	log.Printf("n%d stole %s after %s (lease epoch %d)", thief, jobID, stealLatency.Round(time.Millisecond), lease.Epoch)
+
+	// Wait for completion on the thief.
+	var final jobPayload
+	for {
+		j, err := getJob(addrs[thief], jobID)
+		if err == nil && j.State != "running" {
+			final = j
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stolen job still running at the deadline")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if final.State != "done" {
+		return fmt.Errorf("stolen job ended %q (%s), want done", final.State, final.Error)
+	}
+	thiefQueries, err := getQueries(addrs[thief])
+	if err != nil {
+		return err
+	}
+
+	s := summary{
+		Replicas:       *replicas,
+		TTLMillis:      ttl.Milliseconds(),
+		JobID:          jobID,
+		Thief:          fmt.Sprintf("n%d", thief),
+		StealLatencyMS: float64(stealLatency) / float64(time.Millisecond),
+		StealBudgetMS:  float64(budget) / float64(time.Millisecond),
+		LeaseEpoch:     lease.Epoch,
+		CostAtKill:     costAtKill,
+		ThiefQueries:   thiefQueries,
+		FinalCost:      final.Snapshot.Cost,
+		Passes:         final.Snapshot.Passes,
+		BitIdentical:   sameEstimates(final, ref),
+		ExactlyOnce:    final.Snapshot.Cost == costAtKill+thiefQueries,
+	}
+	s.OK = s.BitIdentical && s.ExactlyOnce && stealLatency <= budget && lease.Epoch == 2
+
+	blob, _ := json.MarshalIndent(s, "", "  ")
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if !s.OK {
+		return fmt.Errorf("guarantees violated: bit_identical=%v exactly_once=%v steal=%s (budget %s) epoch=%d",
+			s.BitIdentical, s.ExactlyOnce, stealLatency, budget, lease.Epoch)
+	}
+	log.Printf("PASS: stolen in %s, estimates bit-identical, %d+%d=%d queries charged exactly once",
+		stealLatency.Round(time.Millisecond), costAtKill, thiefQueries, final.Snapshot.Cost)
+	return nil
+}
+
+func referenceRun() (estsvc.Snapshot, error) {
+	d, err := datagen.Auto(*m, 2)
+	if err != nil {
+		return estsvc.Snapshot{}, err
+	}
+	tbl, err := d.Table(*k)
+	if err != nil {
+		return estsvc.Snapshot{}, err
+	}
+	spec := estsvc.Spec{Algo: "hd", R: specR, DUB: specDUB}
+	factory, _, err := spec.NewFactory(tbl.Schema())
+	if err != nil {
+		return estsvc.Snapshot{}, err
+	}
+	sess, err := estsvc.New(tbl, factory, estsvc.Config{
+		Workers: 1, Seed: seed, MaxPasses: *maxPass, MinPasses: 2,
+	})
+	if err != nil {
+		return estsvc.Snapshot{}, err
+	}
+	return sess.Run(context.Background())
+}
+
+func sameEstimates(got jobPayload, ref estsvc.Snapshot) bool {
+	if got.Snapshot.Passes != ref.Passes || len(got.Snapshot.Measures) != len(ref.Measures) {
+		return false
+	}
+	for i, m := range ref.Measures {
+		if math.Float64bits(got.Snapshot.Measures[i].Mean) != math.Float64bits(m.Mean) ||
+			math.Float64bits(got.Snapshot.Measures[i].StdErr) != math.Float64bits(m.StdErr) {
+			return false
+		}
+	}
+	return true
+}
+
+// envelopeCost reads the job's highest-epoch envelope straight off the shared
+// directory — the parent audits the store like a fourth, read-only replica.
+func envelopeCost(dir, jobID string) (int64, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false
+	}
+	var best string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, jobID+"@") && strings.HasSuffix(name, ".json") && name > best {
+			best = name
+		}
+	}
+	if best == "" {
+		return 0, false
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, best))
+	if err != nil {
+		return 0, false
+	}
+	var env struct {
+		Session struct {
+			Cost int64 `json:"cost"`
+		} `json:"session"`
+	}
+	if json.Unmarshal(blob, &env) != nil {
+		return 0, false
+	}
+	return env.Session.Cost, true
+}
+
+func getJob(addr, id string) (jobPayload, error) {
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		return jobPayload{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobPayload{}, fmt.Errorf("job %s: status %d", id, resp.StatusCode)
+	}
+	var j jobPayload
+	return j, json.NewDecoder(resp.Body).Decode(&j)
+}
+
+func getQueries(addr string) (int64, error) {
+	resp, err := http.Get("http://" + addr + "/debug/queries")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Queries int64 `json:"queries"`
+	}
+	return v.Queries, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func waitHTTP(addr, path string, deadline time.Time) error {
+	for {
+		resp, err := http.Get("http://" + addr + path)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout waiting for %s%s", addr, path)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

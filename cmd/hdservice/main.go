@@ -17,6 +17,14 @@
 //	# Durable: jobs checkpoint to -store and resume when the service restarts
 //	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs
 //
+//	# Fleet: N replicas over one shared store; lease-owned jobs, and a
+//	# reaper on every replica that steals and resumes jobs whose owner
+//	# died. Admission control sheds new estimates (429 + Retry-After)
+//	# before it ever refuses a resume.
+//	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs -fleet -node n0 &
+//	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs -fleet -node n1 \
+//	          -addr 127.0.0.1:8091 -pool 64 -tenant-max-jobs 8
+//
 //	# Observability: Prometheus /metrics, /debug/vars, per-job flight
 //	# recorders and pprof on a side listener
 //	hdservice -dataset auto -m 100000 -metrics-addr 127.0.0.1:9090
@@ -48,6 +56,7 @@ import (
 
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/fleet"
 	"hdunbiased/internal/hdb"
 	"hdunbiased/internal/obs"
 	"hdunbiased/internal/webform"
@@ -69,6 +78,16 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
 		retryMax   = flag.Int("retry-attempts", 4, "attempts per query against a -url backend (1 = no retries)")
 		retryDelay = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff against a -url backend")
+
+		fleetMode = flag.Bool("fleet", false, "replicated mode: lease-owned jobs over the shared -store, with a reaper that steals and resumes jobs whose replica died (requires -store)")
+		nodeID    = flag.String("node", "", "replica id in -fleet mode (default host-pid)")
+		leaseTTL  = flag.Duration("lease-ttl", 15*time.Second, "job-lease TTL in -fleet mode: a replica silent this long loses its jobs to the fleet")
+
+		pool            = flag.Int("pool", 0, "admission: max concurrently running jobs for new estimates (0 = unlimited)")
+		resumeHeadroom  = flag.Int("resume-headroom", 0, "admission: extra slots beyond -pool reserved for resumes (0 = pool/4+1)")
+		tenantMaxJobs   = flag.Int("tenant-max-jobs", 0, "admission: per-tenant concurrent-job cap (0 = unlimited; tenants identified by the X-Tenant header)")
+		tenantMaxBudget = flag.Int64("tenant-max-budget", 0, "admission: per-tenant aggregate outstanding max_cost cap (0 = unlimited)")
+		tenantStartRate = flag.Float64("tenant-start-rate", 0, "admission: per-tenant sustained job starts per second (0 = unlimited)")
 
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/flight and /debug/pprof on this address (empty = off)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget: close HTTP connections and settle running jobs before exit")
@@ -106,19 +125,61 @@ func main() {
 	tracer.Publish(nil)
 	backend = tracer
 
+	if *fleetMode && *store == "" {
+		log.Fatal("-fleet requires -store (the shared checkpoint directory is the fleet's medium)")
+	}
 	var opts []estsvc.ManagerOption
 	if *batch {
 		opts = append(opts, estsvc.WithBatch())
 	}
+	var (
+		jobStore estsvc.JobStore
+		fenced   *fleet.FencedStore
+	)
 	if *store != "" {
 		fs, err := estsvc.NewFileStore(*store)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, estsvc.WithStore(fs), estsvc.WithCheckpointEvery(*ckptEvery))
+		jobStore = fs
+		if *fleetMode {
+			if *nodeID == "" {
+				host, _ := os.Hostname()
+				if host == "" {
+					host = "node"
+				}
+				*nodeID = fmt.Sprintf("%s-%d", host, os.Getpid())
+			}
+			leases, err := fleet.NewFileLeaseStore(*store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fenced, err = fleet.NewFencedStore(fs, leases, *nodeID, *leaseTTL)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobStore = fenced
+			// Distinct ID prefixes per replica: two fleet members can never
+			// mint the same job ID over the shared store.
+			opts = append(opts, estsvc.WithJobIDPrefix("job-"+*nodeID))
+		}
+		opts = append(opts, estsvc.WithStore(jobStore), estsvc.WithCheckpointEvery(*ckptEvery))
 	}
 	mgr := estsvc.NewManager(backend, opts...)
-	if *store != "" {
+	var node *fleet.Node
+	if fenced != nil {
+		node, err = fleet.NewNode(mgr, fenced, fleet.NodeConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Fleet boot resume: even this replica's own orphans go through the
+		// lease CAS (ScanOnce), so a twin replica can't double-resume them.
+		for _, j := range node.ScanOnce() {
+			log.Printf("resumed %s (passes=%d cost=%d)", j.ID, j.Snapshot().Passes, j.Snapshot().Cost)
+		}
+		node.Start()
+		log.Printf("fleet mode: node %s, lease TTL %s", *nodeID, *leaseTTL)
+	} else if *store != "" {
 		jobs, err := mgr.ResumeAll()
 		if err != nil {
 			log.Printf("resume: %v", err)
@@ -143,11 +204,30 @@ func main() {
 		*addr, backendName(*urlFlag, *dataset), len(schema.Attrs), backend.K())
 	log.Printf("POST /v1/estimate, GET /v1/jobs, GET /v1/jobs/{id}, POST /v1/jobs/{id}/cancel, POST /v1/jobs/{id}:resume")
 
-	// Serve until the first signal, then shut down gracefully: stop accepting
-	// work, close idle/in-flight HTTP connections, and drain running jobs so
-	// their launch goroutines finish the final checkpoint-envelope writes —
-	// a drained durable service resumes cleanly on the next boot.
-	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+	// Admission control in front of the job API: per-tenant caps plus a
+	// global pool with resume headroom, shedding with 429 + Retry-After. A
+	// nil-policy gate passes everything through, so it is always mounted.
+	adm := fleet.NewAdmission(mgr, fleet.AdmissionConfig{
+		Pool:           *pool,
+		ResumeHeadroom: *resumeHeadroom,
+		Tenant: fleet.TenantPolicy{
+			MaxJobs:   *tenantMaxJobs,
+			MaxBudget: *tenantMaxBudget,
+			StartRate: *tenantStartRate,
+		},
+	})
+	health := fleet.NewHealth(jobStore, adm)
+	mux := http.NewServeMux()
+	health.Register(mux)
+	mux.Handle("/", adm.Middleware(mgr.Handler()))
+
+	// Serve until the first signal, then shut down gracefully: flip /readyz
+	// (the balancer stops routing), stop accepting work, close idle and
+	// in-flight HTTP connections, and drain running jobs so their launch
+	// goroutines finish the final checkpoint-envelope writes — a drained
+	// durable service resumes cleanly on the next boot, and a drained fleet
+	// replica's leases expire for the rest of the fleet to steal.
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
@@ -156,6 +236,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("signal received; draining (budget %s)", *drainTimeout)
+	health.SetDraining(true)
+	if node != nil {
+		node.Stop()
+	}
 	sdCtx, sdCancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer sdCancel()
 	if err := srv.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -75,6 +75,7 @@ type Manager struct {
 	store           JobStore
 	checkpointEvery int
 	batch           bool           // default every job to lockstep-cohort execution
+	idPrefix        string         // job-ID prefix ("job" → job-000001); replicas use distinct prefixes
 	flights         *obs.FlightSet // per-job lifecycle event rings (see metrics.go)
 
 	// resumeMu serializes Resume end to end, so two concurrent resume
@@ -112,12 +113,24 @@ func WithBatch() ManagerOption {
 	return func(m *Manager) { m.batch = true }
 }
 
+// WithJobIDPrefix replaces the default "job" ID prefix (ids become
+// "<prefix>-000001"). Fleet replicas sharing one JobStore each use a distinct
+// prefix (e.g. "job-<node>") so two replicas can never mint the same ID. The
+// prefix must be a valid job-ID fragment (no path separators or '@').
+func WithJobIDPrefix(prefix string) ManagerOption {
+	return func(m *Manager) {
+		if prefix != "" && checkJobID(prefix) == nil && !strings.Contains(prefix, "@") {
+			m.idPrefix = prefix
+		}
+	}
+}
+
 // NewManager builds a Manager serving sessions against backend. The
 // backend's Query must be safe for concurrent use (hdb.Table and
 // webform.Client both are).
 func NewManager(backend hdb.Interface, opts ...ManagerOption) *Manager {
 	m := &Manager{backend: backend, jobs: make(map[string]*Job), checkpointEvery: 4,
-		flights: obs.NewFlightSet()}
+		idPrefix: "job", flights: obs.NewFlightSet()}
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -200,7 +213,7 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 
 	m.mu.Lock()
 	m.seq++
-	id := fmt.Sprintf("job-%06d", m.seq)
+	id := fmt.Sprintf("%s-%06d", m.idPrefix, m.seq)
 	m.mu.Unlock()
 
 	if m.store == nil {
@@ -296,8 +309,10 @@ func (m *Manager) Resume(id string) (*Job, error) {
 		}
 	}
 	// Keep fresh IDs ahead of resumed ones so a restarted service never
-	// hands out an ID the store still remembers.
-	if n, ok := parseJobSeq(id); ok && n > m.seq {
+	// hands out an ID the store still remembers. Foreign-prefix IDs (a
+	// stolen replica's jobs) don't touch the sequence — their prefix can
+	// never collide with ours.
+	if n, ok := parseJobSeq(m.idPrefix, id); ok && n > m.seq {
 		m.seq = n
 	}
 	m.mu.Unlock()
@@ -367,9 +382,10 @@ func (m *Manager) ResumeAll() ([]*Job, error) {
 	return jobs, nil
 }
 
-// parseJobSeq extracts the sequence number from a Manager-issued ID.
-func parseJobSeq(id string) (int, bool) {
-	num, ok := strings.CutPrefix(id, "job-")
+// parseJobSeq extracts the sequence number from an ID this Manager's prefix
+// issued.
+func parseJobSeq(prefix, id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, prefix+"-")
 	if !ok {
 		return 0, false
 	}
@@ -378,6 +394,37 @@ func parseJobSeq(id string) (int, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+// RunningJobs counts jobs currently in JobRunning state — the occupancy
+// number admission control and readiness probes key off.
+func (m *Manager) RunningJobs() int {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, j := range jobs {
+		if state, _ := j.State(); state == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// EnvelopeState peeks the job lifecycle state recorded in a stored envelope
+// without decoding the session payload — how a fleet reaper decides whether
+// an orphaned envelope is steal-worthy (running) or deliberately stopped.
+func EnvelopeState(blob []byte) (JobState, bool) {
+	var env struct {
+		State JobState `json:"state"`
+	}
+	if json.Unmarshal(blob, &env) != nil || env.State == "" {
+		return "", false
+	}
+	return env.State, true
 }
 
 // Get returns the job with the given id.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // JobStore persists job checkpoints by job ID. Put must be atomic at the
@@ -89,12 +90,40 @@ type FileStore struct {
 	mu  sync.Mutex
 }
 
-// NewFileStore opens (creating if needed) a directory-backed store.
+// tmpSweepAge is how old a *.tmp leftover must be before NewFileStore
+// removes it. A crashed Put strands its temp file forever (List skips them,
+// but a long-lived store directory accumulates one per crash); the age gate
+// keeps the sweep from racing another live replica's in-flight rename when
+// several processes share the directory in fleet mode.
+const tmpSweepAge = time.Hour
+
+// NewFileStore opens (creating if needed) a directory-backed store, sweeping
+// stale *.tmp leftovers from crashed atomic renames.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("estsvc: job store: %w", err)
 	}
-	return &FileStore{dir: dir}, nil
+	s := &FileStore{dir: dir}
+	s.sweepTmp(time.Now())
+	return s, nil
+}
+
+// sweepTmp removes *.tmp files older than tmpSweepAge.
+func (s *FileStore) sweepTmp(now time.Time) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || now.Sub(info.ModTime()) < tmpSweepAge {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, e.Name()))
+	}
 }
 
 // Dir returns the store's directory.

@@ -1,0 +1,54 @@
+package estsvc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFileStoreSweepsStaleTmp: NewFileStore removes *.tmp leftovers from
+// crashed atomic renames — but only old ones, so it cannot race another live
+// replica's in-flight Put when the directory is shared in fleet mode.
+func TestFileStoreSweepsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+
+	stale := filepath.Join(dir, "job-000001.json.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(dir, "job-000002.json.tmp")
+	if err := os.WriteFile(fresh, []byte("in-flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "job-000003.json")
+	if err := os.WriteFile(keep, []byte(`{"id":"job-000003"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale tmp survived the sweep: err = %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh tmp swept (could be another replica's in-flight rename): %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("real checkpoint touched by the sweep: %v", err)
+	}
+	ids, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "job-000003" {
+		t.Fatalf("List = %v, want [job-000003]", ids)
+	}
+}

@@ -1,0 +1,311 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+)
+
+// Multi-tenant admission control in front of the job API. The worker pools
+// behind POST /v1/estimate are a shared resource; a single tenant stampeding
+// the service must degrade into 429 + Retry-After for that tenant, not into
+// unbounded goroutines and starved neighbours. Three mechanisms, all checked
+// before a job is created:
+//
+//   - a global pool cap on concurrently running jobs (resumes get headroom
+//     above it: under pressure, new estimates shed first, resumed jobs —
+//     which represent already-paid query spend — shed last);
+//   - per-tenant caps on concurrent jobs and on aggregate outstanding query
+//     budget (the sum of admitted jobs' MaxCost);
+//   - a per-tenant token bucket on job starts, whose deficit prices the
+//     Retry-After hint.
+//
+// Running jobs are never dropped: admission only gates job creation, so a
+// checkpointable job keeps checkpointing no matter how saturated the pools
+// are. GETs (job polls) bypass every check — shedding must not blind the
+// dashboards watching it happen.
+
+// TenantHeader names the request header carrying the tenant id; absent means
+// tenant "default".
+const TenantHeader = "X-Tenant"
+
+// DefaultBudgetCharge is the query budget charged against a tenant's
+// MaxBudget for a request without an explicit max_cost (mirrors the
+// Manager's default job budget).
+const DefaultBudgetCharge = 1000
+
+// TenantPolicy is the per-tenant admission policy (uniform across tenants;
+// zero fields disable the corresponding check).
+type TenantPolicy struct {
+	// MaxJobs caps a tenant's concurrently running jobs.
+	MaxJobs int
+	// MaxBudget caps the aggregate outstanding MaxCost across a tenant's
+	// running jobs.
+	MaxBudget int64
+	// StartRate is the sustained job-starts-per-second refill.
+	StartRate float64
+	// StartBurst is the token-bucket capacity (default max(1, ⌈StartRate⌉)).
+	StartBurst int
+}
+
+// AdmissionConfig tunes an Admission gate.
+type AdmissionConfig struct {
+	// Pool caps concurrently running jobs across all tenants for NEW
+	// estimates (0 disables the global check).
+	Pool int
+	// ResumeHeadroom is how many slots beyond Pool resume requests may use
+	// (default Pool/4+1): graceful degradation sheds fresh work first.
+	ResumeHeadroom int
+	// Tenant is the per-tenant policy.
+	Tenant TenantPolicy
+	// MinRetryAfter floors the Retry-After hint on shed responses
+	// (default 1s).
+	MinRetryAfter time.Duration
+	// Now is the token-bucket clock (default time.Now).
+	Now func() time.Time
+}
+
+// Admission is the HTTP middleware enforcing an AdmissionConfig over one
+// Manager. Safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+	mgr *estsvc.Manager
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+type tenantState struct {
+	tokens float64
+	last   time.Time
+	jobs   map[string]int64 // admitted job id -> budget charge
+}
+
+// NewAdmission builds the gate.
+func NewAdmission(mgr *estsvc.Manager, cfg AdmissionConfig) *Admission {
+	if cfg.ResumeHeadroom <= 0 {
+		cfg.ResumeHeadroom = cfg.Pool/4 + 1
+	}
+	if cfg.MinRetryAfter <= 0 {
+		cfg.MinRetryAfter = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Tenant.StartRate > 0 && cfg.Tenant.StartBurst <= 0 {
+		cfg.Tenant.StartBurst = int(math.Max(1, math.Ceil(cfg.Tenant.StartRate)))
+	}
+	return &Admission{cfg: cfg, mgr: mgr, tenants: make(map[string]*tenantState)}
+}
+
+// Saturated reports whether the global pool is at or over capacity — the
+// readiness probe's signal to route new work elsewhere.
+func (a *Admission) Saturated() bool {
+	return a.cfg.Pool > 0 && a.mgr.RunningJobs() >= a.cfg.Pool
+}
+
+// tenant returns (creating) the named tenant's state. Caller holds a.mu.
+func (a *Admission) tenant(name string) *tenantState {
+	ts := a.tenants[name]
+	if ts == nil {
+		ts = &tenantState{tokens: float64(a.cfg.Tenant.StartBurst), last: a.cfg.Now(),
+			jobs: make(map[string]int64)}
+		a.tenants[name] = ts
+	}
+	return ts
+}
+
+// reconcile drops a tenant's finished jobs from its slot/budget accounting.
+// Caller holds a.mu.
+func (a *Admission) reconcile(ts *tenantState) {
+	for id := range ts.jobs {
+		j, ok := a.mgr.Get(id)
+		if !ok {
+			delete(ts.jobs, id)
+			continue
+		}
+		if state, _ := j.State(); state != estsvc.JobRunning {
+			delete(ts.jobs, id)
+		}
+	}
+}
+
+// shedding decision: ok, or a Retry-After hint plus a human reason.
+type verdict struct {
+	ok         bool
+	retryAfter time.Duration
+	reason     string
+}
+
+// admitEstimate runs every check for a new job start by tenant with the
+// given budget charge. On admit, a rate token is consumed; the job slot is
+// reserved only once the start succeeds (Register).
+func (a *Admission) admitEstimate(tenant string, charge int64) verdict {
+	if a.cfg.Pool > 0 && a.mgr.RunningJobs() >= a.cfg.Pool {
+		return verdict{retryAfter: a.cfg.MinRetryAfter,
+			reason: fmt.Sprintf("worker pool saturated (%d running)", a.cfg.Pool)}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenant(tenant)
+	a.reconcile(ts)
+	p := a.cfg.Tenant
+	if p.MaxJobs > 0 && len(ts.jobs) >= p.MaxJobs {
+		return verdict{retryAfter: a.cfg.MinRetryAfter,
+			reason: fmt.Sprintf("tenant %q at its concurrent-job cap (%d)", tenant, p.MaxJobs)}
+	}
+	if p.MaxBudget > 0 {
+		var outstanding int64
+		for _, c := range ts.jobs {
+			outstanding += c
+		}
+		if outstanding+charge > p.MaxBudget {
+			return verdict{retryAfter: a.cfg.MinRetryAfter,
+				reason: fmt.Sprintf("tenant %q over its aggregate query budget (%d outstanding + %d requested > %d)",
+					tenant, outstanding, charge, p.MaxBudget)}
+		}
+	}
+	if p.StartRate > 0 {
+		now := a.cfg.Now()
+		ts.tokens = math.Min(float64(p.StartBurst), ts.tokens+now.Sub(ts.last).Seconds()*p.StartRate)
+		ts.last = now
+		if ts.tokens < 1 {
+			wait := time.Duration((1 - ts.tokens) / p.StartRate * float64(time.Second))
+			if wait < a.cfg.MinRetryAfter {
+				wait = a.cfg.MinRetryAfter
+			}
+			return verdict{retryAfter: wait,
+				reason: fmt.Sprintf("tenant %q over its start rate (%.3g/s)", tenant, p.StartRate)}
+		}
+		ts.tokens--
+	}
+	return verdict{ok: true}
+}
+
+// admitResume gates a resume: only the global pool (with headroom) applies —
+// a resume is already-paid work, shed last.
+func (a *Admission) admitResume() verdict {
+	if a.cfg.Pool > 0 && a.mgr.RunningJobs() >= a.cfg.Pool+a.cfg.ResumeHeadroom {
+		return verdict{retryAfter: a.cfg.MinRetryAfter,
+			reason: fmt.Sprintf("worker pool saturated beyond resume headroom (%d+%d running)",
+				a.cfg.Pool, a.cfg.ResumeHeadroom)}
+	}
+	return verdict{ok: true}
+}
+
+// Register records an admitted, successfully started job against its tenant.
+func (a *Admission) Register(tenant, jobID string, charge int64) {
+	a.mu.Lock()
+	a.tenant(tenant).jobs[jobID] = charge
+	a.mu.Unlock()
+}
+
+// Middleware wraps the job API with the admission checks. GETs and unknown
+// paths pass through untouched.
+func (a *Admission) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/estimate":
+			a.serveEstimate(next, w, r)
+		case r.Method == http.MethodPost && isResumePath(r.URL.Path):
+			if v := a.admitResume(); !v.ok {
+				shed(w, v)
+				return
+			}
+			obsAdmitted.Inc()
+			next.ServeHTTP(w, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// isResumePath matches both resume verb spellings the API accepts.
+func isResumePath(path string) bool {
+	return strings.HasPrefix(path, "/v1/jobs/") &&
+		(strings.HasSuffix(path, "/resume") || strings.HasSuffix(path, ":resume"))
+}
+
+// maxEstimateBody bounds how much request body admission will buffer to peek
+// the budget (the real handler re-reads the same buffered bytes).
+const maxEstimateBody = 1 << 20
+
+func (a *Admission) serveEstimate(next http.Handler, w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		tenant = "default"
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxEstimateBody))
+	if err != nil {
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	var peek struct {
+		MaxCost int64 `json:"max_cost"`
+	}
+	_ = json.Unmarshal(body, &peek) // malformed bodies fall through to the handler's 400
+	charge := peek.MaxCost
+	if charge <= 0 {
+		charge = DefaultBudgetCharge
+	}
+	if v := a.admitEstimate(tenant, charge); !v.ok {
+		shed(w, v)
+		return
+	}
+	obsAdmitted.Inc()
+	rec := &responseTap{inner: w, status: http.StatusOK}
+	next.ServeHTTP(rec, r)
+	if rec.status == http.StatusAccepted {
+		var payload struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(rec.body.Bytes(), &payload) == nil && payload.ID != "" {
+			a.Register(tenant, payload.ID, charge)
+		}
+	}
+}
+
+// shed answers 429 with the Retry-After hint.
+func shed(w http.ResponseWriter, v verdict) {
+	obsShed.Inc()
+	secs := int64(math.Ceil(v.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": "admission: " + v.reason})
+}
+
+// responseTap tees a handler's response so admission can read the created
+// job's id out of the 202 body after the fact.
+type responseTap struct {
+	inner  http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (t *responseTap) Header() http.Header { return t.inner.Header() }
+
+func (t *responseTap) WriteHeader(status int) {
+	t.status = status
+	t.inner.WriteHeader(status)
+}
+
+func (t *responseTap) Write(b []byte) (int, error) {
+	if t.status == http.StatusAccepted {
+		t.body.Write(b)
+	}
+	return t.inner.Write(b)
+}

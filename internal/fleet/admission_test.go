@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/hdb"
+)
+
+// pausedBackend blocks every query until released, so admitted jobs stay in
+// JobRunning for the duration of a test.
+type pausedBackend struct {
+	inner hdb.Interface
+	mu    sync.Mutex
+	cond  *sync.Cond
+	open  bool
+}
+
+func newPausedBackend(t testing.TB) *pausedBackend {
+	t.Helper()
+	d, err := datagen.Auto(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &pausedBackend{inner: tbl}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pausedBackend) release() {
+	b.mu.Lock()
+	b.open = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *pausedBackend) Schema() hdb.Schema { return b.inner.Schema() }
+func (b *pausedBackend) K() int             { return b.inner.K() }
+func (b *pausedBackend) Query(q hdb.Query) (hdb.Result, error) {
+	b.mu.Lock()
+	for !b.open {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return b.inner.Query(q)
+}
+
+func admissionFixture(t *testing.T, cfg AdmissionConfig) (*Admission, *estsvc.Manager, http.Handler) {
+	t.Helper()
+	backend := newPausedBackend(t)
+	mgr := estsvc.NewManager(backend)
+	adm := NewAdmission(mgr, cfg)
+	t.Cleanup(func() {
+		backend.release()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return adm, mgr, adm.Middleware(mgr.Handler())
+}
+
+func postEstimate(h http.Handler, tenant, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate", strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const jobBody = `{"workers":1,"max_passes":50}`
+
+func TestAdmissionTenantJobCap(t *testing.T) {
+	_, _, h := admissionFixture(t, AdmissionConfig{Tenant: TenantPolicy{MaxJobs: 2}})
+
+	for i := 0; i < 2; i++ {
+		if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusAccepted {
+			t.Fatalf("start %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := postEstimate(h, "acme", jobBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over cap: %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// A different tenant is unaffected.
+	if rec := postEstimate(h, "globex", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("other tenant: %d %s", rec.Code, rec.Body.String())
+	}
+	// The default tenant (no header) is its own bucket.
+	if rec := postEstimate(h, "", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("default tenant: %d", rec.Code)
+	}
+}
+
+func TestAdmissionTenantBudgetCap(t *testing.T) {
+	_, _, h := admissionFixture(t, AdmissionConfig{Tenant: TenantPolicy{MaxBudget: 1500}})
+
+	if rec := postEstimate(h, "acme", `{"workers":1,"max_cost":1000}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("first: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := postEstimate(h, "acme", `{"workers":1,"max_cost":1000}`); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over budget: %d, want 429", rec.Code)
+	}
+	if rec := postEstimate(h, "acme", `{"workers":1,"max_cost":400}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("within remaining budget: %d %s", rec.Code, rec.Body.String())
+	}
+	// A request without max_cost is charged the default.
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("default charge should exceed remaining budget: %d", rec.Code)
+	}
+}
+
+func TestAdmissionStartRate(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	_, _, h := admissionFixture(t, AdmissionConfig{
+		Tenant: TenantPolicy{StartRate: 1, StartBurst: 1},
+		Now:    clock.Now,
+	})
+
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("first: %d", rec.Code)
+	}
+	rec := postEstimate(h, "acme", jobBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("bucket empty: %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want the bucket deficit (1)", ra)
+	}
+	clock.Advance(time.Second)
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("after refill: %d", rec.Code)
+	}
+}
+
+func TestAdmissionPoolShedsEstimatesBeforeResumes(t *testing.T) {
+	adm, mgr, h := admissionFixture(t, AdmissionConfig{Pool: 1, ResumeHeadroom: 1})
+
+	if rec := postEstimate(h, "", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("first: %d", rec.Code)
+	}
+	// Pool full: new estimates shed...
+	if rec := postEstimate(h, "", jobBody); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("pool full: %d, want 429", rec.Code)
+	}
+	if !adm.Saturated() {
+		t.Fatal("Saturated() = false with a full pool")
+	}
+	// ...GET polls pass untouched...
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("poll under saturation: %d, want 200", rec.Code)
+	}
+	// ...and resumes still have headroom: the request reaches the handler
+	// (which answers 400 for a storeless Manager — anything but 429).
+	req = httptest.NewRequest(http.MethodPost, "/v1/jobs/job-000001/resume", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusTooManyRequests {
+		t.Fatal("resume shed within headroom")
+	}
+
+	// Fill the headroom too: now resumes shed as well.
+	spec := estsvc.Spec{Algo: "hd", R: 3, DUB: 16}
+	if _, err := mgr.Start(spec, estsvc.Config{Workers: 1, MaxPasses: 50}); err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/jobs/job-000001/resume", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("resume beyond headroom: %d, want 429", rec.Code)
+	}
+}
+
+// TestAdmissionReleasesFinishedJobs: slots come back once jobs finish.
+func TestAdmissionReleasesFinishedJobs(t *testing.T) {
+	backend := newPausedBackend(t)
+	mgr := estsvc.NewManager(backend)
+	adm := NewAdmission(mgr, AdmissionConfig{Tenant: TenantPolicy{MaxJobs: 1}})
+	h := adm.Middleware(mgr.Handler())
+
+	rec := postEstimate(h, "acme", jobBody)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("start: %d", rec.Code)
+	}
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("cap: %d, want 429", rec.Code)
+	}
+	backend.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("after the first job finished: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failingStore struct{ estsvc.JobStore }
+
+func (failingStore) List() ([]string, error) { return nil, errors.New("disk on fire") }
+
+func TestHealthEndpoints(t *testing.T) {
+	adm, _, h := admissionFixture(t, AdmissionConfig{Pool: 1})
+	health := NewHealth(estsvc.NewMemStore(), adm)
+	mux := http.NewServeMux()
+	health.Register(mux)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz idle: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Saturation flips readiness but not liveness.
+	if rec := postEstimate(h, "", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("start: %d", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz saturated: %d, want 503", rec.Code)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz saturated: %d, want 200", rec.Code)
+	}
+
+	// Draining flips readiness.
+	idle := NewHealth(estsvc.NewMemStore(), nil)
+	imux := http.NewServeMux()
+	idle.Register(imux)
+	idle.SetDraining(true)
+	rec := httptest.NewRecorder()
+	imux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz draining: %d, want 503", rec.Code)
+	}
+
+	// An unreachable store flips readiness, with the reason in the body.
+	sick := NewHealth(failingStore{}, nil)
+	smux := http.NewServeMux()
+	sick.Register(smux)
+	rec = httptest.NewRecorder()
+	smux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz sick store: %d, want 503", rec.Code)
+	}
+	var payload struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil || payload.Ready || len(payload.Reasons) == 0 {
+		t.Fatalf("readyz payload = %s (err %v)", rec.Body.String(), err)
+	}
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+)
+
+// BenchmarkLeaseRenewFile prices the fleet heartbeat: one fenced lease
+// renewal through the file CAS — the extra disk work every checkpoint pays
+// in fleet mode.
+func BenchmarkLeaseRenewFile(b *testing.B) {
+	st, err := NewFileLeaseStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := st.Acquire("job-1", "a", time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err = st.Renew(l, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkFencedPut(b *testing.B, inner estsvc.JobStore) {
+	leases := NewMemLeaseStore()
+	fs, err := NewFencedStore(inner, leases, "a", time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	envelope := bytes.Repeat([]byte("x"), 2<<10) // a typical checkpoint blob
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Put("job-1", envelope); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFencedPutMem isolates the fencing overhead itself (lease CAS +
+// epoch-key bookkeeping) with storage cost factored out.
+func BenchmarkFencedPutMem(b *testing.B) {
+	benchmarkFencedPut(b, estsvc.NewMemStore())
+}
+
+// BenchmarkFencedPutFile is the full fleet checkpoint write: fencing over
+// the atomic-rename file store.
+func BenchmarkFencedPutFile(b *testing.B) {
+	fs, err := estsvc.NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkFencedPut(b, fs)
+}
+
+// BenchmarkAdmissionPassThrough is the per-request cost the admission
+// middleware adds to requests it does not gate (job polls — the service's
+// highest-rate path).
+func BenchmarkAdmissionPassThrough(b *testing.B) {
+	mgr := estsvc.NewManager(newPausedBackend(b))
+	adm := NewAdmission(mgr, AdmissionConfig{Pool: 1000, Tenant: TenantPolicy{MaxJobs: 100}})
+	h := adm.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-000001", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+}
+
+// BenchmarkAdmissionAdmitEstimate is the full gated path: body peek, tenant
+// caps, token bucket and job registration off the 202 response.
+func BenchmarkAdmissionAdmitEstimate(b *testing.B) {
+	mgr := estsvc.NewManager(newPausedBackend(b))
+	adm := NewAdmission(mgr, AdmissionConfig{Pool: 0, Tenant: TenantPolicy{MaxBudget: 1 << 40}})
+	h := adm.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000001"}`))
+	}))
+	body := []byte(`{"algo":"hd","r":3,"workers":1,"max_cost":100}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/estimate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// poll500Fixture loads a Manager with 500 concurrently running jobs (workers
+// blocked in a paused backend) behind the admission middleware.
+func poll500Fixture(tb testing.TB) (http.Handler, []string) {
+	backend := newPausedBackend(tb)
+	mgr := estsvc.NewManager(backend)
+	adm := NewAdmission(mgr, AdmissionConfig{Tenant: TenantPolicy{MaxJobs: 1000}})
+	h := adm.Middleware(mgr.Handler())
+	spec := estsvc.Spec{Algo: "hd", R: 3, DUB: 16}
+	ids := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		j, err := mgr.Start(spec, estsvc.Config{Workers: 1, MaxPasses: 4})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	tb.Cleanup(func() {
+		backend.release()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := mgr.Drain(ctx); err != nil {
+			tb.Errorf("drain: %v", err)
+		}
+	})
+	return h, ids
+}
+
+// TestJobPollLatencyP99Under500Jobs is the admission/poll acceptance bar:
+// with 500 jobs concurrently running, the 99th-percentile GET /v1/jobs/{id}
+// latency through the admission middleware stays bounded. The 50ms ceiling
+// is deliberately loose for CI noise — the measured value (logged) sits in
+// the tens of microseconds.
+func TestJobPollLatencyP99Under500Jobs(t *testing.T) {
+	h, ids := poll500Fixture(t)
+
+	const probes = 2000
+	durs := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+ids[i%len(ids)], nil)
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		durs = append(durs, time.Since(start))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("poll %d: status %d", i, rec.Code)
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p50, p99 := durs[probes/2], durs[probes*99/100]
+	t.Logf("job-poll latency under 500 running jobs: p50=%s p99=%s", p50, p99)
+	if p99 > 50*time.Millisecond {
+		t.Fatalf("p99 poll latency %s exceeds the 50ms bound", p99)
+	}
+}
+
+// BenchmarkJobPollUnder500Jobs tracks the same path as ns/op for the perf
+// artifact.
+func BenchmarkJobPollUnder500Jobs(b *testing.B) {
+	h, ids := poll500Fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+ids[i%len(ids)], nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

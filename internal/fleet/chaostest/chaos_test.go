@@ -1,0 +1,393 @@
+package chaostest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/datagen"
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/hdb"
+)
+
+// The conformance suite: a replica dies (or stalls) mid-job and the fleet
+// must (a) steal and finish the job with estimates bit-identical to an
+// uninterrupted run, (b) account every backend query exactly once across the
+// ownership change, and (c) fence the original owner out if it comes back.
+//
+// Workers=1 everywhere: a single worker makes the query sequence — and so
+// the cache state, the checkpoint contents and the exact fault position —
+// a pure function of the seed, which is what lets these tests assert
+// bit-for-bit without tolerance windows.
+
+func autoBackend(m, k int) func() (hdb.Interface, error) {
+	return func() (hdb.Interface, error) {
+		d, err := datagen.Auto(m, 2)
+		if err != nil {
+			return nil, err
+		}
+		return d.Table(k)
+	}
+}
+
+var (
+	chaosSpec = estsvc.Spec{Algo: "hd", R: 3, DUB: 16}
+	chaosCfg  = estsvc.Config{Workers: 1, Seed: 7, MaxPasses: 300, MinPasses: 2}
+)
+
+// reference runs the job uninterrupted on a fresh backend and returns its
+// final snapshot — the answer every chaos schedule must reproduce.
+func reference(t *testing.T) estsvc.Snapshot {
+	t.Helper()
+	backend, err := autoBackend(3000, 20)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, _, err := chaosSpec.NewFactory(backend.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := estsvc.New(backend, factory, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func assertSameEstimates(t *testing.T, got, want estsvc.Snapshot) {
+	t.Helper()
+	if got.Passes != want.Passes {
+		t.Errorf("passes = %d, want %d", got.Passes, want.Passes)
+	}
+	if len(got.Measures) != len(want.Measures) {
+		t.Fatalf("measure count = %d, want %d", len(got.Measures), len(want.Measures))
+	}
+	for i := range want.Measures {
+		if math.Float64bits(got.Measures[i].Mean) != math.Float64bits(want.Measures[i].Mean) ||
+			math.Float64bits(got.Measures[i].StdErr) != math.Float64bits(want.Measures[i].StdErr) {
+			t.Errorf("measure %d: got mean=%x stderr=%x, want mean=%x stderr=%x", i,
+				math.Float64bits(got.Measures[i].Mean), math.Float64bits(got.Measures[i].StdErr),
+				math.Float64bits(want.Measures[i].Mean), math.Float64bits(want.Measures[i].StdErr))
+		}
+	}
+}
+
+// envelopeCost reads the cumulative query spend recorded in a stored
+// envelope — the number a thief's resume starts accounting from.
+func envelopeCost(t *testing.T, blob []byte) int64 {
+	t.Helper()
+	var env struct {
+		Session struct {
+			Cost int64 `json:"cost"`
+		} `json:"session"`
+	}
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatal(err)
+	}
+	return env.Session.Cost
+}
+
+func waitEnvelopeGone(t *testing.T, c *Cluster, i int, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := c.Replicas[i].Store.Get(id); errors.Is(err, estsvc.ErrNoCheckpoint) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("completed job's envelope never deleted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestKillStealResume(t *testing.T) {
+	ref := reference(t)
+
+	cl, err := NewCluster(ClusterConfig{
+		Replicas:      2,
+		TTL:           10 * time.Second,
+		Backend:       autoBackend(3000, 20),
+		SleepPerQuery: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := cl.Replicas[0], cl.Replicas[1]
+
+	// Kill after the second checkpoint: mid-job, with real progress stored.
+	checkpointed := make(chan struct{})
+	var once sync.Once
+	r0.Disk.SetPutHook(func(id string, n int) {
+		if n >= 2 {
+			once.Do(func() { close(checkpointed) })
+		}
+	})
+	job, err := r0.Mgr.Start(chaosSpec, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-checkpointed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no second checkpoint within 60s")
+	}
+	if err := cl.Kill(0); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	// A real kill leaves the envelope state "running" — steal-worthy.
+	blob, err := r1.Store.Get(job.ID)
+	if err != nil {
+		t.Fatalf("orphan envelope: %v", err)
+	}
+	if state, ok := estsvc.EnvelopeState(blob); !ok || state != estsvc.JobRunning {
+		t.Fatalf("orphan envelope state = %q, want running", state)
+	}
+	costAtKill := envelopeCost(t, blob)
+	if costAtKill <= 0 {
+		t.Fatalf("checkpointed cost = %d, want > 0", costAtKill)
+	}
+
+	// Before the lease expires, the reaper must leave the job alone.
+	if stolen := r1.Node.ScanOnce(); len(stolen) != 0 {
+		t.Fatalf("stole %d jobs while the lease was live", len(stolen))
+	}
+
+	cl.ExpireLeases()
+	stolen := r1.Node.ScanOnce()
+	if len(stolen) != 1 || stolen[0].ID != job.ID {
+		t.Fatalf("post-expiry scan stole %v, want [%s]", stolen, job.ID)
+	}
+	if l, ok, _ := cl.Leases.Get(job.ID); !ok || l.Owner != r1.Name || l.Epoch != 2 {
+		t.Fatalf("lease after steal = %+v, want owner %s epoch 2", l, r1.Name)
+	}
+
+	state, msg, err := cl.WaitJob(1, job.ID, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != estsvc.JobDone {
+		t.Fatalf("stolen job ended %s (%s), want done", state, msg)
+	}
+
+	// (a) Bit-identical estimates and pass count vs the unkilled run.
+	snap := stolen[0].Snapshot()
+	assertSameEstimates(t, snap, ref)
+
+	// (b) Exactly-once accounting across the ownership change: the final
+	// cost is the stolen checkpoint's spend plus precisely the queries the
+	// thief's backend actually served — the dead replica's post-checkpoint
+	// spend is gone (lost work, never double-counted) and the checkpointed
+	// base is charged once, not re-added per resume.
+	if want := costAtKill + r1.Backend.Queries(); snap.Cost != want {
+		t.Errorf("cost = %d, want %d (checkpoint %d + thief backend %d)",
+			snap.Cost, want, costAtKill, r1.Backend.Queries())
+	}
+
+	// A finished job leaves nothing behind: envelope gone, lease released.
+	waitEnvelopeGone(t, cl, 1, job.ID)
+	if _, ok, _ := cl.Leases.Get(job.ID); ok {
+		t.Error("lease survived job completion")
+	}
+}
+
+// TestPauseFencing: a stalled (SIGSTOP) replica loses its lease, the job is
+// stolen, and when the zombie wakes up its next checkpoint is fenced — the
+// job fails locally instead of double-spending, and the thief's answer is
+// canonical.
+func TestPauseFencing(t *testing.T) {
+	ref := reference(t)
+
+	cl, err := NewCluster(ClusterConfig{
+		Replicas:      2,
+		TTL:           10 * time.Second,
+		Backend:       autoBackend(3000, 20),
+		SleepPerQuery: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := cl.Replicas[0], cl.Replicas[1]
+
+	// Pause synchronously inside the second checkpoint's Put hook: the gate
+	// is closed before the session issues its next backend query, so the
+	// stall lands at an exact, seed-deterministic point.
+	paused := make(chan struct{})
+	var once sync.Once
+	r0.Disk.SetPutHook(func(id string, n int) {
+		if n >= 2 {
+			once.Do(func() {
+				r0.Backend.Pause()
+				close(paused)
+			})
+		}
+	})
+	job, err := r0.Mgr.Start(chaosSpec, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-paused:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no second checkpoint within 60s")
+	}
+
+	cl.ExpireLeases()
+	stolen := r1.Node.ScanOnce()
+	if len(stolen) != 1 {
+		t.Fatalf("stole %d jobs, want 1", len(stolen))
+	}
+
+	// SIGCONT: the zombie wakes and races the thief — and must lose.
+	r0.Backend.Resume()
+	state, msg, err := cl.WaitJob(0, job.ID, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != estsvc.JobFailed || !strings.Contains(msg, "fenced") {
+		t.Fatalf("zombie job ended %s (%q), want failed with a fencing error", state, msg)
+	}
+
+	state, msg, err = cl.WaitJob(1, job.ID, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != estsvc.JobDone {
+		t.Fatalf("thief job ended %s (%s), want done", state, msg)
+	}
+	assertSameEstimates(t, stolen[0].Snapshot(), ref)
+
+	// The fence also proves itself in the lease history: epoch 2, owner r1,
+	// with r0's stale renewal counted as a reject.
+	waitEnvelopeGone(t, cl, 1, job.ID)
+}
+
+// TestKeepaliveCancelsFencedJob: a paused replica that wakes up is also cut
+// off by its own reaper's keepalive (not just by the next checkpoint): the
+// renewal comes back fenced and the local job is cancelled, stopping wasted
+// backend spend even between checkpoints.
+func TestKeepaliveCancelsFencedJob(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Replicas:      2,
+		TTL:           10 * time.Second,
+		Backend:       autoBackend(3000, 20),
+		SleepPerQuery: 2 * time.Millisecond, // stretch rounds: the keepalive must win the race to the next checkpoint
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := cl.Replicas[0], cl.Replicas[1]
+
+	paused := make(chan struct{})
+	var once sync.Once
+	r0.Disk.SetPutHook(func(id string, n int) {
+		if n >= 1 {
+			once.Do(func() {
+				r0.Backend.Pause()
+				close(paused)
+			})
+		}
+	})
+	job, err := r0.Mgr.Start(chaosSpec, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-paused:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no checkpoint within 60s")
+	}
+
+	cl.ExpireLeases()
+	if stolen := r1.Node.ScanOnce(); len(stolen) != 1 {
+		t.Fatalf("stole %d jobs, want 1", len(stolen))
+	}
+
+	// The zombie wakes; before its next round-barrier checkpoint can fire,
+	// its own reaper scan discovers the fence and cancels the job.
+	r0.Backend.Resume()
+	r0.Node.ScanOnce()
+	state, _, err := cl.WaitJob(0, job.ID, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != estsvc.JobCancelled && state != estsvc.JobFailed {
+		t.Fatalf("zombie job = %s, want cancelled (keepalive fence) or failed (checkpoint fence)", state)
+	}
+
+	if state, msg, err := cl.WaitJob(1, job.ID, 120*time.Second); err != nil || state != estsvc.JobDone {
+		t.Fatalf("thief job = %s (%s), err %v", state, msg, err)
+	}
+}
+
+// TestBootScanResumesOwnOrphans: in fleet mode a restarted replica resumes
+// its own orphans through ScanOnce — the lease CAS, not ResumeAll — so a twin
+// replica racing the same boot can never double-resume a job.
+func TestBootScanResumesOwnOrphans(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Replicas:      3,
+		TTL:           10 * time.Second,
+		Backend:       autoBackend(3000, 20),
+		SleepPerQuery: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := cl.Replicas[0]
+
+	checkpointed := make(chan struct{})
+	var once sync.Once
+	r0.Disk.SetPutHook(func(id string, n int) {
+		if n >= 2 {
+			once.Do(func() { close(checkpointed) })
+		}
+	})
+	job, err := r0.Mgr.Start(chaosSpec, chaosCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-checkpointed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no second checkpoint within 60s")
+	}
+	if err := cl.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	cl.ExpireLeases()
+
+	// Two replicas race the boot scan over the same orphan: the CAS admits
+	// exactly one.
+	var wg sync.WaitGroup
+	stolen := make([][]*estsvc.Job, 2)
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stolen[i-1] = cl.Replicas[i].Node.ScanOnce()
+		}(i)
+	}
+	wg.Wait()
+	total := len(stolen[0]) + len(stolen[1])
+	if total != 1 {
+		t.Fatalf("%d replicas resumed the orphan (%d + %d), want exactly 1",
+			total, len(stolen[0]), len(stolen[1]))
+	}
+	winner := 1
+	if len(stolen[1]) == 1 {
+		winner = 2
+	}
+	if state, msg, err := cl.WaitJob(winner, job.ID, 120*time.Second); err != nil || state != estsvc.JobDone {
+		t.Fatalf("resumed job = %s (%s), err %v", state, msg, err)
+	}
+}

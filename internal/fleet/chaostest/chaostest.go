@@ -1,0 +1,323 @@
+// Package chaostest is the fleet's seeded in-process chaos harness: N
+// replicas (Manager + FencedStore + Node) over one shared job store and one
+// shared lease store, with every nondeterminism seam pinned — a fake clock
+// drives lease expiry, reaper scans run only when the test says so (nodes
+// are never Start()ed), and jitter is disabled — so a SIGKILL or a pause
+// injected mid-job produces the same steal schedule on every run.
+//
+// Process faults are simulated at their observable surfaces rather than with
+// real signals:
+//
+//   - SIGKILL: the replica's disk wrapper goes dead (every store op errors,
+//     exactly like writes from a killed process never happening) and its
+//     running jobs are cancelled (the goroutines are "gone"). Crucially the
+//     dead disk means the kill leaves the stored envelope state "running" —
+//     the terminal markStored write fails, as it would in a real kill — so
+//     reapers see an orphan, not a deliberate stop.
+//
+//   - SIGSTOP/SIGCONT: the replica's backend gate blocks every query, so its
+//     workers stall mid-round with the lease unrenewed; Resume() unblocks
+//     them, letting the revived zombie race the thief into the fencing
+//     checks.
+//
+// cmd/fleetsmoke is the real-process counterpart (actual SIGKILL over a
+// shared FileStore); this package is where the deterministic conformance
+// tests live.
+package chaostest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/fleet"
+	"hdunbiased/internal/hdb"
+)
+
+// Clock is a manually advanced time source shared by the lease store and
+// every reaper's liveness checks.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock starts a clock at t0.
+func NewClock(t0 time.Time) *Clock { return &Clock{t: t0} }
+
+// Now returns the current fake time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// ErrKilled is what every store operation of a killed replica returns.
+var ErrKilled = errors.New("chaostest: replica killed")
+
+// KillableStore wraps a JobStore with a kill switch: dead replicas cannot
+// read or write the shared store, exactly like a killed process.
+type KillableStore struct {
+	inner estsvc.JobStore
+	dead  atomic.Bool
+
+	mu      sync.Mutex
+	puts    int
+	putHook func(id string, n int)
+}
+
+// NewKillableStore wraps inner.
+func NewKillableStore(inner estsvc.JobStore) *KillableStore {
+	return &KillableStore{inner: inner}
+}
+
+// Kill makes every subsequent operation fail.
+func (s *KillableStore) Kill() { s.dead.Store(true) }
+
+// SetPutHook installs a callback invoked synchronously after every successful
+// Put with the running Put count — the seam that lets a test inject a fault
+// at an exact checkpoint ("after the 2nd checkpoint, pause the backend"). The
+// hook runs on the session's checkpoint path: it must not block on the
+// session itself (signal a channel and return instead).
+func (s *KillableStore) SetPutHook(hook func(id string, n int)) {
+	s.mu.Lock()
+	s.putHook = hook
+	s.mu.Unlock()
+}
+
+// Put implements estsvc.JobStore.
+func (s *KillableStore) Put(id string, envelope []byte) error {
+	if s.dead.Load() {
+		return ErrKilled
+	}
+	if err := s.inner.Put(id, envelope); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.puts++
+	hook, n := s.putHook, s.puts
+	s.mu.Unlock()
+	if hook != nil {
+		hook(id, n)
+	}
+	return nil
+}
+
+// Get implements estsvc.JobStore.
+func (s *KillableStore) Get(id string) ([]byte, error) {
+	if s.dead.Load() {
+		return nil, ErrKilled
+	}
+	return s.inner.Get(id)
+}
+
+// List implements estsvc.JobStore.
+func (s *KillableStore) List() ([]string, error) {
+	if s.dead.Load() {
+		return nil, ErrKilled
+	}
+	return s.inner.List()
+}
+
+// Delete implements estsvc.JobStore.
+func (s *KillableStore) Delete(id string) error {
+	if s.dead.Load() {
+		return ErrKilled
+	}
+	return s.inner.Delete(id)
+}
+
+// GatedBackend wraps an hdb.Interface with a pause gate (SIGSTOP at the only
+// place a worker can observably stall) and a query counter.
+type GatedBackend struct {
+	inner hdb.Interface
+	// SleepPerQuery throttles every backend query (0 = none): it stretches a
+	// job's wall-clock so a fault injected "mid-job" reliably lands mid-job,
+	// without touching the value-deterministic estimate. Set before use.
+	SleepPerQuery time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	paused  bool
+	queries atomic.Int64
+}
+
+// NewGatedBackend wraps inner, unpaused.
+func NewGatedBackend(inner hdb.Interface) *GatedBackend {
+	g := &GatedBackend{inner: inner}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Pause blocks every subsequent Query until Resume.
+func (g *GatedBackend) Pause() {
+	g.mu.Lock()
+	g.paused = true
+	g.mu.Unlock()
+}
+
+// Resume unblocks paused queries.
+func (g *GatedBackend) Resume() {
+	g.mu.Lock()
+	g.paused = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Queries returns how many backend queries this replica has issued.
+func (g *GatedBackend) Queries() int64 { return g.queries.Load() }
+
+// Schema implements hdb.Interface.
+func (g *GatedBackend) Schema() hdb.Schema { return g.inner.Schema() }
+
+// K implements hdb.Interface.
+func (g *GatedBackend) K() int { return g.inner.K() }
+
+// Query implements hdb.Interface, waiting out a pause first.
+func (g *GatedBackend) Query(q hdb.Query) (hdb.Result, error) {
+	g.mu.Lock()
+	for g.paused {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+	if g.SleepPerQuery > 0 {
+		time.Sleep(g.SleepPerQuery)
+	}
+	g.queries.Add(1)
+	return g.inner.Query(q)
+}
+
+// Replica is one simulated fleet member.
+type Replica struct {
+	Name    string
+	Backend *GatedBackend
+	Mgr     *estsvc.Manager
+	Store   *fleet.FencedStore
+	Node    *fleet.Node
+	Disk    *KillableStore
+}
+
+// ClusterConfig shapes a chaos cluster.
+type ClusterConfig struct {
+	// Replicas is the fleet size (default 3).
+	Replicas int
+	// TTL is the lease TTL on the fake clock (default 10s).
+	TTL time.Duration
+	// Backend builds one replica's backend; each replica gets its own call
+	// (deterministic generators return identical data, like identical
+	// processes re-reading the same dataset).
+	Backend func() (hdb.Interface, error)
+	// CheckpointEvery is the Manager checkpoint cadence in rounds
+	// (default 1: every round barrier heartbeats the lease).
+	CheckpointEvery int
+	// SleepPerQuery throttles every replica's backend (see
+	// GatedBackend.SleepPerQuery).
+	SleepPerQuery time.Duration
+}
+
+// Cluster is the simulated fleet: shared store, shared leases, one clock.
+type Cluster struct {
+	Clock    *Clock
+	Shared   *estsvc.MemStore
+	Leases   *fleet.MemLeaseStore
+	TTL      time.Duration
+	Replicas []*Replica
+}
+
+// NewCluster wires the fleet. Reapers are not started: tests drive
+// (*Replica).Node.ScanOnce explicitly for a deterministic schedule.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Second
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.Backend == nil {
+		return nil, errors.New("chaostest: ClusterConfig.Backend is required")
+	}
+	c := &Cluster{
+		Clock:  NewClock(time.Unix(1_700_000_000, 0)),
+		Shared: estsvc.NewMemStore(),
+		Leases: fleet.NewMemLeaseStore(),
+		TTL:    cfg.TTL,
+	}
+	c.Leases.SetClock(c.Clock.Now)
+	for i := 0; i < cfg.Replicas; i++ {
+		name := fmt.Sprintf("n%d", i)
+		inner, err := cfg.Backend()
+		if err != nil {
+			return nil, fmt.Errorf("chaostest: replica %s backend: %w", name, err)
+		}
+		backend := NewGatedBackend(inner)
+		backend.SleepPerQuery = cfg.SleepPerQuery
+		disk := NewKillableStore(c.Shared)
+		fenced, err := fleet.NewFencedStore(disk, c.Leases, name, cfg.TTL)
+		if err != nil {
+			return nil, err
+		}
+		mgr := estsvc.NewManager(backend,
+			estsvc.WithStore(fenced),
+			estsvc.WithCheckpointEvery(cfg.CheckpointEvery),
+			estsvc.WithJobIDPrefix("job-"+name))
+		node, err := fleet.NewNode(mgr, fenced, fleet.NodeConfig{
+			ScanEvery: cfg.TTL / 3,
+			Jitter:    -1, // no random sleeps: the test IS the schedule
+			Now:       c.Clock.Now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Replicas = append(c.Replicas, &Replica{
+			Name: name, Backend: backend, Mgr: mgr, Store: fenced, Node: node, Disk: disk,
+		})
+	}
+	return c, nil
+}
+
+// Kill simulates SIGKILL of replica i: the disk goes dead first (so the
+// terminal-state write a cancellation would make fails, leaving the stored
+// envelope state "running" exactly like a real kill), then every running
+// job's goroutine is stopped and waited out. The replica's lease keeps
+// ticking toward expiry on the fake clock; it is never gracefully released.
+func (c *Cluster) Kill(i int) error {
+	r := c.Replicas[i]
+	r.Disk.Kill()
+	r.Backend.Resume() // a killed process can't stay blocked in a query
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return r.Mgr.Drain(ctx)
+}
+
+// ExpireLeases advances the clock just past the lease TTL, expiring every
+// lease not renewed since its last heartbeat.
+func (c *Cluster) ExpireLeases() { c.Clock.Advance(c.TTL + time.Nanosecond) }
+
+// WaitJob polls replica i for the job reaching a terminal state.
+func (c *Cluster) WaitJob(i int, id string, timeout time.Duration) (estsvc.JobState, string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if j, ok := c.Replicas[i].Mgr.Get(id); ok {
+			if state, msg := j.State(); state != estsvc.JobRunning {
+				return state, msg, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", "", fmt.Errorf("chaostest: job %s on replica %d still running after %s", id, i, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

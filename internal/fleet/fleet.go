@@ -1,0 +1,70 @@
+// Package fleet makes hdservice a replicated, self-healing fleet: several
+// service replicas share one estsvc.JobStore, and this package adds the three
+// pieces that make that safe and useful —
+//
+//  1. A lease layer (LeaseStore, MemLeaseStore, FileLeaseStore): TTL'd,
+//     fenced job ownership. Every job a replica runs is covered by a lease
+//     record carrying the owner id and a monotonically increasing epoch (the
+//     fencing token). Leases renew off the round-barrier checkpoint — the
+//     heartbeat IS the durability write — and expire when a replica dies.
+//
+//  2. A fenced store (FencedStore): an estsvc.JobStore middleware that checks
+//     the fencing token on every Put. Envelopes are written under
+//     epoch-qualified keys and readers always take the highest epoch, so a
+//     paused-then-revived replica whose job was stolen cannot clobber the new
+//     owner's envelope even if its last write races the steal.
+//
+//  3. A reaper/work-stealer (Node): a background scanner that finds expired
+//     leases over running jobs and resumes them locally (estsvc.Manager.Resume
+//     is the primitive), with jittered contention backoff so N replicas don't
+//     thunder on one corpse. The lease CAS guarantees exactly one winner.
+//
+// On top of the fleet seam sits multi-tenant admission control (Admission): a
+// per-tenant token bucket over job starts, concurrent-job and aggregate
+// query-budget caps, and load shedding with 429 + Retry-After — new estimates
+// shed before resumes, and a running checkpointable job is never dropped.
+// Health (healthz/readyz) lets a fleet supervisor route around a draining or
+// saturated replica.
+//
+// Everything is observable: fleet_* counters on the Default obs registry and
+// lease.acquire/renew/steal/fence-reject events on the per-job flight rings.
+package fleet
+
+import (
+	"errors"
+
+	"hdunbiased/internal/obs"
+)
+
+// ErrLeaseHeld is returned by Acquire when another owner holds a live lease
+// (or lost a CAS race for an expired one): back off and retry later.
+var ErrLeaseHeld = errors.New("fleet: lease held by another owner")
+
+// ErrFenced is returned when an operation presents a stale fencing token:
+// the lease was stolen (or released) since the caller last held it. A fenced
+// writer must stop working on the job immediately.
+var ErrFenced = errors.New("fleet: fenced: lease no longer held")
+
+// Fleet-wide observability. Totals are static counters resolved once; the
+// per-store "held" gauge is a method (FencedStore.HeldCount) the service
+// wires into a GaugeFunc, because tests build many stores per process.
+var (
+	obsAcquired = obs.Default.Counter("fleet_lease_acquired_total",
+		"leases acquired (fresh ownership, steals included)")
+	obsRenewed = obs.Default.Counter("fleet_lease_renewed_total",
+		"lease renewals (checkpoint heartbeats and reaper keepalives)")
+	obsReleased = obs.Default.Counter("fleet_lease_released_total",
+		"leases released on job completion or deletion")
+	obsFenceRejects = obs.Default.Counter("fleet_fence_rejects_total",
+		"writes rejected because the fencing token was stale")
+	obsSteals = obs.Default.Counter("fleet_steals_total",
+		"jobs stolen from an expired lease and resumed locally")
+	obsStealFailures = obs.Default.Counter("fleet_steal_failures_total",
+		"steal attempts that acquired the lease but failed to resume")
+	obsScans = obs.Default.Counter("fleet_reaper_scans_total",
+		"reaper scans over the shared store")
+	obsShed = obs.Default.Counter("fleet_admission_shed_total",
+		"requests shed by admission control with 429 + Retry-After")
+	obsAdmitted = obs.Default.Counter("fleet_admission_admitted_total",
+		"job-start and resume requests admitted past admission control")
+)

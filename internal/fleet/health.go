@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"hdunbiased/internal/estsvc"
+)
+
+// Health serves the orchestrator probes:
+//
+//   - /healthz (liveness): 200 whenever the process can answer HTTP at all.
+//     Restarting a live replica is the fleet's most expensive false positive —
+//     its leases expire and every running job gets stolen — so liveness says
+//     nothing about load or the store.
+//
+//   - /readyz (readiness): 200 only when the replica should receive NEW
+//     traffic — it is not draining, the job store answers List, and admission
+//     is not saturated. A not-ready replica keeps running (and checkpointing,
+//     and keepaliving) its existing jobs; readiness only steers the load
+//     balancer.
+type Health struct {
+	store    estsvc.JobStore
+	adm      *Admission // optional
+	draining atomic.Bool
+}
+
+// NewHealth builds the probe handler. adm may be nil (no saturation check).
+func NewHealth(store estsvc.JobStore, adm *Admission) *Health {
+	return &Health{store: store, adm: adm}
+}
+
+// SetDraining flips the readiness gate during graceful shutdown, before the
+// listener closes: the balancer stops routing while in-flight requests and
+// final checkpoints complete.
+func (h *Health) SetDraining(v bool) { h.draining.Store(v) }
+
+// Register mounts the probes on mux.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", h.serveHealthz)
+	mux.HandleFunc("GET /readyz", h.serveReadyz)
+}
+
+func (h *Health) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (h *Health) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if h.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if h.store != nil {
+		if _, err := h.store.List(); err != nil {
+			reasons = append(reasons, "job store unreachable: "+err.Error())
+		}
+	}
+	if h.adm != nil && h.adm.Saturated() {
+		reasons = append(reasons, "admission saturated")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if len(reasons) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Lease is one job's ownership record. Epoch is the fencing token: it
+// increases by exactly one on every ownership change and never goes back, so
+// any two holders of the same job are strictly ordered and a write presenting
+// an old epoch is provably stale. A lease is live while now < Expires; at
+// exactly Expires it is expired (stealable), which the edge-case tests pin.
+type Lease struct {
+	ID      string    `json:"id"`
+	Owner   string    `json:"owner"`
+	Epoch   uint64    `json:"epoch"`
+	Expires time.Time `json:"expires"`
+}
+
+// Live reports whether the lease is unexpired at now.
+func (l Lease) Live(now time.Time) bool { return now.Before(l.Expires) }
+
+// LeaseStore is TTL'd, fenced job ownership over some shared medium. All
+// mutations are compare-and-swap on (owner, epoch): of N replicas racing to
+// acquire one expired lease exactly one wins, and a renewal by an owner whose
+// lease was stolen fails with ErrFenced. Implementations must be safe for
+// concurrent use; FileLeaseStore is additionally safe across processes.
+type LeaseStore interface {
+	// Acquire takes ownership of id: fresh (epoch 1) when no record exists,
+	// epoch+1 when the existing lease is expired. A live lease owned by
+	// someone else — or losing the CAS race for an expired one — returns
+	// ErrLeaseHeld. Acquire by the current live owner renews in place
+	// (same epoch; ownership did not change hands).
+	Acquire(id, owner string, ttl time.Duration) (Lease, error)
+	// Renew extends the lease iff the record still matches l's owner and
+	// epoch — even if it has expired but not yet been stolen, renewal
+	// revives it. A mismatch (stolen, released) returns ErrFenced.
+	Renew(l Lease, ttl time.Duration) (Lease, error)
+	// Release removes the record iff it still matches l; releasing a lease
+	// that was already stolen or removed is a no-op returning ErrFenced.
+	Release(l Lease) error
+	// Get returns the current record (live or expired) and whether one
+	// exists.
+	Get(id string) (Lease, bool, error)
+	// List returns every record, sorted by ID.
+	List() ([]Lease, error)
+}
+
+// MemLeaseStore is an in-memory LeaseStore — a mutex-serialized CAS, the
+// fixture for single-process fleets and tests.
+type MemLeaseStore struct {
+	mu  sync.Mutex
+	m   map[string]Lease
+	now func() time.Time
+}
+
+// NewMemLeaseStore returns an empty in-memory lease store.
+func NewMemLeaseStore() *MemLeaseStore {
+	return &MemLeaseStore{m: make(map[string]Lease), now: time.Now}
+}
+
+// SetClock replaces the store's time source — the chaos tests' seam for
+// advancing lease expiry deterministically. Call before concurrent use.
+func (s *MemLeaseStore) SetClock(now func() time.Time) { s.now = now }
+
+// Acquire implements LeaseStore.
+func (s *MemLeaseStore) Acquire(id, owner string, ttl time.Duration) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	cur, ok := s.m[id]
+	switch {
+	case !ok:
+		cur = Lease{ID: id, Owner: owner, Epoch: 1, Expires: now.Add(ttl)}
+	case cur.Live(now) && cur.Owner == owner:
+		cur.Expires = now.Add(ttl) // already ours: renew in place
+	case cur.Live(now):
+		return Lease{}, ErrLeaseHeld
+	default:
+		cur = Lease{ID: id, Owner: owner, Epoch: cur.Epoch + 1, Expires: now.Add(ttl)}
+	}
+	s.m[id] = cur
+	return cur, nil
+}
+
+// Renew implements LeaseStore.
+func (s *MemLeaseStore) Renew(l Lease, ttl time.Duration) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.m[l.ID]
+	if !ok || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return Lease{}, ErrFenced
+	}
+	cur.Expires = s.now().Add(ttl)
+	s.m[l.ID] = cur
+	return cur, nil
+}
+
+// Release implements LeaseStore.
+func (s *MemLeaseStore) Release(l Lease) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.m[l.ID]
+	if !ok || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return ErrFenced
+	}
+	delete(s.m, l.ID)
+	return nil
+}
+
+// Get implements LeaseStore.
+func (s *MemLeaseStore) Get(id string) (Lease, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.m[id]
+	return l, ok, nil
+}
+
+// List implements LeaseStore.
+func (s *MemLeaseStore) List() ([]Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Lease, 0, len(s.m))
+	for _, l := range s.m {
+		out = append(out, l)
+	}
+	sortLeases(out)
+	return out, nil
+}
+
+func sortLeases(ls []Lease) {
+	for i := 1; i < len(ls); i++ { // insertion sort: lists are short and mostly sorted
+		for j := i; j > 0 && ls[j].ID < ls[j-1].ID; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// leaseStores builds both implementations over the same fake clock, so every
+// conformance test pins the memory and file CAS to identical semantics.
+func leaseStores(t *testing.T) map[string]struct {
+	store LeaseStore
+	clock *fakeClock
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		store LeaseStore
+		clock *fakeClock
+	})
+
+	mc := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	ms := NewMemLeaseStore()
+	ms.SetClock(mc.Now)
+	out["mem"] = struct {
+		store LeaseStore
+		clock *fakeClock
+	}{ms, mc}
+
+	fc := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	fs, err := NewFileLeaseStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetClock(fc.Now)
+	out["file"] = struct {
+		store LeaseStore
+		clock *fakeClock
+	}{fs, fc}
+	return out
+}
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+const ttl = 10 * time.Second
+
+func TestLeaseLifecycle(t *testing.T) {
+	for name, f := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			st, clock := f.store, f.clock
+
+			l, err := st.Acquire("job-1", "a", ttl)
+			if err != nil {
+				t.Fatalf("fresh acquire: %v", err)
+			}
+			if l.Epoch != 1 || l.Owner != "a" || !l.Live(clock.Now()) {
+				t.Fatalf("fresh lease = %+v", l)
+			}
+
+			// A live lease blocks other owners.
+			if _, err := st.Acquire("job-1", "b", ttl); !errors.Is(err, ErrLeaseHeld) {
+				t.Fatalf("acquire over live lease: err = %v, want ErrLeaseHeld", err)
+			}
+
+			// Re-acquire by the live owner renews in place, same epoch.
+			clock.Advance(ttl / 2)
+			l2, err := st.Acquire("job-1", "a", ttl)
+			if err != nil || l2.Epoch != 1 {
+				t.Fatalf("self re-acquire: lease %+v err %v", l2, err)
+			}
+			if !l2.Expires.After(l.Expires) {
+				t.Fatalf("self re-acquire did not extend: %v -> %v", l.Expires, l2.Expires)
+			}
+
+			// Renew extends and keeps the epoch.
+			l3, err := st.Renew(l2, ttl)
+			if err != nil || l3.Epoch != 1 {
+				t.Fatalf("renew: lease %+v err %v", l3, err)
+			}
+
+			// Expiry: steal bumps the epoch by exactly one.
+			clock.Advance(ttl + time.Nanosecond)
+			s, err := st.Acquire("job-1", "b", ttl)
+			if err != nil {
+				t.Fatalf("steal after expiry: %v", err)
+			}
+			if s.Epoch != 2 || s.Owner != "b" {
+				t.Fatalf("stolen lease = %+v, want epoch 2 owner b", s)
+			}
+
+			// Fencing: the old owner's renew and release are both rejected.
+			if _, err := st.Renew(l3, ttl); !errors.Is(err, ErrFenced) {
+				t.Fatalf("stale renew: err = %v, want ErrFenced", err)
+			}
+			if err := st.Release(l3); !errors.Is(err, ErrFenced) {
+				t.Fatalf("stale release: err = %v, want ErrFenced", err)
+			}
+
+			// The thief's release removes the record.
+			if err := st.Release(s); err != nil {
+				t.Fatalf("release: %v", err)
+			}
+			if _, ok, _ := st.Get("job-1"); ok {
+				t.Fatal("lease record survived release")
+			}
+		})
+	}
+}
+
+// TestLeaseExpiryBoundary pins the edge the reaper and the heartbeat race on:
+// at exactly Expires the lease is expired — a reaper may steal it — while a
+// renewal presented at the same instant still succeeds IF the steal has not
+// happened yet. Ownership at the boundary is decided by CAS order, never by
+// clock comparison ambiguity.
+func TestLeaseExpiryBoundary(t *testing.T) {
+	for name, f := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			st, clock := f.store, f.clock
+
+			l, err := st.Acquire("job-1", "a", ttl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock.Advance(ttl) // now == Expires exactly
+			if l.Live(clock.Now()) {
+				t.Fatal("lease still live at exactly Expires")
+			}
+
+			// Renewal exactly at the boundary, before any steal: revives.
+			l2, err := st.Renew(l, ttl)
+			if err != nil {
+				t.Fatalf("boundary renew before steal: %v", err)
+			}
+			if l2.Epoch != 1 {
+				t.Fatalf("boundary renew changed epoch: %+v", l2)
+			}
+
+			// Expire again; this time the steal wins the boundary...
+			clock.Advance(ttl)
+			s, err := st.Acquire("job-1", "b", ttl)
+			if err != nil {
+				t.Fatalf("boundary steal: %v", err)
+			}
+			if s.Epoch != 2 {
+				t.Fatalf("boundary steal epoch = %d, want 2", s.Epoch)
+			}
+			// ...and the renewal that lost the race is fenced.
+			if _, err := st.Renew(l2, ttl); !errors.Is(err, ErrFenced) {
+				t.Fatalf("renew after boundary steal: err = %v, want ErrFenced", err)
+			}
+		})
+	}
+}
+
+// TestLeaseDoubleStealRace is the seeded double-steal property test: across
+// many schedules, N replicas race Acquire on one expired lease; exactly one
+// must win, the winner's epoch must be old+1, and every loser must see
+// ErrLeaseHeld.
+func TestLeaseDoubleStealRace(t *testing.T) {
+	for name, f := range leaseStores(t) {
+		t.Run(name, func(t *testing.T) {
+			st, clock := f.store, f.clock
+			rng := rand.New(rand.NewSource(42))
+			for round := 0; round < 20; round++ {
+				id := fmt.Sprintf("job-%d", round)
+				prev, err := st.Acquire(id, "dead-replica", ttl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clock.Advance(ttl + time.Duration(rng.Intn(1000))*time.Millisecond)
+
+				n := 2 + rng.Intn(6)
+				type outcome struct {
+					lease Lease
+					err   error
+				}
+				results := make([]outcome, n)
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						<-start
+						l, err := st.Acquire(id, fmt.Sprintf("thief-%d", i), ttl)
+						results[i] = outcome{l, err}
+					}(i)
+				}
+				close(start)
+				wg.Wait()
+
+				var winners []int
+				for i, r := range results {
+					switch {
+					case r.err == nil:
+						winners = append(winners, i)
+						if r.lease.Epoch != prev.Epoch+1 {
+							t.Fatalf("round %d: winner epoch %d, want %d", round, r.lease.Epoch, prev.Epoch+1)
+						}
+					case errors.Is(r.err, ErrLeaseHeld):
+					default:
+						t.Fatalf("round %d thief %d: unexpected error %v", round, i, r.err)
+					}
+				}
+				if len(winners) != 1 {
+					t.Fatalf("round %d: %d winners (%v), want exactly 1", round, len(winners), winners)
+				}
+				cur, ok, err := st.Get(id)
+				if err != nil || !ok {
+					t.Fatalf("round %d: lease gone after steal: ok=%v err=%v", round, ok, err)
+				}
+				if cur.Owner != fmt.Sprintf("thief-%d", winners[0]) {
+					t.Fatalf("round %d: record owner %s, winner thief-%d", round, cur.Owner, winners[0])
+				}
+			}
+		})
+	}
+}
+
+func TestFileLeaseStoreGCAndTornBody(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileLeaseStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	fs.SetClock(clock.Now)
+
+	if _, err := fs.Acquire("job-1", "a", ttl); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(ttl + time.Second)
+	if _, err := fs.Acquire("job-1", "b", ttl); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(ttl + time.Second)
+	l, err := fs.Acquire("job-1", "c", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != 3 {
+		t.Fatalf("epoch after two steals = %d, want 3", l.Epoch)
+	}
+	// Only the highest epoch's file should remain after the next scan.
+	ls, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 || ls[0].Epoch != 3 {
+		t.Fatalf("List after GC = %+v, want single epoch-3 lease", ls)
+	}
+}

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileLeaseStore is a LeaseStore over a shared directory — the multi-process
+// generalisation of estsvc.FileStore's atomic-rename discipline to
+// compare-and-swap.
+//
+// The record for job id at epoch e lives at "<id>.lease.<e>" (epoch
+// zero-padded so lexical order is numeric order). The two CAS points:
+//
+//   - Creating a fresh lease (no record): the content is written to a private
+//     temp file and os.Link'd to "<id>.lease.1". Link fails with EEXIST when
+//     someone else got there first — exactly one winner, full content visible
+//     atomically.
+//
+//   - Taking over an expired lease at epoch e: os.Rename("...lease.<e>",
+//     "...lease.<e+1>") — rename-onto-expected. The source path only exists
+//     until the first rename succeeds, so of N racing replicas exactly one
+//     wins and the rest see ENOENT (ErrLeaseHeld). The winner then rewrites
+//     the record's content (owner, expiry) in place via temp + rename.
+//
+// Renewals rewrite the current epoch's content via temp + rename after
+// re-reading the record. A renewal can race a steal (the steal renames the
+// file while the renewal's write is in flight, resurrecting a stale
+// lower-epoch file) — readers defuse this by always taking the HIGHEST epoch
+// present and garbage-collecting the rest, and the resurrected owner discovers
+// the fence on its next CAS. Envelope writes are epoch-qualified for the same
+// reason (see FencedStore), so even the raced window cannot clobber state.
+type FileLeaseStore struct {
+	dir string
+	mu  sync.Mutex // serializes same-process callers; cross-process safety is the CAS above
+	now func() time.Time
+	seq uint64 // private temp-name counter
+}
+
+// leaseSuffix separates the job id from the epoch in lease file names.
+const leaseSuffix = ".lease."
+
+// NewFileLeaseStore opens (creating if needed) a directory-backed lease
+// store. It may share a directory with an estsvc.FileStore: lease files don't
+// end in ".json", so the job store's List never mistakes them for envelopes.
+func NewFileLeaseStore(dir string) (*FileLeaseStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: lease store: %w", err)
+	}
+	return &FileLeaseStore{dir: dir, now: time.Now}, nil
+}
+
+// SetClock replaces the store's time source (test seam). Call before use.
+func (s *FileLeaseStore) SetClock(now func() time.Time) { s.now = now }
+
+// Dir returns the store's directory.
+func (s *FileLeaseStore) Dir() string { return s.dir }
+
+func (s *FileLeaseStore) path(id string, epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%s%020d", id, leaseSuffix, epoch))
+}
+
+// leaseBody is the serialized record content; the epoch lives in the file
+// name (it IS the CAS key), the rest in the body.
+type leaseBody struct {
+	Owner       string `json:"owner"`
+	ExpiresUnix int64  `json:"expires_unix_nano"`
+}
+
+// scan returns the highest-epoch record for id (and that epoch), removing
+// lower-epoch leftovers from raced renewals. ok is false when no record
+// exists. A record whose body is missing or torn (a CAS winner that crashed
+// between the rename and the content rewrite) comes back as owned-but-expired
+// under its file's epoch, so it is stealable rather than wedged.
+func (s *FileLeaseStore) scan(id string) (Lease, bool, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Lease{}, false, fmt.Errorf("fleet: lease store: %w", err)
+	}
+	prefix := id + leaseSuffix
+	var (
+		best      uint64
+		bestPath  string
+		lowerPath []string
+		found     bool
+	)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		epoch, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		if !found || epoch > best {
+			if found {
+				lowerPath = append(lowerPath, bestPath)
+			}
+			best, bestPath, found = epoch, filepath.Join(s.dir, name), true
+		} else {
+			lowerPath = append(lowerPath, filepath.Join(s.dir, name))
+		}
+	}
+	for _, p := range lowerPath {
+		os.Remove(p) // stale lower epochs: readers never trust them
+	}
+	if !found {
+		return Lease{}, false, nil
+	}
+	l := Lease{ID: id, Epoch: best}
+	blob, err := os.ReadFile(bestPath)
+	if err == nil {
+		var body leaseBody
+		if json.Unmarshal(blob, &body) == nil {
+			l.Owner = body.Owner
+			l.Expires = time.Unix(0, body.ExpiresUnix)
+		}
+	}
+	return l, true, nil
+}
+
+// write rewrites the record content at l's epoch path via temp + rename.
+func (s *FileLeaseStore) write(l Lease) error {
+	blob, err := json.Marshal(leaseBody{Owner: l.Owner, ExpiresUnix: l.Expires.UnixNano()})
+	if err != nil {
+		return err
+	}
+	tmp := s.tmpName(l.ID)
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("fleet: lease store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(l.ID, l.Epoch)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: lease store: %w", err)
+	}
+	return nil
+}
+
+func (s *FileLeaseStore) tmpName(id string) string {
+	s.seq++
+	return filepath.Join(s.dir, fmt.Sprintf(".%s.%d.%d.ltmp", id, os.Getpid(), s.seq))
+}
+
+// Acquire implements LeaseStore.
+func (s *FileLeaseStore) Acquire(id, owner string, ttl time.Duration) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	cur, ok, err := s.scan(id)
+	if err != nil {
+		return Lease{}, err
+	}
+	switch {
+	case !ok:
+		// Fresh lease: exclusive create via link, full content atomic.
+		l := Lease{ID: id, Owner: owner, Epoch: 1, Expires: now.Add(ttl)}
+		blob, err := json.Marshal(leaseBody{Owner: owner, ExpiresUnix: l.Expires.UnixNano()})
+		if err != nil {
+			return Lease{}, err
+		}
+		tmp := s.tmpName(id)
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			return Lease{}, fmt.Errorf("fleet: lease store: %w", err)
+		}
+		defer os.Remove(tmp)
+		if err := os.Link(tmp, s.path(id, 1)); err != nil {
+			if os.IsExist(err) {
+				return Lease{}, ErrLeaseHeld // lost the create race
+			}
+			return Lease{}, fmt.Errorf("fleet: lease store: %w", err)
+		}
+		return l, nil
+	case cur.Live(now) && cur.Owner == owner:
+		cur.Expires = now.Add(ttl) // already ours: renew in place
+		if err := s.write(cur); err != nil {
+			return Lease{}, err
+		}
+		return cur, nil
+	case cur.Live(now):
+		return Lease{}, ErrLeaseHeld
+	default:
+		// Expired: rename-onto-expected CAS from epoch e to e+1.
+		next := Lease{ID: id, Owner: owner, Epoch: cur.Epoch + 1, Expires: now.Add(ttl)}
+		if err := os.Rename(s.path(id, cur.Epoch), s.path(id, next.Epoch)); err != nil {
+			if os.IsNotExist(err) {
+				return Lease{}, ErrLeaseHeld // lost the steal race
+			}
+			return Lease{}, fmt.Errorf("fleet: lease store: %w", err)
+		}
+		if err := s.write(next); err != nil {
+			return Lease{}, err
+		}
+		return next, nil
+	}
+}
+
+// Renew implements LeaseStore.
+func (s *FileLeaseStore) Renew(l Lease, ttl time.Duration) (Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok, err := s.scan(l.ID)
+	if err != nil {
+		return Lease{}, err
+	}
+	if !ok || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return Lease{}, ErrFenced
+	}
+	cur.Expires = s.now().Add(ttl)
+	if err := s.write(cur); err != nil {
+		return Lease{}, err
+	}
+	return cur, nil
+}
+
+// Release implements LeaseStore.
+func (s *FileLeaseStore) Release(l Lease) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok, err := s.scan(l.ID)
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return ErrFenced
+	}
+	if err := os.Remove(s.path(l.ID, l.Epoch)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("fleet: lease store: %w", err)
+	}
+	return nil
+}
+
+// Get implements LeaseStore.
+func (s *FileLeaseStore) Get(id string) (Lease, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scan(id)
+}
+
+// List implements LeaseStore.
+func (s *FileLeaseStore) List() ([]Lease, error) {
+	s.mu.Lock()
+	ids := make(map[string]struct{})
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: lease store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if i := strings.LastIndex(name, leaseSuffix); i > 0 && !e.IsDir() {
+			if _, err := strconv.ParseUint(name[i+len(leaseSuffix):], 10, 64); err == nil {
+				ids[name[:i]] = struct{}{}
+			}
+		}
+	}
+	s.mu.Unlock()
+	out := make([]Lease, 0, len(ids))
+	for id := range ids {
+		l, ok, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, l)
+		}
+	}
+	sortLeases(out)
+	return out, nil
+}

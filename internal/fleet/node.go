@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+)
+
+// NodeConfig tunes a fleet Node.
+type NodeConfig struct {
+	// ScanEvery is the reaper's scan period (default TTL/3): how often the
+	// node looks for expired leases over running jobs and keepalives its own.
+	ScanEvery time.Duration
+	// Jitter is the maximum extra random sleep added to each scan period and
+	// to each steal attempt (default ScanEvery/2). N replicas scanning the
+	// same corpse spread out instead of thundering; the lease CAS makes the
+	// race safe regardless, jitter just makes it cheap.
+	Jitter time.Duration
+	// Seed seeds the jitter RNG (0 = time-derived).
+	Seed int64
+	// Now is the liveness clock (default time.Now; tests inject a fake).
+	Now func() time.Time
+}
+
+// Node is one replica's membership in the fleet: a background reaper that
+// (a) keepalives the leases of jobs running locally — and cancels a local
+// job whose lease was stolen out from under a paused replica — and (b)
+// steals expired leases over running envelopes, resuming those jobs locally
+// through the Manager. Resume is the primitive: a stolen job continues from
+// its last round-barrier checkpoint bit-identically.
+type Node struct {
+	mgr   *estsvc.Manager
+	store *FencedStore
+	cfg   NodeConfig
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewNode builds a node over the replica's Manager and its FencedStore (the
+// same one the Manager was given via estsvc.WithStore).
+func NewNode(mgr *estsvc.Manager, store *FencedStore, cfg NodeConfig) (*Node, error) {
+	if mgr == nil || store == nil {
+		return nil, errors.New("fleet: nil manager or store")
+	}
+	if cfg.ScanEvery <= 0 {
+		cfg.ScanEvery = store.TTL() / 3
+	}
+	if cfg.ScanEvery <= 0 {
+		cfg.ScanEvery = time.Second
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	} else if cfg.Jitter == 0 {
+		cfg.Jitter = cfg.ScanEvery / 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	// Lease events belong on the same per-job timeline as rounds/checkpoints.
+	store.SetFlights(mgr.Flights())
+	return &Node{
+		mgr: mgr, store: store, cfg: cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}, nil
+}
+
+// Owner returns the replica id.
+func (n *Node) Owner() string { return n.store.Owner() }
+
+// jitter draws a random duration in [0, cfg.Jitter).
+func (n *Node) jitter() time.Duration {
+	if n.cfg.Jitter <= 0 {
+		return 0
+	}
+	n.rngMu.Lock()
+	d := time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	n.rngMu.Unlock()
+	return d
+}
+
+// sleep waits d or until Stop; false means stopping.
+func (n *Node) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
+
+// Start launches the reaper loop. Call once; Stop shuts it down.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		go func() {
+			defer close(n.done)
+			for {
+				if !n.sleep(n.cfg.ScanEvery + n.jitter()) {
+					return
+				}
+				n.ScanOnce()
+			}
+		}()
+	})
+}
+
+// Stop halts the reaper and waits for an in-flight scan to finish. Held
+// leases are NOT released: local jobs keep running (a draining service
+// cancels them through the Manager, and their leases then expire for the
+// rest of the fleet to steal).
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.startOnce.Do(func() { close(n.done) }) // never started: nothing to wait for
+	<-n.done
+}
+
+// ScanOnce runs one reaper pass and returns the jobs stolen during it. The
+// boot path calls it synchronously (replacing Manager.ResumeAll: in a fleet,
+// even this replica's own orphans must be re-acquired through the lease CAS
+// so a twin replica can't resume them concurrently).
+func (n *Node) ScanOnce() []*estsvc.Job {
+	obsScans.Inc()
+	ids, err := n.store.List()
+	if err != nil {
+		return nil
+	}
+	var stolen []*estsvc.Job
+	for _, id := range ids {
+		if j, ok := n.mgr.Get(id); ok {
+			if state, _ := j.State(); state == estsvc.JobRunning {
+				n.keepalive(id, j)
+				continue
+			}
+		}
+		if job := n.maybeSteal(id); job != nil {
+			stolen = append(stolen, job)
+		}
+	}
+	return stolen
+}
+
+// keepalive renews the lease of a locally-running job between checkpoints,
+// so a TTL shorter than a slow round doesn't lose a healthy job. A fence on
+// renewal means the job was stolen while this replica was stalled: cancel
+// the local incarnation immediately — the thief owns the envelope now, and
+// every further local query would be wasted (double) spend.
+func (n *Node) keepalive(id string, j *estsvc.Job) {
+	if _, held := n.store.Held(id); !held {
+		return // not checkpointed yet: invisible to the fleet, nothing to renew
+	}
+	if _, err := n.store.Renew(id); errors.Is(err, ErrFenced) {
+		j.Cancel()
+	}
+}
+
+// maybeSteal checks one non-local job and steals it when its lease has
+// expired and its envelope says it was running.
+func (n *Node) maybeSteal(id string) *estsvc.Job {
+	lease, ok, err := n.store.Leases().Get(id)
+	if err != nil {
+		return nil
+	}
+	if ok && lease.Live(n.cfg.Now()) {
+		return nil // someone else is alive and on it
+	}
+	blob, err := n.store.Get(id)
+	if err != nil {
+		return nil
+	}
+	if state, ok := estsvc.EnvelopeState(blob); ok && state != estsvc.JobRunning {
+		return nil // deliberate stop: waits for an explicit resume
+	}
+	// Contention backoff: spread racing reapers, then re-check — most losers
+	// discover the winner's fresh lease here without ever hitting the CAS.
+	if !n.sleep(n.jitter()) {
+		return nil
+	}
+	if lease, ok, err := n.store.Leases().Get(id); err != nil || (ok && lease.Live(n.cfg.Now())) {
+		return nil
+	}
+	if _, err := n.store.Acquire(id); err != nil {
+		return nil // lost the CAS race: exactly one winner, not us
+	}
+	job, err := n.mgr.Resume(id)
+	if err != nil {
+		// Acquired but can't resume (corrupt envelope, running locally
+		// after all): release so the lease doesn't wedge the job for a TTL.
+		n.store.ReleaseHeld(id)
+		obsStealFailures.Inc()
+		return nil
+	}
+	obsSteals.Inc()
+	if f := n.mgr.Flights(); f != nil {
+		if l, held := n.store.Held(id); held {
+			f.Recorder(id, 64).Record("lease.steal", int64(l.Epoch))
+		}
+	}
+	return job
+}

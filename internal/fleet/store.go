@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/obs"
+)
+
+// FencedStore is an estsvc.JobStore middleware that binds every envelope
+// write to a live, correctly-fenced lease:
+//
+//   - Put renews the job's lease first (acquiring it on the first write of a
+//     job this replica started) — the round-barrier checkpoint IS the lease
+//     heartbeat — and fails with ErrFenced when the lease was stolen, which
+//     fails the session's checkpoint sink and stops the stale replica's job.
+//
+//   - Envelopes are stored under epoch-qualified keys ("id@<epoch>") and Get
+//     returns the highest epoch present, so even a write that razor-races a
+//     steal lands under a lower epoch and is never read back. Fencing is
+//     belt (CAS renew before write) and braces (monotonic keys).
+//
+//   - Delete removes every epoch's envelope and releases the lease — a
+//     completed job disappears from the whole fleet at once.
+//
+// A FencedStore is one replica's view: it carries the replica's owner id and
+// tracks the leases that replica holds. Give each estsvc.Manager its own.
+type FencedStore struct {
+	inner  estsvc.JobStore
+	leases LeaseStore
+	owner  string
+	ttl    time.Duration
+
+	mu   sync.Mutex
+	held map[string]Lease
+
+	flights *obs.FlightSet // optional: per-job lease lifecycle events
+}
+
+// NewFencedStore wraps inner with lease-fenced writes for the given replica.
+func NewFencedStore(inner estsvc.JobStore, leases LeaseStore, owner string, ttl time.Duration) (*FencedStore, error) {
+	if inner == nil || leases == nil {
+		return nil, fmt.Errorf("fleet: nil store or lease store")
+	}
+	if owner == "" || strings.ContainsAny(owner, "/\\:@ \t\n") {
+		return nil, fmt.Errorf("fleet: invalid owner id %q", owner)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("fleet: non-positive lease TTL %s", ttl)
+	}
+	return &FencedStore{inner: inner, leases: leases, owner: owner, ttl: ttl,
+		held: make(map[string]Lease)}, nil
+}
+
+// SetFlights wires the per-job flight rings (normally the Manager's, via
+// Manager.Flights) so lease events land on the same timeline as rounds and
+// checkpoints. Safe to leave unset.
+func (s *FencedStore) SetFlights(f *obs.FlightSet) { s.flights = f }
+
+// Owner returns the replica id this store writes as.
+func (s *FencedStore) Owner() string { return s.owner }
+
+// TTL returns the lease TTL.
+func (s *FencedStore) TTL() time.Duration { return s.ttl }
+
+// Leases returns the underlying lease store (the Node scans it).
+func (s *FencedStore) Leases() LeaseStore { return s.leases }
+
+// record appends a lease event to the job's flight ring, if wired.
+func (s *FencedStore) record(id, event string, epoch uint64) {
+	if s.flights != nil {
+		s.flights.Recorder(id, 64).Record(event, int64(epoch))
+	}
+}
+
+// envKey is the epoch-qualified envelope key: zero-padded so the lexical
+// order estsvc stores guarantee doubles as epoch order.
+func envKey(id string, epoch uint64) string {
+	return fmt.Sprintf("%s@%020d", id, epoch)
+}
+
+// splitEnvKey parses an epoch-qualified key; ok is false for plain keys.
+func splitEnvKey(key string) (id string, epoch uint64, ok bool) {
+	i := strings.LastIndexByte(key, '@')
+	if i < 0 {
+		return "", 0, false
+	}
+	epoch, err := strconv.ParseUint(key[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return key[:i], epoch, true
+}
+
+// lease returns the lease to write under, renewing a held one or acquiring
+// fresh, and whether it was newly acquired. ErrFenced when the job is no
+// longer (or cannot become) ours.
+func (s *FencedStore) lease(id string) (Lease, bool, error) {
+	s.mu.Lock()
+	cur, ok := s.held[id]
+	s.mu.Unlock()
+	if ok {
+		nl, err := s.leases.Renew(cur, s.ttl)
+		if err != nil {
+			s.dropHeld(id)
+			obsFenceRejects.Inc()
+			s.record(id, "lease.fence-reject", cur.Epoch)
+			return Lease{}, false, fmt.Errorf("fleet: %s (job %s, owner %s, epoch %d): %w",
+				"renew rejected", id, s.owner, cur.Epoch, ErrFenced)
+		}
+		obsRenewed.Inc()
+		s.record(id, "lease.renew", nl.Epoch)
+		s.setHeld(nl)
+		return nl, false, nil
+	}
+	nl, err := s.leases.Acquire(id, s.owner, s.ttl)
+	if err != nil {
+		obsFenceRejects.Inc()
+		s.record(id, "lease.fence-reject", 0)
+		return Lease{}, false, fmt.Errorf("fleet: acquire rejected (job %s, owner %s): %w (%v)",
+			id, s.owner, ErrFenced, err)
+	}
+	obsAcquired.Inc()
+	s.record(id, "lease.acquire", nl.Epoch)
+	s.setHeld(nl)
+	return nl, true, nil
+}
+
+func (s *FencedStore) setHeld(l Lease) {
+	s.mu.Lock()
+	s.held[l.ID] = l
+	s.mu.Unlock()
+}
+
+func (s *FencedStore) dropHeld(id string) {
+	s.mu.Lock()
+	delete(s.held, id)
+	s.mu.Unlock()
+}
+
+// Held returns the lease this replica believes it holds for id.
+func (s *FencedStore) Held(id string) (Lease, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.held[id]
+	return l, ok
+}
+
+// HeldCount returns how many leases this replica currently tracks as held —
+// wire it into an obs.GaugeFunc ("fleet_leases_held").
+func (s *FencedStore) HeldCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.held)
+}
+
+// Acquire takes (or steals) the lease for id ahead of a Resume — the Node's
+// entry point. The returned lease is tracked as held, so the resumed job's
+// first checkpoint renews rather than re-acquires.
+func (s *FencedStore) Acquire(id string) (Lease, error) {
+	l, err := s.leases.Acquire(id, s.owner, s.ttl)
+	if err != nil {
+		return Lease{}, err
+	}
+	obsAcquired.Inc()
+	s.record(id, "lease.acquire", l.Epoch)
+	s.setHeld(l)
+	return l, nil
+}
+
+// Renew heartbeats a held lease outside the checkpoint path (the reaper's
+// keepalive for long rounds). ErrFenced drops the held entry: the caller
+// must stop the local job.
+func (s *FencedStore) Renew(id string) (Lease, error) {
+	s.mu.Lock()
+	cur, ok := s.held[id]
+	s.mu.Unlock()
+	if !ok {
+		return Lease{}, ErrFenced
+	}
+	nl, err := s.leases.Renew(cur, s.ttl)
+	if err != nil {
+		s.dropHeld(id)
+		obsFenceRejects.Inc()
+		s.record(id, "lease.fence-reject", cur.Epoch)
+		return Lease{}, fmt.Errorf("fleet: renew rejected (job %s, epoch %d): %w", id, cur.Epoch, ErrFenced)
+	}
+	obsRenewed.Inc()
+	s.setHeld(nl)
+	return nl, nil
+}
+
+// ReleaseHeld releases a lease this replica holds (a failed steal's cleanup)
+// without touching envelopes.
+func (s *FencedStore) ReleaseHeld(id string) {
+	s.mu.Lock()
+	l, ok := s.held[id]
+	delete(s.held, id)
+	s.mu.Unlock()
+	if ok {
+		if s.leases.Release(l) == nil {
+			obsReleased.Inc()
+			s.record(id, "lease.release", l.Epoch)
+		}
+	}
+}
+
+// Put implements estsvc.JobStore: renew-or-acquire the lease, then write the
+// envelope under the lease's epoch. On a fresh acquire, lower-epoch leftovers
+// are swept so the store doesn't accumulate one envelope per steal.
+func (s *FencedStore) Put(id string, envelope []byte) error {
+	l, fresh, err := s.lease(id)
+	if err != nil {
+		return err
+	}
+	if err := s.inner.Put(envKey(id, l.Epoch), envelope); err != nil {
+		return err
+	}
+	if fresh {
+		s.sweepBelow(id, l.Epoch)
+	}
+	return nil
+}
+
+// sweepBelow removes id's envelopes below epoch.
+func (s *FencedStore) sweepBelow(id string, epoch uint64) {
+	keys, err := s.inner.List()
+	if err != nil {
+		return
+	}
+	for _, key := range keys {
+		kid, e, ok := splitEnvKey(key)
+		if ok && kid == id && e < epoch {
+			_ = s.inner.Delete(key)
+		}
+	}
+	// A plain (pre-fleet) envelope under the bare id is epoch 0 by
+	// convention: superseded by any fenced write.
+	if _, err := s.inner.Get(id); err == nil {
+		_ = s.inner.Delete(id)
+	}
+}
+
+// Get implements estsvc.JobStore: the highest-epoch envelope wins; a plain
+// pre-fleet envelope under the bare id is the epoch-0 fallback.
+func (s *FencedStore) Get(id string) ([]byte, error) {
+	keys, err := s.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		best  uint64
+		found bool
+		key   string
+	)
+	for _, k := range keys {
+		kid, e, ok := splitEnvKey(k)
+		if ok && kid == id && (!found || e > best) {
+			best, key, found = e, k, true
+		}
+	}
+	if !found {
+		return s.inner.Get(id)
+	}
+	return s.inner.Get(key)
+}
+
+// List implements estsvc.JobStore: logical job ids, deduplicated across
+// epochs (and across a plain pre-fleet key coexisting with fenced ones),
+// lexically sorted.
+func (s *FencedStore) List() ([]string, error) {
+	keys, err := s.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(keys))
+	ids := make([]string, 0, len(keys))
+	for _, k := range keys {
+		id := k
+		if kid, _, ok := splitEnvKey(k); ok {
+			id = kid
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete implements estsvc.JobStore: every epoch's envelope goes, and the
+// lease is released if held — a done job leaves nothing for reapers to find.
+// Delete is fenced like Put: a replica whose job was stolen must not destroy
+// the thief's envelope, so a fence here silently keeps the store intact (the
+// stale replica's completion is a local non-event for the fleet).
+func (s *FencedStore) Delete(id string) error {
+	if _, _, err := s.lease(id); err != nil {
+		return nil
+	}
+	keys, err := s.inner.List()
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, k := range keys {
+		kid, _, ok := splitEnvKey(k)
+		if ok && kid == id {
+			if err := s.inner.Delete(k); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := s.inner.Delete(id); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.ReleaseHeld(id)
+	return firstErr
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/estsvc"
+)
+
+func fencedFixture(t *testing.T, owner string) (*FencedStore, *estsvc.MemStore, *MemLeaseStore, *fakeClock) {
+	t.Helper()
+	inner := estsvc.NewMemStore()
+	leases := NewMemLeaseStore()
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	leases.SetClock(clock.Now)
+	fs, err := NewFencedStore(inner, leases, owner, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, inner, leases, clock
+}
+
+func TestFencedStorePutAcquiresAndRenews(t *testing.T) {
+	fs, inner, leases, _ := fencedFixture(t, "a")
+
+	if err := fs.Put("job-1", []byte("v1")); err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	l, ok, _ := leases.Get("job-1")
+	if !ok || l.Owner != "a" || l.Epoch != 1 {
+		t.Fatalf("lease after first put = %+v ok=%v", l, ok)
+	}
+	// The envelope lives under the epoch-qualified key, not the bare id.
+	if _, err := inner.Get("job-1"); !errors.Is(err, estsvc.ErrNoCheckpoint) {
+		t.Fatalf("bare id readable from inner store: err = %v", err)
+	}
+	blob, err := fs.Get("job-1")
+	if err != nil || !bytes.Equal(blob, []byte("v1")) {
+		t.Fatalf("fenced get = %q, %v", blob, err)
+	}
+
+	exp := l.Expires
+	if err := fs.Put("job-1", []byte("v2")); err != nil {
+		t.Fatalf("second put: %v", err)
+	}
+	l2, _, _ := leases.Get("job-1")
+	if l2.Epoch != 1 || l2.Expires.Before(exp) {
+		t.Fatalf("second put should renew in place: %+v", l2)
+	}
+	blob, _ = fs.Get("job-1")
+	if !bytes.Equal(blob, []byte("v2")) {
+		t.Fatalf("fenced get after renew = %q", blob)
+	}
+}
+
+// TestFencedStoreStaleOwnerPutRejected is the satellite fencing test: after a
+// steal, the previous owner's Put must fail with ErrFenced AND must not
+// perturb what readers see.
+func TestFencedStoreStaleOwnerPutRejected(t *testing.T) {
+	fsA, inner, leases, clock := fencedFixture(t, "a")
+	fsB, err := NewFencedStore(inner, leases, "b", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fsA.Put("job-1", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(ttl + time.Nanosecond)
+	if _, err := fsB.Acquire("job-1"); err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	if err := fsB.Put("job-1", []byte("from-b")); err != nil {
+		t.Fatalf("thief put: %v", err)
+	}
+
+	err = fsA.Put("job-1", []byte("stale"))
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale put: err = %v, want ErrFenced", err)
+	}
+	if blob, _ := fsB.Get("job-1"); !bytes.Equal(blob, []byte("from-b")) {
+		t.Fatalf("reader sees %q after stale put, want thief's envelope", blob)
+	}
+	if _, held := fsA.Held("job-1"); held {
+		t.Fatal("stale owner still tracks the lease as held after fence")
+	}
+}
+
+// TestFencedStoreEpochKeysBeatRacedWrite is the braces half of the fencing:
+// even if a stale writer somehow landed an envelope (simulated by writing the
+// low-epoch key directly, as a razor race with the steal could), readers take
+// the highest epoch and never see it.
+func TestFencedStoreEpochKeysBeatRacedWrite(t *testing.T) {
+	fs, inner, leases, clock := fencedFixture(t, "a")
+	if err := fs.Put("job-1", []byte("epoch1")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(ttl + time.Nanosecond)
+	fsB, _ := NewFencedStore(inner, leases, "b", ttl)
+	if _, err := fsB.Acquire("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsB.Put("job-1", []byte("epoch2")); err != nil {
+		t.Fatal(err)
+	}
+	// The raced stale write: epoch-1 key rewritten behind the fence.
+	if err := inner.Put("job-1@00000000000000000001", []byte("stale-raced")); err != nil {
+		t.Fatal(err)
+	}
+	if blob, _ := fs.Get("job-1"); !bytes.Equal(blob, []byte("epoch2")) {
+		t.Fatalf("Get = %q, want the higher epoch to win", blob)
+	}
+}
+
+func TestFencedStorePlainKeyFallbackAndMigration(t *testing.T) {
+	fs, inner, _, _ := fencedFixture(t, "a")
+	// A pre-fleet deployment left a plain envelope.
+	if err := inner.Put("job-1", []byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	if blob, err := fs.Get("job-1"); err != nil || !bytes.Equal(blob, []byte("legacy")) {
+		t.Fatalf("legacy fallback = %q, %v", blob, err)
+	}
+	ids, _ := fs.List()
+	if len(ids) != 1 || ids[0] != "job-1" {
+		t.Fatalf("List = %v", ids)
+	}
+	// First fenced write supersedes and sweeps the plain key.
+	if err := fs.Put("job-1", []byte("fenced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inner.Get("job-1"); !errors.Is(err, estsvc.ErrNoCheckpoint) {
+		t.Fatalf("plain key not swept after migration: err = %v", err)
+	}
+	if blob, _ := fs.Get("job-1"); !bytes.Equal(blob, []byte("fenced")) {
+		t.Fatalf("Get after migration = %q", blob)
+	}
+}
+
+// TestFencedStoreListDedupe pins the non-adjacency case: '0' sorts before '@'
+// so "job-10@…" lands between "job-1" (plain) and "job-1@…" in the inner
+// store's lexical order, and naive previous-id dedupe would double-list
+// job-1.
+func TestFencedStoreListDedupe(t *testing.T) {
+	fs, inner, _, _ := fencedFixture(t, "a")
+	if err := inner.Put("job-1", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("job-10", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("job-1", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "job-1" || ids[1] != "job-10" {
+		t.Fatalf("List = %v, want [job-1 job-10]", ids)
+	}
+}
+
+func TestFencedStoreDelete(t *testing.T) {
+	fs, inner, leases, clock := fencedFixture(t, "a")
+	if err := fs.Put("job-1", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := inner.List(); len(ids) != 0 {
+		t.Fatalf("inner keys after delete: %v", ids)
+	}
+	if _, ok, _ := leases.Get("job-1"); ok {
+		t.Fatal("lease survived delete")
+	}
+
+	// Fenced delete: a stale replica completing a stolen job must not destroy
+	// the thief's envelope.
+	if err := fs.Put("job-2", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(ttl + time.Nanosecond)
+	fsB, _ := NewFencedStore(inner, leases, "b", ttl)
+	if _, err := fsB.Acquire("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsB.Put("job-2", []byte("thief")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("job-2"); err != nil {
+		t.Fatalf("fenced delete should be a silent no-op, got %v", err)
+	}
+	if blob, err := fsB.Get("job-2"); err != nil || !bytes.Equal(blob, []byte("thief")) {
+		t.Fatalf("thief's envelope after stale delete = %q, %v", blob, err)
+	}
+}

@@ -28,6 +28,10 @@ import (
 // Errors not wrapped in TransientError are fatal and surface immediately.
 type TransientError struct {
 	Err error
+	// RetryAfter, when positive, is the server's own backoff demand (a 429's
+	// Retry-After header): the Retrier floors its next sleep at this value
+	// instead of hammering a server that already said when to come back.
+	RetryAfter time.Duration
 }
 
 func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
@@ -44,6 +48,32 @@ func MarkTransient(err error) error {
 		return err
 	}
 	return &TransientError{Err: err}
+}
+
+// MarkTransientAfter wraps err as retryable carrying the server's Retry-After
+// hint. An already-transient error keeps the larger of the two hints.
+func MarkTransientAfter(err error, retryAfter time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		if retryAfter > te.RetryAfter {
+			return &TransientError{Err: te.Err, RetryAfter: retryAfter}
+		}
+		return err
+	}
+	return &TransientError{Err: err, RetryAfter: retryAfter}
+}
+
+// RetryAfterHint extracts the server-demanded backoff from a transient error
+// chain (0 when none).
+func RetryAfterHint(err error) time.Duration {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return te.RetryAfter
+	}
+	return 0
 }
 
 // IsTransient reports whether err is marked retryable.
@@ -156,8 +186,15 @@ func (r *Retrier) do(op func() error) error {
 			return fmt.Errorf("hdb: giving up after %d attempts: %w", attempt, err)
 		}
 		r.retries.Add(1)
+		// A server-sent Retry-After floors the sleep, even above MaxDelay:
+		// the server stated when it will take the query, so retrying sooner
+		// only burns an attempt.
+		sleep := delay
+		if hint := RetryAfterHint(err); hint > sleep {
+			sleep = hint
+		}
 		slept := time.Now()
-		ok := r.sleep(delay)
+		ok := r.sleep(sleep)
 		r.backoffNs.Add(int64(time.Since(slept)))
 		if !ok {
 			return r.cfg.Context.Err()

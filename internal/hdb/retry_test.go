@@ -268,6 +268,91 @@ func TestRetrierCursorEquivalence(t *testing.T) {
 	}
 }
 
+func TestMarkTransientAfter(t *testing.T) {
+	if MarkTransientAfter(nil, time.Second) != nil {
+		t.Error("MarkTransientAfter(nil) != nil")
+	}
+	base := errors.New("rate limited")
+	te := MarkTransientAfter(base, 3*time.Second)
+	if !IsTransient(te) || !errors.Is(te, base) {
+		t.Fatalf("marked error lost transience or cause: %v", te)
+	}
+	if RetryAfterHint(te) != 3*time.Second {
+		t.Errorf("hint = %v, want 3s", RetryAfterHint(te))
+	}
+	// Hint survives further wrapping.
+	if RetryAfterHint(fmt.Errorf("ctx: %w", te)) != 3*time.Second {
+		t.Error("hint lost through wrapping")
+	}
+	// Re-marking keeps the larger hint, in either order.
+	if RetryAfterHint(MarkTransientAfter(te, time.Second)) != 3*time.Second {
+		t.Error("smaller hint overwrote larger")
+	}
+	if RetryAfterHint(MarkTransientAfter(te, 10*time.Second)) != 10*time.Second {
+		t.Error("larger hint not adopted")
+	}
+	// Plain transient errors have no hint.
+	if RetryAfterHint(MarkTransient(base)) != 0 {
+		t.Error("hint invented for plain transient error")
+	}
+}
+
+// TestRetrierHonorsRetryAfterHint: a server-sent Retry-After floors the
+// backoff sleep — even above MaxDelay — while a hint smaller than the
+// computed delay changes nothing.
+func TestRetrierHonorsRetryAfterHint(t *testing.T) {
+	tbl := testTable(t, 100, 10)
+	sleep, delays := noSleep()
+
+	hinted := &hintedBackend{inner: tbl, failsPer: 2, retryAfter: 5 * time.Second}
+	r := NewRetrier(hinted, RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Sleep:       sleep,
+	})
+	if _, err := r.Query(Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) != 2 || (*delays)[0] != 5*time.Second || (*delays)[1] != 5*time.Second {
+		t.Errorf("delays = %v, want the 5s server hint to floor both sleeps past MaxDelay", *delays)
+	}
+
+	// A tiny hint defers to the computed exponential delay.
+	*delays = (*delays)[:0]
+	hinted = &hintedBackend{inner: tbl, failsPer: 1, retryAfter: time.Millisecond}
+	r = NewRetrier(hinted, RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		Sleep:       sleep,
+	})
+	if _, err := r.Query(Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) != 1 || (*delays)[0] != 10*time.Millisecond {
+		t.Errorf("delays = %v, want the 10ms computed delay to win over a 1ms hint", *delays)
+	}
+}
+
+// hintedBackend fails every query a fixed number of times with a transient
+// error carrying a Retry-After hint.
+type hintedBackend struct {
+	inner      Interface
+	failsPer   int
+	retryAfter time.Duration
+	calls      int
+}
+
+func (h *hintedBackend) Schema() Schema { return h.inner.Schema() }
+func (h *hintedBackend) K() int         { return h.inner.K() }
+func (h *hintedBackend) Query(q Query) (Result, error) {
+	h.calls++
+	if h.calls <= h.failsPer {
+		return Result{}, MarkTransientAfter(fmt.Errorf("throttled: call %d", h.calls), h.retryAfter)
+	}
+	return h.inner.Query(q)
+}
+
 func TestRetryConfigDefaults(t *testing.T) {
 	cfg := RetryConfig{}
 	cfg.defaults()

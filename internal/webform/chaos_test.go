@@ -167,6 +167,80 @@ func TestErrorClassification(t *testing.T) {
 	}
 }
 
+// TestRetryAfterPropagates: a 429's Retry-After header (delay-seconds or
+// HTTP-date) rides the transient error up to the Retrier as a backoff hint.
+func TestRetryAfterPropagates(t *testing.T) {
+	respond := func(hdr string) *httptest.Server {
+		d, err := datagen.Auto(50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := d.Table(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := NewServer(tbl, ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/search" {
+				w.Header().Set("Retry-After", hdr)
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":"throttled"}`))
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+
+	c, err := Dial(respond("7").URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(hdb.Query{})
+	if !hdb.IsTransient(err) {
+		t.Fatalf("429 with Retry-After not transient: %v", err)
+	}
+	if got := hdb.RetryAfterHint(err); got != 7*time.Second {
+		t.Errorf("hint = %v, want 7s", got)
+	}
+
+	// HTTP-date form: a date in the near future yields a positive hint.
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	c, err = Dial(respond(future).URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(hdb.Query{})
+	if got := hdb.RetryAfterHint(err); got <= 0 || got > 30*time.Second {
+		t.Errorf("HTTP-date hint = %v, want in (0, 30s]", got)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"5", 5 * time.Second},
+		{"0", 0},  // fault injector's sentinel: no floor
+		{"-3", 0}, // nonsense stays a no-op
+		{"soon", 0},
+		{time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0}, // past date
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if got := parseRetryAfter(time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)); got <= 0 || got > 10*time.Second {
+		t.Errorf("future-date parse = %v, want in (0, 10s]", got)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Chaos conformance suite
 

@@ -125,6 +125,23 @@ func transportErr(ctx context.Context, err error) error {
 	return hdb.MarkTransient(err)
 }
 
+// parseRetryAfter decodes a Retry-After header value — delay-seconds or an
+// HTTP-date — into a backoff duration (0 for "now" or unparseable).
+func parseRetryAfter(v string) time.Duration {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // Query implements hdb.Interface. A budget 429 from the server surfaces as
 // hdb.ErrQueryLimit so budget-aware callers behave identically to the
 // in-memory Limiter; a rate-limit 429 (Retry-After set) and all 5xx surface
@@ -148,9 +165,11 @@ func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode == http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		if resp.Header.Get("Retry-After") != "" {
-			// Rate limiting, not budget exhaustion: back off and retry.
-			return hdb.Result{}, hdb.MarkTransient(fmt.Errorf("webform: search: rate limited (%s)", resp.Status))
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			// Rate limiting, not budget exhaustion: back off and retry,
+			// carrying the server's own backoff demand to the retry layer.
+			return hdb.Result{}, hdb.MarkTransientAfter(
+				fmt.Errorf("webform: search: rate limited (%s)", resp.Status), parseRetryAfter(ra))
 		}
 		return hdb.Result{}, hdb.ErrQueryLimit
 	case resp.StatusCode >= 500:
