@@ -17,6 +17,7 @@ import (
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/experiment"
+	"hdunbiased/internal/guard"
 	"hdunbiased/internal/hdb"
 	"hdunbiased/internal/querytree"
 )
@@ -132,6 +133,32 @@ func BenchmarkEstimatePassHDInstrumented(b *testing.B) {
 		b.Fatal(err)
 	}
 	e, err := core.NewHDUnbiasedSize(hdb.NewMetrics(tbl, nil), 5, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatePassHDGuarded is BenchmarkEstimatePassHD with the guard
+// validator (response-invariant checks, no replay probes) wrapped directly
+// around the backend — the tracked cost of hostile-interface hardening.
+// The acceptance bar in PERFORMANCE.md: +0 allocs/op on the warm path.
+func BenchmarkEstimatePassHDGuarded(b *testing.B) {
+	d, err := datagen.Auto(50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := d.Table(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewHDUnbiasedSize(guard.NewValidator(tbl, guard.ValidatorConfig{}), 5, 16, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -25,6 +25,13 @@
 //	hdservice -dataset auto -m 100000 -store /var/tmp/hd-jobs -fleet -node n1 \
 //	          -addr 127.0.0.1:8091 -pool 64 -tenant-max-jobs 8
 //
+//	# Hardened against a hostile or flaky backend: response-invariant
+//	# validation plus a circuit breaker (state visible in /readyz and
+//	# /metrics, transitions in /debug/flight/breaker). Jobs caught on an
+//	# invariant violation degrade to the count-free Boolean estimator
+//	# instead of failing (-degrade, on by default).
+//	hdservice -url http://127.0.0.1:8080 -guard -breaker-cooldown 10s
+//
 //	# Observability: Prometheus /metrics, /debug/vars, per-job flight
 //	# recorders and pprof on a side listener
 //	hdservice -dataset auto -m 100000 -metrics-addr 127.0.0.1:9090
@@ -57,6 +64,7 @@ import (
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
 	"hdunbiased/internal/fleet"
+	"hdunbiased/internal/guard"
 	"hdunbiased/internal/hdb"
 	"hdunbiased/internal/obs"
 	"hdunbiased/internal/webform"
@@ -78,6 +86,13 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
 		retryMax   = flag.Int("retry-attempts", 4, "attempts per query against a -url backend (1 = no retries)")
 		retryDelay = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff against a -url backend")
+
+		guardOn     = flag.Bool("guard", false, "hostile-interface hardening: validate response invariants (monotone counts, replayed top-k) and run a circuit breaker in front of the backend")
+		guardReplay = flag.Int("guard-replay-every", 64, "with -guard: replay one tracked query per this many backend queries to catch non-reproducible top-k answers (0 = no replays)")
+		brThreshold = flag.Int("breaker-threshold", 5, "with -guard: consecutive backend failures that trip the circuit open")
+		brCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "with -guard: how long a tripped circuit stays open before half-open probes")
+		brHalfOpen  = flag.Int("breaker-halfopen", 1, "with -guard: trial queries admitted at a time while half-open")
+		degrade     = flag.Bool("degrade", true, "graceful-degradation ladder: demote a job caught on an invariant violation to the count-free Boolean estimator and quarantine it on a second strike (false = fail the job)")
 
 		fleetMode = flag.Bool("fleet", false, "replicated mode: lease-owned jobs over the shared -store, with a reaper that steals and resumes jobs whose replica died (requires -store)")
 		nodeID    = flag.String("node", "", "replica id in -fleet mode (default host-pid)")
@@ -108,11 +123,43 @@ func main() {
 		log.Fatal(err)
 	}
 	// Instrumented backend stack, innermost first: Metrics times every query
-	// that actually reaches the backend (per transport attempt), the Retrier
-	// absorbs transient failures above it, and a counts-only Tracer on top
+	// that actually reaches the backend (per transport attempt), the guard
+	// pair (Validator, then Breaker) checks and fuses above it, the Retrier
+	// absorbs transient failures above that, and a counts-only Tracer on top
 	// tallies logical outcomes — so a retried query is timed per attempt but
-	// classified once.
+	// classified once. The Validator sits below the Breaker so invariant
+	// violations count as backend failures, and the Breaker sits below the
+	// Retrier so its fail-fast (a transient error hinting the remaining
+	// cooldown) parks the retrier instead of burning attempts.
 	backend = hdb.NewMetrics(backend, nil)
+	var (
+		breaker       *guard.Breaker
+		breakerFlight *obs.Recorder // set once the Manager's flight set exists, before any job runs
+	)
+	if *guardOn {
+		v := guard.NewValidator(backend, guard.ValidatorConfig{ReplayEvery: *guardReplay})
+		v.Publish(nil)
+		backend = v
+		breaker = guard.NewBreaker(backend, guard.BreakerConfig{
+			FailureThreshold: *brThreshold,
+			Cooldown:         *brCooldown,
+			HalfOpenProbes:   *brHalfOpen,
+			OnTransition: func(_, to guard.State) {
+				if fl := breakerFlight; fl != nil {
+					switch to {
+					case guard.StateOpen:
+						fl.Record("breaker.open", 0)
+					case guard.StateHalfOpen:
+						fl.Record("breaker.half-open", 0)
+					default:
+						fl.Record("breaker.closed", 0)
+					}
+				}
+			},
+		})
+		breaker.Publish(nil)
+		backend = breaker
+	}
 	if *urlFlag != "" && *retryMax > 1 {
 		// Fault tolerance for the live-webform regime: transient HTTP
 		// failures retry below the session's query accounting, so a retried
@@ -131,6 +178,9 @@ func main() {
 	var opts []estsvc.ManagerOption
 	if *batch {
 		opts = append(opts, estsvc.WithBatch())
+	}
+	if *degrade {
+		opts = append(opts, estsvc.WithDegrade())
 	}
 	var (
 		jobStore estsvc.JobStore
@@ -166,6 +216,15 @@ func main() {
 		opts = append(opts, estsvc.WithStore(jobStore), estsvc.WithCheckpointEvery(*ckptEvery))
 	}
 	mgr := estsvc.NewManager(backend, opts...)
+	if breaker != nil {
+		// The breaker's transitions land in a dedicated flight ring next to
+		// the per-job ones (/debug/flight/breaker), so "the circuit opened
+		// at 12:03:07" survives next to "job-000042 degraded at 12:03:08".
+		// Set before any job can run a query: OnTransition reads it.
+		breakerFlight = mgr.Flights().Recorder("breaker", 64)
+		log.Printf("guard: response validation + circuit breaker (trip after %d failures, cooldown %s)",
+			*brThreshold, *brCooldown)
+	}
 	var node *fleet.Node
 	if fenced != nil {
 		node, err = fleet.NewNode(mgr, fenced, fleet.NodeConfig{})
@@ -215,6 +274,7 @@ func main() {
 			MaxBudget: *tenantMaxBudget,
 			StartRate: *tenantStartRate,
 		},
+		Breaker: breaker,
 	})
 	health := fleet.NewHealth(jobStore, adm)
 	mux := http.NewServeMux()

@@ -92,7 +92,11 @@ func (e *Estimator) walk(root hdb.Query, node *nodeState, startLevel, endLevel i
 		// Commit phase: follow j0, walking right circularly past underflows.
 		for tested := 0; ; tested++ {
 			if tested >= fanout {
-				return fmt.Errorf("core: all %d branches of %s underflow although it overflows — inconsistent backend", fanout, sc.builder.Query().String())
+				return &hdb.InvariantViolation{
+					Kind:   hdb.ViolationAllUnderflow,
+					Query:  sc.builder.Query().String(),
+					Detail: fmt.Sprintf("all %d branches underflow although the node overflows", fanout),
+				}
 			}
 			if weights[j] == 0 {
 				// Known-empty branch under weight adjustment: skip without a

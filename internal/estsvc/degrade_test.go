@@ -1,0 +1,399 @@
+package estsvc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/guard"
+	"hdunbiased/internal/hdb"
+)
+
+// lyingBackend corrupts results the way a hostile top-k interface does:
+// after `after` queries it drops a tuple from an overflowing page while
+// keeping the overflow flag — the overflow-short contradiction a
+// guard.Validator detects on sight. every=0 lies exactly once (a glitching
+// interface that then behaves); every=1 lies on every eligible page (a
+// persistently hostile one). delay, when set, slows each post-warmup query
+// to widen race-free cancellation windows in the kill+resume test.
+type lyingBackend struct {
+	inner hdb.Interface
+	after int64
+	every int64
+	delay time.Duration
+
+	mu    sync.Mutex
+	calls int64
+	lies  int64
+}
+
+func (l *lyingBackend) Schema() hdb.Schema { return l.inner.Schema() }
+func (l *lyingBackend) K() int             { return l.inner.K() }
+
+func (l *lyingBackend) Query(q hdb.Query) (hdb.Result, error) {
+	l.mu.Lock()
+	l.calls++
+	n := l.calls
+	l.mu.Unlock()
+	res, err := l.inner.Query(q)
+	if err != nil || n <= l.after {
+		return res, err
+	}
+	if l.delay > 0 {
+		time.Sleep(l.delay)
+	}
+	if !res.Overflow || len(res.Tuples) < 2 {
+		return res, nil
+	}
+	l.mu.Lock()
+	lie := l.every > 0 || l.lies == 0
+	if lie {
+		l.lies++
+	}
+	l.mu.Unlock()
+	if lie {
+		res = hdb.Result{Tuples: res.Tuples[:len(res.Tuples)-1], Overflow: true}
+	}
+	return res, nil
+}
+
+func (l *lyingBackend) Lies() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lies
+}
+
+// waitJob polls until the job under id leaves its active states and
+// returns the final incarnation (the degradation ladder swaps Job objects
+// under a stable ID).
+func waitJob(t *testing.T, m *Manager, id string, timeout time.Duration) *Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if j, ok := m.Get(id); ok {
+			if state, _ := j.State(); !state.Active() {
+				<-j.done // let the launch goroutine settle its store writes
+				return j
+			}
+		}
+		if time.Now().After(deadline) {
+			j, _ := m.Get(id)
+			state, errMsg := j.State()
+			t.Fatalf("job %s still %s (%s) after %v", id, state, errMsg, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDegraded polls until the ladder has swapped in a demoted incarnation
+// (or the job settles first, which fails the test).
+func waitDegraded(t *testing.T, m *Manager, id string, timeout time.Duration) *Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if j, ok := m.Get(id); ok {
+			if j.Spec.Degraded {
+				return j
+			}
+			if state, _ := j.State(); !state.Active() {
+				t.Fatalf("job settled (%s) without degrading", state)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never degraded")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func flightNames(t *testing.T, m *Manager, id string) map[string]bool {
+	t.Helper()
+	rec, ok := m.Flights().Get(id)
+	if !ok {
+		t.Fatalf("no flight ring for %s", id)
+	}
+	names := make(map[string]bool)
+	for _, e := range rec.Events() {
+		names[e.Name] = true
+	}
+	return names
+}
+
+// TestJobDegradesOnViolation is the ladder's happy path: a COUNT-based job
+// over a backend that lies once is caught by the validator, demoted in
+// place to the Boolean-check variant, and converges against the
+// now-honest backend — with every backend query accounted exactly once
+// across both incarnations.
+func TestJobDegradesOnViolation(t *testing.T) {
+	const rows = 3000
+	tbl := autoTable(t, rows, 20)
+	bottom := hdb.NewCounter(tbl) // ground truth: queries the backend really saw
+	liar := &lyingBackend{inner: bottom, after: 50}
+	v := guard.NewValidator(liar, guard.ValidatorConfig{ReplayEvery: 16})
+	m := NewManager(v, WithStore(NewMemStore()), WithDegrade(), WithCheckpointEvery(1))
+
+	job, err := m.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 11, TargetRSE: 0.08, MaxPasses: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring is a bounded window; read the demotion events before a long
+	// converging run evicts them.
+	waitDegraded(t, m, job.ID, 60*time.Second)
+	early := flightNames(t, m, job.ID)
+	for _, want := range []string{"job.start", "violation:overflow-short", "job.degrade"} {
+		if !early[want] {
+			t.Errorf("flight ring missing %q at demotion (have %v)", want, early)
+		}
+	}
+
+	final := waitJob(t, m, job.ID, 120*time.Second)
+
+	if liar.Lies() == 0 {
+		t.Fatal("backend never lied — test proves nothing")
+	}
+	state, errMsg := final.State()
+	if state != JobDone {
+		t.Fatalf("final state = %s (%s), want done", state, errMsg)
+	}
+	if !final.Spec.Degraded || final.Violation == "" {
+		t.Fatalf("job not demoted: degraded=%v violation=%q", final.Spec.Degraded, final.Violation)
+	}
+	if !strings.Contains(final.Violation, "overflow-short") {
+		t.Errorf("violation %q does not name the invariant", final.Violation)
+	}
+
+	// Exactly-once accounting: backend-observed queries = session spend
+	// across both incarnations + the validator's replay probes.
+	snap := final.Snapshot()
+	if got, want := bottom.Count(), snap.Cost+v.Replays(); got != want {
+		t.Errorf("backend saw %d queries, session accounts %d (+%d replays)",
+			got, snap.Cost, v.Replays())
+	}
+
+	// The Boolean-check incarnation converged.
+	if len(snap.Measures) == 0 {
+		t.Fatal("no measures")
+	}
+	mean := snap.Measures[0].Mean
+	if rel := math.Abs(mean-rows) / rows; rel > 0.4 {
+		t.Errorf("degraded estimate %.0f vs true %d (rel err %.2f)", mean, rows, rel)
+	}
+
+	// The terminal event joins the same (windowed) timeline.
+	if names := flightNames(t, m, job.ID); !names["job.done"] {
+		t.Errorf("flight ring missing job.done (have %v)", names)
+	}
+
+	// And on the wire.
+	p := jobPayload(final, true)
+	if !p.Degraded || p.Violation == "" || p.State != "done" || !p.Spec.Degraded {
+		t.Errorf("payload = %+v", p)
+	}
+}
+
+// TestJobQuarantinedOnSecondViolation: a backend that keeps lying after the
+// demotion — it corrupts even overflow classifications — lands the job in
+// quarantine: terminal, checkpoint kept, not auto-resumed.
+func TestJobQuarantinedOnSecondViolation(t *testing.T) {
+	tbl := autoTable(t, 3000, 20)
+	liar := &lyingBackend{inner: tbl, after: 20, every: 1}
+	v := guard.NewValidator(liar, guard.ValidatorConfig{})
+	store := NewMemStore()
+	m := NewManager(v, WithStore(store), WithDegrade(), WithCheckpointEvery(1))
+
+	job, err := m.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 3, TargetRSE: 0.05, MaxPasses: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, m, job.ID, 120*time.Second)
+
+	state, errMsg := final.State()
+	if state != JobQuarantined {
+		t.Fatalf("final state = %s (%s), want quarantined", state, errMsg)
+	}
+	if !strings.Contains(errMsg, "invariant violation") {
+		t.Errorf("quarantine error %q does not carry the violation", errMsg)
+	}
+	if m.RunningJobs() != 0 {
+		t.Errorf("quarantined job still counts as running")
+	}
+	p := jobPayload(final, true)
+	if p.State != "quarantined" || !p.Degraded || p.Violation == "" {
+		t.Errorf("payload = %+v", p)
+	}
+	names := flightNames(t, m, job.ID)
+	for _, want := range []string{"job.degrade", "job.quarantined"} {
+		if !names[want] {
+			t.Errorf("flight ring missing %q (have %v)", want, names)
+		}
+	}
+
+	// The envelope records the deliberate stop...
+	blob, err := store.Get(job.ID)
+	if err != nil {
+		t.Fatalf("quarantine deleted the checkpoint: %v", err)
+	}
+	if st, ok := EnvelopeState(blob); !ok || st != JobQuarantined {
+		t.Errorf("envelope state = %v, want quarantined", st)
+	}
+	// ...so a restarted service leaves the job alone.
+	m2 := NewManager(v, WithStore(store), WithDegrade())
+	resumed, err := m2.ResumeAll()
+	if err != nil || len(resumed) != 0 {
+		t.Errorf("ResumeAll resurrected a quarantined job: %v, %v", resumed, err)
+	}
+}
+
+// TestDegradedJobSurvivesKillResume is the kill+resume seam: a job demoted
+// mid-flight is cancelled (the kill), then resumed on a fresh Manager over
+// the same store — and comes back as the Boolean-check variant with its
+// cumulative spend intact, never as the impeached COUNT path.
+func TestDegradedJobSurvivesKillResume(t *testing.T) {
+	const rows = 3000
+	tbl := autoTable(t, rows, 20)
+	bottom := hdb.NewCounter(tbl)
+	liar := &lyingBackend{inner: bottom, after: 50, delay: 200 * time.Microsecond}
+	v := guard.NewValidator(liar, guard.ValidatorConfig{ReplayEvery: 16})
+	store := NewMemStore()
+	m := NewManager(v, WithStore(store), WithDegrade(), WithCheckpointEvery(1))
+
+	job, err := m.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 5, MaxCost: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the demoted incarnation has checkpointed (envelope state
+	// degraded), then kill it.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if blob, err := store.Get(job.ID); err == nil {
+			if st, _ := EnvelopeState(blob); st == JobDegraded {
+				break
+			}
+		}
+		if j, ok := m.Get(job.ID); ok {
+			if st, _ := j.State(); !st.Active() {
+				t.Fatalf("job settled (%s) before the kill window", st)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no degraded checkpoint appeared")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	cur, _ := m.Get(job.ID)
+	cur.Cancel()
+	killed := waitJob(t, m, job.ID, 60*time.Second)
+	killSnap := killed.Snapshot()
+	if state, _ := killed.State(); state != JobCancelled {
+		t.Fatalf("killed job state = %s", state)
+	}
+
+	// The envelope's spend base: the kill loses the queries made after the
+	// last checkpoint, and the accounting identity below owes exactly them.
+	blob, err := store.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil || env.Session == nil {
+		t.Fatalf("bad envelope: %v", err)
+	}
+	envCost := env.Session.Cost
+
+	// Fresh Manager, same store and backend stack: the resume seam.
+	m2 := NewManager(v, WithStore(store), WithDegrade(), WithCheckpointEvery(1))
+	resumed, err := m2.Resume(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Spec.Degraded || resumed.Violation == "" {
+		t.Fatalf("resume lost the demotion: %+v", resumed.Spec)
+	}
+	if state, _ := resumed.State(); state != JobDegraded {
+		t.Fatalf("resumed state = %s, want degraded", state)
+	}
+	if names := flightNames(t, m2, job.ID); !names["job.resume"] {
+		t.Errorf("resumed flight ring missing job.resume (have %v)", names)
+	}
+	final := waitJob(t, m2, job.ID, 120*time.Second)
+	state, errMsg := final.State()
+	if state != JobDone {
+		t.Fatalf("resumed job ended %s (%s)", state, errMsg)
+	}
+	snap := final.Snapshot()
+	if snap.Cost < envCost {
+		t.Errorf("spend went backwards across the seam: %d then %d", envCost, snap.Cost)
+	}
+	// Exactly-once across demotion AND the kill+resume seam: the backend
+	// saw the accounted spend, the validator's replays, plus exactly the
+	// queries the kill discarded (issued after the last checkpoint).
+	lost := killSnap.Cost - envCost
+	if got, want := bottom.Count(), snap.Cost+v.Replays()+lost; got != want {
+		t.Errorf("backend saw %d queries, session accounts %d (+%d replays, +%d lost at the kill)",
+			got, snap.Cost, v.Replays(), lost)
+	}
+	mean := snap.Measures[0].Mean
+	if rel := math.Abs(mean-rows) / rows; rel > 0.5 {
+		t.Errorf("estimate %.0f vs true %d (rel err %.2f)", mean, rows, rel)
+	}
+	if names := flightNames(t, m2, job.ID); !names["job.done"] {
+		t.Errorf("resumed flight ring missing job.done (have %v)", names)
+	}
+}
+
+// countFreeTable marks a table as count-free, the way a Boolean
+// (checkbox-only) web interface advertises itself.
+type countFreeTable struct{ hdb.Interface }
+
+func (countFreeTable) CountFree() bool { return true }
+
+// TestCountFreeBackendStartsDegraded: the ladder's capability rung — a
+// count-free interface can never satisfy the COUNT-based variant, so jobs
+// start on the bottom rung instead of failing later.
+func TestCountFreeBackendStartsDegraded(t *testing.T) {
+	tbl := autoTable(t, 1000, 10)
+	m := NewManager(countFreeTable{Interface: tbl})
+	job, err := m.Start(Spec{Algo: "hd"}, Config{Workers: 2, Seed: 1, MaxPasses: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Spec.Degraded || !strings.Contains(job.Violation, "count-free") {
+		t.Fatalf("count-free backend not demoted at start: %+v", job.Spec)
+	}
+	if state, _ := job.State(); state != JobDegraded {
+		t.Fatalf("state = %s, want degraded", state)
+	}
+	final := waitJob(t, m, job.ID, 60*time.Second)
+	if state, errMsg := final.State(); state != JobDone {
+		t.Fatalf("count-free job ended %s (%s)", state, errMsg)
+	}
+}
+
+// TestViolationFailsJobWithoutLadder: without WithDegrade a violation is an
+// ordinary failure — no silent demotion the operator didn't opt into.
+func TestViolationFailsJobWithoutLadder(t *testing.T) {
+	tbl := autoTable(t, 3000, 20)
+	liar := &lyingBackend{inner: tbl, after: 20, every: 1}
+	v := guard.NewValidator(liar, guard.ValidatorConfig{})
+	m := NewManager(v)
+	job, err := m.Start(Spec{Algo: "hd", R: 3, DUB: 16},
+		Config{Workers: 2, Seed: 2, MaxPasses: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, m, job.ID, 60*time.Second)
+	state, errMsg := final.State()
+	if state != JobFailed || !strings.Contains(errMsg, "invariant violation") {
+		t.Fatalf("state = %s (%s), want failed with the violation", state, errMsg)
+	}
+	if final.Spec.Degraded {
+		t.Error("ladder ran without being armed")
+	}
+}

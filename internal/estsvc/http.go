@@ -83,11 +83,16 @@ type SnapshotPayload struct {
 
 // JobPayload is the wire form of a job.
 type JobPayload struct {
-	ID       string          `json:"id"`
-	State    string          `json:"state"`
-	Error    string          `json:"error,omitempty"`
-	Spec     *Spec           `json:"spec,omitempty"`
-	Snapshot SnapshotPayload `json:"snapshot"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Degraded is true once the degradation ladder has demoted the job to
+	// the Boolean-check variant; Violation carries the invariant violation
+	// (or capability detection) that caused the demotion or quarantine.
+	Degraded  bool            `json:"degraded,omitempty"`
+	Violation string          `json:"violation,omitempty"`
+	Spec      *Spec           `json:"spec,omitempty"`
+	Snapshot  SnapshotPayload `json:"snapshot"`
 }
 
 type errorPayload struct {
@@ -122,10 +127,15 @@ func snapshotPayload(labels []string, s Snapshot) SnapshotPayload {
 func jobPayload(j *Job, withSpec bool) JobPayload {
 	state, errMsg := j.State()
 	p := JobPayload{
-		ID:       j.ID,
-		State:    string(state),
-		Error:    errMsg,
-		Snapshot: snapshotPayload(j.Labels, j.Snapshot()),
+		ID:        j.ID,
+		State:     string(state),
+		Error:     errMsg,
+		Degraded:  j.Spec.Degraded,
+		Violation: j.Violation,
+		Snapshot:  snapshotPayload(j.Labels, j.Snapshot()),
+	}
+	if state == JobQuarantined && p.Violation == "" {
+		p.Violation = errMsg
 	}
 	if withSpec {
 		spec := j.Spec

@@ -22,7 +22,22 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobDegraded is a running job the degradation ladder has demoted to
+	// the Boolean-check estimator after an invariant violation (or a
+	// count-free backend). It behaves like JobRunning for occupancy,
+	// draining and resume; the demotion itself lives in Spec.Degraded.
+	JobDegraded JobState = "degraded"
+	// JobQuarantined is terminal: the backend violated an invariant again
+	// after the job had already degraded (or the ladder is disabled and
+	// quarantine was requested). The checkpoint is kept, but only an
+	// explicit Resume revives the job.
+	JobQuarantined JobState = "quarantined"
 )
+
+// Active reports whether the state is a running phase (JobRunning or
+// JobDegraded) — the states occupancy counting, draining and double-resume
+// checks care about.
+func (s JobState) Active() bool { return s == JobRunning || s == JobDegraded }
 
 // ErrJobRunning is returned by Manager.Resume for a job that is still
 // running — there is nothing to resume.
@@ -37,6 +52,10 @@ type Job struct {
 	Labels  []string // measure labels in Snapshot.Measures order
 	Created time.Time
 	Resumed bool // this incarnation was restored from a checkpoint
+	// Violation is the invariant violation that demoted (or quarantined)
+	// the job, empty otherwise. Mirrors Spec.DegradedReason for degraded
+	// jobs so the wire payload survives kill+resume.
+	Violation string
 
 	sess   *Session
 	cancel context.CancelFunc
@@ -75,6 +94,7 @@ type Manager struct {
 	store           JobStore
 	checkpointEvery int
 	batch           bool           // default every job to lockstep-cohort execution
+	degrade         bool           // degradation ladder: violation → bool variant → quarantine
 	idPrefix        string         // job-ID prefix ("job" → job-000001); replicas use distinct prefixes
 	flights         *obs.FlightSet // per-job lifecycle event rings (see metrics.go)
 
@@ -111,6 +131,19 @@ func WithCheckpointEvery(rounds int) ManagerOption {
 // option.
 func WithBatch() ManagerOption {
 	return func(m *Manager) { m.batch = true }
+}
+
+// WithDegrade arms the graceful-degradation ladder: a job whose session
+// dies on an hdb.InvariantViolation (raised by a guard.Validator below, or
+// by core's own consistency checks) is restarted in place as the
+// Boolean-check estimator variant — same ID, same stopping rules, the
+// backend-query spend carried over so budgets and the exactly-once cost
+// accounting hold across the demotion. The suspect COUNT-based passes are
+// discarded (they are exactly what the violation impeaches); the spend
+// they cost is not. A second violation after demotion quarantines the job.
+// Without this option a violation fails the job like any other error.
+func WithDegrade() ManagerOption {
+	return func(m *Manager) { m.degrade = true }
 }
 
 // WithJobIDPrefix replaces the default "job" ID prefix (ids become
@@ -155,8 +188,12 @@ func (m *Manager) sink(id string, spec Spec) func(*SessionCheckpoint) error {
 	if m.store == nil {
 		return nil
 	}
+	state := JobRunning
+	if spec.Degraded {
+		state = JobDegraded // so ResumeAll knows, and keeps, the demotion
+	}
 	return func(cp *SessionCheckpoint) error {
-		blob, err := json.Marshal(jobEnvelope{Version: SessionCheckpointVersion, ID: id, State: JobRunning, Spec: spec, Session: cp})
+		blob, err := json.Marshal(jobEnvelope{Version: SessionCheckpointVersion, ID: id, State: state, Spec: spec, Session: cp})
 		if err != nil {
 			return err
 		}
@@ -177,7 +214,7 @@ func (m *Manager) markStored(id string, state JobState) {
 	cur := m.jobs[id]
 	m.mu.Unlock()
 	if cur != nil {
-		if s, _ := cur.State(); s == JobRunning {
+		if s, _ := cur.State(); s.Active() {
 			return
 		}
 	}
@@ -198,6 +235,12 @@ func (m *Manager) markStored(id string, state JobState) {
 // Start validates the spec, builds a session and launches it in the
 // background, returning the tracked job immediately.
 func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
+	if hdb.IsCountFree(m.backend) && !spec.Degraded && spec.Algo != "bool" {
+		// A count-free interface cannot answer the COUNT-based variant's
+		// probes truthfully; start on the bottom rung of the ladder.
+		spec.Degraded = true
+		spec.DegradedReason = "count-free backend interface"
+	}
 	factory, labels, err := spec.NewFactory(m.backend.Schema())
 	if err != nil {
 		return nil, err
@@ -231,7 +274,8 @@ func (m *Manager) Start(spec Spec, cfg Config) (*Job, error) {
 		return nil, err
 	}
 	flight.Record("job.start", 0)
-	job := &Job{ID: id, Spec: spec, Config: cfg, Labels: labels, Created: time.Now(), sess: sess}
+	job := &Job{ID: id, Spec: spec, Config: cfg, Labels: labels, Created: time.Now(),
+		Violation: spec.DegradedReason, sess: sess}
 	m.launch(job)
 	return job, nil
 }
@@ -249,6 +293,9 @@ func (m *Manager) launch(job *Job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job.cancel = cancel
 	job.state = JobRunning
+	if job.Spec.Degraded {
+		job.state = JobDegraded
+	}
 	job.done = make(chan struct{})
 
 	m.mu.Lock()
@@ -262,6 +309,12 @@ func (m *Manager) launch(job *Job) {
 		defer close(job.done) // after the final store writes: Drain waits on this
 		defer cancel()
 		_, err := job.sess.Run(ctx)
+		if vio, ok := hdb.AsInvariantViolation(err); ok && m.degrade {
+			if m.settleViolation(job, vio) {
+				return // a degraded incarnation replaced this job and owns the envelope
+			}
+			return // quarantined: settleViolation stamped state and envelope
+		}
 		job.mu.Lock()
 		switch {
 		case err == nil:
@@ -291,6 +344,84 @@ func (m *Manager) launch(job *Job) {
 	}()
 }
 
+// settleViolation is the degradation ladder's decision point, called from
+// the launch goroutine when a session dies on an invariant violation.
+// First violation: the job restarts in place as the Boolean-check variant
+// and the new incarnation owns the ID (returns true). A violation after
+// demotion — the backend lies even about overflow classifications — or a
+// demotion that fails to build quarantines the job (returns false).
+func (m *Manager) settleViolation(old *Job, vio *hdb.InvariantViolation) bool {
+	flight := m.flights.Recorder(old.ID, flightCapacity)
+	snap := old.Snapshot()
+	flight.Record("violation:"+string(vio.Kind), snap.Passes)
+	if old.Spec.Degraded {
+		m.quarantine(old, vio, flight)
+		return false
+	}
+	spec := old.Spec
+	spec.Degraded = true
+	spec.DegradedReason = vio.Error()
+	factory, labels, err := spec.NewFactory(m.backend.Schema())
+	if err != nil {
+		m.quarantine(old, vio, flight)
+		return false
+	}
+	cfg := old.Config
+	if m.store != nil {
+		cfg.CheckpointSink = m.sink(old.ID, spec)
+	}
+	sess, err := New(m.backend, factory, cfg)
+	if err != nil {
+		m.quarantine(old, vio, flight)
+		return false
+	}
+	// Exactly-once accounting: the demoted incarnation's backend spend —
+	// including what the impeached passes cost — carries into the bool
+	// session, so MaxCost budgets and Snapshot.Cost stay truthful across
+	// the demotion. The pass values themselves are discarded: they are
+	// precisely what the violation impeaches.
+	sess.costBase = snap.Cost
+	if m.store != nil {
+		// Persist the demotion immediately — the unstarted session's
+		// checkpoint is sound (workers idle) and carries the spend base. A
+		// kill before the bool incarnation's first periodic checkpoint
+		// would otherwise resurrect the impeached COUNT path (or, worse,
+		// restore hd estimator state into a bool plan).
+		if cp, cperr := sess.Checkpoint(); cperr == nil {
+			if blob, merr := json.Marshal(jobEnvelope{Version: SessionCheckpointVersion,
+				ID: old.ID, State: JobDegraded, Spec: spec, Session: cp}); merr == nil {
+				_ = m.store.Put(old.ID, blob)
+			}
+		}
+	}
+	obsDegradations.Inc()
+	flight.Record("job.degrade", snap.Passes)
+	// Anyone still holding the old *Job sees the demotion, not a phantom
+	// terminal state.
+	old.mu.Lock()
+	old.state = JobDegraded
+	old.mu.Unlock()
+	nj := &Job{ID: old.ID, Spec: spec, Config: cfg, Labels: labels,
+		Created: old.Created, Resumed: old.Resumed, Violation: vio.Error(), sess: sess}
+	m.launch(nj)
+	return true
+}
+
+// quarantine stamps the terminal quarantined state on job and its stored
+// envelope. The checkpoint is kept: only an explicit Resume — a human
+// decision that the backend is trustworthy again — revives the job.
+func (m *Manager) quarantine(job *Job, vio *hdb.InvariantViolation, flight *obs.Recorder) {
+	job.mu.Lock()
+	job.state = JobQuarantined
+	job.err = vio.Error()
+	job.mu.Unlock()
+	obsQuarantines.Inc()
+	if m.store != nil {
+		m.markStored(job.ID, JobQuarantined)
+	}
+	flight.Record("job.quarantined", 0)
+}
+
 // Resume rebuilds the identified job from the Manager's store and relaunches
 // it. It fails without a store, for unknown IDs, and for jobs currently
 // running. The resumed job keeps its ID and listing position; Config and
@@ -303,7 +434,7 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	defer m.resumeMu.Unlock()
 	m.mu.Lock()
 	if j, ok := m.jobs[id]; ok {
-		if state, _ := j.State(); state == JobRunning {
+		if state, _ := j.State(); state.Active() {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("estsvc: job %s: %w", id, ErrJobRunning)
 		}
@@ -339,7 +470,7 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	obsResumes.Inc()
 	job := &Job{
 		ID: id, Spec: env.Spec, Config: sess.cfg, Labels: labels,
-		Created: time.Now(), Resumed: true, sess: sess,
+		Created: time.Now(), Resumed: true, Violation: env.Spec.DegradedReason, sess: sess,
 	}
 	flight.Record("job.resume", env.Session.Passes)
 	m.launch(job)
@@ -365,7 +496,7 @@ func (m *Manager) ResumeAll() ([]*Job, error) {
 	for _, id := range ids {
 		if blob, err := m.store.Get(id); err == nil {
 			var env jobEnvelope
-			if json.Unmarshal(blob, &env) == nil && env.State != "" && env.State != JobRunning {
+			if json.Unmarshal(blob, &env) == nil && env.State != "" && !env.State.Active() {
 				continue // deliberate stop: waits for an explicit Resume
 			}
 		}
@@ -407,7 +538,7 @@ func (m *Manager) RunningJobs() int {
 	m.mu.Unlock()
 	n := 0
 	for _, j := range jobs {
-		if state, _ := j.State(); state == JobRunning {
+		if state, _ := j.State(); state.Active() {
 			n++
 		}
 	}

@@ -24,6 +24,10 @@ var (
 		"checkpoint capture + sink latency", obs.LatencyBuckets())
 	obsResumes = obs.Default.Counter("estsvc_resumes_total",
 		"jobs rebuilt from a stored checkpoint")
+	obsDegradations = obs.Default.Counter("estsvc_degradations_total",
+		"jobs demoted to the Boolean-check variant after an invariant violation")
+	obsQuarantines = obs.Default.Counter("estsvc_quarantines_total",
+		"jobs quarantined after violating invariants while already degraded")
 )
 
 // checkpointNow captures one checkpoint and hands it to the sink, timing the
@@ -83,7 +87,7 @@ func (m *Manager) PublishMetrics(reg *obs.Registry) {
 					ms.RSE, "job", j.ID, "measure", label)
 			}
 		}
-		for _, st := range []JobState{JobRunning, JobDone, JobFailed, JobCancelled} {
+		for _, st := range []JobState{JobRunning, JobDegraded, JobDone, JobFailed, JobCancelled, JobQuarantined} {
 			e.Emit("estsvc_jobs", "tracked jobs by lifecycle state",
 				float64(counts[st]), "state", string(st))
 		}
@@ -103,7 +107,7 @@ func (m *Manager) Flights() *obs.FlightSet { return m.flights }
 func (m *Manager) Drain(ctx context.Context) error {
 	jobs := m.Jobs()
 	for _, j := range jobs {
-		if state, _ := j.State(); state == JobRunning {
+		if state, _ := j.State(); state.Active() {
 			j.Cancel()
 		}
 	}

@@ -29,6 +29,16 @@ type Spec struct {
 	// AssumeBaseOverflows skips the base query (required when the backend
 	// rejects it, e.g. a required-attribute webform rule).
 	AssumeBaseOverflows bool `json:"assume_base_overflows,omitempty"`
+	// Degraded marks a spec the degradation ladder has demoted: Compile
+	// ignores Algo and builds the Boolean-check estimator, which trusts
+	// only overflow/underflow classifications — never the counts a hostile
+	// interface can lie about. The flag rides the job envelope, so a
+	// kill+resume keeps the demotion instead of resurrecting the COUNT
+	// path against a backend already caught lying.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason records why the ladder demoted the spec (the
+	// invariant violation, or "count-free backend interface").
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Compiled is a spec resolved against a schema: the shared immutable plan,
@@ -85,6 +95,9 @@ func (sp Spec) Compile(schema hdb.Schema) (Compiled, error) {
 	algo := sp.Algo
 	if algo == "" {
 		algo = "hd"
+	}
+	if sp.Degraded {
+		algo = "bool" // the ladder's demotion overrides the requested algo
 	}
 	var (
 		opts querytree.Options

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/guard"
 )
 
 // Multi-tenant admission control in front of the job API. The worker pools
@@ -72,6 +73,14 @@ type AdmissionConfig struct {
 	MinRetryAfter time.Duration
 	// Now is the token-bucket clock (default time.Now).
 	Now func() time.Time
+	// Breaker, when set, sheds new estimates while the backend circuit is
+	// open: admitting a job against a tripped backend only burns its budget
+	// on fast-fails. The Retry-After hint is the breaker's remaining
+	// cooldown — the earliest instant the half-open probe can succeed.
+	// Resumes still pass (already-paid work is shed last, and a resumed job
+	// parks in the retrier rather than spending queries while the circuit
+	// is open).
+	Breaker *guard.Breaker
 }
 
 // Admission is the HTTP middleware enforcing an AdmissionConfig over one
@@ -113,6 +122,18 @@ func (a *Admission) Saturated() bool {
 	return a.cfg.Pool > 0 && a.mgr.RunningJobs() >= a.cfg.Pool
 }
 
+// BreakerOpen reports whether the configured backend circuit breaker is
+// open, and if so how long until its next half-open probe — the second
+// readiness signal: a replica whose backend circuit is open should not
+// receive new estimates even when its pool has room.
+func (a *Admission) BreakerOpen() (time.Duration, bool) {
+	b := a.cfg.Breaker
+	if b == nil || b.State() != guard.StateOpen {
+		return 0, false
+	}
+	return b.RemainingCooldown(), true
+}
+
 // tenant returns (creating) the named tenant's state. Caller holds a.mu.
 func (a *Admission) tenant(name string) *tenantState {
 	ts := a.tenants[name]
@@ -133,7 +154,9 @@ func (a *Admission) reconcile(ts *tenantState) {
 			delete(ts.jobs, id)
 			continue
 		}
-		if state, _ := j.State(); state != estsvc.JobRunning {
+		if state, _ := j.State(); !state.Active() {
+			// Degraded jobs are still running (on the Boolean ladder rung)
+			// and keep their slot; only terminal states free it.
 			delete(ts.jobs, id)
 		}
 	}
@@ -150,6 +173,12 @@ type verdict struct {
 // given budget charge. On admit, a rate token is consumed; the job slot is
 // reserved only once the start succeeds (Register).
 func (a *Admission) admitEstimate(tenant string, charge int64) verdict {
+	if wait, open := a.BreakerOpen(); open {
+		if wait < a.cfg.MinRetryAfter {
+			wait = a.cfg.MinRetryAfter
+		}
+		return verdict{retryAfter: wait, reason: "backend circuit open"}
+	}
 	if a.cfg.Pool > 0 && a.mgr.RunningJobs() >= a.cfg.Pool {
 		return verdict{retryAfter: a.cfg.MinRetryAfter,
 			reason: fmt.Sprintf("worker pool saturated (%d running)", a.cfg.Pool)}

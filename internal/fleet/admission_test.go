@@ -13,6 +13,7 @@ import (
 
 	"hdunbiased/internal/datagen"
 	"hdunbiased/internal/estsvc"
+	"hdunbiased/internal/guard"
 	"hdunbiased/internal/hdb"
 )
 
@@ -219,6 +220,109 @@ func TestAdmissionReleasesFinishedJobs(t *testing.T) {
 	}
 	if err := mgr.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// downBackend answers every query with a transient error — the raw material
+// for tripping a circuit breaker.
+type downBackend struct{ hdb.Interface }
+
+func (d downBackend) Query(hdb.Query) (hdb.Result, error) {
+	return hdb.Result{}, hdb.MarkTransient(errors.New("backend down"))
+}
+
+// trippedBreaker builds a breaker on the given fake clock and trips it open.
+func trippedBreaker(t *testing.T, clock *fakeClock, cooldown time.Duration) *guard.Breaker {
+	t.Helper()
+	d, err := datagen.Auto(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := d.Table(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := guard.NewBreaker(downBackend{tbl}, guard.BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         cooldown,
+		Clock:            clock.Now,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := br.Query(hdb.Query{}); err == nil {
+			t.Fatal("down backend answered")
+		}
+	}
+	if br.State() != guard.StateOpen {
+		t.Fatalf("breaker state %v after tripping, want open", br.State())
+	}
+	return br
+}
+
+func TestAdmissionShedsWhileBreakerOpen(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	br := trippedBreaker(t, clock, 5*time.Second)
+	adm, _, h := admissionFixture(t, AdmissionConfig{Breaker: br})
+
+	// New estimates shed with the remaining cooldown as the Retry-After.
+	rec := postEstimate(h, "acme", jobBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("estimate under open circuit: %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After = %q, want the 5s cooldown", ra)
+	}
+	if !strings.Contains(rec.Body.String(), "backend circuit open") {
+		t.Fatalf("shed body = %s", rec.Body.String())
+	}
+
+	// Resumes are already-paid work: they pass the gate (the storeless
+	// Manager answers 400, anything but 429).
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs/job-000001/resume", nil)
+	rrec := httptest.NewRecorder()
+	h.ServeHTTP(rrec, req)
+	if rrec.Code == http.StatusTooManyRequests {
+		t.Fatal("resume shed while the circuit is open")
+	}
+
+	// Readiness reports the open circuit.
+	if wait, open := adm.BreakerOpen(); !open || wait != 5*time.Second {
+		t.Fatalf("BreakerOpen() = (%v, %v), want (5s, true)", wait, open)
+	}
+	health := NewHealth(estsvc.NewMemStore(), adm)
+	mux := http.NewServeMux()
+	health.Register(mux)
+	hrec := httptest.NewRecorder()
+	mux.ServeHTTP(hrec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with open circuit: %d, want 503", hrec.Code)
+	}
+	if !strings.Contains(hrec.Body.String(), "backend circuit open") {
+		t.Fatalf("readyz body = %s", hrec.Body.String())
+	}
+
+	// Cooldown expiry re-admits work (half-open) and restores readiness.
+	clock.Advance(6 * time.Second)
+	if rec := postEstimate(h, "acme", jobBody); rec.Code != http.StatusAccepted {
+		t.Fatalf("estimate after cooldown: %d %s", rec.Code, rec.Body.String())
+	}
+	hrec = httptest.NewRecorder()
+	mux.ServeHTTP(hrec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if hrec.Code != http.StatusOK {
+		t.Fatalf("readyz after cooldown: %d %s", hrec.Code, hrec.Body.String())
+	}
+}
+
+func TestAdmissionBreakerRetryAfterFloor(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	br := trippedBreaker(t, clock, 100*time.Millisecond)
+	adm := NewAdmission(nil, AdmissionConfig{Breaker: br, MinRetryAfter: 2 * time.Second})
+
+	v := adm.admitEstimate("acme", 100)
+	if v.ok {
+		t.Fatal("admitted under an open circuit")
+	}
+	if v.retryAfter != 2*time.Second {
+		t.Fatalf("retryAfter = %v, want the 2s MinRetryAfter floor", v.retryAfter)
 	}
 }
 

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"hdunbiased/internal/estsvc"
 )
@@ -16,8 +18,9 @@ import (
 //     nothing about load or the store.
 //
 //   - /readyz (readiness): 200 only when the replica should receive NEW
-//     traffic — it is not draining, the job store answers List, and admission
-//     is not saturated. A not-ready replica keeps running (and checkpointing,
+//     traffic — it is not draining, the job store answers List, admission
+//     is not saturated, and the backend circuit breaker (if configured)
+//     is not open. A not-ready replica keeps running (and checkpointing,
 //     and keepaliving) its existing jobs; readiness only steers the load
 //     balancer.
 type Health struct {
@@ -57,8 +60,14 @@ func (h *Health) serveReadyz(w http.ResponseWriter, _ *http.Request) {
 			reasons = append(reasons, "job store unreachable: "+err.Error())
 		}
 	}
-	if h.adm != nil && h.adm.Saturated() {
-		reasons = append(reasons, "admission saturated")
+	if h.adm != nil {
+		if h.adm.Saturated() {
+			reasons = append(reasons, "admission saturated")
+		}
+		if wait, open := h.adm.BreakerOpen(); open {
+			reasons = append(reasons,
+				fmt.Sprintf("backend circuit open (half-open probe in %s)", wait.Round(time.Millisecond)))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if len(reasons) > 0 {

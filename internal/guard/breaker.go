@@ -1,0 +1,307 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
+)
+
+// State is a circuit breaker state. The numeric order (closed < half-open
+// < open) is the severity order the guard_breaker_state gauge exposes.
+type State int32
+
+const (
+	StateClosed State = iota
+	StateHalfOpen
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// ErrOpen is the sentinel inside the transient error a tripped breaker
+// fails fast with.
+var ErrOpen = errors.New("guard: circuit open")
+
+// BreakerConfig tunes a Breaker. The zero value opens after 5 consecutive
+// failures, cools down for 30s, admits 1 half-open probe at a time and
+// closes after 2 consecutive half-open successes.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting
+	// half-open probes (default 30s).
+	Cooldown time.Duration
+	// HalfOpenProbes caps the trial queries in flight while half-open
+	// (default 1); excess queries fail fast like open ones.
+	HalfOpenProbes int
+	// SuccessThreshold is the consecutive half-open successes that close
+	// the breaker (default 2).
+	SuccessThreshold int
+	// Clock overrides time.Now — the test seam for cooldown expiry.
+	Clock func() time.Time
+	// OnTransition, when set, observes every state change (e.g. into a
+	// job's flight recorder). Called with the breaker's lock held: keep it
+	// cheap and do not call back into the breaker.
+	OnTransition func(from, to State)
+}
+
+func (cfg *BreakerConfig) defaults() {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	if cfg.SuccessThreshold <= 0 {
+		cfg.SuccessThreshold = 2
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+}
+
+// Breaker is a per-backend circuit breaker implementing hdb.Interface.
+//
+// Failures are errors that indict the backend: transient errors (timeouts,
+// resets, 5xx, rate limiting) and invariant violations from a Validator
+// below. Budget exhaustion (hdb.ErrQueryLimit), context cancellation and
+// caller-side validation errors are neutral — they neither trip nor heal
+// the breaker.
+//
+// While open, Query fails fast — without touching the backend — with a
+// transient error wrapping ErrOpen whose Retry-After hint is the remaining
+// cooldown, so a Retrier above sleeps until the breaker is willing to
+// probe again rather than burning attempts. After Cooldown the breaker
+// goes half-open: up to HalfOpenProbes queries reach the backend while the
+// rest still fail fast; SuccessThreshold consecutive successes close it,
+// any failure reopens it for a fresh cooldown.
+//
+// Safe for concurrent use when the inner Interface is; the backend call
+// runs outside the breaker's lock.
+type Breaker struct {
+	inner hdb.Interface
+	cfg   BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures while closed
+	succs    int // consecutive successes while half-open
+	openedAt time.Time
+	inflight int // half-open probes in flight
+
+	fastFails   atomic.Int64
+	mState      *obs.Gauge
+	mTransition map[State]*obs.Counter
+	mFastFails  *obs.Counter
+}
+
+// NewBreaker wraps inner with the given policy.
+func NewBreaker(inner hdb.Interface, cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{inner: inner, cfg: cfg}
+}
+
+// Schema implements hdb.Interface.
+func (b *Breaker) Schema() hdb.Schema { return b.inner.Schema() }
+
+// K implements hdb.Interface.
+func (b *Breaker) K() int { return b.inner.K() }
+
+// CountFree forwards the inner backend's count-free declaration, if any.
+func (b *Breaker) CountFree() bool { return hdb.IsCountFree(b.inner) }
+
+// State returns the current state, advancing open → half-open if the
+// cooldown has expired.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// RemainingCooldown returns how long until an open breaker admits probes
+// again (0 unless open) — the Retry-After fleet admission sheds with.
+func (b *Breaker) RemainingCooldown() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0
+	}
+	if d := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// FastFails returns the number of queries shed without reaching the
+// backend.
+func (b *Breaker) FastFails() int64 { return b.fastFails.Load() }
+
+// Query implements hdb.Interface.
+func (b *Breaker) Query(q hdb.Query) (hdb.Result, error) {
+	halfOpen, err := b.admit()
+	if err != nil {
+		return hdb.Result{}, err
+	}
+	res, err := b.inner.Query(q)
+	b.record(halfOpen, err)
+	return res, err
+}
+
+// admit decides whether a query may reach the backend; halfOpen reports
+// that it holds one of the capped half-open probe slots.
+func (b *Breaker) admit() (halfOpen bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case StateClosed:
+		return false, nil
+	case StateOpen:
+		remaining := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt)
+		b.fastFails.Add(1)
+		if b.mFastFails != nil {
+			b.mFastFails.Inc()
+		}
+		return false, hdb.MarkTransientAfter(fmt.Errorf("%w: cooling down", ErrOpen), remaining)
+	default: // half-open
+		if b.inflight >= b.cfg.HalfOpenProbes {
+			b.fastFails.Add(1)
+			if b.mFastFails != nil {
+				b.mFastFails.Inc()
+			}
+			return false, hdb.MarkTransient(fmt.Errorf("%w: half-open probe limit reached", ErrOpen))
+		}
+		b.inflight++
+		return true, nil
+	}
+}
+
+// isFailure classifies an error for breaker purposes: only errors that
+// indict the backend count.
+func isFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := hdb.AsInvariantViolation(err); ok {
+		return true
+	}
+	return hdb.IsTransient(err)
+}
+
+// record applies one query's outcome to the state machine.
+func (b *Breaker) record(halfOpen bool, err error) {
+	failure := isFailure(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if halfOpen {
+		b.inflight--
+		if b.state != StateHalfOpen {
+			// A sibling probe already reopened (or closed) the breaker;
+			// this probe's outcome is stale evidence.
+			return
+		}
+		switch {
+		case failure:
+			b.transition(StateOpen)
+		case err == nil:
+			b.succs++
+			if b.succs >= b.cfg.SuccessThreshold {
+				b.transition(StateClosed)
+			}
+		}
+		return
+	}
+	if b.state != StateClosed {
+		// A query admitted while closed but completing after a concurrent
+		// trip: the breaker already acted on fresher evidence.
+		return
+	}
+	switch {
+	case failure:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.transition(StateOpen)
+		}
+	case err == nil:
+		b.fails = 0
+	}
+}
+
+// maybeHalfOpen advances open → half-open once the cooldown has expired.
+// Callers hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == StateOpen && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.transition(StateHalfOpen)
+	}
+}
+
+// transition moves to state to, resetting the counters that state starts
+// from. Callers hold b.mu.
+func (b *Breaker) transition(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case StateOpen:
+		b.openedAt = b.cfg.Clock()
+		b.fails = 0
+		b.succs = 0
+	case StateHalfOpen:
+		b.succs = 0
+		b.inflight = 0
+	case StateClosed:
+		b.fails = 0
+	}
+	if b.mState != nil {
+		b.mState.Set(int64(to))
+	}
+	if c := b.mTransition[to]; c != nil {
+		c.Inc()
+	}
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+// Publish registers the breaker's series in reg (obs.Default when nil):
+// guard_breaker_state (0 closed, 1 half-open, 2 open),
+// guard_breaker_transitions_total{to=...} and guard_breaker_fastfails_total.
+func (b *Breaker) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mState = reg.Gauge("guard_breaker_state", "circuit state: 0 closed, 1 half-open, 2 open")
+	b.mState.Set(int64(b.state))
+	b.mTransition = make(map[State]*obs.Counter, 3)
+	for _, s := range []State{StateClosed, StateHalfOpen, StateOpen} {
+		b.mTransition[s] = reg.Counter("guard_breaker_transitions_total",
+			"circuit state transitions by destination", "to", s.String())
+	}
+	b.mFastFails = reg.Counter("guard_breaker_fastfails_total",
+		"queries shed without reaching the backend")
+}

@@ -1,0 +1,327 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
+)
+
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// fakeClock is the breaker's cooldown test seam.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// faultyIface fails with a scripted error until healed.
+type faultyIface struct {
+	schema hdb.Schema
+	err    error // returned while non-nil
+	calls  int
+}
+
+func (f *faultyIface) Schema() hdb.Schema { return f.schema }
+func (f *faultyIface) K() int             { return 5 }
+func (f *faultyIface) Query(q hdb.Query) (hdb.Result, error) {
+	f.calls++
+	if f.err != nil {
+		return hdb.Result{}, f.err
+	}
+	return hdb.Result{Tuples: tuplesFor(q, 1)}, nil
+}
+
+func testBreaker(inner hdb.Interface, clk *fakeClock, transitions *[]string) *Breaker {
+	return NewBreaker(inner, BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         10 * time.Second,
+		HalfOpenProbes:   1,
+		SuccessThreshold: 2,
+		Clock:            clk.Now,
+		OnTransition: func(from, to State) {
+			*transitions = append(*transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+}
+
+// TestBreakerLifecycle drives the full closed → open → half-open → closed
+// arc under a fake clock, checking fail-fast semantics at each stage.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema(), err: hdb.MarkTransient(errors.New("503"))}
+	b := testBreaker(inner, clk, &transitions)
+
+	// Three consecutive transient failures trip it.
+	for i := 0; i < 3; i++ {
+		if _, err := b.Query(hdb.Query{}); err == nil {
+			t.Fatal("faulty backend succeeded")
+		}
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after %d failures, want open", b.State(), 3)
+	}
+
+	// Open: fail fast without touching the backend, transient, carrying
+	// the remaining cooldown as the Retry-After hint.
+	calls := inner.calls
+	_, err := b.Query(hdb.Query{})
+	if !errors.Is(err, ErrOpen) || !hdb.IsTransient(err) {
+		t.Fatalf("open breaker error = %v, want transient ErrOpen", err)
+	}
+	if hint := hdb.RetryAfterHint(err); hint != 10*time.Second {
+		t.Errorf("Retry-After hint = %v, want the full 10s cooldown", hint)
+	}
+	if inner.calls != calls {
+		t.Error("open breaker let a query through")
+	}
+	if b.FastFails() != 1 {
+		t.Errorf("fast fails = %d, want 1", b.FastFails())
+	}
+	clk.Advance(4 * time.Second)
+	if got := b.RemainingCooldown(); got != 6*time.Second {
+		t.Errorf("remaining cooldown = %v, want 6s", got)
+	}
+
+	// Cooldown expires; backend healed: two half-open successes close it.
+	clk.Advance(6 * time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	inner.err = nil
+	for i := 0; i < 2; i++ {
+		if _, err := b.Query(hdb.Query{}); err != nil {
+			t.Fatalf("half-open probe %d failed: %v", i, err)
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v after successful probes, want closed", b.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Errorf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerHalfOpenReopens: a failed half-open probe restarts the full
+// cooldown.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema(), err: hdb.MarkTransient(errors.New("503"))}
+	b := testBreaker(inner, clk, &transitions)
+	for i := 0; i < 3; i++ {
+		b.Query(hdb.Query{})
+	}
+	clk.Advance(10 * time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatal("not half-open after cooldown")
+	}
+	if _, err := b.Query(hdb.Query{}); err == nil {
+		t.Fatal("sick backend succeeded")
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if got := b.RemainingCooldown(); got != 10*time.Second {
+		t.Errorf("cooldown after reopen = %v, want a fresh 10s", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeCap: only HalfOpenProbes queries reach the
+// backend while half-open; the rest shed.
+func TestBreakerHalfOpenProbeCap(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	release := make(chan struct{})
+	started := make(chan struct{})
+	inner := &blockingIface{schema: stubSchema(), started: started, release: release}
+	b := testBreaker(&faultyIface{schema: stubSchema(), err: hdb.MarkTransient(errors.New("x"))}, clk, &transitions)
+	// Trip and cool down a breaker over the blocking backend.
+	b.inner = inner
+	for i := 0; i < 3; i++ {
+		b.record(false, hdb.MarkTransient(errors.New("x")))
+	}
+	clk.Advance(10 * time.Second)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Query(hdb.Query{})
+		done <- err
+	}()
+	<-started // probe 1 holds the only half-open slot, parked in the backend
+	if _, err := b.Query(hdb.Query{}); !errors.Is(err, ErrOpen) || !hdb.IsTransient(err) {
+		t.Fatalf("second half-open query error = %v, want shed with transient ErrOpen", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("held probe failed: %v", err)
+	}
+}
+
+type blockingIface struct {
+	schema  hdb.Schema
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (bl *blockingIface) Schema() hdb.Schema { return bl.schema }
+func (bl *blockingIface) K() int             { return 5 }
+func (bl *blockingIface) Query(q hdb.Query) (hdb.Result, error) {
+	bl.once.Do(func() { close(bl.started) })
+	<-bl.release
+	return hdb.Result{Tuples: tuplesFor(q, 1)}, nil
+}
+
+// TestBreakerNeutralErrors: budget exhaustion and cancellation neither
+// trip nor heal the breaker.
+func TestBreakerNeutralErrors(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema(), err: hdb.ErrQueryLimit}
+	b := testBreaker(inner, clk, &transitions)
+	for i := 0; i < 10; i++ {
+		if _, err := b.Query(hdb.Query{}); !errors.Is(err, hdb.ErrQueryLimit) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("budget errors tripped the breaker: %v", b.State())
+	}
+}
+
+// TestBreakerViolationsTrip: invariant violations from the validator below
+// are failures — a lying backend opens the circuit like a dead one.
+func TestBreakerViolationsTrip(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &errIface{schema: stubSchema(), err: &hdb.InvariantViolation{
+		Kind: hdb.ViolationMonotone, Query: "a0=1", Detail: "claims 4, ancestor matched 2"}}
+	b := testBreaker(inner, clk, &transitions)
+	for i := 0; i < 3; i++ {
+		b.Query(hdb.Query{})
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v after 3 violations, want open", b.State())
+	}
+}
+
+// TestBreakerSuccessResetsFailureCount: consecutive means consecutive.
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema()}
+	b := testBreaker(inner, clk, &transitions)
+	transient := hdb.MarkTransient(errors.New("x"))
+	for i := 0; i < 5; i++ {
+		inner.err = transient
+		b.Query(hdb.Query{})
+		b.Query(hdb.Query{})
+		inner.err = nil
+		b.Query(hdb.Query{})
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("interleaved failures tripped the breaker: %v", b.State())
+	}
+}
+
+// TestBreakerRetrierSleepsOutCooldown: the documented composition — a
+// Retrier above the breaker absorbs the fail-fast by sleeping exactly the
+// remaining cooldown, then succeeds through the half-open probe.
+func TestBreakerRetrierSleepsOutCooldown(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema(), err: hdb.MarkTransient(errors.New("503"))}
+	b := testBreaker(inner, clk, &transitions)
+	for i := 0; i < 3; i++ {
+		b.Query(hdb.Query{})
+	}
+	inner.err = nil // healed, but the breaker is open for 10s
+
+	var slept []time.Duration
+	r := hdb.NewRetrier(b, hdb.RetryConfig{
+		MaxAttempts: 5,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			clk.Advance(d) // sleeping advances the breaker's clock
+		},
+	})
+	if _, err := r.Query(hdb.Query{}); err != nil {
+		t.Fatalf("retried query through open breaker failed: %v", err)
+	}
+	if len(slept) == 0 || slept[0] != 10*time.Second {
+		t.Fatalf("sleeps = %v, want the first to be the full 10s cooldown", slept)
+	}
+	if got := b.State(); got != StateHalfOpen && got != StateClosed {
+		t.Errorf("state after recovery = %v", got)
+	}
+}
+
+// TestBreakerMetricsPublish: state gauge and transition counters are
+// scrapeable under the advertised names.
+func TestBreakerMetricsPublish(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	inner := &faultyIface{schema: stubSchema(), err: hdb.MarkTransient(errors.New("503"))}
+	b := testBreaker(inner, clk, &transitions)
+	reg := obs.NewRegistry()
+	b.Publish(reg)
+	for i := 0; i < 3; i++ {
+		b.Query(hdb.Query{})
+	}
+	b.Query(hdb.Query{}) // one fast fail
+	text := scrape(t, reg)
+	for _, want := range []string{
+		"guard_breaker_state 2",
+		`guard_breaker_transitions_total{to="open"} 1`,
+		"guard_breaker_fastfails_total 1",
+	} {
+		if !contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	clk.Advance(10 * time.Second)
+	inner.err = nil
+	b.Query(hdb.Query{})
+	b.Query(hdb.Query{})
+	text = scrape(t, reg)
+	for _, want := range []string{
+		"guard_breaker_state 0",
+		`guard_breaker_transitions_total{to="half-open"} 1`,
+		`guard_breaker_transitions_total{to="closed"} 1`,
+	} {
+		if !contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

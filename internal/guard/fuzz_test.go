@@ -1,0 +1,159 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+)
+
+// FuzzValidatorHonest: no sequence of well-formed queries against an
+// honest dense table may ever raise a violation — the validator's
+// no-false-positives contract. Script bytes drive a random drill-down
+// walk; replay probes are on so the live-replay path is exercised too.
+func FuzzValidatorHonest(f *testing.F) {
+	f.Add(int64(1), []byte{0, 5, 9, 13, 2, 7, 200, 31, 44})
+	f.Add(int64(7), []byte{255, 254, 1, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		schema := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 4}, {Name: "b", Dom: 3}, {Name: "c", Dom: 2}, {Name: "id", Dom: 40}}}
+		tuples := make([]hdb.Tuple, 40)
+		for i := range tuples {
+			tuples[i] = hdb.Tuple{Cats: []uint16{uint16(rnd.Intn(4)), uint16(rnd.Intn(3)), uint16(rnd.Intn(2)), uint16(i)}}
+		}
+		tbl, err := hdb.NewTable(schema, 4, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := NewValidator(tbl, ValidatorConfig{ReplayEvery: 2})
+
+		cur := hdb.Query{}
+		for _, b := range script {
+			attr := int(b) % 3
+			val := uint16(int(b)>>2) % uint16(schema.Attrs[attr].Dom)
+			next := cur.And(attr, val)
+			if next.Validate(schema) != nil {
+				cur = hdb.Query{} // attribute repeated: restart the walk
+				continue
+			}
+			cur = next
+			if _, err := v.Query(cur); err != nil {
+				t.Fatalf("honest table flagged at %s: %v", cur.String(), err)
+			}
+		}
+		if v.Violations() != 0 {
+			t.Fatalf("violations = %d on an honest backend", v.Violations())
+		}
+	})
+}
+
+// FuzzValidatorPair is the differential oracle: arbitrary parent/child
+// result pairs are fed through the validator, and an independent
+// first-principles check of the same invariants (written against the
+// dense-reference semantics: a result is the top-k of its selection, and
+// a child selection is a subset of its parent's) must agree exactly on
+// whether each response violates.
+func FuzzValidatorPair(f *testing.F) {
+	f.Add(uint8(2), false, uint8(1), false, []byte{0, 1, 2, 3})
+	f.Add(uint8(1), true, uint8(4), true, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Add(uint8(3), false, uint8(3), false, []byte{})
+	f.Fuzz(func(t *testing.T, pn uint8, pOv bool, cn uint8, cOv bool, data []byte) {
+		const k = 3
+		schema := stubSchema() // doms 4, 3, 2
+		parent := hdb.Query{}.And(0, 1)
+		child := parent.And(1, 2)
+		pRes := fuzzResult(parent, schema, int(pn)%5, pOv, data, 0)
+		cRes := fuzzResult(child, schema, int(cn)%5, cOv, data, 64)
+
+		s := &stubIface{schema: schema, k: k, res: map[string]hdb.Result{
+			parent.Key(): pRes,
+			child.Key():  cRes,
+		}}
+		v := NewValidator(s, ValidatorConfig{})
+
+		pBad := !oracleLocalOK(parent, pRes, k, schema)
+		cBad := !oracleLocalOK(child, cRes, k, schema)
+		pairBad := !pBad && !pRes.Overflow && (cRes.Overflow || len(cRes.Tuples) > len(pRes.Tuples))
+
+		_, pErr := v.Query(parent)
+		if (pErr != nil) != pBad {
+			t.Fatalf("parent %+v: validator err=%v, oracle bad=%v", pRes, pErr, pBad)
+		}
+		if pErr != nil {
+			if _, ok := hdb.AsInvariantViolation(pErr); !ok {
+				t.Fatalf("parent violation not typed: %v", pErr)
+			}
+		}
+		_, cErr := v.Query(child)
+		// A locally-bad parent was rejected, not remembered, so the child
+		// is judged on its own.
+		wantC := cBad || (!pBad && pairBad)
+		if (cErr != nil) != wantC {
+			t.Fatalf("child %+v after parent %+v: validator err=%v, oracle bad=%v (local=%v pair=%v)",
+				cRes, pRes, cErr, wantC, cBad, pairBad)
+		}
+	})
+}
+
+// fuzzResult builds n tuples from fuzz bytes, biased towards tuples that
+// honestly satisfy q but free to corrupt arity, domain and predicate
+// values.
+func fuzzResult(q hdb.Query, schema hdb.Schema, n int, overflow bool, data []byte, off int) hdb.Result {
+	at := func(j int) byte {
+		if idx := off + j; idx < len(data) {
+			return data[idx]
+		}
+		return 0
+	}
+	tuples := make([]hdb.Tuple, n)
+	for i := range tuples {
+		arity := len(schema.Attrs)
+		if at(i*4+3)%8 == 7 {
+			arity = 2 // wrong shape
+		}
+		cats := make([]uint16, arity)
+		for a := 0; a < arity; a++ {
+			cats[a] = 0
+			for _, p := range q.Preds {
+				if p.Attr == a {
+					cats[a] = p.Value // honest by default
+				}
+			}
+			if b := at(i*4 + a); b < 64 {
+				cats[a] = uint16(b) % uint16(schema.Attrs[a].Dom+1) // corrupt (may leave domain)
+			}
+		}
+		tuples[i] = hdb.Tuple{Cats: cats}
+	}
+	return hdb.Result{Tuples: tuples, Overflow: overflow}
+}
+
+// oracleLocalOK re-derives the single-response invariants from first
+// principles, independently of the validator's code path.
+func oracleLocalOK(q hdb.Query, r hdb.Result, k int, schema hdb.Schema) bool {
+	if len(r.Tuples) > k {
+		return false
+	}
+	if r.Overflow && len(r.Tuples) < k {
+		return false
+	}
+	for _, tp := range r.Tuples {
+		if len(tp.Cats) != len(schema.Attrs) {
+			return false
+		}
+		for a, val := range tp.Cats {
+			if int(val) >= schema.Attrs[a].Dom {
+				return false
+			}
+		}
+		for _, p := range q.Preds {
+			if tp.Cats[p.Attr] != p.Value {
+				return false
+			}
+		}
+	}
+	return true
+}

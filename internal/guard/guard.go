@@ -1,0 +1,38 @@
+// Package guard hardens the estimator against backends whose *answers* are
+// wrong, not merely late. The retry layer (hdb.Retrier) handles a backend
+// that is slow, flaky or rate-limited; this package handles one that lies —
+// returns counts that cannot all be true, a top-k that changes between
+// identical queries, or an overflow flag contradicting the page it rides on.
+// A wrong-but-plausible answer is strictly worse than a visible fault: it
+// silently biases the estimate the whole pipeline exists to keep unbiased.
+//
+// Two middleware layers implement hdb.Interface:
+//
+//   - Validator cross-checks every response against the top-k interface
+//     contract (results are subsets of their selections, counts are monotone
+//     non-increasing down drill-down paths, overflow on < k tuples is a
+//     contradiction) and issues sampled replay probes that must reproduce
+//     the same top-k. A broken invariant surfaces as a typed
+//     *hdb.InvariantViolation — fatal, never retried.
+//
+//   - Breaker is a per-backend circuit breaker (closed → open → half-open
+//     with capped half-open probes). While open it fails fast with a
+//     transient error carrying the remaining cooldown as a Retry-After
+//     hint, so a Retrier above sleeps out the cooldown instead of burning
+//     budget, and fleet admission/readiness can shed load.
+//
+// Placement in the client stack, outermost first:
+//
+//	Cache -> Counter/Limiter/Tracer -> Retrier -> Breaker -> Validator -> backend
+//
+// The Validator sits innermost so replay probes stay out of the session's
+// query accounting (they are visible via Replays() and the guard_replays
+// metric instead); the Breaker sits just above it so invariant violations
+// count as breaker failures, and below the Retrier so fail-fast errors are
+// absorbed by backoff rather than surfacing to the walk.
+//
+// The degradation ladder these layers feed — falling back from the
+// COUNT-based estimator to the paper's Boolean-check variant when the
+// counts cannot be trusted, then quarantining the job if the backend lies
+// even about emptiness — lives in internal/estsvc.
+package guard

@@ -1,0 +1,317 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
+)
+
+// violationKinds is the fixed label set the validator can raise, in the
+// order of the metric handle array.
+var violationKinds = []hdb.ViolationKind{
+	hdb.ViolationForeignTuple,
+	hdb.ViolationTupleShape,
+	hdb.ViolationOverflowShort,
+	hdb.ViolationTooMany,
+	hdb.ViolationMonotone,
+	hdb.ViolationReplay,
+}
+
+// ValidatorConfig tunes a Validator. The zero value validates every
+// response, tracks up to 64k distinct queries and issues no replay probes.
+type ValidatorConfig struct {
+	// ReplayEvery issues one replay probe — the same query re-sent to the
+	// backend, whose top-k must match — every N primary queries (0
+	// disables). Replays bypass the accounting middleware above this layer;
+	// reconcile backend-side counts with Replays().
+	ReplayEvery int
+	// MaxTracked bounds the per-query memory used for monotonicity checks
+	// (default 65536 distinct queries). Beyond it, new queries are still
+	// validated against remembered ancestors but no longer remembered
+	// themselves.
+	MaxTracked int
+}
+
+func (cfg *ValidatorConfig) defaults() {
+	if cfg.MaxTracked <= 0 {
+		cfg.MaxTracked = 1 << 16
+	}
+}
+
+// entry is what the validator remembers about one answered query: the
+// count it claimed (len(Tuples)) and whether it overflowed.
+type entry struct {
+	n        int32
+	overflow bool
+}
+
+// Validator wraps an hdb.Interface and checks every response against the
+// top-k interface contract, raising *hdb.InvariantViolation when the
+// backend contradicts itself. Checks, in order:
+//
+//   - tuple shape: arity and values match the advertised schema
+//     (tuple-shape);
+//   - subset: every returned tuple satisfies the query's own predicates
+//     (foreign-tuple);
+//   - page bounds: at most k tuples (too-many), and overflow never flagged
+//     on fewer than k (overflow-short);
+//   - consistency: an identical query must repeat its earlier answer
+//     (replay) — checked against remembered answers and, at the sampled
+//     ReplayEvery cadence, against a live re-issue of the query;
+//   - monotonicity: a query's count never exceeds a remembered
+//     one-predicate-shorter ancestor's exact count (monotone) — drill-down
+//     selections only shrink.
+//
+// The warm path (query already remembered, no violation) performs zero
+// allocations beyond the backend's own: the canonical key and ancestor
+// keys are built in reused scratch buffers. Safe for concurrent use when
+// the inner Interface is; the backend call itself runs outside the
+// validator's lock.
+type Validator struct {
+	inner hdb.Interface
+	cfg   ValidatorConfig
+
+	mu          sync.Mutex
+	seen        map[string]entry
+	keyBuf      []byte
+	parentBuf   []byte
+	sinceReplay int
+
+	replays    atomic.Int64
+	violations atomic.Int64
+
+	mViolations map[hdb.ViolationKind]*obs.Counter
+	mReplays    *obs.Counter
+}
+
+// NewValidator wraps inner.
+func NewValidator(inner hdb.Interface, cfg ValidatorConfig) *Validator {
+	cfg.defaults()
+	return &Validator{
+		inner: inner,
+		cfg:   cfg,
+		seen:  make(map[string]entry),
+	}
+}
+
+// Schema implements hdb.Interface.
+func (v *Validator) Schema() hdb.Schema { return v.inner.Schema() }
+
+// K implements hdb.Interface.
+func (v *Validator) K() int { return v.inner.K() }
+
+// CountFree forwards the inner backend's count-free declaration, if any.
+func (v *Validator) CountFree() bool { return hdb.IsCountFree(v.inner) }
+
+// Replays returns the number of replay probes issued so far. These hit the
+// backend below the accounting middleware, so
+//
+//	backend queries observed = session cost + Replays()
+//
+// is the exactly-once reconciliation identity for a guarded stack.
+func (v *Validator) Replays() int64 { return v.replays.Load() }
+
+// Violations returns the number of invariant violations raised so far.
+func (v *Validator) Violations() int64 { return v.violations.Load() }
+
+// Query implements hdb.Interface: forward, validate, remember, and at the
+// sampled cadence replay.
+func (v *Validator) Query(q hdb.Query) (hdb.Result, error) {
+	res, err := v.inner.Query(q)
+	if err != nil {
+		return res, err
+	}
+	if iv := v.validate(q, res); iv != nil {
+		v.raise(iv)
+		return hdb.Result{}, iv
+	}
+	if v.cfg.ReplayEvery > 0 && v.tickReplay() {
+		if iv := v.replay(q, res); iv != nil {
+			v.raise(iv)
+			return hdb.Result{}, iv
+		}
+	}
+	return res, nil
+}
+
+// raise records a violation in the counters before it surfaces.
+func (v *Validator) raise(iv *hdb.InvariantViolation) {
+	v.violations.Add(1)
+	if c := v.mViolations[iv.Kind]; c != nil {
+		c.Inc()
+	}
+}
+
+// tickReplay decides (deterministically, every ReplayEvery-th primary
+// query) whether this query gets a replay probe.
+func (v *Validator) tickReplay() bool {
+	v.mu.Lock()
+	v.sinceReplay++
+	due := v.sinceReplay >= v.cfg.ReplayEvery
+	if due {
+		v.sinceReplay = 0
+	}
+	v.mu.Unlock()
+	return due
+}
+
+// replay re-issues q and compares the answer to the primary one. A replay
+// whose transport fails is ignored — flakiness is the Retrier's problem;
+// this probe only exists to catch a backend that answers differently.
+func (v *Validator) replay(q hdb.Query, primary hdb.Result) *hdb.InvariantViolation {
+	v.replays.Add(1)
+	if v.mReplays != nil {
+		v.mReplays.Inc()
+	}
+	res, err := v.inner.Query(q)
+	if err != nil {
+		return nil
+	}
+	if res.Overflow != primary.Overflow || len(res.Tuples) != len(primary.Tuples) {
+		return &hdb.InvariantViolation{
+			Kind: hdb.ViolationReplay, Query: q.String(),
+			Detail: fmt.Sprintf("replay returned %d tuples (overflow=%v), primary returned %d (overflow=%v)",
+				len(res.Tuples), res.Overflow, len(primary.Tuples), primary.Overflow),
+		}
+	}
+	for i := range res.Tuples {
+		a, b := res.Tuples[i].Cats, primary.Tuples[i].Cats
+		if len(a) != len(b) {
+			return replayTupleViolation(q, i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return replayTupleViolation(q, i)
+			}
+		}
+	}
+	return nil
+}
+
+func replayTupleViolation(q hdb.Query, i int) *hdb.InvariantViolation {
+	return &hdb.InvariantViolation{
+		Kind: hdb.ViolationReplay, Query: q.String(),
+		Detail: fmt.Sprintf("replay disagrees with primary at rank %d — top-k is not a stable total order", i),
+	}
+}
+
+// validate runs the per-response and cross-response checks.
+func (v *Validator) validate(q hdb.Query, res hdb.Result) *hdb.InvariantViolation {
+	k := v.inner.K()
+	schema := v.inner.Schema()
+	if len(res.Tuples) > k {
+		return &hdb.InvariantViolation{
+			Kind: hdb.ViolationTooMany, Query: q.String(),
+			Detail: fmt.Sprintf("%d tuples from a top-%d interface", len(res.Tuples), k),
+		}
+	}
+	if res.Overflow && len(res.Tuples) < k {
+		return &hdb.InvariantViolation{
+			Kind: hdb.ViolationOverflowShort, Query: q.String(),
+			Detail: fmt.Sprintf("overflow flagged on %d < k=%d tuples", len(res.Tuples), k),
+		}
+	}
+	for i, t := range res.Tuples {
+		if len(t.Cats) != len(schema.Attrs) {
+			return &hdb.InvariantViolation{
+				Kind: hdb.ViolationTupleShape, Query: q.String(),
+				Detail: fmt.Sprintf("tuple %d has %d values, schema has %d attributes", i, len(t.Cats), len(schema.Attrs)),
+			}
+		}
+		for a, val := range t.Cats {
+			if int(val) >= schema.Attrs[a].Dom {
+				return &hdb.InvariantViolation{
+					Kind: hdb.ViolationTupleShape, Query: q.String(),
+					Detail: fmt.Sprintf("tuple %d value %d out of domain for attribute %d (|Dom|=%d)", i, val, a, schema.Attrs[a].Dom),
+				}
+			}
+		}
+		if !q.Matches(t) {
+			return &hdb.InvariantViolation{
+				Kind: hdb.ViolationForeignTuple, Query: q.String(),
+				Detail: fmt.Sprintf("tuple %d does not satisfy the query's own predicates", i),
+			}
+		}
+	}
+	return v.checkHistory(q, res)
+}
+
+// checkHistory compares the response against remembered answers: the same
+// query must repeat itself, and no remembered one-predicate-shorter
+// ancestor with an exact count may be exceeded. Holding the lock here is
+// cheap — map lookups on scratch-buffer keys, no backend calls, no
+// allocations on the warm path (a first-sight query allocates its map key
+// once).
+func (v *Validator) checkHistory(q hdb.Query, res hdb.Result) *hdb.InvariantViolation {
+	cur := entry{n: int32(len(res.Tuples)), overflow: res.Overflow}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.keyBuf = q.AppendKey(v.keyBuf[:0])
+	key := v.keyBuf
+
+	if prev, ok := v.seen[string(key)]; ok {
+		if prev != cur {
+			return &hdb.InvariantViolation{
+				Kind: hdb.ViolationReplay, Query: q.String(),
+				Detail: fmt.Sprintf("query previously returned %d tuples (overflow=%v), now %d (overflow=%v)",
+					prev.n, prev.overflow, cur.n, cur.overflow),
+			}
+		}
+	} else if len(v.seen) < v.cfg.MaxTracked {
+		v.seen[string(key)] = cur
+	}
+
+	// Ancestors: drop each 4-byte predicate group in turn. A remembered
+	// ancestor without overflow answered with its exact selection size; the
+	// child's selection is a subset, so a larger count — or an overflow
+	// claim (> k) against an ancestor that fit within k — is a lie.
+	for off := 0; off < len(key); off += 4 {
+		v.parentBuf = append(v.parentBuf[:0], key[:off]...)
+		v.parentBuf = append(v.parentBuf, key[off+4:]...)
+		p, ok := v.seen[string(v.parentBuf)]
+		if !ok || p.overflow {
+			continue
+		}
+		if cur.overflow || cur.n > p.n {
+			return &hdb.InvariantViolation{
+				Kind: hdb.ViolationMonotone, Query: q.String(),
+				Detail: fmt.Sprintf("claims %s, but its one-shorter ancestor matched exactly %d",
+					claimString(cur), p.n),
+			}
+		}
+	}
+	return nil
+}
+
+func claimString(e entry) string {
+	if e.overflow {
+		return "overflow (> k matches)"
+	}
+	return fmt.Sprintf("%d matches", e.n)
+}
+
+// Publish registers the validator's series in reg (obs.Default when nil):
+// guard_violations_total{kind=...}, guard_replays_total, and a scrape-time
+// gauge of tracked queries.
+func (v *Validator) Publish(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	v.mViolations = make(map[hdb.ViolationKind]*obs.Counter, len(violationKinds))
+	for _, kind := range violationKinds {
+		v.mViolations[kind] = reg.Counter("guard_violations_total",
+			"response-invariant violations by kind", "kind", string(kind))
+	}
+	v.mReplays = reg.Counter("guard_replays_total",
+		"replay probes issued by the validator (uncharged to the session)")
+	reg.GaugeFunc("guard_tracked_queries", "distinct queries remembered for monotonicity checks",
+		func() float64 {
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			return float64(len(v.seen))
+		})
+}

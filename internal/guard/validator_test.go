@@ -1,0 +1,316 @@
+package guard
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hdunbiased/internal/hdb"
+	"hdunbiased/internal/obs"
+	"hdunbiased/internal/webform"
+)
+
+// guardTable builds a random categorical table (three attributes, fanouts
+// 8/4/2 plus an id attribute) — the honest dense reference the doubles lie
+// about.
+func guardTable(t testing.TB, m, k int) *hdb.Table {
+	t.Helper()
+	schema := hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 8}, {Name: "b", Dom: 4}, {Name: "c", Dom: 2}, {Name: "id", Dom: m}}}
+	rnd := rand.New(rand.NewSource(1))
+	tuples := make([]hdb.Tuple, m)
+	for i := range tuples {
+		tuples[i] = hdb.Tuple{Cats: []uint16{
+			uint16(rnd.Intn(8)), uint16(rnd.Intn(4)), uint16(rnd.Intn(2)), uint16(i),
+		}}
+	}
+	tbl, err := hdb.NewTable(schema, k, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// stubIface serves canned results keyed by q.Key(), for scripting exact
+// violation scenarios.
+type stubIface struct {
+	schema hdb.Schema
+	k      int
+	res    map[string]hdb.Result
+	calls  int
+}
+
+func (s *stubIface) Schema() hdb.Schema { return s.schema }
+func (s *stubIface) K() int             { return s.k }
+func (s *stubIface) Query(q hdb.Query) (hdb.Result, error) {
+	s.calls++
+	return s.res[q.Key()], nil
+}
+
+func stubSchema() hdb.Schema {
+	return hdb.Schema{Attrs: []hdb.Attribute{{Name: "a", Dom: 4}, {Name: "b", Dom: 3}, {Name: "c", Dom: 2}}}
+}
+
+// tuplesFor makes n tuples satisfying q (zeroes elsewhere).
+func tuplesFor(q hdb.Query, n int) []hdb.Tuple {
+	out := make([]hdb.Tuple, n)
+	for i := range out {
+		cats := make([]uint16, 3)
+		for _, p := range q.Preds {
+			cats[p.Attr] = p.Value
+		}
+		out[i] = hdb.Tuple{Cats: cats}
+	}
+	return out
+}
+
+func wantViolation(t *testing.T, err error, kind hdb.ViolationKind) *hdb.InvariantViolation {
+	t.Helper()
+	iv, ok := hdb.AsInvariantViolation(err)
+	if !ok {
+		t.Fatalf("err = %v, want an InvariantViolation(%s)", err, kind)
+	}
+	if iv.Kind != kind {
+		t.Fatalf("violation kind = %s, want %s (%v)", iv.Kind, kind, iv)
+	}
+	return iv
+}
+
+// TestValidatorHonestPassthrough: against an honest table the validator is
+// invisible — identical results, zero violations — even with replay
+// probes on.
+func TestValidatorHonestPassthrough(t *testing.T) {
+	tbl := guardTable(t, 500, 10)
+	v := NewValidator(tbl, ValidatorConfig{ReplayEvery: 3})
+
+	var queries []hdb.Query
+	queries = append(queries, hdb.Query{})
+	for a0 := 0; a0 < 8; a0++ {
+		q1 := hdb.Query{}.And(0, uint16(a0))
+		queries = append(queries, q1)
+		for a1 := 0; a1 < 4; a1++ {
+			queries = append(queries, q1.And(1, uint16(a1)))
+		}
+	}
+	for _, q := range queries {
+		want, err := tbl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.Query(q)
+		if err != nil {
+			t.Fatalf("honest backend flagged at %s: %v", q.String(), err)
+		}
+		if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("validator altered the result at %s", q.String())
+		}
+	}
+	if v.Violations() != 0 {
+		t.Errorf("violations = %d, want 0", v.Violations())
+	}
+	if v.Replays() == 0 {
+		t.Error("ReplayEvery=3 issued no replays")
+	}
+}
+
+func TestValidatorOverflowShort(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		q.Key(): {Tuples: tuplesFor(q, 2), Overflow: true},
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	_, err := v.Query(q)
+	wantViolation(t, err, hdb.ViolationOverflowShort)
+}
+
+func TestValidatorTooMany(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	s := &stubIface{schema: stubSchema(), k: 3, res: map[string]hdb.Result{
+		q.Key(): {Tuples: tuplesFor(q, 4), Overflow: true},
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	_, err := v.Query(q)
+	wantViolation(t, err, hdb.ViolationTooMany)
+}
+
+func TestValidatorForeignTuple(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	bad := tuplesFor(q, 2)
+	bad[1].Cats[0] = 2 // violates a0=1
+	s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		q.Key(): {Tuples: bad},
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	_, err := v.Query(q)
+	wantViolation(t, err, hdb.ViolationForeignTuple)
+}
+
+func TestValidatorTupleShape(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	short := []hdb.Tuple{{Cats: []uint16{1}}} // arity 1, schema has 3
+	outOfDom := tuplesFor(q, 1)
+	outOfDom[0].Cats[2] = 9 // dom(c)=2
+
+	for name, tuples := range map[string][]hdb.Tuple{"arity": short, "domain": outOfDom} {
+		s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+			q.Key(): {Tuples: tuples},
+		}}
+		v := NewValidator(s, ValidatorConfig{})
+		_, err := v.Query(q)
+		if iv := wantViolation(t, err, hdb.ViolationTupleShape); iv == nil {
+			t.Fatal(name)
+		}
+	}
+}
+
+// TestValidatorMonotone: a child claiming more matches than its
+// one-shorter ancestor's exact count is caught when the child is queried.
+func TestValidatorMonotone(t *testing.T) {
+	parent := hdb.Query{}.And(0, 1)
+	child := parent.And(1, 2)
+	s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		parent.Key(): {Tuples: tuplesFor(parent, 2)}, // exactly 2 matches
+		child.Key():  {Tuples: tuplesFor(child, 4)},  // subset claims 4
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	if _, err := v.Query(parent); err != nil {
+		t.Fatal(err)
+	}
+	_, err := v.Query(child)
+	wantViolation(t, err, hdb.ViolationMonotone)
+
+	// Overflowing child of an exact parent is the same contradiction.
+	s2 := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		parent.Key(): {Tuples: tuplesFor(parent, 3)},
+		child.Key():  {Tuples: tuplesFor(child, 5), Overflow: true},
+	}}
+	v2 := NewValidator(s2, ValidatorConfig{})
+	if _, err := v2.Query(parent); err != nil {
+		t.Fatal(err)
+	}
+	_, err = v2.Query(child)
+	wantViolation(t, err, hdb.ViolationMonotone)
+}
+
+// TestValidatorHistoryReplay: the same query answering differently on a
+// re-issue is caught from memory, without a live replay probe.
+func TestValidatorHistoryReplay(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		q.Key(): {Tuples: tuplesFor(q, 2)},
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	if _, err := v.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	s.res[q.Key()] = hdb.Result{Tuples: tuplesFor(q, 3)} // flap
+	_, err := v.Query(q)
+	wantViolation(t, err, hdb.ViolationReplay)
+}
+
+// flapIface returns a different top-k order on every call — the unstable
+// ranking a replay probe exists to catch.
+type flapIface struct {
+	schema hdb.Schema
+	k      int
+	calls  int
+}
+
+func (f *flapIface) Schema() hdb.Schema { return f.schema }
+func (f *flapIface) K() int             { return f.k }
+func (f *flapIface) Query(q hdb.Query) (hdb.Result, error) {
+	f.calls++
+	tuples := tuplesFor(q, f.k)
+	for i := range tuples {
+		tuples[i].Cats[2] = uint16((i + f.calls) % 2) // order shifts per call
+	}
+	return hdb.Result{Tuples: tuples, Overflow: true}, nil
+}
+
+func TestValidatorReplayProbe(t *testing.T) {
+	q := hdb.Query{}.And(0, 1)
+	v := NewValidator(&flapIface{schema: stubSchema(), k: 4}, ValidatorConfig{ReplayEvery: 1})
+	_, err := v.Query(q)
+	wantViolation(t, err, hdb.ViolationReplay)
+	if v.Replays() != 1 {
+		t.Errorf("replays = %d, want 1", v.Replays())
+	}
+}
+
+// TestValidatorLyingCountsBoundedDetection is the guard half of the chaos
+// acceptance: a seeded lying-count backend (webform.Liar over an honest
+// table) is detected within a bounded number of probes by a plain
+// parent-then-children drill sweep.
+func TestValidatorLyingCountsBoundedDetection(t *testing.T) {
+	tbl := guardTable(t, 2000, 5)
+	liar := webform.NewLiar(tbl, 99, webform.LiarConfig{Rate: 0.5, Kinds: []webform.LieKind{webform.LieCount}})
+	v := NewValidator(liar, ValidatorConfig{})
+
+	const bound = 300
+	queries := 0
+	var violation error
+sweep:
+	for a0 := 0; a0 < 8; a0++ {
+		q1 := hdb.Query{}.And(0, uint16(a0))
+		for _, q := range append([]hdb.Query{q1}, q1.And(1, 0), q1.And(1, 1), q1.And(1, 2), q1.And(1, 3)) {
+			queries++
+			if queries > bound {
+				break sweep
+			}
+			if _, err := v.Query(q); err != nil {
+				violation = err
+				break sweep
+			}
+		}
+	}
+	if violation == nil {
+		t.Fatalf("lying counts not detected within %d probes (liar told %d lies)", bound, liar.Lies())
+	}
+	if _, ok := hdb.AsInvariantViolation(violation); !ok {
+		t.Fatalf("detection surfaced an untyped error: %v", violation)
+	}
+	if liar.Lies() == 0 {
+		t.Fatal("liar never lied — test proves nothing")
+	}
+	t.Logf("detected after %d queries, %d lies: %v", queries, liar.Lies(), violation)
+}
+
+// TestValidatorMetricsPublish: violations and replays land in the registry
+// under the advertised names.
+func TestValidatorMetricsPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := hdb.Query{}.And(0, 1)
+	s := &stubIface{schema: stubSchema(), k: 5, res: map[string]hdb.Result{
+		q.Key(): {Tuples: tuplesFor(q, 2), Overflow: true},
+	}}
+	v := NewValidator(s, ValidatorConfig{})
+	v.Publish(reg)
+	if _, err := v.Query(q); err == nil {
+		t.Fatal("no violation")
+	}
+	text := scrape(t, reg)
+	if want := `guard_violations_total{kind="overflow-short"} 1`; !contains(text, want) {
+		t.Errorf("scrape missing %q:\n%s", want, text)
+	}
+}
+
+// TestValidatorErrorsPassThrough: backend errors are not validation
+// business — they surface unchanged and record nothing.
+func TestValidatorErrorsPassThrough(t *testing.T) {
+	boom := errors.New("down")
+	v := NewValidator(&errIface{schema: stubSchema(), err: boom}, ValidatorConfig{})
+	if _, err := v.Query(hdb.Query{}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if v.Violations() != 0 {
+		t.Error("an error was counted as a violation")
+	}
+}
+
+type errIface struct {
+	schema hdb.Schema
+	err    error
+}
+
+func (e *errIface) Schema() hdb.Schema                  { return e.schema }
+func (e *errIface) K() int                              { return 5 }
+func (e *errIface) Query(hdb.Query) (hdb.Result, error) { return hdb.Result{}, e.err }

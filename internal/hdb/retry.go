@@ -4,13 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // This file implements the fault-tolerant client layer: a typed
 // transient-vs-fatal error taxonomy and a Retrier middleware that re-issues
-// transiently failed queries with bounded exponential backoff.
+// transiently failed queries with jittered, bounded exponential backoff.
 //
 // Placement matters for the paper's query accounting. A retried query is ONE
 // query from the estimator's (and the hidden database operator's rate-limit)
@@ -102,6 +104,15 @@ type RetryConfig struct {
 	// Sleep overrides the backoff sleep — a test seam for deterministic
 	// retry schedules. nil means a timer racing Context.
 	Sleep func(d time.Duration)
+	// NoJitter restores the deterministic exponential schedule
+	// (BaseDelay·Multiplier^n). By default sleeps use decorrelated jitter —
+	// each is drawn uniformly from [BaseDelay, 3·previous] capped at
+	// MaxDelay — so fleet replicas that failed together do not retry
+	// together and re-overload the site that just shed them.
+	NoJitter bool
+	// JitterSeed makes the jitter stream reproducible (tests, replayable
+	// chaos schedules). 0 seeds each Retrier from the wall clock.
+	JitterSeed int64
 }
 
 func (cfg *RetryConfig) defaults() {
@@ -133,12 +144,23 @@ type Retrier struct {
 	cfg       RetryConfig
 	retries   atomic.Int64
 	backoffNs atomic.Int64
+
+	jmu  sync.Mutex
+	jrnd *rand.Rand
 }
 
 // NewRetrier wraps inner with the given retry policy.
 func NewRetrier(inner Interface, cfg RetryConfig) *Retrier {
 	cfg.defaults()
-	return &Retrier{inner: inner, cfg: cfg}
+	r := &Retrier{inner: inner, cfg: cfg}
+	if !cfg.NoJitter {
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		r.jrnd = rand.New(rand.NewSource(seed))
+	}
+	return r
 }
 
 // Schema implements Interface.
@@ -173,7 +195,8 @@ func (r *Retrier) BackoffTotal() time.Duration {
 
 // do runs op under the retry policy.
 func (r *Retrier) do(op func() error) error {
-	delay := r.cfg.BaseDelay
+	delay := r.cfg.BaseDelay // deterministic exponential path (NoJitter)
+	prev := r.cfg.BaseDelay  // decorrelated-jitter state
 	for attempt := 1; ; attempt++ {
 		if err := r.cfg.Context.Err(); err != nil {
 			return err
@@ -186,10 +209,14 @@ func (r *Retrier) do(op func() error) error {
 			return fmt.Errorf("hdb: giving up after %d attempts: %w", attempt, err)
 		}
 		r.retries.Add(1)
+		sleep := delay
+		if r.jrnd != nil {
+			prev = r.nextJitter(prev)
+			sleep = prev
+		}
 		// A server-sent Retry-After floors the sleep, even above MaxDelay:
 		// the server stated when it will take the query, so retrying sooner
 		// only burns an attempt.
-		sleep := delay
 		if hint := RetryAfterHint(err); hint > sleep {
 			sleep = hint
 		}
@@ -203,6 +230,24 @@ func (r *Retrier) do(op func() error) error {
 			delay = r.cfg.MaxDelay
 		}
 	}
+}
+
+// nextJitter draws one decorrelated-jitter step: uniform over
+// [BaseDelay, 3·prev], capped at MaxDelay. Unlike "full jitter" over the
+// exponential envelope, the draw depends on the previous *drawn* sleep, so
+// two replicas that collide once decorrelate on every subsequent retry.
+func (r *Retrier) nextJitter(prev time.Duration) time.Duration {
+	lo, hi := r.cfg.BaseDelay, 3*prev
+	if hi > r.cfg.MaxDelay {
+		hi = r.cfg.MaxDelay
+	}
+	if hi <= lo {
+		return lo
+	}
+	r.jmu.Lock()
+	d := lo + time.Duration(r.jrnd.Int63n(int64(hi-lo)+1))
+	r.jmu.Unlock()
+	return d
 }
 
 // sleep waits d or until the config context is done; false means cancelled.

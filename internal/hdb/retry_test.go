@@ -91,7 +91,7 @@ func TestRetrierRecovers(t *testing.T) {
 	tbl := testTable(t, 500, 10)
 	flaky := newFlaky(tbl, 2)
 	sleep, delays := noSleep()
-	r := NewRetrier(flaky, RetryConfig{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: sleep})
+	r := NewRetrier(flaky, RetryConfig{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: sleep, NoJitter: true})
 
 	want, err := tbl.Query(Query{})
 	if err != nil {
@@ -325,6 +325,7 @@ func TestRetrierHonorsRetryAfterHint(t *testing.T) {
 		MaxAttempts: 4,
 		BaseDelay:   10 * time.Millisecond,
 		Sleep:       sleep,
+		NoJitter:    true,
 	})
 	if _, err := r.Query(Query{}); err != nil {
 		t.Fatal(err)
@@ -351,6 +352,90 @@ func (h *hintedBackend) Query(q Query) (Result, error) {
 		return Result{}, MarkTransientAfter(fmt.Errorf("throttled: call %d", h.calls), h.retryAfter)
 	}
 	return h.inner.Query(q)
+}
+
+// jitterDelays runs one always-transient query through a fresh Retrier and
+// returns the recorded backoff sleeps.
+func jitterDelays(t *testing.T, tbl *Table, cfg RetryConfig) []time.Duration {
+	t.Helper()
+	sleep, delays := noSleep()
+	cfg.Sleep = sleep
+	r := NewRetrier(newFlaky(tbl, 1000), cfg)
+	if _, err := r.Query(Query{}); err == nil {
+		t.Fatal("always-transient backend succeeded")
+	}
+	return *delays
+}
+
+// TestRetrierJitterBounds: every jittered sleep stays within
+// [BaseDelay, min(3·previous, MaxDelay)] — bounded like the exponential
+// schedule it replaces, just decorrelated.
+func TestRetrierJitterBounds(t *testing.T) {
+	tbl := testTable(t, 100, 10)
+	base, cap := 10*time.Millisecond, 100*time.Millisecond
+	delays := jitterDelays(t, tbl, RetryConfig{
+		MaxAttempts: 8, BaseDelay: base, MaxDelay: cap, JitterSeed: 42,
+	})
+	if len(delays) != 7 {
+		t.Fatalf("delays = %v, want 7 sleeps", delays)
+	}
+	prev := base
+	for i, d := range delays {
+		hi := 3 * prev
+		if hi > cap {
+			hi = cap
+		}
+		if d < base || d > hi {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, base, hi)
+		}
+		prev = d
+	}
+}
+
+// TestRetrierJitterSeededDeterminism: the jitter stream is a pure function
+// of JitterSeed, so chaos schedules replay bit-identically.
+func TestRetrierJitterSeededDeterminism(t *testing.T) {
+	tbl := testTable(t, 100, 10)
+	cfg := RetryConfig{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, JitterSeed: 7}
+	a := jitterDelays(t, tbl, cfg)
+	b := jitterDelays(t, tbl, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at sleep %d: %v vs %v", i, a, b)
+		}
+	}
+	cfg.JitterSeed = 8
+	c := jitterDelays(t, tbl, cfg)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Errorf("different seeds produced identical schedules: %v", a)
+	}
+}
+
+// TestRetrierJitterHonorsHintFloor: decorrelated jitter never undercuts a
+// server-sent Retry-After — the floor semantics survive the randomisation.
+func TestRetrierJitterHonorsHintFloor(t *testing.T) {
+	tbl := testTable(t, 100, 10)
+	sleep, delays := noSleep()
+	hinted := &hintedBackend{inner: tbl, failsPer: 2, retryAfter: 5 * time.Second}
+	r := NewRetrier(hinted, RetryConfig{
+		MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second,
+		JitterSeed: 3, Sleep: sleep,
+	})
+	if _, err := r.Query(Query{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range *delays {
+		if d != 5*time.Second {
+			t.Errorf("sleep %d = %v, want the 5s hint to floor every jittered sleep", i, d)
+		}
+	}
 }
 
 func TestRetryConfigDefaults(t *testing.T) {

@@ -1,0 +1,91 @@
+package hdb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file defines the response-invariant error taxonomy shared by the
+// guard layer (internal/guard), the estimator core and the service. A
+// top-k interface that answers *wrongly* — rather than slowly or not at
+// all — is a different failure class from anything TransientError covers:
+// retrying a lie reproduces the lie and burns budget, and an estimate built
+// on lying counts is silently biased. Violations are therefore always
+// fatal to the query that observed them; the service layer reacts by
+// degrading the session to the Boolean-check estimator variant (which
+// trusts only emptiness, not counts) or quarantining the job.
+
+// ViolationKind names the invariant a backend response broke.
+type ViolationKind string
+
+const (
+	// ViolationForeignTuple: a returned tuple does not satisfy the query's
+	// own predicates — the result is not a subset of the selection.
+	ViolationForeignTuple ViolationKind = "foreign-tuple"
+	// ViolationTupleShape: a returned tuple's arity or values fall outside
+	// the advertised schema.
+	ViolationTupleShape ViolationKind = "tuple-shape"
+	// ViolationOverflowShort: the overflow flag is set on fewer than k
+	// tuples — "more than k matched" and "here are fewer than k" cannot
+	// both be true of a top-k interface.
+	ViolationOverflowShort ViolationKind = "overflow-short"
+	// ViolationTooMany: more than k tuples came back from a k-bounded
+	// interface.
+	ViolationTooMany ViolationKind = "too-many"
+	// ViolationMonotone: a child query (superset of predicates) matched
+	// more tuples than its parent — selection sizes must be monotone
+	// non-increasing down a drill-down path.
+	ViolationMonotone ViolationKind = "monotone"
+	// ViolationReplay: re-issuing an identical query returned a different
+	// top-k — the ranking is supposed to be a fixed total order.
+	ViolationReplay ViolationKind = "replay"
+	// ViolationAllUnderflow: a query overflows while every single-attribute
+	// refinement of it underflows — the > k matching tuples have nowhere
+	// to be.
+	ViolationAllUnderflow ViolationKind = "all-underflow"
+)
+
+// InvariantViolation is the typed error raised when a backend response (or
+// a pair of responses along one drill-down path) contradicts the top-k
+// interface contract. It is deliberately NOT transient: the Retrier
+// surfaces it unchanged, the circuit breaker counts it as a failure, and
+// the session layer triggers the degradation ladder on it.
+type InvariantViolation struct {
+	Kind ViolationKind
+	// Query is the offending query in display form ("a0=1 AND a3=2", or
+	// "TRUE" for the root).
+	Query string
+	// Detail states the contradiction with the observed numbers.
+	Detail string
+}
+
+func (e *InvariantViolation) Error() string {
+	return fmt.Sprintf("hdb: invariant violation (%s) at %s: %s", e.Kind, e.Query, e.Detail)
+}
+
+// AsInvariantViolation extracts an InvariantViolation from an error chain.
+func AsInvariantViolation(err error) (*InvariantViolation, bool) {
+	var iv *InvariantViolation
+	if errors.As(err, &iv) {
+		return iv, true
+	}
+	return nil, false
+}
+
+// CountFreer is implemented by backends that declare their result counts
+// untrustworthy or absent — a search form that shows "many results" rather
+// than an exact number. A count-free interface still answers emptiness
+// honestly, so the Boolean-check estimator variant applies; the service
+// layer starts such sessions degraded instead of waiting for the validator
+// to catch a count lie.
+type CountFreer interface {
+	CountFree() bool
+}
+
+// IsCountFree reports whether i declares itself count-free. Middleware that
+// wants the declaration to survive wrapping must forward it (guard's
+// Validator and Breaker do).
+func IsCountFree(i Interface) bool {
+	cf, ok := i.(CountFreer)
+	return ok && cf.CountFree()
+}

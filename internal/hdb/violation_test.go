@@ -1,0 +1,35 @@
+package hdb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInvariantViolation(t *testing.T) {
+	iv := &InvariantViolation{Kind: ViolationOverflowShort, Query: "a0=1", Detail: "overflow with 3 < k=10 tuples"}
+	if got, ok := AsInvariantViolation(iv); !ok || got != iv {
+		t.Fatal("AsInvariantViolation missed a direct violation")
+	}
+	wrapped := fmt.Errorf("pass 3: %w", iv)
+	if got, ok := AsInvariantViolation(wrapped); !ok || got.Kind != ViolationOverflowShort {
+		t.Fatal("AsInvariantViolation missed a wrapped violation")
+	}
+	if _, ok := AsInvariantViolation(errors.New("plain")); ok {
+		t.Error("AsInvariantViolation matched a plain error")
+	}
+	if _, ok := AsInvariantViolation(nil); ok {
+		t.Error("AsInvariantViolation matched nil")
+	}
+	// Violations are fatal: the Retrier must surface them unchanged.
+	if IsTransient(iv) {
+		t.Error("a violation must not be transient — retrying a lie reproduces it")
+	}
+	msg := iv.Error()
+	for _, want := range []string{"invariant violation", "overflow-short", "a0=1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+}

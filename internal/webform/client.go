@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"hdunbiased/internal/hdb"
@@ -24,11 +25,12 @@ import (
 // with the client's bound context (WithContext), so cancelling it aborts
 // in-flight HTTP calls instead of waiting out the transport timeout.
 type Client struct {
-	base   *url.URL
-	http   *http.Client
-	ctx    context.Context
-	schema hdb.Schema
-	k      int
+	base        *url.URL
+	http        *http.Client
+	ctx         context.Context
+	bodyTimeout time.Duration
+	schema      hdb.Schema
+	k           int
 }
 
 // DialOption customises a Client before the schema fetch.
@@ -47,13 +49,22 @@ func WithDialContext(ctx context.Context) DialOption {
 	return func(c *Client) { c.ctx = ctx }
 }
 
+// WithBodyTimeout bounds reading each response body: a server that sends
+// headers promptly and then trickles the body one byte at a time cannot
+// hold a worker past d — the read aborts through the request's context and
+// surfaces as a transient error for the retry layer. The default is 30s
+// (matching the default transport timeout); d <= 0 disables the bound.
+func WithBodyTimeout(d time.Duration) DialOption {
+	return func(c *Client) { c.bodyTimeout = d }
+}
+
 // Dial fetches the schema from baseURL and returns a ready client.
 func Dial(baseURL string, opts ...DialOption) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("webform: bad base URL: %w", err)
 	}
-	c := &Client{base: u, http: &http.Client{Timeout: 30 * time.Second}, ctx: context.Background()}
+	c := &Client{base: u, http: &http.Client{Timeout: 30 * time.Second}, ctx: context.Background(), bodyTimeout: 30 * time.Second}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -76,27 +87,80 @@ func (c *Client) WithContext(ctx context.Context) *Client {
 	return &out
 }
 
-// get issues one GET under the client's bound context.
-func (c *Client) get(u string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return nil, err
+// bodyWatch bounds reading one response body: once armed, it cancels the
+// request's private context after the body timeout, which aborts in-flight
+// Body reads on any transport. tripped distinguishes "the deadline fired"
+// from an ordinary decode error.
+type bodyWatch struct {
+	cancel context.CancelFunc
+	timer  *time.Timer
+	fired  atomic.Bool
+}
+
+// stop releases the watch: the timer is disarmed and the request context
+// cancelled (callers have finished with the body by then).
+func (w *bodyWatch) stop() {
+	if w.timer != nil {
+		w.timer.Stop()
 	}
-	return c.http.Do(req)
+	w.cancel()
+}
+
+func (w *bodyWatch) tripped() bool { return w.fired.Load() }
+
+// get issues one GET under the client's bound context, via a per-request
+// cancellable child context. When the response arrives and a body timeout
+// is configured, the returned watch is already armed; callers must
+// w.stop() after consuming the body.
+func (c *Client) get(u string) (*http.Response, *bodyWatch, error) {
+	ctx, cancel := context.WithCancel(c.ctx)
+	w := &bodyWatch{cancel: cancel}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if c.bodyTimeout > 0 {
+		w.timer = time.AfterFunc(c.bodyTimeout, func() {
+			w.fired.Store(true)
+			cancel()
+		})
+	}
+	return resp, w, nil
+}
+
+// bodyErr classifies an error reading or decoding a response body: the
+// session context's own death stays fatal, a tripped body deadline is the
+// slow-trickle server and comes back transient for the retry layer, and
+// anything else is a fatal decode error.
+func (c *Client) bodyErr(w *bodyWatch, what string, err error) error {
+	if c.ctx.Err() != nil {
+		return c.ctx.Err()
+	}
+	if w.tripped() {
+		return hdb.MarkTransient(fmt.Errorf("webform: %s read: body deadline (%v) exceeded: %w", what, c.bodyTimeout, err))
+	}
+	return fmt.Errorf("webform: %s decode: %w", what, err)
 }
 
 func (c *Client) fetchSchema() error {
-	resp, err := c.get(c.base.JoinPath("schema").String())
+	resp, w, err := c.get(c.base.JoinPath("schema").String())
 	if err != nil {
 		return fmt.Errorf("webform: schema fetch: %w", transportErr(c.ctx, err))
 	}
+	defer w.stop()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("webform: schema fetch: %s", resp.Status)
 	}
 	var p schemaPayload
 	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
-		return fmt.Errorf("webform: schema decode: %w", err)
+		return c.bodyErr(w, "schema", err)
 	}
 	if len(p.Attrs) == 0 || p.K < 1 {
 		return fmt.Errorf("webform: server returned empty schema or k=%d", p.K)
@@ -156,10 +220,11 @@ func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
 	}
 	u := c.base.JoinPath("search")
 	u.RawQuery = params.Encode()
-	resp, err := c.get(u.String())
+	resp, w, err := c.get(u.String())
 	if err != nil {
 		return hdb.Result{}, fmt.Errorf("webform: search: %w", transportErr(c.ctx, err))
 	}
+	defer w.stop()
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
@@ -182,7 +247,7 @@ func (c *Client) Query(q hdb.Query) (hdb.Result, error) {
 	}
 	var p resultPayload
 	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
-		return hdb.Result{}, fmt.Errorf("webform: result decode: %w", err)
+		return hdb.Result{}, c.bodyErr(w, "result", err)
 	}
 	res := hdb.Result{Overflow: p.Overflow, Tuples: make([]hdb.Tuple, 0, len(p.Tuples))}
 	for _, t := range p.Tuples {

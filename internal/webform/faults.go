@@ -2,12 +2,14 @@ package webform
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // FaultTransport is an http.RoundTripper test double that injects transport
@@ -48,6 +50,12 @@ const (
 	// FaultServerError answers 503.
 	FaultServerError
 	numFaultKinds
+	// FaultTrickle answers 200 OK with a body that trickles whitespace
+	// forever — the stuck-but-not-silent server that holds a worker past
+	// any connect timeout. Deliberately NOT in the default kind set: the
+	// read only ends when the client's body deadline fires, so opt in
+	// explicitly and pair it with a matching WithBodyTimeout.
+	FaultTrickle
 )
 
 // FaultConfig tunes a FaultTransport.
@@ -60,8 +68,12 @@ type FaultConfig struct {
 	// PathPrefix restricts injection to matching request paths (default
 	// "/search", so Dial's schema fetch is spared).
 	PathPrefix string
-	// Kinds lists the failure modes to draw from (default all four).
+	// Kinds lists the failure modes to draw from (default all four
+	// transport/server kinds; FaultTrickle is opt-in).
 	Kinds []FaultKind
+	// TrickleDelay is the per-byte delay of a FaultTrickle body (default
+	// 10ms).
+	TrickleDelay time.Duration
 }
 
 // NewFaultTransport wraps inner (nil means http.DefaultTransport) with
@@ -112,11 +124,45 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	case FaultRateLimit:
 		return syntheticResponse(req, http.StatusTooManyRequests, http.Header{"Retry-After": {"0"}},
 			`{"error":"injected rate limit"}`), nil
+	case FaultTrickle:
+		resp := syntheticResponse(req, http.StatusOK, http.Header{}, "")
+		resp.ContentLength = -1
+		resp.Body = &trickleBody{ctx: req.Context(), delay: ft.cfg.TrickleDelay}
+		return resp, nil
 	default: // FaultServerError
 		return syntheticResponse(req, http.StatusServiceUnavailable, http.Header{},
 			`{"error":"injected server error"}`), nil
 	}
 }
+
+// trickleBody emits one whitespace byte per delay tick, forever — valid
+// JSON lead-in that never completes. Reads abort when the request context
+// is cancelled, which is exactly what the client's body deadline does.
+type trickleBody struct {
+	ctx   context.Context
+	delay time.Duration
+}
+
+func (tb *trickleBody) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	delay := tb.delay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		p[0] = ' '
+		return 1, nil
+	case <-tb.ctx.Done():
+		return 0, tb.ctx.Err()
+	}
+}
+
+func (tb *trickleBody) Close() error { return nil }
 
 // decide draws the fault verdict for one request under the mutex — the
 // schedule is a function of the eligible-request sequence alone.

@@ -1,0 +1,331 @@
+package webform
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdunbiased/internal/hdb"
+)
+
+// ---------------------------------------------------------------------------
+// Bounded body reads (slow-trickle regression)
+
+// TestBodyTimeoutBoundsTrickle is the regression test for the slow-trickle
+// hole: a server that sends headers promptly and then drips the body one
+// byte at a time used to hold a worker for as long as the transport-level
+// timeout allowed (or forever with a custom client). With WithBodyTimeout
+// the read aborts through the request context and surfaces transient.
+func TestBodyTimeoutBoundsTrickle(t *testing.T) {
+	_, tbl := autoServer(t, 200, 10, ServerOptions{})
+	srv, err := NewServer(tbl, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/schema", srv)
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		for { // trickle whitespace until the client hangs up
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+				if _, err := w.Write([]byte(" ")); err != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	// A client with NO transport timeout: only the body deadline bounds it.
+	c, err := Dial(ts.URL, WithHTTPClient(&http.Client{}), WithBodyTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Query(hdb.Query{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("trickled body produced a result")
+	}
+	if !hdb.IsTransient(err) {
+		t.Fatalf("trickle error not transient for the retry layer: %v", err)
+	}
+	if !strings.Contains(err.Error(), "body deadline") {
+		t.Errorf("error does not name the body deadline: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("trickled query held the worker %v, want ~150ms", elapsed)
+	}
+}
+
+// TestBodyTimeoutDisabled: d <= 0 turns the bound off and restores the old
+// single-context behaviour (the transport timeout is then the only limit).
+func TestBodyTimeoutDisabled(t *testing.T) {
+	ts, tbl := autoServer(t, 200, 10, ServerOptions{})
+	c, err := Dial(ts.URL, WithBodyTimeout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(hdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.Query(hdb.Query{})
+	if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+		t.Error("disabled body timeout altered results")
+	}
+}
+
+// TestFaultTrickleRecovered: the FaultTrickle chaos kind composes with the
+// body deadline and the Retrier — a trickled response costs one transient
+// attempt, then the retry goes through.
+func TestFaultTrickleRecovered(t *testing.T) {
+	ts, tbl := autoServer(t, 500, 10, ServerOptions{})
+	ft := NewFaultTransport(http.DefaultTransport, 11, FaultConfig{
+		Rate: 0.4, MaxConsecutive: 2, Kinds: []FaultKind{FaultTrickle}, TrickleDelay: 5 * time.Millisecond,
+	})
+	c, err := Dial(ts.URL,
+		WithHTTPClient(&http.Client{Transport: ft}),
+		WithBodyTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hdb.NewRetrier(c, hdb.RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond, JitterSeed: 1})
+	for v := 0; v < 4; v++ {
+		q := hdb.Query{}.And(0, uint16(v))
+		got, err := r.Query(q)
+		if err != nil {
+			t.Fatalf("query %d through trickle chaos failed: %v", v, err)
+		}
+		want, _ := tbl.Query(q)
+		if got.Overflow != want.Overflow || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("query %d diverged under trickle chaos", v)
+		}
+	}
+	if ft.Injected() == 0 {
+		t.Fatal("no trickles injected — test proves nothing")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Retry-After edge cases through the live 429 path
+
+// TestRetryAfterEdgeCasesEndToEnd: zero and negative delay-seconds and an
+// HTTP-date in the past must floor to immediate retry — a transient error
+// with hint 0, never a negative sleep — and a Retrier above must recover
+// on its normal schedule.
+func TestRetryAfterEdgeCasesEndToEnd(t *testing.T) {
+	pastDate := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	for _, val := range []string{"0", "-5", pastDate} {
+		t.Run(val, func(t *testing.T) {
+			_, tbl := autoServer(t, 200, 10, ServerOptions{})
+			srv, err := NewServer(tbl, ServerOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var calls int32
+			mux := http.NewServeMux()
+			mux.Handle("/schema", srv)
+			mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+				if atomic.AddInt32(&calls, 1) == 1 {
+					w.Header().Set("Retry-After", val)
+					w.WriteHeader(http.StatusTooManyRequests)
+					w.Write([]byte(`{"error":"rate limited"}`))
+					return
+				}
+				srv.ServeHTTP(w, r)
+			})
+			ts := httptest.NewServer(mux)
+			t.Cleanup(ts.Close)
+
+			c, err := Dial(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Raw classification: transient, hint floored at 0.
+			_, qerr := c.Query(hdb.Query{})
+			if !hdb.IsTransient(qerr) {
+				t.Fatalf("429 Retry-After=%q not transient: %v", val, qerr)
+			}
+			if hint := hdb.RetryAfterHint(qerr); hint != 0 {
+				t.Fatalf("hint = %v, want 0 (immediate retry)", hint)
+			}
+
+			// Through a Retrier: the computed schedule applies, no sleep
+			// goes negative, and the retry succeeds.
+			atomic.StoreInt32(&calls, 0)
+			var slept []time.Duration
+			r := hdb.NewRetrier(c, hdb.RetryConfig{
+				MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, NoJitter: true,
+				Sleep: func(d time.Duration) { slept = append(slept, d) },
+			})
+			if _, err := r.Query(hdb.Query{}); err != nil {
+				t.Fatalf("retry after %q did not recover: %v", val, err)
+			}
+			if len(slept) != 1 || slept[0] != 2*time.Millisecond {
+				t.Fatalf("sleeps = %v, want one 2ms computed delay", slept)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Liar doubles
+
+func liarTable(t *testing.T) *hdb.Table {
+	t.Helper()
+	_, tbl := autoServer(t, 2000, 5, ServerOptions{})
+	return tbl
+}
+
+// findLiarQueries drills down from the root until it has one overflowing
+// query and one valid query with at least two tuples.
+func findLiarQueries(t *testing.T, tbl *hdb.Table) (overflowQ, validQ hdb.Query) {
+	t.Helper()
+	attrs := tbl.Schema().Attrs
+	foundO, foundV := false, false
+	var walk func(q hdb.Query, next int)
+	walk = func(q hdb.Query, next int) {
+		for a := next; a < len(attrs) && !(foundO && foundV); a++ {
+			for v := 0; v < attrs[a].Dom && !(foundO && foundV); v++ {
+				nq := q.And(a, uint16(v))
+				res, err := tbl.Query(nq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Overflow {
+					if !foundO {
+						overflowQ, foundO = nq, true
+					}
+					walk(nq, a+1)
+				} else if res.Valid() && len(res.Tuples) >= 2 && !foundV {
+					validQ, foundV = nq, true
+				}
+			}
+		}
+	}
+	walk(hdb.Query{}, 0)
+	if !foundO || !foundV {
+		t.Fatal("test table lacks overflow/valid queries")
+	}
+	return overflowQ, validQ
+}
+
+// TestLiarDeterminism: a fixed (seed, query sequence) pair yields the same
+// lie schedule — the property every seeded chaos suite leans on.
+func TestLiarDeterminism(t *testing.T) {
+	tbl := liarTable(t)
+	run := func() []hdb.Result {
+		l := NewLiar(tbl, 7, LiarConfig{Rate: 0.5})
+		var out []hdb.Result
+		for v := 0; v < 8; v++ {
+			for a := 0; a < 2; a++ {
+				res, err := l.Query(hdb.Query{}.And(a, uint16(v%4)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, res)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("same seed produced different lie schedules")
+	}
+}
+
+// TestLiarKinds exercises each lie against the honest answer.
+func TestLiarKinds(t *testing.T) {
+	tbl := liarTable(t)
+	overflowQ, validQ := findLiarQueries(t, tbl)
+
+	force := func(kind LieKind) *Liar {
+		return NewLiar(tbl, 3, LiarConfig{Rate: 1, Kinds: []LieKind{kind}})
+	}
+
+	honest, _ := tbl.Query(validQ)
+	res, _ := force(LieCount).Query(validQ)
+	if len(res.Tuples) >= len(honest.Tuples) || res.Overflow {
+		t.Errorf("LieCount: got %d tuples (honest %d)", len(res.Tuples), len(honest.Tuples))
+	}
+
+	res, _ = force(LieOverflow).Query(validQ)
+	if !res.Overflow {
+		t.Error("LieOverflow did not set the flag")
+	}
+
+	honestO, _ := tbl.Query(overflowQ)
+	res, _ = force(LieTopK).Query(overflowQ)
+	if !res.Overflow || len(res.Tuples) != len(honestO.Tuples) {
+		t.Fatal("LieTopK changed more than the order")
+	}
+	if reflect.DeepEqual(res.Tuples, honestO.Tuples) {
+		t.Error("LieTopK left the order intact")
+	}
+
+	res, _ = force(LieForeign).Query(validQ)
+	foreign := false
+	for _, tp := range res.Tuples {
+		if !validQ.Matches(tp) {
+			foreign = true
+		}
+	}
+	if !foreign {
+		t.Error("LieForeign produced only matching tuples")
+	}
+	// The honest backend's own storage must be untouched.
+	again, _ := tbl.Query(validQ)
+	if !reflect.DeepEqual(again, honest) {
+		t.Fatal("Liar mutated the inner table's tuples")
+	}
+}
+
+// TestLiarBehindServer: the server variant — a webform.Server over a Liar
+// serves lies over live HTTP, for end-to-end guard validation.
+func TestLiarBehindServer(t *testing.T) {
+	tbl := liarTable(t)
+	liar := NewLiar(tbl, 5, LiarConfig{Rate: 1, Kinds: []LieKind{LieOverflow}})
+	srv, err := NewServer(liar, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, q := findLiarQueries(t, tbl)
+	res, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overflow {
+		t.Error("lie did not survive the HTTP round trip")
+	}
+}
+
+// TestCountFreeIface: the marker survives guard-style wrapping via
+// hdb.IsCountFree.
+func TestCountFreeIface(t *testing.T) {
+	tbl := liarTable(t)
+	if hdb.IsCountFree(tbl) {
+		t.Fatal("plain table claims count-free")
+	}
+	if !hdb.IsCountFree(CountFreeIface{Interface: tbl}) {
+		t.Fatal("CountFreeIface not detected")
+	}
+}

@@ -1,0 +1,194 @@
+package webform
+
+import (
+	"math/rand"
+	"sync"
+
+	"hdunbiased/internal/hdb"
+)
+
+// Liar wraps an honest hdb.Interface and corrupts its *answers* on a
+// seeded schedule — the adversarial counterpart to FaultTransport, which
+// only corrupts availability. FaultTransport exercises the Retrier; Liar
+// exercises the guard layer: every lie it tells is one a real hidden
+// database has been observed telling (truncated counts, rankings that
+// change between identical queries, overflow banners on short pages,
+// results that ignore a predicate).
+//
+// A Liar is an hdb.Interface, so it works bare (unit tests, chaos suites)
+// and behind a webform.Server (NewServer(NewLiar(tbl, ...), opts)) for
+// end-to-end HTTP validation — the "server variants" the guard suite
+// dials. Lies are decided per eligible answer by a private seeded RNG:
+// a fixed (seed, query sequence) pair yields the same lie schedule on
+// every run. The wrapped interface's results are never mutated in place;
+// lies are told on copies.
+type Liar struct {
+	inner hdb.Interface
+	cfg   LiarConfig
+
+	mu      sync.Mutex
+	rnd     *rand.Rand
+	queries int64
+	lies    int64
+}
+
+// LieKind enumerates the injectable answer corruptions.
+type LieKind int
+
+const (
+	// LieCount truncates a result and clears its overflow flag, presenting
+	// a smaller-than-true exact count — the lie that silently biases a
+	// COUNT-based estimator and that only cross-response monotonicity
+	// checks can catch.
+	LieCount LieKind = iota
+	// LieTopK swaps two tuples of an overflowing page, so identical
+	// queries see different top-k orders — an unstable ranking.
+	LieTopK
+	// LieOverflow flags overflow on a page that did not overflow. On a
+	// page shorter than k this is a self-contradiction (overflow-short);
+	// on a full valid page it is only catchable via history.
+	LieOverflow
+	// LieForeign rewrites one returned tuple so it no longer satisfies the
+	// query's predicates — the result stops being a subset of the
+	// selection.
+	LieForeign
+	numLieKinds
+)
+
+// LiarConfig tunes a Liar.
+type LiarConfig struct {
+	// Rate is the per-eligible-answer lie probability (default 0.2).
+	Rate float64
+	// After answers the first N queries honestly (default 0) — lets a walk
+	// establish history before the lying starts, like a site that degrades
+	// under load.
+	After int64
+	// Kinds lists the lies to draw from (default all four).
+	Kinds []LieKind
+}
+
+// NewLiar wraps inner with seeded answer corruption.
+func NewLiar(inner hdb.Interface, seed int64, cfg LiarConfig) *Liar {
+	if cfg.Rate == 0 {
+		cfg.Rate = 0.2
+	}
+	if len(cfg.Kinds) == 0 {
+		for k := LieKind(0); k < numLieKinds; k++ {
+			cfg.Kinds = append(cfg.Kinds, k)
+		}
+	}
+	return &Liar{inner: inner, cfg: cfg, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Schema implements hdb.Interface.
+func (l *Liar) Schema() hdb.Schema { return l.inner.Schema() }
+
+// K implements hdb.Interface.
+func (l *Liar) K() int { return l.inner.K() }
+
+// Queries returns the queries answered (lies included).
+func (l *Liar) Queries() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queries
+}
+
+// Lies returns the number of corrupted answers so far.
+func (l *Liar) Lies() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lies
+}
+
+// Query implements hdb.Interface, corrupting the honest answer on the
+// seeded schedule. Errors pass through unchanged — availability faults are
+// FaultTransport's domain.
+func (l *Liar) Query(q hdb.Query) (hdb.Result, error) {
+	res, err := l.inner.Query(q)
+	if err != nil {
+		return res, err
+	}
+	kind, lie := l.decide(q, res)
+	if !lie {
+		return res, nil
+	}
+	return l.tell(kind, q, res), nil
+}
+
+// decide draws the lie verdict for one answer under the mutex, restricted
+// to kinds the answer is eligible for.
+func (l *Liar) decide(q hdb.Query, res hdb.Result) (LieKind, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.queries++
+	if l.queries <= l.cfg.After || l.rnd.Float64() >= l.cfg.Rate {
+		return 0, false
+	}
+	eligible := make([]LieKind, 0, len(l.cfg.Kinds))
+	for _, k := range l.cfg.Kinds {
+		if lieEligible(k, q, res) {
+			eligible = append(eligible, k)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, false
+	}
+	l.lies++
+	return eligible[l.rnd.Intn(len(eligible))], true
+}
+
+// lieEligible reports whether the answer can carry the lie at all.
+func lieEligible(k LieKind, q hdb.Query, res hdb.Result) bool {
+	switch k {
+	case LieCount:
+		return len(res.Tuples) >= 2
+	case LieTopK:
+		return res.Overflow && len(res.Tuples) >= 2
+	case LieOverflow:
+		return !res.Overflow
+	case LieForeign:
+		return len(res.Tuples) >= 1 && q.Len() >= 1
+	default:
+		return false
+	}
+}
+
+// tell produces the corrupted answer without mutating the honest one.
+func (l *Liar) tell(kind LieKind, q hdb.Query, res hdb.Result) hdb.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch kind {
+	case LieCount:
+		cut := 1 + l.rnd.Intn(len(res.Tuples)-1)
+		return hdb.Result{Tuples: res.Tuples[:cut], Overflow: false}
+	case LieTopK:
+		tuples := make([]hdb.Tuple, len(res.Tuples))
+		copy(tuples, res.Tuples)
+		i := l.rnd.Intn(len(tuples) - 1)
+		tuples[i], tuples[i+1] = tuples[i+1], tuples[i]
+		return hdb.Result{Tuples: tuples, Overflow: res.Overflow}
+	case LieOverflow:
+		return hdb.Result{Tuples: res.Tuples, Overflow: true}
+	default: // LieForeign
+		tuples := make([]hdb.Tuple, len(res.Tuples))
+		copy(tuples, res.Tuples)
+		i := l.rnd.Intn(len(tuples))
+		t := tuples[i].Clone()
+		p := q.Preds[l.rnd.Intn(len(q.Preds))]
+		dom := l.inner.Schema().Attrs[p.Attr].Dom
+		t.Cats[p.Attr] = uint16((int(p.Value) + 1) % dom)
+		tuples[i] = t
+		return hdb.Result{Tuples: tuples, Overflow: res.Overflow}
+	}
+}
+
+// CountFreeIface wraps an hdb.Interface and declares it count-free
+// (hdb.CountFreer) — the test double for a site that answers emptiness
+// honestly but shows "many results" instead of a number, forcing the
+// Boolean-check estimator variant from the start.
+type CountFreeIface struct {
+	hdb.Interface
+}
+
+// CountFree implements hdb.CountFreer.
+func (CountFreeIface) CountFree() bool { return true }
