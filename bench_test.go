@@ -203,8 +203,8 @@ func BenchmarkEstimatePassDeep(b *testing.B) {
 // bands into run containers — the production configuration.
 var scaled1M struct {
 	sync.Once
-	hybrid, dense *hdb.Table
-	err           error
+	hybrid, dense, paged, starved *hdb.Table
+	err                           error
 }
 
 func scaled1MTables(b *testing.B) (hybrid, dense *hdb.Table) {
@@ -221,11 +221,66 @@ func scaled1MTables(b *testing.B) (hybrid, dense *hdb.Table) {
 		}
 		scaled1M.dense, scaled1M.err = d.Table(100, hdb.WithRanking(hdb.RankByMeasure(0)),
 			hdb.WithIndexMode(hdb.IndexDense))
+		if scaled1M.err != nil {
+			return
+		}
+		// The beyond-RAM tier at its default budget; at 1M rows the whole
+		// page file fits in the pool, so this measures the warm (all-hit)
+		// paged overhead over RAM-resident hybrid — the PR 10 tracked ratio.
+		scaled1M.paged, scaled1M.err = d.Table(100, hdb.WithRanking(hdb.RankByMeasure(0)),
+			hdb.WithIndexMode(hdb.IndexPaged))
+		if scaled1M.err != nil {
+			return
+		}
+		// The same index starved to a 2 MiB pool (~3% of the page file):
+		// every pass faults and evicts constantly. This is the cold/thrash
+		// bound PERFORMANCE.md reports next to the warm ratio.
+		scaled1M.starved, scaled1M.err = d.Table(100, hdb.WithRanking(hdb.RankByMeasure(0)),
+			hdb.WithIndexMode(hdb.IndexPaged), hdb.WithPoolBudget(2<<20))
 	})
 	if scaled1M.err != nil {
 		b.Fatal(scaled1M.err)
 	}
 	return scaled1M.hybrid, scaled1M.dense
+}
+
+func scaled1MPaged(b *testing.B) *hdb.Table {
+	b.Helper()
+	scaled1MTables(b)
+	return scaled1M.paged
+}
+
+// BenchmarkEstimatePassPaged1M pits a full HD pass on the warm paged index
+// (512 MiB pool — everything resident after the first pass) against the
+// same pass on a pool starved to 2 MiB, where nearly every probe faults a
+// page from disk and evicts another. The pair brackets the paged tier:
+// warm is the steady-state overhead over RAM, starved is the worst case a
+// beyond-RAM deployment degrades to.
+func BenchmarkEstimatePassPaged1M(b *testing.B) {
+	scaled1MTables(b)
+	for _, cfg := range []struct {
+		name string
+		tbl  *hdb.Table
+	}{{"pool=warm", scaled1M.paged}, {"pool=starved", scaled1M.starved}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e, err := core.NewHDUnbiasedSize(cfg.tbl, 5, 1024, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Estimate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st, ok := cfg.tbl.PoolStats(); ok && st.Hits+st.Misses > 0 {
+				b.ReportMetric(100*float64(st.Hits)/float64(st.Hits+st.Misses), "poolhit%")
+			}
+		})
+	}
 }
 
 // BenchmarkEstimatePassHD1M measures one full HD pass over the Auto-1M
@@ -236,10 +291,11 @@ func scaled1MTables(b *testing.B) (hybrid, dense *hdb.Table) {
 // of O(rows/64) words.
 func BenchmarkEstimatePassHD1M(b *testing.B) {
 	hybrid, dense := scaled1MTables(b)
+	paged := scaled1MPaged(b)
 	for _, cfg := range []struct {
 		name string
 		tbl  *hdb.Table
-	}{{"index=hybrid", hybrid}, {"index=dense", dense}} {
+	}{{"index=hybrid", hybrid}, {"index=dense", dense}, {"index=paged", paged}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			// DUB must cover the largest fanout (the dom-1024 region).
 			e, err := core.NewHDUnbiasedSize(cfg.tbl, 5, 1024, 1)
@@ -326,11 +382,12 @@ func BenchmarkEstimatePassBatched1M(b *testing.B) {
 // scans rows/64 bitmap words no matter how selective the prefix is.
 func BenchmarkEngineSelectiveProbe1M(b *testing.B) {
 	hybrid, dense := scaled1MTables(b)
+	paged := scaled1MPaged(b)
 	base := hdb.Query{}.And(datagen.AutoScaledRegion, 5).And(datagen.AutoMake, 3)
 	for _, cfg := range []struct {
 		name string
 		tbl  *hdb.Table
-	}{{"index=hybrid", hybrid}, {"index=dense", dense}} {
+	}{{"index=hybrid", hybrid}, {"index=dense", dense}, {"index=paged", paged}} {
 		b.Run(cfg.name, func(b *testing.B) {
 			cur, err := cfg.tbl.NewCursor(base)
 			if err != nil {

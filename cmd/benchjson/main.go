@@ -68,8 +68,11 @@ type scanner interface {
 func parse(sc scanner) (map[string]*Result, error) {
 	results := make(map[string]*Result)
 	for sc.Scan() {
-		r, name, ok := parseLine(sc.Text())
-		if !ok {
+		r, name, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %v in line %q", err, sc.Text())
+		}
+		if r == nil {
 			continue
 		}
 		if prev, dup := results[name]; dup && prev.NsPerOp <= r.NsPerOp {
@@ -81,22 +84,29 @@ func parse(sc scanner) (map[string]*Result, error) {
 }
 
 // parseLine parses one `Benchmark<Name>[-procs] <iters> <value> <unit> ...`
-// line; ok is false for non-benchmark lines (headers, PASS, ok ...).
-func parseLine(line string) (r *Result, name string, ok bool) {
+// line. Non-benchmark lines (headers, PASS, ok ..., and the bare
+// `BenchmarkX` header go test prints above b.Log output) return nil with no
+// error; a line that names a benchmark AND carries fields but fails to
+// parse is an error — silently dropping it would publish a BENCH_PR*.json
+// that pretends the benchmark never ran.
+func parseLine(line string) (r *Result, name string, err error) {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 || !isBench(fields[0]) {
-		return nil, "", false
+	if len(fields) < 2 || !isBench(fields[0]) {
+		return nil, "", nil
+	}
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, "", fmt.Errorf("truncated benchmark line (%d fields)", len(fields))
 	}
 	var iters int64
 	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
-		return nil, "", false
+		return nil, "", fmt.Errorf("bad iteration count %q", fields[1])
 	}
 	r = &Result{Iterations: iters}
 	sawNs := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		var v float64
 		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
-			return nil, "", false
+			return nil, "", fmt.Errorf("bad metric value %q", fields[i])
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -114,9 +124,9 @@ func parseLine(line string) (r *Result, name string, ok bool) {
 		}
 	}
 	if !sawNs {
-		return nil, "", false
+		return nil, "", fmt.Errorf("no ns/op metric")
 	}
-	return r, trimProcs(fields[0]), true
+	return r, trimProcs(fields[0]), nil
 }
 
 func isBench(name string) bool {

@@ -57,16 +57,41 @@ func TestParse(t *testing.T) {
 	}
 }
 
-func TestParseLineRejectsNonBench(t *testing.T) {
+func TestParseLineSkipsNonBench(t *testing.T) {
 	for _, line := range []string{
 		"PASS",
 		"ok  	hdunbiased	33.298s",
 		"goos: linux",
-		"Benchmark",              // bare prefix
-		"BenchmarkX abc 1 ns/op", // non-numeric iterations
+		"Benchmark",    // bare prefix
+		"BenchmarkFoo", // b.Log header line: name alone, metrics follow later
 	} {
-		if _, _, ok := parseLine(line); ok {
+		r, _, err := parseLine(line)
+		if err != nil {
+			t.Errorf("parseLine(%q) errored: %v", line, err)
+		}
+		if r != nil {
 			t.Errorf("parseLine accepted %q", line)
 		}
+	}
+}
+
+// A line that names a benchmark and carries metric fields but cannot be
+// parsed must fail loudly: a silently dropped line would publish a
+// BENCH_PR*.json missing a benchmark that did run.
+func TestParseLineFailsLoudly(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX abc 1 ns/op",            // non-numeric iterations
+		"BenchmarkX 100 xyz ns/op",          // non-numeric metric value
+		"BenchmarkX 100 5",                  // truncated (odd fields)
+		"BenchmarkX 100 5 B/op",             // no ns/op metric
+		"BenchmarkX 100 5 ns/op 7",          // trailing metric without unit
+		"BenchmarkEstimatePassHD-8   35726", // name + iters, no metrics
+	} {
+		if _, _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine silently dropped %q", line)
+		}
+	}
+	if _, err := parse(bufio.NewScanner(strings.NewReader("goos: linux\nBenchmarkX 100 5\nPASS\n"))); err == nil {
+		t.Error("parse swallowed a malformed benchmark line")
 	}
 }

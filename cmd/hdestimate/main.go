@@ -61,6 +61,9 @@ func main() {
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the estimation run to this file (inspect with go tool pprof)")
 		memprof   = flag.String("memprofile", "", "write a heap profile taken after the estimation run to this file")
 
+		indexMode  = flag.String("index-mode", "hybrid", "offline index storage: hybrid (RAM), dense (all-bitmap RAM), paged (disk-backed postings behind a pinning buffer pool)")
+		poolBudget = flag.Int("pool-budget-mb", 512, "buffer-pool byte budget for -index-mode paged, in MiB")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run is live (empty = off)")
 	)
 	flag.Parse()
@@ -74,9 +77,14 @@ func main() {
 	if *rows > 0 {
 		*m = *rows
 	}
-	rawBackend, truthf, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
+	rawBackend, truthf, tbl, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed, *indexMode, *poolBudget)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tbl != nil {
+		// Pool counters are cumulative, so printing them once after the run
+		// shows the whole run's page traffic.
+		defer logPoolStats(tbl)
 	}
 	// Metrics sits directly on the backend: query/probe/batch latency and
 	// outcome series for whatever actually hits it, scrapeable live via
@@ -250,18 +258,21 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // connect returns the hidden-database interface plus, for offline runs, a
-// ground-truth oracle (nil over HTTP: a real hidden database discloses
-// nothing).
-func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) (hdb.Interface, func(mi int, cond hdb.Query) (float64, error), error) {
+// ground-truth oracle and the backing table (both nil over HTTP: a real
+// hidden database discloses nothing).
+func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64, indexMode string, poolMB int) (hdb.Interface, func(mi int, cond hdb.Query) (float64, error), *hdb.Table, error) {
 	if url != "" {
 		c, err := webform.Dial(url, webform.WithDialContext(ctx))
-		return c, nil, err
+		return c, nil, nil, err
 	}
 	var (
 		d   *datagen.Dataset
 		err error
 	)
-	var opts []hdb.TableOption
+	opts, err := indexOptions(indexMode, poolMB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	switch dataset {
 	case "auto":
 		d, err = datagen.Auto(m, seed)
@@ -275,14 +286,14 @@ func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) 
 	case "bool-mixed":
 		d, err = datagen.BoolMixed(m, n, seed)
 	default:
-		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+		return nil, nil, nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	tbl, err := d.Table(k, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	logIndexStats(tbl)
 	truth := func(mi int, cond hdb.Query) (float64, error) {
@@ -292,7 +303,23 @@ func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) 
 		}
 		return tbl.SumMeasure(tbl.Schema().Measures[0], cond)
 	}
-	return tbl, truth, nil
+	return tbl, truth, tbl, nil
+}
+
+// indexOptions maps the -index-mode / -pool-budget-mb flags to table options.
+func indexOptions(mode string, poolMB int) ([]hdb.TableOption, error) {
+	switch mode {
+	case "", "hybrid":
+		return nil, nil
+	case "dense":
+		return []hdb.TableOption{hdb.WithIndexMode(hdb.IndexDense)}, nil
+	case "paged":
+		return []hdb.TableOption{
+			hdb.WithIndexMode(hdb.IndexPaged),
+			hdb.WithPoolBudget(int64(poolMB) << 20),
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -index-mode %q (hybrid, dense, paged)", mode)
 }
 
 // maxFanout returns the schema's largest attribute domain.
@@ -311,7 +338,11 @@ func maxFanout(s hdb.Schema) int {
 // reproducible with e.g. `hdestimate -dataset auto-scaled -rows 1000000`.
 func logIndexStats(tbl *hdb.Table) {
 	stats := tbl.IndexStats()
-	fmt.Printf("index: %d rows, %d bytes (", tbl.Size(), tbl.IndexBytes())
+	unit := "containers"
+	if tbl.IndexMode() == hdb.IndexPaged {
+		unit = "segments" // paged postings are split into page-resident segments
+	}
+	fmt.Printf("index: %d rows, %d bytes, %s (", tbl.Size(), tbl.IndexBytes(), unit)
 	first := true
 	for _, kind := range []string{"array", "bitmap", "runs"} {
 		if s, ok := stats[kind]; ok {
@@ -323,6 +354,25 @@ func logIndexStats(tbl *hdb.Table) {
 		}
 	}
 	fmt.Println(")")
+	if st, ok := tbl.PoolStats(); ok {
+		fmt.Printf("pool: budget=%dMB pages=%d\n", st.Budget>>20, st.Pages)
+	}
+}
+
+// logPoolStats reports the buffer pool's cumulative page traffic — the
+// hit/miss/eviction profile of the whole run against the pool budget.
+func logPoolStats(tbl *hdb.Table) {
+	st, ok := tbl.PoolStats()
+	if !ok {
+		return
+	}
+	total := st.Hits + st.Misses
+	hitPct := 0.0
+	if total > 0 {
+		hitPct = 100 * float64(st.Hits) / float64(total)
+	}
+	fmt.Printf("pool: hits=%d misses=%d (%.1f%% hit) evictions=%d resident=%dMB of %dMB\n",
+		st.Hits, st.Misses, hitPct, st.Evictions, st.ResidentBytes>>20, st.Budget>>20)
 }
 
 // parseWhere parses "attr=code,attr=code" into a query (for the offline

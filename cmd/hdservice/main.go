@@ -81,6 +81,9 @@ func main() {
 		k       = flag.Int("k", 100, "offline top-k")
 		seed    = flag.Int64("seed", 1, "offline generator seed")
 
+		indexMode  = flag.String("index-mode", "hybrid", "offline index storage: hybrid (RAM), dense (all-bitmap RAM), paged (disk-backed postings behind a pinning buffer pool; serves beyond-RAM datasets)")
+		poolBudget = flag.Int("pool-budget-mb", 512, "buffer-pool byte budget for -index-mode paged, in MiB")
+
 		batch      = flag.Bool("batch", false, "run every job's workers as a lockstep cohort with batched, deduplicated probes (same estimates, fewer queries)")
 		store      = flag.String("store", "", "job-checkpoint directory: jobs survive restarts and resume on boot (empty = not durable)")
 		ckptEvery  = flag.Int("checkpoint-every", 4, "rounds between job checkpoints (with -store)")
@@ -118,7 +121,7 @@ func main() {
 	if *rows > 0 {
 		*m = *rows
 	}
-	backend, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed)
+	backend, err := connect(ctx, *urlFlag, *dataset, *m, *n, *k, *seed, *indexMode, *poolBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -318,7 +321,7 @@ func backendName(url, dataset string) string {
 	return dataset
 }
 
-func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) (hdb.Interface, error) {
+func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64, indexMode string, poolMB int) (hdb.Interface, error) {
 	if url != "" {
 		return webform.Dial(url, webform.WithDialContext(ctx))
 	}
@@ -327,6 +330,15 @@ func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) 
 		err error
 	)
 	var opts []hdb.TableOption
+	switch indexMode {
+	case "", "hybrid":
+	case "dense":
+		opts = append(opts, hdb.WithIndexMode(hdb.IndexDense))
+	case "paged":
+		opts = append(opts, hdb.WithIndexMode(hdb.IndexPaged), hdb.WithPoolBudget(int64(poolMB)<<20))
+	default:
+		return nil, fmt.Errorf("unknown -index-mode %q (hybrid, dense, paged)", indexMode)
+	}
 	switch dataset {
 	case "auto":
 		d, err = datagen.Auto(m, seed)
@@ -347,7 +359,12 @@ func connect(ctx context.Context, url, dataset string, m, n, k int, seed int64) 
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("index: %d rows, %d bytes", tbl.Size(), tbl.IndexBytes())
+	if st, ok := tbl.PoolStats(); ok {
+		log.Printf("index: %d rows, %d bytes on disk (paged, pool budget %dMB over %d pages)",
+			tbl.Size(), tbl.IndexBytes(), st.Budget>>20, st.Pages)
+	} else {
+		log.Printf("index: %d rows, %d bytes", tbl.Size(), tbl.IndexBytes())
+	}
 	return tbl, nil
 }
 

@@ -122,23 +122,24 @@ func (s *Set) AndCountUpTo(o *Set, limit int) int {
 	for i, w := range s.words {
 		c += bits.OnesCount64(w & o.words[i])
 		if c > limit {
-			return c
+			return limit + 1
 		}
 	}
 	return c
 }
 
-// CountUpTo counts set bits but stops as soon as the count exceeds limit —
-// the single-set counterpart of AndCountUpTo, used by prefix cursors probing
-// below an unconstrained (universe) prefix. The result is exact when it is
-// <= limit; any value > limit only means "more than limit" (the word-granular
-// early exit may overshoot within the final word counted).
+// CountUpTo returns min(count, limit+1): it counts set bits but stops as
+// soon as the count exceeds limit — the single-set counterpart of
+// AndCountUpTo, used by prefix cursors probing below an unconstrained
+// (universe) prefix. The result is exact when it is <= limit; limit+1 means
+// "more than limit". The word-granular early exit clamps its overshoot so
+// the value matches the hybrid and paged containers' clamped counts exactly.
 func (s *Set) CountUpTo(limit int) int {
 	c := 0
 	for _, w := range s.words {
 		c += bits.OnesCount64(w)
 		if c > limit {
-			return c
+			return limit + 1
 		}
 	}
 	return c

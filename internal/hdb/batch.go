@@ -85,11 +85,31 @@ func (c *tableCursor) ProbeBatch(attr int, values []uint16, out []Result) error 
 	for i := range bufs {
 		bufs[i] = bufs[i][:0]
 	}
-	if prefix := c.top(); prefix == nil {
+	prefix, err := c.top()
+	if err != nil {
+		return err
+	}
+	switch {
+	case t.mode == IndexPaged:
+		pposts := c.pposts[:0]
+		for _, v := range values {
+			pposts = append(pposts, t.pindex[attr][v])
+		}
+		c.pposts = pposts
+		if prefix == nil {
+			for i, pl := range pposts {
+				if bufs[i], err = pl.FirstN(bufs[i], t.k+1); err != nil {
+					return err
+				}
+			}
+		} else if err = posting.AndFirstNManyPaged(bufs, t.k+1, prefix, pposts); err != nil {
+			return err
+		}
+	case prefix == nil:
 		for i, v := range values {
 			bufs[i] = t.index[attr][v].FirstN(bufs[i], t.k+1)
 		}
-	} else {
+	default:
 		posts := c.posts[:0]
 		for _, v := range values {
 			posts = append(posts, t.index[attr][v])

@@ -98,9 +98,10 @@ type tableCursor struct {
 	// ProbeBatch scratch, grown to the largest sibling set seen and reused
 	// across rounds so the warm batched probe path allocates nothing beyond
 	// the Results' tuple slices.
-	bufs  [][]int         // per-branch k+1-bounded rank buffers
-	posts []*posting.List // per-branch posting operands
-	mcur  []int           // per-branch galloping cursors (AndFirstNMany)
+	bufs   [][]int              // per-branch k+1-bounded rank buffers
+	posts  []*posting.List      // per-branch posting operands
+	pposts []*posting.PagedList // per-branch paged posting operands (IndexPaged)
+	mcur   []int                // per-branch galloping cursors (AndFirstNMany)
 }
 
 // NewCursor implements CursorProvider: an incremental evaluation handle
@@ -148,15 +149,24 @@ func (c *tableCursor) checkProbe(attr int, value uint16) error {
 }
 
 // top materialises any outstanding prefix levels and returns the prefix
-// set, or nil for the empty prefix (the whole table).
-func (c *tableCursor) top() *posting.Mutable {
+// set, or nil for the empty prefix (the whole table). Only the paged index
+// can fail here (page faults hit disk); RAM modes never return an error.
+func (c *tableCursor) top() (*posting.Mutable, error) {
+	paged := c.t.mode == IndexPaged
 	for c.mat < len(c.preds) {
 		p := c.preds[c.mat]
-		post := c.t.index[p.Attr][p.Value]
 		if c.mat == 0 {
-			// Depth-1 prefix IS the posting container: borrow it read-only
-			// instead of copying.
-			c.top0.Borrow(post)
+			if paged {
+				// Disk-resident storage cannot be aliased: the depth-1 prefix
+				// copies through the cursor's owned buffers instead.
+				if err := posting.MaterializePaged(&c.top0, c.t.pindex[p.Attr][p.Value]); err != nil {
+					return nil, err
+				}
+			} else {
+				// Depth-1 prefix IS the posting container: borrow it
+				// read-only instead of copying.
+				c.top0.Borrow(c.t.index[p.Attr][p.Value])
+			}
 			c.tops = append(c.tops[:0], &c.top0)
 			c.mat = 1
 			continue
@@ -169,19 +179,23 @@ func (c *tableCursor) top() *posting.Mutable {
 			dst = new(posting.Mutable)
 			c.own[c.mat-1] = dst
 		}
-		if c.t.mode == IndexDense {
+		if paged {
+			if err := posting.AndIntoPaged(dst, c.tops[c.mat-1], c.t.pindex[p.Attr][p.Value]); err != nil {
+				return nil, err
+			}
+		} else if c.t.mode == IndexDense {
 			// Faithful pre-hybrid baseline: dense prefixes never collapse.
-			posting.AndIntoDense(dst, c.tops[c.mat-1], post)
+			posting.AndIntoDense(dst, c.tops[c.mat-1], c.t.index[p.Attr][p.Value])
 		} else {
-			posting.AndInto(dst, c.tops[c.mat-1], post)
+			posting.AndInto(dst, c.tops[c.mat-1], c.t.index[p.Attr][p.Value])
 		}
 		c.tops = append(c.tops[:c.mat], dst)
 		c.mat++
 	}
 	if c.mat == 0 {
-		return nil
+		return nil, nil
 	}
-	return c.tops[c.mat-1]
+	return c.tops[c.mat-1], nil
 }
 
 // Probe implements QueryCursor: one k+1-bounded container AND of the
@@ -192,12 +206,25 @@ func (c *tableCursor) Probe(attr int, value uint16) (Result, error) {
 		return Result{}, err
 	}
 	t := c.t
-	post := t.index[attr][value]
+	prefix, err := c.top()
+	if err != nil {
+		return Result{}, err
+	}
 	var idx []int
-	if prefix := c.top(); prefix == nil {
-		idx = post.FirstN(c.idx[:0], t.k+1)
+	if t.mode == IndexPaged {
+		pl := t.pindex[attr][value]
+		if prefix == nil {
+			idx, err = pl.FirstN(c.idx[:0], t.k+1)
+		} else {
+			idx, err = posting.AndFirstNPaged(c.idx[:0], t.k+1, prefix, pl)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	} else if prefix == nil {
+		idx = t.index[attr][value].FirstN(c.idx[:0], t.k+1)
 	} else {
-		idx = posting.AndFirstN(c.idx[:0], t.k+1, prefix, post)
+		idx = posting.AndFirstN(c.idx[:0], t.k+1, prefix, t.index[attr][value])
 	}
 	c.idx = idx
 	overflow := len(idx) > t.k
@@ -220,12 +247,25 @@ func (c *tableCursor) ProbeCount(attr int, value uint16) (int, bool, error) {
 		return 0, false, err
 	}
 	t := c.t
-	post := t.index[attr][value]
+	prefix, err := c.top()
+	if err != nil {
+		return 0, false, err
+	}
 	var n int
-	if prefix := c.top(); prefix == nil {
-		n = post.CountUpTo(t.k)
+	if t.mode == IndexPaged {
+		pl := t.pindex[attr][value]
+		if prefix == nil {
+			n = pl.CountUpTo(t.k) // resident cardinality: no page touch
+		} else {
+			n, err = posting.AndCountUpToPaged(prefix, pl, t.k)
+			if err != nil {
+				return 0, false, err
+			}
+		}
+	} else if prefix == nil {
+		n = t.index[attr][value].CountUpTo(t.k)
 	} else {
-		n = posting.AndCountUpTo(prefix, post, t.k)
+		n = posting.AndCountUpTo(prefix, t.index[attr][value], t.k)
 	}
 	if n > t.k {
 		return t.k, true, nil

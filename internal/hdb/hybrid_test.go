@@ -12,13 +12,11 @@ import (
 // engine) table — the container representation must never change a single
 // answer or charge.
 
-// randomHybridTables builds the same random table twice — hybrid (auto
-// container selection) and dense — engineered so the auto index actually
-// mixes representations: a high-fanout attribute yields sparse array
-// postings, a rank-clustered attribute yields run postings, and low-fanout
-// attributes yield bitmaps.
-func randomHybridTables(t testing.TB, rnd *rand.Rand) (hybrid, dense *Table) {
-	t.Helper()
+// randomTableSpec draws a random schema, k, and tuple set engineered so
+// auto container selection mixes representations: a high-fanout attribute
+// yields sparse array postings, a rank-clustered attribute yields run
+// postings, and low-fanout attributes yield bitmaps.
+func randomTableSpec(rnd *rand.Rand) (Schema, int, []Tuple) {
 	nExtra := 1 + rnd.Intn(3)
 	attrs := []Attribute{
 		{Name: "wide", Dom: 16 + rnd.Intn(48)}, // sparse postings -> arrays
@@ -40,7 +38,14 @@ func randomHybridTables(t testing.TB, rnd *rand.Rand) (hybrid, dense *Table) {
 		}
 		tuples[i] = tp
 	}
-	k := 1 + rnd.Intn(6)
+	return schema, 1 + rnd.Intn(6), tuples
+}
+
+// randomHybridTables builds the same random table twice — hybrid (auto
+// container selection) and dense.
+func randomHybridTables(t testing.TB, rnd *rand.Rand) (hybrid, dense *Table) {
+	t.Helper()
+	schema, k, tuples := randomTableSpec(rnd)
 	var err error
 	// Duplicates are fine here: both backends see the same tuples, and the
 	// engine itself is well-defined with them.
@@ -91,7 +96,7 @@ func hybridOpSeq(t *testing.T, hybrid, dense *Table, ops []byte) {
 		attr := int(a) % len(schema.Attrs)
 		val := uint16(int(v) % schema.Attrs[attr].Dom)
 
-		switch op % 6 {
+		switch op % 7 {
 		case 0: // flat query on a random conjunction derived from the stream
 			qb.Reset(Query{})
 			used := attr
@@ -159,6 +164,27 @@ func hybridOpSeq(t *testing.T, hybrid, dense *Table, ops []byte) {
 			hCur.Ascend()
 			dCur.Ascend()
 			prefix = prefix[:len(prefix)-1]
+		case 6: // batched sibling probe
+			vals := []uint16{val}
+			for len(ops) >= 1 && len(vals) < 6 && ops[0]%2 == 1 {
+				vals = append(vals, uint16(int(ops[0])%schema.Attrs[attr].Dom))
+				ops = ops[1:]
+			}
+			hOut := make([]Result, len(vals))
+			dOut := make([]Result, len(vals))
+			hErr := ProbeBatch(hCur, attr, vals, hOut)
+			dErr := ProbeBatch(dCur, attr, vals, dOut)
+			if (hErr != nil) != (dErr != nil) {
+				t.Fatalf("ProbeBatch(%d,%v) err: %v vs %v", attr, vals, hErr, dErr)
+			}
+			if hErr == nil {
+				for i := range vals {
+					if !sameResult(hOut[i], dOut[i]) {
+						t.Fatalf("ProbeBatch(%d,%v)[%d]: %+v vs %+v (prefix %v)",
+							attr, vals, i, hOut[i], dOut[i], prefix)
+					}
+				}
+			}
 		}
 	}
 	if hCtr.Count() != dCtr.Count() {

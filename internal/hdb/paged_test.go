@@ -1,0 +1,165 @@
+package hdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The paged ≡ hybrid property suite: the same lockstep op-sequence pattern
+// as hybrid ≡ dense, one storage tier down. An IndexPaged table — postings
+// on disk, resolved through the pinning buffer pool — must produce
+// bit-identical Results, counts, ground-truth aggregates and backend costs
+// to the RAM-resident hybrid table, at any pool budget. Half the trials run
+// with a one-page budget, so every sequence is also an eviction-storm test:
+// pages thrash constantly under the cursors and nothing may change.
+
+// randomPagedTables builds the same random table twice — paged (with the
+// given pool budget) and hybrid.
+func randomPagedTables(t testing.TB, rnd *rand.Rand, budget int64) (paged, hybrid *Table) {
+	t.Helper()
+	schema, k, tuples := randomTableSpec(rnd)
+	var err error
+	paged, err = NewTable(schema, k, tuples, WithDuplicatesAllowed(),
+		WithIndexMode(IndexPaged), WithPoolBudget(budget), WithPageDir(t.TempDir()))
+	if err != nil {
+		t.Fatalf("paged NewTable: %v", err)
+	}
+	hybrid, err = NewTable(schema, k, tuples, WithDuplicatesAllowed())
+	if err != nil {
+		t.Fatalf("hybrid NewTable: %v", err)
+	}
+	return paged, hybrid
+}
+
+// TestPagedMatchesHybridProperty is the paged ≡ hybrid property test over
+// random schemas, op sequences, and pool budgets.
+func TestPagedMatchesHybridProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 60; trial++ {
+		budget := int64(0) // one page: maximal eviction pressure
+		if trial%2 == 1 {
+			budget = 64 << 20
+		}
+		paged, hybrid := randomPagedTables(t, rnd, budget)
+		ops := make([]byte, 3*(20+rnd.Intn(80)))
+		rnd.Read(ops)
+		hybridOpSeq(t, paged, hybrid, ops)
+
+		if _, ok := hybrid.PoolStats(); ok {
+			t.Fatal("hybrid table reports a buffer pool")
+		}
+		st, ok := paged.PoolStats()
+		if !ok {
+			t.Fatal("paged table reports no buffer pool")
+		}
+		if st.PinnedBytes != 0 {
+			t.Fatalf("trial %d leaked pins: %+v", trial, st)
+		}
+		if budget == 0 && st.ResidentBytes != 0 && st.Hits+st.Misses > 0 &&
+			st.ResidentBytes > st.Budget+int64(64<<10) {
+			t.Fatalf("trial %d resident %d way over one-page budget: %+v", trial, st.ResidentBytes, st)
+		}
+		if paged.IndexBytes() == 0 {
+			t.Fatalf("trial %d paged IndexBytes = 0", trial)
+		}
+		if len(paged.IndexStats()) == 0 {
+			t.Fatalf("trial %d paged IndexStats empty", trial)
+		}
+	}
+}
+
+// FuzzPagedMatchesHybrid lets the fuzzer drive the op sequence through the
+// paged engine at one-page budget; the seed corpus runs in plain `go test`.
+func FuzzPagedMatchesHybrid(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 0, 4, 1, 1, 2, 0, 1, 5, 0, 0})
+	f.Add(int64(7), []byte{6, 0, 0, 4, 1, 0, 3, 2, 1, 5, 0, 0, 2, 0, 0, 1, 2, 2})
+	f.Add(int64(42), []byte{1, 3, 3, 4, 3, 3, 6, 0, 0, 3, 1, 1})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		rnd := rand.New(rand.NewSource(seed))
+		paged, hybrid := randomPagedTables(t, rnd, 0)
+		hybridOpSeq(t, paged, hybrid, ops)
+	})
+}
+
+// TestPagedConcurrentProbes hammers one paged table from many goroutines
+// under a one-page budget — concurrent faults, pin races and evictions —
+// and checks every answer against the RAM-resident reference. Run with
+// -race this is the pool's concurrency proof.
+func TestPagedConcurrentProbes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	paged, hybrid := randomPagedTables(t, rnd, 0)
+	schema := paged.Schema()
+
+	type probe struct {
+		attr int
+		val  uint16
+	}
+	const nWorkers, nProbes = 8, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		seed := int64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			cur, err := paged.NewCursor(Query{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cur.Close()
+			ref, err := hybrid.NewCursor(Query{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ref.Close()
+			depth := 0
+			for i := 0; i < nProbes; i++ {
+				p := probe{rnd.Intn(len(schema.Attrs)), 0}
+				p.val = uint16(rnd.Intn(schema.Attrs[p.attr].Dom))
+				switch rnd.Intn(4) {
+				case 0:
+					if cur.Depth() > 0 {
+						cur.Ascend()
+						ref.Ascend()
+						depth--
+						continue
+					}
+				case 1:
+					if depth < 2 {
+						if err := cur.Descend(p.attr, p.val); err == nil {
+							if err := ref.Descend(p.attr, p.val); err != nil {
+								errs <- err
+								return
+							}
+							depth++
+						}
+						continue
+					}
+				}
+				gr, gErr := cur.Probe(p.attr, p.val)
+				wr, wErr := ref.Probe(p.attr, p.val)
+				if (gErr != nil) != (wErr != nil) {
+					t.Errorf("Probe err mismatch: %v vs %v", gErr, wErr)
+					return
+				}
+				if gErr == nil && !sameResult(gr, wr) {
+					t.Errorf("Probe(%d,%d): paged %+v, hybrid %+v", p.attr, p.val, gr, wr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, _ := paged.PoolStats()
+	if st.PinnedBytes != 0 {
+		t.Fatalf("pins leaked after concurrent run: %+v", st)
+	}
+}

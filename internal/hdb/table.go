@@ -34,12 +34,14 @@ func RankByMeasure(i int) RankFunc {
 type Table struct {
 	schema  Schema
 	k       int
-	mode    IndexMode         // container policy; IndexDense pins the pre-hybrid engine
-	tuples  []Tuple           // in rank order
-	index   [][]*posting.List // index[attr][value], hybrid posting container of matching ranks
-	selRank []int             // selRank[attr] = intersection position (most selective first)
-	scratch sync.Pool         // *tableScratch, keeps Query allocation-free and concurrency-safe
-	cursors sync.Pool         // *tableCursor, reuses prefix-set stacks across cursors
+	mode    IndexMode              // container policy; IndexDense pins the pre-hybrid engine
+	tuples  []Tuple                // in rank order
+	index   [][]*posting.List      // index[attr][value] (IndexAuto/IndexDense)
+	pindex  [][]*posting.PagedList // index[attr][value] (IndexPaged): resident directories, payloads on disk
+	pool    *posting.Pool          // buffer pool serving pindex's page file (IndexPaged only)
+	selRank []int                  // selRank[attr] = intersection position (most selective first)
+	scratch sync.Pool              // *tableScratch, keeps Query allocation-free and concurrency-safe
+	cursors sync.Pool              // *tableCursor, reuses prefix-set stacks across cursors
 }
 
 // tableScratch holds per-evaluation buffers. Pooled rather than owned by the
@@ -50,6 +52,9 @@ type tableScratch struct {
 	ranks   []int           // selRank of each entry in sets, for the insertion sort
 	idx     []int           // first-k+1 intersection indices
 	gallops []int           // per-probe galloping cursors for IntersectFirstN
+
+	psets  []*posting.PagedList // paged predicate postings, most selective first
+	probes []posting.PagedProbe // per-probe paged cursors for IntersectFirstNPaged
 }
 
 // IndexMode selects the posting-container policy of a table's index.
@@ -65,6 +70,12 @@ const (
 	// hybrid≡dense property suite runs every op through both modes) and as
 	// the benchmark reference the hybrid index is measured against.
 	IndexDense
+	// IndexPaged stores posting payloads in an unlinked temp page file and
+	// resolves them through a pinning buffer pool with a hard byte budget
+	// (WithPoolBudget) — the beyond-RAM configuration. Only segment
+	// directories stay resident, so index memory is O(postings), not
+	// O(payload); all query semantics are bit-identical to IndexAuto.
+	IndexPaged
 )
 
 // TableOption configures table construction.
@@ -74,11 +85,32 @@ type tableConfig struct {
 	rank           RankFunc
 	allowDuplicate bool
 	indexMode      IndexMode
+	poolBudget     int64
+	pageDir        string
 }
+
+// DefaultPoolBudget is the paged index's buffer-pool byte budget when
+// WithPoolBudget is not given: large enough to keep a mid-size working set
+// hot, small enough that a beyond-RAM table really is beyond RAM.
+const DefaultPoolBudget = 512 << 20
 
 // WithIndexMode sets the posting-container policy (default IndexAuto).
 func WithIndexMode(m IndexMode) TableOption {
 	return func(c *tableConfig) { c.indexMode = m }
+}
+
+// WithPoolBudget caps the paged index's buffer pool at the given decoded
+// bytes (IndexPaged only; default DefaultPoolBudget). Values <= 0 mean one
+// page — maximal eviction pressure, used by the paged property tests.
+func WithPoolBudget(bytes int64) TableOption {
+	return func(c *tableConfig) { c.poolBudget = bytes }
+}
+
+// WithPageDir sets the directory holding the paged index's (unlinked) temp
+// page file (IndexPaged only; default the OS temp dir). Point it at the
+// filesystem whose capacity and speed should back the index.
+func WithPageDir(dir string) TableOption {
+	return func(c *tableConfig) { c.pageDir = dir }
 }
 
 // WithRanking sets the interface's ranking function.
@@ -97,7 +129,7 @@ func WithDuplicatesAllowed() TableOption {
 // tuples. It validates the schema, every tuple's shape and domain bounds,
 // and (by default) the paper's no-duplicates assumption.
 func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table, error) {
-	cfg := tableConfig{rank: RankByInsertion}
+	cfg := tableConfig{rank: RankByInsertion, poolBudget: DefaultPoolBudget}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -151,7 +183,13 @@ func NewTable(schema Schema, k int, tuples []Tuple, opts ...TableOption) (*Table
 	}
 
 	t := &Table{schema: schema, k: k, mode: cfg.indexMode, tuples: sorted}
-	t.buildIndex(cfg.indexMode)
+	if cfg.indexMode == IndexPaged {
+		if err := t.buildPagedIndex(cfg.pageDir, cfg.poolBudget); err != nil {
+			return nil, err
+		}
+	} else {
+		t.buildIndex(cfg.indexMode)
+	}
 	t.buildSelOrder()
 	t.scratch.New = func() any { return new(tableScratch) }
 	t.cursors.New = func() any { return new(tableCursor) }
@@ -199,6 +237,25 @@ func (t *Table) orderedSets(q Query, sc *tableScratch) []*posting.List {
 	return sets
 }
 
+// orderedPagedSets is orderedSets for IndexPaged, over the resident
+// directories.
+func (t *Table) orderedPagedSets(q Query, sc *tableScratch) []*posting.PagedList {
+	sets, ranks := sc.psets[:0], sc.ranks[:0]
+	for _, p := range q.Preds {
+		r := t.selRank[p.Attr]
+		s := t.pindex[p.Attr][p.Value]
+		i := len(sets)
+		sets, ranks = append(sets, nil), append(ranks, 0)
+		for i > 0 && ranks[i-1] > r {
+			sets[i], ranks[i] = sets[i-1], ranks[i-1]
+			i--
+		}
+		sets[i], ranks[i] = s, r
+	}
+	sc.psets, sc.ranks = sets, ranks
+	return sets
+}
+
 // buildIndex builds the per-(attribute, value) posting containers with two
 // tuple-major passes (count, then scatter): every value's ascending rank
 // list lands in its attribute's scratch buffer via counting sort — tuples
@@ -212,9 +269,68 @@ func (t *Table) buildIndex(mode IndexMode) {
 	n := len(t.tuples)
 	nAttrs := len(t.schema.Attrs)
 	t.index = make([][]*posting.List, nAttrs)
-	counts := make([][]int, nAttrs)
 	for ai, a := range t.schema.Attrs {
 		t.index[ai] = make([]*posting.List, a.Dom)
+	}
+	_ = t.scatterPostings(func(ai, v int, ranks []uint32) error {
+		t.index[ai][v] = posting.Build(n, ranks, mode == IndexDense)
+		return nil
+	})
+}
+
+// buildPagedIndex is buildIndex for IndexPaged: the same counting-sort
+// scatter, but each (attribute, value) rank segment streams to the page
+// writer instead of a RAM container, so peak build memory is the bounded
+// scatter buffers plus the tiny segment directories. The backing file is
+// created unlinked; the pool's file handle is the only thing keeping it
+// alive.
+func (t *Table) buildPagedIndex(dir string, budget int64) error {
+	n := len(t.tuples)
+	nAttrs := len(t.schema.Attrs)
+	f, err := posting.OpenPageFileTemp(dir)
+	if err != nil {
+		return err
+	}
+	pw := posting.NewPageWriter(f)
+	refs := make([][]posting.PostingRef, nAttrs)
+	for ai, a := range t.schema.Attrs {
+		refs[ai] = make([]posting.PostingRef, a.Dom)
+	}
+	if err := t.scatterPostings(func(ai, v int, ranks []uint32) error {
+		ref, err := pw.AppendPosting(n, ranks)
+		if err != nil {
+			return err
+		}
+		refs[ai][v] = ref
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	t.pool = posting.NewPool(f, pw.Pages(), budget)
+	t.pindex = make([][]*posting.PagedList, nAttrs)
+	for ai, a := range t.schema.Attrs {
+		t.pindex[ai] = make([]*posting.PagedList, a.Dom)
+		for v := 0; v < a.Dom; v++ {
+			t.pindex[ai][v] = posting.NewPagedList(t.pool, n, refs[ai][v])
+		}
+	}
+	return nil
+}
+
+// scatterPostings runs the two-pass (count, then chunked scatter) build and
+// calls emit once per (attribute, value) with that posting's ascending rank
+// list. Sibling values of one attribute are emitted consecutively in value
+// order — the paged build relies on it to co-locate sibling segments on
+// pages. The ranks slice is scratch reused across calls; emit must not
+// retain it.
+func (t *Table) scatterPostings(emit func(ai, v int, ranks []uint32) error) error {
+	n := len(t.tuples)
+	nAttrs := len(t.schema.Attrs)
+	counts := make([][]int, nAttrs)
+	for ai, a := range t.schema.Attrs {
 		counts[ai] = make([]int, a.Dom)
 	}
 	for i := range t.tuples {
@@ -273,11 +389,14 @@ func (t *Table) buildIndex(mode IndexMode) {
 			start := 0
 			for v := 0; v < t.schema.Attrs[ai].Dom; v++ {
 				end := start + counts[ai][v]
-				t.index[ai][v] = posting.Build(n, bufs[ci][start:end], mode == IndexDense)
+				if err := emit(ai, v, bufs[ci][start:end]); err != nil {
+					return err
+				}
 				start = end
 			}
 		}
 	}
+	return nil
 }
 
 // IndexStat summarises one container population of the table's index.
@@ -291,6 +410,21 @@ type IndexStat struct {
 // PERFORMANCE.md's memory tables, and the container-selection tests.
 func (t *Table) IndexStats() map[string]IndexStat {
 	stats := make(map[string]IndexStat, 3)
+	if t.mode == IndexPaged {
+		// Paged postings mix representations per segment; the taxonomy counts
+		// segments, which is the unit that actually picked a kind.
+		for _, vals := range t.pindex {
+			for _, l := range vals {
+				for _, sr := range l.SegRefs() {
+					s := stats[sr.Kind.String()]
+					s.Lists++
+					s.Bytes += int(sr.Bytes)
+					stats[sr.Kind.String()] = s
+				}
+			}
+		}
+		return stats
+	}
 	for _, vals := range t.index {
 		for _, l := range vals {
 			s := stats[l.Kind().String()]
@@ -302,15 +436,36 @@ func (t *Table) IndexStats() map[string]IndexStat {
 	return stats
 }
 
-// IndexBytes returns the total payload bytes of the posting index.
+// IndexBytes returns the total payload bytes of the posting index (encoded
+// on-disk bytes for IndexPaged).
 func (t *Table) IndexBytes() int {
 	total := 0
+	if t.mode == IndexPaged {
+		for _, vals := range t.pindex {
+			for _, l := range vals {
+				total += l.Bytes()
+			}
+		}
+		return total
+	}
 	for _, vals := range t.index {
 		for _, l := range vals {
 			total += l.Bytes()
 		}
 	}
 	return total
+}
+
+// IndexMode returns the table's posting-container policy.
+func (t *Table) IndexMode() IndexMode { return t.mode }
+
+// PoolStats snapshots the paged index's buffer-pool counters; ok is false
+// for RAM-resident index modes, which have no pool.
+func (t *Table) PoolStats() (posting.PoolStats, bool) {
+	if t.pool == nil {
+		return posting.PoolStats{}, false
+	}
+	return t.pool.Stats(), true
 }
 
 // Schema returns the searchable schema (the "form" a user sees).
@@ -332,8 +487,17 @@ func (t *Table) Query(q Query) (Result, error) {
 		return t.resultFromAll()
 	}
 	sc := t.scratch.Get().(*tableScratch)
-	sets := t.orderedSets(q, sc)
-	idx := posting.IntersectFirstN(sc.idx[:0], t.k+1, sets, &sc.gallops)
+	var idx []int
+	if t.mode == IndexPaged {
+		var err error
+		idx, err = posting.IntersectFirstNPaged(sc.idx[:0], t.k+1, t.orderedPagedSets(q, sc), &sc.probes)
+		if err != nil {
+			t.scratch.Put(sc)
+			return Result{}, err
+		}
+	} else {
+		idx = posting.IntersectFirstN(sc.idx[:0], t.k+1, t.orderedSets(q, sc), &sc.gallops)
+	}
 	sc.idx = idx
 	overflow := len(idx) > t.k
 	if overflow {
@@ -353,9 +517,12 @@ func (t *Table) Query(q Query) (Result, error) {
 // posting drives and the rest answer membership probes — O(min cardinality
 // · predicates) instead of O(rows · predicates / 64); the all-dense case
 // keeps the word-streaming AND with its empty-intersection early exit.
-func (t *Table) select_(q Query) *bitset.Set {
+func (t *Table) select_(q Query) (*bitset.Set, error) {
 	if len(q.Preds) == 0 {
-		return nil
+		return nil, nil
+	}
+	if t.mode == IndexPaged {
+		return t.selectPaged(q)
 	}
 	sc := t.scratch.Get().(*tableScratch)
 	sets := t.orderedSets(q, sc)
@@ -392,7 +559,61 @@ func (t *Table) select_(q Query) *bitset.Set {
 		})
 	}
 	t.scratch.Put(sc)
-	return acc
+	return acc, nil
+}
+
+// selectPaged materialises Sel(q) from the paged index: the smallest posting
+// drives a full ascending walk and the rest answer membership probes through
+// PagedProbe cursors, so the pass pins O(predicates) pages at a time however
+// large the selection is.
+func (t *Table) selectPaged(q Query) (*bitset.Set, error) {
+	sc := t.scratch.Get().(*tableScratch)
+	defer t.scratch.Put(sc)
+	sets := t.orderedPagedSets(q, sc)
+	best := 0
+	for i := 1; i < len(sets); i++ {
+		if sets[i].Card() < sets[best].Card() {
+			best = i
+		}
+	}
+	sets[0], sets[best] = sets[best], sets[0]
+	driver := sets[0]
+	acc := bitset.New(len(t.tuples))
+	if driver.Card() == 0 {
+		return acc, nil
+	}
+	if cap(sc.probes) < len(sets)-1 {
+		sc.probes = make([]posting.PagedProbe, len(sets)-1)
+	}
+	pr := sc.probes[:len(sets)-1]
+	for i := range pr {
+		pr[i].Reset(sets[i+1])
+	}
+	var perr error
+	err := driver.ForEach(func(i int) bool {
+		for pi := range pr {
+			ok, e := pr[pi].Contains(uint32(i))
+			if e != nil {
+				perr = e
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		acc.Add(i)
+		return true
+	})
+	for i := range pr {
+		pr[i].Close()
+	}
+	if perr != nil {
+		err = perr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return acc, nil
 }
 
 func (t *Table) resultFromAll() (Result, error) {
@@ -415,7 +636,10 @@ func (t *Table) SelCount(q Query) (int, error) {
 	if err := q.Validate(t.schema); err != nil {
 		return 0, err
 	}
-	sel := t.select_(q)
+	sel, err := t.select_(q)
+	if err != nil {
+		return 0, err
+	}
 	if sel == nil {
 		return len(t.tuples), nil
 	}
@@ -432,7 +656,10 @@ func (t *Table) SumMeasure(measure string, q Query) (float64, error) {
 	if err := q.Validate(t.schema); err != nil {
 		return 0, err
 	}
-	sel := t.select_(q)
+	sel, err := t.select_(q)
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	if sel == nil {
 		for _, tp := range t.tuples {
@@ -457,7 +684,10 @@ func (t *Table) SumAttr(attr int, q Query) (float64, error) {
 	if err := q.Validate(t.schema); err != nil {
 		return 0, err
 	}
-	sel := t.select_(q)
+	sel, err := t.select_(q)
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	if sel == nil {
 		for _, tp := range t.tuples {

@@ -58,9 +58,11 @@ func AndFirstN(dst []int, n int, m *Mutable, l *List) []int {
 	return andFirstN(dst, n, m.span(), l.span())
 }
 
-// AndCountUpTo returns min-style |prefix ∩ l| with early exit past limit:
-// exact when <= limit, "more than limit" otherwise — the count-only cursor
-// probe primitive.
+// AndCountUpTo returns min(|prefix ∩ l|, limit+1) with early exit past
+// limit: exact when <= limit, the sentinel limit+1 ("more than limit")
+// otherwise — the count-only cursor probe primitive. The clamp holds on
+// every (kind, kind) dispatch pair, so callers see identical values no
+// matter which representations the operands picked.
 func AndCountUpTo(m *Mutable, l *List, limit int) int {
 	if m.kind == KindBitmap && l.kind == KindBitmap {
 		return m.bm.AndCountUpTo(l.bm, limit)
@@ -230,7 +232,7 @@ func andCountUpTo(a, b span, limit int) int {
 				lo, hi := max(a.runs[i].Start, b.runs[j].Start), min(a.runs[i].End, b.runs[j].End)
 				if lo < hi {
 					if c += int(hi - lo); c > limit {
-						return c
+						return limit + 1
 					}
 				}
 				if a.runs[i].End <= b.runs[j].End {
@@ -243,7 +245,7 @@ func andCountUpTo(a, b span, limit int) int {
 			words := b.bm.Words()
 			for _, run := range a.runs {
 				if c += onesCountRange(words, run.Start, run.End); c > limit {
-					return c
+					return limit + 1
 				}
 			}
 		}

@@ -1,0 +1,258 @@
+package posting
+
+import "math/bits"
+
+// This file is the query-facing layer of the paged posting engine: PagedList
+// is the disk-backed counterpart of List, resolving its members through a
+// pinning buffer pool (pool.go) over the page file (pagefile.go). A
+// PagedList itself is tiny — a segment directory plus counters — so a
+// 100M-row index keeps only directories resident and streams payloads
+// through the pool's byte budget.
+//
+// The iteration contract mirrors the RAM engine exactly: every operation
+// enumerates ranks ascending and k-bounded operations stop at the bound, so
+// a probe pins only the segment-list prefix it actually reads — typically a
+// single page. Methods that fault pages return an error (disk I/O and
+// checksum verification can fail); the pure-directory accessors (Card,
+// CountUpTo) stay infallible and O(1).
+
+// PagedList is an immutable posting whose payload lives in a page file,
+// resolved through a Pool. Construct with NewPagedList; the zero value is an
+// empty posting that touches no pages.
+type PagedList struct {
+	pool  *Pool
+	n     int // universe size in ranks
+	card  int
+	bytes int // encoded payload bytes (headers included)
+	segs  []SegRef
+}
+
+// NewPagedList binds a built posting's directory entry to the pool serving
+// its page file.
+func NewPagedList(pool *Pool, n int, ref PostingRef) *PagedList {
+	return &PagedList{pool: pool, n: n, card: ref.Card, bytes: ref.Bytes, segs: ref.Segs}
+}
+
+// Card returns the member count (resident; no page touch).
+func (l *PagedList) Card() int { return l.card }
+
+// Universe returns the universe size in ranks.
+func (l *PagedList) Universe() int { return l.n }
+
+// Bytes returns the encoded on-disk payload bytes of this posting.
+func (l *PagedList) Bytes() int { return l.bytes }
+
+// SegRefs returns the resident segment directory (read-only; stats and
+// tests).
+func (l *PagedList) SegRefs() []SegRef { return l.segs }
+
+// CountUpTo returns min(count, limit+1) — the same clamp as List.CountUpTo
+// and bitset.Set.CountUpTo, from the resident cardinality, so a probe below
+// an unconstrained prefix never touches a page.
+func (l *PagedList) CountUpTo(limit int) int {
+	if l.card > limit {
+		return limit + 1
+	}
+	return l.card
+}
+
+// pinSeg pins the page holding segment si and returns its decoded view. The
+// caller must unpin the page when done with the segment.
+func (l *PagedList) pinSeg(si int) (*page, *pageSeg, error) {
+	ref := &l.segs[si]
+	pg, err := l.pool.pin(ref.Page)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pg, &pg.segs[ref.Slot], nil
+}
+
+// forEachU32 enumerates members ascending until fn returns false, pinning
+// one segment's page at a time.
+func (l *PagedList) forEachU32(fn func(x uint32) bool) error {
+	for si := range l.segs {
+		pg, seg, err := l.pinSeg(si)
+		if err != nil {
+			return err
+		}
+		cont := segForEach(seg, fn)
+		l.pool.unpin(pg)
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ForEach calls fn for every member in ascending order until fn returns
+// false.
+func (l *PagedList) ForEach(fn func(i int) bool) error {
+	return l.forEachU32(func(x uint32) bool { return fn(int(x)) })
+}
+
+// FirstN appends the first n members (ascending) to dst; the pages pinned
+// are exactly those holding the answer prefix.
+func (l *PagedList) FirstN(dst []int, n int) ([]int, error) {
+	if n <= 0 {
+		return dst, nil
+	}
+	err := l.forEachU32(func(x uint32) bool {
+		dst = append(dst, int(x))
+		n--
+		return n > 0
+	})
+	return dst, err
+}
+
+// Indices returns all members ascending (tests; not a hot path).
+func (l *PagedList) Indices() ([]int, error) {
+	out := make([]int, 0, l.card)
+	err := l.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out, err
+}
+
+// ---------------------------------------------------------------------------
+// Segment primitives
+
+// segForEach enumerates one decoded segment's members ascending until fn
+// returns false; it reports whether enumeration ran to completion.
+func segForEach(seg *pageSeg, fn func(x uint32) bool) bool {
+	switch seg.kind {
+	case KindArray:
+		for _, r := range seg.arr {
+			if !fn(r) {
+				return false
+			}
+		}
+	case KindRuns:
+		for _, run := range seg.runs {
+			for r := run.Start; r < run.End; r++ {
+				if !fn(r) {
+					return false
+				}
+			}
+		}
+	default:
+		for j, w := range seg.wrds {
+			lo := (seg.base + uint32(j)) * 64
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				if !fn(lo + uint32(b)) {
+					return false
+				}
+				w &= w - 1
+			}
+		}
+	}
+	return true
+}
+
+// segContains is one ascending membership probe into a decoded segment,
+// advancing the caller's galloping cursor (array index or run index;
+// bitmaps need none).
+func segContains(seg *pageSeg, cur *int, x uint32) bool {
+	switch seg.kind {
+	case KindArray:
+		ci := gallopGE(seg.arr, *cur, x)
+		*cur = ci
+		return ci < len(seg.arr) && seg.arr[ci] == x
+	case KindRuns:
+		ci := gallopRunGE(seg.runs, *cur, x)
+		*cur = ci
+		return ci < len(seg.runs) && seg.runs[ci].Start <= x
+	default:
+		wi := int(x/64) - int(seg.base)
+		return wi >= 0 && wi < len(seg.wrds) && seg.wrds[wi]&(1<<(x%64)) != 0
+	}
+}
+
+// spanProber is a persistent ascending membership cursor over a span — the
+// probe half of a galloping intersection, reusable across segment visits
+// because ranks only move forward.
+type spanProber struct {
+	s   span
+	cur int
+}
+
+func (p *spanProber) contains(x uint32) bool {
+	switch p.s.kind {
+	case KindArray:
+		p.cur = gallopGE(p.s.arr, p.cur, x)
+		return p.cur < len(p.s.arr) && p.s.arr[p.cur] == x
+	case KindRuns:
+		p.cur = gallopRunGE(p.s.runs, p.cur, x)
+		return p.cur < len(p.s.runs) && p.s.runs[p.cur].Start <= x
+	default:
+		return p.s.bm.Words()[x/64]&(1<<(x%64)) != 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PagedProbe
+
+// PagedProbe is an ascending membership cursor over a PagedList: the paged
+// counterpart of the galloping probe cursors in IntersectFirstN. It keeps at
+// most one page pinned — the one holding the segment under the cursor — and
+// releases it as the probe sequence advances past the segment, so a multiway
+// intersection over paged lists pins O(operands) pages however large the
+// postings are. Probes must arrive in ascending rank order; Close releases
+// the pin (safe to call repeatedly). If the pinned page is evicted after
+// Close... it cannot be: the pin blocks eviction, and after advancing past a
+// segment the cursor re-faults whatever page the next segment needs, so
+// results are independent of pool pressure.
+type PagedProbe struct {
+	l   *PagedList
+	si  int      // index of the current (or next candidate) segment
+	pg  *page    // pinned page holding segment si, nil when none
+	seg *pageSeg // decoded view into pg
+	ci  int      // intra-segment galloping cursor
+}
+
+// Reset points the probe at the start of l, releasing any held pin.
+func (c *PagedProbe) Reset(l *PagedList) {
+	c.Close()
+	c.l = l
+	c.si = 0
+	c.ci = 0
+}
+
+// Close releases the held page pin, if any.
+func (c *PagedProbe) Close() {
+	if c.pg != nil {
+		c.l.pool.unpin(c.pg)
+		c.pg, c.seg = nil, nil
+	}
+}
+
+// Contains reports whether x is a member, faulting in the covering segment's
+// page if needed. Successive calls must pass ascending x.
+func (c *PagedProbe) Contains(x uint32) (bool, error) {
+	for {
+		if c.pg != nil {
+			ref := &c.l.segs[c.si]
+			if x < ref.End {
+				if x < ref.Start {
+					return false, nil
+				}
+				return segContains(c.seg, &c.ci, x), nil
+			}
+			c.l.pool.unpin(c.pg)
+			c.pg, c.seg = nil, nil
+			c.si++
+		}
+		segs := c.l.segs
+		for c.si < len(segs) && segs[c.si].End <= x {
+			c.si++
+		}
+		if c.si == len(segs) || x < segs[c.si].Start {
+			// Past the last segment, or in a gap between segments: a miss
+			// that needs no page fault.
+			return false, nil
+		}
+		pg, seg, err := c.l.pinSeg(c.si)
+		if err != nil {
+			return false, err
+		}
+		c.pg, c.seg, c.ci = pg, seg, 0
+	}
+}

@@ -1,0 +1,389 @@
+package posting
+
+import "math/bits"
+
+// The paged intersection kernels: the k-bounded AndFirstN / AndCountUpTo /
+// IntersectFirstN / AndFirstNMany surface evaluated against pinned pages,
+// never a materialised whole posting. The shared engine is andSegsPaged: it
+// walks a paged list's segment directory ascending, skips — without pinning —
+// every segment the prefix provably misses, and inside each visited segment
+// orients the intersection so the sparser side drives (the prefix's overlap
+// window vs the segment's cardinality). A selective prefix over a huge
+// posting therefore faults only the pages its own members land on, and a
+// k-bounded caller stops the walk at the answer prefix.
+
+// andSegsPaged streams prefix ∩ l in ascending rank order, calling emit per
+// matching rank until emit returns false. The prefix span must share l's
+// universe.
+func andSegsPaged(a span, l *PagedList, emit func(x uint32) bool) error {
+	if a.n != l.n {
+		panic("posting: universe mismatch")
+	}
+	if a.card == 0 || l.card == 0 {
+		return nil
+	}
+	pb := spanProber{s: a}
+	for si := range l.segs {
+		ref := &l.segs[si]
+		// Skip segments with no prefix member in [Start, End) — no pin, no
+		// fault. The prober cursor doubles as the skip cursor: ranks only
+		// move forward across segments.
+		switch a.kind {
+		case KindArray:
+			pb.cur = gallopGE(a.arr, pb.cur, ref.Start)
+			if pb.cur == len(a.arr) {
+				return nil
+			}
+			if a.arr[pb.cur] >= ref.End {
+				continue
+			}
+		case KindRuns:
+			pb.cur = gallopRunGE(a.runs, pb.cur, ref.Start)
+			if pb.cur == len(a.runs) {
+				return nil
+			}
+			if a.runs[pb.cur].Start >= ref.End {
+				continue
+			}
+		}
+		pg, seg, err := l.pinSeg(si)
+		if err != nil {
+			return err
+		}
+		done := !andSegVisit(a, &pb, seg, ref, emit)
+		l.pool.unpin(pg)
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// andSegVisit intersects the prefix's overlap window with one pinned
+// segment, emitting ascending; it reports whether to continue (emit never
+// returned false). pb.cur arrives positioned at the first prefix element (or
+// run) not before ref.Start and leaves positioned for the next segment.
+func andSegVisit(a span, pb *spanProber, seg *pageSeg, ref *SegRef, emit func(x uint32) bool) bool {
+	switch a.kind {
+	case KindArray:
+		lo := pb.cur
+		hi := gallopGE(a.arr, lo, ref.End)
+		pb.cur = hi
+		if hi-lo <= seg.card {
+			// Sparse window drives: one segment probe per prefix element.
+			ci := 0
+			for _, x := range a.arr[lo:hi] {
+				if segContains(seg, &ci, x) && !emit(x) {
+					return false
+				}
+			}
+			return true
+		}
+		// Dense window: the segment (≤ segMaxRanks members) drives and the
+		// window answers probes through its own galloping cursor.
+		w := spanProber{s: a, cur: lo}
+		return segForEach(seg, func(x uint32) bool {
+			if w.contains(x) {
+				return emit(x)
+			}
+			return true
+		})
+	case KindRuns:
+		lo := pb.cur
+		overlap := 0
+		hi := lo
+		for hi < len(a.runs) && a.runs[hi].Start < ref.End {
+			s, e := max(a.runs[hi].Start, ref.Start), min(a.runs[hi].End, ref.End)
+			if s < e {
+				overlap += int(e - s)
+			}
+			if a.runs[hi].End > ref.End {
+				break // straddles the boundary; the next segment reuses it
+			}
+			hi++
+		}
+		pb.cur = hi
+		if overlap <= seg.card {
+			ci := 0
+			for ri := lo; ri < len(a.runs) && a.runs[ri].Start < ref.End; ri++ {
+				s, e := max(a.runs[ri].Start, ref.Start), min(a.runs[ri].End, ref.End)
+				for x := s; x < e; x++ {
+					if segContains(seg, &ci, x) && !emit(x) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		w := spanProber{s: a, cur: lo}
+		return segForEach(seg, func(x uint32) bool {
+			if w.contains(x) {
+				return emit(x)
+			}
+			return true
+		})
+	default:
+		// Bitmap prefix: O(1) word tests; bitmap×bitmap windows AND word by
+		// word over the segment's window only.
+		aw := a.bm.Words()
+		if seg.kind == KindBitmap {
+			for j, w := range seg.wrds {
+				wi := int(seg.base) + j
+				w &= aw[wi]
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					if !emit(uint32(wi*64 + b)) {
+						return false
+					}
+					w &= w - 1
+				}
+			}
+			return true
+		}
+		return segForEach(seg, func(x uint32) bool {
+			if aw[x/64]&(1<<(x%64)) != 0 {
+				return emit(x)
+			}
+			return true
+		})
+	}
+}
+
+// AndFirstNPaged appends to dst the first n ranks of prefix ∩ l, ascending —
+// the paged cursor probe primitive (AndFirstN against a paged posting).
+func AndFirstNPaged(dst []int, n int, prefix *Mutable, l *PagedList) ([]int, error) {
+	if n <= 0 {
+		return dst, nil
+	}
+	err := andSegsPaged(prefix.span(), l, func(x uint32) bool {
+		dst = append(dst, int(x))
+		n--
+		return n > 0
+	})
+	return dst, err
+}
+
+// AndCountUpToPaged returns min(|prefix ∩ l|, limit+1) — the same clamp as
+// AndCountUpTo, with the segment walk stopping as soon as the count passes
+// limit.
+func AndCountUpToPaged(prefix *Mutable, l *PagedList, limit int) (int, error) {
+	c := 0
+	err := andSegsPaged(prefix.span(), l, func(x uint32) bool {
+		c++
+		return c <= limit
+	})
+	return c, err
+}
+
+// AndFirstNManyPaged appends to bufs[i] the first n ranks of prefix ∩
+// lists[i] for every i — the paged ProbeBatch kernel. The cross-branch
+// saving here is page-level, not pass-level: sibling postings of one
+// attribute were appended consecutively, so their segments share pages and
+// the pool serves every branch after the first from hot frames.
+func AndFirstNManyPaged(bufs [][]int, n int, prefix *Mutable, lists []*PagedList) error {
+	for i, l := range lists {
+		need := n - len(bufs[i])
+		if need <= 0 {
+			continue
+		}
+		b, err := AndFirstNPaged(bufs[i], need, prefix, l)
+		if err != nil {
+			return err
+		}
+		bufs[i] = b
+	}
+	return nil
+}
+
+// AndCountManyUpToPaged writes min(|prefix ∩ lists[i]|, limit+1) into
+// counts[i] for every i — the counting half of the paged batch probe.
+func AndCountManyUpToPaged(prefix *Mutable, lists []*PagedList, limit int, counts []int) error {
+	for i, l := range lists {
+		c, err := AndCountUpToPaged(prefix, l, limit)
+		if err != nil {
+			return err
+		}
+		counts[i] = c
+	}
+	return nil
+}
+
+// IntersectFirstNPaged appends to dst the first n ranks of the intersection
+// of all given paged lists — the paged flat-query kernel. The smallest list
+// drives; every other list answers ascending membership probes through a
+// PagedProbe, so the walk pins O(operands) pages at a time. *probes is
+// caller-owned cursor scratch grown on demand (nil allocates), matching the
+// RAM kernel's scratch contract.
+func IntersectFirstNPaged(dst []int, n int, lists []*PagedList, probes *[]PagedProbe) ([]int, error) {
+	if len(lists) == 0 || n <= 0 {
+		return dst, nil
+	}
+	for _, l := range lists[1:] {
+		if l.n != lists[0].n {
+			panic("posting: universe mismatch")
+		}
+	}
+	best := 0
+	for i := 1; i < len(lists); i++ {
+		if lists[i].card < lists[best].card {
+			best = i
+		}
+	}
+	lists[0], lists[best] = lists[best], lists[0]
+	driver := lists[0]
+	if driver.card == 0 {
+		return dst, nil
+	}
+	if len(lists) == 1 {
+		return driver.FirstN(dst, n)
+	}
+	var pr []PagedProbe
+	if probes != nil {
+		pr = *probes
+	}
+	if cap(pr) < len(lists)-1 {
+		pr = make([]PagedProbe, len(lists)-1)
+	} else {
+		pr = pr[:len(lists)-1]
+	}
+	if probes != nil {
+		*probes = pr
+	}
+	for i := range pr {
+		pr[i].Reset(lists[i+1])
+	}
+	var perr error
+	err := driver.forEachU32(func(x uint32) bool {
+		for i := range pr {
+			ok, e := pr[i].Contains(x)
+			if e != nil {
+				perr = e
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		dst = append(dst, int(x))
+		n--
+		return n > 0
+	})
+	for i := range pr {
+		pr[i].Close()
+	}
+	if perr != nil {
+		err = perr
+	}
+	return dst, err
+}
+
+// ---------------------------------------------------------------------------
+// Prefix materialisation
+
+// MaterializePaged overwrites dst with l's full membership, picking dst's
+// representation from the cardinality exactly like AndInto — the paged
+// counterpart of Mutable.Borrow for a cursor's depth-1 prefix, which cannot
+// alias disk-resident storage and so copies through the owned buffers
+// instead.
+func MaterializePaged(dst *Mutable, l *PagedList) error {
+	n := l.n
+	if l.card <= arrayCutoff(n) {
+		arr := dst.ownArr[:0]
+		if err := l.forEachU32(func(x uint32) bool {
+			arr = append(arr, x)
+			return true
+		}); err != nil {
+			return err
+		}
+		dst.setArray(n, arr)
+		return nil
+	}
+	bm := dst.ensureBM(n)
+	dw := bm.Words()
+	for i := range dw {
+		dw[i] = 0
+	}
+	for si := range l.segs {
+		pg, seg, err := l.pinSeg(si)
+		if err != nil {
+			return err
+		}
+		orSegWords(dw, seg)
+		l.pool.unpin(pg)
+	}
+	dst.kind, dst.n, dst.card = KindBitmap, n, l.card
+	dst.arr, dst.runs, dst.bm = nil, nil, bm
+	dst.borrowed = false
+	return nil
+}
+
+// orSegWords ORs one decoded segment's members into a full-universe word
+// slice.
+func orSegWords(dw []uint64, seg *pageSeg) {
+	switch seg.kind {
+	case KindArray:
+		for _, r := range seg.arr {
+			dw[r/64] |= 1 << (r % 64)
+		}
+	case KindRuns:
+		for _, run := range seg.runs {
+			if run.Start >= run.End {
+				continue
+			}
+			firstWord, lastWord := int(run.Start/64), int((run.End-1)/64)
+			for wi := firstWord; wi <= lastWord; wi++ {
+				dw[wi] |= rangeMask(wi, run.Start, run.End)
+			}
+		}
+	default:
+		for j, w := range seg.wrds {
+			dw[int(seg.base)+j] |= w
+		}
+	}
+}
+
+// AndIntoPaged overwrites dst with src ∩ l, choosing dst's representation
+// from the intersection cardinality — the paged cursor-prefix
+// materialisation primitive (AndInto against a paged posting). A counting
+// pre-pass bounded at the array cutoff picks the output shape; segments the
+// prefix misses are skipped unpinned in both passes.
+func AndIntoPaged(dst, src *Mutable, l *PagedList) error {
+	if dst == src {
+		panic("posting: AndIntoPaged dst must not alias src")
+	}
+	a := src.span()
+	n := a.n
+	cutoff := arrayCutoff(n)
+	c, err := AndCountUpToPaged(src, l, cutoff)
+	if err != nil {
+		return err
+	}
+	if c <= cutoff {
+		arr := dst.ownArr[:0]
+		if err := andSegsPaged(a, l, func(x uint32) bool {
+			arr = append(arr, x)
+			return true
+		}); err != nil {
+			return err
+		}
+		dst.setArray(n, arr)
+		return nil
+	}
+	bm := dst.ensureBM(n)
+	dw := bm.Words()
+	for i := range dw {
+		dw[i] = 0
+	}
+	card := 0
+	if err := andSegsPaged(a, l, func(x uint32) bool {
+		dw[x/64] |= 1 << (x % 64)
+		card++
+		return true
+	}); err != nil {
+		return err
+	}
+	dst.kind, dst.n, dst.card = KindBitmap, n, card
+	dst.arr, dst.runs, dst.bm = nil, nil, bm
+	dst.borrowed = false
+	return nil
+}

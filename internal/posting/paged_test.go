@@ -1,0 +1,432 @@
+package posting
+
+import (
+	"io"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// memFile is an in-memory io.ReaderAt/WriterAt page file for tests — same
+// interface the pool sees over a real file, without touching disk.
+type memFile struct{ b []byte }
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if need := int(off) + len(p); need > len(m.b) {
+		nb := make([]byte, need)
+		copy(nb, m.b)
+		m.b = nb
+	}
+	copy(m.b[off:], p)
+	return len(p), nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if int(off)+len(p) > len(m.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	copy(p, m.b[off:])
+	return len(p), nil
+}
+
+// buildPaged writes each rank set as one posting into an in-memory page file
+// and returns the pool plus the paged lists.
+func buildPaged(t testing.TB, n int, rankSets [][]uint32, budget int64) (*Pool, []*PagedList) {
+	t.Helper()
+	mf := &memFile{}
+	pw := NewPageWriter(mf)
+	refs := make([]PostingRef, len(rankSets))
+	for i, rs := range rankSets {
+		ref, err := pw.AppendPosting(n, rs)
+		if err != nil {
+			t.Fatalf("AppendPosting: %v", err)
+		}
+		refs[i] = ref
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	pool := NewPool(mf, pw.Pages(), budget)
+	lists := make([]*PagedList, len(rankSets))
+	for i, ref := range refs {
+		lists[i] = NewPagedList(pool, n, ref)
+	}
+	return pool, lists
+}
+
+// TestPagedMatchesList drives every paged kernel over random postings and
+// checks each against its RAM-resident hybrid counterpart, at a generous
+// budget and at a one-page budget that forces constant eviction — the
+// representation and the pool pressure must never change a single answer.
+func TestPagedMatchesList(t *testing.T) {
+	for _, budget := range []int64{0 /* one page */, 64 << 20} {
+		rnd := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 120; trial++ {
+			n := 1 + rnd.Intn(30000)
+			aRanks := mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0)
+			bRanks := mkRanks(rnd, n, pick(rnd, 0.002, 0.05, 0.5, 0.9), rnd.Intn(2) == 0)
+			cRanks := mkRanks(rnd, n, pick(rnd, 0.01, 0.3, 0.8), rnd.Intn(2) == 0)
+			_, paged := buildPaged(t, n, [][]uint32{aRanks, bRanks, cRanks}, budget)
+			pa, pb, pc := paged[0], paged[1], paged[2]
+			la, lb := Build(n, aRanks, false), Build(n, bRanks, false)
+			lc := Build(n, cRanks, false)
+
+			if got, err := pb.Indices(); err != nil || !equalInts(got, lb.Indices()) {
+				t.Fatalf("trial %d Indices: got %v (%v) want %v", trial, got, err, lb.Indices())
+			}
+			f := rnd.Intn(8)
+			if got, err := pb.FirstN(nil, f); err != nil || !equalInts(got, lb.FirstN(nil, f)) {
+				t.Fatalf("trial %d FirstN(%d): got %v (%v)", trial, f, got, err)
+			}
+
+			limit := rnd.Intn(12)
+			var ma Mutable
+			ma.Borrow(la)
+
+			wantN := AndFirstN(nil, limit+1, &ma, lb)
+			gotN, err := AndFirstNPaged(nil, limit+1, &ma, pb)
+			if err != nil || !equalInts(gotN, wantN) {
+				t.Fatalf("trial %d AndFirstNPaged: got %v (%v) want %v", trial, gotN, err, wantN)
+			}
+
+			wantC := AndCountUpTo(&ma, lb, limit)
+			gotC, err := AndCountUpToPaged(&ma, pb, limit)
+			if err != nil || gotC != wantC {
+				t.Fatalf("trial %d AndCountUpToPaged: got %d (%v) want %d", trial, gotC, err, wantC)
+			}
+
+			var dstWant, dstGot Mutable
+			AndInto(&dstWant, &ma, lb)
+			if err := AndIntoPaged(&dstGot, &ma, pb); err != nil {
+				t.Fatalf("trial %d AndIntoPaged: %v", trial, err)
+			}
+			if !equalInts(dstGot.Indices(), dstWant.Indices()) || dstGot.Card() != dstWant.Card() {
+				t.Fatalf("trial %d AndIntoPaged: got %v want %v", trial, dstGot.Indices(), dstWant.Indices())
+			}
+
+			// Chain one more level through the materialised paged prefix.
+			var dst2 Mutable
+			if err := AndIntoPaged(&dst2, &dstGot, pc); err != nil {
+				t.Fatalf("trial %d chained AndIntoPaged: %v", trial, err)
+			}
+			var want2 Mutable
+			AndInto(&want2, &dstWant, lc)
+			if !equalInts(dst2.Indices(), want2.Indices()) {
+				t.Fatalf("trial %d chained AndIntoPaged: got %v want %v", trial, dst2.Indices(), want2.Indices())
+			}
+
+			var mat Mutable
+			if err := MaterializePaged(&mat, pa); err != nil {
+				t.Fatalf("trial %d MaterializePaged: %v", trial, err)
+			}
+			if !equalInts(mat.Indices(), la.Indices()) || mat.Card() != la.Card() {
+				t.Fatalf("trial %d MaterializePaged: got %v want %v", trial, mat.Indices(), la.Indices())
+			}
+
+			want3 := IntersectFirstN(nil, limit+1, []*List{la, lb, lc}, nil)
+			got3, err := IntersectFirstNPaged(nil, limit+1, []*PagedList{pa, pb, pc}, nil)
+			if err != nil || !equalInts(got3, want3) {
+				t.Fatalf("trial %d IntersectFirstNPaged: got %v (%v) want %v", trial, got3, err, want3)
+			}
+
+			// Batched many-vs-one against the RAM kernel.
+			bufs := [][]int{nil, nil}
+			AndFirstNMany(bufs, limit+1, &ma, []*List{lb, lc}, nil)
+			pbufs := [][]int{nil, nil}
+			if err := AndFirstNManyPaged(pbufs, limit+1, &ma, []*PagedList{pb, pc}); err != nil {
+				t.Fatalf("trial %d AndFirstNManyPaged: %v", trial, err)
+			}
+			for i := range bufs {
+				if !equalInts(pbufs[i], bufs[i]) {
+					t.Fatalf("trial %d AndFirstNManyPaged[%d]: got %v want %v", trial, i, pbufs[i], bufs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCountUpToConformance is the cross-implementation clamp property: for
+// any member set and any limit, the dense bitset, the hybrid container and
+// the paged container return the identical min(count, limit+1) — no
+// representation may overshoot the sentinel.
+func TestCountUpToConformance(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rnd.Intn(5000)
+		ranks := mkRanks(rnd, n, pick(rnd, 0.0, 0.01, 0.3, 0.95), rnd.Intn(2) == 0)
+		dense := refSet(n, ranks)
+		hybrid := Build(n, ranks, rnd.Intn(3) == 0)
+		_, paged := buildPaged(t, n, [][]uint32{ranks}, 0)
+		for _, limit := range []int{0, 1, 2, len(ranks) - 1, len(ranks), len(ranks) + 1, n} {
+			if limit < 0 {
+				continue
+			}
+			want := len(ranks)
+			if want > limit {
+				want = limit + 1
+			}
+			if got := dense.CountUpTo(limit); got != want {
+				t.Fatalf("trial %d dense CountUpTo(%d) = %d, want %d", trial, limit, got, want)
+			}
+			if got := hybrid.CountUpTo(limit); got != want {
+				t.Fatalf("trial %d hybrid CountUpTo(%d) = %d, want %d", trial, limit, got, want)
+			}
+			if got := paged[0].CountUpTo(limit); got != want {
+				t.Fatalf("trial %d paged CountUpTo(%d) = %d, want %d", trial, limit, got, want)
+			}
+		}
+		// The two-operand clamp: AndCountUpTo against a full universe equals
+		// the single-set count, on all three implementations.
+		full := make([]uint32, n)
+		for i := range full {
+			full[i] = uint32(i)
+		}
+		lFull := Build(n, full, false)
+		var mFull Mutable
+		mFull.Borrow(lFull)
+		limit := rnd.Intn(n + 2)
+		want := len(ranks)
+		if want > limit {
+			want = limit + 1
+		}
+		if got := refSet(n, full).AndCountUpTo(dense, limit); got != want {
+			t.Fatalf("trial %d dense AndCountUpTo = %d, want %d", trial, got, want)
+		}
+		if got := AndCountUpTo(&mFull, hybrid, limit); got != want {
+			t.Fatalf("trial %d hybrid AndCountUpTo = %d, want %d", trial, got, want)
+		}
+		if got, err := AndCountUpToPaged(&mFull, paged[0], limit); err != nil || got != want {
+			t.Fatalf("trial %d paged AndCountUpTo = %d (%v), want %d", trial, got, err, want)
+		}
+	}
+}
+
+// TestRangeMaskTotal is the regression test for the end==0 underflow:
+// rangeMask must be total (empty ranges select no bits) and must agree with
+// the brute-force bit predicate at every word boundary.
+func TestRangeMaskTotal(t *testing.T) {
+	// The underflow case: end == 0 made (end-1)/64 wrap the uint32.
+	for _, wi := range []int{0, 1, 1 << 20} {
+		if got := rangeMask(wi, 0, 0); got != 0 {
+			t.Fatalf("rangeMask(%d, 0, 0) = %#x, want 0", wi, got)
+		}
+		if got := rangeMask(wi, 5, 0); got != 0 {
+			t.Fatalf("rangeMask(%d, 5, 0) = %#x, want 0", wi, got)
+		}
+		if got := rangeMask(wi, 7, 7); got != 0 {
+			t.Fatalf("rangeMask(%d, 7, 7) = %#x, want 0", wi, got)
+		}
+	}
+	// Word boundaries and interiors against the brute-force definition, for
+	// every word the range's word span covers (callers only iterate
+	// firstWord..lastWord, which is the helper's domain).
+	bounds := []uint32{0, 1, 63, 64, 65, 127, 128, 129, 191, 192}
+	for _, start := range bounds {
+		for _, end := range bounds {
+			if start >= end {
+				continue
+			}
+			for wi := int(start / 64); wi <= int((end-1)/64); wi++ {
+				var want uint64
+				for b := 0; b < 64; b++ {
+					x := uint32(wi*64 + b)
+					if x >= start && x < end {
+						want |= 1 << b
+					}
+				}
+				if got := rangeMask(wi, start, end); got != want {
+					t.Fatalf("rangeMask(%d, %d, %d) = %#x, want %#x", wi, start, end, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPagedEvictionMidCursor pins the eviction-boundary contract: with a
+// one-page budget, a probe cursor whose pages get evicted mid-walk (by
+// interleaved faults on other postings) transparently re-faults them and
+// returns bit-identical answers.
+func TestPagedEvictionMidCursor(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	const n = 1 << 21
+	// Two multi-page postings: sparse random ranks encode as array segments,
+	// ~32 KB per 8000-rank segment, so 40k ranks span several pages.
+	a := mkNRanks(rnd, n, 40000)
+	b := mkNRanks(rnd, n, 40000)
+	pool, paged := buildPaged(t, n, [][]uint32{a, b}, 0 /* one page */)
+	pa, pb := paged[0], paged[1]
+	if len(pa.SegRefs()) < 3 || pa.SegRefs()[0].Page == pa.SegRefs()[len(pa.SegRefs())-1].Page {
+		t.Fatalf("posting does not span multiple pages: %d segs", len(pa.SegRefs()))
+	}
+
+	var ca, cb PagedProbe
+	ca.Reset(pa)
+	cb.Reset(pb)
+	defer ca.Close()
+	defer cb.Close()
+	sb := refSet(n, b)
+	ai, bi := 0, 0
+	for ai < len(a) || bi < len(b) {
+		// Interleave ascending probes of both cursors; each fault under the
+		// one-page budget evicts whatever the other cursor is not pinning.
+		if bi >= len(b) || (ai < len(a) && a[ai] <= b[bi]) {
+			x := a[ai]
+			ai++
+			ok, err := ca.Contains(x)
+			if err != nil {
+				t.Fatalf("probe a(%d): %v", x, err)
+			}
+			if !ok {
+				t.Fatalf("probe a(%d): member reported absent after eviction", x)
+			}
+			// Cross-probe the other posting at the same rank.
+			ok, err = cb.Contains(x)
+			if err != nil {
+				t.Fatalf("cross-probe b(%d): %v", x, err)
+			}
+			if ok != sb.Contains(int(x)) {
+				t.Fatalf("cross-probe b(%d) = %v, want %v", x, ok, sb.Contains(int(x)))
+			}
+		} else {
+			bi++
+		}
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under one-page budget, stats: %+v", st)
+	}
+	if st.ResidentBytes > st.Budget+int64(PageSize) {
+		t.Fatalf("resident %d far exceeds budget %d", st.ResidentBytes, st.Budget)
+	}
+}
+
+// mkNRanks draws exactly k distinct ranks from [0, n), sorted.
+func mkNRanks(rnd *rand.Rand, n, k int) []uint32 {
+	seen := make(map[uint32]bool, k)
+	out := make([]uint32, 0, k)
+	for len(out) < k {
+		r := uint32(rnd.Intn(n))
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// TestPoolStats checks the pool bookkeeping: hits and misses add up, pins
+// block eviction, and the resident set obeys the budget once pins release.
+func TestPoolStats(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	const n = 1 << 21
+	ranks := mkNRanks(rnd, n, 60000)
+	pool, paged := buildPaged(t, n, [][]uint32{ranks}, 2*PageSize)
+	pl := paged[0]
+
+	if _, err := pl.Indices(); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Misses == 0 {
+		t.Fatalf("expected faults on first walk: %+v", st)
+	}
+	if st.PinnedBytes != 0 {
+		t.Fatalf("pins leaked after walk: %+v", st)
+	}
+	if _, err := pl.Indices(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := pool.Stats()
+	if st2.Hits == st.Hits && st2.Misses == st.Misses {
+		t.Fatalf("second walk recorded no pool traffic: %+v", st2)
+	}
+
+	// A held pin keeps the page resident and counted.
+	var c PagedProbe
+	c.Reset(pl)
+	if _, err := c.Contains(ranks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().PinnedBytes; got == 0 {
+		t.Fatal("held probe pin not reflected in PinnedBytes")
+	}
+	c.Close()
+	if got := pool.Stats().PinnedBytes; got != 0 {
+		t.Fatalf("PinnedBytes = %d after Close, want 0", got)
+	}
+}
+
+// FuzzPageCodec round-trips arbitrary rank sets through the page codec and
+// checks that corrupting any covered byte of a page is detected — the
+// checksum (or a structural validation) must reject it, never decode
+// garbage.
+func FuzzPageCodec(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint16(0))
+	f.Add(int64(2), uint16(9000), uint16(17))
+	f.Add(int64(3), uint16(40000), uint16(4000))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, corrupt uint16) {
+		rnd := rand.New(rand.NewSource(seed))
+		n := 1 << 20
+		k := int(kRaw)
+		if k > n {
+			k = n
+		}
+		var ranks []uint32
+		switch seed % 3 {
+		case 0:
+			ranks = mkNRanks(rnd, n, k)
+		case 1:
+			ranks = mkRanks(rnd, n, float64(k)/float64(n), true) // clustered → runs
+		default:
+			lo := rnd.Intn(n - k + 1)
+			ranks = seq(lo, lo+k) // one dense run
+		}
+
+		mf := &memFile{}
+		pw := NewPageWriter(mf)
+		ref, err := pw.AppendPosting(n, ranks)
+		if err != nil {
+			t.Fatalf("AppendPosting: %v", err)
+		}
+		if err := pw.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if ref.Card != len(ranks) {
+			t.Fatalf("ref.Card = %d, want %d", ref.Card, len(ranks))
+		}
+
+		// Round-trip: decode every page, reassemble the posting through the
+		// directory, compare exactly.
+		pool := NewPool(mf, pw.Pages(), 1<<30)
+		pl := NewPagedList(pool, n, ref)
+		got, err := pl.Indices()
+		if err != nil {
+			t.Fatalf("decode round-trip: %v", err)
+		}
+		if !equalInts(got, intsOf(ranks)) {
+			t.Fatalf("round-trip mismatch: %d members in, %d out", len(ranks), len(got))
+		}
+
+		if pw.Pages() == 0 {
+			return
+		}
+		// Corrupt one byte within the covered region (header + used payload)
+		// of some page; the read path must reject the page.
+		pageID := uint32(int(corrupt) % pw.Pages())
+		off := int64(pageID) * PageSize
+		hdr := mf.b[off : off+pageHeaderLen]
+		used := int(uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24)
+		covered := pageHeaderLen + used
+		bi := int(corrupt) % covered
+		mf.b[off+int64(bi)] ^= 0x40
+		buf := make([]byte, PageSize)
+		payload, rerr := readPage(mf, pageID, buf)
+		if rerr == nil {
+			if _, derr := decodePage(pageID, payload); derr == nil {
+				t.Fatalf("corrupted byte %d of page %d went undetected", bi, pageID)
+			}
+		}
+		mf.b[off+int64(bi)] ^= 0x40 // restore for any later iterations
+	})
+}

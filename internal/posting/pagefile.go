@@ -1,0 +1,393 @@
+package posting
+
+// This file is the on-disk half of the paged posting engine: a fixed-size
+// page format holding container payloads. The RAM-resident engine (PR 4)
+// caps out where memory does; at 100M–1B rows the index must live on disk
+// and stream through a bounded buffer pool (pool.go). The layout follows
+// the classic heap-file split (MIT 6.5830's godb heap_page is the exemplar):
+// the file is an array of fixed-size pages, each self-describing and
+// independently checksummed, so a single probe faults in one page — never a
+// whole posting.
+//
+// A posting is split into SEGMENTS, each covering a contiguous ascending
+// slice of its rank list and each small enough to fit inside one page.
+// Segments keep the hybrid engine's adaptive representation per chunk —
+// array, runs, or a word-windowed bitmap, whichever encodes that chunk
+// cheapest — and many segments pack into one page. Because every kernel
+// enumerates ranks ascending and is k-bounded, a top-k probe touches only
+// the prefix of a posting's segment list: on a 100M-row table a k=100 probe
+// usually pins a single page.
+//
+// Page layout (little-endian):
+//
+//	[0:4)   magic "HDPG"
+//	[4:8)   page id
+//	[8:12)  used payload bytes
+//	[12:16) CRC-32C over payload[:used]
+//	[16:PageSize) payload: a sequence of segments
+//
+// Segment layout within the payload:
+//
+//	[0]     kind (KindArray | KindRuns | KindBitmap)
+//	[1]     reserved (0)
+//	[2:4)   item count: ranks (array), runs (runs), words (bitmap)
+//	[4:8)   member cardinality
+//	[8:12)  base: first universe WORD index covered (bitmap kind only)
+//	[12:..) items: u32 ranks | (u32,u32) run pairs | u64 words
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	// PageSize is the on-disk size of one page, header included. 64 KiB
+	// amortises the read syscall and checksum over many segments while
+	// keeping the pinned-granularity (and therefore the pool's working-set
+	// floor) small.
+	PageSize = 64 << 10
+
+	pageMagic     = 0x48445047 // "HDPG"
+	pageHeaderLen = 16
+	pagePayload   = PageSize - pageHeaderLen
+	segHeaderLen  = 12
+
+	// segMaxRanks bounds a segment's member count so every encoding fits in
+	// one page: 4·8000 array bytes and at worst 8·8000 run bytes both stay
+	// under the payload cap with the headers.
+	segMaxRanks = 8000
+)
+
+var pageCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// SegRef locates one segment of a paged posting: which page holds it, its
+// slot among that page's segments, and the rank range it covers. The
+// directory of SegRefs stays resident (it is tiny next to the payloads —
+// tens of bytes per ~64 KiB of postings); only payloads live on disk.
+type SegRef struct {
+	Page  uint32
+	Slot  uint16
+	Kind  Kind
+	Start uint32 // first rank covered
+	End   uint32 // one past the last rank covered
+	Card  int32  // members in this segment
+	Bytes int32  // encoded bytes (header included), for stats
+}
+
+// PostingRef is a built posting's resident directory entry: its total
+// cardinality plus the ordered segment list. The zero value is an empty
+// posting.
+type PostingRef struct {
+	Card  int
+	Bytes int // encoded payload bytes (headers included)
+	Segs  []SegRef
+}
+
+// PageWriter streams postings into a page file. Append order defines page
+// ids; the writer packs segments first-fit into the current page and starts
+// a new page when one does not fit. Call Flush before handing the file to a
+// Pool.
+type PageWriter struct {
+	w     io.WriterAt
+	buf   []byte // current page, PageSize
+	page  uint32 // current page id
+	off   int    // next free payload offset
+	slots uint16 // segments already in the current page
+	wrote bool   // current page has at least one segment
+}
+
+// NewPageWriter returns a writer positioned at page 0 of w.
+func NewPageWriter(w io.WriterAt) *PageWriter {
+	return &PageWriter{w: w, buf: make([]byte, PageSize), off: pageHeaderLen}
+}
+
+// Pages returns the number of pages the file will hold once Flush is called.
+func (pw *PageWriter) Pages() int {
+	if pw.wrote {
+		return int(pw.page) + 1
+	}
+	return int(pw.page)
+}
+
+// flushPage finalises the current page (header + checksum), writes it, and
+// resets the buffer for the next one.
+func (pw *PageWriter) flushPage() error {
+	used := pw.off - pageHeaderLen
+	binary.LittleEndian.PutUint32(pw.buf[0:], pageMagic)
+	binary.LittleEndian.PutUint32(pw.buf[4:], pw.page)
+	binary.LittleEndian.PutUint32(pw.buf[8:], uint32(used))
+	binary.LittleEndian.PutUint32(pw.buf[12:], crc32.Checksum(pw.buf[pageHeaderLen:pw.off], pageCRC))
+	for i := pw.off; i < PageSize; i++ {
+		pw.buf[i] = 0
+	}
+	if _, err := pw.w.WriteAt(pw.buf, int64(pw.page)*PageSize); err != nil {
+		return fmt.Errorf("posting: write page %d: %w", pw.page, err)
+	}
+	pw.page++
+	pw.off = pageHeaderLen
+	pw.slots = 0
+	pw.wrote = false
+	return nil
+}
+
+// Flush writes the final partial page, if any.
+func (pw *PageWriter) Flush() error {
+	if !pw.wrote {
+		return nil
+	}
+	return pw.flushPage()
+}
+
+// AppendPosting encodes the sorted, duplicate-free rank list of one posting
+// over a universe of n ranks and appends its segments to the file, returning
+// the resident directory entry. The ranks slice is not retained.
+func (pw *PageWriter) AppendPosting(n int, ranks []uint32) (PostingRef, error) {
+	if len(ranks) > 0 && int(ranks[len(ranks)-1]) >= n {
+		return PostingRef{}, fmt.Errorf("posting: rank %d out of universe [0,%d)", ranks[len(ranks)-1], n)
+	}
+	ref := PostingRef{Card: len(ranks)}
+	for len(ranks) > 0 {
+		chunk := ranks
+		if len(chunk) > segMaxRanks {
+			chunk = chunk[:segMaxRanks]
+		}
+		ranks = ranks[len(chunk):]
+		sr, bytes, err := pw.appendSegment(chunk)
+		if err != nil {
+			return PostingRef{}, err
+		}
+		ref.Segs = append(ref.Segs, sr)
+		ref.Bytes += bytes
+	}
+	return ref, nil
+}
+
+// appendSegment encodes one chunk (<= segMaxRanks ascending ranks) as the
+// cheapest representation that fits a page and appends it.
+func (pw *PageWriter) appendSegment(chunk []uint32) (SegRef, int, error) {
+	card := len(chunk)
+	nRuns := countRuns(chunk)
+	firstWord, lastWord := chunk[0]/64, chunk[card-1]/64
+	words := int(lastWord-firstWord) + 1
+
+	arrayBytes := 4 * card
+	runBytes := 8 * nRuns
+	bmBytes := 8 * words
+	kind := KindArray
+	size := arrayBytes
+	if runBytes < size {
+		kind, size = KindRuns, runBytes
+	}
+	if bmBytes < size && segHeaderLen+bmBytes <= pagePayload {
+		kind, size = KindBitmap, bmBytes
+	}
+
+	need := segHeaderLen + size
+	if pw.off+need > PageSize {
+		if err := pw.flushPage(); err != nil {
+			return SegRef{}, 0, err
+		}
+	}
+	sr := SegRef{
+		Page:  pw.page,
+		Slot:  pw.slots,
+		Kind:  kind,
+		Start: chunk[0],
+		End:   chunk[card-1] + 1,
+		Card:  int32(card),
+		Bytes: int32(need),
+	}
+	b := pw.buf[pw.off:]
+	b[0] = byte(kind)
+	b[1] = 0
+	binary.LittleEndian.PutUint32(b[4:], uint32(card))
+	base := uint32(0)
+	switch kind {
+	case KindArray:
+		binary.LittleEndian.PutUint16(b[2:], uint16(card))
+		for i, r := range chunk {
+			binary.LittleEndian.PutUint32(b[segHeaderLen+4*i:], r)
+		}
+	case KindRuns:
+		binary.LittleEndian.PutUint16(b[2:], uint16(nRuns))
+		ri := 0
+		for i, r := range chunk {
+			if i == 0 || r != chunk[i-1]+1 {
+				binary.LittleEndian.PutUint32(b[segHeaderLen+8*ri:], r)
+				binary.LittleEndian.PutUint32(b[segHeaderLen+8*ri+4:], r+1)
+				ri++
+			} else {
+				binary.LittleEndian.PutUint32(b[segHeaderLen+8*(ri-1)+4:], r+1)
+			}
+		}
+	default:
+		binary.LittleEndian.PutUint16(b[2:], uint16(words))
+		base = firstWord
+		for i := 0; i < 8*words; i++ {
+			b[segHeaderLen+i] = 0
+		}
+		for _, r := range chunk {
+			wi := int(r/64 - firstWord)
+			w := binary.LittleEndian.Uint64(b[segHeaderLen+8*wi:])
+			w |= 1 << (r % 64)
+			binary.LittleEndian.PutUint64(b[segHeaderLen+8*wi:], w)
+		}
+	}
+	binary.LittleEndian.PutUint32(b[8:], base)
+	pw.off += need
+	pw.slots++
+	pw.wrote = true
+	return sr, need, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+// pageSeg is one decoded segment: typed slices the kernels iterate directly,
+// valid only while the owning page is pinned.
+type pageSeg struct {
+	kind Kind
+	card int
+	base uint32   // bitmap: first universe word index covered by words
+	arr  []uint32 // KindArray
+	runs []Run    // KindRuns
+	wrds []uint64 // KindBitmap, window starting at word base
+}
+
+// page is one decoded, pool-resident page. Mutation of pins/ref happens only
+// under the pool lock; segs are immutable after decode.
+type page struct {
+	id    uint32
+	segs  []pageSeg
+	bytes int  // decoded footprint charged against the pool budget
+	pins  int32
+	ref   bool // clock reference bit
+}
+
+// readPage reads and checksum-verifies raw page id from r into buf
+// (PageSize bytes), returning the payload slice.
+func readPage(r io.ReaderAt, id uint32, buf []byte) ([]byte, error) {
+	if _, err := r.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("posting: read page %d: %w", id, err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != pageMagic {
+		return nil, fmt.Errorf("posting: page %d: bad magic %#x", id, got)
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:]); got != id {
+		return nil, fmt.Errorf("posting: page %d: header claims page %d", id, got)
+	}
+	used := binary.LittleEndian.Uint32(buf[8:])
+	if used > pagePayload {
+		return nil, fmt.Errorf("posting: page %d: used %d exceeds payload cap %d", id, used, pagePayload)
+	}
+	payload := buf[pageHeaderLen : pageHeaderLen+used]
+	if got, want := crc32.Checksum(payload, pageCRC), binary.LittleEndian.Uint32(buf[12:]); got != want {
+		return nil, fmt.Errorf("posting: page %d: checksum mismatch (got %#x, want %#x)", id, got, want)
+	}
+	return payload, nil
+}
+
+// decodePage parses a verified payload into typed segment slices. One slab
+// per element type backs all of a page's segments, so a decode is three
+// allocations however many segments the page packs.
+func decodePage(id uint32, payload []byte) (*page, error) {
+	pg := &page{id: id}
+	var nU32, nRun, nU64 int
+	// Sizing pass.
+	for off := 0; off < len(payload); {
+		kind, items, _, _, size, err := segHeader(payload, off)
+		if err != nil {
+			return nil, fmt.Errorf("posting: page %d: %w", id, err)
+		}
+		switch kind {
+		case KindArray:
+			nU32 += items
+		case KindRuns:
+			nRun += items
+		default:
+			nU64 += items
+		}
+		off += size
+	}
+	u32s := make([]uint32, 0, nU32)
+	runs := make([]Run, 0, nRun)
+	u64s := make([]uint64, 0, nU64)
+	for off := 0; off < len(payload); {
+		kind, items, card, base, size, _ := segHeader(payload, off)
+		data := payload[off+segHeaderLen : off+size]
+		seg := pageSeg{kind: kind, card: card, base: base}
+		switch kind {
+		case KindArray:
+			lo := len(u32s)
+			for i := 0; i < items; i++ {
+				u32s = append(u32s, binary.LittleEndian.Uint32(data[4*i:]))
+			}
+			seg.arr = u32s[lo:len(u32s):len(u32s)]
+		case KindRuns:
+			lo := len(runs)
+			for i := 0; i < items; i++ {
+				runs = append(runs, Run{
+					Start: binary.LittleEndian.Uint32(data[8*i:]),
+					End:   binary.LittleEndian.Uint32(data[8*i+4:]),
+				})
+			}
+			seg.runs = runs[lo:len(runs):len(runs)]
+		default:
+			lo := len(u64s)
+			for i := 0; i < items; i++ {
+				u64s = append(u64s, binary.LittleEndian.Uint64(data[8*i:]))
+			}
+			seg.wrds = u64s[lo:len(u64s):len(u64s)]
+		}
+		pg.segs = append(pg.segs, seg)
+		off += size
+	}
+	pg.bytes = pageHeaderLen + len(payload) + 16*len(pg.segs) // decoded ≈ encoded + headers
+	return pg, nil
+}
+
+// segHeader validates and decodes one segment header at off, returning the
+// segment's total encoded size (header + items).
+func segHeader(payload []byte, off int) (kind Kind, items, card int, base uint32, size int, err error) {
+	if off+segHeaderLen > len(payload) {
+		return 0, 0, 0, 0, 0, fmt.Errorf("truncated segment header at offset %d", off)
+	}
+	b := payload[off:]
+	kind = Kind(b[0])
+	items = int(binary.LittleEndian.Uint16(b[2:]))
+	card = int(binary.LittleEndian.Uint32(b[4:]))
+	base = binary.LittleEndian.Uint32(b[8:])
+	var itemBytes int
+	switch kind {
+	case KindArray:
+		itemBytes = 4 * items
+		if card != items {
+			return 0, 0, 0, 0, 0, fmt.Errorf("array segment at %d: card %d != items %d", off, card, items)
+		}
+	case KindRuns, KindBitmap:
+		itemBytes = 8 * items
+	default:
+		return 0, 0, 0, 0, 0, fmt.Errorf("segment at %d: unknown kind %d", off, b[0])
+	}
+	size = segHeaderLen + itemBytes
+	if off+size > len(payload) {
+		return 0, 0, 0, 0, 0, fmt.Errorf("segment at %d: items overrun payload", off)
+	}
+	return kind, items, card, base, size, nil
+}
+
+// OpenPageFileTemp creates the backing temp file for a paged index and
+// unlinks it immediately (Linux semantics: the fd keeps it alive, the kernel
+// reclaims it when the table is garbage-collected or the process exits), so
+// no table ever leaks an index file.
+func OpenPageFileTemp(dir string) (*os.File, error) {
+	f, err := os.CreateTemp(dir, "hdb-pages-*.pg")
+	if err != nil {
+		return nil, fmt.Errorf("posting: page file: %w", err)
+	}
+	os.Remove(f.Name())
+	return f, nil
+}

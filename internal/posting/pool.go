@@ -1,0 +1,196 @@
+package posting
+
+// The pinning buffer pool: the RAM half of the paged posting engine. Pages
+// fault in from the page file on first touch, are checksum-verified and
+// decoded once, and stay resident until clock eviction reclaims them to keep
+// decoded bytes under a hard budget. Kernels pin the page a segment lives on
+// for exactly as long as they iterate it — a pinned page cannot be evicted,
+// and an evicted page transparently faults back in on the next pin, so a
+// cursor that out-lives its pages (probe, get evicted, probe again) sees
+// bit-identical results at any budget.
+//
+// Concurrency: all frame-table mutation happens under one mutex; the disk
+// read and decode of a faulting page happen outside it (two goroutines may
+// race to load the same page — the loser discards its copy). That keeps the
+// warm path at one short critical section per pin/unpin, which is the right
+// trade for the probe workloads here: a k-bounded probe pins a handful of
+// pages, not thousands.
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"hdunbiased/internal/obs"
+)
+
+// Pool metrics: process-wide obs series shared by every pool (counters are
+// cumulative across pools; the gauges move by deltas, so they sum correctly
+// too). Handles are resolved once, per the obs hot-path rule.
+var (
+	obsPoolHits = obs.Default.Counter("posting_page_pool_hits_total",
+		"Buffer-pool page pins answered by a resident page.")
+	obsPoolMisses = obs.Default.Counter("posting_page_pool_misses_total",
+		"Buffer-pool page pins that faulted the page in from disk.")
+	obsPoolEvictions = obs.Default.Counter("posting_page_pool_evictions_total",
+		"Pages evicted by the clock sweep to stay under the byte budget.")
+	obsPoolPinned = obs.Default.Gauge("posting_page_pool_pinned_bytes",
+		"Decoded bytes of currently pinned pages, summed over pools.")
+	obsPoolResident = obs.Default.Gauge("posting_page_pool_resident_bytes",
+		"Decoded bytes resident in buffer pools (pinned or evictable).")
+)
+
+// Pool is a pinning buffer pool over one page file. The zero value is not
+// usable; construct with NewPool.
+type Pool struct {
+	r      io.ReaderAt
+	nPages int
+	budget int64
+
+	mu       sync.Mutex
+	frames   []*page // frames[id] = resident decoded page, nil otherwise
+	resident int64   // decoded bytes resident
+	pinnedB  int64   // decoded bytes of pages with pins > 0
+	hand     int     // clock hand
+
+	hits, misses, evictions atomic.Int64
+
+	readBuf sync.Pool // *[]byte of PageSize, reused across faults
+}
+
+// PoolStats is a point-in-time snapshot of one pool's counters.
+type PoolStats struct {
+	Budget        int64 // configured byte budget
+	ResidentBytes int64 // decoded bytes currently resident
+	PinnedBytes   int64 // decoded bytes currently pinned
+	Pages         int   // pages in the backing file
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+}
+
+// NewPool returns a pool over the nPages-page file r with the given decoded-
+// byte budget. A budget <= 0 means "one page": the pool still works, it just
+// thrashes — useful for eviction tests.
+func NewPool(r io.ReaderAt, nPages int, budget int64) *Pool {
+	if budget <= 0 {
+		budget = PageSize
+	}
+	p := &Pool{r: r, nPages: nPages, budget: budget, frames: make([]*page, nPages)}
+	p.readBuf.New = func() any { b := make([]byte, PageSize); return &b }
+	return p
+}
+
+// Budget returns the configured byte budget.
+func (p *Pool) Budget() int64 { return p.budget }
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	s := PoolStats{
+		Budget:        p.budget,
+		ResidentBytes: p.resident,
+		PinnedBytes:   p.pinnedB,
+		Pages:         p.nPages,
+	}
+	p.mu.Unlock()
+	s.Hits = p.hits.Load()
+	s.Misses = p.misses.Load()
+	s.Evictions = p.evictions.Load()
+	return s
+}
+
+// pin returns page id with its pin count incremented, faulting it in from
+// disk if it is not resident. Every pin must be paired with an unpin; the
+// page's segments are valid only between the two.
+func (p *Pool) pin(id uint32) (*page, error) {
+	p.mu.Lock()
+	if pg := p.frames[id]; pg != nil {
+		p.pinPageLocked(pg)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		obsPoolHits.Inc()
+		return pg, nil
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	obsPoolMisses.Inc()
+
+	bufp := p.readBuf.Get().(*[]byte)
+	payload, err := readPage(p.r, id, *bufp)
+	if err != nil {
+		p.readBuf.Put(bufp)
+		return nil, err
+	}
+	pg, err := decodePage(id, payload)
+	p.readBuf.Put(bufp)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	if won := p.frames[id]; won != nil {
+		pg = won // another goroutine loaded it first; drop our copy
+	} else {
+		p.frames[id] = pg
+		p.resident += int64(pg.bytes)
+		obsPoolResident.Add(int64(pg.bytes))
+	}
+	p.pinPageLocked(pg)
+	p.evictLocked()
+	p.mu.Unlock()
+	return pg, nil
+}
+
+func (p *Pool) pinPageLocked(pg *page) {
+	pg.pins++
+	pg.ref = true
+	if pg.pins == 1 {
+		p.pinnedB += int64(pg.bytes)
+		obsPoolPinned.Add(int64(pg.bytes))
+	}
+}
+
+// unpin releases one pin of pg.
+func (p *Pool) unpin(pg *page) {
+	p.mu.Lock()
+	pg.pins--
+	if pg.pins == 0 {
+		p.pinnedB -= int64(pg.bytes)
+		obsPoolPinned.Add(-int64(pg.bytes))
+	}
+	if pg.pins < 0 {
+		p.mu.Unlock()
+		panic("posting: page unpinned more times than pinned")
+	}
+	p.mu.Unlock()
+}
+
+// evictLocked runs the clock sweep until resident bytes fit the budget or a
+// full revolution finds nothing evictable (everything pinned or second-
+// chance-referenced: pinned overage is allowed, the budget is enforced
+// against evictable pages as soon as pins release).
+func (p *Pool) evictLocked() {
+	if p.nPages == 0 {
+		return
+	}
+	for scanned := 0; p.resident > p.budget && scanned < 2*p.nPages; scanned++ {
+		pg := p.frames[p.hand]
+		p.hand++
+		if p.hand == p.nPages {
+			p.hand = 0
+		}
+		if pg == nil || pg.pins > 0 {
+			continue
+		}
+		if pg.ref {
+			pg.ref = false // second chance
+			continue
+		}
+		p.frames[pg.id] = nil
+		p.resident -= int64(pg.bytes)
+		obsPoolResident.Add(-int64(pg.bytes))
+		p.evictions.Add(1)
+		obsPoolEvictions.Inc()
+	}
+}

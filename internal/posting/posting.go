@@ -200,12 +200,19 @@ func (l *List) Bitmap() *bitset.Set {
 	return l.bm
 }
 
-// CountUpTo returns the member count, exactly — the container tracks its
+// CountUpTo returns min(count, limit+1): exact when the cardinality is at
+// most limit, the sentinel limit+1 ("more than limit") otherwise — the same
+// clamp bitset.Set.CountUpTo documents. The container tracks its
 // cardinality, so the dense bitset's bounded popcount scan degenerates to a
-// field read. The limit parameter is kept for drop-in compatibility with
-// bitset.Set.CountUpTo's contract (exact when <= limit, "more than limit"
-// otherwise); an exact count satisfies it trivially.
-func (l *List) CountUpTo(limit int) int { return l.card }
+// field read plus the clamp; clamping (rather than returning the exact
+// cardinality) keeps the value bit-identical across the dense, hybrid and
+// paged implementations for any caller branching on > limit.
+func (l *List) CountUpTo(limit int) int {
+	if l.card > limit {
+		return limit + 1
+	}
+	return l.card
+}
 
 // FirstN appends the first n members (ascending) to dst and returns it.
 func (l *List) FirstN(dst []int, n int) []int { return firstN(dst, n, l.span()) }
@@ -375,8 +382,13 @@ func forEach(s span, fn func(i int) bool) {
 // [start, end). The boundary math lives only here — every word-masked
 // range kernel (counting, emitting, appending, copying) composes it with
 // its own loop body instead of duplicating the classic off-by-one-prone
-// lo/hi mask construction.
+// lo/hi mask construction. The helper is total: an empty range (start >=
+// end, including end == 0, where the old (end-1)/64 computation wrapped the
+// uint32) selects no bits, so callers need no pre-check.
 func rangeMask(wi int, start, end uint32) uint64 {
+	if start >= end {
+		return 0
+	}
 	m := ^uint64(0)
 	if int(start/64) == wi {
 		m &= ^uint64(0) << (start % 64)
